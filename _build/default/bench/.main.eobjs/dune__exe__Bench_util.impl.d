@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Hashtbl List Measure Printf String Sys Test Time Toolkit Unix

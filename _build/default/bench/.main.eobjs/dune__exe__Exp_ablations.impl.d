@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Baselines Bechamel Bench_util Consistency Ddf Eda Engine List Printf Schema Staged Standard_flows Standard_schemas Task_graph Test Workspace

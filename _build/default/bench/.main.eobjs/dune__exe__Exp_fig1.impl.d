@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Bechamel Bench_util Ddf Format List Printf Schema Staged Standard_schemas Test

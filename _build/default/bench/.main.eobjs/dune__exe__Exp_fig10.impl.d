@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Bechamel Bench_util Ddf History List Printf Staged Standard_schemas Task_graph Test Workloads Workspace

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Baselines Bench_util Ddf Eda Engine Format Hashtbl History List Option Printf Standard_schemas Store Task_graph Workspace

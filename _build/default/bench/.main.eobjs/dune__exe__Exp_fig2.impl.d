@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bechamel Bench_util Ddf Eda Engine History List Printf Staged Standard_flows Standard_schemas Test Workspace

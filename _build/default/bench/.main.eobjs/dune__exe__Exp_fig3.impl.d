@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Bechamel Bench_util Bipartite Canonical Ddf List Printf Sexp_form Staged Standard_flows Task_graph Test

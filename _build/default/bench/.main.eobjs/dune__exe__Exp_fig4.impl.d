@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Bechamel Bench_util Ddf List Printf Staged Standard_flows Standard_schemas Task_graph Test

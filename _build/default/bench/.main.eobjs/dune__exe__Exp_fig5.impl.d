@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Bechamel Bench_util Ddf Engine Format List Printf Staged Standard_flows Standard_schemas Store Task_graph Test Workloads Workspace

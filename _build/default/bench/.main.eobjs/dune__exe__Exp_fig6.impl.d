@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Bench_util Ddf Domain Engine List Parallel Printf Standard_flows Task_graph Workloads Workspace

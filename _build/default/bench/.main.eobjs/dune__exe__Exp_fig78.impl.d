@@ -1,0 +1,1 @@
+bench/exp_fig78.ml: Bechamel Bench_util Ddf Eda Format List Printf Staged Standard_flows Standard_schemas Task_graph Test Value Views Workspace

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Bechamel Bench_util Ddf Eda Engine List Persist Printf Session Staged Standard_schemas Store String Test Value Workloads Workspace

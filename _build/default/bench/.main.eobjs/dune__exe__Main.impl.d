@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Exp_ablations Exp_fig1 Exp_fig10 Exp_fig11 Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig78 Exp_fig9 List Printf Sys

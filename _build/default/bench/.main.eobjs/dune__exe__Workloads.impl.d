@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Ddf Eda Engine List Printf Standard_flows Standard_schemas Task_graph Value Workspace

@@ -1,0 +1,78 @@
+(* Shared machinery for the experiment harness: a bechamel runner that
+   prints one row per test, and small table helpers. *)
+
+open Bechamel
+
+let quota = ref 0.25
+
+(* Run a group of bechamel tests and print the estimated ns/run. *)
+let run_bechamel ~name tests =
+  let test = Test.make_grouped ~name tests in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second !quota)
+      ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns < 1_000.0 then Printf.printf "  %-48s %10.0f ns/run\n" name ns
+      else if ns < 1_000_000.0 then
+        Printf.printf "  %-48s %10.2f us/run\n" name (ns /. 1_000.0)
+      else Printf.printf "  %-48s %10.2f ms/run\n" name (ns /. 1_000_000.0))
+    rows
+
+let header id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let paper_claim s = Printf.printf "paper: %s\n\n" s
+
+let section s = Printf.printf "\n-- %s --\n" s
+
+(* Wall-clock measurement of a single thunk, median of [runs]. *)
+let time_us ?(runs = 5) f =
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    ignore (Sys.opaque_identity x);
+    (Unix.gettimeofday () -. t0) *. 1e6
+  in
+  let samples = List.init runs (fun _ -> sample ()) |> List.sort compare in
+  List.nth samples (runs / 2)
+
+let print_table headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let print_row cells =
+    List.iteri
+      (fun i c -> Printf.printf "%-*s  " (List.nth widths i) c)
+      cells;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows

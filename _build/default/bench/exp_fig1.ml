@@ -1,0 +1,75 @@
+(* E1 / Fig. 1: the example task schema. *)
+
+open Ddf
+open Bechamel
+module E = Standard_schemas.E
+
+let run () =
+  Bench_util.header "E1" "Fig. 1: an example task schema";
+  Bench_util.paper_claim
+    "a task schema of tools and data with f/d arcs, subtyping and an \
+     optional (dashed) loop-breaking dependency states every legal task";
+
+  let s = Standard_schemas.fig1 in
+  Format.printf "%a@." Schema.pp s;
+
+  Bench_util.section "schema statistics";
+  let tools = List.filter (Schema.is_tool s) (Schema.entity_ids s) in
+  let composites = List.filter (Schema.is_composite s) (Schema.entity_ids s) in
+  let optional_arcs =
+    List.fold_left
+      (fun acc e ->
+        acc
+        + List.length
+            (List.filter
+               (fun (d : Schema.dep) ->
+                 d.Schema.dep_kind = Schema.Data_dep { optional = true })
+               e.Schema.deps))
+      0 (Schema.entities s)
+  in
+  Bench_util.print_table
+    [ "entities"; "tools"; "data"; "composites"; "optional arcs" ]
+    [
+      [
+        string_of_int (Schema.size s);
+        string_of_int (List.length tools);
+        string_of_int (Schema.size s - List.length tools);
+        string_of_int (List.length composites);
+        string_of_int optional_arcs;
+      ];
+    ];
+
+  Bench_util.section "expansion candidates per entity (schema queries)";
+  Bench_util.print_table
+    [ "entity"; "rule"; "consumers" ]
+    (List.map
+       (fun e ->
+         let rule =
+           match Schema.construction_rule s e with
+           | Schema.Constructed deps ->
+             Printf.sprintf "task/%d deps" (List.length deps)
+           | Schema.Abstract subs ->
+             Printf.sprintf "abstract/%d methods" (List.length subs)
+           | Schema.Source -> "source"
+         in
+         [ e; rule; string_of_int (List.length (Schema.consumers s e)) ])
+       (Schema.entity_ids s));
+
+  Bench_util.section "query latency";
+  Bench_util.run_bechamel ~name:"fig1"
+    [
+      Test.make ~name:"create+validate fig1"
+        (Staged.stage (fun () ->
+             Schema.create "fig1" Standard_schemas.fig1_entities));
+      Test.make ~name:"consumers(netlist)"
+        (Staged.stage (fun () -> Schema.consumers s E.netlist));
+      Test.make ~name:"construction_rule(performance)"
+        (Staged.stage (fun () -> Schema.construction_rule s E.performance));
+      Test.make ~name:"is_subtype (deep)"
+        (Staged.stage (fun () ->
+             Schema.is_subtype Standard_schemas.odyssey
+               ~sub:E.switch_performance ~super:E.performance));
+      Test.make ~name:"add a new tool + revalidate"
+        (Staged.stage (fun () ->
+             Schema.add_entity s (Schema.tool "new_router" [])));
+    ]

@@ -1,0 +1,69 @@
+(* E3 / Fig. 3: the three representations of a flow -- bipartite
+   flowmap, task graph, Lisp-style text. *)
+
+open Ddf
+open Bechamel
+
+let flows () =
+  [
+    ("fig3", (Standard_flows.fig3 ()).Standard_flows.f3_graph);
+    ("fig5", (Standard_flows.fig5 ()).Standard_flows.f5_graph);
+    ("fig2", (Standard_flows.fig2 ()).Standard_flows.f2_graph);
+    ("fig8b", (Standard_flows.fig8b ()).Standard_flows.f8b_graph);
+  ]
+
+let run () =
+  Bench_util.header "E3" "Fig. 3: task graph vs bipartite flowmap vs text";
+  Bench_util.paper_claim
+    "a task graph treats the tool as just another parameter; the \
+     traditional flowmap hardwires it and cannot express a tool created \
+     by the flow";
+
+  let f3 = Standard_flows.fig3 () in
+  Bench_util.section "the Fig. 3 flow, three ways";
+  Printf.printf "(a) flowmap:\n%s"
+    (Bipartite.to_ascii (Bipartite.of_graph f3.Standard_flows.f3_graph));
+  Printf.printf "(b) task graph:\n%s" (Task_graph.to_ascii f3.Standard_flows.f3_graph);
+  Printf.printf "(c) paper text: %s\n"
+    (Sexp_form.to_paper_string f3.Standard_flows.f3_graph f3.Standard_flows.f3_layout);
+
+  Bench_util.section "expressiveness comparison";
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let b = Bipartite.of_graph g in
+        let round_trip =
+          Bipartite.lossless b
+          && Canonical.equal g
+               (Bipartite.to_graph (Task_graph.schema g) b)
+        in
+        [
+          name;
+          string_of_int (Task_graph.size g);
+          string_of_int (Bipartite.size b);
+          (if Bipartite.lossless b then "yes" else "NO");
+          (if Bipartite.lossless b then string_of_bool round_trip else "n/a");
+          (let s = Sexp_form.to_string g in
+           string_of_bool
+             (Canonical.equal g (Sexp_form.of_string (Task_graph.schema g) s)));
+        ])
+      (flows ())
+  in
+  Bench_util.print_table
+    [ "flow"; "graph nodes"; "flowmap size"; "flowmap lossless";
+      "flowmap roundtrip"; "text roundtrip" ]
+    rows;
+
+  Bench_util.section "conversion latency";
+  let g5 = (Standard_flows.fig5 ()).Standard_flows.f5_graph in
+  let b5 = Bipartite.of_graph g5 in
+  let s5 = Sexp_form.to_string g5 in
+  let schema = Task_graph.schema g5 in
+  Bench_util.run_bechamel ~name:"fig3"
+    [
+      Test.make ~name:"graph -> flowmap" (Staged.stage (fun () -> Bipartite.of_graph g5));
+      Test.make ~name:"flowmap -> graph" (Staged.stage (fun () -> Bipartite.to_graph schema b5));
+      Test.make ~name:"graph -> text" (Staged.stage (fun () -> Sexp_form.to_string g5));
+      Test.make ~name:"text -> graph" (Staged.stage (fun () -> Sexp_form.of_string schema s5));
+      Test.make ~name:"canonical form" (Staged.stage (fun () -> Canonical.canonical g5));
+    ]

@@ -1,0 +1,61 @@
+(* E4 / Fig. 4: expand and specialize operations, and their cost as the
+   flow grows. *)
+
+open Ddf
+open Bechamel
+module E = Standard_schemas.E
+
+let run () =
+  Bench_util.header "E4" "Fig. 4: two possible expansions of the Fig. 3 flow";
+  Bench_util.paper_claim
+    "flows are built up on demand by expand operations; specialization \
+     selects a construction method before expanding";
+
+  Bench_util.section "fig4(a): the source netlist edited again";
+  Printf.printf "%s"
+    (Task_graph.to_ascii (Standard_flows.fig4a ()).Standard_flows.f3_graph);
+  Bench_util.section "fig4(b): specialized to an extracted netlist first";
+  Printf.printf "%s"
+    (Task_graph.to_ascii (Standard_flows.fig4b ()).Standard_flows.f3_graph);
+
+  Bench_util.section "expand cost vs flow size (persistent graphs)";
+  let rows =
+    List.map
+      (fun depth ->
+        let g, _top = Standard_flows.edit_chain depth in
+        let g, fresh_node = Task_graph.add_node g E.performance in
+        let us =
+          Bench_util.time_us ~runs:9 (fun () -> Task_graph.expand g fresh_node)
+        in
+        [
+          string_of_int (Task_graph.size g);
+          Printf.sprintf "%.1f" us;
+          Printf.sprintf "%.2f"
+            (Bench_util.time_us ~runs:9 (fun () -> Task_graph.validate g)
+             /. 1000.0);
+        ])
+      [ 4; 16; 64; 256; 1024 ]
+  in
+  Bench_util.print_table
+    [ "flow nodes"; "expand (us)"; "full validate (ms)" ]
+    rows;
+
+  Bench_util.section "operation latency on the Fig. 3 flow";
+  let f = Standard_flows.fig3 () in
+  let g = f.Standard_flows.f3_graph in
+  Bench_util.run_bechamel ~name:"fig4"
+    [
+      Test.make ~name:"build the whole fig3 flow"
+        (Staged.stage (fun () -> Standard_flows.fig3 ()));
+      Test.make ~name:"specialize netlist -> extracted"
+        (Staged.stage (fun () ->
+             Task_graph.specialize g f.Standard_flows.f3_source_netlist
+               E.extracted_netlist));
+      Test.make ~name:"expand_up to a plot"
+        (Staged.stage (fun () ->
+             let g, nid = Task_graph.create Standard_flows.schema E.performance in
+             Task_graph.expand_up g nid ~consumer:E.performance_plot));
+      Test.make ~name:"unexpand the layout"
+        (Staged.stage (fun () ->
+             Task_graph.unexpand g f.Standard_flows.f3_layout));
+    ]

@@ -1,0 +1,106 @@
+(* E7+E8 / Figs. 7-8: views of a cell and the synthesis / verification
+   flows between them. *)
+
+open Ddf
+open Bechamel
+module E = Standard_schemas.E
+
+let run () =
+  Bench_util.header "E7/E8" "Figs. 7-8: views and view-management flows";
+  Bench_util.paper_claim
+    "if views are associated with entities, flows represent the \
+     transformations between views: Fig. 8a synthesizes the physical \
+     view, Fig. 8b verifies it against the transistor view";
+
+  Bench_util.section "Fig. 7: three views of the inverter cell";
+  let w = Workspace.create ~user:"bench" () in
+  let ctx = Workspace.ctx w in
+  let inverter = Eda.Circuits.inverter () in
+  let logic = Workspace.install_netlist w inverter in
+  let views =
+    Views.derive_views ctx ~logic
+      ~placer_tool:(Workspace.tool w E.placer)
+      ~expander_tool:(Workspace.tool w E.transistor_expander)
+  in
+  List.iter
+    (fun (view, iid) ->
+      Format.printf "%-10s %a@." view Value.pp (Workspace.payload w iid))
+    [
+      ("logic", views.Views.cv_logic);
+      ("transistor", views.Views.cv_transistor);
+      ("physical", views.Views.cv_physical);
+    ];
+
+  Bench_util.section "Fig. 8 flows";
+  Printf.printf "(a) synthesis:\n%s"
+    (Task_graph.to_ascii (Standard_flows.fig8a ()).Standard_flows.f8a_graph);
+  Printf.printf "(b) verification:\n%s"
+    (Task_graph.to_ascii (Standard_flows.fig8b ()).Standard_flows.f8b_graph);
+
+  Bench_util.section "view correspondence across the circuit zoo";
+  let rng = Eda.Rng.create 3 in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let nl = mk () in
+        let logic = Workspace.install_netlist w nl in
+        let v =
+          Views.derive_views ctx ~logic
+            ~placer_tool:(Workspace.tool w E.placer)
+            ~expander_tool:(Workspace.tool w E.transistor_expander)
+        in
+        let _, verdict =
+          Views.verify_physical ctx ~logic ~physical:v.Views.cv_physical
+            ~extractor_tool:(Workspace.tool w E.extractor)
+            ~verifier_tool:(Workspace.tool w E.verifier)
+        in
+        let switch_ok =
+          Views.transistor_corresponds ctx ~logic
+            ~transistor:v.Views.cv_transistor rng
+        in
+        [
+          name;
+          string_of_bool verdict.Eda.Lvs.equivalent;
+          string_of_bool switch_ok;
+        ])
+      Eda.Circuits.all_named
+  in
+  Bench_util.print_table
+    [ "cell"; "physical == logic (LVS)"; "transistor == logic (switch)" ]
+    rows;
+
+  Bench_util.section "a careless edit is caught (negative control)";
+  let fa_logic = Workspace.install_netlist w (Eda.Circuits.full_adder ()) in
+  let fa =
+    Views.derive_views ctx ~logic:fa_logic
+      ~placer_tool:(Workspace.tool w E.placer)
+      ~expander_tool:(Workspace.tool w E.transistor_expander)
+  in
+  let broken =
+    Eda.Layout.apply_edits
+      (Workspace.layout_of w fa.Views.cv_physical)
+      [ Eda.Layout.Move_cell ("g_cout", 6, 0) ]
+  in
+  let broken_iid = Workspace.install_layout w broken in
+  let _, verdict =
+    Views.verify_physical ctx ~logic:fa_logic ~physical:broken_iid
+      ~extractor_tool:(Workspace.tool w E.extractor)
+      ~verifier_tool:(Workspace.tool w E.verifier)
+  in
+  Printf.printf "moved cell without rerouting -> LVS equivalent: %b\n"
+    verdict.Eda.Lvs.equivalent;
+
+  Bench_util.section "latency";
+  let fa_nl = Eda.Circuits.full_adder () in
+  let fa_layout = Eda.Layout.place fa_nl in
+  Bench_util.run_bechamel ~name:"fig78"
+    [
+      Test.make ~name:"place full adder" (Staged.stage (fun () -> Eda.Layout.place fa_nl));
+      Test.make ~name:"extract full adder" (Staged.stage (fun () -> Eda.Extract.run fa_layout));
+      Test.make ~name:"LVS full adder"
+        (Staged.stage (fun () ->
+             let nl2, _ = Eda.Extract.run fa_layout in
+             Eda.Lvs.compare_netlists fa_nl nl2));
+      Test.make ~name:"expand to transistors"
+        (Staged.stage (fun () -> Eda.Transistor.of_netlist fa_nl));
+    ]

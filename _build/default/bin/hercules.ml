@@ -1,0 +1,626 @@
+(* hercules: a command-line front end to the dynamically-defined-flows
+   workspace, in the spirit of the Hercules Task Manager (section 4).
+
+   The store is in-memory, so each invocation hosts a complete scripted
+   session: build a flow (from text or from a goal), bind it against a
+   named circuit from the zoo, run it, and browse the resulting design
+   history. *)
+
+open Cmdliner
+open Ddf
+module E = Standard_schemas.E
+
+let circuit_conv =
+  let parse s =
+    match List.assoc_opt s Eda.Circuits.all_named with
+    | Some mk -> Ok (s, mk ())
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown circuit %S (try: %s)" s
+             (String.concat ", " (List.map fst Eda.Circuits.all_named))))
+  in
+  let print ppf (name, _) = Fmt.string ppf name in
+  Arg.conv (parse, print)
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt circuit_conv ("c17", Eda.Circuits.c17 ())
+    & info [ "c"; "circuit" ] ~docv:"NAME"
+        ~doc:"Circuit from the zoo (c17, full_adder, adder4, ...).")
+
+let blif_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"Read the circuit from a BLIF file.")
+
+let load_circuit (name, zoo) blif =
+  match blif with
+  | None -> (name, zoo)
+  | Some path -> (
+    match Eda.Blif.of_file path with
+    | nl -> (nl.Eda.Netlist.name, nl)
+    | exception Eda.Blif.Blif_error m ->
+      Printf.eprintf "BLIF error: %s\n" m;
+      exit 1)
+
+let workspace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workspace" ] ~docv:"FILE"
+        ~doc:
+          "Persistent workspace: loaded when the file exists, saved back \
+           after the command.")
+
+(* Run [f] inside a (possibly persistent) workspace. *)
+let with_workspace ?user ws_file f =
+  let w =
+    match ws_file with
+    | Some path when Sys.file_exists path -> (
+      match Persist.load_file Standard_schemas.odyssey path with
+      | session -> Workspace.of_session session
+      | exception Persist.Persist_error m ->
+        Printf.eprintf "cannot load workspace: %s\n" m;
+        exit 1)
+    | Some _ | None -> Workspace.create ?user ()
+  in
+  let result = f w in
+  (match ws_file with
+  | Some path ->
+    Persist.save_file (Workspace.session w) path;
+    Printf.printf "[workspace saved to %s]\n" path
+  | None -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+(* hercules export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write BLIF here (default stdout).")
+  in
+  let run circuit blif out =
+    let _, nl = load_circuit circuit blif in
+    match out with
+    | None -> print_string (Eda.Blif.to_string nl)
+    | Some path ->
+      Eda.Blif.to_file path nl;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a circuit as BLIF.")
+    Term.(const run $ circuit_arg $ blif_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* hercules schema                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let schema_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run dot =
+    if dot then print_string (Schema.to_dot Standard_schemas.odyssey)
+    else Format.printf "%a@." Schema.pp Standard_schemas.odyssey
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the odyssey task schema (Fig. 1 extended).")
+    Term.(const run $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* hercules flow                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let flow_cmd =
+  let text =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FLOW"
+          ~doc:
+            "Flow in round-trip text form, e.g. \
+             'extracted_netlist#0(tool=extractor#1, layout=layout#2)'.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
+  let flowmap =
+    Arg.(value & flag & info [ "flowmap" ] ~doc:"Also print the bipartite view.")
+  in
+  let run text dot flowmap =
+    match Sexp_form.of_string Standard_schemas.odyssey text with
+    | exception Sexp_form.Parse_error m ->
+      Printf.eprintf "parse error: %s\n" m;
+      exit 1
+    | exception Schema.Schema_error m ->
+      Printf.eprintf "schema error: %s\n" m;
+      exit 1
+    | exception Task_graph.Graph_error m ->
+      Printf.eprintf "illegal flow: %s\n" m;
+      exit 1
+    | g ->
+      Task_graph.validate g;
+      if dot then print_string (Task_graph.to_dot g)
+      else print_string (Task_graph.to_ascii g);
+      if flowmap then print_string (Bipartite.to_ascii (Bipartite.of_graph g));
+      Printf.printf "valid flow: %d nodes, %d invocations, complete: %b\n"
+        (Task_graph.size g)
+        (List.length (Task_graph.invocations g))
+        (Task_graph.complete g)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Parse, validate and display a dynamically defined flow.")
+    Term.(const run $ text $ dot $ flowmap)
+
+(* ------------------------------------------------------------------ *)
+(* hercules run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let goal_arg =
+  Arg.(
+    value
+    & opt string E.performance_plot
+    & info [ "g"; "goal" ] ~docv:"ENTITY"
+        ~doc:"Goal entity (goal-based approach).")
+
+let run_cmd =
+  let vectors =
+    Arg.(
+      value & opt int 16
+      & info [ "vectors" ] ~doc:"Random stimulus vectors to simulate.")
+  in
+  let cell_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cell" ] ~docv:"NAME"
+          ~doc:"Tag the circuit as this process cell's data.")
+  in
+  let vcd_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Also dump the simulation waveform as VCD (combinational \
+                circuits only).")
+  in
+  let run circuit blif goal vectors ws_file cell vcd =
+    let cname, circuit = load_circuit circuit blif in
+    let user = Sys.getenv_opt "USER" |> Option.value ~default:"designer" in
+    with_workspace ~user ws_file @@ fun w ->
+    let ctx = Workspace.ctx w in
+    let session = Workspace.session w in
+    let keywords =
+      match cell with Some c -> [ Process.cell_keyword c ] | None -> []
+    in
+    let nl_iid = Workspace.install_netlist w ~label:cname ~keywords circuit in
+    let stim_iid =
+      Workspace.install_stimuli w
+        (if List.length circuit.Eda.Netlist.primary_inputs <= 8 then
+           Eda.Stimuli.exhaustive circuit.Eda.Netlist.primary_inputs
+         else Eda.Stimuli.for_netlist ~n:vectors circuit (Eda.Rng.create 1))
+    in
+    (* goal-based construction, expanding composites as needed *)
+    let root = Session.start_goal_based session goal in
+    let rec expand_all () =
+      let flow = Session.current_flow session in
+      let unexpanded =
+        List.filter
+          (fun (n : Task_graph.node) ->
+            Task_graph.out_edges flow n.Task_graph.nid = []
+            &&
+            match Schema.construction_rule (Workspace.schema w) n.Task_graph.entity with
+            | Schema.Constructed _ ->
+              (* expand tasks and composites, but leave editable
+                 self-referential entities as selectable leaves *)
+              not
+                (Schema.is_subtype (Workspace.schema w) ~sub:n.Task_graph.entity
+                   ~super:E.netlist)
+              && n.Task_graph.entity <> E.device_models
+            | Schema.Abstract _ | Schema.Source -> false)
+          (Task_graph.nodes flow)
+      in
+      match unexpanded with
+      | [] -> ()
+      | n :: _ ->
+        ignore (Session.expand ~include_optional:false session n.Task_graph.nid);
+        expand_all ()
+    in
+    expand_all ();
+    let flow = Session.current_flow session in
+    (* bind leaves *)
+    List.iter
+      (fun nid ->
+        let entity = Task_graph.entity_of flow nid in
+        let schema = Workspace.schema w in
+        if Schema.is_tool schema entity then
+          Session.select session nid [ Workspace.tool w entity ]
+        else if Schema.is_subtype schema ~sub:entity ~super:E.netlist then
+          Session.select session nid [ nl_iid ]
+        else if entity = E.stimuli then Session.select session nid [ stim_iid ]
+        else if entity = E.device_models then
+          Session.select session nid [ Workspace.default_device_models w ]
+        else if Schema.is_subtype schema ~sub:entity ~super:E.layout then begin
+          let lay = Workspace.install_layout w (Eda.Layout.place circuit) in
+          Session.select session nid [ lay ]
+        end)
+      (Task_graph.leaves flow);
+    print_string (Session.render_task_window session);
+    match Session.run session root with
+    | [] -> print_endline "nothing to run"
+    | iid :: _ ->
+      Format.printf "@.result #%d: %a@." iid Value.pp (Workspace.payload w iid);
+      (match Workspace.payload w iid with
+      | Value.Plot p -> print_string p.Eda.Plot.rendering
+      | _ -> ());
+      (match vcd with
+      | Some path when not (Eda.Netlist.is_sequential circuit) ->
+        let stim_payload =
+          Value.as_stimuli (Workspace.payload w stim_iid)
+        in
+        let r = Eda.Sim_event.run ~settle_ps:2000 circuit stim_payload in
+        Eda.Vcd.to_file path r.Eda.Sim_event.waveform
+          (circuit.Eda.Netlist.primary_inputs
+          @ circuit.Eda.Netlist.primary_outputs);
+        Printf.printf "waveform written to %s\n" path
+      | Some _ ->
+        print_endline "(--vcd skipped: sequential circuit)"
+      | None -> ());
+      print_endline "\nderivation history:";
+      let g, _, _ =
+        History.trace (Workspace.history w) (Workspace.store w)
+          (Workspace.schema w) iid
+      in
+      print_string (Task_graph.to_ascii g);
+      ignore ctx
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Build a goal-based flow for a circuit, run it, show history.")
+    Term.(
+      const run $ circuit_arg $ blif_arg $ goal_arg $ vectors
+      $ workspace_arg $ cell_arg $ vcd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hercules browse                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let browse_cmd =
+  let user =
+    Arg.(value & opt (some string) None & info [ "user" ] ~doc:"User limit.")
+  in
+  let from_ =
+    Arg.(value & opt (some int) None & info [ "from" ] ~doc:"Date limit (from).")
+  in
+  let to_ =
+    Arg.(value & opt (some int) None & info [ "to" ] ~doc:"Date limit (to).")
+  in
+  let keyword =
+    Arg.(value & opt_all string [] & info [ "keyword" ] ~doc:"Keyword filter.")
+  in
+  let text =
+    Arg.(value & opt (some string) None & info [ "text" ] ~doc:"Text search.")
+  in
+  let n =
+    Arg.(value & opt int 30 & info [ "n" ] ~doc:"Sample instances to create.")
+  in
+  let run user from_ to_ keyword text n =
+    let w = Workspace.create () in
+    let ctx = Workspace.ctx w in
+    let users = [| "jbb"; "director"; "sutton" |] in
+    let kws = [| "analog"; "cmos"; "adder" |] in
+    for i = 1 to n do
+      ignore
+        (Engine.install ctx ~entity:E.edited_netlist
+           ~label:(Printf.sprintf "Design %d" i)
+           ~user:users.(i mod 3)
+           ~keywords:[ kws.(i mod 3) ]
+           (Value.Netlist (Eda.Circuits.full_adder ())))
+    done;
+    let filter =
+      { Store.f_entities = None; f_user = user; f_from = from_; f_to = to_;
+        f_keywords = keyword; f_text = text }
+    in
+    List.iter
+      (fun iid ->
+        let m = Store.meta_of (Workspace.store w) iid in
+        Printf.printf "#%-4d %-20s %-10s @%-4d [%s]\n" iid m.Store.label
+          m.Store.user m.Store.created_at
+          (String.concat "," m.Store.keywords))
+      (Store.browse (Workspace.store w) filter)
+  in
+  Cmd.v
+    (Cmd.info "browse"
+       ~doc:"The Fig. 9 instance browser over a sample store.")
+    Term.(const run $ user $ from_ $ to_ $ keyword $ text $ n)
+
+(* ------------------------------------------------------------------ *)
+(* hercules history                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let history_cmd =
+  let instance =
+    Arg.(
+      value & opt (some int) None
+      & info [ "i"; "instance" ] ~docv:"IID"
+          ~doc:"Show the derivation trace of this instance.")
+  in
+  let forward =
+    Arg.(value & flag & info [ "uses" ] ~doc:"Forward chaining instead.")
+  in
+  let run ws_file instance forward =
+    match ws_file with
+    | None ->
+      Printf.eprintf "history needs --workspace FILE\n";
+      exit 2
+    | Some _ ->
+      with_workspace ws_file @@ fun w ->
+      let ctx = Workspace.ctx w in
+      (match instance with
+      | None ->
+        (* list everything with a derivation state *)
+        List.iter
+          (fun iid ->
+            let m = Store.meta_of (Workspace.store w) iid in
+            let derived =
+              History.derivation_of (Workspace.history w) iid <> None
+            in
+            Printf.printf "#%-4d %-22s %-40s %s\n" iid
+              (Store.entity_of (Workspace.store w) iid)
+              m.Store.label
+              (if derived then "(derived)" else "(source)"))
+          (Store.all_instances (Workspace.store w))
+      | Some iid when forward ->
+        let derived = History.derived_instances (Workspace.history w) iid in
+        Printf.printf "instances derived from #%d: %s\n" iid
+          (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) derived))
+      | Some iid ->
+        let g, _, binding =
+          History.trace (Workspace.history w) (Workspace.store w)
+            (Workspace.schema w) iid
+        in
+        print_string (Task_graph.to_ascii g);
+        Printf.printf "(%d instances in the derivation)\n" (List.length binding));
+      ignore ctx
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Browse a persistent workspace's design history (Fig. 10).")
+    Term.(const run $ workspace_arg $ instance $ forward)
+
+(* ------------------------------------------------------------------ *)
+(* hercules query                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let template =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEMPLATE"
+          ~doc:
+            "Flow template in text form; the task graph itself is the \
+             query (section 4.2).")
+  in
+  let binds =
+    Arg.(
+      value & opt_all (pair ~sep:'=' int int) []
+      & info [ "b"; "bind" ] ~docv:"NODE=IID"
+          ~doc:"Pin a template node to an instance.")
+  in
+  let run ws_file template binds =
+    match ws_file with
+    | None ->
+      Printf.eprintf "query needs --workspace FILE\n";
+      exit 2
+    | Some _ ->
+      with_workspace ws_file @@ fun w ->
+      let g =
+        try Sexp_form.of_string (Workspace.schema w) template
+        with
+        | Sexp_form.Parse_error m | Schema.Schema_error m
+        | Task_graph.Graph_error m ->
+          Printf.eprintf "bad template: %s\n" m;
+          exit 1
+      in
+      let results =
+        History.query_template (Workspace.history w) (Workspace.store w) g
+          ~bound:binds
+      in
+      Printf.printf "%d binding(s):\n" (List.length results);
+      List.iter
+        (fun binding ->
+          print_endline
+            (String.concat "  "
+               (List.map
+                  (fun (nid, iid) ->
+                    Printf.sprintf "%s#%d=%d"
+                      (Task_graph.entity_of g nid) nid iid)
+                  binding)))
+        results
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query the design history with a flow template (section 4.2).")
+    Term.(const run $ workspace_arg $ template $ binds)
+
+(* ------------------------------------------------------------------ *)
+(* hercules process                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let process_cmd =
+  let definition =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROCESS.sexp"
+          ~doc:"Design-process definition, e.g. '(process p (cell top \
+                (requires synthesized_layout)))'.")
+  in
+  let worklist =
+    Arg.(
+      value & opt (some string) None
+      & info [ "worklist" ] ~docv:"DESIGNER"
+          ~doc:"Show this designer's worklist instead of the report.")
+  in
+  let run ws_file definition worklist =
+    match ws_file with
+    | None ->
+      Printf.eprintf "process needs --workspace FILE\n";
+      exit 2
+    | Some _ ->
+      with_workspace ws_file @@ fun w ->
+      let ctx = Workspace.ctx w in
+      let process =
+        try Process_file.of_file definition
+        with Process_file.Process_file_error m ->
+          Printf.eprintf "bad process definition: %s\n" m;
+          exit 1
+      in
+      (match worklist with
+      | Some designer ->
+        Printf.printf "%s could work on: %s\n" designer
+          (String.concat ", "
+             (Process.worklist ctx process ~designer))
+      | None ->
+        Format.printf "%a@." Process.pp_report (Process.report ctx process);
+        Printf.printf "completion: %.0f%%\n"
+          (100.0 *. Process.completion ctx process))
+  in
+  Cmd.v
+    (Cmd.info "process"
+       ~doc:"Track a design process (Minerva-style) over a workspace.")
+    Term.(const run $ workspace_arg $ definition $ worklist)
+
+(* ------------------------------------------------------------------ *)
+(* hercules annotate                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let annotate_cmd =
+  let instance =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "i"; "instance" ] ~docv:"IID" ~doc:"Instance to annotate.")
+  in
+  let label =
+    Arg.(value & opt (some string) None & info [ "label" ] ~doc:"New name.")
+  in
+  let comment =
+    Arg.(value & opt (some string) None & info [ "comment" ] ~doc:"New comment.")
+  in
+  let keyword =
+    Arg.(
+      value & opt_all string []
+      & info [ "keyword" ] ~doc:"Replacement keywords (repeatable).")
+  in
+  let run ws_file instance label comment keyword =
+    match ws_file with
+    | None ->
+      Printf.eprintf "annotate needs --workspace FILE\n";
+      exit 2
+    | Some _ ->
+      with_workspace ws_file @@ fun w ->
+      let keywords = if keyword = [] then None else Some keyword in
+      (try
+         Store.annotate (Workspace.store w) instance ?label ?comment ?keywords ()
+       with Store.Store_error m ->
+         Printf.eprintf "%s\n" m;
+         exit 1);
+      let m = Store.meta_of (Workspace.store w) instance in
+      Printf.printf "#%d %s %S [%s]\n" instance
+        (Store.entity_of (Workspace.store w) instance)
+        m.Store.label
+        (String.concat "," m.Store.keywords)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Name and document a design object (Fig. 9's annotation).")
+    Term.(const run $ workspace_arg $ instance $ label $ comment $ keyword)
+
+(* ------------------------------------------------------------------ *)
+(* hercules recall                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let recall_cmd =
+  let instance =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "i"; "instance" ] ~docv:"IID"
+          ~doc:"Recall this instance's task into the task window.")
+  in
+  let rerun =
+    Arg.(value & flag & info [ "rerun" ] ~doc:"Re-execute the recalled task.")
+  in
+  let run ws_file instance rerun =
+    match ws_file with
+    | None ->
+      Printf.eprintf "recall needs --workspace FILE\n";
+      exit 2
+    | Some _ ->
+      with_workspace ws_file @@ fun w ->
+      let session = Workspace.session w in
+      let root = Session.recall session instance in
+      print_string (Session.render_task_window session);
+      if rerun then
+        match Session.run session root with
+        | iid :: _ ->
+          Format.printf "re-ran -> #%d: %a@." iid Value.pp
+            (Workspace.payload w iid)
+        | [] -> print_endline "nothing ran"
+  in
+  Cmd.v
+    (Cmd.info "recall"
+       ~doc:"Recall a previously executed task (section 4.1).")
+    Term.(const run $ workspace_arg $ instance $ rerun)
+
+(* ------------------------------------------------------------------ *)
+(* hercules demo                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let demo_cmd =
+  let run () =
+    print_endline
+      "Running the section 4.1 walkthrough (see also examples/quickstart.ml).";
+    let w = Workspace.create ~user:"sutton" () in
+    let session = Workspace.session w in
+    let nl = Eda.Circuits.c17 () in
+    let nl_iid = Workspace.install_netlist w ~label:"c17" nl in
+    let stim_iid =
+      Workspace.install_stimuli w
+        (Eda.Stimuli.exhaustive nl.Eda.Netlist.primary_inputs)
+    in
+    let perf = Session.start_goal_based session E.performance in
+    ignore (Session.expand session perf);
+    let flow = Session.current_flow session in
+    let circuit = List.hd (Workspace.find_nodes flow E.circuit) in
+    ignore (Session.expand session circuit);
+    let flow = Session.current_flow session in
+    let node e = List.hd (Workspace.find_nodes flow e) in
+    Session.select session (node E.simulator) [ Workspace.tool w E.simulator ];
+    Session.select session (node E.netlist) [ nl_iid ];
+    Session.select session (node E.stimuli) [ stim_iid ];
+    Session.select session (node E.device_models)
+      [ Workspace.default_device_models w ];
+    print_string (Session.render_task_window session);
+    let results = Session.run session perf in
+    List.iter
+      (fun iid ->
+        Format.printf "-> #%d: %a@." iid Value.pp (Workspace.payload w iid))
+      results
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the section 4.1 walkthrough.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hercules" ~version:"1.0"
+      ~doc:"Design management using dynamically defined flows (DAC'93)."
+  in
+  exit (Cmd.eval (Cmd.group info
+          [ schema_cmd; flow_cmd; run_cmd; browse_cmd; demo_cmd; export_cmd;
+            history_cmd; query_cmd; process_cmd; annotate_cmd;
+            recall_cmd ]))

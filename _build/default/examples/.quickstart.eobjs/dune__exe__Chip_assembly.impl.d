@@ -1,0 +1,1 @@
+examples/chip_assembly.ml: Consistency Ddf Eda Engine Format List Printf Process Standard_schemas Store String Task_graph Value Views Workspace

@@ -1,0 +1,1 @@
+examples/chip_assembly.mli:

@@ -1,0 +1,1 @@
+examples/compiled_simulator.ml: Ddf Eda Engine Fmt Format History List Printf Standard_flows Standard_schemas String Sys Task_graph Unix Value Workspace

@@ -1,0 +1,1 @@
+examples/compiled_simulator.mli:

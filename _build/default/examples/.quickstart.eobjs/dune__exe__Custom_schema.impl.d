@@ -1,0 +1,1 @@
+examples/custom_schema.ml: Consistency Ddf Encapsulation Engine Format History List Option Printf Schema Session Store String Task_graph Value

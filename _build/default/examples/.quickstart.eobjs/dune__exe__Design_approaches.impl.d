@@ -1,0 +1,1 @@
+examples/design_approaches.ml: Bipartite Canonical Ddf Eda Engine List Printf Schema Session Sexp_form Standard_schemas Store String Task_graph Value Workspace

@@ -1,0 +1,1 @@
+examples/full_adder_flow.ml: Ddf Eda Engine Format History List Parallel Printf Standard_flows Standard_schemas Task_graph Unix Value Workspace

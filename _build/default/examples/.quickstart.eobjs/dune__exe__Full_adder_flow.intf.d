@@ -1,0 +1,1 @@
+examples/full_adder_flow.mli:

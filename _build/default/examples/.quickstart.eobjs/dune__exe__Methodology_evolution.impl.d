@@ -1,0 +1,1 @@
+examples/methodology_evolution.ml: Baselines Ddf Eda Encapsulation Engine List Printf Schema Standard_flows Standard_schemas Standard_tools Store String Task_graph Value

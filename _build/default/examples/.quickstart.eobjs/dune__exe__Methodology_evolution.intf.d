@@ -1,0 +1,1 @@
+examples/methodology_evolution.mli:

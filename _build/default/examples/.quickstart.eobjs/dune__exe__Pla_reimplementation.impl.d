@@ -1,0 +1,1 @@
+examples/pla_reimplementation.ml: Ddf Eda Format History List Printf Session Standard_schemas String Task_graph Workspace

@@ -1,0 +1,1 @@
+examples/pla_reimplementation.mli:

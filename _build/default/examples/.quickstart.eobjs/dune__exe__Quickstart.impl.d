@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddf Eda Format List Printf Session Standard_schemas String Task_graph Value Workspace

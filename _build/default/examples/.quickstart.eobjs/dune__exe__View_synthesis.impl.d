@@ -1,0 +1,1 @@
+examples/view_synthesis.ml: Consistency Ddf Eda Engine Format List Printf Standard_schemas Task_graph Value Views Workspace

@@ -1,0 +1,142 @@
+(* Design decomposition above the task level (section 3.1): a chip
+   assembled from cells, with a Minerva-style design process tracking
+   each cell's progress through the same derivation history Hercules
+   writes.
+
+   The chip is a 4-bit adder of full-adder cell instances.  Each cell
+   must reach a verified physical view; the process report derives
+   per-cell status from the history, a careless edit turns a cell
+   STALE, and consistency maintenance repairs it. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let derive_and_verify w ctx cell_name logic_iid =
+  let views =
+    Views.derive_views ctx ~logic:logic_iid
+      ~placer_tool:(Workspace.tool w E.placer)
+      ~expander_tool:(Workspace.tool w E.transistor_expander)
+  in
+  let _, verdict =
+    Views.verify_physical ctx ~logic:logic_iid ~physical:views.Views.cv_physical
+      ~extractor_tool:(Workspace.tool w E.extractor)
+      ~verifier_tool:(Workspace.tool w E.verifier)
+  in
+  Printf.printf "  %-12s physical view derived, LVS %s\n" cell_name
+    (if verdict.Eda.Lvs.equivalent then "clean" else "DIRTY")
+
+let () =
+  let w = Workspace.create ~user:"jacome" () in
+  let ctx = Workspace.ctx w in
+
+  (* ---- the hierarchical design ------------------------------------- *)
+  print_endline "# a chip assembled from cells";
+  let chip = Eda.Hier.adder_of_cells 4 in
+  Format.printf "%a@." Eda.Hier.pp chip;
+  let flat = Eda.Hier.flatten chip in
+  Printf.printf "flattened: %d gates, depth %d\n" (Eda.Netlist.gate_count flat)
+    (Eda.Netlist.depth flat);
+  (* the flat chip computes the same function as the monolithic adder *)
+  let reference = Eda.Circuits.ripple_adder 4 in
+  let truth nl =
+    let inputs = nl.Eda.Netlist.primary_inputs in
+    Eda.Sim_compiled.run (Eda.Sim_compiled.compile nl)
+      (Eda.Stimuli.exhaustive inputs)
+    |> List.map (List.map snd)
+  in
+  Printf.printf "flat chip == monolithic adder4: %b\n\n"
+    (truth flat = truth reference);
+
+  (* ---- the design process ------------------------------------------ *)
+  print_endline "# the Minerva-style design process";
+  let needs_physical = [ Process.require E.synthesized_layout ] in
+  let process =
+    Process.create ~process_name:"adder4_tapeout"
+      (Process.cell "chip"
+         ~requirements:[ Process.require E.extracted_netlist ]
+         ~assigned_to:"jacome"
+         ~children:
+           [
+             Process.cell "full_adder" ~requirements:needs_physical
+               ~assigned_to:"sutton";
+             Process.cell "output_buffer" ~requirements:needs_physical;
+           ])
+  in
+
+  (* install cell data under the cell keywords *)
+  let install_cell name nl =
+    Engine.install ctx ~entity:E.edited_netlist ~label:name
+      ~keywords:[ Process.cell_keyword name ]
+      (Value.Netlist nl)
+  in
+  let fa_iid = install_cell "full_adder" (Eda.Circuits.full_adder ()) in
+  let chip_iid = install_cell "chip" flat in
+
+  Format.printf "before any work:@.%a@." Process.pp_report
+    (Process.report ctx process);
+  Printf.printf "completion: %.0f%%\n" (100.0 *. Process.completion ctx process);
+  Printf.printf "sutton's worklist: %s\n\n"
+    (String.concat ", " (Process.worklist ctx process ~designer:"sutton"));
+
+  (* ---- work happens -------------------------------------------------- *)
+  print_endline "# designers run their flows";
+  derive_and_verify w ctx "full_adder" fa_iid;
+  (* the chip level needs an extraction of its (placed) flat netlist *)
+  let g, lay = Task_graph.create (Workspace.schema w) E.synthesized_layout in
+  let g, fresh = Task_graph.expand ~include_optional:false g lay in
+  let placer, nln = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let run =
+    Engine.execute ctx g
+      ~bindings:[ (placer, Workspace.tool w E.placer); (nln, chip_iid) ]
+  in
+  let chip_layout = Engine.result_of run lay in
+  let g, ext = Task_graph.create (Workspace.schema w) E.extracted_netlist in
+  let g, fresh = Task_graph.expand g ext in
+  let extractor, layn = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let _ =
+    Engine.execute ctx g
+      ~bindings:
+        [ (extractor, Workspace.tool w E.extractor); (layn, chip_layout) ]
+  in
+  Printf.printf "  %-12s placed (%d cells) and extracted\n\n" "chip"
+    (Eda.Layout.cell_count (Workspace.layout_of w chip_layout));
+
+  Format.printf "after the work:@.%a@." Process.pp_report
+    (Process.report ctx process);
+  Printf.printf "completion: %.0f%%\n\n" (100.0 *. Process.completion ctx process);
+
+  (* ---- an edit makes a cell stale ----------------------------------- *)
+  print_endline "# the full adder is edited: its physical view goes stale";
+  let session =
+    Workspace.install_editor_session w
+      (Eda.Edit_script.create
+         [ Eda.Edit_script.Insert_buffer { net = "x1"; gname = "eco" } ])
+  in
+  let g, out = Task_graph.create (Workspace.schema w) E.edited_netlist in
+  let g, fresh = Task_graph.expand g out in
+  let editor, src = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let run = Engine.execute ctx g ~bindings:[ (editor, session); (src, fa_iid) ] in
+  (* the new version belongs to the same cell *)
+  Store.annotate (Workspace.store w) (Engine.result_of run out)
+    ~keywords:[ Process.cell_keyword "full_adder" ] ();
+  Format.printf "%a@." Process.pp_report (Process.report ctx process);
+
+  (* consistency maintenance repairs the stale view *)
+  (match
+     List.find_map
+       (fun r ->
+         List.find_map
+           (fun (_, s) ->
+             match s with Process.Stale iid -> Some iid | _ -> None)
+           r.Process.cr_statuses)
+       (Process.report ctx process)
+   with
+  | Some stale ->
+    let rep = Consistency.refresh ctx stale in
+    Format.printf "refresh: %a@." Consistency.pp_report rep;
+    (* tag the fresh layout with the cell, as a designer would *)
+    Store.annotate (Workspace.store w) rep.Consistency.fresh_instance
+      ~keywords:[ Process.cell_keyword "full_adder" ] ()
+  | None -> print_endline "nothing stale?");
+  Format.printf "after refresh:@.%a@." Process.pp_report
+    (Process.report ctx process)

@@ -1,0 +1,109 @@
+(* Quickstart: obtain a circuit performance from an existing netlist,
+   exactly the walkthrough of section 4.1.
+
+   The designer starts goal-based from the entity catalog, builds the
+   flow with expand operations, selects instances for the leaf nodes in
+   the browser, runs the flow, and finally browses the design history
+   of the result (Fig. 10). *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let () =
+  let w = Workspace.create ~user:"sutton" () in
+  let session = Workspace.session w in
+
+  (* put some design data in the store: the c17 benchmark netlist and a
+     set of exhaustive stimuli *)
+  let netlist = Eda.Circuits.c17 () in
+  let netlist_iid =
+    Workspace.install_netlist w ~label:"c17 benchmark" ~keywords:[ "iscas85" ]
+      netlist
+  in
+  let stimuli_iid =
+    Workspace.install_stimuli w ~label:"c17 exhaustive"
+      (Eda.Stimuli.exhaustive netlist.Eda.Netlist.primary_inputs)
+  in
+
+  (* goal-based start: select the goal entity from the entity catalog *)
+  print_endline "# 1. start goal-based from the entity catalog";
+  let performance_node = Session.start_goal_based session E.performance in
+
+  (* expand: the simulator, circuit, stimuli and sim-options appear *)
+  let fresh = Session.expand session performance_node in
+  Printf.printf "expanding performance adds %d nodes\n" (List.length fresh);
+
+  (* the circuit is composite: expand it into models + netlist *)
+  let flow = Session.current_flow session in
+  let find_node entity =
+    match
+      List.find_opt
+        (fun (n : Task_graph.node) -> n.Task_graph.entity = entity)
+        (Task_graph.nodes flow)
+    with
+    | Some n -> n.Task_graph.nid
+    | None -> failwith ("no node for " ^ entity)
+  in
+  let circuit_node = find_node E.circuit in
+  ignore (Session.expand session circuit_node);
+  print_endline (Session.render_task_window session);
+
+  (* select instances for the leaves, as in the Fig. 9 browser *)
+  print_endline "# 2. select instances for the leaf nodes";
+  let flow = Session.current_flow session in
+  let find_node entity =
+    match
+      List.find_opt
+        (fun (n : Task_graph.node) -> n.Task_graph.entity = entity)
+        (Task_graph.nodes flow)
+    with
+    | Some n -> n.Task_graph.nid
+    | None -> failwith ("no node for " ^ entity)
+  in
+  Session.select session (find_node E.simulator) [ Workspace.tool w E.simulator ];
+  Session.select session (find_node E.netlist) [ netlist_iid ];
+  Session.select session (find_node E.device_models)
+    [ Workspace.default_device_models w ];
+  Session.select session (find_node E.stimuli) [ stimuli_iid ];
+  print_endline (Session.render_browser session (find_node E.netlist));
+
+  (* run the flow *)
+  print_endline "# 3. run";
+  let results = Session.run session performance_node in
+  let performance_iid = List.hd results in
+  Format.printf "produced instance #%d: %a@." performance_iid Value.pp
+    (Workspace.payload w performance_iid);
+
+  (* plot it by expanding upward from the performance *)
+  print_endline "\n# 4. expand upward to a performance plot and rerun";
+  let plot_node, _ =
+    Session.expand_up session performance_node ~consumer:E.performance_plot
+  in
+  let flow = Session.current_flow session in
+  let plotter_node =
+    match Task_graph.dep_of flow plot_node "tool" with
+    | Some nid -> nid
+    | None -> failwith "no plotter node"
+  in
+  Session.select session plotter_node [ Workspace.tool w E.plotter ];
+  let plot_iid = List.hd (Session.run session plot_node) in
+  (match Workspace.payload w plot_iid with
+  | Value.Plot p -> print_string p.Eda.Plot.rendering
+  | _ -> assert false);
+
+  (* browse the design history of the plot: backward chaining *)
+  print_endline "# 5. derivation history of the plot (backward chaining)";
+  let trace_graph, _root, binding = Session.history_of session plot_iid in
+  print_string (Task_graph.to_ascii trace_graph);
+  Printf.printf "(%d instances in the derivation)\n" (List.length binding);
+
+  (* forward chaining: everything derived from the netlist *)
+  let derived = Session.uses_of session netlist_iid in
+  Printf.printf "instances derived from the netlist: %s\n"
+    (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) derived));
+
+  (* the engine memoizes: re-running the same flow consumes no work *)
+  print_endline "\n# 6. re-run: everything is a memo hit";
+  let again = List.hd (Session.run session plot_node) in
+  Printf.printf "re-run produced #%d (same instance: %b)\n" again
+    (again = plot_iid)

@@ -1,0 +1,128 @@
+(* View management through flows (Figs. 7 and 8).
+
+   The inverter cell of Fig. 7 in its three views -- logic, transistor
+   level and physical -- with the synthesis flow deriving the physical
+   view from the logic view (Fig. 8a) and the verification flow
+   checking their correspondence (Fig. 8b).  A careless layout edit
+   then breaks the correspondence, the history flags the derived data
+   as out of date, and consistency maintenance re-traces the flow. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let () =
+  let w = Workspace.create ~user:"director" () in
+  let ctx = Workspace.ctx w in
+
+  (* ---- Fig. 7: three views of the inverter cell -------------------- *)
+  print_endline "# Fig. 7: three views of an inverter cell";
+  let inverter = Eda.Circuits.inverter () in
+  let logic_iid = Workspace.install_netlist w ~label:"inverter logic" inverter in
+  let views =
+    Views.derive_views ctx ~logic:logic_iid
+      ~placer_tool:(Workspace.tool w E.placer)
+      ~expander_tool:(Workspace.tool w E.transistor_expander)
+  in
+  Format.printf "logic view:      %a@." Value.pp (Workspace.payload w views.Views.cv_logic);
+  Format.printf "transistor view: %a@." Value.pp (Workspace.payload w views.Views.cv_transistor);
+  Format.printf "physical view:   %a@." Value.pp (Workspace.payload w views.Views.cv_physical);
+  let rng = Eda.Rng.create 11 in
+  Printf.printf "logic/transistor correspondence: %b\n\n"
+    (Views.transistor_corresponds ctx ~logic:logic_iid
+       ~transistor:views.Views.cv_transistor rng);
+
+  (* ---- Fig. 8(b): verification flow -------------------------------- *)
+  print_endline "# Fig. 8(b): verify physical view against logic view";
+  let _, verdict =
+    Views.verify_physical ctx ~logic:logic_iid ~physical:views.Views.cv_physical
+      ~extractor_tool:(Workspace.tool w E.extractor)
+      ~verifier_tool:(Workspace.tool w E.verifier)
+  in
+  Printf.printf "inverter physical == logic: %b\n\n" verdict.Eda.Lvs.equivalent;
+
+  (* the same on a full adder *)
+  let fa = Eda.Circuits.full_adder () in
+  let fa_logic = Workspace.install_netlist w ~label:"full adder logic" fa in
+  let fa_views =
+    Views.derive_views ctx ~logic:fa_logic
+      ~placer_tool:(Workspace.tool w E.placer)
+      ~expander_tool:(Workspace.tool w E.transistor_expander)
+  in
+  let _, fa_verdict =
+    Views.verify_physical ctx ~logic:fa_logic ~physical:fa_views.Views.cv_physical
+      ~extractor_tool:(Workspace.tool w E.extractor)
+      ~verifier_tool:(Workspace.tool w E.verifier)
+  in
+  Printf.printf "full adder physical == logic: %b\n\n" fa_verdict.Eda.Lvs.equivalent;
+
+  (* ---- a careless edit breaks the correspondence -------------------- *)
+  print_endline "# a layout edit without rerouting breaks LVS";
+  let edit_session =
+    Workspace.install_layout_editor_session w ~label:"move g_cout"
+      [ Eda.Layout.Move_cell ("g_cout", 6, 0) ]
+  in
+  (* build the editing flow: edited_layout <- (editor, layout) *)
+  let g, edited = Task_graph.create (Workspace.schema w) E.edited_layout in
+  let g, fresh = Task_graph.expand ~include_optional:false g edited in
+  let editor_node = match fresh with [ e ] -> e | _ -> assert false in
+  let g, layout_node = Task_graph.add_node g E.layout in
+  let g = Task_graph.connect g ~user:edited ~role:E.layout ~dep:layout_node in
+  let run =
+    Engine.execute ctx g
+      ~bindings:
+        [ (editor_node, edit_session); (layout_node, fa_views.Views.cv_physical) ]
+  in
+  let broken_layout = Engine.result_of run edited in
+  let _, broken_verdict =
+    Views.verify_physical ctx ~logic:fa_logic ~physical:broken_layout
+      ~extractor_tool:(Workspace.tool w E.extractor)
+      ~verifier_tool:(Workspace.tool w E.verifier)
+  in
+  Printf.printf "after the edit, physical == logic: %b\n"
+    broken_verdict.Eda.Lvs.equivalent;
+  List.iter
+    (fun m -> print_endline ("  " ^ Eda.Lvs.mismatch_to_string m))
+    (match broken_verdict.Eda.Lvs.mismatches with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l);
+
+  (* ---- consistency: edit the logic, derived views go stale ---------- *)
+  print_endline "\n# consistency maintenance (section 3.3)";
+  (* the designer edits the logic view: a new version of the netlist *)
+  let buffer_edit =
+    Workspace.install_editor_session w ~label:"buffer the sum net"
+      (Eda.Edit_script.create ~name:"buffer sum"
+         [ Eda.Edit_script.Insert_buffer { net = "x1"; gname = "g_newbuf" } ])
+  in
+  let g, edited = Task_graph.create (Workspace.schema w) E.edited_netlist in
+  let g, fresh = Task_graph.expand g edited in
+  let editor_node, source_node =
+    match fresh with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let run =
+    Engine.execute ctx g
+      ~bindings:[ (editor_node, buffer_edit); (source_node, fa_logic) ]
+  in
+  let new_logic = Engine.result_of run edited in
+  Printf.printf "edited the logic view: #%d -> new version #%d\n" fa_logic
+    new_logic;
+
+  (* the physical view synthesized from the old netlist is out of date *)
+  (match
+     Consistency.derived_status ctx ~source:fa_logic
+       ~goal_entity:E.synthesized_layout
+   with
+  | Consistency.Up_to_date iid ->
+    Printf.printf "physical view #%d is up to date\n" iid
+  | Consistency.Out_of_date (iid, stale) ->
+    Printf.printf "physical view #%d is OUT OF DATE (%d stale inputs)\n" iid
+      (List.length stale)
+  | Consistency.Never_extracted -> print_endline "never synthesized");
+
+  (* automatic re-tracing: only the stale sub-flow re-runs *)
+  let report = Consistency.refresh ctx fa_views.Views.cv_physical in
+  Format.printf "refresh physical view: %a@." Consistency.pp_report report;
+  let refreshed = Workspace.layout_of w report.Consistency.fresh_instance in
+  Printf.printf "refreshed layout now has %d cells (was %d)\n"
+    (Eda.Layout.cell_count refreshed)
+    (Eda.Layout.cell_count (Workspace.layout_of w fa_views.Views.cv_physical))

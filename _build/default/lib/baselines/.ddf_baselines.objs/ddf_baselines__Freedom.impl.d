@@ -1,0 +1,1 @@
+lib/baselines/freedom.ml: Array Ddf_graph Hashtbl Int64 List Task_graph

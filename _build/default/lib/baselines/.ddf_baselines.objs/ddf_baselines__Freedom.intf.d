@@ -1,0 +1,1 @@
+lib/baselines/freedom.mli: Ddf_graph

@@ -1,0 +1,1 @@
+lib/baselines/make_style.ml: Fmt List Map String

@@ -1,0 +1,1 @@
+lib/baselines/static_flow.ml: Ddf_graph Fmt Hashtbl List Printf String Task_graph

@@ -1,0 +1,1 @@
+lib/baselines/static_flow.mli: Ddf_graph Format Task_graph

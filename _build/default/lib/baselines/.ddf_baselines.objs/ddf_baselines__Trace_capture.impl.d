@@ -1,0 +1,1 @@
+lib/baselines/trace_capture.ml: Ddf_schema Fmt List Printf Schema String

@@ -1,0 +1,1 @@
+lib/baselines/trace_capture.mli: Ddf_schema Format Schema

@@ -1,0 +1,1 @@
+lib/baselines/version_tree.ml: Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/version_tree.mli: Format

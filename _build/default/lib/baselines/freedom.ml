@@ -1,0 +1,108 @@
+(* Designer freedom: how many legal task orderings does a flow admit?
+
+   Dynamically defined flows allow any topological order of the
+   invocation DAG ("the designer should be able to perform any
+   allowable task in any order"); a static flow allows exactly one.
+   The count of linear extensions quantifies the difference. *)
+
+open Ddf_graph
+
+exception Too_many of int
+
+(* Exact linear-extension count of the invocation DAG, with a cap so
+   wide flows cannot blow up the computation. *)
+let legal_orderings ?(cap = 10_000_000) g =
+  let invocations = Array.of_list (Task_graph.invocations g) in
+  let n = Array.length invocations in
+  if n > 62 then raise (Too_many n);
+  (* deps.(i) = bitmask of invocations that must precede i *)
+  let producer = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (inv : Task_graph.invocation) ->
+      List.iter (fun o -> Hashtbl.replace producer o i) inv.Task_graph.outputs)
+    invocations;
+  let deps =
+    Array.map
+      (fun (inv : Task_graph.invocation) ->
+        let ins =
+          (match inv.Task_graph.tool with Some t -> [ t ] | None -> [])
+          @ List.map snd inv.Task_graph.inputs
+        in
+        List.fold_left
+          (fun mask node ->
+            match Hashtbl.find_opt producer node with
+            | Some i -> Int64.logor mask (Int64.shift_left 1L i)
+            | None -> mask)
+          0L ins)
+      invocations
+  in
+  (* memoized count over the set of already-scheduled invocations *)
+  let memo = Hashtbl.create 1024 in
+  let full = if n = 64 then -1L else Int64.sub (Int64.shift_left 1L n) 1L in
+  let rec count scheduled =
+    if scheduled = full then 1
+    else
+      match Hashtbl.find_opt memo scheduled with
+      | Some c -> c
+      | None ->
+        let total = ref 0 in
+        for i = 0 to n - 1 do
+          let bit = Int64.shift_left 1L i in
+          let not_scheduled = Int64.logand scheduled bit = 0L in
+          let ready = Int64.logand deps.(i) scheduled = deps.(i) in
+          if not_scheduled && ready then begin
+            total := !total + count (Int64.logor scheduled bit);
+            if !total > cap then raise (Too_many !total)
+          end
+        done;
+        Hashtbl.add memo scheduled !total;
+        !total
+  in
+  count 0L
+
+(* Sequences reachable when the designer may also stop early after any
+   prefix (partial exploration, which dynamic flows permit and static
+   flows do not). *)
+let legal_prefixes ?(cap = 10_000_000) g =
+  let invocations = Array.of_list (Task_graph.invocations g) in
+  let n = Array.length invocations in
+  if n > 62 then raise (Too_many n);
+  let producer = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (inv : Task_graph.invocation) ->
+      List.iter (fun o -> Hashtbl.replace producer o i) inv.Task_graph.outputs)
+    invocations;
+  let deps =
+    Array.map
+      (fun (inv : Task_graph.invocation) ->
+        let ins =
+          (match inv.Task_graph.tool with Some t -> [ t ] | None -> [])
+          @ List.map snd inv.Task_graph.inputs
+        in
+        List.fold_left
+          (fun mask node ->
+            match Hashtbl.find_opt producer node with
+            | Some i -> Int64.logor mask (Int64.shift_left 1L i)
+            | None -> mask)
+          0L ins)
+      invocations
+  in
+  let memo = Hashtbl.create 1024 in
+  let rec count scheduled =
+    match Hashtbl.find_opt memo scheduled with
+    | Some c -> c
+    | None ->
+      let total = ref 1 in  (* stopping here is itself a valid prefix *)
+      for i = 0 to n - 1 do
+        let bit = Int64.shift_left 1L i in
+        if Int64.logand scheduled bit = 0L
+           && Int64.logand deps.(i) scheduled = deps.(i)
+        then begin
+          total := !total + count (Int64.logor scheduled bit);
+          if !total > cap then raise (Too_many !total)
+        end
+      done;
+      Hashtbl.add memo scheduled !total;
+      !total
+  in
+  count 0L

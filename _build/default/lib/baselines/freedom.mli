@@ -1,0 +1,16 @@
+(** Designer freedom: how many legal task orderings a flow admits.
+
+    Dynamic flows allow any topological order of the invocation DAG
+    ("any allowable task in any order"); a static flow allows one.
+    Exact linear-extension counting over the invocation DAG, memoized
+    over scheduled-sets (so up to 62 invocations). *)
+
+exception Too_many of int
+
+val legal_orderings : ?cap:int -> Ddf_graph.Task_graph.t -> int
+(** The number of complete legal task sequences.
+    @raise Too_many past [cap] or 62 invocations. *)
+
+val legal_prefixes : ?cap:int -> Ddf_graph.Task_graph.t -> int
+(** Sequences when the designer may also stop after any prefix —
+    partial exploration, which static flows do not permit. *)

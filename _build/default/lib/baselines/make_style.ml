@@ -1,0 +1,86 @@
+(* A make-style timestamp build system, the consistency-maintenance
+   baseline.
+
+   Make rebuilds a target whenever a dependency's modification time is
+   newer, regardless of whether its content changed; derivation-based
+   memoization (the design history) rebuilds only when the actual input
+   instances differ.  Experiment A3 measures the gap on both an
+   identical-content touch and a real edit. *)
+
+module String_map = Map.Make (String)
+
+type rule = {
+  target : string;
+  deps : string list;
+  cost_us : int;
+}
+
+type t = {
+  rules : rule String_map.t;
+  mutable mtimes : int String_map.t;
+  mutable clock : int;
+}
+
+exception Make_error of string
+
+let create rules =
+  let add acc r =
+    if String_map.mem r.target acc then
+      raise (Make_error ("duplicate rule for " ^ r.target))
+    else String_map.add r.target r acc
+  in
+  {
+    rules = List.fold_left add String_map.empty rules;
+    mtimes = String_map.empty;
+    clock = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let mtime t name = String_map.find_opt name t.mtimes
+
+(* Touch a source file: bump its mtime (content irrelevant, as in
+   [touch(1)]). *)
+let touch t name = t.mtimes <- String_map.add name (tick t) t.mtimes
+
+type build_report = {
+  rebuilt : string list;   (* targets whose recipes ran, in order *)
+  up_to_date : int;
+  total_cost_us : int;
+}
+
+(* Classic recursive make: rebuild when missing or older than any
+   dependency. *)
+let build t goal =
+  let rebuilt = ref [] and fresh = ref 0 and cost = ref 0 in
+  let rec ensure name =
+    match String_map.find_opt name t.rules with
+    | None ->
+      (* a source: must exist *)
+      (match mtime t name with
+      | Some m -> m
+      | None -> raise (Make_error ("missing source " ^ name)))
+    | Some rule ->
+      let dep_times = List.map ensure rule.deps in
+      let newest_dep = List.fold_left max 0 dep_times in
+      (match mtime t name with
+      | Some m when m >= newest_dep ->
+        incr fresh;
+        m
+      | Some _ | None ->
+        let m = tick t in
+        t.mtimes <- String_map.add name m t.mtimes;
+        rebuilt := name :: !rebuilt;
+        cost := !cost + rule.cost_us;
+        m)
+  in
+  ignore (ensure goal);
+  { rebuilt = List.rev !rebuilt; up_to_date = !fresh; total_cost_us = !cost }
+
+let pp_report ppf r =
+  Fmt.pf ppf "rebuilt %d (%s), %d up to date, cost %d us"
+    (List.length r.rebuilt)
+    (String.concat "," r.rebuilt)
+    r.up_to_date r.total_cost_us

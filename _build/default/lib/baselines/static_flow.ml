@@ -1,0 +1,91 @@
+(* JESSI-style static flows (the baseline the paper argues against).
+
+   A static flow is a predefined sequence of activities, each hardwired
+   to a specific tool, that the designer must follow step by step --
+   the "flow straight-jacket" of Rumsey & Farquhar.  The experiments
+   quantify two consequences: designers get exactly one legal task
+   order per flow, and a tool change invalidates every flow that
+   mentions it. *)
+
+open Ddf_graph
+
+type activity = {
+  act_name : string;
+  hardwired_tool : string;   (* concrete tool, not a tool entity *)
+  consumes : string list;
+  produces : string list;
+}
+
+type t = {
+  flow_name : string;
+  activities : activity list;  (* the mandated order *)
+}
+
+exception Static_flow_error of string
+
+let create flow_name activities = { flow_name; activities }
+
+let length f = List.length f.activities
+
+(* Freeze a dynamic flow into a static one: the invocation order is
+   fixed to the deterministic topological order, tools are hardwired to
+   their current nodes' entities. *)
+let of_task_graph ?(name = "frozen") g =
+  let rank = Hashtbl.create 32 in
+  List.iteri (fun i nid -> Hashtbl.add rank nid i) (Task_graph.topological_order g);
+  let activities =
+    Task_graph.invocations g
+    |> List.map (fun (inv : Task_graph.invocation) ->
+           let r =
+             List.fold_left
+               (fun m o -> min m (Hashtbl.find rank o))
+               max_int inv.Task_graph.outputs
+           in
+           (r, inv))
+    |> List.sort compare
+    |> List.mapi (fun i (_, (inv : Task_graph.invocation)) ->
+           {
+             act_name = Printf.sprintf "step%d" (i + 1);
+             hardwired_tool =
+               (match inv.Task_graph.tool with
+               | Some t -> Task_graph.entity_of g t
+               | None -> "builtin-compose");
+             consumes =
+               List.map (fun (_, n) -> Task_graph.entity_of g n) inv.Task_graph.inputs;
+             produces = List.map (Task_graph.entity_of g) inv.Task_graph.outputs;
+           })
+  in
+  { flow_name = name; activities }
+
+(* The straight-jacket: the only next step is the next activity. *)
+let next_step f ~completed =
+  if completed < 0 || completed > length f then
+    raise (Static_flow_error "bad progress index");
+  List.nth_opt f.activities completed
+
+(* Does an executed sequence of (tool, produced-entity) steps conform
+   to the mandated order?  Dynamic flows allow any topological order;
+   the static flow accepts exactly its own. *)
+let conforms f steps =
+  let expected =
+    List.map (fun a -> (a.hardwired_tool, a.produces)) f.activities
+  in
+  expected = steps
+
+(* How many flows in a catalog must be rewritten when a tool changes
+   (the paper: static flows "require modification whenever tool changes
+   are made")? *)
+let flows_mentioning catalog ~tool =
+  List.filter
+    (fun f -> List.exists (fun a -> a.hardwired_tool = tool) f.activities)
+    catalog
+
+let maintenance_burden catalog ~tool = List.length (flows_mentioning catalog ~tool)
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>static flow %s:@,%a@]" f.flow_name
+    (Fmt.list ~sep:Fmt.cut (fun ppf a ->
+         Fmt.pf ppf "%s: %s (%s) -> %s" a.act_name a.hardwired_tool
+           (String.concat "," a.consumes)
+           (String.concat "," a.produces)))
+    f.activities

@@ -1,0 +1,211 @@
+(* The design-data universe: every payload a design object can hold.
+
+   Tools and data are treated uniformly (the paper's central move), so
+   tool instances are payloads too: a built-in behaviour key, a
+   scripted editor session, or a simulator compiled during the design
+   itself (Fig. 2). *)
+
+open Ddf_eda
+
+type sim_options = {
+  settle_ps : int;
+  plot_width : int;
+}
+
+let default_sim_options = { settle_ps = 2000; plot_width = 64 }
+
+type placement_options = {
+  layout_suffix : string;
+}
+
+let default_placement_options = { layout_suffix = "_layout" }
+
+type optimizer_options = {
+  budget : int;
+  objective : Optimize.objective;
+}
+
+let default_optimizer_options =
+  { budget = 200; objective = Optimize.default_objective }
+
+(* The composite circuit entity of Fig. 1: device models + netlist. *)
+type circuit = {
+  c_models : Device_model.t;
+  c_netlist : Netlist.t;
+}
+
+(* Tool instances are design data. *)
+type tool_value =
+  | Builtin of string
+    (* behaviour key plus optional variant arguments, e.g.
+       "optimizer:annealing": the multiple-encapsulation trick of
+       section 3.3 *)
+  | Scripted_netlist_editor of Edit_script.t
+  | Scripted_layout_editor of Layout.edit list
+  | Scripted_model_editor of Device_model.edit list
+  | Compiled_simulator of Sim_compiled.t
+
+type value =
+  | Blob of { blob_kind : string; text : string }
+      (* schema-extensible payload: custom (non-EDA) methodologies
+         carry their data as tagged text *)
+  | Netlist of Netlist.t
+  | Layout of Layout.t
+  | Device_models of Device_model.t
+  | Stimuli of Stimuli.t
+  | Circuit of circuit
+  | Performance of Performance.t
+  | Verification of Lvs.t
+  | Plot of Plot.t
+  | Extraction_statistics of Extract.statistics
+  | Transistor_view of Transistor.t
+  | Sim_options of sim_options
+  | Placement_options of placement_options
+  | Optimizer_options of optimizer_options
+  | Tool of tool_value
+
+exception Type_error of string
+
+let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let kind_name = function
+  | Blob { blob_kind; _ } -> "blob:" ^ blob_kind
+  | Netlist _ -> "netlist"
+  | Layout _ -> "layout"
+  | Device_models _ -> "device_models"
+  | Stimuli _ -> "stimuli"
+  | Circuit _ -> "circuit"
+  | Performance _ -> "performance"
+  | Verification _ -> "verification"
+  | Plot _ -> "plot"
+  | Extraction_statistics _ -> "extraction_statistics"
+  | Transistor_view _ -> "transistor_view"
+  | Sim_options _ -> "sim_options"
+  | Placement_options _ -> "placement_options"
+  | Optimizer_options _ -> "optimizer_options"
+  | Tool (Builtin k) -> "tool:" ^ k
+  | Tool (Scripted_netlist_editor _) -> "tool:netlist_editor"
+  | Tool (Scripted_layout_editor _) -> "tool:layout_editor"
+  | Tool (Scripted_model_editor _) -> "tool:model_editor"
+  | Tool (Compiled_simulator _) -> "tool:compiled_simulator"
+
+(* Content hash for the store's physical-data sharing. *)
+let hash = function
+  | Blob { blob_kind; text } ->
+    "bl:" ^ Digest.to_hex (Digest.string (blob_kind ^ "|" ^ text))
+  | Netlist nl -> "nl:" ^ Netlist.hash nl
+  | Layout l -> "la:" ^ Layout.hash l
+  | Device_models m -> "dm:" ^ Device_model.hash m
+  | Stimuli s -> "st:" ^ Stimuli.hash s
+  | Circuit c -> "ci:" ^ Device_model.hash c.c_models ^ Netlist.hash c.c_netlist
+  | Performance p -> "pf:" ^ Performance.hash p
+  | Verification v -> "vf:" ^ Lvs.hash v
+  | Plot p -> "pl:" ^ Plot.hash p
+  | Extraction_statistics s -> "ex:" ^ Extract.statistics_hash s
+  | Transistor_view t -> "tr:" ^ Transistor.hash t
+  | Sim_options o -> Printf.sprintf "so:%d:%d" o.settle_ps o.plot_width
+  | Placement_options o -> "po:" ^ o.layout_suffix
+  | Optimizer_options o ->
+    Printf.sprintf "oo:%d:%f:%f" o.budget o.objective.Optimize.delay_weight
+      o.objective.Optimize.power_weight
+  | Tool (Builtin k) -> "tb:" ^ k
+  | Tool (Scripted_netlist_editor s) -> "tn:" ^ Edit_script.hash s
+  | Tool (Scripted_layout_editor edits) ->
+    "tl:"
+    ^ Digest.to_hex
+        (Digest.string (Marshal.to_string edits [ Marshal.No_sharing ]))
+  | Tool (Scripted_model_editor edits) ->
+    "tm:"
+    ^ Digest.to_hex
+        (Digest.string (Marshal.to_string edits [ Marshal.No_sharing ]))
+  | Tool (Compiled_simulator c) -> "tc:" ^ Sim_compiled.hash c
+
+(* Typed projections used by the encapsulations. *)
+let as_blob = function
+  | Blob { blob_kind; text } -> (blob_kind, text)
+  | v -> type_errorf "expected a blob, got %s" (kind_name v)
+
+let as_netlist = function
+  | Netlist nl -> nl
+  | v -> type_errorf "expected a netlist, got %s" (kind_name v)
+
+let as_layout = function
+  | Layout l -> l
+  | v -> type_errorf "expected a layout, got %s" (kind_name v)
+
+let as_device_models = function
+  | Device_models m -> m
+  | v -> type_errorf "expected device models, got %s" (kind_name v)
+
+let as_stimuli = function
+  | Stimuli s -> s
+  | v -> type_errorf "expected stimuli, got %s" (kind_name v)
+
+let as_circuit = function
+  | Circuit c -> c
+  | v -> type_errorf "expected a circuit, got %s" (kind_name v)
+
+let as_performance = function
+  | Performance p -> p
+  | v -> type_errorf "expected a performance, got %s" (kind_name v)
+
+let as_verification = function
+  | Verification x -> x
+  | v -> type_errorf "expected a verification, got %s" (kind_name v)
+
+let as_sim_options = function
+  | Sim_options o -> o
+  | v -> type_errorf "expected sim options, got %s" (kind_name v)
+
+let as_placement_options = function
+  | Placement_options o -> o
+  | v -> type_errorf "expected placement options, got %s" (kind_name v)
+
+let as_optimizer_options = function
+  | Optimizer_options o -> o
+  | v -> type_errorf "expected optimizer options, got %s" (kind_name v)
+
+let as_tool = function
+  | Tool t -> t
+  | v -> type_errorf "expected a tool, got %s" (kind_name v)
+
+(* A short human-readable summary, used by browsers and the CLI. *)
+let summary = function
+  | Blob { blob_kind; text } ->
+    Printf.sprintf "%s (%d bytes)" blob_kind (String.length text)
+  | Netlist nl ->
+    Printf.sprintf "netlist %s (%d gates)" nl.Netlist.name
+      (Netlist.gate_count nl)
+  | Layout l ->
+    Printf.sprintf "layout %s (%d cells, area %d)" l.Layout.layout_name
+      (Layout.cell_count l) (Layout.area l)
+  | Device_models m -> Fmt.str "%a" Device_model.pp m
+  | Stimuli s -> Fmt.str "%a" Stimuli.pp s
+  | Circuit c ->
+    Printf.sprintf "circuit %s under %s" c.c_netlist.Netlist.name
+      c.c_models.Device_model.model_name
+  | Performance p -> Fmt.str "%a" Performance.pp p
+  | Verification v ->
+    Printf.sprintf "verification %s vs %s: %s" v.Lvs.reference_name
+      v.Lvs.candidate_name
+      (if v.Lvs.equivalent then "equivalent" else "MISMATCH")
+  | Plot p -> "plot " ^ p.Plot.title
+  | Extraction_statistics s -> Fmt.str "%a" Extract.pp_statistics s
+  | Transistor_view t -> Fmt.str "%a" Transistor.pp t
+  | Sim_options o -> Printf.sprintf "sim options (settle %d ps)" o.settle_ps
+  | Placement_options o -> "placement options " ^ o.layout_suffix
+  | Optimizer_options o -> Printf.sprintf "optimizer options (budget %d)" o.budget
+  | Tool (Builtin k) -> "tool " ^ k
+  | Tool (Scripted_netlist_editor s) ->
+    Printf.sprintf "netlist editor session %s (%d edits)" s.Edit_script.script_name
+      (List.length s.Edit_script.edits)
+  | Tool (Scripted_layout_editor edits) ->
+    Printf.sprintf "layout editor session (%d edits)" (List.length edits)
+  | Tool (Scripted_model_editor edits) ->
+    Printf.sprintf "model editor session (%d edits)" (List.length edits)
+  | Tool (Compiled_simulator c) ->
+    Printf.sprintf "compiled simulator of %s (%d instructions)"
+      c.Sim_compiled.source_name
+      (Sim_compiled.instruction_count c)
+
+let pp ppf v = Fmt.string ppf (summary v)

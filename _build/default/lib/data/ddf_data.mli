@@ -1,0 +1,96 @@
+(** The design-data universe: every payload a design object can hold.
+
+    Tools and data are treated uniformly (the paper's central move), so
+    tool instances are payloads too: a built-in behaviour key, a
+    scripted editor session, or a simulator compiled during the design
+    itself (Fig. 2). *)
+
+open Ddf_eda
+
+type sim_options = {
+  settle_ps : int;
+  plot_width : int;
+}
+
+val default_sim_options : sim_options
+
+type placement_options = {
+  layout_suffix : string;
+}
+
+val default_placement_options : placement_options
+
+type optimizer_options = {
+  budget : int;
+  objective : Optimize.objective;
+}
+
+val default_optimizer_options : optimizer_options
+
+(** The composite circuit entity of Fig. 1: device models + netlist. *)
+type circuit = {
+  c_models : Device_model.t;
+  c_netlist : Netlist.t;
+}
+
+(** Tool instances are design data. *)
+type tool_value =
+  | Builtin of string
+      (** behaviour key, possibly with variant arguments
+          ("optimizer:annealing"): the multiple-encapsulation trick of
+          section 3.3 *)
+  | Scripted_netlist_editor of Edit_script.t
+  | Scripted_layout_editor of Layout.edit list
+  | Scripted_model_editor of Device_model.edit list
+  | Compiled_simulator of Sim_compiled.t
+      (** a tool created during the design (Fig. 2) *)
+
+type value =
+  | Blob of { blob_kind : string; text : string }
+      (** schema-extensible payload: custom (non-EDA) methodologies
+          carry their data as tagged text *)
+  | Netlist of Netlist.t
+  | Layout of Layout.t
+  | Device_models of Device_model.t
+  | Stimuli of Stimuli.t
+  | Circuit of circuit
+  | Performance of Performance.t
+  | Verification of Lvs.t
+  | Plot of Plot.t
+  | Extraction_statistics of Extract.statistics
+  | Transistor_view of Transistor.t
+  | Sim_options of sim_options
+  | Placement_options of placement_options
+  | Optimizer_options of optimizer_options
+  | Tool of tool_value
+
+exception Type_error of string
+
+val kind_name : value -> string
+
+val hash : value -> string
+(** Content hash, driving the store's physical-data sharing. *)
+
+(** {1 Typed projections (used by encapsulations)}
+
+    Each raises {!Type_error} on a payload of the wrong kind. *)
+
+val as_blob : value -> string * string
+(** [(kind, text)] of a {!Blob}. *)
+
+val as_netlist : value -> Netlist.t
+val as_layout : value -> Layout.t
+val as_device_models : value -> Device_model.t
+val as_stimuli : value -> Stimuli.t
+val as_circuit : value -> circuit
+val as_performance : value -> Performance.t
+val as_verification : value -> Lvs.t
+val as_sim_options : value -> sim_options
+val as_placement_options : value -> placement_options
+val as_optimizer_options : value -> optimizer_options
+val as_tool : value -> tool_value
+
+val summary : value -> string
+(** A short human-readable line, used by browsers and the CLI. *)
+
+val pp : Format.formatter -> value -> unit

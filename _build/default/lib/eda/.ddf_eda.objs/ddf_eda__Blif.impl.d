@@ -1,0 +1,1 @@
+lib/eda/blif.ml: Buffer Format Fun Hashtbl List Logic Netlist Printf String

@@ -1,0 +1,1 @@
+lib/eda/circuits.ml: Fun Hashtbl List Logic Netlist Printf Rng

@@ -1,0 +1,1 @@
+lib/eda/circuits.mli: Netlist Rng

@@ -1,0 +1,1 @@
+lib/eda/device_model.ml: Digest Float Fmt List Logic Netlist Printf

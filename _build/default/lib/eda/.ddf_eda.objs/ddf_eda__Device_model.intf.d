@@ -1,0 +1,1 @@
+lib/eda/device_model.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/eda/edit_script.ml: Digest Fmt List Logic Netlist Printf String

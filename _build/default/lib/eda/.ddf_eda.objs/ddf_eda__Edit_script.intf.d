@@ -1,0 +1,1 @@
+lib/eda/edit_script.mli: Format Logic Netlist

@@ -1,0 +1,1 @@
+lib/eda/extract.ml: Array Digest Fmt Format Fun Hashtbl Layout List Netlist Printf

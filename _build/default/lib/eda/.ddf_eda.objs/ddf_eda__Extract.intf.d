@@ -1,0 +1,1 @@
+lib/eda/extract.mli: Format Layout Netlist

@@ -1,0 +1,1 @@
+lib/eda/hier.ml: Circuits Fmt Format Fun Hashtbl List Netlist Printf

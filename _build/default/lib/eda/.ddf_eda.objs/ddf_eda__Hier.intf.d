@@ -1,0 +1,1 @@
+lib/eda/hier.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/eda/layout.ml: Array Buffer Digest Fmt Format Hashtbl List Logic Netlist Printf

@@ -1,0 +1,1 @@
+lib/eda/layout.mli: Format Logic Netlist

@@ -1,0 +1,1 @@
+lib/eda/lvs.ml: Digest Fmt Hashtbl List Logic Netlist Printf String

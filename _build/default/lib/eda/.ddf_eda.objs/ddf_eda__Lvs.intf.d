@@ -1,0 +1,1 @@
+lib/eda/lvs.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/eda/netlist.ml: Buffer Digest Fmt Format Hashtbl List Logic Map Printf Set String

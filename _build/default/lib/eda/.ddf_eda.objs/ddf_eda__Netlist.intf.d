@@ -1,0 +1,1 @@
+lib/eda/netlist.mli: Format Logic

@@ -1,0 +1,1 @@
+lib/eda/optimize.ml: Device_model Digest Fmt List Netlist Performance Printf Rng

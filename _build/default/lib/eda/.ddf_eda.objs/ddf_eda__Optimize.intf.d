@@ -1,0 +1,1 @@
+lib/eda/optimize.mli: Device_model Format Netlist Rng

@@ -1,0 +1,1 @@
+lib/eda/performance.ml: Buffer Device_model Digest Fmt Hashtbl List Logic Netlist Printf Sim_compiled Sim_event Stimuli Waveform

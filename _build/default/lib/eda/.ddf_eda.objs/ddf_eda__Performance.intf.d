@@ -1,0 +1,1 @@
+lib/eda/performance.mli: Device_model Format Logic Netlist Sim_compiled Stimuli Waveform

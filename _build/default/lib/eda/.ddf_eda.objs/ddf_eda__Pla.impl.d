@@ -1,0 +1,1 @@
+lib/eda/pla.ml: Array Buffer Digest Fmt Fun Hashtbl Layout List Logic Netlist Printf Sim_compiled Stimuli String

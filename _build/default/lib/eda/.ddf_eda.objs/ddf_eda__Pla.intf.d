@@ -1,0 +1,1 @@
+lib/eda/pla.mli: Format Layout Netlist

@@ -1,0 +1,1 @@
+lib/eda/plot.ml: Buffer Digest Fmt List Logic Performance Printf Sim_event String Waveform

@@ -1,0 +1,1 @@
+lib/eda/plot.mli: Format Performance Sim_event Waveform

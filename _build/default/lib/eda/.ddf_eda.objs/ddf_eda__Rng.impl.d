@@ -1,0 +1,1 @@
+lib/eda/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/eda/rng.mli:

@@ -1,0 +1,1 @@
+lib/eda/sim_compiled.ml: Array Digest Hashtbl List Logic Netlist Printf Stimuli

@@ -1,0 +1,1 @@
+lib/eda/sim_compiled.mli: Logic Netlist Stimuli

@@ -1,0 +1,1 @@
+lib/eda/sim_event.ml: Device_model Hashtbl List Logic Map Netlist Stimuli Waveform

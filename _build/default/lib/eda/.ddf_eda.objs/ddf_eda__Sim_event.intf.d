@@ -1,0 +1,1 @@
+lib/eda/sim_event.mli: Device_model Logic Netlist Stimuli Waveform

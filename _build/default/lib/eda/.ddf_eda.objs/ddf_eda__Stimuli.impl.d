@@ -1,0 +1,1 @@
+lib/eda/stimuli.ml: Buffer Digest Fmt List Logic Netlist Rng

@@ -1,0 +1,1 @@
+lib/eda/stimuli.mli: Format Logic Netlist Rng

@@ -1,0 +1,1 @@
+lib/eda/transistor.ml: Buffer Digest Fmt Hashtbl List Logic Netlist Printf Stimuli

@@ -1,0 +1,1 @@
+lib/eda/transistor.mli: Format Logic Netlist Rng

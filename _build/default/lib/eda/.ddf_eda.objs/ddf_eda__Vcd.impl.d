@@ -1,0 +1,1 @@
+lib/eda/vcd.ml: Buffer Char List Logic Printf String Waveform

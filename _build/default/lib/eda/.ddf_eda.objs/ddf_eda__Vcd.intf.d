@@ -1,0 +1,1 @@
+lib/eda/vcd.mli: Waveform

@@ -1,0 +1,1 @@
+lib/eda/waveform.ml: Buffer Digest Fmt List Logic Map String

@@ -1,0 +1,1 @@
+lib/eda/waveform.mli: Format Logic

@@ -1,0 +1,257 @@
+(* BLIF-style netlist interchange.
+
+   A pragmatic subset of Berkeley's BLIF: `.model`, `.inputs`,
+   `.outputs`, `.gate` lines naming our cell library (so structure and
+   drive survive a round trip), `.names` cover tables for import of
+   third-party two-level logic, `.end` and comments.  This is the
+   on-disk form the hercules CLI reads and writes. *)
+
+exception Blif_error of string
+
+let blif_errorf fmt = Format.kasprintf (fun s -> raise (Blif_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" nl.Netlist.name);
+  Buffer.add_string buf
+    (".inputs " ^ String.concat " " nl.Netlist.primary_inputs ^ "\n");
+  Buffer.add_string buf
+    (".outputs " ^ String.concat " " nl.Netlist.primary_outputs ^ "\n");
+  List.iter
+    (fun (f : Netlist.flop) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".latch %s %s %s # %s\n" f.Netlist.d f.Netlist.q
+           (match f.Netlist.init with
+           | Logic.V0 -> "0"
+           | Logic.V1 -> "1"
+           | Logic.VX -> "2")
+           f.Netlist.fname))
+    nl.Netlist.flops;
+  List.iter
+    (fun (g : Netlist.gate) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".gate %s_x%d %s O=%s # %s\n"
+           (Logic.op_name g.Netlist.op)
+           g.Netlist.drive
+           (String.concat " "
+              (List.mapi
+                 (fun i net -> Printf.sprintf "I%d=%s" i net)
+                 g.Netlist.inputs))
+           g.Netlist.output g.Netlist.gname))
+    nl.Netlist.gates;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Logical lines: strip comments, join continuation backslashes. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if line = "" then join acc pending rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\'
+      then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+(* Parse "nand_x2" into (Nand, 2). *)
+let parse_cell_name name =
+  match String.rindex_opt name '_' with
+  | Some i when i + 2 <= String.length name && name.[i + 1] = 'x' -> (
+    let base = String.sub name 0 i in
+    let drive_str = String.sub name (i + 2) (String.length name - i - 2) in
+    match (Logic.op_of_name base, int_of_string_opt drive_str) with
+    | Some op, Some drive -> (op, drive)
+    | _, _ -> blif_errorf "unknown cell %S" name)
+  | Some _ | None -> (
+    match Logic.op_of_name name with
+    | Some op -> (op, 1)
+    | None -> blif_errorf "unknown cell %S" name)
+
+(* A .names cover: translate single-output two-level logic into AND/OR
+   gates (sufficient for importing external BLIF). *)
+let translate_names fresh inputs output rows =
+  match (inputs, rows) with
+  | [], [ ("", "1") ] | [], [] ->
+    blif_errorf "constant .names for %s unsupported" output
+  | _, [] -> blif_errorf ".names %s has no cover" output
+  | _, rows ->
+    let invs = Hashtbl.create 4 in
+    let gates = ref [] in
+    let rail net value =
+      match value with
+      | '1' -> Some net
+      | '0' ->
+        Some
+          (match Hashtbl.find_opt invs net with
+          | Some inv -> inv
+          | None ->
+            let inv = fresh (net ^ "_bar") in
+            gates :=
+              Netlist.gate (fresh ("inv_" ^ net)) Logic.Not [ net ] inv
+              :: !gates;
+            Hashtbl.add invs net inv;
+            inv)
+      | '-' -> None
+      | c -> blif_errorf "bad cover character %C" c
+    in
+    let term_nets =
+      List.map
+        (fun (pattern, out_value) ->
+          if out_value <> "1" then
+            blif_errorf ".names %s: only on-set covers supported" output;
+          if String.length pattern <> List.length inputs then
+            blif_errorf ".names %s: cover width mismatch" output;
+          let literals =
+            List.filteri (fun _ _ -> true) inputs
+            |> List.mapi (fun i net -> rail net pattern.[i])
+            |> List.filter_map Fun.id
+          in
+          match literals with
+          | [] -> blif_errorf ".names %s: tautological row" output
+          | [ single ] -> single
+          | many ->
+            let t = fresh (output ^ "_t") in
+            gates := Netlist.gate (fresh ("and_" ^ output)) Logic.And many t :: !gates;
+            t)
+        rows
+    in
+    (match term_nets with
+    | [ single ] ->
+      gates := Netlist.gate (fresh ("buf_" ^ output)) Logic.Buf [ single ] output :: !gates
+    | many ->
+      gates := Netlist.gate (fresh ("or_" ^ output)) Logic.Or many output :: !gates);
+    List.rev !gates
+
+let of_string text =
+  let lines = logical_lines text in
+  let model = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let gates = ref [] in
+  let flops = ref [] in
+  let flop_counter = ref 0 in
+  let counter = ref 0 in
+  let fresh base =
+    incr counter;
+    Printf.sprintf "%s_%d" base !counter
+  in
+  let rec go = function
+    | [] -> ()
+    | line :: rest -> (
+      match words line with
+      | ".model" :: name :: _ ->
+        model := name;
+        go rest
+      | ".inputs" :: nets ->
+        inputs := !inputs @ nets;
+        go rest
+      | ".outputs" :: nets ->
+        outputs := !outputs @ nets;
+        go rest
+      | ".gate" :: cell :: bindings ->
+        let op, drive = parse_cell_name cell in
+        let ins, out = ref [], ref None in
+        List.iter
+          (fun b ->
+            match String.index_opt b '=' with
+            | None -> blif_errorf "bad binding %S" b
+            | Some i ->
+              let formal = String.sub b 0 i in
+              let actual = String.sub b (i + 1) (String.length b - i - 1) in
+              if formal = "O" then out := Some actual
+              else ins := actual :: !ins)
+          bindings;
+        let output =
+          match !out with
+          | Some o -> o
+          | None -> blif_errorf ".gate without O= binding"
+        in
+        gates :=
+          Netlist.gate ~drive (fresh "g") op (List.rev !ins) output :: !gates;
+        go rest
+      | ".latch" :: rest_of_line -> (
+        incr flop_counter;
+        let fname = Printf.sprintf "ff%d" !flop_counter in
+        match rest_of_line with
+        | [ d; q ] ->
+          flops := Netlist.flop fname ~d ~q :: !flops;
+          go rest
+        | [ d; q; init ] ->
+          let init =
+            match init with
+            | "0" -> Logic.V0
+            | "1" -> Logic.V1
+            | "2" | "3" -> Logic.VX
+            | s -> blif_errorf "bad latch init %S" s
+          in
+          flops := Netlist.flop ~init fname ~d ~q :: !flops;
+          go rest
+        | _ -> blif_errorf "malformed .latch")
+      | ".names" :: nets -> (
+        match List.rev nets with
+        | output :: rev_inputs ->
+          let names_inputs = List.rev rev_inputs in
+          (* consume cover rows until the next dot-directive *)
+          let rec take_rows acc = function
+            | row :: rest2
+              when String.length row > 0 && row.[0] <> '.' -> (
+              match words row with
+              | [ pattern; out_value ] ->
+                take_rows ((pattern, out_value) :: acc) rest2
+              | [ out_value ] when names_inputs = [] ->
+                take_rows (("", out_value) :: acc) rest2
+              | _ -> blif_errorf "bad cover row %S" row)
+            | rest2 -> (List.rev acc, rest2)
+          in
+          let rows, rest = take_rows [] rest in
+          gates :=
+            List.rev_append
+              (translate_names fresh names_inputs output rows)
+              !gates;
+          go rest
+        | [] -> blif_errorf ".names without nets")
+      | [ ".end" ] -> ()
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.'
+        ->
+        blif_errorf "unsupported directive %S" directive
+      | _ -> blif_errorf "unexpected line %S" line)
+  in
+  go lines;
+  if !model = "" then blif_errorf "missing .model";
+  Netlist.create ~name:!model ~flops:(List.rev !flops)
+    ~primary_inputs:!inputs ~primary_outputs:!outputs (List.rev !gates)
+
+let to_file path nl =
+  let oc = open_out path in
+  (try output_string oc (to_string nl)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

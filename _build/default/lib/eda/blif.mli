@@ -1,0 +1,18 @@
+(** BLIF-style netlist interchange.
+
+    A pragmatic subset of Berkeley's BLIF: [.model], [.inputs],
+    [.outputs], [.gate] lines naming this library's cells (structure
+    and drive survive a round trip), [.names] on-set covers for
+    importing third-party two-level logic, [.end], comments and line
+    continuations.  This is the on-disk circuit form of the hercules
+    CLI. *)
+
+exception Blif_error of string
+
+val to_string : Netlist.t -> string
+val of_string : string -> Netlist.t
+(** @raise Blif_error on unsupported directives or malformed input;
+    @raise Netlist.Netlist_error when the parsed structure is invalid. *)
+
+val to_file : string -> Netlist.t -> unit
+val of_file : string -> Netlist.t

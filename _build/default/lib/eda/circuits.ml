@@ -1,0 +1,268 @@
+(* A small circuit zoo: the cells the paper's narrative mentions (the
+   inverter of Fig. 7, a CMOS full adder from the Fig. 9 browser) plus
+   parameterized and random generators for tests and benchmarks. *)
+
+let inverter () =
+  Netlist.create ~name:"inverter" ~primary_inputs:[ "in" ]
+    ~primary_outputs:[ "out" ]
+    [ Netlist.gate "g_inv" Logic.Not [ "in" ] "out" ]
+
+(* The ISCAS-85 c17 benchmark: six NAND2 gates. *)
+let c17 () =
+  let g = Netlist.gate in
+  Netlist.create ~name:"c17"
+    ~primary_inputs:[ "n1"; "n2"; "n3"; "n6"; "n7" ]
+    ~primary_outputs:[ "n22"; "n23" ]
+    [
+      g "g10" Logic.Nand [ "n1"; "n3" ] "n10";
+      g "g11" Logic.Nand [ "n3"; "n6" ] "n11";
+      g "g16" Logic.Nand [ "n2"; "n11" ] "n16";
+      g "g19" Logic.Nand [ "n11"; "n7" ] "n19";
+      g "g22" Logic.Nand [ "n10"; "n16" ] "n22";
+      g "g23" Logic.Nand [ "n16"; "n19" ] "n23";
+    ]
+
+let full_adder () =
+  let g = Netlist.gate in
+  Netlist.create ~name:"full_adder"
+    ~primary_inputs:[ "a"; "b"; "cin" ]
+    ~primary_outputs:[ "sum"; "cout" ]
+    [
+      g "g_x1" Logic.Xor [ "a"; "b" ] "x1";
+      g "g_sum" Logic.Xor [ "x1"; "cin" ] "sum";
+      g "g_a1" Logic.And [ "x1"; "cin" ] "a1";
+      g "g_a2" Logic.And [ "a"; "b" ] "a2";
+      g "g_cout" Logic.Or [ "a1"; "a2" ] "cout";
+    ]
+
+(* n-bit ripple-carry adder built from full adders. *)
+let ripple_adder n =
+  if n < 1 then invalid_arg "Circuits.ripple_adder";
+  let a i = Printf.sprintf "a%d" i
+  and b i = Printf.sprintf "b%d" i
+  and s i = Printf.sprintf "s%d" i
+  and c i = Printf.sprintf "c%d" i in
+  let g = Netlist.gate in
+  let stage i carry_in =
+    let p = Printf.sprintf "p%d" i
+    and t1 = Printf.sprintf "t1_%d" i
+    and t2 = Printf.sprintf "t2_%d" i in
+    [
+      g (Printf.sprintf "gx%d" i) Logic.Xor [ a i; b i ] p;
+      g (Printf.sprintf "gs%d" i) Logic.Xor [ p; carry_in ] (s i);
+      g (Printf.sprintf "g1%d" i) Logic.And [ p; carry_in ] t1;
+      g (Printf.sprintf "g2%d" i) Logic.And [ a i; b i ] t2;
+      g (Printf.sprintf "gc%d" i) Logic.Or [ t1; t2 ] (c i);
+    ]
+  in
+  let rec build i carry acc =
+    if i = n then List.concat (List.rev acc)
+    else build (i + 1) (c i) (stage i carry :: acc)
+  in
+  let gates = build 1 (c 0) [ stage 0 "cin" ] in
+  let inputs =
+    "cin" :: List.concat_map (fun i -> [ a i; b i ]) (List.init n Fun.id)
+  in
+  let outputs = List.init n s @ [ c (n - 1) ] in
+  Netlist.create
+    ~name:(Printf.sprintf "adder%d" n)
+    ~primary_inputs:inputs ~primary_outputs:outputs gates
+
+(* n-input odd-parity tree. *)
+let parity n =
+  if n < 2 then invalid_arg "Circuits.parity";
+  let in_net i = Printf.sprintf "i%d" i in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "p%d" !counter
+  in
+  let gates = ref [] in
+  let rec reduce = function
+    | [] -> invalid_arg "parity"
+    | [ last ] -> last
+    | nets ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ last ] -> List.rev (last :: acc)
+        | x :: y :: rest ->
+          let out = fresh () in
+          gates :=
+            Netlist.gate (Printf.sprintf "gx_%s" out) Logic.Xor [ x; y ] out
+            :: !gates;
+          pair (out :: acc) rest
+      in
+      reduce (pair [] nets)
+  in
+  let out = reduce (List.init n in_net) in
+  let gates =
+    !gates
+    @ [ Netlist.gate "g_buf_out" Logic.Buf [ out ] "parity" ]
+  in
+  Netlist.create
+    ~name:(Printf.sprintf "parity%d" n)
+    ~primary_inputs:(List.init n in_net)
+    ~primary_outputs:[ "parity" ] gates
+
+(* 4-to-1 multiplexer. *)
+let mux4 () =
+  let g = Netlist.gate in
+  Netlist.create ~name:"mux4"
+    ~primary_inputs:[ "d0"; "d1"; "d2"; "d3"; "s0"; "s1" ]
+    ~primary_outputs:[ "y" ]
+    [
+      g "g_ns0" Logic.Not [ "s0" ] "ns0";
+      g "g_ns1" Logic.Not [ "s1" ] "ns1";
+      g "g_t0" Logic.And [ "d0"; "ns0"; "ns1" ] "t0";
+      g "g_t1" Logic.And [ "d1"; "s0"; "ns1" ] "t1";
+      g "g_t2" Logic.And [ "d2"; "ns0"; "s1" ] "t2";
+      g "g_t3" Logic.And [ "d3"; "s0"; "s1" ] "t3";
+      g "g_y" Logic.Or [ "t0"; "t1"; "t2"; "t3" ] "y";
+    ]
+
+(* n-bit binary counter with enable: the classic sequential cell.
+   Inputs: en; outputs: q0..q(n-1).  Counts up when en = 1. *)
+let counter n =
+  if n < 1 then invalid_arg "Circuits.counter";
+  let q i = Printf.sprintf "q%d" i
+  and d i = Printf.sprintf "d%d" i
+  and c i = Printf.sprintf "cy%d" i in
+  let g = Netlist.gate in
+  (* d_i = q_i xor carry_i; carry_0 = en; carry_{i+1} = carry_i and q_i *)
+  let rec build i carry gates =
+    if i = n then List.rev gates
+    else
+      let gates = g (Printf.sprintf "gx%d" i) Logic.Xor [ q i; carry ] (d i) :: gates in
+      if i = n - 1 then List.rev gates
+      else
+        let gates =
+          g (Printf.sprintf "gc%d" i) Logic.And [ carry; q i ] (c i) :: gates
+        in
+        build (i + 1) (c i) gates
+  in
+  let gates = build 0 "en" [] in
+  let flops =
+    List.init n (fun i -> Netlist.flop (Printf.sprintf "ff%d" i) ~d:(d i) ~q:(q i))
+  in
+  Netlist.create ~flops
+    ~name:(Printf.sprintf "counter%d" n)
+    ~primary_inputs:[ "en" ]
+    ~primary_outputs:(List.init n q)
+    gates
+
+(* n-bit shift register: q0 <- din, q(i) <- q(i-1). *)
+let shift_register n =
+  if n < 1 then invalid_arg "Circuits.shift_register";
+  let q i = Printf.sprintf "q%d" i in
+  let flops =
+    List.init n (fun i ->
+        Netlist.flop (Printf.sprintf "ff%d" i)
+          ~d:(if i = 0 then "din" else q (i - 1))
+          ~q:(q i))
+  in
+  Netlist.create ~flops
+    ~name:(Printf.sprintf "shift%d" n)
+    ~primary_inputs:[ "din" ]
+    ~primary_outputs:[ q (n - 1) ]
+    []
+
+(* 4-bit Fibonacci LFSR (taps 4,3), seeded 0001: period 15. *)
+let lfsr4 () =
+  let g = Netlist.gate in
+  Netlist.create
+    ~flops:
+      [
+        Netlist.flop ~init:Logic.V1 "ff0" ~d:"fb" ~q:"q0";
+        Netlist.flop "ff1" ~d:"q0" ~q:"q1";
+        Netlist.flop "ff2" ~d:"q1" ~q:"q2";
+        Netlist.flop "ff3" ~d:"q2" ~q:"q3";
+      ]
+    ~name:"lfsr4" ~primary_inputs:[] ~primary_outputs:[ "q3" ]
+    [ g "g_fb" Logic.Xor [ "q3"; "q2" ] "fb" ]
+
+(* The ISCAS-89 s27 sequential benchmark: 3 flip-flops, 10 gates. *)
+let s27 () =
+  let g = Netlist.gate in
+  Netlist.create ~name:"s27"
+    ~flops:
+      [
+        Netlist.flop "ff5" ~d:"g10" ~q:"g5";
+        Netlist.flop "ff6" ~d:"g11" ~q:"g6";
+        Netlist.flop "ff7" ~d:"g13" ~q:"g7";
+      ]
+    ~primary_inputs:[ "g0"; "g1"; "g2"; "g3" ]
+    ~primary_outputs:[ "g17" ]
+    [
+      g "u14" Logic.Not [ "g0" ] "g14";
+      g "u17" Logic.Not [ "g11" ] "g17";
+      g "u8" Logic.And [ "g14"; "g6" ] "g8";
+      g "u15" Logic.Or [ "g12"; "g8" ] "g15";
+      g "u16" Logic.Or [ "g3"; "g8" ] "g16";
+      g "u9" Logic.Nand [ "g16"; "g15" ] "g9";
+      g "u10" Logic.Nor [ "g14"; "g11" ] "g10";
+      g "u11" Logic.Nor [ "g5"; "g9" ] "g11";
+      g "u12" Logic.Nor [ "g1"; "g7" ] "g12";
+      g "u13" Logic.Nor [ "g2"; "g12" ] "g13";
+    ]
+
+(* Random combinational netlist: a DAG of [n_gates] gates over
+   [n_inputs] primary inputs; every gate output that remains unread
+   becomes a primary output. *)
+let random ?(name = "random") ~n_inputs ~n_gates rng =
+  if n_inputs < 2 || n_gates < 1 then invalid_arg "Circuits.random";
+  let in_net i = Printf.sprintf "i%d" i in
+  let available = ref (List.init n_inputs in_net) in
+  let gates = ref [] in
+  for k = 0 to n_gates - 1 do
+    let op =
+      Rng.pick rng
+        Logic.[ Not; And; Or; Nand; Nor; Xor; Buf ]
+    in
+    let arity =
+      match op with
+      | Logic.Not | Logic.Buf -> 1
+      | Logic.And | Logic.Or | Logic.Nand | Logic.Nor | Logic.Xor | Logic.Xnor
+        -> 2 + Rng.int rng 2
+    in
+    let rec pick_distinct acc n =
+      if n = 0 then acc
+      else
+        let cand = Rng.pick rng !available in
+        if List.mem cand acc then pick_distinct acc n
+        else pick_distinct (cand :: acc) (n - 1)
+    in
+    let arity = min arity (List.length !available) in
+    let arity = if arity < 1 then 1 else arity in
+    let op = if arity = 1 then Rng.pick rng Logic.[ Not; Buf ] else op in
+    let inputs = pick_distinct [] arity in
+    let out = Printf.sprintf "w%d" k in
+    let drive = Rng.pick rng [ 1; 2; 4 ] in
+    gates := Netlist.gate ~drive (Printf.sprintf "g%d" k) op inputs out :: !gates;
+    available := out :: !available
+  done;
+  let gates = List.rev !gates in
+  let read = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      List.iter (fun i -> Hashtbl.replace read i ()) g.inputs)
+    gates;
+  let outputs =
+    List.filter_map
+      (fun (g : Netlist.gate) ->
+        if Hashtbl.mem read g.output then None else Some g.output)
+      gates
+  in
+  let outputs = if outputs = [] then [ (List.hd (List.rev gates)).output ] else outputs in
+  Netlist.create ~name ~primary_inputs:(List.init n_inputs in_net)
+    ~primary_outputs:outputs gates
+
+let all_named =
+  [
+    ("inverter", fun () -> inverter ());
+    ("c17", fun () -> c17 ());
+    ("full_adder", fun () -> full_adder ());
+    ("adder4", fun () -> ripple_adder 4);
+    ("adder8", fun () -> ripple_adder 8);
+    ("parity8", fun () -> parity 8);
+    ("mux4", fun () -> mux4 ());
+  ]

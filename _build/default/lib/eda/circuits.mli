@@ -1,0 +1,37 @@
+(** A small circuit zoo: the cells the paper's narrative mentions (the
+    inverter of Fig. 7, a CMOS full adder from the Fig. 9 browser) plus
+    parameterized and random generators for tests and benchmarks. *)
+
+val inverter : unit -> Netlist.t
+val c17 : unit -> Netlist.t
+(** The ISCAS-85 c17 benchmark (six NAND2 gates). *)
+
+val full_adder : unit -> Netlist.t
+val ripple_adder : int -> Netlist.t
+(** n-bit ripple-carry adder; inputs [cin, a0, b0, ..]; outputs
+    [s0.., c(n-1)]. *)
+
+val parity : int -> Netlist.t
+(** n-input XOR tree. *)
+
+val mux4 : unit -> Netlist.t
+
+val counter : int -> Netlist.t
+(** n-bit binary counter with an enable input (sequential). *)
+
+val shift_register : int -> Netlist.t
+(** n-stage shift register (sequential). *)
+
+val lfsr4 : unit -> Netlist.t
+(** 4-bit Fibonacci LFSR, period 15 (sequential). *)
+
+val s27 : unit -> Netlist.t
+(** The ISCAS-89 s27 benchmark (3 flip-flops, sequential). *)
+
+val random :
+  ?name:string -> n_inputs:int -> n_gates:int -> Rng.t -> Netlist.t
+(** A random combinational DAG; unread gate outputs become primary
+    outputs. *)
+
+val all_named : (string * (unit -> Netlist.t)) list
+(** The fixed zoo, by name (used by the CLI and the test suites). *)

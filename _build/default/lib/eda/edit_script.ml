@@ -1,0 +1,88 @@
+(* Edit scripts: the data consumed by the netlist-editor tool.
+
+   Editing tasks are what versioning hangs off in the paper (Fig. 11):
+   a task whose data dependency's source and target are the same entity
+   type.  A script is itself a design datum, so it hashes and prints. *)
+
+type edit =
+  | Rename of string
+  | Add_gate of {
+      gname : string;
+      op : Logic.gate_op;
+      inputs : string list;
+      output : string;
+      drive : int;
+    }
+  | Remove_gate of string
+  | Set_drive of string * int
+  | Insert_buffer of { net : string; gname : string }
+    (* re-drive all readers of [net] through a new buffer *)
+
+type t = {
+  script_name : string;
+  edits : edit list;
+}
+
+exception Edit_error of string
+
+let create ?(name = "edit") edits = { script_name = name; edits }
+
+let apply_one nl = function
+  | Rename name -> Netlist.rename nl name
+  | Add_gate { gname; op; inputs; output; drive } ->
+    Netlist.add_gate nl (Netlist.gate ~drive gname op inputs output)
+  | Remove_gate gname -> Netlist.remove_gate nl gname
+  | Set_drive (gname, drive) -> Netlist.set_drive nl gname drive
+  | Insert_buffer { net; gname } ->
+    let buffered = net ^ "_buf" in
+    let reads (g : Netlist.gate) = List.mem net g.Netlist.inputs in
+    if not (List.exists reads nl.Netlist.gates) then
+      raise (Edit_error (Printf.sprintf "no reader of net %s" net));
+    let retarget (g : Netlist.gate) =
+      if reads g then
+        { g with
+          Netlist.inputs =
+            List.map (fun i -> if i = net then buffered else i) g.Netlist.inputs }
+      else g
+    in
+    let gates =
+      List.map retarget nl.Netlist.gates
+      @ [ Netlist.gate gname Logic.Buf [ net ] buffered ]
+    in
+    Netlist.create ~name:nl.Netlist.name
+      ~primary_inputs:nl.Netlist.primary_inputs
+      ~primary_outputs:nl.Netlist.primary_outputs gates
+
+let apply nl t = List.fold_left apply_one nl t.edits
+
+(* Applying a script to nothing creates a design from scratch (the
+   optional dependency of the edited-netlist rule left unfilled). *)
+let apply_from_scratch ~primary_inputs ~primary_outputs t =
+  let seed =
+    Netlist.create ~name:t.script_name ~primary_inputs
+      ~primary_outputs:[] []
+  in
+  let nl = apply seed t in
+  Netlist.create ~name:nl.Netlist.name
+    ~primary_inputs:nl.Netlist.primary_inputs ~primary_outputs
+    nl.Netlist.gates
+
+let edit_to_string = function
+  | Rename n -> "rename " ^ n
+  | Add_gate { gname; op; inputs; output; drive } ->
+    Printf.sprintf "add %s=%s(%s)->%s x%d" gname (Logic.op_name op)
+      (String.concat "," inputs) output drive
+  | Remove_gate g -> "remove " ^ g
+  | Set_drive (g, d) -> Printf.sprintf "drive %s x%d" g d
+  | Insert_buffer { net; gname } -> Printf.sprintf "buffer %s via %s" net gname
+
+let hash t =
+  Digest.to_hex
+    (Digest.string
+       (t.script_name ^ "|"
+       ^ String.concat ";" (List.map edit_to_string t.edits)))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>edit script %s:@,%a@]" t.script_name
+    (Fmt.list ~sep:Fmt.cut Fmt.string)
+    (List.map edit_to_string t.edits)

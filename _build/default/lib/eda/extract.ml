@@ -1,0 +1,196 @@
+(* The extractor tool: recover a netlist from layout geometry.
+
+   Connectivity is computed from the artwork only -- pins and wire
+   segments joined at shared via points -- so the result reflects what
+   the layout actually connects, not what the designer intended.  The
+   extraction statistics are the co-produced second output of the same
+   task invocation (Fig. 5). *)
+
+type statistics = {
+  source_layout : string;
+  nets_extracted : int;
+  cells_extracted : int;
+  total_wirelength : int;
+  estimated_cap_ff : float;     (* length-proportional parasitic load *)
+  vias : int;
+  die_area : int;
+  opens : int;  (* floating pins promoted to ports; healthy layouts: 0 *)
+}
+
+exception Extract_error of string
+
+let extract_errorf fmt = Format.kasprintf (fun s -> raise (Extract_error s)) fmt
+
+(* Union-find over segment and pin indices. *)
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find t i = if t.(i) = i then i else begin
+    t.(i) <- find t t.(i);
+    t.(i)
+  end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then t.(ra) <- rb
+end
+
+let run (l : Layout.t) =
+  let segments = Array.of_list l.Layout.wires in
+  let n_segs = Array.length segments in
+  (* flatten pins with their owning cell *)
+  let pins =
+    List.concat_map
+      (fun (c : Layout.cell) ->
+        List.map (fun p -> (c, p)) c.Layout.pins)
+      l.Layout.cells
+    |> Array.of_list
+  in
+  let n_pins = Array.length pins in
+  let uf = Uf.create (n_segs + n_pins) in
+  (* index endpoints for near-linear connectivity *)
+  let at_point = Hashtbl.create (2 * n_segs) in
+  let note_endpoint idx (x, y) =
+    let cur = try Hashtbl.find at_point (x, y) with Not_found -> [] in
+    Hashtbl.replace at_point (x, y) (idx :: cur)
+  in
+  Array.iteri
+    (fun i s ->
+      note_endpoint i (s.Layout.x1, s.Layout.y1);
+      note_endpoint i (s.Layout.x2, s.Layout.y2))
+    segments;
+  let vias = ref 0 in
+  (* segments sharing an endpoint *)
+  Hashtbl.iter
+    (fun _ idxs ->
+      match idxs with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        incr vias;
+        List.iter (fun i -> Uf.union uf first i) rest)
+    at_point;
+  (* pins joining segments at their coordinates *)
+  Array.iteri
+    (fun pi (_, (p : Layout.pin)) ->
+      match Hashtbl.find_opt at_point (p.Layout.px, p.Layout.py) with
+      | Some (s :: _) -> Uf.union uf (n_segs + pi) s
+      | Some [] | None -> ())
+    pins;
+  (* canonical net id per pin *)
+  let net_names = Hashtbl.create 32 in
+  let net_counter = ref 0 in
+  let net_of_pin pi =
+    let root = Uf.find uf (n_segs + pi) in
+    match Hashtbl.find_opt net_names root with
+    | Some n -> n
+    | None ->
+      incr net_counter;
+      let n = Printf.sprintf "enet_%d" !net_counter in
+      Hashtbl.add net_names root n;
+      n
+  in
+  (* rebuild gates and ports *)
+  let primary_inputs = ref [] and primary_outputs = ref [] in
+  let renames = ref [] in
+  let gates = ref [] in
+  let counter = ref 0 in
+  let pin_index = Hashtbl.create n_pins in
+  Array.iteri
+    (fun i ((c : Layout.cell), (p : Layout.pin)) ->
+      Hashtbl.replace pin_index (c.Layout.cname, p.Layout.pname) i)
+    pins;
+  let pin_net (c : Layout.cell) pname =
+    match Hashtbl.find_opt pin_index (c.Layout.cname, pname) with
+    | Some i -> net_of_pin i
+    | None -> extract_errorf "cell %s has no pin %s" c.Layout.cname pname
+  in
+  List.iter
+    (fun (c : Layout.cell) ->
+      match c.Layout.kind with
+      | Layout.Input_pad port ->
+        let net = pin_net c "pad" in
+        primary_inputs := net :: !primary_inputs;
+        renames := (net, port) :: !renames
+      | Layout.Output_pad port ->
+        let net = pin_net c "pad" in
+        primary_outputs := net :: !primary_outputs;
+        renames := (net, port) :: !renames
+      | Layout.Gate_cell (op, drive) ->
+        incr counter;
+        let n_inputs =
+          List.length
+            (List.filter
+               (fun (p : Layout.pin) -> p.Layout.pname <> "out")
+               c.Layout.pins)
+        in
+        let inputs =
+          List.init n_inputs (fun i -> pin_net c (Printf.sprintf "in%d" i))
+        in
+        let output = pin_net c "out" in
+        gates := Netlist.gate ~drive (Printf.sprintf "x%d" !counter) op inputs output :: !gates)
+    l.Layout.cells;
+  (* ports keep their pad labels, as real extractors honour text labels *)
+  let rename n = try List.assoc n !renames with Not_found -> n in
+  let gates =
+    List.rev_map
+      (fun (g : Netlist.gate) ->
+        { g with
+          Netlist.inputs = List.map rename g.Netlist.inputs;
+          Netlist.output = rename g.Netlist.output })
+      !gates
+  in
+  (* Floating nets (a pin no longer touching its wire after a careless
+     edit) are promoted to input ports and reported as opens, as a real
+     extractor reports connectivity violations rather than dying. *)
+  let primary_inputs = List.rev_map rename !primary_inputs in
+  let primary_outputs = List.rev_map rename !primary_outputs in
+  let driven = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace driven n ()) primary_inputs;
+  List.iter
+    (fun (g : Netlist.gate) -> Hashtbl.replace driven g.Netlist.output ())
+    gates;
+  let floating = Hashtbl.create 8 in
+  let note_floating n =
+    if not (Hashtbl.mem driven n) then Hashtbl.replace floating n ()
+  in
+  List.iter
+    (fun (g : Netlist.gate) -> List.iter note_floating g.Netlist.inputs)
+    gates;
+  List.iter note_floating primary_outputs;
+  let opens = Hashtbl.length floating in
+  let primary_inputs =
+    primary_inputs @ (Hashtbl.fold (fun n () acc -> n :: acc) floating []
+                      |> List.sort compare)
+  in
+  let netlist =
+    Netlist.create
+      ~name:(l.Layout.layout_name ^ "_extracted")
+      ~primary_inputs ~primary_outputs gates
+  in
+  let wirelength = Layout.wirelength l in
+  let statistics = {
+    source_layout = l.Layout.layout_name;
+    nets_extracted = Netlist.net_count netlist;
+    cells_extracted = List.length l.Layout.cells;
+    total_wirelength = wirelength;
+    estimated_cap_ff = 0.2 *. float_of_int wirelength;
+    vias = !vias;
+    die_area = Layout.area l;
+    opens;
+  }
+  in
+  (netlist, statistics)
+
+let statistics_hash s =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%d|%d|%d|%f|%d|%d|%d" s.source_layout
+          s.nets_extracted s.cells_extracted s.total_wirelength
+          s.estimated_cap_ff s.vias s.die_area s.opens))
+
+let pp_statistics ppf s =
+  Fmt.pf ppf
+    "extraction of %s: %d nets, %d cells, wirelength %d (%.1f fF), %d vias, area %d%s"
+    s.source_layout s.nets_extracted s.cells_extracted s.total_wirelength
+    s.estimated_cap_ff s.vias s.die_area
+    (if s.opens = 0 then "" else Printf.sprintf ", %d OPENS" s.opens)

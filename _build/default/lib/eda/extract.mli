@@ -1,0 +1,29 @@
+(** The extractor tool: recover a netlist from layout geometry alone.
+
+    Connectivity is computed from the artwork (pins and wire segments
+    joined at shared via points), so the result reflects what the
+    layout actually connects.  The statistics are the co-produced
+    second output of the same task invocation (Fig. 5). *)
+
+type statistics = {
+  source_layout : string;
+  nets_extracted : int;
+  cells_extracted : int;
+  total_wirelength : int;
+  estimated_cap_ff : float;
+  vias : int;
+  die_area : int;
+  opens : int;
+      (** floating pins promoted to input ports; healthy layouts: 0 *)
+}
+
+exception Extract_error of string
+
+val run : Layout.t -> Netlist.t * statistics
+(** Geometric extraction.  Net names are fresh except for ports, which
+    keep their pad labels (as real extractors honour text labels).
+    Floating nets are promoted to ports and counted in [opens] rather
+    than failing. *)
+
+val statistics_hash : statistics -> string
+val pp_statistics : Format.formatter -> statistics -> unit

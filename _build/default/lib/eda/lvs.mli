@@ -1,0 +1,30 @@
+(** LVS-style netlist comparison: the verifier tool.
+
+    Structural equivalence up to net and gate renaming, with primary
+    ports pinned by name.  The matcher runs iterative signature
+    refinement over the gate/net graph, then verifies the induced
+    correspondence edge by edge, reporting mismatches (a verification
+    is a browsable design object, not just a boolean). *)
+
+type mismatch =
+  | Port_sets_differ of string
+  | Gate_count of int * int
+  | Unmatched_gate of string
+  | Signature_conflict of string
+
+type t = {
+  reference_name : string;
+  candidate_name : string;
+  equivalent : bool;
+  matched_gates : int;
+  mismatches : mismatch list;
+  gate_map : (string * string) list;
+}
+
+val mismatch_to_string : mismatch -> string
+
+val compare_netlists : Netlist.t -> Netlist.t -> t
+(** [compare_netlists reference candidate]. *)
+
+val hash : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,338 @@
+(* Gate-level netlists: the central design-data type of the substrate.
+
+   A netlist is combinational: primary inputs drive a DAG of gates.
+   Gates carry a drive strength so the statistical optimizers have a
+   real design space, and the timing model a real knob. *)
+
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type gate = {
+  gname : string;
+  op : Logic.gate_op;
+  inputs : string list;
+  output : string;
+  drive : int;  (* 1, 2 or 4 *)
+}
+
+(* A D flip-flop: [q] takes the value of [d] at each clock edge (one
+   edge per stimulus vector; the clock itself is implicit). *)
+type flop = {
+  fname : string;
+  d : string;
+  q : string;
+  init : Logic.value;
+}
+
+type t = {
+  name : string;
+  primary_inputs : string list;
+  primary_outputs : string list;
+  gates : gate list;
+  flops : flop list;
+}
+
+exception Netlist_error of string
+
+let netlist_errorf fmt = Format.kasprintf (fun s -> raise (Netlist_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction and validation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gate ?(drive = 1) gname op inputs output =
+  if not (Logic.arity_ok op (List.length inputs)) then
+    netlist_errorf "gate %s: bad arity for %s" gname (Logic.op_name op);
+  if not (List.mem drive [ 1; 2; 4 ]) then
+    netlist_errorf "gate %s: drive must be 1, 2 or 4" gname;
+  { gname; op; inputs; output; drive }
+
+let flop ?(init = Logic.V0) fname ~d ~q = { fname; d; q; init }
+
+let is_sequential nl = nl.flops <> []
+
+let driver_table nl =
+  List.fold_left
+    (fun acc g ->
+      if String_map.mem g.output acc then
+        netlist_errorf "net %s has several drivers" g.output
+      else String_map.add g.output g acc)
+    String_map.empty nl.gates
+
+let flop_outputs nl = List.map (fun f -> f.q) nl.flops
+
+let nets nl =
+  let add acc n = String_set.add n acc in
+  let acc = List.fold_left add String_set.empty nl.primary_inputs in
+  let acc =
+    List.fold_left
+      (fun acc g -> List.fold_left add (add acc g.output) g.inputs)
+      acc nl.gates
+  in
+  let acc =
+    List.fold_left (fun acc f -> add (add acc f.d) f.q) acc nl.flops
+  in
+  String_set.elements acc
+
+let validate nl =
+  if nl.name = "" then netlist_errorf "netlist name must be non-empty";
+  let drivers = driver_table nl in
+  let pi = String_set.of_list nl.primary_inputs in
+  (* flop outputs are sources for the combinational network but must
+     not collide with gate drivers or primary inputs *)
+  let flop_q = String_set.of_list (flop_outputs nl) in
+  if String_set.cardinal flop_q <> List.length nl.flops then
+    netlist_errorf "two flops drive the same net";
+  String_set.iter
+    (fun q ->
+      if String_map.mem q drivers then
+        netlist_errorf "flop output %s is also driven by a gate" q;
+      if String_set.mem q pi then
+        netlist_errorf "flop output %s is a primary input" q)
+    flop_q;
+  let driven n =
+    String_set.mem n pi || String_map.mem n drivers || String_set.mem n flop_q
+  in
+  List.iter
+    (fun f ->
+      if not (driven f.d) then
+        netlist_errorf "flop %s data input %s is undriven" f.fname f.d)
+    nl.flops;
+  if String_set.cardinal pi <> List.length nl.primary_inputs then
+    netlist_errorf "duplicate primary input";
+  String_set.iter
+    (fun n ->
+      if String_map.mem n drivers then
+        netlist_errorf "primary input %s is driven by a gate" n)
+    pi;
+  let gate_names = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.add gate_names f.fname ()) nl.flops;
+  if Hashtbl.length gate_names <> List.length nl.flops then
+    netlist_errorf "duplicate flop name";
+  let flop_q = String_set.of_list (flop_outputs nl) in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gate_names g.gname then
+        netlist_errorf "duplicate gate name %s" g.gname;
+      Hashtbl.add gate_names g.gname ();
+      List.iter
+        (fun i ->
+          if
+            (not (String_set.mem i pi))
+            && (not (String_map.mem i drivers))
+            && not (String_set.mem i flop_q)
+          then netlist_errorf "gate %s input %s is undriven" g.gname i)
+        g.inputs)
+    nl.gates;
+  List.iter
+    (fun o ->
+      if
+        (not (String_map.mem o drivers))
+        && (not (String_set.mem o pi))
+        && not (String_set.mem o flop_q)
+      then netlist_errorf "primary output %s is undriven" o)
+    nl.primary_outputs
+
+let create ?(flops = []) ~name ~primary_inputs ~primary_outputs gates =
+  let nl = { name; primary_inputs; primary_outputs; gates; flops } in
+  validate nl;
+  nl
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gate_count nl = List.length nl.gates
+let net_count nl = List.length (nets nl)
+
+let transistor_count nl =
+  List.fold_left
+    (fun acc g -> acc + Logic.transistor_count g.op (List.length g.inputs))
+    0 nl.gates
+
+let fanout_table nl =
+  let tbl = Hashtbl.create 64 in
+  let bump n = Hashtbl.replace tbl n (1 + try Hashtbl.find tbl n with Not_found -> 0) in
+  List.iter (fun g -> List.iter bump g.inputs) nl.gates;
+  List.iter bump nl.primary_outputs;
+  fun net -> try Hashtbl.find tbl net with Not_found -> 0
+
+(* Topological gate order; raises on a combinational cycle. *)
+let levelize nl =
+  let drivers = driver_table nl in
+  let pi = String_set.of_list (nl.primary_inputs @ flop_outputs nl) in
+  let level = Hashtbl.create 64 in
+  String_set.iter (fun n -> Hashtbl.replace level n 0) pi;
+  let rec net_level visiting n =
+    match Hashtbl.find_opt level n with
+    | Some l -> l
+    | None ->
+      if String_set.mem n visiting then
+        netlist_errorf "combinational cycle through net %s" n;
+      if String_set.mem n pi then 0
+      else begin
+        let g =
+          match String_map.find_opt n drivers with
+          | Some g -> g
+          | None -> netlist_errorf "undriven net %s" n
+        in
+        let visiting = String_set.add n visiting in
+        let l =
+          1 + List.fold_left (fun m i -> max m (net_level visiting i)) 0 g.inputs
+        in
+        Hashtbl.replace level n l;
+        l
+      end
+  in
+  let ranked =
+    List.map (fun g -> (net_level String_set.empty g.output, g)) nl.gates
+  in
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) ranked
+
+let topological_gates nl = List.map snd (levelize nl)
+
+let depth nl =
+  List.fold_left (fun m (l, _) -> max m l) 0 (levelize nl)
+
+(* Flop state: current q values, by flop name. *)
+type state = (string * Logic.value) list
+
+let initial_state nl = List.map (fun f -> (f.fname, f.init)) nl.flops
+
+(* One combinational settle: all net values under the inputs and the
+   current state. *)
+let settle nl state env =
+  let values = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let v = try List.assoc n env with Not_found -> Logic.VX in
+      Hashtbl.replace values n v)
+    nl.primary_inputs;
+  List.iter
+    (fun f ->
+      let v = try List.assoc f.fname state with Not_found -> f.init in
+      Hashtbl.replace values f.q v)
+    nl.flops;
+  List.iter
+    (fun g ->
+      let ins =
+        List.map
+          (fun i -> try Hashtbl.find values i with Not_found -> Logic.VX)
+          g.inputs
+      in
+      Hashtbl.replace values g.output (Logic.eval g.op ins))
+    (topological_gates nl);
+  fun net -> try Hashtbl.find values net with Not_found -> Logic.VX
+
+(* Zero-delay functional evaluation of the outputs; sequential
+   netlists read their flops from [state] (initial values by default). *)
+let eval ?state nl env =
+  let state = match state with Some s -> s | None -> initial_state nl in
+  let value = settle nl state env in
+  List.map (fun o -> (o, value o)) nl.primary_outputs
+
+(* One clock cycle: settle, capture d into every flop, return the new
+   state and the settled outputs. *)
+let step nl state env =
+  let value = settle nl state env in
+  let state' = List.map (fun f -> (f.fname, value f.d)) nl.flops in
+  (state', List.map (fun o -> (o, value o)) nl.primary_outputs)
+
+(* Run a vector sequence through the clocked semantics. *)
+let run_cycles nl env_list =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | env :: rest ->
+      let state', outs = step nl state env in
+      go state' (outs :: acc) rest
+  in
+  go (initial_state nl) [] env_list
+
+(* ------------------------------------------------------------------ *)
+(* Editing primitives (used by the netlist editor tool)                *)
+(* ------------------------------------------------------------------ *)
+
+let rename nl name = { nl with name }
+
+let add_gate nl g =
+  let nl = { nl with gates = nl.gates @ [ g ] } in
+  validate nl;
+  nl
+
+let remove_gate nl gname =
+  if not (List.exists (fun g -> g.gname = gname) nl.gates) then
+    netlist_errorf "no gate named %s" gname;
+  let nl = { nl with gates = List.filter (fun g -> g.gname <> gname) nl.gates } in
+  validate nl;
+  nl
+
+let set_drive nl gname drive =
+  if not (List.mem drive [ 1; 2; 4 ]) then
+    netlist_errorf "drive must be 1, 2 or 4";
+  let found = ref false in
+  let gates =
+    List.map
+      (fun g ->
+        if g.gname = gname then begin
+          found := true;
+          { g with drive }
+        end
+        else g)
+      nl.gates
+  in
+  if not !found then netlist_errorf "no gate named %s" gname;
+  { nl with gates }
+
+let find_gate nl gname = List.find_opt (fun g -> g.gname = gname) nl.gates
+
+(* ------------------------------------------------------------------ *)
+(* Structural hash (content addressing for the design-object store)    *)
+(* ------------------------------------------------------------------ *)
+
+let to_canonical_string nl =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf nl.name;
+  Buffer.add_string buf "|pi:";
+  Buffer.add_string buf (String.concat "," nl.primary_inputs);
+  Buffer.add_string buf "|po:";
+  Buffer.add_string buf (String.concat "," nl.primary_outputs);
+  let gs =
+    List.sort (fun a b -> compare a.gname b.gname) nl.gates
+  in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%s:%s(%s)->%s@%d" g.gname (Logic.op_name g.op)
+           (String.concat "," g.inputs) g.output g.drive))
+    gs;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%s:dff(%s)->%s=%s" f.fname f.d f.q
+           (Logic.value_name f.init)))
+    (List.sort (fun a b -> compare a.fname b.fname) nl.flops);
+  Buffer.contents buf
+
+let hash nl = Digest.to_hex (Digest.string (to_canonical_string nl))
+
+let equal a b = String.equal (to_canonical_string a) (to_canonical_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf nl =
+  Fmt.pf ppf "@[<v>netlist %s (%d gates, depth %d)@,inputs: %s@,outputs: %s@,%a@]"
+    nl.name (gate_count nl) (depth nl)
+    (String.concat " " nl.primary_inputs)
+    (String.concat " " nl.primary_outputs)
+    (Fmt.list ~sep:Fmt.cut (fun ppf g ->
+         Fmt.pf ppf "%s = %s(%s) [x%d]" g.output (Logic.op_name g.op)
+           (String.concat ", " g.inputs) g.drive))
+    nl.gates;
+  if nl.flops <> [] then
+    Fmt.pf ppf "@,%a"
+      (Fmt.list ~sep:Fmt.cut (fun ppf f ->
+           Fmt.pf ppf "%s = dff(%s) init %s" f.q f.d
+             (Logic.value_name f.init)))
+      nl.flops

@@ -1,0 +1,164 @@
+(* Performance analysis: the design object produced by the simulator
+   tools -- static timing plus activity-based power from a simulation
+   run. *)
+
+type t = {
+  circuit_name : string;
+  model_name : string;
+  critical_path_ps : int;
+  total_switching : int;       (* transitions observed in simulation *)
+  dynamic_power : float;       (* arbitrary energy units per vector *)
+  vectors_simulated : int;
+  gate_count : int;
+  output_signature : string;   (* digest of the output responses *)
+}
+
+(* One step of the worst path: (net, arrival, gate that set it). *)
+type path_step = {
+  ps_net : string;
+  ps_arrival_ps : int;
+  ps_gate : string option;  (* None at a timing start point *)
+}
+
+(* Static timing: longest weighted path from any start point (primary
+   input or flop output) to any end point (primary output or flop
+   input) under the device model, with the worst path traceable. *)
+let timing_tables ?(model = Device_model.default) nl =
+  let fanout = Netlist.fanout_table nl in
+  let arrival = Hashtbl.create 64 in
+  let via = Hashtbl.create 64 in  (* net -> worst gate, worst input *)
+  List.iter
+    (fun n -> Hashtbl.replace arrival n 0)
+    (nl.Netlist.primary_inputs @ Netlist.flop_outputs nl);
+  let at net = try Hashtbl.find arrival net with Not_found -> 0 in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      let d = Device_model.gate_delay_ps model g ~fanout:(fanout g.output) in
+      let worst_in =
+        List.fold_left
+          (fun best i -> match best with
+            | Some b when at b >= at i -> best
+            | Some _ | None -> Some i)
+          None g.inputs
+      in
+      let worst = match worst_in with Some i -> at i | None -> 0 in
+      Hashtbl.replace arrival g.output (worst + d);
+      Hashtbl.replace via g.output (g.gname, worst_in))
+    (Netlist.topological_gates nl);
+  (at, via)
+
+let timing_end_points nl =
+  nl.Netlist.primary_outputs
+  @ List.map (fun (f : Netlist.flop) -> f.Netlist.d) nl.Netlist.flops
+
+let critical_path ?(model = Device_model.default) nl =
+  let at, _ = timing_tables ~model nl in
+  List.fold_left (fun m o -> max m (at o)) 0 (timing_end_points nl)
+
+(* The worst register-to-register / input-to-output path, end point
+   first. *)
+let critical_path_report ?(model = Device_model.default) nl =
+  let at, via = timing_tables ~model nl in
+  match timing_end_points nl with
+  | [] -> []
+  | o :: rest ->
+    let endpoint = List.fold_left (fun m o -> if at o > at m then o else m) o rest in
+    let rec walk net acc =
+      match Hashtbl.find_opt via net with
+      | None -> { ps_net = net; ps_arrival_ps = at net; ps_gate = None } :: acc
+      | Some (gname, worst_in) ->
+        let step =
+          { ps_net = net; ps_arrival_ps = at net; ps_gate = Some gname }
+        in
+        (match worst_in with
+        | Some i -> walk i (step :: acc)
+        | None -> step :: acc)
+    in
+    walk endpoint []
+
+let pp_path ppf steps =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf s ->
+         Fmt.pf ppf "%6d ps  %-12s %s" s.ps_arrival_ps s.ps_net
+           (match s.ps_gate with Some g -> "via " ^ g | None -> "(start)")))
+    steps
+
+(* Activity-based dynamic power: switching events weighted by the gate
+   energy under the model. *)
+let dynamic_power ~model nl (waveform : Waveform.t) =
+  let energy_of_net = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      Hashtbl.replace energy_of_net g.output (Device_model.gate_energy model g))
+    nl.Netlist.gates;
+  List.fold_left
+    (fun acc net ->
+      match Hashtbl.find_opt energy_of_net net with
+      | None -> acc
+      | Some e -> acc +. (e *. float_of_int (Waveform.transition_count waveform net)))
+    0.0 (Waveform.nets waveform)
+
+let output_signature nl (waveform : Waveform.t) stimuli =
+  let buf = Buffer.create 128 in
+  let interval = Stimuli.interval_ps stimuli in
+  List.iteri
+    (fun k _ ->
+      let sample_time = ((k + 1) * interval) - 1 in
+      List.iter
+        (fun o ->
+          Buffer.add_string buf
+            (Logic.value_name (Waveform.value_at waveform o sample_time)))
+        nl.Netlist.primary_outputs)
+    (Stimuli.vectors stimuli);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* The complete simulator tool behaviour: event-driven run + analysis. *)
+let analyze ?(model = Device_model.default) nl stimuli =
+  let result = Sim_event.run ~model ~settle_ps:(Stimuli.interval_ps stimuli) nl stimuli in
+  let vectors = Stimuli.length stimuli in
+  {
+    circuit_name = nl.Netlist.name;
+    model_name = model.Device_model.model_name;
+    critical_path_ps = critical_path ~model nl;
+    total_switching = Waveform.total_transitions result.Sim_event.waveform;
+    dynamic_power =
+      (if vectors = 0 then 0.0
+       else dynamic_power ~model nl result.Sim_event.waveform /. float_of_int vectors);
+    vectors_simulated = vectors;
+    gate_count = Netlist.gate_count nl;
+    output_signature = output_signature nl result.Sim_event.waveform stimuli;
+  }
+
+(* Summary signature from a compiled-simulation run (Fig. 2 flow):
+   functional outputs only, no waveform. *)
+let of_compiled_run compiled responses ~model_name =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun resp ->
+      List.iter
+        (fun (_, v) -> Buffer.add_string buf (Logic.value_name v))
+        resp)
+    responses;
+  {
+    circuit_name = compiled.Sim_compiled.source_name;
+    model_name;
+    critical_path_ps = 0;
+    total_switching = 0;
+    dynamic_power = 0.0;
+    vectors_simulated = List.length responses;
+    gate_count = Sim_compiled.instruction_count compiled;
+    output_signature = Digest.to_hex (Digest.string (Buffer.contents buf));
+  }
+
+let hash p =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%s|%d|%d|%f|%d|%s" p.circuit_name p.model_name
+          p.critical_path_ps p.total_switching p.dynamic_power
+          p.vectors_simulated p.output_signature))
+
+let pp ppf p =
+  Fmt.pf ppf
+    "performance of %s under %s: critical path %d ps, %.1f energy/vector, %d vectors"
+    p.circuit_name p.model_name p.critical_path_ps p.dynamic_power
+    p.vectors_simulated

@@ -1,0 +1,46 @@
+(** Performance analysis: the design object produced by the simulator
+    tool — static timing plus activity-based power from a simulation
+    run. *)
+
+type t = {
+  circuit_name : string;
+  model_name : string;
+  critical_path_ps : int;
+  total_switching : int;
+  dynamic_power : float;       (** energy units per vector *)
+  vectors_simulated : int;
+  gate_count : int;
+  output_signature : string;   (** digest of the output responses *)
+}
+
+type path_step = {
+  ps_net : string;
+  ps_arrival_ps : int;
+  ps_gate : string option;  (** [None] at a timing start point *)
+}
+
+val critical_path : ?model:Device_model.t -> Netlist.t -> int
+(** Longest weighted path from any start point (primary input or flop
+    output) to any end point (primary output or flop input). *)
+
+val critical_path_report : ?model:Device_model.t -> Netlist.t -> path_step list
+(** The worst path itself, start point first. *)
+
+val pp_path : Format.formatter -> path_step list -> unit
+
+val dynamic_power : model:Device_model.t -> Netlist.t -> Waveform.t -> float
+(** Switching events weighted by gate energy. *)
+
+val output_signature : Netlist.t -> Waveform.t -> Stimuli.t -> string
+(** Digest of the sampled output responses, one sample per vector. *)
+
+val analyze : ?model:Device_model.t -> Netlist.t -> Stimuli.t -> t
+(** The full simulator-tool behaviour: event-driven run + analysis. *)
+
+val of_compiled_run :
+  Sim_compiled.t -> (string * Logic.value) list list -> model_name:string -> t
+(** Summary of a compiled-simulation run (Fig. 2): functional outputs
+    only, no waveform-derived metrics. *)
+
+val hash : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,326 @@
+(* The PLA generator tool: re-implement a logic function as a
+   programmable logic array (the standard-cell-to-PLA scenario the
+   paper borrows from Chiueh & Katz, section 2).
+
+   A truth table is lifted from the source netlist by exhaustive
+   compiled simulation; the AND plane is minimized by iterated cube
+   merging with a greedy essential-first cover (a light
+   Quine-McCluskey); [to_netlist] lowers the planes back to two-level
+   logic so the result can be verified against the original. *)
+
+type literal =
+  | L_true      (* input must be 1 *)
+  | L_false     (* input must be 0 *)
+  | L_dash      (* input irrelevant *)
+
+type cube = literal array
+
+type t = {
+  pla_name : string;
+  inputs : string list;
+  outputs : string list;
+  and_plane : cube list;
+  or_plane : bool array list;  (* per product term: which outputs use it *)
+}
+
+exception Pla_error of string
+
+let max_inputs = 14
+
+(* ------------------------------------------------------------------ *)
+(* Truth table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type truth_table = {
+  tt_inputs : string list;
+  tt_outputs : string list;
+  (* row index = input assignment, LSB = first input *)
+  tt_rows : bool array array;  (* [row].(output index) *)
+}
+
+let truth_table nl =
+  if Netlist.is_sequential nl then
+    raise (Pla_error "PLA synthesis is combinational-only");
+  let n = List.length nl.Netlist.primary_inputs in
+  if n > max_inputs then
+    raise (Pla_error (Printf.sprintf "PLA limited to %d inputs" max_inputs));
+  let compiled = Sim_compiled.compile nl in
+  let stimuli = Stimuli.exhaustive nl.Netlist.primary_inputs in
+  let responses = Sim_compiled.run compiled stimuli in
+  let row resp =
+    Array.of_list
+      (List.map
+         (fun (_, v) ->
+           match Logic.to_bool v with
+           | Some b -> b
+           | None -> raise (Pla_error "X in truth table"))
+         resp)
+  in
+  {
+    tt_inputs = nl.Netlist.primary_inputs;
+    tt_outputs = nl.Netlist.primary_outputs;
+    tt_rows = Array.of_list (List.map row responses);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cube algebra                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cube_of_minterm n k =
+  Array.init n (fun i -> if (k lsr i) land 1 = 1 then L_true else L_false)
+
+let cube_covers cube k =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      let bit = (k lsr i) land 1 = 1 in
+      match lit with
+      | L_true -> if not bit then ok := false
+      | L_false -> if bit then ok := false
+      | L_dash -> ())
+    cube;
+  !ok
+
+(* Merge two cubes differing in exactly one specified literal. *)
+let try_merge a b =
+  let n = Array.length a in
+  let diff = ref 0 and pos = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       if a.(i) <> b.(i) then begin
+         (match (a.(i), b.(i)) with
+         | L_true, L_false | L_false, L_true ->
+           incr diff;
+           pos := i
+         | L_dash, _ | _, L_dash -> raise Exit
+         | (L_true | L_false), _ -> assert false);
+         if !diff > 1 then raise Exit
+       end
+     done
+   with Exit -> diff := 2);
+  if !diff = 1 then begin
+    let merged = Array.copy a in
+    merged.(!pos) <- L_dash;
+    Some merged
+  end
+  else None
+
+let cube_key c =
+  String.init (Array.length c) (fun i ->
+      match c.(i) with L_true -> '1' | L_false -> '0' | L_dash -> '-')
+
+(* Iterated merging until fixpoint: the prime-ish implicants. *)
+let merge_pass cubes =
+  let arr = Array.of_list cubes in
+  let n = Array.length arr in
+  let used = Array.make n false in
+  let out = Hashtbl.create 64 in
+  let progressed = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match try_merge arr.(i) arr.(j) with
+      | Some m ->
+        used.(i) <- true;
+        used.(j) <- true;
+        progressed := true;
+        Hashtbl.replace out (cube_key m) m
+      | None -> ()
+    done
+  done;
+  for i = 0 to n - 1 do
+    if not used.(i) then Hashtbl.replace out (cube_key arr.(i)) arr.(i)
+  done;
+  let merged = Hashtbl.fold (fun _ c acc -> c :: acc) out [] in
+  (merged, !progressed)
+
+let rec merge_to_fixpoint cubes =
+  let merged, progressed = merge_pass cubes in
+  if progressed then merge_to_fixpoint merged else merged
+
+(* Greedy cover: repeatedly take the implicant covering the most
+   still-uncovered minterms. *)
+let greedy_cover implicants minterms =
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace remaining k ()) minterms;
+  let chosen = ref [] in
+  let count_covered c =
+    Hashtbl.fold (fun k () acc -> if cube_covers c k then acc + 1 else acc)
+      remaining 0
+  in
+  while Hashtbl.length remaining > 0 do
+    let best =
+      List.fold_left
+        (fun best c ->
+          let n = count_covered c in
+          match best with
+          | Some (_, bn) when bn >= n -> best
+          | Some _ | None -> if n > 0 then Some (c, n) else best)
+        None implicants
+    in
+    match best with
+    | None -> raise (Pla_error "cover failure")
+    | Some (c, _) ->
+      chosen := c :: !chosen;
+      Hashtbl.iter
+        (fun k () -> if cube_covers c k then Hashtbl.remove remaining k)
+        (Hashtbl.copy remaining)
+  done;
+  List.rev !chosen
+
+(* ------------------------------------------------------------------ *)
+(* PLA synthesis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let of_truth_table ?(name = "pla") tt =
+  let n = List.length tt.tt_inputs in
+  let n_out = List.length tt.tt_outputs in
+  (* per-output minimized covers *)
+  let covers =
+    List.init n_out (fun o ->
+        let minterms =
+          List.filter (fun k -> tt.tt_rows.(k).(o))
+            (List.init (Array.length tt.tt_rows) Fun.id)
+        in
+        if minterms = [] then []
+        else
+          let primes =
+            merge_to_fixpoint (List.map (cube_of_minterm n) minterms)
+          in
+          greedy_cover primes minterms)
+  in
+  (* share identical product terms across outputs *)
+  let terms = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun o cover ->
+      List.iter
+        (fun c ->
+          let key = cube_key c in
+          (match Hashtbl.find_opt terms key with
+          | Some (_, outs) -> outs.(o) <- true
+          | None ->
+            let outs = Array.make n_out false in
+            outs.(o) <- true;
+            order := key :: !order;
+            Hashtbl.add terms key (c, outs)))
+        cover)
+    covers;
+  let keys = List.rev !order in
+  {
+    pla_name = name;
+    inputs = tt.tt_inputs;
+    outputs = tt.tt_outputs;
+    and_plane = List.map (fun k -> fst (Hashtbl.find terms k)) keys;
+    or_plane = List.map (fun k -> snd (Hashtbl.find terms k)) keys;
+  }
+
+let of_netlist nl =
+  of_truth_table ~name:(nl.Netlist.name ^ "_pla") (truth_table nl)
+
+let product_terms p = List.length p.and_plane
+
+(* ------------------------------------------------------------------ *)
+(* Lowering back to a netlist (two-level AND-OR with input inverters)  *)
+(* ------------------------------------------------------------------ *)
+
+let to_netlist p =
+  let n = List.length p.inputs in
+  let input_arr = Array.of_list p.inputs in
+  let gates = ref [] in
+  let emit g = gates := g :: !gates in
+  (* inverted input rails, created on demand *)
+  let inverted = Hashtbl.create 8 in
+  let rail_false i =
+    let base = input_arr.(i) in
+    match Hashtbl.find_opt inverted i with
+    | Some net -> net
+    | None ->
+      let net = Printf.sprintf "nbar_%s" base in
+      emit (Netlist.gate (Printf.sprintf "ginv_%s" base) Logic.Not [ base ] net);
+      Hashtbl.add inverted i net;
+      net
+  in
+  let term_nets =
+    List.mapi
+      (fun ti cube ->
+        let literals =
+          List.filter_map
+            (fun i ->
+              match cube.(i) with
+              | L_true -> Some input_arr.(i)
+              | L_false -> Some (rail_false i)
+              | L_dash -> None)
+            (List.init n Fun.id)
+        in
+        match literals with
+        | [] ->
+          (* tautological term: a constant-1; model it as a = or(x, not x) *)
+          let net = Printf.sprintf "term%d" ti in
+          let x = input_arr.(0) in
+          emit (Netlist.gate (Printf.sprintf "gterm%d" ti) Logic.Or
+                  [ x; rail_false 0 ] net);
+          net
+        | [ single ] -> single
+        | many ->
+          let net = Printf.sprintf "term%d" ti in
+          emit (Netlist.gate (Printf.sprintf "gterm%d" ti) Logic.And many net);
+          net)
+      p.and_plane
+  in
+  let term_arr = Array.of_list term_nets in
+  List.iteri
+    (fun o out ->
+      let terms =
+        List.filter_map
+          (fun ti ->
+            let outs = List.nth p.or_plane ti in
+            if outs.(o) then Some term_arr.(ti) else None)
+          (List.init (List.length p.or_plane) Fun.id)
+      in
+      match terms with
+      | [] ->
+        (* constant-0 output: and(x, not x) *)
+        let x = input_arr.(0) in
+        emit (Netlist.gate (Printf.sprintf "gzero_%s" out) Logic.And
+                [ x; rail_false 0 ] out)
+      | [ single ] ->
+        emit (Netlist.gate (Printf.sprintf "gor_%s" out) Logic.Buf [ single ] out)
+      | many ->
+        emit (Netlist.gate (Printf.sprintf "gor_%s" out) Logic.Or many out))
+    p.outputs;
+  Netlist.create ~name:p.pla_name ~primary_inputs:p.inputs
+    ~primary_outputs:p.outputs (List.rev !gates)
+
+(* The pla_generator tool behaviour: netlist -> PLA -> placed layout. *)
+let to_layout p = Layout.place ~name_suffix:"_pla_layout" (to_netlist p)
+
+(* Functional check: the PLA re-implementation matches the original. *)
+let equivalent nl p =
+  let tt = truth_table nl in
+  let pla_nl = to_netlist p in
+  let compiled = Sim_compiled.compile pla_nl in
+  let stimuli = Stimuli.exhaustive nl.Netlist.primary_inputs in
+  let responses = Sim_compiled.run compiled stimuli in
+  List.for_all2
+    (fun resp k ->
+      List.for_all2
+        (fun (_, v) o -> Logic.to_bool v = Some tt.tt_rows.(k).(o))
+        resp
+        (List.init (List.length p.outputs) Fun.id))
+    responses
+    (List.init (Array.length tt.tt_rows) Fun.id)
+
+let hash p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf p.pla_name;
+  List.iter (fun c -> Buffer.add_string buf ("|" ^ cube_key c)) p.and_plane;
+  List.iter
+    (fun outs ->
+      Buffer.add_char buf '|';
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) outs)
+    p.or_plane;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pp ppf p =
+  Fmt.pf ppf "PLA %s: %d inputs, %d outputs, %d product terms" p.pla_name
+    (List.length p.inputs) (List.length p.outputs) (product_terms p)

@@ -1,0 +1,71 @@
+(* The plotter tool: renders waveforms as ASCII timing diagrams -- the
+   performance-plot entity of Fig. 1. *)
+
+type t = {
+  title : string;
+  rendering : string;
+  nets_plotted : string list;
+}
+
+let glyph = function
+  | Logic.V0 -> '_'
+  | Logic.V1 -> '#'
+  | Logic.VX -> '?'
+
+let render ?(width = 64) ~title (waveform : Waveform.t) nets =
+  let end_time = max 1 (Waveform.end_time_ps waveform) in
+  let step = max 1 (end_time / width) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "=== %s (%d ps, %d ps/col) ===\n" title end_time step);
+  let name_width =
+    List.fold_left (fun m n -> max m (String.length n)) 4 nets
+  in
+  List.iter
+    (fun net ->
+      let samples = Waveform.sample waveform net ~step_ps:step in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |" name_width net);
+      List.iter (fun v -> Buffer.add_char buf (glyph v)) samples;
+      Buffer.add_string buf "|\n")
+    nets;
+  {
+    title;
+    rendering = Buffer.contents buf;
+    nets_plotted = nets;
+  }
+
+(* Plot a performance's source waveform is not retained in the
+   performance record, so the plotter tool re-simulates when driven
+   from a performance alone; this entry point plots from a waveform. *)
+let of_simulation ?(width = 64) ~title (result : Sim_event.result) nets =
+  render ~width ~title result.Sim_event.waveform nets
+
+(* A performance plot (Fig. 1's performance-plot entity): metric bars
+   derived from a performance analysis. *)
+let of_performance ?(width = 40) (p : Performance.t) =
+  let bar value scale =
+    let n = int_of_float (float_of_int width *. min 1.0 (value /. scale)) in
+    String.make (max 0 n) '#'
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== performance of %s (%s) ===\n" p.Performance.circuit_name
+       p.Performance.model_name);
+  Buffer.add_string buf
+    (Printf.sprintf "critical path %6d ps |%s\n" p.Performance.critical_path_ps
+       (bar (float_of_int p.Performance.critical_path_ps) 2000.0));
+  Buffer.add_string buf
+    (Printf.sprintf "power / vector %6.1f    |%s\n" p.Performance.dynamic_power
+       (bar p.Performance.dynamic_power 100.0));
+  Buffer.add_string buf
+    (Printf.sprintf "switching      %6d    |%s\n" p.Performance.total_switching
+       (bar (float_of_int p.Performance.total_switching) 4000.0));
+  {
+    title = "performance " ^ p.Performance.circuit_name;
+    rendering = Buffer.contents buf;
+    nets_plotted = [];
+  }
+
+let hash p = Digest.to_hex (Digest.string p.rendering)
+
+let pp ppf p = Fmt.string ppf p.rendering

@@ -1,0 +1,19 @@
+(** The plotter tool: ASCII timing diagrams and performance bar charts
+    — the performance-plot entity of Fig. 1. *)
+
+type t = {
+  title : string;
+  rendering : string;
+  nets_plotted : string list;
+}
+
+val render : ?width:int -> title:string -> Waveform.t -> string list -> t
+(** Timing diagram of the named nets ([_] low, [#] high, [?] unknown). *)
+
+val of_simulation : ?width:int -> title:string -> Sim_event.result -> string list -> t
+
+val of_performance : ?width:int -> Performance.t -> t
+(** Metric bars (critical path, power, switching) of an analysis. *)
+
+val hash : t -> string
+val pp : Format.formatter -> t -> unit

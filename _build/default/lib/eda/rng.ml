@@ -1,0 +1,44 @@
+(* A small deterministic splitmix64 generator.
+
+   Workload generation, optimizer search and random netlists must be
+   reproducible across runs and independent of the global [Random]
+   state, so every consumer threads its own generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  (* 53 uniform bits in [0, 1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,31 @@
+(** A small deterministic pseudo-random generator (splitmix64).
+
+    Workload generation, optimizer search and random netlists must be
+    reproducible and independent of the global [Random] state, so every
+    consumer threads an explicit generator. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically. *)
+
+val copy : t -> t
+(** An independent generator continuing from the same state. *)
+
+val next : t -> int64
+(** The next raw 64-bit value; advances the state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates permutation. *)

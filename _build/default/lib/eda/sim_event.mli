@@ -1,0 +1,29 @@
+(** Event-driven gate-level simulation (selective trace).
+
+    Input changes are scheduled at vector boundaries; a gate whose
+    input changed is evaluated and, when its projected output differs,
+    a new event is scheduled after the gate's delay under the active
+    device model.  The result is a full waveform, including hazard
+    pulses, from which the performance analysis derives power. *)
+
+type stats = {
+  events_processed : int;
+  gate_evaluations : int;
+}
+
+type result = {
+  waveform : Waveform.t;
+  stats : stats;
+}
+
+exception Simulation_error of string
+
+val run :
+  ?model:Device_model.t -> ?settle_ps:int -> Netlist.t -> Stimuli.t -> result
+(** Simulate all stimulus vectors; [settle_ps] extends the horizon past
+    the last vector.  @raise Simulation_error if activity persists far
+    beyond the horizon (oscillation). *)
+
+val final_outputs : result -> Netlist.t -> (string * Logic.value) list
+(** Steady-state primary-output values after the final vector; these
+    agree with {!Netlist.eval} on the last vector (tested property). *)

@@ -1,0 +1,71 @@
+(* Stimuli: sequences of input vectors applied at a fixed interval. *)
+
+type vector = (string * Logic.value) list
+
+type t = {
+  interval_ps : int;   (* time between successive vectors *)
+  vectors : vector list;
+}
+
+exception Stimuli_error of string
+
+let create ?(interval_ps = 2000) vectors =
+  if interval_ps <= 0 then raise (Stimuli_error "interval must be positive");
+  { interval_ps; vectors }
+
+let length t = List.length t.vectors
+let interval_ps t = t.interval_ps
+let vectors t = t.vectors
+
+(* All 2^n vectors over the given inputs, LSB-first: exhaustive testing
+   of small circuits (and truth-table construction for the PLA tool). *)
+let exhaustive inputs =
+  let n = List.length inputs in
+  if n > 20 then raise (Stimuli_error "exhaustive stimuli limited to 20 inputs");
+  let vector k =
+    List.mapi
+      (fun i name -> (name, Logic.of_bool ((k lsr i) land 1 = 1)))
+      inputs
+  in
+  create (List.init (1 lsl n) vector)
+
+let random ~inputs ~n rng =
+  let vector _ =
+    List.map (fun name -> (name, Logic.of_bool (Rng.bool rng))) inputs
+  in
+  create (List.init n vector)
+
+(* Walking-ones: classic connectivity-style pattern. *)
+let walking_ones inputs =
+  let vector k =
+    List.mapi (fun i name -> (name, Logic.of_bool (i = k))) inputs
+  in
+  create (List.init (List.length inputs) vector)
+
+(* Concatenate several stimulus sets into one run: the batched
+   encapsulation case of section 4.1. *)
+let concat = function
+  | [] -> raise (Stimuli_error "nothing to concatenate")
+  | first :: _ as sets ->
+    create ~interval_ps:first.interval_ps
+      (List.concat_map (fun s -> s.vectors) sets)
+
+let for_netlist ?(n = 16) nl rng =
+  random ~inputs:nl.Netlist.primary_inputs ~n rng
+
+let hash t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (string_of_int t.interval_ps);
+  List.iter
+    (fun v ->
+      Buffer.add_char buf '|';
+      List.iter
+        (fun (n, x) ->
+          Buffer.add_string buf n;
+          Buffer.add_string buf (Logic.value_name x))
+        v)
+    t.vectors;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pp ppf t =
+  Fmt.pf ppf "stimuli: %d vectors @ %d ps" (length t) t.interval_ps

@@ -1,0 +1,33 @@
+(** Stimuli: sequences of input vectors applied at a fixed interval. *)
+
+type vector = (string * Logic.value) list
+
+type t
+
+exception Stimuli_error of string
+
+val create : ?interval_ps:int -> vector list -> t
+(** @raise Stimuli_error when the interval is not positive. *)
+
+val length : t -> int
+val interval_ps : t -> int
+val vectors : t -> vector list
+
+val exhaustive : string list -> t
+(** All [2^n] vectors over the inputs, LSB-first.
+    @raise Stimuli_error beyond 20 inputs. *)
+
+val random : inputs:string list -> n:int -> Rng.t -> t
+
+val walking_ones : string list -> t
+(** One vector per input, with only that input high. *)
+
+val concat : t list -> t
+(** One run over all the vectors, at the first set's interval: the
+    batched tool call of section 4.1. @raise Stimuli_error on []. *)
+
+val for_netlist : ?n:int -> Netlist.t -> Rng.t -> t
+(** Random vectors over a netlist's primary inputs. *)
+
+val hash : t -> string
+val pp : Format.formatter -> t -> unit

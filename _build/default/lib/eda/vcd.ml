@@ -1,0 +1,75 @@
+(* VCD (Value Change Dump, IEEE 1364) export of waveforms, so the
+   simulator's output opens in standard waveform viewers. *)
+
+exception Vcd_error of string
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let identifier k =
+  let base = 94 and first = 33 in
+  let rec go k acc =
+    let c = Char.chr (first + (k mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let value_char = function
+  | Logic.V0 -> '0'
+  | Logic.V1 -> '1'
+  | Logic.VX -> 'x'
+
+let to_string ?(module_name = "top") ?(timescale = "1ps") (w : Waveform.t)
+    nets =
+  if nets = [] then raise (Vcd_error "no nets selected");
+  List.iter
+    (fun n ->
+      if not (List.mem n (Waveform.nets w)) then
+        raise (Vcd_error (Printf.sprintf "no trace for net %S" n)))
+    nets;
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "$date ddf export $end\n";
+  out "$version ddf waveform dump $end\n";
+  out "$timescale %s $end\n" timescale;
+  out "$scope module %s $end\n" module_name;
+  let ids = List.mapi (fun i net -> (net, identifier i)) nets in
+  List.iter
+    (fun (net, id) -> out "$var wire 1 %s %s $end\n" id net)
+    ids;
+  out "$upscope $end\n$enddefinitions $end\n";
+  (* initial values *)
+  out "$dumpvars\n";
+  List.iter
+    (fun (net, id) -> out "%c%s\n" (value_char (Waveform.value_at w net 0)) id)
+    ids;
+  out "$end\n";
+  (* merge all traces into one time-ordered change list *)
+  let changes =
+    List.concat_map
+      (fun (net, id) ->
+        List.filter_map
+          (fun (time, v) -> if time = 0 then None else Some (time, id, v))
+          (Waveform.trace w net))
+      ids
+    |> List.sort compare
+  in
+  let last_time = ref (-1) in
+  List.iter
+    (fun (time, id, v) ->
+      if time <> !last_time then begin
+        out "#%d\n" time;
+        last_time := time
+      end;
+      out "%c%s\n" (value_char v) id)
+    changes;
+  if Waveform.end_time_ps w > !last_time then
+    out "#%d\n" (Waveform.end_time_ps w);
+  Buffer.contents buf
+
+let to_file path ?module_name ?timescale w nets =
+  let oc = open_out path in
+  (try output_string oc (to_string ?module_name ?timescale w nets)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

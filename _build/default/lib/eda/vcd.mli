@@ -1,0 +1,17 @@
+(** VCD (Value Change Dump, IEEE 1364) export of waveforms, so the
+    simulator's output opens in standard waveform viewers. *)
+
+exception Vcd_error of string
+
+val identifier : int -> string
+(** The k-th VCD identifier code (printable ASCII, shortest first). *)
+
+val to_string :
+  ?module_name:string -> ?timescale:string -> Waveform.t -> string list ->
+  string
+(** Dump the named nets. @raise Vcd_error when a net has no trace or
+    the selection is empty. *)
+
+val to_file :
+  string -> ?module_name:string -> ?timescale:string -> Waveform.t ->
+  string list -> unit

@@ -1,0 +1,80 @@
+(* Waveforms: per-net value changes over time, as produced by the
+   event-driven simulator and consumed by the plotter. *)
+
+module String_map = Map.Make (String)
+
+type trace = (int * Logic.value) list
+(* (time_ps, new value), strictly increasing times *)
+
+type t = {
+  end_time_ps : int;
+  traces : trace String_map.t;
+}
+
+let empty = { end_time_ps = 0; traces = String_map.empty }
+
+let nets t = List.map fst (String_map.bindings t.traces)
+let end_time_ps t = t.end_time_ps
+
+let trace t net =
+  match String_map.find_opt net t.traces with Some tr -> tr | None -> []
+
+(* Value of a net at a given time (the last change at or before it). *)
+let value_at t net time =
+  let rec scan last = function
+    | [] -> last
+    | (ts, v) :: rest -> if ts <= time then scan v rest else last
+  in
+  scan Logic.VX (trace t net)
+
+let final_value t net = value_at t net t.end_time_ps
+
+(* Record a change; out-of-order or redundant changes are rejected so a
+   waveform is canonical by construction. *)
+let record t net time v =
+  let tr = trace t net in
+  let rec last = function
+    | [] -> None
+    | [ x ] -> Some x
+    | _ :: rest -> last rest
+  in
+  (match last tr with
+  | Some (ts, _) when ts > time -> invalid_arg "Waveform.record: time going backwards"
+  | Some (_, v') when v' = v -> invalid_arg "Waveform.record: redundant change"
+  | Some _ | None -> ());
+  { end_time_ps = max t.end_time_ps time;
+    traces = String_map.add net (tr @ [ (time, v) ]) t.traces }
+
+let set_end_time t time = { t with end_time_ps = max t.end_time_ps time }
+
+let transition_count t net = List.length (trace t net)
+
+let total_transitions t =
+  String_map.fold (fun _ tr acc -> acc + List.length tr) t.traces 0
+
+(* Sample a net at a fixed step: what the plotter draws. *)
+let sample t net ~step_ps =
+  if step_ps <= 0 then invalid_arg "Waveform.sample";
+  let rec go acc time =
+    if time > t.end_time_ps then List.rev acc
+    else go (value_at t net time :: acc) (time + step_ps)
+  in
+  go [] 0
+
+let hash t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int t.end_time_ps);
+  String_map.iter
+    (fun net tr ->
+      Buffer.add_string buf net;
+      List.iter
+        (fun (ts, v) ->
+          Buffer.add_string buf (string_of_int ts);
+          Buffer.add_string buf (Logic.value_name v))
+        tr)
+    t.traces;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pp ppf t =
+  Fmt.pf ppf "waveform: %d nets, %d transitions, %d ps"
+    (List.length (nets t)) (total_transitions t) t.end_time_ps

@@ -1,0 +1,32 @@
+(** Waveforms: per-net value changes over time, produced by the
+    event-driven simulator and consumed by the plotter and the power
+    model. *)
+
+type trace = (int * Logic.value) list
+(** [(time_ps, new_value)] pairs in strictly increasing time order. *)
+
+type t
+
+val empty : t
+val nets : t -> string list
+val end_time_ps : t -> int
+val trace : t -> string -> trace
+
+val value_at : t -> string -> int -> Logic.value
+(** The last change at or before the given time; X before any change. *)
+
+val final_value : t -> string -> Logic.value
+
+val record : t -> string -> int -> Logic.value -> t
+(** Append a change.  Waveforms are canonical by construction:
+    @raise Invalid_argument on out-of-order or redundant changes. *)
+
+val set_end_time : t -> int -> t
+val transition_count : t -> string -> int
+val total_transitions : t -> int
+
+val sample : t -> string -> step_ps:int -> Logic.value list
+(** Values at a fixed step from time 0 to the end time. *)
+
+val hash : t -> string
+val pp : Format.formatter -> t -> unit

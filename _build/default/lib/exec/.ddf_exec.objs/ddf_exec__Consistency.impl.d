@@ -1,0 +1,1 @@
+lib/exec/consistency.ml: Ddf_graph Ddf_history Ddf_schema Ddf_store Engine Fmt History List Store

@@ -1,0 +1,1 @@
+lib/exec/consistency.mli: Ddf_store Engine Format Store

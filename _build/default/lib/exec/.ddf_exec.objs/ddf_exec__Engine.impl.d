@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Ddf_data Ddf_graph Ddf_history Ddf_schema Ddf_store Ddf_tools Encapsulation Fmt Format Hashtbl History List Option Printf Schema Standard_tools Store String Task_graph Typing

@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Ddf_data Ddf_graph Ddf_history Ddf_schema Ddf_store Ddf_tools Encapsulation Format History Schema Store Task_graph

@@ -1,0 +1,1 @@
+lib/exec/parallel.ml: Array Ddf_data Ddf_graph Ddf_history Ddf_store Ddf_tools Domain Encapsulation Engine Fmt Fun Hashtbl List Option Store Task_graph

@@ -1,0 +1,1 @@
+lib/exec/parallel.mli: Ddf_graph Ddf_store Engine Format Store Task_graph

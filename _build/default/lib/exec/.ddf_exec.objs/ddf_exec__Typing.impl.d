@@ -1,0 +1,1 @@
+lib/exec/typing.ml: Ddf_data Ddf_schema Printf Schema Standard_schemas

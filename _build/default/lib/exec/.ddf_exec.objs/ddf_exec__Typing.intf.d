@@ -1,0 +1,1 @@
+lib/exec/typing.mli: Ddf_data Ddf_schema Schema

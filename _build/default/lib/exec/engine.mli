@@ -1,0 +1,94 @@
+(** The task execution engine: flow automation (section 3.3).
+
+    Because tool and data dependencies are specified in the task
+    schema, a complete flow sequences itself: the engine walks the
+    graph's invocations in dependency order, resolves an encapsulation
+    for each, runs it, stores the outputs and appends the derivation
+    record to the design history.  Memoization doubles as the
+    design-consistency service: a task whose exact tool and inputs were
+    already run is looked up in the history instead of re-executed. *)
+
+open Ddf_schema
+open Ddf_graph
+open Ddf_store
+open Ddf_history
+open Ddf_tools
+
+type context = {
+  schema : Schema.t;
+  store : Ddf_data.value Store.t;
+  history : History.t;
+  registry : Encapsulation.registry;
+  mutable clock : int;   (** logical time; advanced by {!tick} *)
+  user : string;
+}
+
+exception Execution_error of string
+
+val create_context :
+  ?user:string -> ?registry:Encapsulation.registry -> Schema.t -> context
+(** A fresh context; the registry defaults to
+    {!Standard_tools.registry}. *)
+
+val tick : context -> int
+
+val install :
+  context -> entity:string -> ?label:string -> ?comment:string ->
+  ?keywords:string list -> ?user:string -> Ddf_data.value -> Store.iid
+(** Install a source design object (or a tool) into the store.
+    @raise Typing.Type_mismatch when the payload does not fit the
+    entity. *)
+
+val install_tool : context -> string -> Store.iid
+(** Install a catalog tool with its default payload.
+    @raise Execution_error for tools without one. *)
+
+type stats = {
+  executed : int;    (** invocations actually run *)
+  memo_hits : int;   (** invocations satisfied from the history *)
+  composed : int;    (** composite entities assembled *)
+}
+
+val no_stats : stats
+
+type run = {
+  assignment : (int * Store.iid) list;  (** node -> instance *)
+  stats : stats;
+  costs : (int list * int) list;
+      (** per executed invocation: output nodes and simulated cost, in
+          execution order — replayed by {!Parallel.schedule} *)
+}
+
+val ordered_invocations : Task_graph.t -> Task_graph.invocation list
+(** Invocations in dependency order (used by the parallel executor). *)
+
+val memo_lookup :
+  context -> tool:Store.iid option -> inputs:(string * Store.iid) list ->
+  out_entities:string list -> History.record option
+(** The consistency lookup: an existing record of the same task with
+    the same tool and inputs, covering all the requested outputs. *)
+
+val execute :
+  ?memo:bool -> context -> Task_graph.t ->
+  bindings:(int * Store.iid) list -> run
+(** Execute a flow.  [bindings] selects instances for leaves (and
+    optionally pre-computed inner nodes); leaves filling only optional
+    roles may stay unbound.  With [memo] (default), identical tasks are
+    resolved from the history.
+    @raise Execution_error on unbound mandatory leaves, incompatible
+    bindings or missing outputs. *)
+
+val execute_fanout :
+  ?memo:bool -> ?max_combinations:int -> context -> Task_graph.t ->
+  bindings:(int * Store.iid list) list -> run list
+(** Multi-instance selections (section 4.1): the flow runs once per
+    combination. @raise Execution_error past [max_combinations]. *)
+
+val decompose : context -> Store.iid -> (string * Store.iid) list
+(** Apply the implicit decomposition function of a composite instance,
+    storing the parts and recording the derivation (section 3.1). *)
+
+val result_of : run -> int -> Store.iid
+(** @raise Execution_error when the node was not computed. *)
+
+val pp_stats : Format.formatter -> stats -> unit

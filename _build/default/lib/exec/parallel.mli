@@ -1,0 +1,53 @@
+(** Parallel task execution (Fig. 6): disjoint branches of a flow can
+    execute in parallel, possibly on different machines. *)
+
+open Ddf_graph
+open Ddf_store
+
+(** {1 Machine-pool simulation} *)
+
+type entry = {
+  outputs : int list;   (** output nodes of the scheduled invocation *)
+  machine : int;
+  start_us : int;
+  finish_us : int;
+}
+
+type schedule = {
+  entries : entry list;
+  makespan_us : int;
+  serial_us : int;
+  machines : int;
+}
+
+exception Schedule_error of string
+
+(** Ready-queue ordering for the list scheduler. *)
+type heuristic =
+  | Longest_first
+  | Shortest_first
+  | Fifo
+
+val heuristic_name : heuristic -> string
+
+val schedule :
+  ?heuristic:heuristic -> Task_graph.t -> costs:(int list * int) list ->
+  machines:int -> schedule
+(** Deterministic list scheduling (longest-task-first by default) of a
+    flow's invocations onto a simulated pool, using the per-invocation
+    costs observed during a real run ({!Engine.run.costs}); memo hits
+    cost nothing and are skipped. *)
+
+val speedup : schedule -> float
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** {1 Real multicore execution} *)
+
+val execute_parallel :
+  ?domains:int -> ?memo:bool -> Engine.context -> Task_graph.t ->
+  bindings:(int * Store.iid) list -> (int * Store.iid) list * int
+(** Wave-parallel execution with OCaml domains: every ready invocation
+    of a wave runs its behaviour concurrently; store and history
+    commits stay sequential.  Returns the assignment and the number of
+    invocations executed.  Payloads are identical to a serial
+    {!Engine.execute} (tested). *)

@@ -1,0 +1,49 @@
+(* Payload typing: does a payload fit a schema entity?
+
+   Keyed on the entity's root type, so subtypes inherit the check.
+   Entities outside the known universe pass (schemas are extensible;
+   their payloads are then only constrained by their encapsulations). *)
+
+open Ddf_schema
+module E = Standard_schemas.E
+
+let expected_kind root (v : Ddf_data.value) =
+  if root = E.netlist then (match v with Ddf_data.Netlist _ -> true | _ -> false)
+  else if root = E.layout then (match v with Ddf_data.Layout _ -> true | _ -> false)
+  else if root = E.device_models then
+    (match v with Ddf_data.Device_models _ -> true | _ -> false)
+  else if root = E.stimuli then (match v with Ddf_data.Stimuli _ -> true | _ -> false)
+  else if root = E.circuit then (match v with Ddf_data.Circuit _ -> true | _ -> false)
+  else if root = E.performance then
+    (match v with Ddf_data.Performance _ -> true | _ -> false)
+  else if root = E.verification then
+    (match v with Ddf_data.Verification _ -> true | _ -> false)
+  else if root = E.performance_plot then
+    (match v with Ddf_data.Plot _ -> true | _ -> false)
+  else if root = E.extraction_statistics then
+    (match v with Ddf_data.Extraction_statistics _ -> true | _ -> false)
+  else if root = E.transistor_netlist then
+    (match v with Ddf_data.Transistor_view _ -> true | _ -> false)
+  else if root = E.sim_options then
+    (match v with Ddf_data.Sim_options _ -> true | _ -> false)
+  else if root = E.placement_options then
+    (match v with Ddf_data.Placement_options _ -> true | _ -> false)
+  else if root = E.optimizer_options then
+    (match v with Ddf_data.Optimizer_options _ -> true | _ -> false)
+  else true
+
+exception Type_mismatch of string
+
+let check schema entity (v : Ddf_data.value) =
+  let ok =
+    if Schema.mem schema entity && Schema.kind_of schema entity = Schema.Tool
+    then (match v with Ddf_data.Tool _ -> true | _ -> false)
+    else if Schema.mem schema entity then
+      expected_kind (Schema.root_of schema entity) v
+    else true
+  in
+  if not ok then
+    raise
+      (Type_mismatch
+         (Printf.sprintf "payload %s does not fit entity %s"
+            (Ddf_data.kind_name v) entity))

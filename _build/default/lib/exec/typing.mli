@@ -1,0 +1,15 @@
+(** Payload typing: does a payload fit a schema entity?
+
+    Keyed on the entity's root type so subtypes inherit the check;
+    entities outside the known universe pass (schemas are extensible,
+    their payloads constrained only by their encapsulations). *)
+
+open Ddf_schema
+
+exception Type_mismatch of string
+
+val expected_kind : string -> Ddf_data.value -> bool
+(** [expected_kind root payload]: does the payload fit the root entity? *)
+
+val check : Schema.t -> string -> Ddf_data.value -> unit
+(** @raise Type_mismatch when the payload cannot represent the entity. *)

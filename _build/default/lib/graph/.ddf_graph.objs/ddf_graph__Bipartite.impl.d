@@ -1,0 +1,1 @@
+lib/graph/bipartite.ml: Buffer Ddf_schema Hashtbl List Printf Schema String Task_graph

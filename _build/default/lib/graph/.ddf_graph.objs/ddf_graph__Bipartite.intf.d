@@ -1,0 +1,1 @@
+lib/graph/bipartite.mli: Ddf_schema Schema Task_graph

@@ -1,0 +1,1 @@
+lib/graph/canonical.ml: Buffer Hashtbl List Printf String Task_graph

@@ -1,0 +1,1 @@
+lib/graph/canonical.mli: Hashtbl Task_graph

@@ -1,0 +1,1 @@
+lib/graph/sexp_form.ml: Buffer Ddf_schema Format Hashtbl List Printf Schema String Task_graph

@@ -1,0 +1,1 @@
+lib/graph/sexp_form.mli: Ddf_schema Schema Task_graph

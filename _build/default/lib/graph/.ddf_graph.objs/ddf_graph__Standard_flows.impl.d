@@ -1,0 +1,1 @@
+lib/graph/standard_flows.ml: Ddf_schema List Task_graph

@@ -1,0 +1,1 @@
+lib/graph/standard_flows.mli: Ddf_schema Task_graph

@@ -1,0 +1,1 @@
+lib/graph/task_graph.ml: Buffer Ddf_schema Fmt Format Hashtbl Int List Map Option Printf Schema Set

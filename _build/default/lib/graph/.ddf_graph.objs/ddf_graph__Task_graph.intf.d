@@ -1,0 +1,1 @@
+lib/graph/task_graph.mli: Ddf_schema Format Schema Set

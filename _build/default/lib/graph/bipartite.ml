@@ -1,0 +1,149 @@
+(* The traditional bipartite flow diagram (paper Fig. 3(a)).
+
+   A flowmap alternates activity boxes (a tool behaviour) with data
+   items.  The paper's point is that this form hardwires tools into
+   activities: it cannot express a tool that is itself created by the
+   flow (Fig. 2), whereas a task graph treats the tool as another
+   parameter.  Conversion to this form therefore reports such derived
+   tools as lost structure. *)
+
+open Ddf_schema
+
+type activity = {
+  act_tool : string option;      (* None: an implicit composition *)
+  act_inputs : (string * int) list;  (* role -> datum id *)
+  act_outputs : (string * int) list; (* role -> datum id *)
+}
+
+type t = {
+  data : (int * string) list;    (* datum id -> entity *)
+  activities : activity list;
+  derived_tools : string list;   (* structure a flowmap cannot express *)
+}
+
+exception Bipartite_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Task graph -> flowmap                                               *)
+(* ------------------------------------------------------------------ *)
+
+let of_graph g =
+  let sch = Task_graph.schema g in
+  let is_data nid =
+    Schema.kind_of sch (Task_graph.entity_of g nid) = Schema.Design_data
+  in
+  let data =
+    Task_graph.nodes g
+    |> List.filter_map (fun (n : Task_graph.node) ->
+           if is_data n.nid then Some (n.nid, n.entity) else None)
+  in
+  let derived_tools = ref [] in
+  let activity (inv : Task_graph.invocation) =
+    let act_tool =
+      match inv.tool with
+      | None -> None
+      | Some tnid ->
+        let tool_entity = Task_graph.entity_of g tnid in
+        if Task_graph.out_edges g tnid <> [] then
+          derived_tools := tool_entity :: !derived_tools;
+        Some tool_entity
+    in
+    let act_inputs =
+      List.filter (fun (_, nid) -> is_data nid) inv.inputs
+    in
+    let act_outputs =
+      List.map (fun nid -> (Task_graph.entity_of g nid, nid)) inv.outputs
+    in
+    { act_tool; act_inputs; act_outputs }
+  in
+  let activities =
+    Task_graph.invocations g
+    (* A tool node's own construction (e.g. compiling a simulator) is
+       an activity only when its output is data; building a tool is the
+       part a flowmap drops. *)
+    |> List.filter (fun (inv : Task_graph.invocation) ->
+           List.exists is_data inv.outputs)
+    |> List.map activity
+  in
+  { data; activities; derived_tools = List.rev !derived_tools }
+
+let lossless b = b.derived_tools = []
+
+(* ------------------------------------------------------------------ *)
+(* Flowmap -> task graph                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Reconstruction instantiates a fresh tool node per activity: exactly
+   the hardwiring the paper criticises.  Only flowmaps whose activities
+   all name plain tools round-trip (see {!lossless}). *)
+let to_graph schema b =
+  let g = ref (Task_graph.empty schema) in
+  let node_of = Hashtbl.create 16 in
+  List.iter
+    (fun (did, entity) ->
+      let g', nid = Task_graph.add_node !g entity in
+      g := g';
+      Hashtbl.add node_of did nid)
+    b.data;
+  let resolve did =
+    match Hashtbl.find_opt node_of did with
+    | Some nid -> nid
+    | None -> raise (Bipartite_error (Printf.sprintf "unknown datum %d" did))
+  in
+  let build_activity act =
+    let tool_nid =
+      match act.act_tool with
+      | None -> None
+      | Some tool ->
+        let g', nid = Task_graph.add_node !g tool in
+        g := g';
+        Some nid
+    in
+    List.iter
+      (fun (_, out_did) ->
+        let out_nid = resolve out_did in
+        (match tool_nid with
+        | None -> ()
+        | Some tnid ->
+          let entity = Task_graph.entity_of !g out_nid in
+          let role =
+            match Schema.functional_dep schema entity with
+            | Some d -> d.role
+            | None ->
+              raise
+                (Bipartite_error
+                   (Printf.sprintf "%s takes no tool, activity names one" entity))
+          in
+          g := Task_graph.connect !g ~user:out_nid ~role ~dep:tnid);
+        List.iter
+          (fun (role, in_did) ->
+            g := Task_graph.connect !g ~user:out_nid ~role ~dep:(resolve in_did))
+          act.act_inputs)
+      act.act_outputs
+  in
+  List.iter build_activity b.activities;
+  !g
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_ascii b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "flowmap:\n";
+  List.iter
+    (fun act ->
+      let names l = String.concat ", " (List.map fst l) in
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] : (%s) -> (%s)\n"
+           (match act.act_tool with Some t -> t | None -> "compose")
+           (names act.act_inputs)
+           (names act.act_outputs)))
+    b.activities;
+  if b.derived_tools <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  ! lost: tools built by the flow itself: %s\n"
+         (String.concat ", " b.derived_tools));
+  Buffer.contents buf
+
+let size b = List.length b.data + List.length b.activities

@@ -1,0 +1,37 @@
+(** The traditional bipartite flow diagram (Fig. 3(a)).
+
+    A flowmap alternates activity boxes with data items and hardwires a
+    tool into each activity.  It cannot express a tool that is itself
+    created by the flow (Fig. 2); conversion reports such derived tools
+    as lost structure, which experiment E3 measures. *)
+
+open Ddf_schema
+
+type activity = {
+  act_tool : string option;           (** [None]: implicit composition *)
+  act_inputs : (string * int) list;   (** role -> datum id *)
+  act_outputs : (string * int) list;  (** entity -> datum id *)
+}
+
+type t = {
+  data : (int * string) list;         (** datum id -> entity *)
+  activities : activity list;
+  derived_tools : string list;        (** structure a flowmap drops *)
+}
+
+exception Bipartite_error of string
+
+val of_graph : Task_graph.t -> t
+(** Total: derived tools are recorded in [derived_tools] rather than
+    failing. *)
+
+val lossless : t -> bool
+
+val to_graph : Schema.t -> t -> Task_graph.t
+(** Reconstruction instantiates a fresh tool node per activity —
+    exactly the hardwiring the paper criticises.  Round-trips exactly
+    the {!lossless} flowmaps.
+    @raise Bipartite_error on dangling data references. *)
+
+val to_ascii : t -> string
+val size : t -> int

@@ -1,0 +1,77 @@
+(* Canonical forms for task graphs, used to compare flows up to node
+   renumbering (round-trip properties over Fig. 3's representations).
+
+   Every node receives a structural key (its entity plus the keys of
+   its dependencies in role order); canonical ids are then assigned in
+   a deterministic traversal ordered by those keys, and the graph is
+   serialized with sharing explicit.  Graphs with identical canonical
+   strings are isomorphic; symmetric sharing between structurally
+   identical siblings is the one pattern the keys cannot split, which
+   none of the schema-driven flows here exhibit. *)
+
+let structural_keys g =
+  let memo = Hashtbl.create 32 in
+  let rec key nid =
+    match Hashtbl.find_opt memo nid with
+    | Some k -> k
+    | None ->
+      let edges =
+        Task_graph.out_edges g nid
+        |> List.sort (fun (a : Task_graph.edge) b -> compare a.role b.role)
+      in
+      let parts =
+        List.map (fun (e : Task_graph.edge) -> e.role ^ ":" ^ key e.dst) edges
+      in
+      let k =
+        Task_graph.entity_of g nid ^ "(" ^ String.concat "," parts ^ ")"
+      in
+      Hashtbl.add memo nid k;
+      k
+  in
+  List.iter (fun nid -> ignore (key nid)) (Task_graph.node_ids g);
+  memo
+
+let canonical g =
+  let keys = structural_keys g in
+  let key nid = Hashtbl.find keys nid in
+  let ids = Hashtbl.create 32 in
+  let counter = ref 0 in
+  let buf = Buffer.create 256 in
+  let rec emit nid =
+    match Hashtbl.find_opt ids nid with
+    | Some cid -> Buffer.add_string buf (Printf.sprintf "@%d" cid)
+    | None ->
+      let cid = !counter in
+      incr counter;
+      Hashtbl.add ids nid cid;
+      Buffer.add_string buf (Task_graph.entity_of g nid);
+      let edges =
+        Task_graph.out_edges g nid
+        |> List.sort (fun (a : Task_graph.edge) b -> compare a.role b.role)
+      in
+      if edges <> [] then begin
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i (e : Task_graph.edge) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf e.role;
+            Buffer.add_char buf '=';
+            emit e.dst)
+          edges;
+        Buffer.add_char buf ')'
+      end
+  in
+  let roots =
+    Task_graph.roots g
+    |> List.sort (fun a b ->
+           let c = compare (key a) (key b) in
+           if c <> 0 then c else compare a b)
+  in
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ';';
+      emit r)
+    roots;
+  Buffer.contents buf
+
+let equal a b = String.equal (canonical a) (canonical b)

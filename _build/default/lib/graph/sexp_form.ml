@@ -1,0 +1,210 @@
+(* Textual flow representations (paper Fig. 3 and footnote 2).
+
+   The paper remarks that a task graph is the Lisp representation of a
+   flow -- "placement (placer, (circuit_editor, circuit),
+   placement_options)" -- where the tool is just another parameter.
+   [to_paper_string] renders that exact lossy form; [to_string] /
+   [of_string] provide a round-trip form with node ids (so sharing is
+   preserved) and role labels (so optional arguments are unambiguous). *)
+
+open Ddf_schema
+
+exception Parse_error of string
+
+let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Dependency edges in the rule's declaration order, functional first. *)
+let ordered_edges g nid =
+  let entity = Task_graph.entity_of g nid in
+  let rule = Schema.effective_deps (Task_graph.schema g) entity in
+  let edges = Task_graph.out_edges g nid in
+  let ranked (e : Task_graph.edge) =
+    let rec rank i = function
+      | [] -> max_int
+      | (d : Schema.dep) :: rest -> if d.role = e.role then i else rank (i + 1) rest
+    in
+    (rank 0 rule, e)
+  in
+  List.map ranked edges |> List.sort compare |> List.map snd
+
+let to_paper_string g root =
+  let buf = Buffer.create 128 in
+  let rec render nid =
+    Buffer.add_string buf (Task_graph.entity_of g nid);
+    match ordered_edges g nid with
+    | [] -> ()
+    | edges ->
+      Buffer.add_string buf " (";
+      List.iteri
+        (fun i (e : Task_graph.edge) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          render e.dst)
+        edges;
+      Buffer.add_char buf ')'
+  in
+  render root;
+  Buffer.contents buf
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  let printed = Hashtbl.create 16 in
+  let rec render nid =
+    let entity = Task_graph.entity_of g nid in
+    Buffer.add_string buf (Printf.sprintf "%s#%d" entity nid);
+    if not (Hashtbl.mem printed nid) then begin
+      Hashtbl.add printed nid ();
+      match ordered_edges g nid with
+      | [] -> ()
+      | edges ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i (e : Task_graph.edge) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf e.role;
+            Buffer.add_char buf '=';
+            render e.dst)
+          edges;
+        Buffer.add_char buf ')'
+    end
+  in
+  let roots = Task_graph.roots g in
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf "; ";
+      render r)
+    roots;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Thash_int of int
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Teq
+  | Tsemi
+
+let tokenize s =
+  let n = String.length s in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | ',' -> go (i + 1) (Tcomma :: acc)
+      | '=' -> go (i + 1) (Teq :: acc)
+      | ';' -> go (i + 1) (Tsemi :: acc)
+      | '#' ->
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        if !j = i + 1 then parse_errorf "expected digits after '#' at %d" i;
+        go !j (Thash_int (int_of_string (String.sub s (i + 1) (!j - i - 1))) :: acc)
+      | c when is_ident c ->
+        let j = ref i in
+        while !j < n && is_ident s.[!j] do incr j done;
+        go !j (Tident (String.sub s i (!j - i)) :: acc)
+      | c -> parse_errorf "unexpected character %C at offset %d" c i
+  in
+  go 0 []
+
+(* Grammar:
+     flow    := expr (';' expr)*
+     expr    := label args?
+     args    := '(' binding (',' binding)* ')'
+     binding := ident '=' expr
+     label   := ident '#' int
+   A repeated label refers to the node already built (sharing). *)
+let of_string schema s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> parse_errorf "unexpected end of input"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let expect t =
+    let got = next () in
+    if got <> t then parse_errorf "unexpected token"
+  in
+  (* external id -> internal node id *)
+  let known = Hashtbl.create 16 in
+  let g = ref (Task_graph.empty schema) in
+  let rec expr () =
+    let entity =
+      match next () with
+      | Tident e -> e
+      | Thash_int _ | Tlparen | Trparen | Tcomma | Teq | Tsemi ->
+        parse_errorf "expected an entity name"
+    in
+    let ext =
+      match next () with
+      | Thash_int i -> i
+      | Tident _ | Tlparen | Trparen | Tcomma | Teq | Tsemi ->
+        parse_errorf "expected '#<id>' after entity %s" entity
+    in
+    let nid, fresh =
+      match Hashtbl.find_opt known ext with
+      | Some nid ->
+        if Task_graph.entity_of !g nid <> entity then
+          parse_errorf "node #%d used with two entities" ext;
+        (nid, false)
+      | None ->
+        let g', nid = Task_graph.add_node !g entity in
+        g := g';
+        Hashtbl.add known ext nid;
+        (nid, true)
+    in
+    (match peek () with
+    | Some Tlparen when fresh ->
+      expect Tlparen;
+      let rec bindings () =
+        let role =
+          match next () with
+          | Tident r -> r
+          | Thash_int _ | Tlparen | Trparen | Tcomma | Teq | Tsemi ->
+            parse_errorf "expected a role name"
+        in
+        expect Teq;
+        let dep = expr () in
+        g := Task_graph.connect !g ~user:nid ~role ~dep;
+        match peek () with
+        | Some Tcomma ->
+          ignore (next ());
+          bindings ()
+        | Some Trparen | Some (Tident _) | Some (Thash_int _) | Some Tlparen
+        | Some Teq | Some Tsemi | None ->
+          expect Trparen
+      in
+      bindings ()
+    | Some Tlparen -> parse_errorf "shared node #%d redefined" ext
+    | Some (Tident _ | Thash_int _ | Trparen | Tcomma | Teq | Tsemi) | None -> ());
+    nid
+  in
+  let rec flow () =
+    ignore (expr ());
+    match peek () with
+    | Some Tsemi ->
+      ignore (next ());
+      flow ()
+    | Some (Tident _ | Thash_int _ | Tlparen | Trparen | Tcomma | Teq) ->
+      parse_errorf "trailing tokens after flow"
+    | None -> ()
+  in
+  flow ();
+  !g

@@ -1,0 +1,28 @@
+(** Textual flow representations (Fig. 3 and footnote 2).
+
+    The paper notes a task graph is the Lisp reading of a flow —
+    ["placement (placer, (circuit_editor, circuit), placement_options)"]
+    — treating the tool as just another parameter.
+    {!to_paper_string} renders that lossy form; {!to_string} /
+    {!of_string} give a round-trip form with node ids (sharing
+    preserved) and role labels (optional arguments unambiguous). *)
+
+open Ddf_schema
+
+exception Parse_error of string
+
+val to_paper_string : Task_graph.t -> int -> string
+(** The footnote-2 form of the flow rooted at a node: entity names
+    only, tool first, dependencies in rule order.  Lossy: sharing and
+    node identity are dropped. *)
+
+val to_string : Task_graph.t -> string
+(** Round-trip form of the whole graph: [entity#id(role=..., ...)],
+    roots separated by [;], shared nodes referenced by id. *)
+
+val of_string : Schema.t -> string -> Task_graph.t
+(** Parse the round-trip form, validating against the schema as the
+    graph is rebuilt.
+    @raise Parse_error on malformed text;
+    @raise Task_graph.Graph_error on an illegal flow;
+    @raise Schema.Schema_error on unknown entities. *)

@@ -1,0 +1,277 @@
+(* Builders for the flows appearing in the paper's figures, all over
+   the odyssey schema.  Examples, tests and benchmarks share them. *)
+
+module E = Ddf_schema.Standard_schemas.E
+
+let schema = Ddf_schema.Standard_schemas.odyssey
+
+(* Fig. 3 / footnote 2:
+   synthesized_layout (placer, edited_netlist (netlist_editor, netlist),
+                       placement_options). *)
+type fig3 = {
+  f3_graph : Task_graph.t;
+  f3_layout : int;
+  f3_placer : int;
+  f3_netlist : int;          (* the edited netlist feeding the placer *)
+  f3_source_netlist : int;   (* the optional input of the editor *)
+  f3_options : int;
+}
+
+let fig3 () =
+  let g, layout = Task_graph.create schema E.synthesized_layout in
+  let g, fresh = Task_graph.expand g layout in
+  let placer, netlist, options =
+    match fresh with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let g = Task_graph.specialize g netlist E.edited_netlist in
+  let g, fresh = Task_graph.expand g netlist in
+  let editor, source =
+    match fresh with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  ignore editor;
+  { f3_graph = g; f3_layout = layout; f3_placer = placer; f3_netlist = netlist;
+    f3_source_netlist = source; f3_options = options }
+
+(* Fig. 4(a): expand the source netlist as another editing step. *)
+let fig4a () =
+  let f = fig3 () in
+  let g = Task_graph.specialize f.f3_graph f.f3_source_netlist E.edited_netlist in
+  let g, _ = Task_graph.expand g f.f3_source_netlist in
+  { f with f3_graph = g }
+
+(* Fig. 4(b): specialize the source netlist to an extracted netlist
+   before expansion, pulling in the extractor and a layout. *)
+let fig4b () =
+  let f = fig3 () in
+  let g =
+    Task_graph.specialize f.f3_graph f.f3_source_netlist E.extracted_netlist
+  in
+  let g, _ = Task_graph.expand g f.f3_source_netlist in
+  { f with f3_graph = g }
+
+(* Fig. 5: a complex flow with entity reuse and multiple outputs.
+
+   A layout is extracted (one invocation producing both the extracted
+   netlist and extraction statistics); the extracted netlist is reused
+   by a circuit (simulated and plotted) and by a verification against a
+   reference netlist. *)
+type fig5 = {
+  f5_graph : Task_graph.t;
+  f5_layout : int;
+  f5_extractor : int;
+  f5_extracted : int;
+  f5_statistics : int;
+  f5_device_models : int;
+  f5_circuit : int;
+  f5_stimuli : int;
+  f5_performance : int;
+  f5_plot : int;
+  f5_verification : int;
+  f5_reference : int;
+}
+
+let fig5 () =
+  let g, extracted = Task_graph.create schema E.extracted_netlist in
+  let g, fresh = Task_graph.expand g extracted in
+  let extractor, layout =
+    match fresh with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  (* Second output of the same invocation: reuse tool and input. *)
+  let g, statistics = Task_graph.add_node g E.extraction_statistics in
+  let g = Task_graph.connect g ~user:statistics ~role:"tool" ~dep:extractor in
+  let g = Task_graph.connect g ~user:statistics ~role:E.layout ~dep:layout in
+  (* Circuit reusing the extracted netlist. *)
+  let g, circuit, fresh =
+    Task_graph.expand_up g extracted ~consumer:E.circuit
+      ~reuse:[ (E.netlist, extracted) ]
+  in
+  let device_models = match fresh with [ m ] -> m | _ -> assert false in
+  (* Simulation of the circuit. *)
+  let g, performance, fresh =
+    Task_graph.expand_up ~include_optional:false g circuit
+      ~consumer:E.performance
+  in
+  let stimuli =
+    match
+      List.filter (fun n -> Task_graph.entity_of g n = E.stimuli) fresh
+    with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let g, plot, _ =
+    Task_graph.expand_up g performance ~consumer:E.performance_plot
+  in
+  (* Verification reusing the extracted netlist as candidate. *)
+  let g, verification = Task_graph.add_node g E.verification in
+  let g =
+    Task_graph.connect g ~user:verification ~role:"candidate" ~dep:extracted
+  in
+  let g, fresh = Task_graph.expand g verification in
+  let reference =
+    match
+      List.filter (fun n -> Task_graph.entity_of g n = E.netlist) fresh
+    with
+    | [ r ] -> r
+    | _ -> assert false
+  in
+  { f5_graph = g; f5_layout = layout; f5_extractor = extractor;
+    f5_extracted = extracted; f5_statistics = statistics;
+    f5_device_models = device_models; f5_circuit = circuit;
+    f5_stimuli = stimuli; f5_performance = performance; f5_plot = plot;
+    f5_verification = verification; f5_reference = reference }
+
+(* Fig. 6: a flow whose branches under the root share no node, so they
+   may execute in parallel: a verification whose two netlists are each
+   extracted from a different layout. *)
+type fig6 = {
+  f6_graph : Task_graph.t;
+  f6_verification : int;
+  f6_branch_a : int list;    (* nodes of the first disjoint branch *)
+  f6_branch_b : int list;
+}
+
+let fig6 () =
+  let g, verification = Task_graph.create schema E.verification in
+  let extract_branch g role =
+    let g, extracted = Task_graph.add_node g E.extracted_netlist in
+    let g = Task_graph.connect g ~user:verification ~role ~dep:extracted in
+    let g, _ = Task_graph.expand g extracted in
+    g
+  in
+  let g = extract_branch g "reference" in
+  let g = extract_branch g "candidate" in
+  (* fill the remaining role of the root: the verifier tool *)
+  let g, _ = Task_graph.expand g verification in
+  let branches = Task_graph.disjoint_branches g verification in
+  let sorted_sets =
+    List.filter_map
+      (fun (_, s) ->
+        (* drop the trivial branch holding only the verifier tool *)
+        if Task_graph.Int_set.cardinal s > 1 then
+          Some (Task_graph.Int_set.elements s)
+        else None)
+      branches
+  in
+  match sorted_sets with
+  | [ a; b ] ->
+    { f6_graph = g; f6_verification = verification; f6_branch_a = a;
+      f6_branch_b = b }
+  | _ -> assert false
+
+(* Fig. 8(a): synthesize the physical view from the transistor view. *)
+type fig8a = {
+  f8a_graph : Task_graph.t;
+  f8a_layout : int;
+  f8a_netlist : int;
+}
+
+let fig8a () =
+  let g, layout = Task_graph.create schema E.synthesized_layout in
+  let g, fresh = Task_graph.expand ~include_optional:false g layout in
+  let netlist =
+    match
+      List.filter (fun n -> Task_graph.entity_of g n = E.netlist) fresh
+    with
+    | [ x ] -> x
+    | _ -> assert false
+  in
+  { f8a_graph = g; f8a_layout = layout; f8a_netlist = netlist }
+
+(* Fig. 8(b): verify that the physical view corresponds to the
+   transistor view, by extracting the layout and comparing netlists. *)
+type fig8b = {
+  f8b_graph : Task_graph.t;
+  f8b_verification : int;
+  f8b_reference : int;     (* the transistor-view netlist *)
+  f8b_layout : int;        (* the physical view being checked *)
+  f8b_extracted : int;
+}
+
+let fig8b () =
+  let g, verification = Task_graph.create schema E.verification in
+  let g, fresh = Task_graph.expand g verification in
+  let reference, candidate =
+    match
+      List.filter
+        (fun n ->
+          Ddf_schema.Schema.is_subtype schema
+            ~sub:(Task_graph.entity_of g n) ~super:E.netlist)
+        fresh
+    with
+    | [ a; b ] ->
+      (* roles were declared reference-then-candidate *)
+      (a, b)
+    | _ -> assert false
+  in
+  let g = Task_graph.specialize g candidate E.extracted_netlist in
+  let g, fresh = Task_graph.expand g candidate in
+  let layout =
+    match
+      List.filter (fun n -> Task_graph.entity_of g n = E.layout) fresh
+    with
+    | [ x ] -> x
+    | _ -> assert false
+  in
+  { f8b_graph = g; f8b_verification = verification; f8b_reference = reference;
+    f8b_layout = layout; f8b_extracted = candidate }
+
+(* Fig. 2: the compiled-simulator flow -- the tool is built by the flow
+   itself, then applied to stimuli. *)
+type fig2 = {
+  f2_graph : Task_graph.t;
+  f2_performance : int;
+  f2_compiled_simulator : int;
+  f2_netlist : int;
+  f2_stimuli : int;
+}
+
+let fig2 () =
+  let g, performance = Task_graph.create schema E.switch_performance in
+  let g, fresh = Task_graph.expand g performance in
+  let simulator, stimuli =
+    match fresh with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let g, fresh = Task_graph.expand g simulator in
+  let netlist =
+    match
+      List.filter (fun n -> Task_graph.entity_of g n = E.netlist) fresh
+    with
+    | [ x ] -> x
+    | _ -> assert false
+  in
+  { f2_graph = g; f2_performance = performance;
+    f2_compiled_simulator = simulator; f2_netlist = netlist;
+    f2_stimuli = stimuli }
+
+(* A deep chain of editing tasks, parameterized for benchmarks. *)
+let edit_chain depth =
+  let g, top = Task_graph.create schema E.edited_netlist in
+  let rec grow g node remaining =
+    if remaining = 0 then g
+    else
+      let g, fresh = Task_graph.expand g node in
+      match
+        List.filter (fun n -> Task_graph.entity_of g n = E.netlist) fresh
+      with
+      | [ source ] ->
+        let g = Task_graph.specialize g source E.edited_netlist in
+        grow g source (remaining - 1)
+      | _ -> assert false
+  in
+  let g = grow g top depth in
+  (g, top)
+
+(* A wide flow: [width] independent extraction branches feeding nothing
+   in common; used by the parallel-execution benchmarks (Fig. 6). *)
+let wide_flow width =
+  let g = Task_graph.empty schema in
+  let rec grow g acc i =
+    if i = width then (g, List.rev acc)
+    else
+      let g, extracted = Task_graph.add_node g E.extracted_netlist in
+      let g, _ = Task_graph.expand g extracted in
+      grow g (extracted :: acc) (i + 1)
+  in
+  grow g [] 0

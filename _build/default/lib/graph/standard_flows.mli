@@ -1,0 +1,95 @@
+(** Builders for the flows appearing in the paper's figures, over the
+    odyssey schema.  Examples, tests and benchmarks share them; each
+    record names the interesting nodes for binding. *)
+
+val schema : Ddf_schema.Schema.t
+(** {!Ddf_schema.Standard_schemas.odyssey}. *)
+
+(** The Fig. 3 flow: [synthesized_layout (placer, edited_netlist
+    (netlist_editor, netlist), placement_options)]. *)
+type fig3 = {
+  f3_graph : Task_graph.t;
+  f3_layout : int;
+  f3_placer : int;
+  f3_netlist : int;          (** the edited netlist feeding the placer *)
+  f3_source_netlist : int;   (** the optional input of the editor *)
+  f3_options : int;
+}
+
+val fig3 : unit -> fig3
+
+val fig4a : unit -> fig3
+(** Fig. 4(a): the source netlist expanded as another editing step. *)
+
+val fig4b : unit -> fig3
+(** Fig. 4(b): the source specialized to an extracted netlist before
+    expansion. *)
+
+(** Fig. 5: entity reuse and multiple outputs — one extraction feeding
+    a simulated circuit, a plot and a verification. *)
+type fig5 = {
+  f5_graph : Task_graph.t;
+  f5_layout : int;
+  f5_extractor : int;
+  f5_extracted : int;
+  f5_statistics : int;
+  f5_device_models : int;
+  f5_circuit : int;
+  f5_stimuli : int;
+  f5_performance : int;
+  f5_plot : int;
+  f5_verification : int;
+  f5_reference : int;
+}
+
+val fig5 : unit -> fig5
+
+(** Fig. 6: a verification whose two netlists are extracted from
+    different layouts — disjoint parallel branches. *)
+type fig6 = {
+  f6_graph : Task_graph.t;
+  f6_verification : int;
+  f6_branch_a : int list;
+  f6_branch_b : int list;
+}
+
+val fig6 : unit -> fig6
+
+(** Fig. 8(a): synthesize the physical view. *)
+type fig8a = {
+  f8a_graph : Task_graph.t;
+  f8a_layout : int;
+  f8a_netlist : int;
+}
+
+val fig8a : unit -> fig8a
+
+(** Fig. 8(b): verify the physical view by extraction and comparison. *)
+type fig8b = {
+  f8b_graph : Task_graph.t;
+  f8b_verification : int;
+  f8b_reference : int;
+  f8b_layout : int;
+  f8b_extracted : int;
+}
+
+val fig8b : unit -> fig8b
+
+(** Fig. 2: the compiled-simulator flow — the tool built by the flow
+    itself, then applied to stimuli. *)
+type fig2 = {
+  f2_graph : Task_graph.t;
+  f2_performance : int;
+  f2_compiled_simulator : int;
+  f2_netlist : int;
+  f2_stimuli : int;
+}
+
+val fig2 : unit -> fig2
+
+val edit_chain : int -> Task_graph.t * int
+(** A chain of editing tasks of the given depth; returns the top node. *)
+
+val wide_flow : int -> Task_graph.t * int list
+(** [width] independent extraction branches (the Fig. 6 scaling
+    workload); returns the branch roots. *)

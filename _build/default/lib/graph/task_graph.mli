@@ -1,0 +1,139 @@
+(** Task graphs: dynamically defined flows (paper section 3.2).
+
+    A task graph is a directed acyclic graph with each node
+    corresponding to an entity in a task schema and each edge to a
+    dependency.  Tool and data nodes are treated uniformly.  The value
+    is persistent: every operation returns a new graph, so exploratory
+    construction and undo are cheap. *)
+
+open Ddf_schema
+
+type edge = private {
+  role : string;
+  dep_kind : Schema.dep_kind;
+  dst : int;
+}
+
+type node = private {
+  nid : int;
+  entity : string;
+}
+
+type t
+
+exception Graph_error of string
+
+exception Needs_specialization of string * string list
+(** Raised when expanding a node whose entity has several construction
+    methods: the designer must {!specialize} it first (Fig. 4(b)). *)
+
+(** {1 Construction} *)
+
+val empty : Schema.t -> t
+
+val create : Schema.t -> string -> t * int
+(** [create schema entity] starts a flow from a single node -- the
+    goal-, tool- or data-based entry point all begin here. *)
+
+val add_node : t -> string -> t * int
+
+val of_parts : Schema.t -> (int * string) list -> (int * string * int) list -> t
+(** [of_parts schema nodes edges] assembles a whole graph at once:
+    nodes are [(id, entity)], edges [(user, role, dependency)].  All
+    invariants are checked, with a single topological pass for
+    acyclicity, so deep flow traces rebuild in near-linear time.
+    @raise Graph_error on violation. *)
+
+val connect : t -> user:int -> role:string -> dep:int -> t
+(** Fill role [role] of node [user] with node [dep].
+    @raise Graph_error if the role is undeclared, already filled, the
+    entities are incompatible, or a cycle would appear. *)
+
+val specialize : t -> int -> string -> t
+(** [specialize g n subtype] narrows node [n] to one of its entity's
+    subtypes, selecting a construction method. *)
+
+val expand : ?include_optional:bool -> ?reuse:(string * int) list -> t -> int -> t * int list
+(** Downward expansion: incorporate the primitive task constructing the
+    node.  Fresh nodes are created for unfilled roles, except those the
+    designer [reuse]s (entity reuse, Fig. 5).  Returns the new graph and
+    fresh node ids.  @raise Needs_specialization for abstract entities. *)
+
+val expand_up :
+  ?role:string -> ?include_optional:bool -> ?reuse:(string * int) list ->
+  t -> int -> consumer:string -> t * int * int list
+(** Upward expansion: incorporate a task that consumes the node.
+    Returns graph, the consumer node id, and other fresh nodes. *)
+
+val unexpand : t -> int -> t
+(** Remove the sub-flow below a node (the inverse of {!expand}),
+    keeping nodes still reachable elsewhere. *)
+
+(** {1 Accessors} *)
+
+val schema : t -> Schema.t
+val mem : t -> int -> bool
+val find : t -> int -> node
+val entity_of : t -> int -> string
+val nodes : t -> node list
+val node_ids : t -> int list
+val size : t -> int
+val out_edges : t -> int -> edge list
+val in_edges : t -> int -> (int * string) list
+val dep_of : t -> int -> string -> int option
+val users : t -> int -> int list
+val roots : t -> int list
+val leaves : t -> int list
+
+(** {1 Analysis} *)
+
+module Int_set : Set.S with type elt = int
+
+val reachable : t -> int -> Int_set.t
+val disjoint : t -> int -> int -> bool
+
+val topological_order : t -> int list
+(** Dependencies first. @raise Graph_error on a cycle. *)
+
+type status =
+  | Source_leaf
+  | Unexpanded
+  | Partial of string list
+  | Expanded
+
+val status : t -> int -> status
+
+val complete : t -> bool
+(** Every node is a filled task or a leaf awaiting instance selection:
+    the flow may be instantiated and run. *)
+
+type invocation = {
+  outputs : int list;
+  tool : int option;
+  inputs : (string * int) list;
+}
+
+val invocations : t -> invocation list
+(** Task invocations, grouping co-produced outputs: derived nodes that
+    share one tool node and the same input nodes run as a single tool
+    call (Fig. 5). Composite entities yield [tool = None]. *)
+
+val subflow : t -> int -> t
+(** Induced sub-graph reachable from a node; node ids are preserved.
+    A subflow may be run independently whenever its own dependencies
+    are satisfied. *)
+
+val disjoint_branches : t -> int -> (int list * Int_set.t) list
+(** Partition of the dependency branches under a root into groups that
+    share no node: each group can execute in parallel with the others
+    (Fig. 6). *)
+
+val validate : t -> unit
+(** Recheck every invariant. @raise Graph_error when violated. *)
+
+(** {1 Printing} *)
+
+val pp_node : Format.formatter -> node -> unit
+val to_ascii : t -> string
+val to_dot : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/history/history.ml: Ddf_graph Ddf_schema Ddf_store Fmt Format Hashtbl List Option Schema Store

@@ -1,0 +1,1 @@
+lib/history/history.mli: Ddf_graph Ddf_schema Ddf_store Format Schema Store

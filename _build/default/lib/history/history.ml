@@ -1,0 +1,393 @@
+(* The design-history database.
+
+   Each task invocation leaves one record: the goal entity, the tool
+   instance used, the input instances per role, and every co-produced
+   output.  That is the "small amount of meta-data" from which the
+   paper derives the complete derivation history: backward chaining
+   reconstructs how an object was made (Fig. 10), forward chaining
+   finds what depends on it, and a flow trace -- the same form as a
+   task graph -- is a semantically richer superset of a version tree
+   (Fig. 11). *)
+
+open Ddf_schema
+open Ddf_store
+
+type record = {
+  rid : int;
+  task_entity : string;                   (* goal entity of the task *)
+  tool : Store.iid option;                (* None for compositions *)
+  inputs : (string * Store.iid) list;     (* role -> instance *)
+  outputs : (string * Store.iid) list;    (* entity -> instance *)
+  at : int;                               (* logical time of execution *)
+}
+
+type t = {
+  mutable next_rid : int;
+  records : (int, record) Hashtbl.t;
+  produced_by : (Store.iid, int) Hashtbl.t;    (* instance -> record *)
+  used_by : (Store.iid, int list ref) Hashtbl.t;
+}
+
+exception History_error of string
+
+let history_errorf fmt = Format.kasprintf (fun s -> raise (History_error s)) fmt
+
+let create () =
+  {
+    next_rid = 1;
+    records = Hashtbl.create 64;
+    produced_by = Hashtbl.create 64;
+    used_by = Hashtbl.create 64;
+  }
+
+let size h = Hashtbl.length h.records
+
+let add h ~task_entity ~tool ~inputs ~outputs ~at =
+  if outputs = [] then history_errorf "a record needs at least one output";
+  let rid = h.next_rid in
+  h.next_rid <- rid + 1;
+  let r = { rid; task_entity; tool; inputs; outputs; at } in
+  Hashtbl.add h.records rid r;
+  List.iter
+    (fun (_, iid) ->
+      if Hashtbl.mem h.produced_by iid then
+        history_errorf "instance %d already has a producing record" iid;
+      Hashtbl.add h.produced_by iid rid)
+    outputs;
+  let note_use iid =
+    let l =
+      match Hashtbl.find_opt h.used_by iid with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add h.used_by iid l;
+        l
+    in
+    l := rid :: !l
+  in
+  List.iter (fun (_, iid) -> note_use iid) inputs;
+  (match tool with Some t -> note_use t | None -> ());
+  r
+
+let find h rid =
+  match Hashtbl.find_opt h.records rid with
+  | Some r -> r
+  | None -> history_errorf "no record %d" rid
+
+let records h =
+  Hashtbl.fold (fun _ r acc -> r :: acc) h.records []
+  |> List.sort (fun a b -> compare a.rid b.rid)
+
+(* ------------------------------------------------------------------ *)
+(* Chaining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The record that created an instance; None for instances installed
+   directly by the designer (sources). *)
+let derivation_of h iid =
+  Option.map (find h) (Hashtbl.find_opt h.produced_by iid)
+
+let uses_of h iid =
+  match Hashtbl.find_opt h.used_by iid with
+  | Some l -> List.rev_map (find h) !l
+  | None -> []
+
+(* Backward chaining: every record in the derivation history of an
+   instance, nearest first. *)
+let backward_closure h iid =
+  let seen_records = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go iid =
+    match derivation_of h iid with
+    | None -> ()
+    | Some r ->
+      if not (Hashtbl.mem seen_records r.rid) then begin
+        Hashtbl.add seen_records r.rid ();
+        acc := r :: !acc;
+        List.iter (fun (_, i) -> go i) r.inputs;
+        Option.iter go r.tool
+      end
+  in
+  go iid;
+  List.rev !acc
+
+(* Forward chaining: every record that transitively depends on an
+   instance -- e.g. all the performances derived from a netlist. *)
+let forward_closure h iid =
+  let seen_records = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go iid =
+    List.iter
+      (fun r ->
+        if not (Hashtbl.mem seen_records r.rid) then begin
+          Hashtbl.add seen_records r.rid ();
+          acc := r :: !acc;
+          List.iter (fun (_, out) -> go out) r.outputs
+        end)
+      (uses_of h iid)
+  in
+  go iid;
+  List.rev !acc
+
+let derived_instances h iid =
+  forward_closure h iid
+  |> List.concat_map (fun r -> List.map snd r.outputs)
+  |> List.sort_uniq compare
+
+let ancestor_instances h iid =
+  backward_closure h iid
+  |> List.concat_map (fun r ->
+         (match r.tool with Some t -> [ t ] | None -> [])
+         @ List.map snd r.inputs)
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Flow traces (Fig. 11(b))                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The derivation history of an instance as a task graph with an
+   instance binding: the same form queries and re-execution use. *)
+let trace h store schema iid =
+  (* gather nodes and edges, then assemble the graph in one pass *)
+  let binding = Hashtbl.create 16 in  (* iid -> node *)
+  let nodes = ref [] and edges = ref [] in
+  let counter = ref 0 in
+  let rec node_of iid =
+    match Hashtbl.find_opt binding iid with
+    | Some nid -> nid
+    | None ->
+      let entity = Store.entity_of store iid in
+      let nid = !counter in
+      incr counter;
+      Hashtbl.add binding iid nid;
+      nodes := (nid, entity) :: !nodes;
+      (match derivation_of h iid with
+      | None -> ()
+      | Some r ->
+        (match (r.tool, Schema.functional_dep schema entity) with
+        | Some tool, Some d ->
+          let tnid = node_of tool in
+          edges := (nid, d.Schema.role, tnid) :: !edges
+        | Some _, None | None, Some _ | None, None -> ());
+        List.iter
+          (fun (role, input) ->
+            let inid = node_of input in
+            edges := (nid, role, inid) :: !edges)
+          r.inputs);
+      nid
+  in
+  let root = node_of iid in
+  let g =
+    Ddf_graph.Task_graph.of_parts schema (List.rev !nodes) (List.rev !edges)
+  in
+  let pairs = Hashtbl.fold (fun iid nid acc -> (nid, iid) :: acc) binding [] in
+  (g, root, pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Query by template (section 4.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Find bindings of a task graph's nodes to instances consistent with
+   the history: bound nodes are fixed, the rest are solved for.  Used
+   for queries like "find the simulations performed on this netlist"
+   where the template is the flow itself. *)
+let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
+  let schema = Ddf_graph.Task_graph.schema g in
+  let satisfies nid iid =
+    Schema.is_subtype schema
+      ~sub:(Store.entity_of store iid)
+      ~super:(Ddf_graph.Task_graph.entity_of g nid)
+  in
+  (* candidate instances for a node under a partial binding *)
+  let candidates partial nid =
+    (* if a user of this node is bound, the candidates come straight
+       from its derivation record *)
+    let from_users =
+      List.filter_map
+        (fun (user, role) ->
+          match List.assoc_opt user partial with
+          | None -> None
+          | Some user_iid -> (
+            match derivation_of h user_iid with
+            | None -> Some []
+            | Some r -> (
+              match Schema.functional_dep schema (Store.entity_of store user_iid) with
+              | Some d when d.Schema.role = role ->
+                Some (match r.tool with Some t -> [ t ] | None -> [])
+              | Some _ | None ->
+                Some
+                  (match List.assoc_opt role r.inputs with
+                  | Some i -> [ i ]
+                  | None -> []))))
+        (Ddf_graph.Task_graph.in_edges g nid)
+    in
+    match from_users with
+    | constraints when constraints <> [] ->
+      (* intersect the per-user constraints *)
+      let inter a b = List.filter (fun x -> List.mem x b) a in
+      (match constraints with
+      | first :: rest -> List.fold_left inter first rest
+      | [] -> [])
+    | _ ->
+      (* otherwise any instance of the entity's subtree *)
+      let entity = Ddf_graph.Task_graph.entity_of g nid in
+      List.concat_map
+        (Store.instances_of_entity store)
+        (entity :: Schema.descendants schema entity)
+  in
+  (* does the history record of [user_iid] really bind [role] to
+     [dep_iid]? *)
+  let edge_ok user_iid role dep_iid =
+    match derivation_of h user_iid with
+    | None -> false
+    | Some r -> (
+      match Schema.functional_dep schema (Store.entity_of store user_iid) with
+      | Some d when d.Schema.role = role -> r.tool = Some dep_iid
+      | Some _ | None -> List.assoc_opt role r.inputs = Some dep_iid)
+  in
+  (* every edge between the newly assigned node and an already assigned
+     neighbour must agree with the history *)
+  let consistent partial nid iid =
+    List.for_all
+      (fun (e : Ddf_graph.Task_graph.edge) ->
+        match List.assoc_opt e.Ddf_graph.Task_graph.dst partial with
+        | None -> true
+        | Some dep_iid -> edge_ok iid e.Ddf_graph.Task_graph.role dep_iid)
+      (Ddf_graph.Task_graph.out_edges g nid)
+    && List.for_all
+         (fun (user, role) ->
+           match List.assoc_opt user partial with
+           | None -> true
+           | Some user_iid -> edge_ok user_iid role iid)
+         (Ddf_graph.Task_graph.in_edges g nid)
+  in
+  (* order: bound nodes first, then reverse topological (users before
+     dependencies) so derivations drive the search downward *)
+  let order =
+    let topo = List.rev (Ddf_graph.Task_graph.topological_order g) in
+    let bound_nodes = List.map fst bound in
+    bound_nodes @ List.filter (fun n -> not (List.mem n bound_nodes)) topo
+  in
+  let max_results = 1000 in
+  let results = ref [] and count = ref 0 in
+  let rec search partial = function
+    | [] ->
+      if !count < max_results then begin
+        incr count;
+        results := List.rev partial :: !results
+      end
+    | nid :: rest ->
+      let cands =
+        match List.assoc_opt nid bound with
+        | Some iid -> [ iid ]
+        | None -> candidates partial nid
+      in
+      List.iter
+        (fun iid ->
+          if satisfies nid iid && consistent partial nid iid
+             && !count < max_results
+          then search ((nid, iid) :: partial) rest)
+        (List.sort_uniq compare cands)
+  in
+  search [] order;
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* Versioning (Fig. 11)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A record is an editing task when one input has the same root entity
+   type as an output: versioning is characterized exactly so in the
+   paper.  The version parent of an instance is that input. *)
+let version_parent h store schema iid =
+  match derivation_of h iid with
+  | None -> None
+  | Some r ->
+    let root = Schema.root_of schema (Store.entity_of store iid) in
+    List.find_opt
+      (fun (_, input) ->
+        Schema.root_of schema (Store.entity_of store input) = root)
+      r.inputs
+    |> Option.map snd
+
+type version_tree = {
+  v_iid : Store.iid;
+  v_children : version_tree list;
+}
+
+(* The version tree rooted at an instance, following edit successors. *)
+let version_tree h store schema iid =
+  let rec build iid =
+    let children =
+      uses_of h iid
+      |> List.concat_map (fun r ->
+             List.filter_map
+               (fun (_, out) ->
+                 if version_parent h store schema out = Some iid then Some out
+                 else None)
+               r.outputs)
+      |> List.sort_uniq compare
+    in
+    { v_iid = iid; v_children = List.map build children }
+  in
+  build iid
+
+let rec version_tree_size t =
+  1 + List.fold_left (fun acc c -> acc + version_tree_size c) 0 t.v_children
+
+(* All versions (the instances in the version tree), oldest first. *)
+let versions h store schema iid =
+  (* walk up to the first version *)
+  let rec origin iid =
+    match version_parent h store schema iid with
+    | Some p -> origin p
+    | None -> iid
+  in
+  let rec flatten t =
+    t.v_iid :: List.concat_map flatten t.v_children
+  in
+  flatten (version_tree h store schema (origin iid)) |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Consistency (out-of-date analysis)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An instance is out of date when some input of its derivation has a
+   newer version: e.g. the layout was edited after this netlist was
+   extracted from it.  Returns the stale (input, newer-version) pairs. *)
+let out_of_date h store schema iid =
+  match derivation_of h iid with
+  | None -> []
+  | Some r ->
+    List.filter_map
+      (fun (role, input) ->
+        let newer =
+          versions h store schema input
+          |> List.filter (fun v ->
+                 v <> input
+                 && (Store.meta_of store v).Store.created_at > r.at)
+        in
+        match newer with
+        | [] -> None
+        | _ -> Some (role, input, newer))
+      r.inputs
+
+let is_up_to_date h store schema iid = out_of_date h store schema iid = []
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_record ppf r =
+  Fmt.pf ppf "r%d@%d %s: (%a)%a -> %a" r.rid r.at r.task_entity
+    Fmt.(option ~none:(any "compose") int)
+    r.tool
+    Fmt.(list ~sep:nop (fun ppf (role, i) -> Fmt.pf ppf " %s=#%d" role i))
+    r.inputs
+    Fmt.(list ~sep:comma (fun ppf (e, i) -> Fmt.pf ppf "#%d:%s" i e))
+    r.outputs
+
+let pp ppf h =
+  Fmt.pf ppf "@[<v>history: %d records@,%a@]" (size h)
+    Fmt.(list ~sep:cut pp_record)
+    (records h)

@@ -1,0 +1,106 @@
+(** The design-history database.
+
+    Each task invocation leaves one record: the goal entity, the tool
+    instance used, the input instances per role, and every co-produced
+    output.  This is the "small amount of meta-data" from which the
+    paper derives everything else: backward chaining reconstructs how
+    an object was made (Fig. 10), forward chaining finds what depends
+    on it, a flow trace — the same form as a task graph — subsumes a
+    version tree (Fig. 11), and staleness falls out of version
+    comparison. *)
+
+open Ddf_schema
+open Ddf_store
+
+type record = {
+  rid : int;
+  task_entity : string;                (** goal entity of the task *)
+  tool : Store.iid option;             (** [None] for compositions *)
+  inputs : (string * Store.iid) list;  (** role -> instance *)
+  outputs : (string * Store.iid) list; (** entity -> instance *)
+  at : int;                            (** logical execution time *)
+}
+
+type t
+
+exception History_error of string
+
+val create : unit -> t
+val size : t -> int
+
+val add :
+  t -> task_entity:string -> tool:Store.iid option ->
+  inputs:(string * Store.iid) list -> outputs:(string * Store.iid) list ->
+  at:int -> record
+(** @raise History_error when an output already has a producing record
+    (derivations uniquely identify design objects) or outputs are
+    empty. *)
+
+val find : t -> int -> record
+val records : t -> record list
+
+(** {1 Chaining (Fig. 10)} *)
+
+val derivation_of : t -> Store.iid -> record option
+(** The record that created an instance; [None] for sources installed
+    directly by the designer. *)
+
+val uses_of : t -> Store.iid -> record list
+(** Records consuming the instance (as input or as tool). *)
+
+val backward_closure : t -> Store.iid -> record list
+(** The complete derivation history, nearest record first. *)
+
+val forward_closure : t -> Store.iid -> record list
+(** Every record transitively depending on the instance. *)
+
+val derived_instances : t -> Store.iid -> Store.iid list
+val ancestor_instances : t -> Store.iid -> Store.iid list
+
+(** {1 Flow traces (Fig. 11(b))} *)
+
+val trace :
+  t -> 'a Store.t -> Schema.t -> Store.iid ->
+  Ddf_graph.Task_graph.t * int * (int * Store.iid) list
+(** The derivation of an instance as a task graph plus its instance
+    binding: [(graph, root node, node -> instance)].  The same form is
+    used for queries and for re-execution. *)
+
+(** {1 Query by template (section 4.2)} *)
+
+val query_template :
+  t -> 'a Store.t -> Ddf_graph.Task_graph.t -> bound:(int * Store.iid) list ->
+  (int * Store.iid) list list
+(** All bindings of the template's nodes to instances consistent with
+    the recorded history; [bound] pins some nodes.  Result capped at
+    1000 bindings. *)
+
+(** {1 Versioning (Fig. 11)} *)
+
+val version_parent : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid option
+(** The edit predecessor: the input of the producing record whose
+    entity shares the instance's root type. *)
+
+type version_tree = {
+  v_iid : Store.iid;
+  v_children : version_tree list;
+}
+
+val version_tree : t -> 'a Store.t -> Schema.t -> Store.iid -> version_tree
+val version_tree_size : version_tree -> int
+
+val versions : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid list
+(** Every version in the instance's tree, from its origin. *)
+
+(** {1 Consistency} *)
+
+val out_of_date :
+  t -> 'a Store.t -> Schema.t -> Store.iid ->
+  (string * Store.iid * Store.iid list) list
+(** Inputs of the derivation that have newer versions:
+    [(role, input, newer versions)]. *)
+
+val is_up_to_date : t -> 'a Store.t -> Schema.t -> Store.iid -> bool
+
+val pp_record : Format.formatter -> record -> unit
+val pp : Format.formatter -> t -> unit

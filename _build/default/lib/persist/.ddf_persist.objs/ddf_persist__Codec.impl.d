@@ -1,0 +1,1 @@
+lib/persist/codec.ml: Array Ddf_data Ddf_eda Device_model Edit_script Extract Format Layout List Logic Lvs Netlist Optimize Performance Plot Sexp Sim_compiled Stimuli Transistor

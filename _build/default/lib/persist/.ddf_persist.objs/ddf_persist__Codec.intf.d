@@ -1,0 +1,1 @@
+lib/persist/codec.mli: Ddf_data Ddf_eda Sexp

@@ -1,0 +1,1 @@
+lib/persist/sexp.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/persist/workspace_file.ml: Codec Ddf_data Ddf_exec Ddf_graph Ddf_history Ddf_session Ddf_store Format History List Option Sexp Store

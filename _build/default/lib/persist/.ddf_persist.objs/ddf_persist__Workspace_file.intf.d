@@ -1,0 +1,1 @@
+lib/persist/workspace_file.mli: Ddf_schema Ddf_session Ddf_tools

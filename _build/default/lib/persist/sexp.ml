@@ -1,0 +1,203 @@
+(* A minimal s-expression reader/printer: the workspace's on-disk
+   syntax.  Atoms are bare words or double-quoted strings with the
+   usual escapes; lists are parenthesized. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Sexp_error of string
+
+let sexp_errorf fmt = Format.kasprintf (fun s -> raise (Sexp_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let must_quote s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_buffer buf indent = function
+  | Atom s -> Buffer.add_string buf (if must_quote s then escape s else s)
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          (* long lists break across lines for readable diffs *)
+          match item with
+          | List _ when indent >= 0 ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (indent + 1) ' ')
+          | List _ | Atom _ -> Buffer.add_char buf ' '
+        end;
+        to_buffer buf (if indent >= 0 then indent + 1 else indent) item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string ?(pretty = true) sexp =
+  let buf = Buffer.create 1024 in
+  to_buffer buf (if pretty then 0 else -1) sexp;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while !pos < n && text.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let quoted_atom () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> sexp_errorf "unterminated string at %d" !pos
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some c -> sexp_errorf "bad escape \\%c" c
+        | None -> sexp_errorf "dangling escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None ->
+        stop := true
+      | Some _ -> advance ()
+    done;
+    Atom (String.sub text start (!pos - start))
+  in
+  let rec expr () =
+    skip_ws ();
+    match peek () with
+    | None -> sexp_errorf "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> sexp_errorf "unterminated list"
+        | Some _ ->
+          items := expr () :: !items;
+          items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some '"' -> quoted_atom ()
+    | Some ')' -> sexp_errorf "unexpected ')' at %d" !pos
+    | Some _ -> bare_atom ()
+  in
+  let result = expr () in
+  skip_ws ();
+  if !pos <> n then sexp_errorf "trailing input at %d" !pos;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Construction / destructuring helpers                                *)
+(* ------------------------------------------------------------------ *)
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+let float f = Atom (Printf.sprintf "%h" f)
+let bool b = Atom (string_of_bool b)
+let list l = List l
+let field name items = List (Atom name :: items)
+
+let as_atom = function
+  | Atom s -> s
+  | List _ -> sexp_errorf "expected an atom"
+
+let as_int sexp =
+  match int_of_string_opt (as_atom sexp) with
+  | Some i -> i
+  | None -> sexp_errorf "expected an integer, got %S" (as_atom sexp)
+
+let as_float sexp =
+  match float_of_string_opt (as_atom sexp) with
+  | Some f -> f
+  | None -> sexp_errorf "expected a float, got %S" (as_atom sexp)
+
+let as_bool sexp =
+  match bool_of_string_opt (as_atom sexp) with
+  | Some b -> b
+  | None -> sexp_errorf "expected a bool, got %S" (as_atom sexp)
+
+let as_list = function
+  | List l -> l
+  | Atom a -> sexp_errorf "expected a list, got atom %S" a
+
+(* Access the payload of a [(name item...)] field inside a record. *)
+let find_field fields name =
+  let matches = function
+    | List (Atom n :: rest) when n = name -> Some rest
+    | List _ | Atom _ -> None
+  in
+  match List.find_map matches fields with
+  | Some rest -> rest
+  | None -> sexp_errorf "missing field %S" name
+
+let find_field_opt fields name =
+  let matches = function
+    | List (Atom n :: rest) when n = name -> Some rest
+    | List _ | Atom _ -> None
+  in
+  List.find_map matches fields
+
+let one name = function
+  | [ x ] -> x
+  | _ -> sexp_errorf "field %S expects one item" name

@@ -1,0 +1,191 @@
+(* Workspace persistence: the framework is a database in the paper, so
+   a session -- store instances with their meta-data, history records,
+   the flow catalog, the logical clock -- saves to one s-expression
+   file and loads back bit-for-bit.
+
+   Instance and record identifiers are dense and allocated in order by
+   the store and the history, so loading re-inserts them in id order
+   and asserts the ids come back unchanged; every payload's content
+   hash is recomputed on load and checked against the stored one. *)
+
+open Ddf_store
+open Ddf_history
+module S = Sexp
+
+exception Persist_error of string
+
+let persist_errorf fmt = Format.kasprintf (fun s -> raise (Persist_error s)) fmt
+
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Saving                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let meta_to_sexp (m : Store.meta) =
+  S.list
+    [ S.atom m.Store.user; S.int m.Store.created_at; S.atom m.Store.label;
+      S.atom m.Store.comment; S.list (List.map S.atom m.Store.keywords) ]
+
+let meta_of_sexp sexp =
+  match S.as_list sexp with
+  | [ user; created_at; label; comment; keywords ] ->
+    Store.meta ~user:(S.as_atom user) ~label:(S.as_atom label)
+      ~comment:(S.as_atom comment)
+      ~keywords:(List.map S.as_atom (S.as_list keywords))
+      ~created_at:(S.as_int created_at) ()
+  | _ -> persist_errorf "malformed meta"
+
+let instance_to_sexp store iid =
+  S.list
+    [ S.int iid;
+      S.atom (Store.entity_of store iid);
+      meta_to_sexp (Store.meta_of store iid);
+      S.atom (Store.hash_of store iid);
+      Codec.value_to_sexp (Store.payload store iid) ]
+
+let record_to_sexp (r : History.record) =
+  S.list
+    [ S.int r.History.rid;
+      S.atom r.History.task_entity;
+      (match r.History.tool with None -> S.atom "-" | Some t -> S.int t);
+      S.list
+        (List.map
+           (fun (role, iid) -> S.list [ S.atom role; S.int iid ])
+           r.History.inputs);
+      S.list
+        (List.map
+           (fun (entity, iid) -> S.list [ S.atom entity; S.int iid ])
+           r.History.outputs);
+      S.int r.History.at ]
+
+let save session =
+  let ctx = Ddf_session.Session.context session in
+  let store = ctx.Ddf_exec.Engine.store in
+  let sexp =
+    S.list
+      [ S.atom "ddf_workspace";
+        S.field "version" [ S.int format_version ];
+        S.field "user" [ S.atom ctx.Ddf_exec.Engine.user ];
+        S.field "clock" [ S.int ctx.Ddf_exec.Engine.clock ];
+        S.field "instances"
+          (List.map (instance_to_sexp store) (Store.all_instances store));
+        S.field "records"
+          (List.map record_to_sexp (History.records ctx.Ddf_exec.Engine.history));
+        S.field "flows"
+          (List.filter_map
+             (fun name ->
+               Option.map
+                 (fun g ->
+                   S.list
+                     [ S.atom name;
+                       S.atom (Ddf_graph.Sexp_form.to_string g) ])
+                 (Ddf_session.Session.catalog_flow session name))
+             (Ddf_session.Session.flow_catalog session)) ]
+  in
+  S.to_string sexp ^ "\n"
+
+let save_file session path =
+  let oc = open_out path in
+  (try output_string oc (save session)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load ?registry schema text =
+  let sexp =
+    try S.of_string text
+    with S.Sexp_error m -> persist_errorf "syntax: %s" m
+  in
+  let fields =
+    match S.as_list sexp with
+    | S.Atom "ddf_workspace" :: fields -> fields
+    | _ -> persist_errorf "not a ddf workspace file"
+  in
+  let version = S.as_int (S.one "version" (S.find_field fields "version")) in
+  if version <> format_version then
+    persist_errorf "unsupported format version %d" version;
+  let user = S.as_atom (S.one "user" (S.find_field fields "user")) in
+  let ctx = Ddf_exec.Engine.create_context ~user ?registry schema in
+  let session = Ddf_session.Session.of_context ctx in
+  let instances =
+    S.find_field fields "instances"
+    |> List.map (fun sexp ->
+           match S.as_list sexp with
+           | [ iid; entity; meta; hash; value ] ->
+             (S.as_int iid, S.as_atom entity, meta_of_sexp meta,
+              S.as_atom hash, value)
+           | _ -> persist_errorf "malformed instance")
+    |> List.sort compare
+  in
+  List.iter
+    (fun (iid, entity, meta, stored_hash, value_sexp) ->
+      let value =
+        try Codec.value_of_sexp value_sexp
+        with Codec.Codec_error m ->
+          persist_errorf "instance %d: %s" iid m
+      in
+      let hash = Ddf_data.hash value in
+      if hash <> stored_hash then
+        persist_errorf "instance %d: content hash mismatch (file corrupt?)" iid;
+      let got = Store.put ctx.Ddf_exec.Engine.store ~entity ~hash ~meta value in
+      if got <> iid then
+        persist_errorf "instance ids are not dense (%d loaded as %d)" iid got)
+    instances;
+  (* history records, in rid order *)
+  let records =
+    S.find_field fields "records"
+    |> List.map (fun sexp ->
+           match S.as_list sexp with
+           | [ rid; task; tool; inputs; outputs; at ] ->
+             let tool =
+               match tool with
+               | S.Atom "-" -> None
+               | t -> Some (S.as_int t)
+             in
+             let pair of_key sexp =
+               match S.as_list sexp with
+               | [ k; iid ] -> (of_key k, S.as_int iid)
+               | _ -> persist_errorf "malformed binding"
+             in
+             ( S.as_int rid, S.as_atom task, tool,
+               List.map (pair S.as_atom) (S.as_list inputs),
+               List.map (pair S.as_atom) (S.as_list outputs), S.as_int at )
+           | _ -> persist_errorf "malformed record")
+    |> List.sort compare
+  in
+  List.iter
+    (fun (rid, task_entity, tool, inputs, outputs, at) ->
+      let r =
+        History.add ctx.Ddf_exec.Engine.history ~task_entity ~tool ~inputs
+          ~outputs ~at
+      in
+      if r.History.rid <> rid then
+        persist_errorf "record ids are not dense (%d loaded as %d)" rid
+          r.History.rid)
+    records;
+  (* the clock resumes where it stopped *)
+  ctx.Ddf_exec.Engine.clock <-
+    S.as_int (S.one "clock" (S.find_field fields "clock"));
+  (* the flow catalog *)
+  List.iter
+    (fun sexp ->
+      match S.as_list sexp with
+      | [ name; flow_text ] ->
+        let g = Ddf_graph.Sexp_form.of_string schema (S.as_atom flow_text) in
+        Ddf_session.Session.restore_flow session (S.as_atom name) g
+      | _ -> persist_errorf "malformed catalog flow")
+    (S.find_field fields "flows");
+  session
+
+let load_file ?registry schema path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  load ?registry schema text

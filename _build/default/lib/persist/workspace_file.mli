@@ -1,0 +1,26 @@
+(** Workspace persistence.
+
+    The paper's framework is a persistent database: a session — store
+    instances with their meta-data, history records, the flow catalog,
+    the logical clock — saves to one s-expression file and loads back
+    exactly (asserted by dense-id checks and recomputed content hashes;
+    the save of a reloaded session is byte-identical, a tested
+    fixpoint).  Compiled simulators persist their full
+    instruction program. *)
+
+exception Persist_error of string
+
+val format_version : int
+
+val save : Ddf_session.Session.t -> string
+val save_file : Ddf_session.Session.t -> string -> unit
+
+val load :
+  ?registry:Ddf_tools.Encapsulation.registry -> Ddf_schema.Schema.t ->
+  string -> Ddf_session.Session.t
+(** @raise Persist_error on syntax errors, version mismatch, non-dense
+    ids or content-hash mismatches (tampering/corruption). *)
+
+val load_file :
+  ?registry:Ddf_tools.Encapsulation.registry -> Ddf_schema.Schema.t ->
+  string -> Ddf_session.Session.t

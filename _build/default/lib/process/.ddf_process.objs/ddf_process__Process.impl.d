@@ -1,0 +1,1 @@
+lib/process/process.ml: Ddf_exec Ddf_history Ddf_schema Ddf_store Fmt Format Hashtbl List Option Printf Store String

@@ -1,0 +1,1 @@
+lib/process/process.mli: Ddf_exec Ddf_store Format Store

@@ -1,0 +1,1 @@
+lib/process/process_file.ml: Ddf_persist Format List Process

@@ -1,0 +1,1 @@
+lib/process/process_file.mli: Process

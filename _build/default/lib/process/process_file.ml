@@ -1,0 +1,80 @@
+(* A textual form for design-process definitions, so the CLI can track
+   a process against a persistent workspace:
+
+     (process adder4_tapeout
+      (cell chip (requires extracted_netlist) (assigned jacome)
+       (cell full_adder (requires synthesized_layout) (assigned sutton))
+       (cell output_buffer (requires synthesized_layout)))) *)
+
+module S = Ddf_persist.Sexp
+
+exception Process_file_error of string
+
+let file_errorf fmt =
+  Format.kasprintf (fun s -> raise (Process_file_error s)) fmt
+
+let rec cell_of_sexp sexp =
+  match S.as_list sexp with
+  | S.Atom "cell" :: S.Atom name :: rest ->
+    let requirements = ref [] in
+    let assigned = ref None in
+    let children = ref [] in
+    List.iter
+      (fun item ->
+        match S.as_list item with
+        | [ S.Atom "requires"; goal ] ->
+          requirements := Process.require (S.as_atom goal) :: !requirements
+        | [ S.Atom "assigned"; who ] -> assigned := Some (S.as_atom who)
+        | S.Atom "cell" :: _ -> children := cell_of_sexp item :: !children
+        | _ -> file_errorf "unexpected item in cell %S" name)
+      rest;
+    Process.cell name
+      ~requirements:(List.rev !requirements)
+      ?assigned_to:!assigned
+      ~children:(List.rev !children)
+  | _ -> file_errorf "expected (cell <name> ...)"
+
+let of_sexp sexp =
+  match S.as_list sexp with
+  | [ S.Atom "process"; S.Atom name; root ] ->
+    Process.create ~process_name:name (cell_of_sexp root)
+  | _ -> file_errorf "expected (process <name> (cell ...))"
+
+let of_string text =
+  match S.of_string text with
+  | sexp -> of_sexp sexp
+  | exception S.Sexp_error m -> file_errorf "syntax: %s" m
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let rec cell_to_sexp (c : Process.cell) =
+  S.list
+    (S.atom "cell" :: S.atom c.Process.cell_name
+    :: (List.map
+          (fun (r : Process.requirement) ->
+            S.list [ S.atom "requires"; S.atom r.Process.req_goal ])
+          c.Process.requirements
+       @ (match c.Process.assigned_to with
+         | Some who -> [ S.list [ S.atom "assigned"; S.atom who ] ]
+         | None -> [])
+       @ List.map cell_to_sexp c.Process.children))
+
+let to_sexp t =
+  S.list
+    [ S.atom "process"; S.atom (Process.process_name t);
+      cell_to_sexp (Process.root t) ]
+
+let to_string t = S.to_string (to_sexp t) ^ "\n"
+
+let to_file path t =
+  let oc = open_out path in
+  (try output_string oc (to_string t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,18 @@
+(** A textual form for design-process definitions, so the CLI can track
+    a process against a persistent workspace:
+
+    {v
+    (process adder4_tapeout
+     (cell chip (requires extracted_netlist) (assigned jacome)
+      (cell full_adder (requires synthesized_layout) (assigned sutton))
+      (cell output_buffer (requires synthesized_layout))))
+    v} *)
+
+exception Process_file_error of string
+
+val of_string : string -> Process.t
+(** @raise Process_file_error on malformed definitions. *)
+
+val of_file : string -> Process.t
+val to_string : Process.t -> string
+val to_file : string -> Process.t -> unit

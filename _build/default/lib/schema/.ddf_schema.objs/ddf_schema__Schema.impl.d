@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Buffer Fmt Format Hashtbl List Map Printf Set String

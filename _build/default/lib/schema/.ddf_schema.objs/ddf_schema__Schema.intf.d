@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Format

@@ -1,0 +1,1 @@
+lib/schema/standard_schemas.ml: Schema

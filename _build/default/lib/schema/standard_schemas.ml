@@ -1,0 +1,147 @@
+(* The schemas used throughout the paper's figures.
+
+   [fig1] is the example task schema of Fig. 1; [odyssey] extends it
+   with the compiled-simulator subgraph of Fig. 2, the synthesis /
+   verification entities of Fig. 8 and the PLA re-implementation task
+   discussed in section 2, forming the full methodology used by the
+   examples, tests and benchmarks. *)
+
+(* Entity ids, named once so client code cannot misspell them. *)
+module E = struct
+  (* data *)
+  let device_models = "device_models"
+  let netlist = "netlist"
+  let extracted_netlist = "extracted_netlist"
+  let edited_netlist = "edited_netlist"
+  let optimized_netlist = "optimized_netlist"
+  let circuit = "circuit"
+  let sim_options = "sim_options"
+  let stimuli = "stimuli"
+  let performance = "performance"
+  let switch_performance = "switch_performance"
+  let verification = "verification"
+  let performance_plot = "performance_plot"
+  let layout = "layout"
+  let edited_layout = "edited_layout"
+  let synthesized_layout = "synthesized_layout"
+  let pla_layout = "pla_layout"
+  let extraction_statistics = "extraction_statistics"
+  let placement_options = "placement_options"
+  let optimizer_options = "optimizer_options"
+
+  let transistor_netlist = "transistor_netlist"
+
+  (* tools *)
+  let transistor_expander = "transistor_expander"
+  let device_model_editor = "device_model_editor"
+  let netlist_editor = "netlist_editor"
+  let simulator = "simulator"
+  let verifier = "verifier"
+  let plotter = "plotter"
+  let layout_editor = "layout_editor"
+  let extractor = "extractor"
+  let placer = "placer"
+  let pla_generator = "pla_generator"
+  let simulator_compiler = "simulator_compiler"
+  let compiled_simulator = "compiled_simulator"
+  let optimizer = "optimizer"
+end
+
+let d = Schema.data
+let f = Schema.functional
+
+let fig1_entities =
+  [
+    (* Primitive tools of Fig. 1. *)
+    Schema.tool E.device_model_editor [];
+    Schema.tool E.netlist_editor [];
+    Schema.tool E.simulator [];
+    Schema.tool E.verifier [];
+    Schema.tool E.plotter [];
+    Schema.tool E.layout_editor [];
+    Schema.tool E.extractor [];
+    (* Options are themselves an entity type (section 3.3). *)
+    Schema.entity E.sim_options [];
+    Schema.entity E.stimuli [];
+    (* Device models: edited in place, the loop broken by an optional
+       dependency. *)
+    Schema.entity E.device_models
+      [ f E.device_model_editor; d ~optional:true E.device_models ];
+    (* Netlist has two construction methods, hence two subtypes. *)
+    Schema.entity E.netlist [];
+    Schema.entity ~parent:E.netlist E.edited_netlist
+      [ f E.netlist_editor; d ~optional:true E.netlist ];
+    Schema.entity ~parent:E.netlist E.extracted_netlist
+      [ f E.extractor; d E.layout ];
+    (* Extraction statistics are co-produced with the extracted netlist
+       by the same task invocation (Fig. 5). *)
+    Schema.entity E.extraction_statistics [ f E.extractor; d E.layout ];
+    (* Circuit is a composite entity: only data dependencies. *)
+    Schema.entity E.circuit [ d E.device_models; d E.netlist ];
+    Schema.entity E.performance
+      [ f E.simulator; d E.circuit; d E.stimuli; d ~optional:true E.sim_options ];
+    Schema.entity E.verification
+      [ f E.verifier; d ~role:"reference" E.netlist; d ~role:"candidate" E.netlist ];
+    Schema.entity E.performance_plot [ f E.plotter; d E.performance ];
+    Schema.entity E.layout [];
+    Schema.entity ~parent:E.layout E.edited_layout
+      [ f E.layout_editor; d ~optional:true E.layout;
+        d ~role:"guide" ~optional:true E.netlist ];
+  ]
+
+let fig1 = Schema.create "fig1" fig1_entities
+
+(* Fig. 2: a tool created during the design.  The compiled simulator is
+   a tool entity with its own construction rule; running it yields a
+   switch-level performance, a subtype of performance. *)
+let fig2_entities =
+  [
+    Schema.tool E.simulator_compiler [];
+    Schema.tool E.compiled_simulator [ f E.simulator_compiler; d E.netlist ];
+    Schema.entity ~parent:E.performance E.switch_performance
+      [ f E.compiled_simulator; d E.stimuli ];
+  ]
+
+(* Fig. 8 and section 2: synthesis from the transistor view, and the
+   standard-cell-to-PLA re-implementation. *)
+let synthesis_entities =
+  [
+    (* Fig. 7: the transistor view of a cell *)
+    Schema.tool E.transistor_expander [];
+    Schema.entity E.transistor_netlist
+      [ f E.transistor_expander; d E.netlist ];
+    Schema.tool E.placer [];
+    Schema.entity E.placement_options [];
+    Schema.entity ~parent:E.layout E.synthesized_layout
+      [ f E.placer; d E.netlist; d ~optional:true E.placement_options ];
+    Schema.tool E.pla_generator [];
+    Schema.entity ~parent:E.layout E.pla_layout [ f E.pla_generator; d E.netlist ];
+  ]
+
+(* Three statistical optimizers share this single encapsulation point
+   (section 3.3): one tool entity, several tool instances. *)
+let optimizer_entities =
+  [
+    Schema.tool E.optimizer [];
+    Schema.entity E.optimizer_options [];
+    Schema.entity ~parent:E.netlist E.optimized_netlist
+      [ f E.optimizer; d E.netlist; d ~optional:true E.optimizer_options;
+        (* a tool serving as data input to another tool (section 3.3):
+           an optimization procedure may have a simulator passed to it *)
+        d ~role:"evaluator" ~optional:true E.compiled_simulator ];
+  ]
+
+let odyssey =
+  Schema.create "odyssey"
+    (fig1_entities @ fig2_entities @ synthesis_entities @ optimizer_entities)
+
+let fig2 =
+  Schema.create "fig2"
+    ([
+       Schema.tool E.extractor [];
+       Schema.entity E.layout [];
+       Schema.entity E.netlist [ f E.extractor; d E.layout ];
+       Schema.entity E.stimuli [];
+       Schema.entity E.performance [];
+     ]
+    @ fig2_entities)

@@ -1,0 +1,52 @@
+(** The schemas appearing in the paper's figures.
+
+    {!fig1} is the example task schema of Fig. 1.  {!fig2} is the
+    compiled-simulator subgraph of Fig. 2 in isolation.  {!odyssey}
+    is the union used by examples, tests and benchmarks: Fig. 1 plus
+    Fig. 2, the synthesis/verification entities of Fig. 8, the PLA
+    re-implementation task of section 2 and the shared statistical
+    optimizers of section 3.3. *)
+
+(** Well-known entity ids, so client code cannot misspell them. *)
+module E : sig
+  val device_models : string
+  val netlist : string
+  val extracted_netlist : string
+  val edited_netlist : string
+  val optimized_netlist : string
+  val circuit : string
+  val sim_options : string
+  val stimuli : string
+  val performance : string
+  val switch_performance : string
+  val verification : string
+  val performance_plot : string
+  val layout : string
+  val edited_layout : string
+  val synthesized_layout : string
+  val pla_layout : string
+  val extraction_statistics : string
+  val placement_options : string
+  val optimizer_options : string
+  val transistor_netlist : string
+  val transistor_expander : string
+  val device_model_editor : string
+  val netlist_editor : string
+  val simulator : string
+  val verifier : string
+  val plotter : string
+  val layout_editor : string
+  val extractor : string
+  val placer : string
+  val pla_generator : string
+  val simulator_compiler : string
+  val compiled_simulator : string
+  val optimizer : string
+end
+
+val fig1 : Schema.t
+
+(** The raw entity list of {!fig1}, for rebuild benchmarks. *)
+val fig1_entities : Schema.entity list
+val fig2 : Schema.t
+val odyssey : Schema.t

@@ -1,0 +1,1 @@
+lib/session/session.ml: Buffer Ddf_exec Ddf_graph Ddf_history Ddf_schema Ddf_store Format Hashtbl List Option Printf Schema Store String Task_graph

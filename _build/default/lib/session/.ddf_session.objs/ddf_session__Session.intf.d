@@ -1,0 +1,1 @@
+lib/session/session.mli: Ddf_exec Ddf_graph Ddf_schema Ddf_store Store Task_graph

@@ -1,0 +1,1 @@
+lib/store/store.ml: Fmt Format Hashtbl List Option String

@@ -1,0 +1,158 @@
+(* The design-object store.
+
+   Every design object is an *instance*: per-instance meta-data (user,
+   logical timestamp, name, comment, keywords -- the browser columns of
+   Fig. 9) plus a reference to content-addressed physical data.  As the
+   paper's footnote 5 notes, several instances (different versions of a
+   design) may share one physical datum; sharing falls out of content
+   addressing here.  The store is polymorphic in the payload so the
+   framework layers stay independent of the EDA substrate. *)
+
+type iid = int
+
+type meta = {
+  user : string;
+  created_at : int;          (* logical clock value *)
+  label : string;            (* the designer-facing name *)
+  comment : string;
+  keywords : string list;
+}
+
+type 'a instance = {
+  iid : iid;
+  entity : string;           (* schema entity the instance belongs to *)
+  data_hash : string;
+  meta : meta;
+}
+
+type 'a t = {
+  mutable next_iid : int;
+  instances : (iid, 'a instance) Hashtbl.t;
+  payloads : (string, 'a) Hashtbl.t;     (* content-addressed physical data *)
+  by_entity : (string, iid list ref) Hashtbl.t;
+}
+
+exception Store_error of string
+
+let store_errorf fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
+
+let create () =
+  {
+    next_iid = 1;
+    instances = Hashtbl.create 64;
+    payloads = Hashtbl.create 64;
+    by_entity = Hashtbl.create 16;
+  }
+
+let meta ?(user = "designer") ?(label = "") ?(comment = "") ?(keywords = [])
+    ~created_at () =
+  { user; created_at; label; comment; keywords }
+
+let put store ~entity ~hash ~meta payload =
+  let iid = store.next_iid in
+  store.next_iid <- iid + 1;
+  if not (Hashtbl.mem store.payloads hash) then
+    Hashtbl.add store.payloads hash payload;
+  Hashtbl.add store.instances iid { iid; entity; data_hash = hash; meta };
+  let bucket =
+    match Hashtbl.find_opt store.by_entity entity with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add store.by_entity entity l;
+      l
+  in
+  bucket := iid :: !bucket;
+  iid
+
+let find_opt store iid = Hashtbl.find_opt store.instances iid
+
+let find store iid =
+  match find_opt store iid with
+  | Some inst -> inst
+  | None -> store_errorf "no instance %d" iid
+
+let mem store iid = Hashtbl.mem store.instances iid
+let payload store iid = Hashtbl.find store.payloads (find store iid).data_hash
+let entity_of store iid = (find store iid).entity
+let meta_of store iid = (find store iid).meta
+let hash_of store iid = (find store iid).data_hash
+
+let annotate store iid ?label ?comment ?keywords () =
+  let inst = find store iid in
+  let m = inst.meta in
+  let m =
+    {
+      m with
+      label = Option.value label ~default:m.label;
+      comment = Option.value comment ~default:m.comment;
+      keywords = Option.value keywords ~default:m.keywords;
+    }
+  in
+  Hashtbl.replace store.instances iid { inst with meta = m }
+
+let instance_count store = Hashtbl.length store.instances
+
+let physical_count store = Hashtbl.length store.payloads
+(* instance_count - physical_count = storage saved by sharing *)
+
+let instances_of_entity store entity =
+  match Hashtbl.find_opt store.by_entity entity with
+  | Some l -> List.rev !l
+  | None -> []
+
+let all_instances store =
+  Hashtbl.fold (fun iid _ acc -> iid :: acc) store.instances []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Browser filters (the Fig. 9 instance browser)                       *)
+(* ------------------------------------------------------------------ *)
+
+type filter = {
+  f_entities : string list option;  (* accepted entity ids; None = all *)
+  f_user : string option;
+  f_from : int option;              (* inclusive timestamp bounds *)
+  f_to : int option;
+  f_keywords : string list;         (* all must be present *)
+  f_text : string option;           (* substring of label or comment *)
+}
+
+let any_filter =
+  { f_entities = None; f_user = None; f_from = None; f_to = None;
+    f_keywords = []; f_text = None }
+
+let matches store filter iid =
+  let inst = find store iid in
+  let m = inst.meta in
+  let contains hay needle =
+    let lh = String.lowercase_ascii hay and ln = String.lowercase_ascii needle in
+    let n = String.length ln and h = String.length lh in
+    let rec at i = i + n <= h && (String.sub lh i n = ln || at (i + 1)) in
+    n = 0 || at 0
+  in
+  (match filter.f_entities with
+  | None -> true
+  | Some es -> List.mem inst.entity es)
+  && (match filter.f_user with None -> true | Some u -> m.user = u)
+  && (match filter.f_from with None -> true | Some t -> m.created_at >= t)
+  && (match filter.f_to with None -> true | Some t -> m.created_at <= t)
+  && List.for_all (fun k -> List.mem k m.keywords) filter.f_keywords
+  && (match filter.f_text with
+     | None -> true
+     | Some s -> contains m.label s || contains m.comment s)
+
+let browse store filter =
+  List.filter (matches store filter) (all_instances store)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_instance ppf inst =
+  Fmt.pf ppf "#%d %s %S by %s @%d" inst.iid inst.entity inst.meta.label
+    inst.meta.user inst.meta.created_at
+
+let pp ppf store =
+  Fmt.pf ppf "store: %d instances over %d physical objects"
+    (instance_count store) (physical_count store)

@@ -1,0 +1,86 @@
+(** The design-object store.
+
+    Every design object is an {e instance}: per-instance meta-data
+    (user, logical timestamp, name, comment, keywords — the browser
+    columns of Fig. 9) plus a reference to content-addressed physical
+    data.  As the paper's footnote 5 notes, several instances
+    (different versions of a design) may share one physical datum;
+    here sharing falls out of content addressing.  The store is
+    polymorphic in the payload so the framework layers stay independent
+    of the EDA substrate. *)
+
+type iid = int
+(** Instance identifier, unique within one store. *)
+
+type meta = {
+  user : string;
+  created_at : int;         (** logical-clock timestamp *)
+  label : string;           (** designer-facing name *)
+  comment : string;
+  keywords : string list;
+}
+
+type 'a instance = private {
+  iid : iid;
+  entity : string;          (** schema entity the instance belongs to *)
+  data_hash : string;
+  meta : meta;
+}
+
+type 'a t
+
+exception Store_error of string
+
+val create : unit -> 'a t
+
+val meta :
+  ?user:string -> ?label:string -> ?comment:string -> ?keywords:string list ->
+  created_at:int -> unit -> meta
+
+val put : 'a t -> entity:string -> hash:string -> meta:meta -> 'a -> iid
+(** Install an instance; the payload is stored once per distinct hash. *)
+
+val find : 'a t -> iid -> 'a instance
+(** @raise Store_error on a missing instance. *)
+
+val find_opt : 'a t -> iid -> 'a instance option
+val mem : 'a t -> iid -> bool
+val payload : 'a t -> iid -> 'a
+val entity_of : 'a t -> iid -> string
+val meta_of : 'a t -> iid -> meta
+val hash_of : 'a t -> iid -> string
+
+val annotate :
+  'a t -> iid -> ?label:string -> ?comment:string -> ?keywords:string list ->
+  unit -> unit
+(** Update the designer-facing annotation of an instance (section 4.1:
+    naming and documenting design steps). *)
+
+val instance_count : 'a t -> int
+
+val physical_count : 'a t -> int
+(** Distinct payloads: [instance_count - physical_count] is the storage
+    saved by sharing. *)
+
+val instances_of_entity : 'a t -> string -> iid list
+(** In installation order. *)
+
+val all_instances : 'a t -> iid list
+
+(** {1 Browser filters (the Fig. 9 instance browser)} *)
+
+type filter = {
+  f_entities : string list option;  (** accepted entities; [None] = all *)
+  f_user : string option;
+  f_from : int option;              (** inclusive timestamp bounds *)
+  f_to : int option;
+  f_keywords : string list;         (** all must be present *)
+  f_text : string option;           (** substring of label or comment *)
+}
+
+val any_filter : filter
+val matches : 'a t -> filter -> iid -> bool
+val browse : 'a t -> filter -> iid list
+
+val pp_instance : Format.formatter -> 'a instance -> unit
+val pp : Format.formatter -> 'a t -> unit

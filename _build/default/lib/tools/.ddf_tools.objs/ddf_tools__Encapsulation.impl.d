@@ -1,0 +1,1 @@
+lib/tools/encapsulation.ml: Ddf_data Ddf_schema Format Hashtbl List Schema

@@ -1,0 +1,1 @@
+lib/tools/encapsulation.mli: Ddf_data Ddf_schema Format Schema

@@ -1,0 +1,1 @@
+lib/tools/standard_tools.mli: Ddf_data Encapsulation

@@ -1,0 +1,133 @@
+(* Tool encapsulations: the binding between schema entities and the
+   substrate's actual tool behaviours.
+
+   An encapsulation serves (tool entity, goal entity) pairs.  Several
+   tools may share one encapsulation (the three statistical optimizers
+   of section 3.3); one tool may have several behaviours, distinguished
+   by goal entity or by the tool instance's own data (multi-function
+   tools); and tool instances created during the design -- the compiled
+   simulator -- carry their behaviour in their payload. *)
+
+open Ddf_schema
+
+type args = (string * Ddf_data.value) list
+(* role -> payload; optional roles absent when unfilled *)
+
+type outcome = (string * Ddf_data.value) list
+(* goal entity -> produced payload; one entry per co-produced output *)
+
+exception Tool_error of string
+
+let tool_errorf fmt = Format.kasprintf (fun s -> raise (Tool_error s)) fmt
+
+type t = {
+  key : string;                             (* unique registry key *)
+  tool_entity : string;
+  goals : string list;                      (* [] accepts any goal *)
+  behavior : tool:Ddf_data.value -> goals:string list -> args -> outcome;
+  (* simulated execution cost in microseconds, for the machine-pool
+     scheduler of Fig. 6 *)
+  cost_us : args -> int;
+  (* Batched encapsulations receive all selected instances in one call;
+     per-instance ones run once per selection (section 4.1). *)
+  batched : bool;
+}
+
+let arg args role = List.assoc_opt role args
+
+let required args role =
+  match arg args role with
+  | Some v -> v
+  | None -> tool_errorf "missing required argument %S" role
+
+type registry = {
+  encapsulations : (string, t) Hashtbl.t;      (* key -> encapsulation *)
+  by_tool : (string, string list ref) Hashtbl.t;  (* tool entity -> keys *)
+  composers :
+    (string, args -> Ddf_data.value) Hashtbl.t;  (* composite entity -> fn *)
+  (* the implicit decomposition function of a composite entity: split an
+     instance's data into its component parts (section 3.1) *)
+  decomposers :
+    (string, Ddf_data.value -> (string * Ddf_data.value) list) Hashtbl.t;
+  (* batched tool calls (section 4.1): merge several selected instances
+     of a root entity into one payload for a single invocation *)
+  mergers : (string, Ddf_data.value list -> Ddf_data.value) Hashtbl.t;
+}
+
+let create_registry () =
+  {
+    encapsulations = Hashtbl.create 16;
+    by_tool = Hashtbl.create 16;
+    composers = Hashtbl.create 4;
+    decomposers = Hashtbl.create 4;
+    mergers = Hashtbl.create 4;
+  }
+
+let register registry enc =
+  if Hashtbl.mem registry.encapsulations enc.key then
+    tool_errorf "encapsulation %S already registered" enc.key;
+  Hashtbl.add registry.encapsulations enc.key enc;
+  let keys =
+    match Hashtbl.find_opt registry.by_tool enc.tool_entity with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add registry.by_tool enc.tool_entity l;
+      l
+  in
+  keys := enc.key :: !keys
+
+let register_composer registry entity fn =
+  Hashtbl.replace registry.composers entity fn
+
+let find_composer registry entity =
+  match Hashtbl.find_opt registry.composers entity with
+  | Some fn -> fn
+  | None -> tool_errorf "no composer registered for %s" entity
+
+let register_decomposer registry entity fn =
+  Hashtbl.replace registry.decomposers entity fn
+
+let find_decomposer registry entity =
+  match Hashtbl.find_opt registry.decomposers entity with
+  | Some fn -> fn
+  | None -> tool_errorf "no decomposer registered for %s" entity
+
+let register_merger registry root_entity fn =
+  Hashtbl.replace registry.mergers root_entity fn
+
+let find_merger registry root_entity =
+  Hashtbl.find_opt registry.mergers root_entity
+
+(* Resolve the encapsulation serving a tool entity (or an ancestor of
+   it, so tool subtypes inherit encapsulations) and a goal entity. *)
+let resolve registry schema ~tool_entity ~goal =
+  let candidates tool =
+    match Hashtbl.find_opt registry.by_tool tool with
+    | Some keys ->
+      List.filter_map (Hashtbl.find_opt registry.encapsulations) !keys
+    | None -> []
+  in
+  let rec search tool =
+    let matching =
+      List.filter
+        (fun enc ->
+          enc.goals = []
+          || List.exists
+               (fun g -> Schema.is_subtype schema ~sub:goal ~super:g)
+               enc.goals)
+        (candidates tool)
+    in
+    match matching with
+    | enc :: _ -> enc
+    | [] -> (
+      match Schema.parent_of schema tool with
+      | Some parent -> search parent
+      | None ->
+        tool_errorf "no encapsulation for tool %s producing %s" tool_entity goal)
+  in
+  search tool_entity
+
+let keys registry =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry.encapsulations []
+  |> List.sort compare

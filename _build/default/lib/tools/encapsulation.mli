@@ -1,0 +1,76 @@
+(** Tool encapsulations: the binding between schema entities and actual
+    tool behaviours.
+
+    An encapsulation serves (tool entity, goal entity) pairs.  Several
+    tools may share one encapsulation (the three statistical optimizers
+    of section 3.3); one tool may expose several behaviours,
+    distinguished by goal entity or by the tool instance's own payload
+    (multi-function tools); and tools created during the design — the
+    compiled simulator of Fig. 2 — carry their behaviour in their
+    payload. *)
+
+open Ddf_schema
+
+type args = (string * Ddf_data.value) list
+(** role -> payload; optional roles are absent when unfilled. *)
+
+type outcome = (string * Ddf_data.value) list
+(** goal entity -> produced payload, one entry per co-produced output. *)
+
+exception Tool_error of string
+
+val tool_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type t = {
+  key : string;          (** unique registry key *)
+  tool_entity : string;
+  goals : string list;   (** [[]] accepts any goal of the tool *)
+  behavior : tool:Ddf_data.value -> goals:string list -> args -> outcome;
+  cost_us : args -> int;
+      (** simulated execution cost, for the Fig. 6 machine-pool
+          scheduler *)
+  batched : bool;
+      (** batched encapsulations receive all selected instances in one
+          call; per-instance ones run once per selection (section 4.1) *)
+}
+
+val arg : args -> string -> Ddf_data.value option
+val required : args -> string -> Ddf_data.value
+(** @raise Tool_error when absent. *)
+
+type registry
+
+val create_registry : unit -> registry
+
+val register : registry -> t -> unit
+(** @raise Tool_error on a duplicate key. *)
+
+val register_composer : registry -> string -> (args -> Ddf_data.value) -> unit
+(** The implicit composition function of a composite entity, including
+    its consistency check ("can these device models be used with this
+    circuit?"). *)
+
+val find_composer : registry -> string -> args -> Ddf_data.value
+
+val register_decomposer :
+  registry -> string -> (Ddf_data.value -> (string * Ddf_data.value) list) -> unit
+(** The implicit decomposition function: split a composite instance
+    into its parts (section 3.1). *)
+
+val find_decomposer :
+  registry -> string -> Ddf_data.value -> (string * Ddf_data.value) list
+
+val register_merger :
+  registry -> string -> (Ddf_data.value list -> Ddf_data.value) -> unit
+(** Batched tool calls (section 4.1): how several selected instances of
+    a root entity merge into one payload for a single invocation. *)
+
+val find_merger :
+  registry -> string -> (Ddf_data.value list -> Ddf_data.value) option
+
+val resolve : registry -> Schema.t -> tool_entity:string -> goal:string -> t
+(** The encapsulation serving a tool (or an ancestor, so tool subtypes
+    inherit encapsulations) for a goal entity.
+    @raise Tool_error when none is registered. *)
+
+val keys : registry -> string list

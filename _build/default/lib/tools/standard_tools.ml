@@ -1,0 +1,423 @@
+(* Encapsulations for every tool of the odyssey schema, binding the
+   Fig. 1 / Fig. 2 entities to the substrate implementations. *)
+
+open Ddf_eda
+module E = Ddf_schema.Standard_schemas.E
+
+let netlist_arg args role = Ddf_data.as_netlist (Encapsulation.required args role)
+
+(* Cost models, in simulated microseconds: proportional to the work the
+   substrate actually does, so the Fig. 6 scheduling experiments see
+   realistic task-length skew. *)
+let netlist_cost args role =
+  match Encapsulation.arg args role with
+  | Some (Ddf_data.Netlist nl) -> 50 + (5 * Netlist.gate_count nl)
+  | Some _ | None -> 50
+
+(* --- editors ------------------------------------------------------- *)
+
+let netlist_editor_enc =
+  let behavior ~tool ~goals:_ args =
+    let script =
+      match Ddf_data.as_tool tool with
+      | Ddf_data.Scripted_netlist_editor s -> s
+      | Ddf_data.Builtin _ | Ddf_data.Scripted_layout_editor _
+      | Ddf_data.Scripted_model_editor _ | Ddf_data.Compiled_simulator _ ->
+        Encapsulation.tool_errorf "netlist editor needs an editing session"
+    in
+    let produced =
+      match Encapsulation.arg args E.netlist with
+      | Some base -> Edit_script.apply (Ddf_data.as_netlist base) script
+      | None ->
+        (* the optional dependency left unfilled: edit from scratch *)
+        Edit_script.apply_from_scratch ~primary_inputs:[] ~primary_outputs:[]
+          script
+    in
+    [ (E.edited_netlist, Ddf_data.Netlist produced) ]
+  in
+  {
+    Encapsulation.key = "netlist_editor.scripted";
+    tool_entity = E.netlist_editor;
+    goals = [ E.edited_netlist ];
+    behavior;
+    cost_us = (fun args -> 20 + netlist_cost args E.netlist);
+    batched = false;
+  }
+
+let layout_editor_enc =
+  let behavior ~tool ~goals:_ args =
+    let edits =
+      match Ddf_data.as_tool tool with
+      | Ddf_data.Scripted_layout_editor e -> e
+      | Ddf_data.Builtin _ | Ddf_data.Scripted_netlist_editor _
+      | Ddf_data.Scripted_model_editor _ | Ddf_data.Compiled_simulator _ ->
+        Encapsulation.tool_errorf "layout editor needs an editing session"
+    in
+    let base =
+      match Encapsulation.arg args E.layout with
+      | Some l -> Ddf_data.as_layout l
+      | None ->
+        (* edit from scratch over an optional guide netlist *)
+        (match Encapsulation.arg args "guide" with
+        | Some g -> Layout.place (Ddf_data.as_netlist g)
+        | None -> Encapsulation.tool_errorf "layout editor needs a layout or a guide")
+    in
+    [ (E.edited_layout, Ddf_data.Layout (Layout.apply_edits base edits)) ]
+  in
+  {
+    Encapsulation.key = "layout_editor.scripted";
+    tool_entity = E.layout_editor;
+    goals = [ E.edited_layout ];
+    behavior;
+    cost_us = (fun _ -> 120);
+    batched = false;
+  }
+
+let device_model_editor_enc =
+  let behavior ~tool ~goals:_ args =
+    let edits =
+      match Ddf_data.as_tool tool with
+      | Ddf_data.Scripted_model_editor e -> e
+      | Ddf_data.Builtin _ | Ddf_data.Scripted_netlist_editor _
+      | Ddf_data.Scripted_layout_editor _ | Ddf_data.Compiled_simulator _ ->
+        Encapsulation.tool_errorf "model editor needs an editing session"
+    in
+    let base =
+      match Encapsulation.arg args E.device_models with
+      | Some m -> Ddf_data.as_device_models m
+      | None -> Device_model.default
+    in
+    [ (E.device_models, Ddf_data.Device_models (Device_model.apply_edits base edits)) ]
+  in
+  {
+    Encapsulation.key = "device_model_editor.scripted";
+    tool_entity = E.device_model_editor;
+    goals = [ E.device_models ];
+    behavior;
+    cost_us = (fun _ -> 30);
+    batched = false;
+  }
+
+(* --- analysis tools ------------------------------------------------ *)
+
+let simulator_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let circuit = Ddf_data.as_circuit (Encapsulation.required args E.circuit) in
+    let stimuli = Ddf_data.as_stimuli (Encapsulation.required args E.stimuli) in
+    let opts =
+      match Encapsulation.arg args E.sim_options with
+      | Some o -> Ddf_data.as_sim_options o
+      | None -> Ddf_data.default_sim_options
+    in
+    ignore opts.Ddf_data.settle_ps;
+    let perf =
+      Performance.analyze ~model:circuit.Ddf_data.c_models
+        circuit.Ddf_data.c_netlist stimuli
+    in
+    [ (E.performance, Ddf_data.Performance perf) ]
+  in
+  {
+    Encapsulation.key = "simulator.event";
+    tool_entity = E.simulator;
+    goals = [ E.performance ];
+    behavior;
+    cost_us =
+      (fun args ->
+        let gates =
+          match Encapsulation.arg args E.circuit with
+          | Some (Ddf_data.Circuit c) -> Netlist.gate_count c.Ddf_data.c_netlist
+          | Some _ | None -> 10
+        in
+        let vectors =
+          match Encapsulation.arg args E.stimuli with
+          | Some (Ddf_data.Stimuli s) -> Stimuli.length s
+          | Some _ | None -> 1
+        in
+        100 + (gates * vectors * 2));
+    batched = true;
+  }
+
+let verifier_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let reference = netlist_arg args "reference" in
+    let candidate = netlist_arg args "candidate" in
+    [ (E.verification, Ddf_data.Verification (Lvs.compare_netlists reference candidate)) ]
+  in
+  {
+    Encapsulation.key = "verifier.lvs";
+    tool_entity = E.verifier;
+    goals = [ E.verification ];
+    behavior;
+    cost_us = (fun args -> 80 + netlist_cost args "reference" + netlist_cost args "candidate");
+    batched = false;
+  }
+
+let plotter_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let perf = Ddf_data.as_performance (Encapsulation.required args E.performance) in
+    [ (E.performance_plot, Ddf_data.Plot (Plot.of_performance perf)) ]
+  in
+  {
+    Encapsulation.key = "plotter.ascii";
+    tool_entity = E.plotter;
+    goals = [ E.performance_plot ];
+    behavior;
+    cost_us = (fun _ -> 40);
+    batched = false;
+  }
+
+(* --- physical tools ------------------------------------------------ *)
+
+let extractor_enc =
+  (* one invocation, two co-produced outputs (Fig. 5) *)
+  let behavior ~tool:_ ~goals args =
+    let layout = Ddf_data.as_layout (Encapsulation.required args E.layout) in
+    let netlist, stats = Extract.run layout in
+    List.filter_map
+      (fun goal ->
+        if goal = E.extracted_netlist then Some (goal, Ddf_data.Netlist netlist)
+        else if goal = E.extraction_statistics then
+          Some (goal, Ddf_data.Extraction_statistics stats)
+        else None)
+      goals
+  in
+  {
+    Encapsulation.key = "extractor.geometric";
+    tool_entity = E.extractor;
+    goals = [ E.extracted_netlist; E.extraction_statistics ];
+    behavior;
+    cost_us =
+      (fun args ->
+        match Encapsulation.arg args E.layout with
+        | Some (Ddf_data.Layout l) -> 60 + (3 * Layout.cell_count l)
+        | Some _ | None -> 60);
+    batched = false;
+  }
+
+let placer_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let nl = netlist_arg args E.netlist in
+    let opts =
+      match Encapsulation.arg args E.placement_options with
+      | Some o -> Ddf_data.as_placement_options o
+      | None -> Ddf_data.default_placement_options
+    in
+    let layout = Layout.place ~name_suffix:opts.Ddf_data.layout_suffix nl in
+    [ (E.synthesized_layout, Ddf_data.Layout layout) ]
+  in
+  {
+    Encapsulation.key = "placer.rows";
+    tool_entity = E.placer;
+    goals = [ E.synthesized_layout ];
+    behavior;
+    cost_us = (fun args -> 150 + (2 * netlist_cost args E.netlist));
+    batched = false;
+  }
+
+let pla_generator_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let nl = netlist_arg args E.netlist in
+    let pla = Pla.of_netlist nl in
+    [ (E.pla_layout, Ddf_data.Layout (Pla.to_layout pla)) ]
+  in
+  {
+    Encapsulation.key = "pla_generator.qm";
+    tool_entity = E.pla_generator;
+    goals = [ E.pla_layout ];
+    behavior;
+    cost_us = (fun args -> 200 + (4 * netlist_cost args E.netlist));
+    batched = false;
+  }
+
+let transistor_expander_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let nl = netlist_arg args E.netlist in
+    [ (E.transistor_netlist, Ddf_data.Transistor_view (Transistor.of_netlist nl)) ]
+  in
+  {
+    Encapsulation.key = "transistor_expander.cmos";
+    tool_entity = E.transistor_expander;
+    goals = [ E.transistor_netlist ];
+    behavior;
+    cost_us = (fun args -> 40 + netlist_cost args E.netlist);
+    batched = false;
+  }
+
+(* --- tools created during design (Fig. 2) -------------------------- *)
+
+let simulator_compiler_enc =
+  let behavior ~tool:_ ~goals:_ args =
+    let nl = netlist_arg args E.netlist in
+    [ (E.compiled_simulator,
+       Ddf_data.Tool (Ddf_data.Compiled_simulator (Sim_compiled.compile nl))) ]
+  in
+  {
+    Encapsulation.key = "simulator_compiler.levelized";
+    tool_entity = E.simulator_compiler;
+    goals = [ E.compiled_simulator ];
+    behavior;
+    cost_us = (fun args -> 300 + (10 * netlist_cost args E.netlist));
+    batched = false;
+  }
+
+let compiled_simulator_enc =
+  (* the tool instance itself carries the compiled program *)
+  let behavior ~tool ~goals:_ args =
+    let compiled =
+      match Ddf_data.as_tool tool with
+      | Ddf_data.Compiled_simulator c -> c
+      | Ddf_data.Builtin _ | Ddf_data.Scripted_netlist_editor _
+      | Ddf_data.Scripted_layout_editor _ | Ddf_data.Scripted_model_editor _ ->
+        Encapsulation.tool_errorf "expected a compiled simulator instance"
+    in
+    let stimuli = Ddf_data.as_stimuli (Encapsulation.required args E.stimuli) in
+    let responses = Sim_compiled.run compiled stimuli in
+    [ (E.switch_performance,
+       Ddf_data.Performance
+         (Performance.of_compiled_run compiled responses ~model_name:"compiled")) ]
+  in
+  {
+    Encapsulation.key = "compiled_simulator.run";
+    tool_entity = E.compiled_simulator;
+    goals = [ E.switch_performance ];
+    behavior;
+    cost_us =
+      (fun args ->
+        match Encapsulation.arg args E.stimuli with
+        | Some (Ddf_data.Stimuli s) -> 20 + Stimuli.length s
+        | Some _ | None -> 20);
+    batched = true;
+  }
+
+(* --- the shared optimizer encapsulation (section 3.3) -------------- *)
+
+let optimizer_enc =
+  (* one encapsulation, three tool instances: Builtin
+     "optimizer:<strategy>" selects the algorithm *)
+  let behavior ~tool ~goals:_ args =
+    let strategy =
+      match Ddf_data.as_tool tool with
+      | Ddf_data.Builtin "optimizer:random_search" -> Optimize.Random_search
+      | Ddf_data.Builtin "optimizer:hill_climb" -> Optimize.Hill_climb
+      | Ddf_data.Builtin "optimizer:annealing" -> Optimize.Annealing
+      | Ddf_data.Builtin other ->
+        Encapsulation.tool_errorf "unknown optimizer %S" other
+      | Ddf_data.Scripted_netlist_editor _ | Ddf_data.Scripted_layout_editor _
+      | Ddf_data.Scripted_model_editor _ | Ddf_data.Compiled_simulator _ ->
+        Encapsulation.tool_errorf "expected an optimizer tool"
+    in
+    let nl = netlist_arg args E.netlist in
+    let opts =
+      match Encapsulation.arg args E.optimizer_options with
+      | Some o -> Ddf_data.as_optimizer_options o
+      | None -> Ddf_data.default_optimizer_options
+    in
+    (* a tool as data input to another tool (section 3.3): when a
+       compiled simulator is supplied, measure switching activity and
+       optimize against it instead of the static power model *)
+    let cost =
+      match Encapsulation.arg args "evaluator" with
+      | None -> None
+      | Some evaluator -> (
+        match Ddf_data.as_tool evaluator with
+        | Ddf_data.Compiled_simulator compiled ->
+          let stimuli =
+            Stimuli.for_netlist ~n:64 nl
+              (Rng.create (Hashtbl.hash (Netlist.hash nl)))
+          in
+          let toggles = Sim_compiled.run_trace compiled stimuli in
+          let activity net =
+            match List.assoc_opt net toggles with Some n -> n | None -> 0
+          in
+          Some
+            (Optimize.cost_with_activity opts.Ddf_data.objective ~activity)
+        | Ddf_data.Builtin _ | Ddf_data.Scripted_netlist_editor _
+        | Ddf_data.Scripted_layout_editor _ | Ddf_data.Scripted_model_editor _
+          ->
+          Encapsulation.tool_errorf "evaluator must be a compiled simulator")
+    in
+    let optimized, _report =
+      Optimize.run ?cost ~budget:opts.Ddf_data.budget
+        ~objective:opts.Ddf_data.objective strategy nl
+        (Rng.create (Hashtbl.hash (Netlist.hash nl)))
+    in
+    [ (E.optimized_netlist, Ddf_data.Netlist optimized) ]
+  in
+  {
+    Encapsulation.key = "optimizer.shared";
+    tool_entity = E.optimizer;
+    goals = [ E.optimized_netlist ];
+    behavior;
+    cost_us = (fun args -> 500 + (20 * netlist_cost args E.netlist));
+    batched = false;
+  }
+
+(* --- composite circuit --------------------------------------------- *)
+
+(* The implicit composition function of the composite circuit entity,
+   including its consistency check ("can these device models be used
+   with this circuit?"). *)
+(* The implicit decomposition function: split a circuit instance back
+   into its device models and netlist (section 3.1 notes this is rarely
+   needed because composite data is usually stored by reference; here
+   the parts come straight out of the payload). *)
+let circuit_decomposer value =
+  let c = Ddf_data.as_circuit value in
+  [
+    (E.device_models, Ddf_data.Device_models c.Ddf_data.c_models);
+    (E.netlist, Ddf_data.Netlist c.Ddf_data.c_netlist);
+  ]
+
+let circuit_composer args =
+  let models =
+    Ddf_data.as_device_models (Encapsulation.required args E.device_models)
+  in
+  let nl = netlist_arg args E.netlist in
+  if models.Device_model.vdd_mv < 1000 then
+    Encapsulation.tool_errorf
+      "device models %s cannot drive circuit %s: supply too low"
+      models.Device_model.model_name nl.Netlist.name;
+  Ddf_data.Circuit { Ddf_data.c_models = models; c_netlist = nl }
+
+let all_encapsulations =
+  [
+    netlist_editor_enc;
+    layout_editor_enc;
+    device_model_editor_enc;
+    simulator_enc;
+    verifier_enc;
+    plotter_enc;
+    extractor_enc;
+    placer_enc;
+    pla_generator_enc;
+    transistor_expander_enc;
+    simulator_compiler_enc;
+    compiled_simulator_enc;
+    optimizer_enc;
+  ]
+
+(* The registry every workspace starts from. *)
+let registry () =
+  let r = Encapsulation.create_registry () in
+  List.iter (Encapsulation.register r) all_encapsulations;
+  Encapsulation.register_composer r E.circuit circuit_composer;
+  Encapsulation.register_decomposer r E.circuit circuit_decomposer;
+  (* several selected stimuli merge into one batched simulation run *)
+  Encapsulation.register_merger r E.stimuli (fun payloads ->
+      Ddf_data.Stimuli
+        (Stimuli.concat (List.map Ddf_data.as_stimuli payloads)));
+  r
+
+(* Default tool payloads for tools instantiated from the catalog. *)
+let default_tool_payload entity =
+  if entity = E.simulator then Some (Ddf_data.Tool (Ddf_data.Builtin "simulator:event"))
+  else if entity = E.verifier then Some (Ddf_data.Tool (Ddf_data.Builtin "verifier:lvs"))
+  else if entity = E.plotter then Some (Ddf_data.Tool (Ddf_data.Builtin "plotter:ascii"))
+  else if entity = E.extractor then Some (Ddf_data.Tool (Ddf_data.Builtin "extractor:geometric"))
+  else if entity = E.placer then Some (Ddf_data.Tool (Ddf_data.Builtin "placer:rows"))
+  else if entity = E.pla_generator then Some (Ddf_data.Tool (Ddf_data.Builtin "pla_generator:qm"))
+  else if entity = E.transistor_expander then
+    Some (Ddf_data.Tool (Ddf_data.Builtin "transistor_expander:cmos"))
+  else if entity = E.simulator_compiler then
+    Some (Ddf_data.Tool (Ddf_data.Builtin "simulator_compiler:levelized"))
+  else None

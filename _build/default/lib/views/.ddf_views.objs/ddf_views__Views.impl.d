@@ -1,0 +1,1 @@
+lib/views/views.ml: Ddf_data Ddf_eda Ddf_exec Ddf_graph Ddf_schema Ddf_store Fmt List Schema Standard_flows Standard_schemas Store Task_graph

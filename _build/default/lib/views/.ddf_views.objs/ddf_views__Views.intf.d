@@ -1,0 +1,1 @@
+lib/views/views.mli: Ddf_eda Ddf_exec Ddf_schema Ddf_store Format Store

@@ -1,0 +1,1 @@
+test/flow_gen.ml: Ddf_eda Ddf_graph Ddf_schema List Schema Standard_schemas Task_graph

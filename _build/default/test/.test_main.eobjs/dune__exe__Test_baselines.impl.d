@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Ddf List Standard_flows Standard_schemas Util

@@ -1,0 +1,1 @@
+test/test_eda_netlist.ml: Alcotest Circuits Ddf_eda Edit_script Fmt Gen List Logic Netlist Printf QCheck2 Rng Sim_compiled Stimuli Util

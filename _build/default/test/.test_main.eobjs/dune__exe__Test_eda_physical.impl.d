@@ -1,0 +1,1 @@
+test/test_eda_physical.ml: Alcotest Blif Circuits Ddf_eda Extract Layout List Logic Lvs Netlist Pla QCheck2 Rng Transistor Util

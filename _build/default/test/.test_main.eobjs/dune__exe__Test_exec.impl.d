@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Consistency Ddf Ddf_tools Eda Engine History List Parallel Printf Schema Session Standard_flows Standard_schemas Store Task_graph Typing Util Value Workspace

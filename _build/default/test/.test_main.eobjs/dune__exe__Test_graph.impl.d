@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Canonical Ddf_graph Ddf_schema Flow_gen Gen List QCheck2 Sexp_form Standard_flows Standard_schemas String Task_graph Util

@@ -1,0 +1,1 @@
+test/test_hier_process.ml: Alcotest Consistency Ddf Eda Engine List Process Process_file Standard_schemas Store Task_graph Util Value Workspace

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ddf Eda Engine Flow_gen Hashtbl List Parallel Persist QCheck2 Schema Session Standard_schemas Store Task_graph Util Value Workspace

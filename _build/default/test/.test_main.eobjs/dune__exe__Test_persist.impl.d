@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Canonical Ddf Ddf_persist Eda Engine History List Persist Printf Session Standard_flows Standard_schemas Store Task_graph Util Value Views Workspace

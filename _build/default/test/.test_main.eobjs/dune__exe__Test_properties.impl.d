@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Baselines Ddf Ddf_persist Eda Engine Flow_gen Fun Hashtbl History List Printf QCheck2 Standard_schemas Store Task_graph Util Value Workspace

@@ -1,0 +1,1 @@
+test/test_representations.ml: Alcotest Bipartite Canonical Ddf_graph Ddf_schema Flow_gen Gen List Printf QCheck2 Sexp_form Standard_flows Task_graph Util

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Ddf_schema List Schema Standard_schemas Util

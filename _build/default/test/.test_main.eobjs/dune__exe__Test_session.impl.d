@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Canonical Ddf Eda List Schema Session Standard_schemas Task_graph Util Workspace

@@ -1,0 +1,1 @@
+test/test_store_history.ml: Alcotest Ddf Eda Engine History List Standard_schemas Store Task_graph Util Workspace

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Printexc QCheck2 QCheck_alcotest String

@@ -1,0 +1,69 @@
+(* Random task-graph generation over the odyssey schema, for the
+   property-based tests: a deterministic sequence of designer
+   operations (expand, upward expand, specialize) driven by a seed. *)
+
+open Ddf_schema
+open Ddf_graph
+module Rng = Ddf_eda.Rng
+
+let schema = Standard_schemas.odyssey
+
+let constructible =
+  List.filter
+    (fun e ->
+      match Schema.construction_rule schema e with
+      | Schema.Constructed _ -> true
+      | Schema.Abstract _ | Schema.Source -> false)
+    (Schema.entity_ids schema)
+
+(* Specialize an abstract node to a random constructible subtype. *)
+let specialize_randomly rng g nid =
+  let subs =
+    Schema.descendants schema (Task_graph.entity_of g nid)
+    |> List.filter (fun e ->
+           match Schema.construction_rule schema e with
+           | Schema.Constructed _ -> true
+           | Schema.Abstract _ | Schema.Source -> false)
+  in
+  match subs with
+  | [] -> g
+  | subs -> (
+    try Task_graph.specialize g nid (Rng.pick rng subs)
+    with Task_graph.Graph_error _ -> g)
+
+let step rng g =
+  let nodes = Task_graph.node_ids g in
+  if nodes = [] then g
+  else
+    let nid = Rng.pick rng nodes in
+    match Rng.int rng 4 with
+    | 0 | 1 -> (
+      (* downward expansion, specializing when required *)
+      try fst (Task_graph.expand g nid) with
+      | Task_graph.Needs_specialization _ -> specialize_randomly rng g nid
+      | Task_graph.Graph_error _ -> g)
+    | 2 -> (
+      (* upward expansion to a random consumer *)
+      let consumers = Schema.consumers schema (Task_graph.entity_of g nid) in
+      match consumers with
+      | [] -> g
+      | consumers -> (
+        let consumer = Rng.pick rng consumers in
+        let roles =
+          Schema.consuming_roles schema (Task_graph.entity_of g nid)
+          |> List.filter (fun (c, _) -> c = consumer)
+        in
+        let role = (snd (Rng.pick rng roles)).Schema.role in
+        try
+          let g, _, _ = Task_graph.expand_up ~role g nid ~consumer in
+          g
+        with
+        | Task_graph.Needs_specialization _ | Task_graph.Graph_error _ -> g))
+    | _ -> specialize_randomly rng g nid
+
+let random_flow seed steps =
+  let rng = Rng.create seed in
+  let start = Rng.pick rng constructible in
+  let g, _ = Task_graph.create schema start in
+  let rec go g n = if n = 0 then g else go (step rng g) (n - 1) in
+  go g steps

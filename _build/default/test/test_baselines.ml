@@ -1,0 +1,214 @@
+(* Tests for the baseline systems: static flows, designer-freedom
+   counting, trace capture, make-style rebuilds and version trees. *)
+
+open Ddf
+module E = Standard_schemas.E
+module B = Baselines
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+let static_flow_tests =
+  [
+    t "freezing fig5 yields one activity per invocation" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let sf = B.Static_flow.of_task_graph f.Standard_flows.f5_graph in
+        check Alcotest.int "five steps" 5 (B.Static_flow.length sf));
+    t "the straight-jacket allows exactly the next step" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let sf = B.Static_flow.of_task_graph f.Standard_flows.f5_graph in
+        (match B.Static_flow.next_step sf ~completed:0 with
+        | Some a -> check Alcotest.string "first" "step1" a.B.Static_flow.act_name
+        | None -> Alcotest.fail "no first step");
+        check Alcotest.bool "done" true
+          (B.Static_flow.next_step sf ~completed:5 = None));
+    t "conformance accepts only the mandated order" (fun () ->
+        let f = Standard_flows.fig3 () in
+        let sf = B.Static_flow.of_task_graph f.Standard_flows.f3_graph in
+        let steps =
+          List.map
+            (fun a -> (a.B.Static_flow.hardwired_tool, a.B.Static_flow.produces))
+            sf.B.Static_flow.activities
+        in
+        check Alcotest.bool "own order" true (B.Static_flow.conforms sf steps);
+        check Alcotest.bool "reversed order" false
+          (B.Static_flow.conforms sf (List.rev steps)));
+    t "tool change burden counts affected flows" (fun () ->
+        let mk g = B.Static_flow.of_task_graph g in
+        let catalog =
+          [
+            mk (Standard_flows.fig3 ()).Standard_flows.f3_graph;
+            mk (Standard_flows.fig5 ()).Standard_flows.f5_graph;
+            mk (Standard_flows.fig8b ()).Standard_flows.f8b_graph;
+          ]
+        in
+        check Alcotest.int "extractor appears in two flows" 2
+          (B.Static_flow.maintenance_burden catalog ~tool:E.extractor);
+        check Alcotest.int "placer appears in one" 1
+          (B.Static_flow.maintenance_burden catalog ~tool:E.placer));
+  ]
+
+let freedom_tests =
+  [
+    t "a chain admits exactly one order" (fun () ->
+        let g, _ = Standard_flows.edit_chain 4 in
+        check Alcotest.int "one" 1 (B.Freedom.legal_orderings g));
+    t "independent branches multiply orderings" (fun () ->
+        let g, _ = Standard_flows.wide_flow 4 in
+        (* 4 independent invocations: 4! orders *)
+        check Alcotest.int "24" 24 (B.Freedom.legal_orderings g));
+    t "fig5 admits several orders, the frozen flow one" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let n = B.Freedom.legal_orderings f.Standard_flows.f5_graph in
+        check Alcotest.bool "> 1" true (n > 1));
+    t "prefixes dominate full orderings" (fun () ->
+        let g, _ = Standard_flows.wide_flow 3 in
+        check Alcotest.bool "prefixes > orders" true
+          (B.Freedom.legal_prefixes g > B.Freedom.legal_orderings g));
+  ]
+
+let trace_tests =
+  [
+    t "capture and cut traces" (fun () ->
+        let tc = B.Trace_capture.create () in
+        B.Trace_capture.capture tc ~tool:"extractor" ~consumed:[ "lay.mag" ]
+          ~produced:[ "net.sim" ];
+        B.Trace_capture.capture tc ~tool:"simulator" ~consumed:[ "net.sim" ]
+          ~produced:[ "perf.out" ];
+        let tr = B.Trace_capture.cut tc "session1" in
+        check Alcotest.int "two events" 2 (List.length tr.B.Trace_capture.events);
+        check Alcotest.int "archived" 1
+          (List.length (B.Trace_capture.archive tc)));
+    t "replay substitutes object names" (fun () ->
+        let tc = B.Trace_capture.create () in
+        B.Trace_capture.capture tc ~tool:"extractor" ~consumed:[ "lay.mag" ]
+          ~produced:[ "net.sim" ];
+        let tr = B.Trace_capture.cut tc "proto" in
+        let re =
+          B.Trace_capture.replay tr ~substitute:[ ("lay.mag", "other.mag") ]
+        in
+        match re.B.Trace_capture.events with
+        | [ e ] ->
+          check (Alcotest.list Alcotest.string) "substituted" [ "other.mag" ]
+            e.B.Trace_capture.ev_consumed
+        | _ -> Alcotest.fail "wrong events");
+    t "indexing is by concrete name only" (fun () ->
+        let tc = B.Trace_capture.create () in
+        B.Trace_capture.capture tc ~tool:"extractor" ~consumed:[ "lay.mag" ]
+          ~produced:[ "net.sim" ];
+        ignore (B.Trace_capture.cut tc "s1");
+        check Alcotest.int "by name" 1
+          (List.length (B.Trace_capture.traces_touching tc "lay.mag"));
+        check Alcotest.int "no type query" 0
+          (List.length (B.Trace_capture.traces_touching tc "layout")));
+    t "capture accepts what the schema rejects" (fun () ->
+        let tc = B.Trace_capture.create () in
+        (* a plotter "producing" a netlist: nonsense, but captured *)
+        B.Trace_capture.capture tc ~tool:E.plotter ~consumed:[ "p1" ]
+          ~produced:[ "n1" ];
+        let tr = B.Trace_capture.cut tc "bad" in
+        let typing = function
+          | "n1" -> Some E.extracted_netlist
+          | "p1" -> Some E.performance
+          | _ -> None
+        in
+        let violations =
+          B.Trace_capture.check_against_schema Standard_schemas.odyssey ~typing tr
+        in
+        check Alcotest.int "one violation" 1 (List.length violations));
+    t "legal traces pass the post-hoc check" (fun () ->
+        let tc = B.Trace_capture.create () in
+        B.Trace_capture.capture tc ~tool:E.extractor ~consumed:[ "l1" ]
+          ~produced:[ "n1" ];
+        let tr = B.Trace_capture.cut tc "good" in
+        let typing = function
+          | "n1" -> Some E.extracted_netlist
+          | "l1" -> Some E.edited_layout
+          | _ -> None
+        in
+        check Alcotest.int "clean" 0
+          (List.length
+             (B.Trace_capture.check_against_schema Standard_schemas.odyssey
+                ~typing tr)));
+  ]
+
+let make_tests =
+  let rules =
+    [
+      { B.Make_style.target = "netlist"; deps = [ "layout" ]; cost_us = 100 };
+      { B.Make_style.target = "perf"; deps = [ "netlist"; "stimuli" ]; cost_us = 300 };
+      { B.Make_style.target = "plot"; deps = [ "perf" ]; cost_us = 50 };
+    ]
+  in
+  [
+    t "first build makes everything" (fun () ->
+        let m = B.Make_style.create rules in
+        B.Make_style.touch m "layout";
+        B.Make_style.touch m "stimuli";
+        let r = B.Make_style.build m "plot" in
+        check
+          (Alcotest.list Alcotest.string)
+          "order" [ "netlist"; "perf"; "plot" ] r.B.Make_style.rebuilt);
+    t "no-op rebuild is free" (fun () ->
+        let m = B.Make_style.create rules in
+        B.Make_style.touch m "layout";
+        B.Make_style.touch m "stimuli";
+        let _ = B.Make_style.build m "plot" in
+        let r = B.Make_style.build m "plot" in
+        check Alcotest.int "nothing rebuilt" 0 (List.length r.B.Make_style.rebuilt));
+    t "touching a source rebuilds downstream even if content is identical"
+      (fun () ->
+        let m = B.Make_style.create rules in
+        B.Make_style.touch m "layout";
+        B.Make_style.touch m "stimuli";
+        let _ = B.Make_style.build m "plot" in
+        B.Make_style.touch m "layout";
+        let r = B.Make_style.build m "plot" in
+        (* make cannot see that nothing changed: the false-rebuild gap
+           the memoizing history closes (experiment A3) *)
+        check Alcotest.int "three rebuilt" 3 (List.length r.B.Make_style.rebuilt));
+    Util.expect_exn "missing source"
+      (function B.Make_style.Make_error _ -> true | _ -> false)
+      (fun () -> B.Make_style.build (B.Make_style.create rules) "plot");
+  ]
+
+let version_tree_tests =
+  [
+    t "check-in builds the Fig. 11 tree" (fun () ->
+        let vt = B.Version_tree.create () in
+        let c1 = B.Version_tree.check_in vt ~payload_hash:"c1" ~author:"a" ~at:1 () in
+        let c2 = B.Version_tree.check_in vt ~parent:c1 ~payload_hash:"c2" ~author:"a" ~at:2 () in
+        let c3 = B.Version_tree.check_in vt ~parent:c1 ~payload_hash:"c3" ~author:"b" ~at:3 () in
+        let _c4 = B.Version_tree.check_in vt ~parent:c3 ~payload_hash:"c4" ~author:"b" ~at:4 () in
+        let c5 = B.Version_tree.check_in vt ~parent:c3 ~payload_hash:"c5" ~author:"a" ~at:5 () in
+        check Alcotest.int "size" 5 (B.Version_tree.size vt);
+        check (Alcotest.list Alcotest.int) "children of c1" [ c2; c3 ]
+          (B.Version_tree.children vt c1);
+        check (Alcotest.option Alcotest.int) "parent of c5" (Some c3)
+          (B.Version_tree.parent vt c5));
+    Util.expect_exn "unknown parent"
+      (function B.Version_tree.Version_error _ -> true | _ -> false)
+      (fun () ->
+        B.Version_tree.check_in (B.Version_tree.create ()) ~parent:9
+          ~payload_hash:"x" ~author:"a" ~at:1 ());
+    t "version trees cannot name the tool (flow traces can)" (fun () ->
+        let vt = B.Version_tree.create () in
+        let v = B.Version_tree.check_in vt ~payload_hash:"c1" ~author:"a" ~at:1 () in
+        check (Alcotest.option Alcotest.string) "unknown" None
+          (B.Version_tree.tool_used vt v));
+    t "metadata footprint is positive and linear-ish" (fun () ->
+        let vt = B.Version_tree.create () in
+        let v1 = B.Version_tree.check_in vt ~payload_hash:"h1" ~author:"a" ~at:1 () in
+        let one = B.Version_tree.metadata_bytes vt in
+        let _ = B.Version_tree.check_in vt ~parent:v1 ~payload_hash:"h2" ~author:"a" ~at:2 () in
+        check Alcotest.int "double" (2 * one) (B.Version_tree.metadata_bytes vt));
+  ]
+
+let suite =
+  [
+    ("baselines.static_flow", static_flow_tests);
+    ("baselines.freedom", freedom_tests);
+    ("baselines.trace_capture", trace_tests);
+    ("baselines.make_style", make_tests);
+    ("baselines.version_tree", version_tree_tests);
+  ]

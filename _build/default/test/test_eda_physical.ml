@@ -1,0 +1,330 @@
+(* Tests for the physical substrate: layout, extraction, LVS, the
+   transistor view and the PLA generator. *)
+
+open Ddf_eda
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+let layout_tests =
+  [
+    t "placement covers every gate and port" (fun () ->
+        let nl = Circuits.ripple_adder 4 in
+        let l = Layout.place nl in
+        check Alcotest.int "cells" (Netlist.gate_count nl
+                                    + List.length nl.Netlist.primary_inputs
+                                    + List.length nl.Netlist.primary_outputs)
+          (Layout.cell_count l));
+    t "area and wirelength are positive" (fun () ->
+        let l = Layout.place (Circuits.c17 ()) in
+        check Alcotest.bool "area" true (Layout.area l > 0);
+        check Alcotest.bool "wl" true (Layout.wirelength l > 0));
+    t "cells stay inside the die" (fun () ->
+        let l = Layout.place (Circuits.parity 8) in
+        List.iter
+          (fun (c : Layout.cell) ->
+            check Alcotest.bool c.Layout.cname true
+              (c.Layout.x >= 0 && c.Layout.y >= 0
+              && c.Layout.x + c.Layout.width <= l.Layout.die_width
+              && c.Layout.y + c.Layout.height <= l.Layout.die_height))
+          l.Layout.cells);
+    t "segments are axis-parallel and normalized" (fun () ->
+        let l = Layout.place (Circuits.full_adder ()) in
+        List.iter
+          (fun (s : Layout.segment) ->
+            check Alcotest.bool "axis" true
+              (s.Layout.x1 = s.Layout.x2 || s.Layout.y1 = s.Layout.y2);
+            check Alcotest.bool "normalized" true
+              ((s.Layout.x1, s.Layout.y1) <= (s.Layout.x2, s.Layout.y2)))
+          l.Layout.wires);
+    t "edits apply" (fun () ->
+        let l = Layout.place (Circuits.inverter ()) in
+        let l2 =
+          Layout.apply_edits l
+            [ Layout.Rename_layout "inv2"; Layout.Move_cell ("g_inv", 3, 0) ]
+        in
+        check Alcotest.string "renamed" "inv2" l2.Layout.layout_name;
+        match (Layout.find_cell l "g_inv", Layout.find_cell l2 "g_inv") with
+        | Some a, Some b -> check Alcotest.int "moved" (a.Layout.x + 3) b.Layout.x
+        | _ -> Alcotest.fail "cell lost");
+    Util.expect_exn "moving a missing cell fails"
+      (function Layout.Layout_error _ -> true | _ -> false)
+      (fun () ->
+        Layout.apply_edits
+          (Layout.place (Circuits.inverter ()))
+          [ Layout.Move_cell ("ghost", 1, 1) ]);
+    t "hash tracks geometry" (fun () ->
+        let l = Layout.place (Circuits.inverter ()) in
+        let l2 = Layout.apply_edits l [ Layout.Move_cell ("g_inv", 1, 0) ] in
+        check Alcotest.bool "hash changed" false (Layout.hash l = Layout.hash l2));
+  ]
+
+let extract_tests =
+  [
+    t "extraction round-trips the whole zoo" (fun () ->
+        List.iter
+          (fun (name, mk) ->
+            let nl = mk () in
+            let extracted, stats = Extract.run (Layout.place nl) in
+            check Alcotest.int (name ^ " opens") 0 stats.Extract.opens;
+            let v = Lvs.compare_netlists nl extracted in
+            check Alcotest.bool (name ^ " lvs") true v.Lvs.equivalent)
+          Circuits.all_named);
+    t "statistics are consistent" (fun () ->
+        let nl = Circuits.full_adder () in
+        let l = Layout.place nl in
+        let _, stats = Extract.run l in
+        check Alcotest.int "cells" (Layout.cell_count l)
+          stats.Extract.cells_extracted;
+        check Alcotest.int "wirelength" (Layout.wirelength l)
+          stats.Extract.total_wirelength;
+        check Alcotest.int "area" (Layout.area l) stats.Extract.die_area;
+        check Alcotest.bool "vias" true (stats.Extract.vias > 0));
+    t "a moved cell produces opens" (fun () ->
+        let nl = Circuits.full_adder () in
+        let l = Layout.place nl in
+        let broken = Layout.apply_edits l [ Layout.Move_cell ("g_cout", 6, 0) ] in
+        let extracted, stats = Extract.run broken in
+        check Alcotest.bool "opens reported" true (stats.Extract.opens > 0);
+        let v = Lvs.compare_netlists nl extracted in
+        check Alcotest.bool "LVS fails" false v.Lvs.equivalent);
+    t "deleting a wire splits a net" (fun () ->
+        let nl = Circuits.full_adder () in
+        let l = Layout.place nl in
+        let seg = List.hd l.Layout.wires in
+        let broken = Layout.apply_edits l [ Layout.Delete_segment seg ] in
+        let _, stats = Extract.run broken in
+        check Alcotest.bool "connectivity changed" true
+          (stats.Extract.opens > 0
+          || stats.Extract.nets_extracted
+             <> (let _, s0 = Extract.run l in
+                 s0.Extract.nets_extracted));
+        ());
+    Util.qcheck ~count:30 "random circuits survive place+extract+lvs"
+      QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 40))
+      (fun (seed, n_gates) ->
+        let rng = Rng.create seed in
+        let nl = Circuits.random ~n_inputs:4 ~n_gates rng in
+        let extracted, stats = Extract.run (Layout.place nl) in
+        stats.Extract.opens = 0
+        && (Lvs.compare_netlists nl extracted).Lvs.equivalent);
+  ]
+
+let lvs_tests =
+  [
+    t "renamed nets still match" (fun () ->
+        let nl = Circuits.full_adder () in
+        let renamed =
+          let map n = if n = "x1" then "weird" else n in
+          Netlist.create ~name:"renamed"
+            ~primary_inputs:nl.Netlist.primary_inputs
+            ~primary_outputs:nl.Netlist.primary_outputs
+            (List.map
+               (fun (g : Netlist.gate) ->
+                 { g with
+                   Netlist.gname = "r_" ^ g.Netlist.gname;
+                   Netlist.inputs = List.map map g.Netlist.inputs;
+                   Netlist.output = map g.Netlist.output })
+               nl.Netlist.gates)
+        in
+        check Alcotest.bool "equivalent" true
+          (Lvs.compare_netlists nl renamed).Lvs.equivalent);
+    t "different ports are reported" (fun () ->
+        let a = Circuits.full_adder () in
+        let b = { a with Netlist.primary_inputs = [ "a"; "b"; "carry" ];
+                  Netlist.gates =
+                    List.map
+                      (fun (g : Netlist.gate) ->
+                        { g with
+                          Netlist.inputs =
+                            List.map
+                              (fun i -> if i = "cin" then "carry" else i)
+                              g.Netlist.inputs })
+                      a.Netlist.gates }
+        in
+        let v = Lvs.compare_netlists a b in
+        check Alcotest.bool "mismatch" false v.Lvs.equivalent;
+        check Alcotest.bool "port mismatch named" true
+          (List.exists
+             (function Lvs.Port_sets_differ _ -> true | _ -> false)
+             v.Lvs.mismatches));
+    t "gate count difference is reported" (fun () ->
+        let a = Circuits.full_adder () in
+        let b =
+          Netlist.add_gate a (Netlist.gate "extra" Logic.Buf [ "sum" ] "s2")
+        in
+        let v = Lvs.compare_netlists a b in
+        check Alcotest.bool "mismatch" false v.Lvs.equivalent);
+    t "swapped gate operator is caught" (fun () ->
+        let a = Circuits.full_adder () in
+        let b =
+          { a with
+            Netlist.gates =
+              List.map
+                (fun (g : Netlist.gate) ->
+                  if g.Netlist.gname = "g_cout" then
+                    { g with Netlist.op = Logic.And }
+                  else g)
+                a.Netlist.gates }
+        in
+        check Alcotest.bool "mismatch" false
+          (Lvs.compare_netlists a b).Lvs.equivalent);
+    t "symmetric trees match (the parity regression)" (fun () ->
+        let a = Circuits.parity 8 in
+        let extracted, _ = Extract.run (Layout.place a) in
+        check Alcotest.bool "equivalent" true
+          (Lvs.compare_netlists a extracted).Lvs.equivalent);
+    t "gate map covers all gates on success" (fun () ->
+        let a = Circuits.c17 () in
+        let extracted, _ = Extract.run (Layout.place a) in
+        let v = Lvs.compare_netlists a extracted in
+        check Alcotest.int "mapped" (Netlist.gate_count a) v.Lvs.matched_gates);
+  ]
+
+let transistor_tests =
+  [
+    t "inverter expands to two devices" (fun () ->
+        let t' = Transistor.of_netlist (Circuits.inverter ()) in
+        check Alcotest.int "devices" 2 (Transistor.device_count t'));
+    t "zoo corresponds at switch level" (fun () ->
+        let rng = Rng.create 1 in
+        List.iter
+          (fun (name, mk) ->
+            let nl = mk () in
+            let t' = Transistor.of_netlist nl in
+            check Alcotest.bool name true (Transistor.corresponds nl t' rng))
+          Circuits.all_named);
+    t "nand pull-down is in series" (fun () ->
+        let nl =
+          Netlist.create ~name:"nand" ~primary_inputs:[ "a"; "b" ]
+            ~primary_outputs:[ "y" ]
+            [ Netlist.gate "g" Logic.Nand [ "a"; "b" ] "y" ]
+        in
+        let t' = Transistor.of_netlist nl in
+        check Alcotest.int "4 devices" 4 (Transistor.device_count t');
+        (* a=1,b=0 -> no pull-down path -> 1 *)
+        check Alcotest.bool "partial pulldown" true
+          (Transistor.eval t' [ ("a", Logic.V1); ("b", Logic.V0) ]
+           = [ ("y", Logic.V1) ]));
+    t "X on a gate input gives X out" (fun () ->
+        let t' = Transistor.of_netlist (Circuits.inverter ()) in
+        check Alcotest.bool "X" true
+          (Transistor.eval t' [ ("in", Logic.VX) ] = [ ("out", Logic.VX) ]));
+    Util.qcheck ~count:30 "random circuits correspond at switch level"
+      QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 25))
+      (fun (seed, n_gates) ->
+        let rng = Rng.create seed in
+        let nl = Circuits.random ~n_inputs:4 ~n_gates rng in
+        Transistor.corresponds nl (Transistor.of_netlist nl) rng);
+  ]
+
+let pla_tests =
+  [
+    t "full adder minimizes to 7 terms" (fun () ->
+        let p = Pla.of_netlist (Circuits.full_adder ()) in
+        check Alcotest.int "terms" 7 (Pla.product_terms p));
+    t "PLA is functionally equivalent" (fun () ->
+        List.iter
+          (fun (name, mk) ->
+            let nl = mk () in
+            if List.length nl.Netlist.primary_inputs <= 8 then
+              let p = Pla.of_netlist nl in
+              check Alcotest.bool name true (Pla.equivalent nl p))
+          Circuits.all_named);
+    t "PLA netlist is two-level" (fun () ->
+        let p = Pla.of_netlist (Circuits.mux4 ()) in
+        check Alcotest.bool "depth <= 3" true
+          (Netlist.depth (Pla.to_netlist p) <= 3));
+    t "PLA layout places" (fun () ->
+        let p = Pla.of_netlist (Circuits.full_adder ()) in
+        check Alcotest.bool "area" true (Layout.area (Pla.to_layout p) > 0));
+    t "shared product terms are not duplicated" (fun () ->
+        let p = Pla.of_netlist (Circuits.full_adder ()) in
+        let keys = List.map Pla.cube_key p.Pla.and_plane in
+        check Alcotest.int "unique" (List.length keys)
+          (List.length (List.sort_uniq compare keys)));
+    Util.expect_exn "too many inputs rejected"
+      (function Pla.Pla_error _ -> true | _ -> false)
+      (fun () -> Pla.of_netlist (Circuits.ripple_adder 8));
+    Util.qcheck ~count:25 "random small circuits re-implement exactly"
+      QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 15))
+      (fun (seed, n_gates) ->
+        let rng = Rng.create seed in
+        let nl = Circuits.random ~n_inputs:4 ~n_gates rng in
+        Pla.equivalent nl (Pla.of_netlist nl));
+  ]
+
+let suite =
+  [
+    ("eda.layout", layout_tests);
+    ("eda.extract", extract_tests);
+    ("eda.lvs", lvs_tests);
+    ("eda.transistor", transistor_tests);
+    ("eda.pla", pla_tests);
+  ]
+
+let blif_tests =
+  [
+    t "BLIF round-trips the zoo structurally" (fun () ->
+        List.iter
+          (fun (name, mk) ->
+            let nl = mk () in
+            let nl2 = Blif.of_string (Blif.to_string nl) in
+            check Alcotest.bool name true
+              (Lvs.compare_netlists nl nl2).Lvs.equivalent)
+          Circuits.all_named);
+    t "BLIF preserves drive strengths" (fun () ->
+        let nl = Netlist.set_drive (Circuits.c17 ()) "g10" 4 in
+        let nl2 = Blif.of_string (Blif.to_string nl) in
+        let drives (n : Netlist.t) =
+          List.map (fun (g : Netlist.gate) -> g.Netlist.drive) n.Netlist.gates
+          |> List.sort compare
+        in
+        check (Alcotest.list Alcotest.int) "drives" (drives nl) (drives nl2));
+    t ".names covers import as two-level logic" (fun () ->
+        let text =
+          ".model xor2\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n"
+        in
+        let nl = Blif.of_string text in
+        let eval x y =
+          Netlist.eval nl [ ("a", Logic.of_bool x); ("b", Logic.of_bool y) ]
+        in
+        check Alcotest.bool "xor" true
+          (eval true false = [ ("y", Logic.V1) ]
+          && eval true true = [ ("y", Logic.V0) ]
+          && eval false true = [ ("y", Logic.V1) ]
+          && eval false false = [ ("y", Logic.V0) ]));
+    Util.expect_exn "unsupported directive"
+      (function Blif.Blif_error _ -> true | _ -> false)
+      (fun () -> Blif.of_string ".model m\n.subckt foo a=b\n.end\n");
+    t ".latch imports a flip-flop" (fun () ->
+        let text =
+          ".model toggle\n.inputs\n.outputs q\n.gate not_x1 I0=q O=nq\n\
+           .latch nq q 0\n.end\n"
+        in
+        let nl = Blif.of_string text in
+        check Alcotest.bool "sequential" true (Netlist.is_sequential nl);
+        let outs = Netlist.run_cycles nl [ []; []; []; [] ] in
+        check Alcotest.bool "toggles 0101" true
+          (outs
+           = [ [ ("q", Logic.V0) ]; [ ("q", Logic.V1) ]; [ ("q", Logic.V0) ];
+               [ ("q", Logic.V1) ] ]));
+    t ".latch round-trips" (fun () ->
+        let nl = Circuits.counter 3 in
+        let nl2 = Blif.of_string (Blif.to_string nl) in
+        check Alcotest.bool "same behaviour" true
+          (Netlist.run_cycles nl (List.init 10 (fun _ -> []))
+           = Netlist.run_cycles nl2 (List.init 10 (fun _ -> []))));
+    Util.expect_exn "missing model"
+      (function Blif.Blif_error _ -> true | _ -> false)
+      (fun () -> Blif.of_string ".inputs a\n.outputs a\n.end\n");
+    t "comments and continuations parse" (fun () ->
+        let text =
+          "# a comment\n.model m\n.inputs \\\na b\n.outputs y\n\
+           .gate and_x1 I0=a I1=b O=y # instance g1\n.end\n"
+        in
+        let nl = Blif.of_string text in
+        check Alcotest.int "one gate" 1 (Netlist.gate_count nl));
+  ]
+
+let suite = suite @ [ ("eda.blif", blif_tests) ]

@@ -1,0 +1,235 @@
+(* Tests for hierarchical designs (Hier) and the Minerva-style design
+   process level (Process). *)
+
+open Ddf
+module E = Standard_schemas.E
+module H = Eda.Hier
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+let expect_hier_error name f =
+  Util.expect_exn name (function H.Hier_error _ -> true | _ -> false) f
+
+let hier_tests =
+  [
+    t "assembled adder equals the monolithic one" (fun () ->
+        let flat = H.flatten (H.adder_of_cells 4) in
+        let reference = Eda.Circuits.ripple_adder 4 in
+        let truth nl =
+          Eda.Sim_compiled.run (Eda.Sim_compiled.compile nl)
+            (Eda.Stimuli.exhaustive nl.Eda.Netlist.primary_inputs)
+          |> List.map (List.map snd)
+        in
+        check Alcotest.bool "same function" true (truth flat = truth reference));
+    t "flattening prefixes internal names" (fun () ->
+        let flat = H.flatten (H.adder_of_cells 2) in
+        check Alcotest.bool "prefixed gates" true
+          (List.exists
+             (fun (g : Eda.Netlist.gate) ->
+               Util.contains g.Eda.Netlist.gname "fa1.")
+             flat.Eda.Netlist.gates));
+    t "gate_count matches the flat netlist" (fun () ->
+        let h = H.adder_of_cells 3 in
+        check Alcotest.int "count" (H.gate_count h)
+          (Eda.Netlist.gate_count (H.flatten h)));
+    t "flat design survives place+extract+lvs" (fun () ->
+        let flat = H.flatten (H.adder_of_cells 2) in
+        let extracted, stats = Eda.Extract.run (Eda.Layout.place flat) in
+        check Alcotest.int "no opens" 0 stats.Eda.Extract.opens;
+        check Alcotest.bool "lvs" true
+          (Eda.Lvs.compare_netlists flat extracted).Eda.Lvs.equivalent);
+    expect_hier_error "unknown cell" (fun () ->
+        H.create ~design_name:"bad" ~cells:[] ~top_inputs:[ "a" ]
+          ~top_outputs:[ "y" ]
+          [ { H.inst_name = "u1"; cell = "ghost"; connections = [] } ]);
+    expect_hier_error "unconnected cell input" (fun () ->
+        H.create ~design_name:"bad"
+          ~cells:[ ("inv", Eda.Circuits.inverter ()) ]
+          ~top_inputs:[ "a" ] ~top_outputs:[ "y" ]
+          [ { H.inst_name = "u1"; cell = "inv"; connections = [ ("out", "y") ] } ]);
+    expect_hier_error "two drivers on one net" (fun () ->
+        let inv = Eda.Circuits.inverter () in
+        H.create ~design_name:"bad" ~cells:[ ("inv", inv) ]
+          ~top_inputs:[ "a" ] ~top_outputs:[ "y" ]
+          [
+            { H.inst_name = "u1"; cell = "inv";
+              connections = [ ("in", "a"); ("out", "y") ] };
+            { H.inst_name = "u2"; cell = "inv";
+              connections = [ ("in", "a"); ("out", "y") ] };
+          ]);
+    expect_hier_error "unknown port" (fun () ->
+        H.create ~design_name:"bad"
+          ~cells:[ ("inv", Eda.Circuits.inverter ()) ]
+          ~top_inputs:[ "a" ] ~top_outputs:[ "y" ]
+          [ { H.inst_name = "u1"; cell = "inv";
+              connections = [ ("in", "a"); ("zap", "y") ] } ]);
+    expect_hier_error "duplicate instance names" (fun () ->
+        let inv = Eda.Circuits.inverter () in
+        H.create ~design_name:"bad" ~cells:[ ("inv", inv) ]
+          ~top_inputs:[ "a" ] ~top_outputs:[ "y"; "z" ]
+          [
+            { H.inst_name = "u1"; cell = "inv";
+              connections = [ ("in", "a"); ("out", "y") ] };
+            { H.inst_name = "u1"; cell = "inv";
+              connections = [ ("in", "a"); ("out", "z") ] };
+          ]);
+    t "glue logic participates" (fun () ->
+        let inv = Eda.Circuits.inverter () in
+        let h =
+          H.create ~design_name:"glued" ~cells:[ ("inv", inv) ]
+            ~top_inputs:[ "a"; "b" ] ~top_outputs:[ "y" ]
+            ~glue:[ Eda.Netlist.gate "g_and" Eda.Logic.And [ "na"; "b" ] "y" ]
+            [ { H.inst_name = "u1"; cell = "inv";
+                connections = [ ("in", "a"); ("out", "na") ] } ]
+        in
+        let flat = H.flatten h in
+        check Alcotest.int "two gates" 2 (Eda.Netlist.gate_count flat);
+        check Alcotest.bool "function" true
+          (Eda.Netlist.eval flat
+             [ ("a", Eda.Logic.V0); ("b", Eda.Logic.V1) ]
+           = [ ("y", Eda.Logic.V1) ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let setup_process () =
+  let w = Workspace.create ~user:"lead" () in
+  let ctx = Workspace.ctx w in
+  let process =
+    Process.create ~process_name:"p"
+      (Process.cell "top"
+         ~requirements:[ Process.require E.extracted_netlist ]
+         ~children:
+           [
+             Process.cell "alu"
+               ~requirements:[ Process.require E.synthesized_layout ]
+               ~assigned_to:"ann";
+             Process.cell "regfile"
+               ~requirements:[ Process.require E.synthesized_layout ]
+               ~assigned_to:"bob";
+           ])
+  in
+  (w, ctx, process)
+
+let install_cell w name nl =
+  Engine.install (Workspace.ctx w) ~entity:E.edited_netlist ~label:name
+    ~keywords:[ Process.cell_keyword name ]
+    (Value.Netlist nl)
+
+let synthesize w iid =
+  let ctx = Workspace.ctx w in
+  let g, lay = Task_graph.create (Workspace.schema w) E.synthesized_layout in
+  let g, fresh = Task_graph.expand ~include_optional:false g lay in
+  let placer, nln = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let run =
+    Engine.execute ctx g
+      ~bindings:[ (placer, Workspace.tool w E.placer); (nln, iid) ]
+  in
+  Engine.result_of run lay
+
+let process_tests =
+  [
+    Util.expect_exn "duplicate cells rejected"
+      (function Process.Process_error _ -> true | _ -> false)
+      (fun () ->
+        Process.create ~process_name:"p"
+          (Process.cell "x" ~children:[ Process.cell "x" ]));
+    t "statuses evolve with the workspace" (fun () ->
+        let w, ctx, process = setup_process () in
+        let alu = Process.find_cell process "alu" in
+        let req = List.hd alu.Process.requirements in
+        check Alcotest.bool "no data" true
+          (Process.requirement_status ctx alu req = Process.No_logic_view);
+        let alu_iid = install_cell w "alu" (Eda.Circuits.full_adder ()) in
+        check Alcotest.bool "missing" true
+          (Process.requirement_status ctx alu req = Process.Missing);
+        let _ = synthesize w alu_iid in
+        (match Process.requirement_status ctx alu req with
+        | Process.Met _ -> ()
+        | _ -> Alcotest.fail "expected Met");
+        check Alcotest.bool "cell complete" true
+          (Process.report_cell ctx alu).Process.cr_complete);
+    t "completion counts requirement-bearing cells" (fun () ->
+        let w, ctx, process = setup_process () in
+        check (Alcotest.float 0.01) "zero" 0.0 (Process.completion ctx process);
+        let alu_iid = install_cell w "alu" (Eda.Circuits.full_adder ()) in
+        let _ = synthesize w alu_iid in
+        check (Alcotest.float 0.01) "one third" (1.0 /. 3.0)
+          (Process.completion ctx process));
+    t "worklist respects assignment and readiness" (fun () ->
+        let w, ctx, process = setup_process () in
+        check (Alcotest.list Alcotest.string) "nothing ready" []
+          (Process.worklist ctx process ~designer:"ann");
+        let _ = install_cell w "alu" (Eda.Circuits.full_adder ()) in
+        let _ = install_cell w "regfile" (Eda.Circuits.c17 ()) in
+        check (Alcotest.list Alcotest.string) "ann sees alu" [ "alu" ]
+          (Process.worklist ctx process ~designer:"ann");
+        check (Alcotest.list Alcotest.string) "bob sees regfile" [ "regfile" ]
+          (Process.worklist ctx process ~designer:"bob"));
+    t "an edit turns the status stale" (fun () ->
+        let w, ctx, process = setup_process () in
+        let alu = Process.find_cell process "alu" in
+        let req = List.hd alu.Process.requirements in
+        let alu_iid = install_cell w "alu" (Eda.Circuits.full_adder ()) in
+        let _ = synthesize w alu_iid in
+        (* edit the cell netlist *)
+        let session =
+          Workspace.install_editor_session w
+            (Eda.Edit_script.create
+               [ Eda.Edit_script.Insert_buffer { net = "x1"; gname = "e" } ])
+        in
+        let g, out = Task_graph.create (Workspace.schema w) E.edited_netlist in
+        let g, fresh = Task_graph.expand g out in
+        let editor, src = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+        let run =
+          Engine.execute ctx g ~bindings:[ (editor, session); (src, alu_iid) ]
+        in
+        Store.annotate (Workspace.store w) (Engine.result_of run out)
+          ~keywords:[ Process.cell_keyword "alu" ] ();
+        (match Process.requirement_status ctx alu req with
+        | Process.Stale _ -> ()
+        | s -> Alcotest.failf "expected Stale, got %s" (Process.status_name s));
+        (* refresh repairs it *)
+        (match Process.requirement_status ctx alu req with
+        | Process.Stale stale ->
+          let _ = Consistency.refresh ctx stale in
+          (match Process.requirement_status ctx alu req with
+          | Process.Met _ -> ()
+          | s -> Alcotest.failf "expected Met, got %s" (Process.status_name s))
+        | _ -> assert false));
+  ]
+
+let suite =
+  [ ("hier", hier_tests); ("process", process_tests) ]
+
+let process_file_tests =
+  let definition =
+    "(process adder4_tapeout\n\
+    \ (cell chip (requires extracted_netlist) (assigned jacome)\n\
+    \  (cell full_adder (requires synthesized_layout) (assigned sutton))\n\
+    \  (cell output_buffer (requires synthesized_layout))))"
+  in
+  [
+    t "definitions parse" (fun () ->
+        let p = Process_file.of_string definition in
+        check Alcotest.string "name" "adder4_tapeout" (Process.process_name p);
+        check Alcotest.int "three cells" 3
+          (List.length (Process.all_cells (Process.root p)));
+        let fa = Process.find_cell p "full_adder" in
+        check (Alcotest.option Alcotest.string) "assignment" (Some "sutton")
+          fa.Process.assigned_to);
+    t "definitions round-trip" (fun () ->
+        let p = Process_file.of_string definition in
+        let p2 = Process_file.of_string (Process_file.to_string p) in
+        check Alcotest.string "same text" (Process_file.to_string p)
+          (Process_file.to_string p2));
+    Util.expect_exn "malformed definitions rejected"
+      (function Process_file.Process_file_error _ -> true | _ -> false)
+      (fun () -> Process_file.of_string "(cell orphan)");
+    Util.expect_exn "unknown cell item rejected"
+      (function Process_file.Process_file_error _ -> true | _ -> false)
+      (fun () -> Process_file.of_string "(process p (cell c (wibble x)))");
+  ]
+
+let suite = suite @ [ ("process.file", process_file_tests) ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "ddf"
+    (Test_schema.suite @ Test_graph.suite @ Test_representations.suite
+    @ Test_eda_netlist.suite @ Test_eda_sim.suite @ Test_eda_physical.suite
+    @ Test_store_history.suite @ Test_exec.suite @ Test_session.suite
+    @ Test_baselines.suite @ Test_persist.suite @ Test_integration.suite
+    @ Test_hier_process.suite @ Test_properties.suite @ Test_misc.suite)

@@ -1,0 +1,207 @@
+(* Cross-cutting property tests: algebraic laws the subsystems must
+   satisfy, checked over random inputs. *)
+
+open Ddf
+
+let netlist_gen =
+  QCheck2.Gen.map
+    (fun (seed, (n_inputs, n_gates)) ->
+      Eda.Circuits.random ~n_inputs ~n_gates (Eda.Rng.create seed))
+    QCheck2.Gen.(pair (int_bound 1_000_000) (pair (int_range 2 5) (int_range 1 30)))
+
+(* ------------------------------------------------------------------ *)
+(* History laws over random edit histories                             *)
+(* ------------------------------------------------------------------ *)
+
+let edit_tree seed depth =
+  let w = Workspace.create () in
+  let ctx = Workspace.ctx w in
+  let rng = Eda.Rng.create seed in
+  let v0 =
+    Workspace.install_netlist w
+      (Eda.Circuits.random ~n_inputs:3 ~n_gates:6 (Eda.Rng.create (seed + 1)))
+  in
+  let versions = ref [ v0 ] in
+  for i = 1 to depth do
+    let base = Eda.Rng.pick rng !versions in
+    let session =
+      Workspace.install_editor_session w
+        (Eda.Edit_script.create
+           ~name:(Printf.sprintf "e%d" i)
+           [ Eda.Edit_script.Rename (Printf.sprintf "v%d" i) ])
+    in
+    let g, out = Task_graph.create (Workspace.schema w) Standard_schemas.E.edited_netlist in
+    let g, fresh = Task_graph.expand g out in
+    let editor, src = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+    let run = Engine.execute ctx g ~bindings:[ (editor, session); (src, base) ] in
+    versions := Engine.result_of run out :: !versions
+  done;
+  (w, ctx, v0, !versions)
+
+let history_gen = QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 12))
+
+let history_laws =
+  [
+    Util.qcheck ~count:30 "backward/forward duality" history_gen
+      (fun (seed, depth) ->
+        let w, _, v0, versions = edit_tree seed depth in
+        let h = Workspace.history w in
+        (* every instance derived from v0 must have v0 among its
+           ancestors, and vice versa *)
+        List.for_all
+          (fun v ->
+            v = v0
+            || (List.mem v (History.derived_instances h v0)
+               && List.mem v0 (History.ancestor_instances h v)))
+          versions);
+    Util.qcheck ~count:30 "version tree spans every version" history_gen
+      (fun (seed, depth) ->
+        let w, _, v0, versions = edit_tree seed depth in
+        let h = Workspace.history w and st = Workspace.store w in
+        let schema = Workspace.schema w in
+        let tree_members = History.versions h st schema v0 in
+        List.for_all (fun v -> List.mem v tree_members) versions
+        && List.length tree_members = List.length versions);
+    Util.qcheck ~count:30 "version parents are older" history_gen
+      (fun (seed, depth) ->
+        let w, _, _, versions = edit_tree seed depth in
+        let h = Workspace.history w and st = Workspace.store w in
+        let schema = Workspace.schema w in
+        List.for_all
+          (fun v ->
+            match History.version_parent h st schema v with
+            | None -> true
+            | Some p ->
+              (Store.meta_of st p).Store.created_at
+              <= (Store.meta_of st v).Store.created_at)
+          versions);
+    Util.qcheck ~count:20 "traces of every version validate" history_gen
+      (fun (seed, depth) ->
+        let w, _, _, versions = edit_tree seed depth in
+        let h = Workspace.history w and st = Workspace.store w in
+        let schema = Workspace.schema w in
+        List.for_all
+          (fun v ->
+            let g, root, binding = History.trace h st schema v in
+            Task_graph.validate g;
+            List.assoc root binding = v)
+          versions);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LVS under mutation: no false positives                              *)
+(* ------------------------------------------------------------------ *)
+
+let lvs_mutation =
+  [
+    Util.qcheck ~count:40 "a mutated netlist never passes LVS" netlist_gen
+      (fun nl ->
+        let rng = Eda.Rng.create (Hashtbl.hash (Eda.Netlist.hash nl)) in
+        let gates = nl.Eda.Netlist.gates in
+        match gates with
+        | [] -> true
+        | _ ->
+          let victim = Eda.Rng.pick rng gates in
+          (* flip the operator to a different one of the same arity *)
+          let arity = List.length victim.Eda.Netlist.inputs in
+          let candidates =
+            List.filter
+              (fun op ->
+                op <> victim.Eda.Netlist.op && Eda.Logic.arity_ok op arity)
+              Eda.Logic.all_ops
+          in
+          let mutated_op = Eda.Rng.pick rng candidates in
+          let mutated =
+            { nl with
+              Eda.Netlist.gates =
+                List.map
+                  (fun (g : Eda.Netlist.gate) ->
+                    if g.Eda.Netlist.gname = victim.Eda.Netlist.gname then
+                      { g with Eda.Netlist.op = mutated_op }
+                    else g)
+                  gates }
+          in
+          not (Eda.Lvs.compare_netlists nl mutated).Eda.Lvs.equivalent);
+    Util.qcheck ~count:40 "LVS is reflexive on random netlists" netlist_gen
+      (fun nl -> (Eda.Lvs.compare_netlists nl nl).Eda.Lvs.equivalent);
+    Util.qcheck ~count:30 "LVS is symmetric through extraction" netlist_gen
+      (fun nl ->
+        let extracted, _ = Eda.Extract.run (Eda.Layout.place nl) in
+        (Eda.Lvs.compare_netlists nl extracted).Eda.Lvs.equivalent
+        = (Eda.Lvs.compare_netlists extracted nl).Eda.Lvs.equivalent);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Freedom counting vs brute force                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate legal orderings explicitly over the invocation DAG. *)
+let brute_force_orderings g =
+  let invocations = Array.of_list (Task_graph.invocations g) in
+  let n = Array.length invocations in
+  let producer = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (inv : Task_graph.invocation) ->
+      List.iter (fun o -> Hashtbl.replace producer o i) inv.Task_graph.outputs)
+    invocations;
+  let deps i =
+    let inv = invocations.(i) in
+    ((match inv.Task_graph.tool with Some t -> [ t ] | None -> [])
+    @ List.map snd inv.Task_graph.inputs)
+    |> List.filter_map (Hashtbl.find_opt producer)
+  in
+  let rec count scheduled =
+    if List.length scheduled = n then 1
+    else
+      List.fold_left
+        (fun acc i ->
+          if
+            (not (List.mem i scheduled))
+            && List.for_all (fun d -> List.mem d scheduled) (deps i)
+          then acc + count (i :: scheduled)
+          else acc)
+        0
+        (List.init n Fun.id)
+  in
+  count []
+
+let freedom_checks =
+  let flow_gen =
+    QCheck2.Gen.map
+      (fun (seed, steps) -> Flow_gen.random_flow seed steps)
+      QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 10))
+  in
+  [
+    Util.qcheck ~count:25 "linear-extension count matches brute force"
+      flow_gen
+      (fun g ->
+        List.length (Task_graph.invocations g) > 6
+        || Baselines.Freedom.legal_orderings g = brute_force_orderings g);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BLIF round trips on random circuits                                 *)
+(* ------------------------------------------------------------------ *)
+
+let blif_props =
+  [
+    Util.qcheck ~count:40 "BLIF round-trips random circuits" netlist_gen
+      (fun nl ->
+        let nl2 = Eda.Blif.of_string (Eda.Blif.to_string nl) in
+        (Eda.Lvs.compare_netlists nl nl2).Eda.Lvs.equivalent);
+    Util.qcheck ~count:40 "value codecs round-trip random netlists" netlist_gen
+      (fun nl ->
+        let v = Value.Netlist nl in
+        let v2 =
+          Ddf_persist.Codec.value_of_sexp (Ddf_persist.Codec.value_to_sexp v)
+        in
+        Value.hash v = Value.hash v2);
+  ]
+
+let suite =
+  [
+    ("properties.history", history_laws);
+    ("properties.lvs", lvs_mutation);
+    ("properties.freedom", freedom_checks);
+    ("properties.blif", blif_props);
+  ]

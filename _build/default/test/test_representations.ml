@@ -1,0 +1,128 @@
+(* Tests for the flow representations of Fig. 3: the Lisp-style form,
+   the round-trip textual form, and the bipartite flowmap. *)
+
+open Ddf_graph
+module E = Ddf_schema.Standard_schemas.E
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+let schema = Ddf_schema.Standard_schemas.odyssey
+
+let suite_cases =
+  [
+    t "paper form of the Fig. 3 flow" (fun () ->
+        let f = Standard_flows.fig3 () in
+        check Alcotest.string "footnote 2"
+          "synthesized_layout (placer, edited_netlist (netlist_editor, netlist), placement_options)"
+          (Sexp_form.to_paper_string f.Standard_flows.f3_graph
+             f.Standard_flows.f3_layout));
+    t "round-trip form parses back" (fun () ->
+        let f = Standard_flows.fig3 () in
+        let s = Sexp_form.to_string f.Standard_flows.f3_graph in
+        let g = Sexp_form.of_string schema s in
+        check Alcotest.bool "isomorphic" true
+          (Canonical.equal g f.Standard_flows.f3_graph));
+    t "sharing survives the round trip" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let s = Sexp_form.to_string f.Standard_flows.f5_graph in
+        let g = Sexp_form.of_string schema s in
+        check Alcotest.bool "isomorphic" true
+          (Canonical.equal g f.Standard_flows.f5_graph);
+        (* shared node: some node has two users *)
+        check Alcotest.bool "sharing" true
+          (List.exists
+             (fun (n : Task_graph.node) ->
+               List.length (Task_graph.users g n.Task_graph.nid) >= 2)
+             (Task_graph.nodes g)));
+    Util.expect_exn "parse error on garbage"
+      (function Sexp_form.Parse_error _ -> true | _ -> false)
+      (fun () -> Sexp_form.of_string schema "((((");
+    Util.expect_exn "parse error on unknown entity"
+      (function Ddf_schema.Schema.Schema_error _ -> true | _ -> false)
+      (fun () -> Sexp_form.of_string schema "martian#0");
+    Util.expect_exn "parse error on redefined shared node"
+      (function Sexp_form.Parse_error _ -> true | _ -> false)
+      (fun () ->
+        Sexp_form.of_string schema
+          "circuit#0(device_models=device_models#1(tool=device_model_editor#2), netlist=netlist#3); device_models#1(tool=device_model_editor#4)");
+    t "bipartite conversion of a plain flow is lossless" (fun () ->
+        let f = Standard_flows.fig3 () in
+        let b = Bipartite.of_graph f.Standard_flows.f3_graph in
+        check Alcotest.bool "lossless" true (Bipartite.lossless b));
+    t "bipartite round-trips a plain flow" (fun () ->
+        let f = Standard_flows.fig3 () in
+        let b = Bipartite.of_graph f.Standard_flows.f3_graph in
+        let g = Bipartite.to_graph schema b in
+        check Alcotest.bool "isomorphic" true
+          (Canonical.equal g f.Standard_flows.f3_graph));
+    t "flowmaps cannot express tools built by the flow (Fig. 2)" (fun () ->
+        let f = Standard_flows.fig2 () in
+        let b = Bipartite.of_graph f.Standard_flows.f2_graph in
+        check Alcotest.bool "lossy" false (Bipartite.lossless b);
+        check
+          Alcotest.(list string)
+          "the compiled simulator is lost"
+          [ E.compiled_simulator ] b.Bipartite.derived_tools);
+    t "bipartite keeps co-produced outputs in one activity" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let b = Bipartite.of_graph f.Standard_flows.f5_graph in
+        let extraction =
+          List.find
+            (fun a -> a.Bipartite.act_tool = Some E.extractor)
+            b.Bipartite.activities
+        in
+        check Alcotest.int "two outputs" 2
+          (List.length extraction.Bipartite.act_outputs));
+    t "ascii rendering marks shared nodes" (fun () ->
+        let f = Standard_flows.fig5 () in
+        check Alcotest.bool "shared marker" true
+          (Util.contains (Task_graph.to_ascii f.Standard_flows.f5_graph)
+             "(shared)"));
+    t "dot rendering emits every node" (fun () ->
+        let f = Standard_flows.fig5 () in
+        let dot = Task_graph.to_dot f.Standard_flows.f5_graph in
+        List.iter
+          (fun (n : Task_graph.node) ->
+            check Alcotest.bool "node present" true
+              (Util.contains dot (Printf.sprintf "n%d " n.Task_graph.nid)))
+          (Task_graph.nodes f.Standard_flows.f5_graph));
+    t "canonical distinguishes sharing from copying" (fun () ->
+        (* verification with one netlist used twice vs two distinct *)
+        let g, v = Task_graph.create schema E.verification in
+        let g, n1 = Task_graph.add_node g E.edited_netlist in
+        let shared = Task_graph.connect g ~user:v ~role:"reference" ~dep:n1 in
+        let shared = Task_graph.connect shared ~user:v ~role:"candidate" ~dep:n1 in
+        let g2, n2 = Task_graph.add_node g E.edited_netlist in
+        let copied = Task_graph.connect g2 ~user:v ~role:"reference" ~dep:n1 in
+        let copied = Task_graph.connect copied ~user:v ~role:"candidate" ~dep:n2 in
+        check Alcotest.bool "different" false (Canonical.equal shared copied));
+  ]
+
+(* property: round trip on random flows *)
+let property_cases =
+  let open QCheck2 in
+  let flow_gen =
+    Gen.map
+      (fun (seed, steps) -> Flow_gen.random_flow seed steps)
+      Gen.(pair (int_bound 1_000_000) (int_range 1 25))
+  in
+  [
+    Util.qcheck "sexp round-trip on random flows" flow_gen (fun g ->
+        Canonical.equal g (Sexp_form.of_string schema (Sexp_form.to_string g)));
+    Util.qcheck "lossless flowmaps round-trip" flow_gen (fun g ->
+        let b = Bipartite.of_graph g in
+        (not (Bipartite.lossless b))
+        ||
+        (* to_graph only reconstructs data and activities; tool leaves
+           of the original remain, so compare data/activity structure *)
+        let g' = Bipartite.to_graph schema b in
+        let b' = Bipartite.of_graph g' in
+        List.length b'.Bipartite.activities = List.length b.Bipartite.activities
+        && List.length b'.Bipartite.data = List.length b.Bipartite.data);
+  ]
+
+let suite =
+  [
+    ("representations.fig3", suite_cases);
+    ("representations.properties", property_cases);
+  ]

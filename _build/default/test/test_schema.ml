@@ -1,0 +1,215 @@
+(* Tests for the task schema (lib/schema). *)
+
+open Ddf_schema
+module E = Standard_schemas.E
+
+let check = Alcotest.check
+
+(* Alcotest lacks a "raises any Schema_error" helper; roll one. *)
+let expect_schema_error name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | _ -> Alcotest.fail "expected Schema_error"
+      | exception Schema.Schema_error _ -> ())
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+
+let construction_tests =
+  [
+    t "fig1 builds and validates" (fun () ->
+        check Alcotest.int "entity count" 20 (Schema.size Standard_schemas.fig1));
+    t "odyssey builds and validates" (fun () ->
+        Schema.validate Standard_schemas.odyssey);
+    t "fig2 builds" (fun () -> Schema.validate Standard_schemas.fig2);
+    expect_schema_error "duplicate entity" (fun () ->
+        Schema.create "bad" [ Schema.entity "x" []; Schema.entity "x" [] ]);
+    expect_schema_error "unknown dependency target" (fun () ->
+        Schema.create "bad" [ Schema.entity "x" [ Schema.data "ghost" ] ]);
+    expect_schema_error "two functional dependencies" (fun () ->
+        Schema.create "bad"
+          [
+            Schema.tool "t1" [];
+            Schema.tool "t2" [];
+            Schema.entity "x"
+              [ Schema.functional "t1"; Schema.functional ~role:"tool2" "t2" ];
+          ]);
+    expect_schema_error "functional dependency on data" (fun () ->
+        Schema.create "bad"
+          [ Schema.entity "d" []; Schema.entity "x" [ Schema.functional "d" ] ]);
+    expect_schema_error "duplicate roles" (fun () ->
+        Schema.create "bad"
+          [
+            Schema.entity "d" [];
+            Schema.entity "x" [ Schema.data ~role:"r" "d"; Schema.data ~role:"r" "d" ];
+          ]);
+    expect_schema_error "unknown parent" (fun () ->
+        Schema.create "bad" [ Schema.entity ~parent:"ghost" "x" [] ]);
+    expect_schema_error "kind-changing subtype" (fun () ->
+        Schema.create "bad"
+          [ Schema.tool "t" []; Schema.entity ~parent:"t" "x" [] ]);
+    expect_schema_error "mandatory cycle" (fun () ->
+        Schema.create "bad"
+          [
+            Schema.entity "a" [ Schema.data "b" ];
+            Schema.entity "b" [ Schema.data "a" ];
+          ]);
+    t "optional edge breaks a cycle" (fun () ->
+        let s =
+          Schema.create "ok"
+            [
+              Schema.entity "a" [ Schema.data "b" ];
+              Schema.entity "b" [ Schema.data ~optional:true "a" ];
+            ]
+        in
+        check Alcotest.int "two entities" 2 (Schema.size s));
+    t "self-loop broken by optional" (fun () ->
+        let s =
+          Schema.create "ok"
+            [
+              Schema.tool "ed" [];
+              Schema.entity "d"
+                [ Schema.functional "ed"; Schema.data ~optional:true "d" ];
+            ]
+        in
+        Schema.validate s);
+    expect_schema_error "empty entity id" (fun () -> Schema.entity "" []);
+    t "add_entity extends and validates" (fun () ->
+        let s =
+          Schema.add_entity Standard_schemas.fig1 (Schema.tool "new_router" [])
+        in
+        check Alcotest.bool "present" true (Schema.mem s "new_router"));
+    expect_schema_error "add duplicate entity" (fun () ->
+        Schema.add_entity Standard_schemas.fig1 (Schema.tool E.simulator []));
+    expect_schema_error "remove entity leaves dangling deps" (fun () ->
+        Schema.remove_entity Standard_schemas.fig1 E.simulator);
+  ]
+
+let subtyping_tests =
+  let s = Standard_schemas.odyssey in
+  [
+    t "direct subtypes of netlist" (fun () ->
+        check
+          Alcotest.(slist string compare)
+          "subs"
+          [ E.extracted_netlist; E.edited_netlist; E.optimized_netlist ]
+          (Schema.subtypes s E.netlist));
+    t "is_subtype is reflexive" (fun () ->
+        check Alcotest.bool "refl" true
+          (Schema.is_subtype s ~sub:E.netlist ~super:E.netlist));
+    t "is_subtype holds one level" (fun () ->
+        check Alcotest.bool "sub" true
+          (Schema.is_subtype s ~sub:E.extracted_netlist ~super:E.netlist));
+    t "is_subtype fails across siblings" (fun () ->
+        check Alcotest.bool "not" false
+          (Schema.is_subtype s ~sub:E.extracted_netlist ~super:E.edited_netlist));
+    t "root_of a subtype" (fun () ->
+        check Alcotest.string "root" E.performance
+          (Schema.root_of s E.switch_performance));
+    t "ancestors nearest-first" (fun () ->
+        check
+          Alcotest.(list string)
+          "anc" [ E.performance ]
+          (Schema.ancestors s E.switch_performance));
+    t "descendants of layout" (fun () ->
+        check
+          Alcotest.(slist string compare)
+          "desc"
+          [ E.edited_layout; E.synthesized_layout; E.pla_layout ]
+          (Schema.descendants s E.layout));
+  ]
+
+let rule_tests =
+  let s = Standard_schemas.odyssey in
+  [
+    t "abstract entity needs specialization" (fun () ->
+        match Schema.construction_rule s E.netlist with
+        | Schema.Abstract subs ->
+          check Alcotest.int "three methods" 3 (List.length subs)
+        | Schema.Constructed _ | Schema.Source ->
+          Alcotest.fail "expected Abstract");
+    t "source entity" (fun () ->
+        check Alcotest.bool "stimuli is source" true
+          (Schema.is_primitive_source s E.stimuli));
+    t "composite entity" (fun () ->
+        check Alcotest.bool "circuit is composite" true
+          (Schema.is_composite s E.circuit));
+    t "composite has no functional dep" (fun () ->
+        check Alcotest.bool "none" true
+          (Schema.functional_dep s E.circuit = None));
+    t "performance has a functional dep on the simulator" (fun () ->
+        match Schema.functional_dep s E.performance with
+        | Some d -> check Alcotest.string "target" E.simulator d.Schema.target
+        | None -> Alcotest.fail "missing");
+    t "constructed tool (Fig. 2)" (fun () ->
+        match Schema.construction_rule s E.compiled_simulator with
+        | Schema.Constructed deps ->
+          check Alcotest.int "two deps" 2 (List.length deps)
+        | Schema.Abstract _ | Schema.Source -> Alcotest.fail "expected rule");
+    t "subtype overrides parent rule" (fun () ->
+        match Schema.functional_dep s E.switch_performance with
+        | Some d ->
+          check Alcotest.string "compiled sim" E.compiled_simulator d.Schema.target
+        | None -> Alcotest.fail "missing");
+    t "optional data deps of performance" (fun () ->
+        let opt =
+          List.filter
+            (fun (d : Schema.dep) ->
+              d.Schema.dep_kind = Schema.Data_dep { optional = true })
+            (Schema.data_deps s E.performance)
+        in
+        check Alcotest.int "one optional" 1 (List.length opt));
+  ]
+
+let query_tests =
+  let s = Standard_schemas.odyssey in
+  [
+    t "consumers of netlist include circuit and verification" (fun () ->
+        let c = Schema.consumers s E.netlist in
+        check Alcotest.bool "circuit" true (List.mem E.circuit c);
+        check Alcotest.bool "verification" true (List.mem E.verification c));
+    t "consumers accept subtypes" (fun () ->
+        let c = Schema.consumers s E.extracted_netlist in
+        check Alcotest.bool "circuit consumes subtypes" true
+          (List.mem E.circuit c));
+    t "verification consumes netlist through two roles" (fun () ->
+        let roles =
+          Schema.consuming_roles s E.netlist
+          |> List.filter (fun (cid, _) -> cid = E.verification)
+        in
+        check Alcotest.int "two roles" 2 (List.length roles));
+    t "goals of the extractor" (fun () ->
+        check
+          Alcotest.(slist string compare)
+          "goals"
+          [ E.extracted_netlist; E.extraction_statistics ]
+          (Schema.goals_of_tool s E.extractor));
+    t "coproduced outputs" (fun () ->
+        check
+          Alcotest.(list string)
+          "stats with netlist"
+          [ E.extraction_statistics ]
+          (Schema.coproduced s E.extracted_netlist));
+    t "coproduced is symmetric" (fun () ->
+        check
+          Alcotest.(list string)
+          "netlist with stats"
+          [ E.extracted_netlist ]
+          (Schema.coproduced s E.extraction_statistics));
+    t "dot export mentions every entity" (fun () ->
+        let dot = Schema.to_dot s in
+        List.iter
+          (fun e ->
+            check Alcotest.bool ("dot has " ^ e) true
+              (Util.contains dot e))
+          (Schema.entity_ids s));
+  ]
+
+let suite =
+  [
+    ("schema.construction", construction_tests);
+    ("schema.subtyping", subtyping_tests);
+    ("schema.rules", rule_tests);
+    ("schema.queries", query_tests);
+  ]

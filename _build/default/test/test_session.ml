@@ -1,0 +1,178 @@
+(* Tests for the Hercules session layer: catalogs, the four design
+   approaches, pop-up operations, browsing, selection and running. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+let expect_session_error name f =
+  Util.expect_exn name
+    (function Session.Session_error _ -> true | _ -> false)
+    f
+
+let catalog_tests =
+  [
+    t "entity catalog lists the whole schema" (fun () ->
+        let w = Workspace.create () in
+        check Alcotest.int "entities"
+          (Schema.size (Workspace.schema w))
+          (List.length (Session.entity_catalog (Workspace.session w))));
+    t "tool catalog lists only tools" (fun () ->
+        let w = Workspace.create () in
+        let tools = Session.tool_catalog (Workspace.session w) in
+        check Alcotest.bool "extractor" true (List.mem E.extractor tools);
+        check Alcotest.bool "no netlist" false (List.mem E.netlist tools));
+    t "data catalog reflects the store" (fun () ->
+        let w = Workspace.create () in
+        let before = List.length (Session.data_catalog (Workspace.session w)) in
+        let _ = Workspace.install_netlist w (Eda.Circuits.c17 ()) in
+        check Alcotest.int "one more" (before + 1)
+          (List.length (Session.data_catalog (Workspace.session w))));
+    t "flow catalog save and reload" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let n = Session.start_goal_based s E.performance in
+        ignore (Session.expand s n);
+        Session.save_flow s "simulate";
+        check (Alcotest.list Alcotest.string) "catalog" [ "simulate" ]
+          (Session.flow_catalog s);
+        let saved = Session.current_flow s in
+        let _ = Session.start_plan_based s "simulate" in
+        check Alcotest.bool "same flow" true
+          (Canonical.equal saved (Session.current_flow s)));
+    expect_session_error "loading a missing flow" (fun () ->
+        let w = Workspace.create () in
+        Session.start_plan_based (Workspace.session w) "ghost");
+    expect_session_error "saving an empty flow" (fun () ->
+        let w = Workspace.create () in
+        Session.save_flow (Workspace.session w) "empty");
+  ]
+
+let approach_tests =
+  [
+    expect_session_error "tool-based start rejects data entities" (fun () ->
+        let w = Workspace.create () in
+        Session.start_tool_based (Workspace.session w) E.netlist);
+    t "goal options of a tool node" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let n = Session.start_tool_based s E.extractor in
+        check
+          Alcotest.(slist string compare)
+          "goals"
+          [ E.extracted_netlist; E.extraction_statistics ]
+          (Session.goal_options s n));
+    t "data-based start pre-selects the instance" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let iid = Workspace.install_netlist w (Eda.Circuits.c17 ()) in
+        let n = Session.start_data_based s iid in
+        check (Alcotest.option (Alcotest.list Alcotest.int)) "selected"
+          (Some [ iid ]) (Session.selection s n));
+    t "specialization options" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let n = Session.start_goal_based s E.netlist in
+        check Alcotest.int "three" 3
+          (List.length (Session.specialization_options s n)));
+  ]
+
+let interaction_tests =
+  [
+    t "browse restricts to compatible entities" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let nl = Workspace.install_netlist w (Eda.Circuits.c17 ()) in
+        let _stim = Workspace.install_stimuli w (Eda.Stimuli.exhaustive [ "a" ]) in
+        let n = Session.start_goal_based s E.netlist in
+        let visible = Session.browse s n in
+        check Alcotest.bool "netlist visible" true (List.mem nl visible);
+        check Alcotest.int "only the netlist" 1 (List.length visible));
+    expect_session_error "selecting an incompatible instance" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let stim = Workspace.install_stimuli w (Eda.Stimuli.exhaustive [ "a" ]) in
+        let n = Session.start_goal_based s E.netlist in
+        Session.select s n [ stim ]);
+    expect_session_error "empty selection rejected" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let n = Session.start_goal_based s E.netlist in
+        Session.select s n []);
+    t "executable requires all leaves selected" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let nl_iid = Workspace.install_netlist w (Eda.Circuits.full_adder ()) in
+        let ext = Session.start_goal_based s E.extracted_netlist in
+        ignore (Session.expand s ext);
+        check Alcotest.bool "not yet" false (Session.executable s ext);
+        let flow = Session.current_flow s in
+        List.iter
+          (fun nid ->
+            let entity = Task_graph.entity_of flow nid in
+            if entity = E.extractor then
+              Session.select s nid [ Workspace.tool w E.extractor ]
+            else Session.select s nid [ nl_iid ] |> ignore)
+          (Workspace.find_nodes flow E.extractor);
+        (* layout leaf still unselected *)
+        check Alcotest.bool "still not" false (Session.executable s ext));
+    t "run produces results and history" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let layout_iid =
+          Workspace.install_layout w (Eda.Layout.place (Eda.Circuits.c17 ()))
+        in
+        let ext = Session.start_goal_based s E.extracted_netlist in
+        ignore (Session.expand s ext);
+        let flow = Session.current_flow s in
+        Session.select s
+          (List.hd (Workspace.find_nodes flow E.extractor))
+          [ Workspace.tool w E.extractor ];
+        Session.select s
+          (List.hd (Workspace.find_nodes flow E.layout))
+          [ layout_iid ];
+        check Alcotest.bool "executable" true (Session.executable s ext);
+        let results = Session.run s ext in
+        check Alcotest.int "one result" 1 (List.length results);
+        let trace_g, _, _ = Session.history_of s (List.hd results) in
+        check Alcotest.int "trace has three nodes" 3 (Task_graph.size trace_g));
+    t "unexpand drops orphaned selections" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let layout_iid =
+          Workspace.install_layout w (Eda.Layout.place (Eda.Circuits.c17 ()))
+        in
+        let ext = Session.start_goal_based s E.extracted_netlist in
+        ignore (Session.expand s ext);
+        let flow = Session.current_flow s in
+        let lay = List.hd (Workspace.find_nodes flow E.layout) in
+        Session.select s lay [ layout_iid ];
+        Session.unexpand s ext;
+        check Alcotest.bool "selection gone" true (Session.selection s lay = None));
+    t "task window and browser render" (fun () ->
+        let w = Workspace.create () in
+        let s = Workspace.session w in
+        let _ = Workspace.install_netlist w ~label:"c17 netlist" (Eda.Circuits.c17 ()) in
+        let n = Session.start_goal_based s E.performance in
+        ignore (Session.expand s n);
+        let window = Session.render_task_window s in
+        check Alcotest.bool "shows the flow" true
+          (Util.contains window "performance");
+        let flow = Session.current_flow s in
+        let circuit = List.hd (Workspace.find_nodes flow E.circuit) in
+        ignore (Session.expand s circuit);
+        let flow = Session.current_flow s in
+        let nl_node = List.hd (Workspace.find_nodes flow E.netlist) in
+        let browser = Session.render_browser s nl_node in
+        check Alcotest.bool "lists the netlist" true
+          (Util.contains browser "c17 netlist"));
+  ]
+
+let suite =
+  [
+    ("session.catalogs", catalog_tests);
+    ("session.approaches", approach_tests);
+    ("session.interaction", interaction_tests);
+  ]

@@ -1,0 +1,259 @@
+(* Tests for the design-object store and the design-history database,
+   including the chaining queries of Fig. 10 and the versioning of
+   Fig. 11. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+(* A small scenario shared by the history tests: a netlist is edited
+   twice (two versions), placed, extracted, and simulated. *)
+type scenario = {
+  w : Workspace.t;
+  s_netlist : Store.iid;        (* v1 *)
+  s_v2 : Store.iid;
+  s_v3 : Store.iid;             (* child of v2 *)
+  s_v3b : Store.iid;            (* second child of v2: a branch *)
+  s_layout : Store.iid;         (* placed from v2 *)
+  s_extracted : Store.iid;
+}
+
+let scenario () =
+  let w = Workspace.create ~user:"hist" () in
+  let ctx = Workspace.ctx w in
+  let nl = Eda.Circuits.full_adder () in
+  let v1 = Workspace.install_netlist w ~label:"fa v1" nl in
+  let edit label net iid =
+    let session =
+      Workspace.install_editor_session w ~label
+        (Eda.Edit_script.create ~name:label
+           [ Eda.Edit_script.Insert_buffer { net; gname = "b_" ^ label } ])
+    in
+    let g, out = Task_graph.create (Workspace.schema w) E.edited_netlist in
+    let g, fresh = Task_graph.expand g out in
+    let editor, source = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+    let run =
+      Engine.execute ctx g ~bindings:[ (editor, session); (source, iid) ]
+    in
+    Engine.result_of run out
+  in
+  let v2 = edit "e1" "x1" v1 in
+  let v3 = edit "e2" "a1" v2 in
+  let v3b = edit "e3" "a2" v2 in
+  (* place v2 and extract *)
+  let g, layout_node = Task_graph.create (Workspace.schema w) E.synthesized_layout in
+  let g, fresh = Task_graph.expand ~include_optional:false g layout_node in
+  let placer, nl_node = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let run =
+    Engine.execute ctx g
+      ~bindings:[ (placer, Workspace.tool w E.placer); (nl_node, v2) ]
+  in
+  let layout = Engine.result_of run layout_node in
+  let g, ext = Task_graph.create (Workspace.schema w) E.extracted_netlist in
+  let g, fresh = Task_graph.expand g ext in
+  let extractor, lay_node = match fresh with [ a; b ] -> (a, b) | _ -> assert false in
+  let run =
+    Engine.execute ctx g
+      ~bindings:[ (extractor, Workspace.tool w E.extractor); (lay_node, layout) ]
+  in
+  {
+    w;
+    s_netlist = v1;
+    s_v2 = v2;
+    s_v3 = v3;
+    s_v3b = v3b;
+    s_layout = layout;
+    s_extracted = Engine.result_of run ext;
+  }
+
+let store_tests =
+  [
+    t "instances share physical data by content" (fun () ->
+        let store = Store.create () in
+        let meta = Store.meta ~created_at:1 () in
+        let a = Store.put store ~entity:"x" ~hash:"h1" ~meta "payload" in
+        let b = Store.put store ~entity:"x" ~hash:"h1" ~meta "payload" in
+        let c = Store.put store ~entity:"x" ~hash:"h2" ~meta "other" in
+        check Alcotest.int "instances" 3 (Store.instance_count store);
+        check Alcotest.int "payloads" 2 (Store.physical_count store);
+        check Alcotest.bool "distinct iids" true (a <> b && b <> c));
+    t "annotate updates metadata" (fun () ->
+        let store = Store.create () in
+        let meta = Store.meta ~created_at:1 () in
+        let iid = Store.put store ~entity:"x" ~hash:"h" ~meta "p" in
+        Store.annotate store iid ~label:"low pass filter"
+          ~comment:"for the dac paper" ();
+        let m = Store.meta_of store iid in
+        check Alcotest.string "label" "low pass filter" m.Store.label;
+        check Alcotest.string "comment" "for the dac paper" m.Store.comment);
+    Util.expect_exn "missing instance"
+      (function Store.Store_error _ -> true | _ -> false)
+      (fun () -> Store.find (Store.create ()) 42);
+    t "browse by user, date window, keyword and text" (fun () ->
+        let store = Store.create () in
+        let put user at label keywords =
+          Store.put store ~entity:"netlist" ~hash:(label ^ user)
+            ~meta:(Store.meta ~user ~label ~keywords ~created_at:at ())
+            "p"
+        in
+        let a = put "jbb" 2 "Low pass filter" [ "analog" ] in
+        let b = put "director" 5 "CMOS Full adder" [ "cmos" ] in
+        let c = put "sutton" 9 "Operational Amplifier" [ "analog" ] in
+        let ids f = Store.browse store f in
+        check (Alcotest.list Alcotest.int) "user" [ a ]
+          (ids { Store.any_filter with Store.f_user = Some "jbb" });
+        check (Alcotest.list Alcotest.int) "window" [ b ]
+          (ids { Store.any_filter with Store.f_from = Some 3; Store.f_to = Some 8 });
+        check (Alcotest.list Alcotest.int) "keyword" [ a; c ]
+          (ids { Store.any_filter with Store.f_keywords = [ "analog" ] });
+        check (Alcotest.list Alcotest.int) "text" [ b ]
+          (ids { Store.any_filter with Store.f_text = Some "full" }));
+    t "instances_of_entity keeps insertion order" (fun () ->
+        let store = Store.create () in
+        let meta = Store.meta ~created_at:1 () in
+        let a = Store.put store ~entity:"x" ~hash:"1" ~meta "p" in
+        let b = Store.put store ~entity:"x" ~hash:"2" ~meta "q" in
+        check (Alcotest.list Alcotest.int) "order" [ a; b ]
+          (Store.instances_of_entity store "x"));
+  ]
+
+let history_tests =
+  [
+    t "backward chaining finds the whole derivation" (fun () ->
+        let s = scenario () in
+        let records = History.backward_closure (Workspace.history s.w) s.s_extracted in
+        (* extraction <- placement <- edit e1 *)
+        check Alcotest.int "three records" 3 (List.length records));
+    t "forward chaining finds all derived data" (fun () ->
+        let s = scenario () in
+        let derived = History.derived_instances (Workspace.history s.w) s.s_netlist in
+        (* v2, v3, v3b, layout, extracted (+statistics) *)
+        check Alcotest.bool "v3 derived" true (List.mem s.s_v3 derived);
+        check Alcotest.bool "extracted derived" true
+          (List.mem s.s_extracted derived);
+        check Alcotest.bool "at least 5" true (List.length derived >= 5));
+    t "trace reconstructs a valid task graph" (fun () ->
+        let s = scenario () in
+        let g, root, binding =
+          History.trace (Workspace.history s.w) (Workspace.store s.w)
+            (Workspace.schema s.w) s.s_extracted
+        in
+        Task_graph.validate g;
+        check Alcotest.bool "root bound" true
+          (List.assoc root binding = s.s_extracted);
+        check Alcotest.string "root entity" E.extracted_netlist
+          (Task_graph.entity_of g root));
+    t "version parents follow edit inputs" (fun () ->
+        let s = scenario () in
+        let h = Workspace.history s.w and st = Workspace.store s.w in
+        let schema = Workspace.schema s.w in
+        check (Alcotest.option Alcotest.int) "v2 <- v1" (Some s.s_netlist)
+          (History.version_parent h st schema s.s_v2);
+        check (Alcotest.option Alcotest.int) "v1 is an origin" None
+          (History.version_parent h st schema s.s_netlist));
+    t "version tree has the Fig. 11 shape" (fun () ->
+        let s = scenario () in
+        let h = Workspace.history s.w and st = Workspace.store s.w in
+        let schema = Workspace.schema s.w in
+        let tree = History.version_tree h st schema s.s_netlist in
+        check Alcotest.int "four versions" 4 (History.version_tree_size tree);
+        (* v2 has two children: the branch *)
+        let rec find t = if t.History.v_iid = s.s_v2 then Some t
+          else List.fold_left (fun acc c -> match acc with Some _ -> acc | None -> find c) None t.History.v_children
+        in
+        match find tree with
+        | Some v2 -> check Alcotest.int "branching" 2 (List.length v2.History.v_children)
+        | None -> Alcotest.fail "v2 not in tree");
+    t "versions from any member reach the whole tree" (fun () ->
+        let s = scenario () in
+        let h = Workspace.history s.w and st = Workspace.store s.w in
+        let schema = Workspace.schema s.w in
+        check
+          Alcotest.(slist int compare)
+          "same set"
+          (History.versions h st schema s.s_netlist)
+          (History.versions h st schema s.s_v3b));
+    t "out_of_date is empty for fresh data" (fun () ->
+        let s = scenario () in
+        check Alcotest.bool "fresh" true
+          (History.is_up_to_date (Workspace.history s.w) (Workspace.store s.w)
+             (Workspace.schema s.w) s.s_extracted));
+    t "an edit makes downstream data stale" (fun () ->
+        let s = scenario () in
+        let ctx = Workspace.ctx s.w in
+        (* new version of the layout *)
+        let session =
+          Workspace.install_layout_editor_session s.w
+            [ Eda.Layout.Rename_layout "moved" ]
+        in
+        let g, out = Task_graph.create (Workspace.schema s.w) E.edited_layout in
+        let g, fresh = Task_graph.expand ~include_optional:false g out in
+        let editor = match fresh with [ e ] -> e | _ -> assert false in
+        let g, lay = Task_graph.add_node g E.layout in
+        let g = Task_graph.connect g ~user:out ~role:E.layout ~dep:lay in
+        let _ =
+          Engine.execute ctx g
+            ~bindings:[ (editor, session); (lay, s.s_layout) ]
+        in
+        let stale =
+          History.out_of_date (Workspace.history s.w) (Workspace.store s.w)
+            (Workspace.schema s.w) s.s_extracted
+        in
+        check Alcotest.int "one stale input" 1 (List.length stale));
+    t "query by template: simulations of this netlist" (fun () ->
+        let s = scenario () in
+        (* template: extracted_netlist <- (extractor, layout), layout bound *)
+        let schema = Workspace.schema s.w in
+        let g, ext = Task_graph.create schema E.extracted_netlist in
+        let g, _ = Task_graph.expand g ext in
+        let lay =
+          match
+            List.find_opt
+              (fun (n : Task_graph.node) -> n.Task_graph.entity = E.layout)
+              (Task_graph.nodes g)
+          with
+          | Some n -> n.Task_graph.nid
+          | None -> Alcotest.fail "no layout node"
+        in
+        let results =
+          History.query_template (Workspace.history s.w) (Workspace.store s.w) g
+            ~bound:[ (lay, s.s_layout) ]
+        in
+        check Alcotest.int "one extraction" 1 (List.length results);
+        let binding = List.hd results in
+        check Alcotest.int "finds the netlist" s.s_extracted
+          (List.assoc ext binding));
+    t "template with an unmatched binding returns nothing" (fun () ->
+        let s = scenario () in
+        let schema = Workspace.schema s.w in
+        let g, ext = Task_graph.create schema E.extracted_netlist in
+        let g, _ = Task_graph.expand g ext in
+        let lay =
+          match
+            List.find_opt
+              (fun (n : Task_graph.node) -> n.Task_graph.entity = E.layout)
+              (Task_graph.nodes g)
+          with
+          | Some n -> n.Task_graph.nid
+          | None -> Alcotest.fail "no layout node"
+        in
+        (* bind the layout role to a netlist-unrelated instance *)
+        let results =
+          History.query_template (Workspace.history s.w) (Workspace.store s.w) g
+            ~bound:[ (lay, s.s_extracted) ]
+        in
+        check Alcotest.int "none" 0 (List.length results));
+    Util.expect_exn "double-producing an instance is rejected"
+      (function History.History_error _ -> true | _ -> false)
+      (fun () ->
+        let h = History.create () in
+        let _ = History.add h ~task_entity:"x" ~tool:None ~inputs:[]
+                  ~outputs:[ ("x", 1) ] ~at:1 in
+        History.add h ~task_entity:"x" ~tool:None ~inputs:[]
+          ~outputs:[ ("x", 1) ] ~at:2);
+  ]
+
+let suite =
+  [ ("store", store_tests); ("history", history_tests) ]
