@@ -58,6 +58,49 @@ let time_us ?(runs = 5) f =
   let samples = List.init runs (fun _ -> sample ()) |> List.sort compare in
   List.nth samples (runs / 2)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable per-experiment metrics                             *)
+(* ------------------------------------------------------------------ *)
+
+type exp_result = {
+  exp_id : string;
+  exp_title : string;
+  wall_s : float;
+  metrics_json : string;   (* snapshot of the global registry *)
+}
+
+let results : exp_result list ref = ref []
+
+(* Run one experiment against a freshly reset global metrics registry,
+   recording wall time and the engine counters it accumulated. *)
+let run_recorded ~id ~title f =
+  Ddf.Metrics.reset Ddf.Metrics.global;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  results :=
+    { exp_id = id; exp_title = title; wall_s;
+      metrics_json = Ddf.Metrics.to_json Ddf.Metrics.global }
+    :: !results
+
+(* One JSON object per experiment: name, wall time, engine metrics. *)
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"title\": \"%s\", \"wall_s\": %.6f, \
+         \"metrics\": %s}"
+        (Ddf.Obs.json_escape r.exp_id)
+        (Ddf.Obs.json_escape r.exp_title)
+        r.wall_s r.metrics_json)
+    (List.rev !results);
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "[metrics written to %s]\n" path
+
 let print_table headers rows =
   let widths =
     List.mapi

@@ -4,7 +4,9 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- --only E5    -- one experiment
      dune exec bench/main.exe -- --list       -- list experiment ids
-     dune exec bench/main.exe -- --quota 0.05 -- faster bechamel runs *)
+     dune exec bench/main.exe -- --quota 0.05 -- faster bechamel runs
+     dune exec bench/main.exe -- --json F     -- also write per-experiment
+                                                metrics JSON to F *)
 
 let experiments =
   [
@@ -22,7 +24,7 @@ let experiments =
   ]
 
 let () =
-  let only = ref None and list = ref false in
+  let only = ref None and list = ref false and json = ref None in
   let rec parse = function
     | [] -> ()
     | "--only" :: id :: rest ->
@@ -33,6 +35,9 @@ let () =
       parse rest
     | "--quota" :: q :: rest ->
       Bench_util.quota := float_of_string q;
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
       parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
@@ -53,6 +58,9 @@ let () =
           exit 2
         | l -> l)
     in
-    List.iter (fun (_, _, run) -> run ()) selected;
-    print_newline ()
+    List.iter
+      (fun (id, title, run) -> Bench_util.run_recorded ~id ~title run)
+      selected;
+    print_newline ();
+    Option.iter Bench_util.write_json !json
   end

@@ -55,6 +55,63 @@ let workspace_arg =
           "Persistent workspace: loaded when the file exists, saved back \
            after the command.")
 
+(* ------------------------------------------------------------------ *)
+(* Observability flags (shared across commands)                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a structured trace of the command to $(docv).")
+
+let trace_format_arg =
+  let formats =
+    [ ("text", Obs_sinks.Text); ("jsonl", Obs_sinks.Jsonl);
+      ("chrome", Obs_sinks.Chrome) ]
+  in
+  Arg.(
+    value
+    & opt (enum formats) Obs_sinks.Chrome
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace format: $(b,text) (human-readable), $(b,jsonl) (one JSON \
+           event per line) or $(b,chrome) (chrome://tracing / Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the engine metrics registry after the command.")
+
+let obs_term =
+  Term.(
+    const (fun trace format metrics -> (trace, format, metrics))
+    $ trace_arg $ trace_format_arg $ metrics_arg)
+
+(* Run [f] with the requested sink installed; the trace file is
+   finalized (and the Chrome JSON document written) on the way out,
+   even when [f] raises. *)
+let with_obs (trace, format, metrics) f =
+  (match trace with
+  | Some path -> (
+    match Obs_sinks.to_file ~format path with
+    | sink -> Obs.set_sink sink
+    | exception Sys_error m ->
+      Printf.eprintf "cannot open trace file: %s\n" m;
+      exit 1)
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+        Obs.clear_sink ();
+        Printf.printf "[trace written to %s]\n" path
+      | None -> ());
+      if metrics then Format.printf "%a" Metrics.pp Metrics.global)
+    f
+
 (* Run [f] inside a (possibly persistent) workspace. *)
 let with_workspace ?user ws_file f =
   let w =
@@ -187,9 +244,10 @@ let run_cmd =
           ~doc:"Also dump the simulation waveform as VCD (combinational \
                 circuits only).")
   in
-  let run circuit blif goal vectors ws_file cell vcd =
+  let run circuit blif goal vectors ws_file cell vcd obs =
     let cname, circuit = load_circuit circuit blif in
     let user = Sys.getenv_opt "USER" |> Option.value ~default:"designer" in
+    with_obs obs @@ fun () ->
     with_workspace ~user ws_file @@ fun w ->
     let ctx = Workspace.ctx w in
     let session = Workspace.session w in
@@ -282,7 +340,7 @@ let run_cmd =
        ~doc:"Build a goal-based flow for a circuit, run it, show history.")
     Term.(
       const run $ circuit_arg $ blif_arg $ goal_arg $ vectors
-      $ workspace_arg $ cell_arg $ vcd_arg)
+      $ workspace_arg $ cell_arg $ vcd_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hercules browse                                                     *)
@@ -556,12 +614,13 @@ let recall_cmd =
   let rerun =
     Arg.(value & flag & info [ "rerun" ] ~doc:"Re-execute the recalled task.")
   in
-  let run ws_file instance rerun =
+  let run ws_file instance rerun obs =
     match ws_file with
     | None ->
       Printf.eprintf "recall needs --workspace FILE\n";
       exit 2
     | Some _ ->
+      with_obs obs @@ fun () ->
       with_workspace ws_file @@ fun w ->
       let session = Workspace.session w in
       let root = Session.recall session instance in
@@ -576,14 +635,15 @@ let recall_cmd =
   Cmd.v
     (Cmd.info "recall"
        ~doc:"Recall a previously executed task (section 4.1).")
-    Term.(const run $ workspace_arg $ instance $ rerun)
+    Term.(const run $ workspace_arg $ instance $ rerun $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hercules demo                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let demo_cmd =
-  let run () =
+  let run obs =
+    with_obs obs @@ fun () ->
     print_endline
       "Running the section 4.1 walkthrough (see also examples/quickstart.ml).";
     let w = Workspace.create ~user:"sutton" () in
@@ -613,7 +673,8 @@ let demo_cmd =
         Format.printf "-> #%d: %a@." iid Value.pp (Workspace.payload w iid))
       results
   in
-  Cmd.v (Cmd.info "demo" ~doc:"Run the section 4.1 walkthrough.") Term.(const run $ const ())
+  Cmd.v (Cmd.info "demo" ~doc:"Run the section 4.1 walkthrough.")
+    Term.(const run $ obs_term)
 
 let () =
   let info =

@@ -26,6 +26,9 @@ module Process = Ddf_process.Process
 module Process_file = Ddf_process.Process_file
 module Sexp = Ddf_persist.Sexp
 module Session = Ddf_session.Session
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+module Obs_sinks = Ddf_obs.Sinks
 
 module Baselines = struct
   module Static_flow = Ddf_baselines.Static_flow

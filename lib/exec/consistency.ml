@@ -8,6 +8,12 @@
 
 open Ddf_store
 open Ddf_history
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+
+let m_refreshes = Metrics.counter "consistency.refreshes"
+let m_reran = Metrics.counter "consistency.reran"
+let m_reused = Metrics.counter "consistency.reused"
 
 exception Consistency_error of string
 
@@ -37,6 +43,11 @@ type refresh_report = {
    leaves to their latest versions, and re-execute with memoization.
    Only the sub-flows affected by newer versions actually run. *)
 let refresh (ctx : Engine.context) iid =
+  Metrics.incr m_refreshes;
+  Obs.with_span ~cat:"consistency"
+    ~attrs:[ ("instance", Obs.Int iid) ]
+    "consistency.refresh"
+  @@ fun () ->
   let g, root, binding =
     History.trace ctx.Engine.history ctx.Engine.store ctx.Engine.schema iid
   in
@@ -70,9 +81,14 @@ let refresh (ctx : Engine.context) iid =
       binding
   in
   let run = Engine.execute ~memo:true ctx g ~bindings in
+  let reran =
+    run.Engine.stats.Engine.executed + run.Engine.stats.Engine.composed
+  in
+  Metrics.incr ~by:reran m_reran;
+  Metrics.incr ~by:run.Engine.stats.Engine.memo_hits m_reused;
   {
     fresh_instance = Engine.result_of run root;
-    reran = run.Engine.stats.Engine.executed + run.Engine.stats.Engine.composed;
+    reran;
     reused = run.Engine.stats.Engine.memo_hits;
     rebound = List.rev !rebound;
   }

@@ -13,6 +13,15 @@ open Ddf_graph
 open Ddf_store
 open Ddf_history
 open Ddf_tools
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+
+let m_runs = Metrics.counter "engine.runs"
+let m_executed = Metrics.counter "engine.executed"
+let m_memo = Metrics.counter "engine.memo_hits"
+let m_composed = Metrics.counter "engine.composed"
+let m_installs = Metrics.counter "engine.installs"
+let m_batches = Metrics.counter "engine.batched_merges"
 
 type context = {
   schema : Schema.t;
@@ -47,6 +56,7 @@ let tick ctx =
 (* Install a source design object (or a tool from the catalog). *)
 let install ctx ~entity ?(label = "") ?(comment = "") ?(keywords = []) ?user
     value =
+  Metrics.incr m_installs;
   ignore (Schema.find ctx.schema entity);
   Typing.check ctx.schema entity value;
   let user = Option.value user ~default:ctx.user in
@@ -164,12 +174,19 @@ let run_invocation ?(memo = true) ctx g assignment (inv : Task_graph.invocation)
     if memo then memo_lookup ctx ~tool ~inputs ~out_entities else None
   with
   | Some r ->
+    Metrics.incr m_memo;
+    (if Obs.enabled () then
+       let name = match out_entities with e :: _ -> e | [] -> "task" in
+       Obs.instant ~cat:"engine" ~logical:ctx.clock
+         ~attrs:[ ("kind", Obs.Str "memo"); ("record", Obs.Int r.History.rid) ]
+         name);
     assign_outputs r.History.outputs;
     `Memo
   | None ->
     let args =
       List.map (fun (role, iid) -> (role, Store.payload ctx.store iid)) inputs
     in
+    let t0 = if Obs.enabled () then Obs.now_us () else 0.0 in
     let outcome, cost_us, kind =
       match inv.Task_graph.tool with
       | None ->
@@ -223,6 +240,22 @@ let run_invocation ?(memo = true) ctx g assignment (inv : Task_graph.invocation)
     ignore
       (History.add ctx.history ~task_entity ~tool ~inputs ~outputs:produced ~at);
     assign_outputs stored;
+    (match kind with
+    | `Composed -> Metrics.incr m_composed
+    | `Executed -> Metrics.incr m_executed);
+    if Obs.enabled () then
+      Obs.complete ~cat:"engine" ~logical:at
+        ~dur_us:(Obs.now_us () -. t0)
+        ~attrs:
+          [
+            ( "kind",
+              Obs.Str
+                (match kind with `Composed -> "composed" | `Executed -> "executed")
+            );
+            ("cost_us", Obs.Int cost_us);
+            ("outputs", Obs.Int (List.length produced));
+          ]
+        task_entity;
     (match kind with `Composed -> `Compose cost_us | `Executed -> `Ran cost_us)
 
 (* Execute a complete flow.  [bindings] selects instances for leaf
@@ -282,23 +315,32 @@ let execute ?(memo = true) ctx g ~bindings =
         exec_errorf "leaf node %d (%s) has no instance selected" nid
           (Task_graph.entity_of g nid))
     (Task_graph.leaves g);
+  Metrics.incr m_runs;
   let stats = ref no_stats in
   let costs = ref [] in
-  List.iter
-    (fun (inv : Task_graph.invocation) ->
-      let already_done =
-        List.for_all (Hashtbl.mem assignment) inv.Task_graph.outputs
-      in
-      if not already_done then
-        match run_invocation ~memo ctx g assignment inv with
-        | `Memo -> stats := { !stats with memo_hits = !stats.memo_hits + 1 }
-        | `Compose c ->
-          stats := { !stats with composed = !stats.composed + 1 };
-          costs := (inv.Task_graph.outputs, c) :: !costs
-        | `Ran c ->
-          stats := { !stats with executed = !stats.executed + 1 };
-          costs := (inv.Task_graph.outputs, c) :: !costs)
-    (ordered_invocations g);
+  Obs.with_span ~cat:"engine" ~logical:ctx.clock
+    ~attrs:
+      [
+        ("nodes", Obs.Int (Task_graph.size g));
+        ("invocations", Obs.Int (List.length (Task_graph.invocations g)));
+      ]
+    "engine.execute"
+    (fun () ->
+      List.iter
+        (fun (inv : Task_graph.invocation) ->
+          let already_done =
+            List.for_all (Hashtbl.mem assignment) inv.Task_graph.outputs
+          in
+          if not already_done then
+            match run_invocation ~memo ctx g assignment inv with
+            | `Memo -> stats := { !stats with memo_hits = !stats.memo_hits + 1 }
+            | `Compose c ->
+              stats := { !stats with composed = !stats.composed + 1 };
+              costs := (inv.Task_graph.outputs, c) :: !costs
+            | `Ran c ->
+              stats := { !stats with executed = !stats.executed + 1 };
+              costs := (inv.Task_graph.outputs, c) :: !costs)
+        (ordered_invocations g));
   {
     assignment =
       Hashtbl.fold (fun nid iid acc -> (nid, iid) :: acc) assignment []
@@ -380,6 +422,7 @@ let try_batch ?(memo = true) ctx g nid iids =
       with
       | Some r -> List.assoc_opt entity r.History.outputs
       | None ->
+        Metrics.incr m_batches;
         let merged = merge (List.map (Store.payload ctx.store) iids) in
         Typing.check ctx.schema entity merged;
         let at = tick ctx in

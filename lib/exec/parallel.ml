@@ -12,6 +12,12 @@
 open Ddf_graph
 open Ddf_store
 open Ddf_tools
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+
+let m_schedules = Metrics.counter "parallel.schedules"
+let m_waves = Metrics.counter "parallel.waves"
+let m_parallel_executed = Metrics.counter "parallel.executed"
 
 (* ------------------------------------------------------------------ *)
 (* Machine-pool simulation                                             *)
@@ -63,6 +69,15 @@ let invocation_deps invocations =
 
 let schedule ?(heuristic = Longest_first) g ~costs ~machines =
   if machines < 1 then raise (Schedule_error "need at least one machine");
+  Metrics.incr m_schedules;
+  Obs.with_span ~cat:"parallel"
+    ~attrs:
+      [
+        ("machines", Obs.Int machines);
+        ("heuristic", Obs.Str (heuristic_name heuristic));
+      ]
+    "parallel.schedule"
+  @@ fun () ->
   let invocations = Task_graph.invocations g in
   (* keep only invocations that actually ran (memo hits cost nothing) *)
   let cost_of outputs = List.assoc_opt outputs costs in
@@ -139,6 +154,36 @@ let speedup s =
   if s.makespan_us = 0 then 1.0
   else float_of_int s.serial_us /. float_of_int s.makespan_us
 
+(* Render a simulated schedule as a Chrome trace: one lane (tid) per
+   machine, one complete duration event per scheduled invocation --
+   the Fig. 6 Gantt chart, loadable in chrome://tracing / Perfetto. *)
+let chrome_trace_of_schedule ?label_of s =
+  let label =
+    match label_of with
+    | Some f -> f
+    | None ->
+      fun outputs ->
+        "task " ^ String.concat "," (List.map string_of_int outputs)
+  in
+  let events =
+    List.map
+      (fun e ->
+        {
+          Obs.kind = Obs.Complete (float_of_int (e.finish_us - e.start_us));
+          name = label e.outputs;
+          cat = "schedule";
+          ts_us = float_of_int e.start_us;
+          logical = -1;
+          tid = e.machine;
+          attrs = [ ("machine", Obs.Int e.machine) ];
+        })
+      s.entries
+  in
+  let lane_names =
+    List.init s.machines (fun m -> (m, Printf.sprintf "machine %d" m))
+  in
+  Ddf_obs.Sinks.chrome_json_of_events ~lane_names events
+
 let pp_schedule ppf s =
   Fmt.pf ppf "%d machines: serial %d us, makespan %d us, speedup %.2fx"
     s.machines s.serial_us s.makespan_us (speedup s)
@@ -157,7 +202,14 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
   List.iter (fun (nid, iid) -> Hashtbl.replace assignment nid iid) bindings;
   let pending = ref (Engine.ordered_invocations g) in
   let executed = ref 0 in
+  let wave = ref 0 in
   while !pending <> [] do
+    incr wave;
+    Metrics.incr m_waves;
+    Obs.with_span ~cat:"parallel"
+      ~attrs:[ ("wave", Obs.Int !wave) ]
+      "parallel.wave"
+    @@ fun () ->
     let ready, blocked =
       List.partition
         (fun (inv : Task_graph.invocation) ->
@@ -299,7 +351,8 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
                     (Engine.Execution_error
                        ("no output for entity " ^ entity)))
               inv.Task_graph.outputs;
-            incr executed)
+            incr executed;
+            Metrics.incr m_parallel_executed)
           handles)
       (batches prepared);
     pending := blocked

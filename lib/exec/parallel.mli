@@ -39,6 +39,14 @@ val schedule :
     cost nothing and are skipped. *)
 
 val speedup : schedule -> float
+
+val chrome_trace_of_schedule :
+  ?label_of:(int list -> string) -> schedule -> string
+(** The schedule as a Chrome trace-event JSON document: one lane (tid)
+    per simulated machine, one complete duration event per scheduled
+    invocation -- a Fig. 6 Gantt chart for chrome://tracing or
+    Perfetto.  [label_of] names an invocation from its output nodes. *)
+
 val pp_schedule : Format.formatter -> schedule -> unit
 
 (** {1 Real multicore execution} *)

@@ -32,6 +32,11 @@ exception History_error of string
 
 let history_errorf fmt = Format.kasprintf (fun s -> raise (History_error s)) fmt
 
+let m_appends = Ddf_obs.Metrics.counter "history.appends"
+let m_queries = Ddf_obs.Metrics.counter "history.template_queries"
+let h_backward = Ddf_obs.Metrics.histogram "history.backward_depth"
+let h_forward = Ddf_obs.Metrics.histogram "history.forward_depth"
+
 let create () =
   {
     next_rid = 1;
@@ -44,6 +49,7 @@ let size h = Hashtbl.length h.records
 
 let add h ~task_entity ~tool ~inputs ~outputs ~at =
   if outputs = [] then history_errorf "a record needs at least one output";
+  Ddf_obs.Metrics.incr m_appends;
   let rid = h.next_rid in
   h.next_rid <- rid + 1;
   let r = { rid; task_entity; tool; inputs; outputs; at } in
@@ -109,6 +115,7 @@ let backward_closure h iid =
       end
   in
   go iid;
+  Ddf_obs.Metrics.observe h_backward (float_of_int (Hashtbl.length seen_records));
   List.rev !acc
 
 (* Forward chaining: every record that transitively depends on an
@@ -127,6 +134,7 @@ let forward_closure h iid =
       (uses_of h iid)
   in
   go iid;
+  Ddf_obs.Metrics.observe h_forward (float_of_int (Hashtbl.length seen_records));
   List.rev !acc
 
 let derived_instances h iid =
@@ -192,6 +200,7 @@ let trace h store schema iid =
    for queries like "find the simulations performed on this netlist"
    where the template is the flow itself. *)
 let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
+  Ddf_obs.Metrics.incr m_queries;
   let schema = Ddf_graph.Task_graph.schema g in
   let satisfies nid iid =
     Schema.is_subtype schema

@@ -1,0 +1,162 @@
+(* A process-wide metrics registry: named counters, gauges and
+   histograms.
+
+   Counters are always on -- an increment is one mutable int bump, so
+   there is no enable switch.  Call sites cache the metric handle in a
+   module-level binding; [reset] therefore zeroes metrics in place
+   instead of discarding them, keeping every cached handle valid. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+(* Power-of-two buckets: bucket 0 counts values <= 1, bucket i counts
+   values in (2^(i-1), 2^i], the last bucket overflows. *)
+let bucket_count = 32
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+(* The registry every standard engine metric lives in. *)
+let global = create ()
+
+let counter ?(registry = global) name =
+  match Hashtbl.find_opt registry.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.add registry.counters name c;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let count c = c.count
+
+let gauge ?(registry = global) name =
+  match Hashtbl.find_opt registry.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; value = 0.0 } in
+    Hashtbl.add registry.gauges name g;
+    g
+
+let set g v = g.value <- v
+
+let histogram ?(registry = global) name =
+  match Hashtbl.find_opt registry.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; n = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity;
+        buckets = Array.make bucket_count 0 }
+    in
+    Hashtbl.add registry.histograms name h;
+    h
+
+let bucket_of v =
+  if v <= 1.0 then 0
+  else
+    let b = int_of_float (ceil (Float.log2 v)) in
+    min (max b 0) (bucket_count - 1)
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+let reset reg =
+  Hashtbl.iter (fun _ c -> c.count <- 0) reg.counters;
+  Hashtbl.iter (fun _ g -> g.value <- 0.0) reg.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity;
+      Array.fill h.buckets 0 bucket_count 0)
+    reg.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type metric =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * int * float * float * float
+      (* name, n, mean, min, max *)
+
+let metric_name = function
+  | Counter (n, _) | Gauge (n, _) | Histogram (n, _, _, _, _) -> n
+
+let snapshot reg =
+  let cs =
+    Hashtbl.fold (fun _ c acc -> Counter (c.c_name, c.count) :: acc)
+      reg.counters []
+  in
+  let gs =
+    Hashtbl.fold (fun _ g acc -> Gauge (g.g_name, g.value) :: acc)
+      reg.gauges []
+  in
+  let hs =
+    Hashtbl.fold
+      (fun _ h acc ->
+        if h.n = 0 then acc
+        else Histogram (h.h_name, h.n, mean h, h.min_v, h.max_v) :: acc)
+      reg.histograms []
+  in
+  List.sort (fun a b -> compare (metric_name a) (metric_name b)) (cs @ gs @ hs)
+
+let to_json reg =
+  let buf = Buffer.create 512 in
+  let fields =
+    List.map
+      (fun m ->
+        match m with
+        | Counter (n, v) ->
+          Printf.sprintf "\"%s\": %d" (Obs.json_escape n) v
+        | Gauge (n, v) ->
+          Printf.sprintf "\"%s\": %s" (Obs.json_escape n) (Obs.json_float v)
+        | Histogram (n, count, mn, lo, hi) ->
+          Printf.sprintf
+            "\"%s\": {\"n\": %d, \"mean\": %s, \"min\": %s, \"max\": %s}"
+            (Obs.json_escape n) count (Obs.json_float mn) (Obs.json_float lo)
+            (Obs.json_float hi))
+      (snapshot reg)
+  in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf (String.concat ", " fields);
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let pp ppf reg =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter (n, v) -> Fmt.pf ppf "%-32s %d@." n v
+      | Gauge (n, v) -> Fmt.pf ppf "%-32s %g@." n v
+      | Histogram (n, count, mn, lo, hi) ->
+        Fmt.pf ppf "%-32s n=%d mean=%.1f min=%g max=%g@." n count mn lo hi)
+    (snapshot reg)

@@ -1,0 +1,52 @@
+(** A process-wide metrics registry: named counters, gauges and
+    histograms.
+
+    Counters are always on -- an increment is one mutable int bump.
+    Call sites cache the handle in a module-level binding; {!reset}
+    zeroes metrics in place, so cached handles survive a reset. *)
+
+type counter
+type gauge
+type histogram
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val global : t
+(** The registry the standard engine metrics live in
+    ([engine.executed], [store.puts], ...). *)
+
+val counter : ?registry:t -> string -> counter
+(** Find or create; [registry] defaults to {!global}. *)
+
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+val gauge : ?registry:t -> string -> gauge
+val set : gauge -> float -> unit
+
+val histogram : ?registry:t -> string -> histogram
+val observe : histogram -> float -> unit
+val mean : histogram -> float
+
+val reset : t -> unit
+(** Zero every metric in place (handles stay valid). *)
+
+(** {1 Snapshots} *)
+
+type metric =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * int * float * float * float
+      (** name, n, mean, min, max *)
+
+val snapshot : t -> metric list
+(** Sorted by name; empty histograms are omitted. *)
+
+val to_json : t -> string
+(** One flat JSON object: counters and gauges as numbers, histograms
+    as [{"n", "mean", "min", "max"}] objects. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+(* Structured tracing for the flow engine.
+
+   The runtime emits *events* -- span begin/end pairs, complete
+   (pre-timed) durations, instants and counter samples -- into a single
+   process-wide *sink*.  Each event carries a monotonic wall-clock
+   timestamp relative to the moment the sink was installed, the
+   engine's logical clock when one applies, a lane id (machine /
+   domain) and free-form key/value attributes.
+
+   The default sink is absent: every instrumentation site guards on
+   [enabled ()], so a disabled trace costs exactly one branch and
+   produces no allocation.  Sinks are not thread-safe; the engine only
+   emits from the domain that owns the store (parallel execution
+   commits sequentially), which keeps a single sink sound. *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type attrs = (string * value) list
+
+type kind =
+  | Begin               (* span opens; must be balanced by [End] *)
+  | End
+  | Complete of float   (* a span measured by the caller: duration in us *)
+  | Instant
+  | Sample of float     (* a counter/gauge sample *)
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;     (* coarse subsystem: engine, store, history, ... *)
+  ts_us : float;    (* wall clock, us since the sink was installed *)
+  logical : int;    (* engine logical clock; -1 when not applicable *)
+  tid : int;        (* lane: simulated machine, domain, ... *)
+  attrs : attrs;
+}
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+}
+
+let null_sink = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide sink                                               *)
+(* ------------------------------------------------------------------ *)
+
+let current : sink option ref = ref None
+let epoch = ref 0.0
+
+let enabled () = !current <> None
+
+let set_sink sink =
+  (match !current with Some s -> s.close () | None -> ());
+  epoch := Unix.gettimeofday ();
+  current := Some sink
+
+let clear_sink () =
+  match !current with
+  | Some s ->
+    current := None;
+    s.close ()
+  | None -> ()
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let emit ev = match !current with Some s -> s.emit ev | None -> ()
+
+let event ?(cat = "") ?(logical = -1) ?(tid = 0) ?(attrs = []) kind name =
+  { kind; name; cat; ts_us = now_us (); logical; tid; attrs }
+
+(* ------------------------------------------------------------------ *)
+(* Emission helpers (all no-ops when no sink is installed)             *)
+(* ------------------------------------------------------------------ *)
+
+let span_begin ?cat ?logical ?tid ?attrs name =
+  if enabled () then emit (event ?cat ?logical ?tid ?attrs Begin name)
+
+let span_end ?cat ?logical ?tid ?attrs name =
+  if enabled () then emit (event ?cat ?logical ?tid ?attrs End name)
+
+let complete ?cat ?logical ?tid ?attrs ~dur_us name =
+  if enabled () then emit (event ?cat ?logical ?tid ?attrs (Complete dur_us) name)
+
+let instant ?cat ?logical ?tid ?attrs name =
+  if enabled () then emit (event ?cat ?logical ?tid ?attrs Instant name)
+
+let sample ?cat ?logical ?tid name v =
+  if enabled () then emit (event ?cat ?logical ?tid (Sample v) name)
+
+(* Balanced even when [f] raises: the End event is emitted from a
+   [Fun.protect] finalizer. *)
+let with_span ?cat ?logical ?tid ?attrs name f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+    emit (event ?cat ?logical ?tid ?attrs Begin name);
+    Fun.protect
+      ~finally:(fun () -> emit (event ?cat ?logical ?tid End name))
+      f
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers shared by the sinks and the metrics registry           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/infinity literals. *)
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.abs f = Float.infinity then "null"
+  else Printf.sprintf "%.6g" f
+
+let json_of_value = function
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Bool b -> string_of_bool b
+
+let pp_value ppf = function
+  | Str s -> Format.pp_print_string ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b

@@ -1,0 +1,90 @@
+(** Structured tracing for the flow engine.
+
+    Instrumentation sites emit {!event}s into one process-wide
+    {!sink}.  With no sink installed (the default) every helper is a
+    single branch, so disabled tracing is free and leaves engine
+    behaviour byte-identical.
+
+    Sinks are not thread-safe; the engine emits only from the domain
+    that owns the store (parallel execution commits sequentially). *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type attrs = (string * value) list
+
+type kind =
+  | Begin               (** span opens; balanced by [End] *)
+  | End
+  | Complete of float   (** caller-measured span: duration in us *)
+  | Instant
+  | Sample of float     (** counter/gauge sample *)
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;    (** coarse subsystem: engine, store, history, ... *)
+  ts_us : float;   (** wall clock, us since the sink was installed *)
+  logical : int;   (** engine logical clock; -1 when not applicable *)
+  tid : int;       (** lane: simulated machine, domain, ... *)
+  attrs : attrs;
+}
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+}
+
+val null_sink : sink
+
+val enabled : unit -> bool
+(** Is a sink installed?  The one branch disabled tracing costs. *)
+
+val set_sink : sink -> unit
+(** Install the process-wide sink (closing any previous one) and reset
+    the trace clock. *)
+
+val clear_sink : unit -> unit
+(** Remove and close the current sink, if any. *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds since the sink was installed. *)
+
+val emit : event -> unit
+
+val event :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs ->
+  kind -> string -> event
+(** Build an event stamped with {!now_us}. *)
+
+val span_begin :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs -> string -> unit
+
+val span_end :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs -> string -> unit
+
+val complete :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs ->
+  dur_us:float -> string -> unit
+(** A caller-measured duration: one self-contained span event. *)
+
+val instant :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs -> string -> unit
+
+val sample : ?cat:string -> ?logical:int -> ?tid:int -> string -> float -> unit
+
+val with_span :
+  ?cat:string -> ?logical:int -> ?tid:int -> ?attrs:attrs ->
+  string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a span; the [End] event is emitted even when
+    the thunk raises. *)
+
+(** {1 JSON helpers} (shared by sinks, metrics and schedule export) *)
+
+val json_escape : string -> string
+val json_float : float -> string
+val json_of_value : value -> string
+val pp_value : Format.formatter -> value -> unit

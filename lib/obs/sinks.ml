@@ -1,0 +1,154 @@
+(* Sink implementations: human-readable text, JSON-lines, and the
+   Chrome trace-event format (load the file in chrome://tracing or
+   https://ui.perfetto.dev), plus an in-memory recorder for tests. *)
+
+open Obs
+
+type format = Text | Jsonl | Chrome
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "jsonl" -> Some Jsonl
+  | "chrome" -> Some Chrome
+  | _ -> None
+
+let format_name = function Text -> "text" | Jsonl -> "jsonl" | Chrome -> "chrome"
+
+(* ------------------------------------------------------------------ *)
+(* In-memory recorder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the sink and a function yielding the events recorded so
+   far, oldest first. *)
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%a" k Obs.pp_value v) attrs
+
+let text oc =
+  let depth = ref 0 in
+  let emit ev =
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.fprintf oc "%10.1f %s%s\n" ev.ts_us
+            (String.make (2 * !depth) ' ')
+            s)
+        fmt
+    in
+    let attrs = Fmt.str "%a" pp_attrs ev.attrs in
+    let logical = if ev.logical >= 0 then Printf.sprintf " @%d" ev.logical else "" in
+    match ev.kind with
+    | Begin ->
+      line "> %s [%s]%s%s" ev.name ev.cat logical attrs;
+      incr depth
+    | End ->
+      depth := max 0 (!depth - 1);
+      line "< %s%s" ev.name attrs
+    | Complete dur -> line "= %s [%s] %.1f us%s%s" ev.name ev.cat dur logical attrs
+    | Instant -> line "! %s [%s]%s%s" ev.name ev.cat logical attrs
+    | Sample v -> line "# %s = %g%s" ev.name v attrs
+  in
+  { emit; close = (fun () -> flush oc) }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_fields_of_event ev =
+  let kind, extra =
+    match ev.kind with
+    | Begin -> ("B", [])
+    | End -> ("E", [])
+    | Complete dur -> ("X", [ ("dur", Obs.json_float dur) ])
+    | Instant -> ("i", [ ("s", "\"t\"") ])
+    | Sample v -> ("C", [ ("value", Obs.json_float v) ])
+  in
+  let args =
+    (if ev.logical >= 0 then [ ("logical", string_of_int ev.logical) ] else [])
+    @ List.map (fun (k, v) -> (k, Obs.json_of_value v)) ev.attrs
+    @ (match ev.kind with Sample v -> [ ("value", Obs.json_float v) ] | _ -> [])
+  in
+  [
+    ("name", "\"" ^ Obs.json_escape ev.name ^ "\"");
+    ("cat", "\"" ^ Obs.json_escape (if ev.cat = "" then "ddf" else ev.cat) ^ "\"");
+    ("ph", "\"" ^ kind ^ "\"");
+    ("ts", Obs.json_float ev.ts_us);
+    ("pid", "1");
+    ("tid", string_of_int ev.tid);
+  ]
+  @ (match ev.kind with Sample _ -> [] | _ -> extra)
+  @ [
+      ( "args",
+        "{"
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> "\"" ^ Obs.json_escape k ^ "\": " ^ v) args)
+        ^ "}" );
+    ]
+
+let json_of_event ev =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> "\"" ^ k ^ "\": " ^ v) (json_fields_of_event ev))
+  ^ "}"
+
+(* One trace event per line: greppable, streamable, jq-friendly. *)
+let jsonl oc =
+  {
+    emit = (fun ev -> output_string oc (json_of_event ev ^ "\n"));
+    close = (fun () -> flush oc);
+  }
+
+(* The Chrome trace-event envelope over a list of already-built
+   events; also used to render Parallel.schedule lanes. *)
+let chrome_json_of_events ?(lane_names = []) events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_string buf ",\n  ";
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun (tid, name) ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}}"
+           tid (Obs.json_escape name)))
+    lane_names;
+  List.iter (fun ev -> add (json_of_event ev)) events;
+  Buffer.add_string buf "],\n\"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+(* Buffers everything and writes one well-formed JSON document on
+   close -- the format chrome://tracing and Perfetto load directly. *)
+let chrome oc =
+  let events = ref [] in
+  {
+    emit = (fun ev -> events := ev :: !events);
+    close =
+      (fun () ->
+        output_string oc (chrome_json_of_events (List.rev !events));
+        flush oc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let of_format format oc =
+  match format with Text -> text oc | Jsonl -> jsonl oc | Chrome -> chrome oc
+
+(* The sink owns the channel: closing the sink closes the file. *)
+let to_file ~format path =
+  let oc = open_out path in
+  let sink = of_format format oc in
+  { sink with close = (fun () -> sink.close (); close_out oc) }

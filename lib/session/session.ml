@@ -16,6 +16,14 @@ exception Session_error of string
 
 let session_errorf fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
 
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+
+let m_expands = Metrics.counter "session.expands"
+let m_selects = Metrics.counter "session.selects"
+let m_runs = Metrics.counter "session.runs"
+let m_recalls = Metrics.counter "session.recalls"
+
 type t = {
   ctx : Ddf_exec.Engine.context;
   flow_catalog : (string, Task_graph.t) Hashtbl.t;
@@ -124,6 +132,7 @@ let start_plan_based s name =
 (* ------------------------------------------------------------------ *)
 
 let expand ?include_optional ?reuse s nid =
+  Metrics.incr m_expands;
   let g, fresh = Task_graph.expand ?include_optional ?reuse s.current nid in
   s.current <- g;
   fresh
@@ -163,6 +172,7 @@ let browse ?(filter = Store.any_filter) s nid =
   Store.browse s.ctx.Ddf_exec.Engine.store filter
 
 let select s nid iids =
+  Metrics.incr m_selects;
   if iids = [] then session_errorf "empty selection";
   List.iter
     (fun iid ->
@@ -190,6 +200,15 @@ let executable s nid =
 (* Run the (sub-)flow rooted at a node, fanning out over multi-instance
    selections; results land in the store and history. *)
 let run ?memo s nid =
+  Metrics.incr m_runs;
+  Obs.with_span ~cat:"session"
+    ~attrs:
+      [
+        ("node", Obs.Int nid);
+        ("entity", Obs.Str (Task_graph.entity_of s.current nid));
+      ]
+    "session.run"
+  @@ fun () ->
   let sub = Task_graph.subflow s.current nid in
   let bindings =
     List.filter_map
@@ -204,6 +223,7 @@ let run ?memo s nid =
    trace becomes the current flow, with the leaf selections restored,
    ready to be modified and re-executed. *)
 let recall s iid =
+  Metrics.incr m_recalls;
   let g, root, binding =
     Ddf_history.History.trace s.ctx.Ddf_exec.Engine.history
       s.ctx.Ddf_exec.Engine.store s.ctx.Ddf_exec.Engine.schema iid

@@ -36,6 +36,10 @@ exception Store_error of string
 
 let store_errorf fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
 
+let m_puts = Ddf_obs.Metrics.counter "store.puts"
+let m_dedup = Ddf_obs.Metrics.counter "store.dedup_hits"
+let m_browses = Ddf_obs.Metrics.counter "store.browses"
+
 let create () =
   {
     next_iid = 1;
@@ -51,8 +55,11 @@ let meta ?(user = "designer") ?(label = "") ?(comment = "") ?(keywords = [])
 let put store ~entity ~hash ~meta payload =
   let iid = store.next_iid in
   store.next_iid <- iid + 1;
-  if not (Hashtbl.mem store.payloads hash) then
-    Hashtbl.add store.payloads hash payload;
+  Ddf_obs.Metrics.incr m_puts;
+  if Hashtbl.mem store.payloads hash then
+    (* content-hash sharing: a second instance over the same datum *)
+    Ddf_obs.Metrics.incr m_dedup
+  else Hashtbl.add store.payloads hash payload;
   Hashtbl.add store.instances iid { iid; entity; data_hash = hash; meta };
   let bucket =
     match Hashtbl.find_opt store.by_entity entity with
@@ -143,6 +150,7 @@ let matches store filter iid =
      | Some s -> contains m.label s || contains m.comment s)
 
 let browse store filter =
+  Ddf_obs.Metrics.incr m_browses;
   List.filter (matches store filter) (all_instances store)
 
 (* ------------------------------------------------------------------ *)

@@ -4,4 +4,5 @@ let () =
     @ Test_eda_netlist.suite @ Test_eda_sim.suite @ Test_eda_physical.suite
     @ Test_store_history.suite @ Test_exec.suite @ Test_session.suite
     @ Test_baselines.suite @ Test_persist.suite @ Test_integration.suite
-    @ Test_hier_process.suite @ Test_properties.suite @ Test_misc.suite)
+    @ Test_hier_process.suite @ Test_properties.suite @ Test_misc.suite
+    @ Test_obs.suite)
