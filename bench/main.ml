@@ -21,6 +21,7 @@ let experiments =
     ("E10", "Fig. 10: history queries", Exp_fig10.run);
     ("E11", "Fig. 11: versioning", Exp_fig11.run);
     ("A", "ablations A1-A4", Exp_ablations.run);
+    ("S", "design server: wire throughput and latency", Exp_server.run);
   ]
 
 let () =

@@ -92,12 +92,13 @@ let obs_term =
 
 (* Run [f] with the requested sink installed; the trace file is
    finalized (and the Chrome JSON document written) on the way out,
-   even when [f] raises. *)
-let with_obs (trace, format, metrics) f =
+   even when [f] raises.  [locked] serializes emission for
+   multi-threaded commands (the server). *)
+let with_obs ?(locked = false) (trace, format, metrics) f =
   (match trace with
   | Some path -> (
     match Obs_sinks.to_file ~format path with
-    | sink -> Obs.set_sink sink
+    | sink -> Obs.set_sink (if locked then Obs_sinks.locked sink else sink)
     | exception Sys_error m ->
       Printf.eprintf "cannot open trace file: %s\n" m;
       exit 1)
@@ -638,6 +639,392 @@ let recall_cmd =
     Term.(const run $ workspace_arg $ instance $ rerun $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* hercules serve                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* First run against an empty database: install the standard tool
+   catalog and the default models/option sets, journaled like any
+   other mutation, so remote sessions find the same environment
+   [Workspace.create] builds locally. *)
+let seed_database ctx =
+  List.iter
+    (fun entity -> ignore (Engine.install_tool ctx entity))
+    Workspace.catalog_tool_entities;
+  ignore
+    (Engine.install ctx ~entity:E.device_models ~label:"generic 800nm"
+       (Value.Device_models Eda.Device_model.default));
+  ignore
+    (Engine.install ctx ~entity:E.sim_options ~label:"default sim options"
+       (Value.Sim_options Value.default_sim_options));
+  ignore
+    (Engine.install ctx ~entity:E.placement_options ~label:"default placement"
+       (Value.Placement_options Value.default_placement_options))
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:"Database directory (snapshot + write-ahead journal); created \
+              when missing.")
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (default $(b,DIR/hercules.sock)).")
+  in
+  let compact_every =
+    Arg.(
+      value & opt int 512
+      & info [ "compact-every" ] ~docv:"N"
+          ~doc:"Fold the journal into the snapshot every $(docv) entries.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reject mutations that wait longer than this in the write queue.")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~doc:"Concurrent connection limit.")
+  in
+  let replay_only =
+    Arg.(
+      value & flag
+      & info [ "replay-only" ]
+          ~doc:"Open the database, replay the journal, print a summary and \
+                exit without serving.")
+  in
+  let run db socket compact_every request_timeout max_clients replay_only obs =
+    let socket =
+      match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
+    in
+    if replay_only then begin
+      let j = Journal.open_ ~compact_every ~dir:db Standard_schemas.odyssey in
+      let ctx = Journal.context j in
+      Printf.printf
+        "%s: %d instance(s), %d history record(s), clock %d%s\n" db
+        (Store.instance_count ctx.Engine.store)
+        (History.size ctx.Engine.history)
+        ctx.Engine.clock
+        (let torn = Journal.truncated_on_open j in
+         if torn > 0 then Printf.sprintf " (%d byte(s) of torn tail dropped)" torn
+         else "");
+      Journal.close j
+    end
+    else begin
+      with_obs ~locked:true obs @@ fun () ->
+      Printf.printf "hercules: serving %s on %s\n%!" db socket;
+      match
+        Server.run ~seed:seed_database ~max_clients ~request_timeout
+          ~compact_every ~db ~socket Standard_schemas.odyssey
+      with
+      | () -> print_endline "hercules: shut down"
+      | exception Server.Server_error m ->
+        Printf.eprintf "server error: %s\n" m;
+        exit 1
+      | exception Journal.Journal_error m ->
+        Printf.eprintf "journal error: %s\n" m;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the design-server daemon: a journaled store shared by \
+          concurrent $(b,hercules remote) clients.")
+    Term.(
+      const run $ db_arg $ socket $ compact_every $ request_timeout
+      $ max_clients $ replay_only $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* hercules remote                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let remote_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"The server's Unix-domain socket.")
+
+let remote_user_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "user" ] ~docv:"NAME"
+        ~doc:"Identity stamped on instances this session creates (default \
+              \\$USER).")
+
+let with_remote socket user f =
+  let user =
+    match user with
+    | Some u -> u
+    | None -> Sys.getenv_opt "USER" |> Option.value ~default:"anonymous"
+  in
+  match Client.with_client ~user ~socket f with
+  | v -> v
+  | exception Client.Client_error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+
+let no_filter =
+  { Store.f_entities = None; f_user = None; f_from = None; f_to = None;
+    f_keywords = []; f_text = None }
+
+(* First store instance of an entity — how remote sessions reach the
+   seeded tool catalog and default option sets. *)
+let first_instance c entity =
+  match Client.browse c { no_filter with Store.f_entities = Some [ entity ] } with
+  | row :: _ -> row.Wire.row_iid
+  | [] ->
+    Printf.eprintf "no %s in the server catalog\n" entity;
+    exit 1
+
+let remote_ping_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    let t0 = Unix.gettimeofday () in
+    Client.ping c;
+    Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip to the server.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_stat_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    let s = Client.stat c in
+    Printf.printf "clock        %d\ninstances    %d\nrecords      %d\n"
+      s.Wire.st_clock s.Wire.st_instances s.Wire.st_records;
+    Printf.printf "store tick   %d\nhistory tick %d\nuptime       %.1f s\n"
+      s.Wire.st_store_tick s.Wire.st_history_tick s.Wire.st_uptime_s
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Server store/history/clock statistics.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_catalog_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [ ("entities", Wire.Entities); ("tools", Wire.Tools);
+               ("flows", Wire.Flows) ])
+          Wire.Entities
+      & info [] ~docv:"WHICH" ~doc:"entities, tools or flows.")
+  in
+  let run socket user which =
+    with_remote socket user @@ fun c ->
+    List.iter print_endline (Client.catalog c which)
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"List the entity, tool or flow catalog.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ which)
+
+let remote_browse_cmd =
+  let entity =
+    Arg.(
+      value & opt_all string []
+      & info [ "entity" ] ~doc:"Entity filter (repeatable).")
+  in
+  let by_user =
+    Arg.(value & opt (some string) None & info [ "by" ] ~doc:"User limit.")
+  in
+  let keyword =
+    Arg.(value & opt_all string [] & info [ "keyword" ] ~doc:"Keyword filter.")
+  in
+  let text =
+    Arg.(value & opt (some string) None & info [ "text" ] ~doc:"Text search.")
+  in
+  let run socket user entity by_user keyword text =
+    with_remote socket user @@ fun c ->
+    let filter =
+      { no_filter with
+        Store.f_entities = (if entity = [] then None else Some entity);
+        f_user = by_user; f_keywords = keyword; f_text = text }
+    in
+    List.iter
+      (fun row ->
+        let m = row.Wire.row_meta in
+        Printf.printf "#%-4d %-22s %-20s %-10s @%-4d [%s]\n" row.Wire.row_iid
+          row.Wire.row_entity m.Store.label m.Store.user m.Store.created_at
+          (String.concat "," m.Store.keywords))
+      (Client.browse c filter)
+  in
+  Cmd.v
+    (Cmd.info "browse" ~doc:"Browse the server's store (Fig. 9, remotely).")
+    Term.(
+      const run $ remote_socket_arg $ remote_user_arg $ entity $ by_user
+      $ keyword $ text)
+
+let remote_demo_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    let nl = Eda.Circuits.c17 () in
+    let nl_iid =
+      Client.install c ~entity:E.edited_netlist ~label:"c17"
+        (Codec.value_to_sexp (Value.Netlist nl))
+    in
+    let stim_iid =
+      Client.install c ~entity:E.stimuli ~label:"c17 stimuli"
+        (Codec.value_to_sexp
+           (Value.Stimuli (Eda.Stimuli.exhaustive nl.Eda.Netlist.primary_inputs)))
+    in
+    let root = Client.start_goal c E.performance in
+    let fresh = Client.expand c root in
+    (match List.find_opt (fun (_, e) -> e = E.circuit) fresh with
+    | Some (nid, _) -> ignore (Client.expand c nid)
+    | None -> ());
+    let leaves = Client.leaves c in
+    let node entity =
+      match List.find_opt (fun (_, e) -> e = entity) leaves with
+      | Some (nid, _) -> nid
+      | None ->
+        Printf.eprintf "no %s leaf in the task window\n" entity;
+        exit 1
+    in
+    Client.select c (node E.simulator) [ first_instance c E.simulator ];
+    Client.select c (node E.netlist) [ nl_iid ];
+    Client.select c (node E.stimuli) [ stim_iid ];
+    Client.select c (node E.device_models) [ first_instance c E.device_models ];
+    print_string (Client.render c);
+    let results = Client.run c root in
+    List.iter (fun iid -> Printf.printf "-> #%d\n" iid) results;
+    match results with
+    | iid :: _ -> print_string (Client.trace c iid)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Run the section 4.1 walkthrough against a design server.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_run_cmd =
+  let vectors =
+    Arg.(
+      value & opt int 16
+      & info [ "vectors" ] ~doc:"Random stimulus vectors to simulate.")
+  in
+  let run socket user circuit blif goal vectors =
+    let cname, circuit = load_circuit circuit blif in
+    with_remote socket user @@ fun c ->
+    let schema = Standard_schemas.odyssey in
+    let nl_iid =
+      Client.install c ~entity:E.edited_netlist ~label:cname
+        (Codec.value_to_sexp (Value.Netlist circuit))
+    in
+    let stim =
+      if List.length circuit.Eda.Netlist.primary_inputs <= 8 then
+        Eda.Stimuli.exhaustive circuit.Eda.Netlist.primary_inputs
+      else Eda.Stimuli.for_netlist ~n:vectors circuit (Eda.Rng.create 1)
+    in
+    let stim_iid =
+      Client.install c ~entity:E.stimuli ~label:(cname ^ " stimuli")
+        (Codec.value_to_sexp (Value.Stimuli stim))
+    in
+    let root = Client.start_goal c goal in
+    (* Expand every constructed leaf; editable netlists and device
+       models stay selectable, as in the local goal-based run. *)
+    let expandable entity =
+      match Schema.construction_rule schema entity with
+      | Schema.Constructed _ ->
+        (not (Schema.is_subtype schema ~sub:entity ~super:E.netlist))
+        && entity <> E.device_models
+      | Schema.Abstract _ | Schema.Source -> false
+    in
+    let rec expand_all () =
+      match List.find_opt (fun (_, e) -> expandable e) (Client.leaves c) with
+      | Some (nid, _) ->
+        ignore (Client.expand c nid);
+        expand_all ()
+      | None -> ()
+    in
+    expand_all ();
+    List.iter
+      (fun (nid, entity) ->
+        if Schema.is_tool schema entity then
+          Client.select c nid [ first_instance c entity ]
+        else if Schema.is_subtype schema ~sub:entity ~super:E.netlist then
+          Client.select c nid [ nl_iid ]
+        else if entity = E.stimuli then Client.select c nid [ stim_iid ]
+        else if
+          entity = E.device_models || entity = E.sim_options
+          || entity = E.placement_options
+        then Client.select c nid [ first_instance c entity ]
+        else if Schema.is_subtype schema ~sub:entity ~super:E.layout then
+          Client.select c nid
+            [ Client.install c ~entity:E.edited_layout
+                ~label:(cname ^ " placed")
+                (Codec.value_to_sexp (Value.Layout (Eda.Layout.place circuit)))
+            ])
+      (Client.leaves c);
+    print_string (Client.render c);
+    match Client.run c root with
+    | [] -> print_endline "nothing to run"
+    | iid :: _ as results ->
+      List.iter (fun iid -> Printf.printf "-> #%d\n" iid) results;
+      print_endline "\nderivation history:";
+      print_string (Client.trace c iid)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Build and run a goal-based flow on the design server.")
+    Term.(
+      const run $ remote_socket_arg $ remote_user_arg $ circuit_arg $ blif_arg
+      $ goal_arg $ vectors)
+
+let remote_iid_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "i"; "instance" ] ~docv:"IID" ~doc:"Instance id.")
+
+let remote_trace_cmd =
+  let run socket user iid =
+    with_remote socket user @@ fun c -> print_string (Client.trace c iid)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Show an instance's derivation trace.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ remote_iid_arg)
+
+let remote_refresh_cmd =
+  let run socket user iid =
+    with_remote socket user @@ fun c ->
+    let fresh, reran, reused = Client.refresh c iid in
+    Printf.printf "fresh #%d (%d task(s) re-run, %d reused)\n" fresh reran
+      reused
+  in
+  Cmd.v
+    (Cmd.info "refresh"
+       ~doc:"Bring an instance up to date (consistency maintenance).")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ remote_iid_arg)
+
+let remote_shutdown_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    Client.shutdown c;
+    print_endline "server shutting down"
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the server to shut down gracefully.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_cmd =
+  Cmd.group
+    (Cmd.info "remote"
+       ~doc:"Talk to a $(b,hercules serve) daemon over its socket.")
+    [ remote_ping_cmd; remote_stat_cmd; remote_catalog_cmd; remote_browse_cmd;
+      remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
+      remote_shutdown_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* hercules demo                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -684,4 +1071,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [ schema_cmd; flow_cmd; run_cmd; browse_cmd; demo_cmd; export_cmd;
             history_cmd; query_cmd; process_cmd; annotate_cmd;
-            recall_cmd ]))
+            recall_cmd; serve_cmd; remote_cmd ]))

@@ -1,0 +1,138 @@
+(* Typed client: one socket, blocking request/response.  All the
+   interesting protocol work (framing, codecs) lives in Ddf_wire; this
+   module is the thin typed veneer the CLI and tests use. *)
+
+module Wire = Ddf_wire.Wire
+
+exception Client_error of string
+
+let client_errorf fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
+
+type t = {
+  fd : Unix.file_descr;
+  c_user : string;
+  mutable closed : bool;
+}
+
+let user t = t.c_user
+
+let call t req =
+  if t.closed then client_errorf "connection is closed";
+  match
+    Wire.send t.fd (Wire.request_to_sexp req);
+    Wire.recv t.fd
+  with
+  | Some sexp -> Wire.response_of_sexp sexp
+  | None -> client_errorf "server closed the connection"
+  | exception Wire.Wire_error m -> client_errorf "%s" m
+
+(* Raise on Error, return the payload otherwise; each wrapper below
+   then destructures the one constructor it expects. *)
+let ok t req =
+  match call t req with
+  | Wire.Error m -> raise (Client_error m)
+  | resp -> resp
+
+let unexpected req resp =
+  client_errorf "unexpected %s response to %s"
+    (match (resp : Wire.response) with
+    | Wire.Ok_unit -> "unit" | Wire.Ok_int _ -> "int"
+    | Wire.Ok_ints _ -> "ints" | Wire.Ok_atoms _ -> "atoms"
+    | Wire.Ok_text _ -> "text" | Wire.Ok_nodes _ -> "nodes"
+    | Wire.Ok_rows _ -> "rows" | Wire.Ok_stat _ -> "stat"
+    | Wire.Ok_refresh _ -> "refresh" | Wire.Error _ -> "error")
+    (Wire.request_name req)
+
+let ok_unit t req =
+  match ok t req with Wire.Ok_unit -> () | resp -> unexpected req resp
+
+let ok_int t req =
+  match ok t req with Wire.Ok_int n -> n | resp -> unexpected req resp
+
+let ok_ints t req =
+  match ok t req with Wire.Ok_ints ns -> ns | resp -> unexpected req resp
+
+let ok_atoms t req =
+  match ok t req with Wire.Ok_atoms xs -> xs | resp -> unexpected req resp
+
+let ok_text t req =
+  match ok t req with Wire.Ok_text s -> s | resp -> unexpected req resp
+
+let ok_nodes t req =
+  match ok t req with Wire.Ok_nodes ns -> ns | resp -> unexpected req resp
+
+let ok_rows t req =
+  match ok t req with Wire.Ok_rows rs -> rs | resp -> unexpected req resp
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle                                                *)
+(* ------------------------------------------------------------------ *)
+
+let connect ?(user = "anonymous") ~socket () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    client_errorf "cannot connect to %s: %s" socket (Unix.error_message e));
+  let t = { fd; c_user = user; closed = false } in
+  (try ok_unit t (Wire.Hello user)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client ?user ~socket f =
+  let t = connect ?user ~socket () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* The session surface                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ping t = ok_unit t Wire.Ping
+
+let stat t =
+  match ok t Wire.Stat with
+  | Wire.Ok_stat s -> s
+  | resp -> unexpected Wire.Stat resp
+
+let catalog t which = ok_atoms t (Wire.Catalog which)
+let browse t filter = ok_rows t (Wire.Browse filter)
+
+let install t ~entity ?(label = "") ?(keywords = []) value =
+  ok_int t (Wire.Install { entity; label; keywords; value })
+
+let annotate t ?label ?comment ?keywords iid =
+  ok_unit t (Wire.Annotate { iid; label; comment; keywords })
+
+let start_goal t entity = ok_int t (Wire.Start_goal entity)
+let start_data t iid = ok_int t (Wire.Start_data iid)
+let expand t nid = ok_nodes t (Wire.Expand nid)
+let specialize t nid sub = ok_unit t (Wire.Specialize (nid, sub))
+let select t nid iids = ok_unit t (Wire.Select (nid, iids))
+let node_browse t nid filter = ok_ints t (Wire.Node_browse (nid, filter))
+let leaves t = ok_nodes t Wire.Leaves
+let run t nid = ok_ints t (Wire.Run nid)
+let render t = ok_text t Wire.Render
+let recall t iid = ok_int t (Wire.Recall iid)
+let trace t iid = ok_text t (Wire.Trace iid)
+let uses t iid = ok_ints t (Wire.Uses iid)
+
+let refresh t iid =
+  match ok t (Wire.Refresh iid) with
+  | Wire.Ok_refresh { fresh; reran; reused } -> (fresh, reran, reused)
+  | resp -> unexpected (Wire.Refresh iid) resp
+
+let save_flow t name = ok_unit t (Wire.Save_flow name)
+let load_flow t name = ok_ints t (Wire.Load_flow name)
+
+let shutdown t =
+  ok_unit t Wire.Shutdown;
+  close t

@@ -1,0 +1,93 @@
+(** Typed client for the Hercules design-server.
+
+    Wraps one Unix-domain socket connection to a {!Ddf_server.Server}
+    daemon.  Every call sends one {!Ddf_wire.Wire.request} and blocks
+    for its response; server-side failures come back as
+    {!Client_error}.  A client is not thread-safe — give each thread
+    its own connection, as the server gives each connection its own
+    session (task window, flow catalog, selections). *)
+
+exception Client_error of string
+(** A server-side error response, a protocol violation, or a dropped
+    connection. *)
+
+type t
+
+val connect : ?user:string -> socket:string -> unit -> t
+(** Connect to the daemon listening on [socket] and introduce
+    ourselves as [user] (default ["anonymous"]); the server stamps
+    that identity on every instance and history record this
+    connection creates. *)
+
+val close : t -> unit
+(** Close the connection (idempotent). *)
+
+val with_client : ?user:string -> socket:string -> (t -> 'a) -> 'a
+(** [connect], run, [close] — also on exception. *)
+
+val user : t -> string
+
+(** {1 The session surface} *)
+
+val ping : t -> unit
+val stat : t -> Ddf_wire.Wire.stat
+
+val catalog : t -> Ddf_wire.Wire.catalog -> string list
+(** Entity, tool or flow names known to this connection's session. *)
+
+val browse : t -> Ddf_store.Store.filter -> Ddf_wire.Wire.instance_row list
+(** Whole-store browse; rows carry entity and metadata so the client
+    can render them without further round trips. *)
+
+val install :
+  t ->
+  entity:string ->
+  ?label:string ->
+  ?keywords:string list ->
+  Ddf_persist.Sexp.t ->
+  Ddf_store.Store.iid
+(** Install a value (in {!Ddf_persist.Codec} form) as a new instance. *)
+
+val annotate :
+  t ->
+  ?label:string ->
+  ?comment:string ->
+  ?keywords:string list ->
+  Ddf_store.Store.iid ->
+  unit
+
+val start_goal : t -> string -> int
+(** Start a goal-based flow; returns the root node id. *)
+
+val start_data : t -> Ddf_store.Store.iid -> int
+(** Start a data-based flow from an existing instance. *)
+
+val expand : t -> int -> (int * string) list
+(** Expand a node; returns the fresh (node id, entity) pairs. *)
+
+val specialize : t -> int -> string -> unit
+val select : t -> int -> Ddf_store.Store.iid list -> unit
+val node_browse : t -> int -> Ddf_store.Store.filter -> Ddf_store.Store.iid list
+val leaves : t -> (int * string) list
+val run : t -> int -> Ddf_store.Store.iid list
+val render : t -> string
+val recall : t -> Ddf_store.Store.iid -> int
+val trace : t -> Ddf_store.Store.iid -> string
+val uses : t -> Ddf_store.Store.iid -> Ddf_store.Store.iid list
+
+val refresh : t -> Ddf_store.Store.iid -> Ddf_store.Store.iid * int * int
+(** [Consistency.refresh]: the fresh instance, tasks re-run, tasks
+    reused. *)
+
+val save_flow : t -> string -> unit
+val load_flow : t -> string -> int list
+
+val shutdown : t -> unit
+(** Ask the daemon to shut down gracefully, then close this
+    connection. *)
+
+(** {1 Escape hatch} *)
+
+val call : t -> Ddf_wire.Wire.request -> Ddf_wire.Wire.response
+(** Raw request/response; [Error] responses are returned, not
+    raised.  @raise Client_error on a dropped connection. *)

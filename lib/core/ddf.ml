@@ -25,10 +25,15 @@ module Persist = Ddf_persist.Workspace_file
 module Process = Ddf_process.Process
 module Process_file = Ddf_process.Process_file
 module Sexp = Ddf_persist.Sexp
+module Codec = Ddf_persist.Codec
 module Session = Ddf_session.Session
 module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
 module Obs_sinks = Ddf_obs.Sinks
+module Journal = Ddf_journal.Journal
+module Wire = Ddf_wire.Wire
+module Server = Ddf_server.Server
+module Client = Ddf_client.Client
 
 module Baselines = struct
   module Static_flow = Ddf_baselines.Static_flow

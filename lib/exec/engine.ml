@@ -29,7 +29,7 @@ type context = {
   history : History.t;
   registry : Encapsulation.registry;
   mutable clock : int;
-  user : string;
+  mutable user : string;
 }
 
 exception Execution_error of string

@@ -20,7 +20,9 @@ type context = {
   history : History.t;
   registry : Encapsulation.registry;
   mutable clock : int;   (** logical time; advanced by {!tick} *)
-  user : string;
+  mutable user : string;
+      (** identity stamped into new instances' meta-data; the design
+          server rebinds it to the requesting client per operation *)
 }
 
 exception Execution_error of string

@@ -26,6 +26,7 @@ type t = {
   records : (int, record) Hashtbl.t;
   produced_by : (Store.iid, int) Hashtbl.t;    (* instance -> record *)
   used_by : (Store.iid, int list ref) Hashtbl.t;
+  mutable observer : (record -> unit) option;
 }
 
 exception History_error of string
@@ -43,9 +44,20 @@ let create () =
     records = Hashtbl.create 64;
     produced_by = Hashtbl.create 64;
     used_by = Hashtbl.create 64;
+    observer = None;
   }
 
 let size h = Hashtbl.length h.records
+
+let tick h = h.next_rid
+
+let restore_tick h n =
+  if n < h.next_rid then
+    history_errorf "cannot move the record counter back (%d < %d)" n h.next_rid;
+  h.next_rid <- n
+
+let set_observer h f = h.observer <- Some f
+let clear_observer h = h.observer <- None
 
 let add h ~task_entity ~tool ~inputs ~outputs ~at =
   if outputs = [] then history_errorf "a record needs at least one output";
@@ -73,6 +85,7 @@ let add h ~task_entity ~tool ~inputs ~outputs ~at =
   in
   List.iter (fun (_, iid) -> note_use iid) inputs;
   (match tool with Some t -> note_use t | None -> ());
+  (match h.observer with None -> () | Some f -> f r);
   r
 
 let find h rid =

@@ -39,6 +39,19 @@ val add :
 val find : t -> int -> record
 val records : t -> record list
 
+val tick : t -> int
+(** The history's monotonic record counter: the rid the next {!add}
+    will assign (restorable like {!Store.tick}). *)
+
+val restore_tick : t -> int -> unit
+(** @raise History_error when moving the counter backwards. *)
+
+val set_observer : t -> (record -> unit) -> unit
+(** Install the single append observer, called synchronously after a
+    record commits.  The write-ahead journal subscribes here. *)
+
+val clear_observer : t -> unit
+
 (** {1 Chaining (Fig. 10)} *)
 
 val derivation_of : t -> Store.iid -> record option

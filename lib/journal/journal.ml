@@ -1,0 +1,316 @@
+(* A durable write-ahead log for the design database.
+
+   Layout of a database directory:
+
+     snapshot.ddf   full workspace (Workspace_file format), optional
+     wal.ddf        framed log entries appended since the snapshot
+
+   Each log frame is
+
+     J1 <payload-bytes> <md5-hex>\n
+     <payload>\n
+
+   where <payload> is one s-expression:
+
+     (put (iid N) (clock C) (entity E) (hash H) (meta M) (value V))
+     (note (iid N) (meta M))
+     (record (clock C) R)               ; R as in Workspace_file
+
+   The frame header makes entries self-delimiting and the checksum
+   makes a torn tail (crash mid-append) detectable: recovery truncates
+   the log at the last complete frame and replays the rest.  Entries
+   carry the engine's logical clock so replay restores it exactly;
+   counters (next iid / next rid) are restored through the stores'
+   [tick] accessors. *)
+
+open Ddf_store
+open Ddf_history
+module S = Ddf_persist.Sexp
+module W = Ddf_persist.Workspace_file
+module Codec = Ddf_persist.Codec
+
+exception Journal_error of string
+
+let journal_errorf fmt = Format.kasprintf (fun s -> raise (Journal_error s)) fmt
+
+let m_appends = Ddf_obs.Metrics.counter "journal.appends"
+let m_replayed = Ddf_obs.Metrics.counter "journal.replayed_entries"
+let m_compactions = Ddf_obs.Metrics.counter "journal.compactions"
+let m_torn = Ddf_obs.Metrics.counter "journal.torn_tails"
+
+type t = {
+  j_dir : string;
+  j_ctx : Ddf_exec.Engine.context;
+  mutable j_oc : out_channel;        (* wal.ddf, append mode *)
+  mutable j_entries : int;           (* entries since the snapshot *)
+  j_truncated : int;                 (* torn-tail bytes dropped on open *)
+  mutable j_closed : bool;
+  compact_every : int;
+}
+
+let context j = j.j_ctx
+let dir j = j.j_dir
+let entries_since_snapshot j = j.j_entries
+let truncated_on_open j = j.j_truncated
+
+let snapshot_path dir = Filename.concat dir "snapshot.ddf"
+let wal_path dir = Filename.concat dir "wal.ddf"
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_frame oc payload =
+  Printf.fprintf oc "J1 %d %s\n%s\n" (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    payload;
+  flush oc
+
+(* Read one frame; [None] cleanly at end of file.  A short, malformed
+   or checksum-failing frame raises [Torn] with the offset where the
+   good prefix ends. *)
+exception Torn of int
+
+let read_frame ic =
+  let start = pos_in ic in
+  match input_line ic with
+  | exception End_of_file -> None
+  | header ->
+    (match String.split_on_char ' ' header with
+    | [ "J1"; len; digest ] ->
+      let len =
+        match int_of_string_opt len with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> raise (Torn start)
+      in
+      let payload =
+        try really_input_string ic (len + 1) with End_of_file -> raise (Torn start)
+      in
+      if payload.[len] <> '\n' then raise (Torn start);
+      let payload = String.sub payload 0 len in
+      if Digest.to_hex (Digest.string payload) <> digest then raise (Torn start);
+      Some payload
+    | _ -> raise (Torn start))
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let put_to_sexp ~clock (inst : Ddf_data.value Store.instance) value =
+  S.list
+    [ S.atom "put"; S.field "iid" [ S.int inst.Store.iid ];
+      S.field "clock" [ S.int clock ];
+      S.field "entity" [ S.atom inst.Store.entity ];
+      S.field "hash" [ S.atom inst.Store.data_hash ];
+      S.field "meta" [ W.meta_to_sexp inst.Store.meta ];
+      S.field "value" [ Codec.value_to_sexp value ] ]
+
+let note_to_sexp (inst : Ddf_data.value Store.instance) =
+  S.list
+    [ S.atom "note"; S.field "iid" [ S.int inst.Store.iid ];
+      S.field "meta" [ W.meta_to_sexp inst.Store.meta ] ]
+
+let record_to_sexp ~clock r =
+  S.list
+    [ S.atom "record"; S.field "clock" [ S.int clock ]; W.record_to_sexp r ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_entry ctx payload =
+  let sexp =
+    try S.of_string payload
+    with S.Sexp_error m -> journal_errorf "log entry: %s" m
+  in
+  let store = ctx.Ddf_exec.Engine.store in
+  match S.as_list sexp with
+  | S.Atom "put" :: fields ->
+    let iid = S.as_int (S.one "iid" (S.find_field fields "iid")) in
+    let clock = S.as_int (S.one "clock" (S.find_field fields "clock")) in
+    let entity = S.as_atom (S.one "entity" (S.find_field fields "entity")) in
+    let stored_hash = S.as_atom (S.one "hash" (S.find_field fields "hash")) in
+    let meta = W.meta_of_sexp (S.one "meta" (S.find_field fields "meta")) in
+    let value =
+      try Codec.value_of_sexp (S.one "value" (S.find_field fields "value"))
+      with Codec.Codec_error m -> journal_errorf "entry for #%d: %s" iid m
+    in
+    let hash = Ddf_data.hash value in
+    if hash <> stored_hash then
+      journal_errorf "instance %d: content hash mismatch (log corrupt?)" iid;
+    let got = Store.put store ~entity ~hash ~meta value in
+    if got <> iid then
+      journal_errorf "log out of order: instance %d replayed as %d" iid got;
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+  | S.Atom "note" :: fields ->
+    let iid = S.as_int (S.one "iid" (S.find_field fields "iid")) in
+    let meta = W.meta_of_sexp (S.one "meta" (S.find_field fields "meta")) in
+    if not (Store.mem store iid) then
+      journal_errorf "annotation of unknown instance %d" iid;
+    Store.annotate store iid ~label:meta.Store.label
+      ~comment:meta.Store.comment ~keywords:meta.Store.keywords ()
+  | [ S.Atom "record"; clock_field; r ] ->
+    let clock =
+      match clock_field with
+      | S.List [ S.Atom "clock"; c ] -> S.as_int c
+      | _ -> journal_errorf "malformed record entry"
+    in
+    let p =
+      try W.record_of_sexp r
+      with W.Persist_error m -> journal_errorf "record entry: %s" m
+    in
+    let r =
+      History.add ctx.Ddf_exec.Engine.history ~task_entity:p.W.rp_task_entity
+        ~tool:p.W.rp_tool ~inputs:p.W.rp_inputs ~outputs:p.W.rp_outputs
+        ~at:p.W.rp_at
+    in
+    if r.History.rid <> p.W.rp_rid then
+      journal_errorf "log out of order: record %d replayed as %d" p.W.rp_rid
+        r.History.rid;
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+  | _ -> journal_errorf "unknown log entry kind"
+
+(* ------------------------------------------------------------------ *)
+(* Observers: the live write path                                      *)
+(* ------------------------------------------------------------------ *)
+
+let append j payload =
+  if not j.j_closed then begin
+    write_frame j.j_oc payload;
+    j.j_entries <- j.j_entries + 1;
+    Ddf_obs.Metrics.incr m_appends
+  end
+
+let attach j =
+  let ctx = j.j_ctx in
+  Store.set_observer ctx.Ddf_exec.Engine.store (function
+    | Store.Put (inst, value) ->
+      append j
+        (S.to_string (put_to_sexp ~clock:ctx.Ddf_exec.Engine.clock inst value))
+    | Store.Annotated inst -> append j (S.to_string (note_to_sexp inst)));
+  History.set_observer ctx.Ddf_exec.Engine.history (fun r ->
+      append j
+        (S.to_string (record_to_sexp ~clock:ctx.Ddf_exec.Engine.clock r)))
+
+let detach j =
+  Store.clear_observer j.j_ctx.Ddf_exec.Engine.store;
+  History.clear_observer j.j_ctx.Ddf_exec.Engine.history
+
+(* ------------------------------------------------------------------ *)
+(* Open / close / compaction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fsync_oc oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let sync j = if not j.j_closed then fsync_oc j.j_oc
+
+(* Replay wal.ddf into [ctx]; returns (entries, torn-tail bytes
+   dropped).  The file is truncated at the first torn frame. *)
+let replay_wal ctx path =
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let ic = open_in_bin path in
+    let total = in_channel_length ic in
+    let entries = ref 0 in
+    let good_end =
+      let rec go () =
+        match read_frame ic with
+        | None -> pos_in ic
+        | Some payload ->
+          replay_entry ctx payload;
+          incr entries;
+          Ddf_obs.Metrics.incr m_replayed;
+          go ()
+      in
+      try go () with Torn at -> at
+    in
+    close_in ic;
+    let torn = total - good_end in
+    if torn > 0 then begin
+      Ddf_obs.Metrics.incr m_torn;
+      Unix.truncate path good_end
+    end;
+    (!entries, torn)
+  end
+
+let open_ ?registry ?(compact_every = 10_000) ~dir schema =
+  if compact_every < 1 then journal_errorf "compact_every must be positive";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then journal_errorf "%s is not a directory" dir;
+  let ctx =
+    if Sys.file_exists (snapshot_path dir) then
+      let session =
+        try W.load_file ?registry schema (snapshot_path dir)
+        with W.Persist_error m -> journal_errorf "snapshot: %s" m
+      in
+      Ddf_session.Session.context session
+    else Ddf_exec.Engine.create_context ?registry schema
+  in
+  let entries, torn = replay_wal ctx (wal_path dir) in
+  (* counters were restored by dense re-insertion; assert the ticks
+     agree with the contents before trusting the database *)
+  let store = ctx.Ddf_exec.Engine.store in
+  if Store.tick store <> Store.instance_count store + 1 then
+    journal_errorf "instance counter %d does not match %d instances"
+      (Store.tick store)
+      (Store.instance_count store);
+  if History.tick ctx.Ddf_exec.Engine.history
+     <> History.size ctx.Ddf_exec.Engine.history + 1
+  then journal_errorf "record counter disagrees with the history size";
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (wal_path dir)
+  in
+  let j =
+    { j_dir = dir; j_ctx = ctx; j_oc = oc; j_entries = entries;
+      j_truncated = torn; j_closed = false; compact_every }
+  in
+  attach j;
+  j
+
+let compact j =
+  if j.j_closed then journal_errorf "journal is closed";
+  Ddf_obs.Metrics.incr m_compactions;
+  let tmp = snapshot_path j.j_dir ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc
+       (W.save (Ddf_session.Session.of_context j.j_ctx));
+     fsync_oc oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp (snapshot_path j.j_dir);
+  fsync_dir j.j_dir;
+  (* the log's contents are folded into the snapshot: restart it *)
+  close_out j.j_oc;
+  j.j_oc <-
+    open_out_gen
+      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+      0o644 (wal_path j.j_dir);
+  j.j_entries <- 0
+
+let maybe_compact j =
+  if (not j.j_closed) && j.j_entries >= j.compact_every then begin
+    compact j;
+    true
+  end
+  else false
+
+let close j =
+  if not j.j_closed then begin
+    detach j;
+    fsync_oc j.j_oc;
+    close_out j.j_oc;
+    j.j_closed <- true
+  end

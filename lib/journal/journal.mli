@@ -1,0 +1,61 @@
+(** A durable write-ahead log for the design database.
+
+    The paper's framework is a shared, persistent design database:
+    many designers work against one store and history, and the
+    derivation meta-data must survive across sessions.  [Journal]
+    makes an {!Ddf_exec.Engine.context} durable: every [Store.put],
+    annotation and [History.add] is appended to an on-disk log
+    ([wal.ddf]) as one checksummed, length-prefixed s-expression frame
+    before the caller proceeds, and replaying snapshot + log
+    reconstructs the context — same iids, rids, meta-data, payload
+    hashes and logical clock.
+
+    Crash safety: frames are self-delimiting with an MD5 checksum, so
+    a torn tail (power cut mid-append) is detected and truncated on
+    open; everything up to the last complete frame replays.  Periodic
+    {!compact} folds the log into a full workspace snapshot
+    ([snapshot.ddf], the {!Ddf_persist.Workspace_file} format) and
+    truncates the log. *)
+
+exception Journal_error of string
+
+type t
+
+val open_ :
+  ?registry:Ddf_tools.Encapsulation.registry ->
+  ?compact_every:int ->
+  dir:string -> Ddf_schema.Schema.t -> t
+(** Open a database directory (created when missing): load
+    [snapshot.ddf] if present, replay [wal.ddf] (truncating a torn
+    tail), then attach write observers to the rebuilt context so
+    subsequent mutations are journaled.  [compact_every] (default
+    10_000) is the log-entry threshold {!maybe_compact} acts on.
+    @raise Journal_error on corruption before the tail (iid/rid or
+    content-hash mismatches). *)
+
+val context : t -> Ddf_exec.Engine.context
+(** The journaled context; mutate it only through the normal engine /
+    store / history operations. *)
+
+val dir : t -> string
+
+val entries_since_snapshot : t -> int
+
+val truncated_on_open : t -> int
+(** Bytes of torn tail dropped by crash recovery during {!open_}. *)
+
+val sync : t -> unit
+(** Flush and [fsync] the log: everything journaled so far survives a
+    machine crash. *)
+
+val compact : t -> unit
+(** Write a fresh snapshot (atomically, via rename) and truncate the
+    log. *)
+
+val maybe_compact : t -> bool
+(** {!compact} when the log has reached [compact_every] entries;
+    returns whether it did. *)
+
+val close : t -> unit
+(** Detach the observers, {!sync} and close the log.  The context
+    remains usable but further writes are no longer journaled. *)

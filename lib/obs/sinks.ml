@@ -26,6 +26,20 @@ let memory () =
     fun () -> List.rev !events )
 
 (* ------------------------------------------------------------------ *)
+(* Thread-safety wrapper                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Sinks are single-threaded by default; the design server wraps its
+   sink so concurrent connection threads emit safely. *)
+let locked sink =
+  let m = Mutex.create () in
+  let guard f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { emit = guard sink.emit; close = guard sink.close }
+
+(* ------------------------------------------------------------------ *)
 (* Text                                                                *)
 (* ------------------------------------------------------------------ *)
 

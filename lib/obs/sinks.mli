@@ -28,6 +28,12 @@ val chrome_json_of_events :
     thread-name metadata for the given tids (used to label
     per-machine lanes of a {e schedule}). *)
 
+val locked : Obs.sink -> Obs.sink
+(** Serialize [emit]/[close] behind a mutex.  Sinks are single-threaded
+    by default; the design server wraps its sink with [locked] so
+    per-request spans from concurrent connection threads interleave
+    safely. *)
+
 val of_format : format -> out_channel -> Obs.sink
 
 val to_file : format:format -> string -> Obs.sink

@@ -59,6 +59,29 @@ let record_to_sexp (r : History.record) =
            r.History.outputs);
       S.int r.History.at ]
 
+type record_parts = {
+  rp_rid : int;
+  rp_task_entity : string;
+  rp_tool : Store.iid option;
+  rp_inputs : (string * Store.iid) list;
+  rp_outputs : (string * Store.iid) list;
+  rp_at : int;
+}
+
+let record_of_sexp sexp =
+  match S.as_list sexp with
+  | [ rid; task; tool; inputs; outputs; at ] ->
+    let tool = match tool with S.Atom "-" -> None | t -> Some (S.as_int t) in
+    let pair sexp =
+      match S.as_list sexp with
+      | [ k; iid ] -> (S.as_atom k, S.as_int iid)
+      | _ -> persist_errorf "malformed binding"
+    in
+    { rp_rid = S.as_int rid; rp_task_entity = S.as_atom task; rp_tool = tool;
+      rp_inputs = List.map pair (S.as_list inputs);
+      rp_outputs = List.map pair (S.as_list outputs); rp_at = S.as_int at }
+  | _ -> persist_errorf "malformed record"
+
 let save session =
   let ctx = Ddf_session.Session.context session in
   let store = ctx.Ddf_exec.Engine.store in
@@ -140,33 +163,17 @@ let load ?registry schema text =
   (* history records, in rid order *)
   let records =
     S.find_field fields "records"
-    |> List.map (fun sexp ->
-           match S.as_list sexp with
-           | [ rid; task; tool; inputs; outputs; at ] ->
-             let tool =
-               match tool with
-               | S.Atom "-" -> None
-               | t -> Some (S.as_int t)
-             in
-             let pair of_key sexp =
-               match S.as_list sexp with
-               | [ k; iid ] -> (of_key k, S.as_int iid)
-               | _ -> persist_errorf "malformed binding"
-             in
-             ( S.as_int rid, S.as_atom task, tool,
-               List.map (pair S.as_atom) (S.as_list inputs),
-               List.map (pair S.as_atom) (S.as_list outputs), S.as_int at )
-           | _ -> persist_errorf "malformed record")
-    |> List.sort compare
+    |> List.map record_of_sexp
+    |> List.sort (fun a b -> compare a.rp_rid b.rp_rid)
   in
   List.iter
-    (fun (rid, task_entity, tool, inputs, outputs, at) ->
+    (fun p ->
       let r =
-        History.add ctx.Ddf_exec.Engine.history ~task_entity ~tool ~inputs
-          ~outputs ~at
+        History.add ctx.Ddf_exec.Engine.history ~task_entity:p.rp_task_entity
+          ~tool:p.rp_tool ~inputs:p.rp_inputs ~outputs:p.rp_outputs ~at:p.rp_at
       in
-      if r.History.rid <> rid then
-        persist_errorf "record ids are not dense (%d loaded as %d)" rid
+      if r.History.rid <> p.rp_rid then
+        persist_errorf "record ids are not dense (%d loaded as %d)" p.rp_rid
           r.History.rid)
     records;
   (* the clock resumes where it stopped *)

@@ -24,3 +24,29 @@ val load :
 val load_file :
   ?registry:Ddf_tools.Encapsulation.registry -> Ddf_schema.Schema.t ->
   string -> Ddf_session.Session.t
+
+(** {1 Shared codecs}
+
+    The meta/record wire forms, reused by the journal and the design
+    server's wire protocol so every durable surface speaks one
+    format. *)
+
+val meta_to_sexp : Ddf_store.Store.meta -> Sexp.t
+
+val meta_of_sexp : Sexp.t -> Ddf_store.Store.meta
+(** @raise Persist_error on malformed input. *)
+
+val record_to_sexp : Ddf_history.History.record -> Sexp.t
+
+type record_parts = {
+  rp_rid : int;
+  rp_task_entity : string;
+  rp_tool : Ddf_store.Store.iid option;
+  rp_inputs : (string * Ddf_store.Store.iid) list;
+  rp_outputs : (string * Ddf_store.Store.iid) list;
+  rp_at : int;
+}
+
+val record_of_sexp : Sexp.t -> record_parts
+(** The parsed fields of a record (records proper are only minted by
+    {!Ddf_history.History.add}). @raise Persist_error. *)

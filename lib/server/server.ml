@@ -1,0 +1,512 @@
+(* The Hercules design-server daemon.
+
+   Concurrency model: one reader thread per connection, one writer
+   thread for the engine.  Store/history mutations (install, annotate,
+   run, refresh) are enqueued as jobs and applied by the writer in
+   arrival order — a single serialization point, so the design history
+   is trivially serializable and the journal records one total order.
+   Reads (catalogs, browsing, task-window editing, history queries)
+   execute on the connection threads under the shared side of a
+   readers/writer lock: they see a consistent store because the writer
+   excludes them only while a mutation commits.
+
+   Each connection owns a private Session over the shared context, so
+   concurrent designers build flows independently while sharing one
+   store, history and clock — the paper's multi-designer Hercules
+   database.  Client identity arrives via Hello and is rebound onto
+   ctx.user by the writer before each mutation, so Store.meta.user
+   reflects the requesting designer. *)
+
+open Ddf_store
+open Ddf_history
+module Wire = Ddf_wire.Wire
+module Journal = Ddf_journal.Journal
+module Session = Ddf_session.Session
+module Engine = Ddf_exec.Engine
+module Obs = Ddf_obs.Obs
+module Metrics = Ddf_obs.Metrics
+
+exception Server_error of string
+
+let server_errorf fmt = Format.kasprintf (fun s -> raise (Server_error s)) fmt
+
+let m_requests = Metrics.counter "server.requests"
+let m_mutations = Metrics.counter "server.mutations"
+let m_errors = Metrics.counter "server.errors"
+let m_timeouts = Metrics.counter "server.timeouts"
+let m_connections = Metrics.counter "server.connections"
+let m_rejected = Metrics.counter "server.rejected_connections"
+let h_request = Metrics.histogram "server.request_us"
+let h_queue_wait = Metrics.histogram "server.write_queue_wait_us"
+
+(* ------------------------------------------------------------------ *)
+(* A readers/writer lock                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Rw = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writing : bool;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); readers = 0;
+      writing = false }
+
+  let with_read t f =
+    Mutex.lock t.m;
+    while t.writing do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.c;
+        Mutex.unlock t.m)
+
+  let with_write t f =
+    Mutex.lock t.m;
+    while t.writing || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.writing <- true;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.writing <- false;
+        Condition.broadcast t.c;
+        Mutex.unlock t.m)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Write-queue jobs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  job_user : string;
+  job_run : unit -> Wire.response;
+  job_enqueued : float;
+  job_m : Mutex.t;
+  job_c : Condition.t;
+  mutable job_result : Wire.response option;
+}
+
+type t = {
+  journal : Journal.t;
+  ctx : Engine.context;
+  rw : Rw.t;
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  (* self-pipe: [stop] writes a byte to wake the accepter out of its
+     [select] — closing the listening socket from another thread does
+     not reliably interrupt a blocked accept *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  max_clients : int;
+  request_timeout : float;
+  started_at : float;
+  (* shared state under [m] *)
+  m : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_conn : int;
+  mutable threads : Thread.t list;
+  queue : job Queue.t;
+  queue_c : Condition.t;              (* signalled on enqueue and stop *)
+  mutable writer : Thread.t option;
+  mutable accepter : Thread.t option;
+}
+
+let context t = t.ctx
+
+(* ------------------------------------------------------------------ *)
+(* The writer loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let error_message = function
+  | Session.Session_error m | Store.Store_error m | History.History_error m
+  | Engine.Execution_error m | Ddf_exec.Consistency.Consistency_error m
+  | Ddf_persist.Codec.Codec_error m | Ddf_persist.Sexp.Sexp_error m
+  | Wire.Wire_error m | Journal.Journal_error m ->
+    Some m
+  | Ddf_exec.Typing.Type_mismatch m | Ddf_schema.Schema.Schema_error m
+  | Ddf_graph.Task_graph.Graph_error m ->
+    Some m
+  | _ -> None
+
+let error_response e =
+  match error_message e with
+  | Some m -> Wire.Error m
+  | None -> Wire.Error (Printexc.to_string e)
+
+let finish job result =
+  Mutex.lock job.job_m;
+  job.job_result <- Some result;
+  Condition.signal job.job_c;
+  Mutex.unlock job.job_m
+
+let writer_loop t =
+  let rec next () =
+    Mutex.lock t.m;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stopping then None
+      else begin
+        Condition.wait t.queue_c t.m;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock t.m;
+    match job with
+    | None -> ()
+    | Some job ->
+      let waited = Unix.gettimeofday () -. job.job_enqueued in
+      Metrics.observe h_queue_wait (waited *. 1e6);
+      let result =
+        if waited > t.request_timeout then begin
+          Metrics.incr m_timeouts;
+          Wire.Error
+            (Printf.sprintf "request timed out after %.1fs in the write queue"
+               waited)
+        end
+        else
+          Rw.with_write t.rw (fun () ->
+              t.ctx.Engine.user <- job.job_user;
+              match job.job_run () with
+              | resp ->
+                ignore (Journal.maybe_compact t.journal);
+                resp
+              | exception e -> error_response e)
+      in
+      finish job result;
+      next ()
+  in
+  next ()
+
+let submit t ~user run =
+  let job =
+    { job_user = user; job_run = run; job_enqueued = Unix.gettimeofday ();
+      job_m = Mutex.create (); job_c = Condition.create (); job_result = None }
+  in
+  Mutex.lock t.m;
+  let accepted = not t.stopping in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.broadcast t.queue_c
+  end;
+  Mutex.unlock t.m;
+  if not accepted then Wire.Error "server is shutting down"
+  else begin
+    Mutex.lock job.job_m;
+    while job.job_result = None do
+      Condition.wait job.job_c job.job_m
+    done;
+    Mutex.unlock job.job_m;
+    Option.get job.job_result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rows_of store iids =
+  List.map
+    (fun iid ->
+      { Wire.row_iid = iid; row_entity = Store.entity_of store iid;
+        row_meta = Store.meta_of store iid })
+    iids
+
+let nodes_with_entities flow nids =
+  List.map (fun nid -> (nid, Ddf_graph.Task_graph.entity_of flow nid)) nids
+
+(* Evaluate one request against a connection's session.  Shared-state
+   locking is the caller's business: mutations arrive here on the
+   writer thread, reads under the shared lock. *)
+let eval t session req =
+  let ctx = t.ctx in
+  let store = ctx.Engine.store in
+  match (req : Wire.request) with
+  | Wire.Hello _ | Wire.Ping | Wire.Shutdown -> Wire.Ok_unit
+  | Wire.Stat ->
+    Wire.Ok_stat
+      { Wire.st_clock = ctx.Engine.clock;
+        st_instances = Store.instance_count store;
+        st_records = History.size ctx.Engine.history;
+        st_store_tick = Store.tick store;
+        st_history_tick = History.tick ctx.Engine.history;
+        st_uptime_s = Unix.gettimeofday () -. t.started_at }
+  | Wire.Catalog Wire.Entities -> Wire.Ok_atoms (Session.entity_catalog session)
+  | Wire.Catalog Wire.Tools -> Wire.Ok_atoms (Session.tool_catalog session)
+  | Wire.Catalog Wire.Flows -> Wire.Ok_atoms (Session.flow_catalog session)
+  | Wire.Browse filter -> Wire.Ok_rows (rows_of store (Store.browse store filter))
+  | Wire.Install { entity; label; keywords; value } ->
+    let value = Ddf_persist.Codec.value_of_sexp value in
+    Wire.Ok_int (Engine.install ctx ~entity ~label ~keywords value)
+  | Wire.Annotate { iid; label; comment; keywords } ->
+    Store.annotate store iid ?label ?comment ?keywords ();
+    Wire.Ok_unit
+  | Wire.Start_goal entity -> Wire.Ok_int (Session.start_goal_based session entity)
+  | Wire.Start_data iid -> Wire.Ok_int (Session.start_data_based session iid)
+  | Wire.Expand nid ->
+    let fresh = Session.expand session nid in
+    Wire.Ok_nodes (nodes_with_entities (Session.current_flow session) fresh)
+  | Wire.Specialize (nid, sub) ->
+    Session.specialize session nid sub;
+    Wire.Ok_unit
+  | Wire.Select (nid, iids) ->
+    Session.select session nid iids;
+    Wire.Ok_unit
+  | Wire.Node_browse (nid, filter) ->
+    Wire.Ok_ints (Session.browse ~filter session nid)
+  | Wire.Leaves ->
+    let flow = Session.current_flow session in
+    Wire.Ok_nodes (nodes_with_entities flow (Ddf_graph.Task_graph.leaves flow))
+  | Wire.Run nid -> Wire.Ok_ints (Session.run session nid)
+  | Wire.Render -> Wire.Ok_text (Session.render_task_window session)
+  | Wire.Recall iid -> Wire.Ok_int (Session.recall session iid)
+  | Wire.Trace iid ->
+    let g, _, binding = Session.history_of session iid in
+    Wire.Ok_text
+      (Printf.sprintf "%s(%d instances in the derivation)\n"
+         (Ddf_graph.Task_graph.to_ascii g)
+         (List.length binding))
+  | Wire.Uses iid -> Wire.Ok_ints (Session.uses_of session iid)
+  | Wire.Refresh iid ->
+    let r = Ddf_exec.Consistency.refresh ctx iid in
+    Wire.Ok_refresh
+      { fresh = r.Ddf_exec.Consistency.fresh_instance;
+        reran = r.Ddf_exec.Consistency.reran;
+        reused = r.Ddf_exec.Consistency.reused }
+  | Wire.Save_flow name ->
+    Session.save_flow session name;
+    Wire.Ok_unit
+  | Wire.Load_flow name -> Wire.Ok_ints (Session.start_plan_based session name)
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_request t session ~conn_id ~user req =
+  Metrics.incr m_requests;
+  let t0 = if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6 in
+  let resp =
+    if Wire.is_mutation req then begin
+      Metrics.incr m_mutations;
+      submit t ~user:!user (fun () -> eval t session req)
+    end
+    else
+      match Rw.with_read t.rw (fun () -> eval t session req) with
+      | resp -> resp
+      | exception e -> error_response e
+  in
+  let dur_us =
+    (if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6)
+    -. t0
+  in
+  Metrics.observe h_request dur_us;
+  (match resp with Wire.Error _ -> Metrics.incr m_errors | _ -> ());
+  if Obs.enabled () then
+    Obs.complete ~cat:"server" ~tid:conn_id ~dur_us
+      ~attrs:
+        [ ("op", Obs.Str (Wire.request_name req)); ("user", Obs.Str !user);
+          ("ok", Obs.Bool (match resp with Wire.Error _ -> false | _ -> true)) ]
+      "server.request";
+  resp
+
+let remove_conn t conn_id =
+  Mutex.lock t.m;
+  t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns;
+  Mutex.unlock t.m
+
+let rec stop t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  let conns = t.conns in
+  Condition.broadcast t.queue_c;
+  Mutex.unlock t.m;
+  if not already then begin
+    (* unblock the accept loop and every reader; the accepter closes
+       the listening socket itself on the way out *)
+    (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    List.iter
+      (fun (_, fd) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns
+  end
+
+and connection_loop t fd conn_id =
+  let session = Session.of_context t.ctx in
+  let user = ref "anonymous" in
+  let rec loop () =
+    match Wire.recv fd with
+    | None -> ()
+    | Some sexp ->
+      let resp, continue =
+        match Wire.request_of_sexp sexp with
+        | exception Wire.Wire_error m -> (Wire.Error m, false)
+        | Wire.Hello u ->
+          user := u;
+          (serve_request t session ~conn_id ~user (Wire.Hello u), true)
+        | Wire.Shutdown ->
+          (serve_request t session ~conn_id ~user Wire.Shutdown, false)
+        | req -> (serve_request t session ~conn_id ~user req, true)
+      in
+      (match Wire.send fd (Wire.response_to_sexp resp) with
+      | () -> ()
+      | exception Wire.Wire_error _ -> ());
+      if continue then loop ()
+      else if
+        (* a Shutdown request stops the whole server after the reply *)
+        match Wire.request_of_sexp sexp with
+        | Wire.Shutdown -> true
+        | _ -> false
+        | exception Wire.Wire_error _ -> false
+      then stop t
+  in
+  (try loop () with
+  | Wire.Wire_error _ -> ()
+  | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  remove_conn t conn_id
+
+(* ------------------------------------------------------------------ *)
+(* Accepting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  let stopping () =
+    Mutex.lock t.m;
+    let s = t.stopping in
+    Mutex.unlock t.m;
+    s
+  in
+  (* Wait until a connection is pending or [stop] tickles the wake
+     pipe, so the loop never blocks inside [accept] itself. *)
+  let rec ready () =
+    match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+    | rs, _, _ -> List.mem t.listen_fd rs
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ready ()
+  in
+  let rec loop () =
+    if not (stopping ()) then begin
+      if not (ready ()) then loop ()
+      else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Metrics.incr m_connections;
+        Mutex.lock t.m;
+        let reject = t.stopping || List.length t.conns >= t.max_clients in
+        let conn_id = t.next_conn in
+        t.next_conn <- conn_id + 1;
+        if not reject then t.conns <- (conn_id, fd) :: t.conns;
+        Mutex.unlock t.m;
+        if reject then begin
+          Metrics.incr m_rejected;
+          (try
+             Wire.send fd
+               (Wire.response_to_sexp (Wire.Error "server is at capacity"))
+           with Wire.Wire_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          let th = Thread.create (fun () -> connection_loop t fd conn_id) () in
+          Mutex.lock t.m;
+          t.threads <- th :: t.threads;
+          Mutex.unlock t.m
+        end;
+        loop ()
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EBADF | Unix.EINVAL | Unix.EINTR | Unix.EAGAIN
+              | Unix.EWOULDBLOCK | Unix.ECONNABORTED ),
+              _, _ ) ->
+        (* signal, aborted handshake, or a spurious wakeup: re-check
+           the flag *)
+        loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?registry ?seed ?(max_clients = 64) ?(request_timeout = 30.0)
+    ?compact_every ~db ~socket schema =
+  let journal = Journal.open_ ?registry ?compact_every ~dir:db schema in
+  let ctx = Journal.context journal in
+  (match seed with
+  | Some f when Store.instance_count ctx.Engine.store = 0 -> f ctx
+  | Some _ | None -> ());
+  if Sys.file_exists socket then (
+    try Unix.unlink socket
+    with Unix.Unix_error _ -> server_errorf "cannot remove stale socket %s" socket);
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Journal.close journal;
+     server_errorf "cannot bind %s: %s" socket (Unix.error_message e));
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    { journal; ctx; rw = Rw.create (); socket_path = socket; listen_fd;
+      wake_r; wake_w;
+      max_clients; request_timeout; started_at = Unix.gettimeofday ();
+      m = Mutex.create (); stopping = false; conns = []; next_conn = 1;
+      threads = []; queue = Queue.create (); queue_c = Condition.create ();
+      writer = None; accepter = None }
+  in
+  t.writer <- Some (Thread.create writer_loop t);
+  t.accepter <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  Option.iter Thread.join t.accepter;
+  Option.iter Thread.join t.writer;
+  let rec drain () =
+    Mutex.lock t.m;
+    let ths = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.m;
+    match ths with
+    | [] -> ()
+    | ths ->
+      List.iter Thread.join ths;
+      drain ()
+  in
+  drain ();
+  Journal.close t.journal;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
+
+let run ?registry ?seed ?max_clients ?request_timeout ?compact_every ~db
+    ~socket schema =
+  let t =
+    start ?registry ?seed ?max_clients ?request_timeout ?compact_every ~db
+      ~socket schema
+  in
+  let on_signal _ = stop t in
+  let previous =
+    List.filter_map
+      (fun s ->
+        try Some (s, Sys.signal s (Sys.Signal_handle on_signal))
+        with Invalid_argument _ | Sys_error _ -> None)
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (s, old) -> try Sys.set_signal s old with _ -> ()) previous)
+    (fun () -> wait t)

@@ -1,0 +1,54 @@
+(** The Hercules design-server daemon.
+
+    One process owns a journaled design database
+    ({!Ddf_journal.Journal}) and serves the {!Ddf_wire.Wire} protocol
+    over a Unix-domain socket.  Each connection gets a reader thread
+    and its own {!Ddf_session.Session} (task window, flow catalog,
+    selections) over the one shared engine context; store/history
+    mutations funnel through a single-writer loop, while reads are
+    served concurrently from the connection threads under a shared
+    lock.  Every request is traced as a [server.request] span (lane =
+    connection id) and counted in the metrics registry; mutations
+    waiting longer than the request timeout in the write queue are
+    rejected.  Graceful shutdown drains the writer, closes the
+    connections and fsyncs the journal. *)
+
+exception Server_error of string
+
+type t
+
+val start :
+  ?registry:Ddf_tools.Encapsulation.registry ->
+  ?seed:(Ddf_exec.Engine.context -> unit) ->
+  ?max_clients:int ->
+  ?request_timeout:float ->
+  ?compact_every:int ->
+  db:string -> socket:string -> Ddf_schema.Schema.t -> t
+(** Open (or create) the database under [db], bind [socket] and start
+    accepting.  [seed] runs once — journaled — when the database is
+    empty (the CLI installs the standard tool catalog there).
+    [max_clients] (default 64) bounds concurrent connections;
+    [request_timeout] (default 30s) bounds a mutation's wait in the
+    write queue.  @raise Server_error when the socket cannot be
+    bound. *)
+
+val context : t -> Ddf_exec.Engine.context
+(** The shared engine context.  Not synchronized: use it only before
+    serving traffic or after {!wait} returns. *)
+
+val stop : t -> unit
+(** Initiate graceful shutdown (idempotent): stop accepting, unblock
+    readers, drain the write queue, fsync and close the journal. *)
+
+val wait : t -> unit
+(** Block until the server has fully shut down. *)
+
+val run :
+  ?registry:Ddf_tools.Encapsulation.registry ->
+  ?seed:(Ddf_exec.Engine.context -> unit) ->
+  ?max_clients:int ->
+  ?request_timeout:float ->
+  ?compact_every:int ->
+  db:string -> socket:string -> Ddf_schema.Schema.t -> unit
+(** {!start}, shut down on SIGINT/SIGTERM (or a [Shutdown] request),
+    {!wait}. *)

@@ -25,11 +25,16 @@ type 'a instance = {
   meta : meta;
 }
 
+type 'a event =
+  | Put of 'a instance * 'a
+  | Annotated of 'a instance
+
 type 'a t = {
   mutable next_iid : int;
   instances : (iid, 'a instance) Hashtbl.t;
   payloads : (string, 'a) Hashtbl.t;     (* content-addressed physical data *)
   by_entity : (string, iid list ref) Hashtbl.t;
+  mutable observer : ('a event -> unit) option;
 }
 
 exception Store_error of string
@@ -46,7 +51,22 @@ let create () =
     instances = Hashtbl.create 64;
     payloads = Hashtbl.create 64;
     by_entity = Hashtbl.create 16;
+    observer = None;
   }
+
+let tick store = store.next_iid
+
+let restore_tick store n =
+  if n < store.next_iid then
+    store_errorf "cannot move the instance counter back (%d < %d)" n
+      store.next_iid;
+  store.next_iid <- n
+
+let set_observer store f = store.observer <- Some f
+let clear_observer store = store.observer <- None
+
+let notify store ev =
+  match store.observer with None -> () | Some f -> f ev
 
 let meta ?(user = "designer") ?(label = "") ?(comment = "") ?(keywords = [])
     ~created_at () =
@@ -60,7 +80,8 @@ let put store ~entity ~hash ~meta payload =
     (* content-hash sharing: a second instance over the same datum *)
     Ddf_obs.Metrics.incr m_dedup
   else Hashtbl.add store.payloads hash payload;
-  Hashtbl.add store.instances iid { iid; entity; data_hash = hash; meta };
+  let inst = { iid; entity; data_hash = hash; meta } in
+  Hashtbl.add store.instances iid inst;
   let bucket =
     match Hashtbl.find_opt store.by_entity entity with
     | Some l -> l
@@ -70,6 +91,7 @@ let put store ~entity ~hash ~meta payload =
       l
   in
   bucket := iid :: !bucket;
+  notify store (Put (inst, payload));
   iid
 
 let find_opt store iid = Hashtbl.find_opt store.instances iid
@@ -96,7 +118,9 @@ let annotate store iid ?label ?comment ?keywords () =
       keywords = Option.value keywords ~default:m.keywords;
     }
   in
-  Hashtbl.replace store.instances iid { inst with meta = m }
+  let inst = { inst with meta = m } in
+  Hashtbl.replace store.instances iid inst;
+  notify store (Annotated inst)
 
 let instance_count store = Hashtbl.length store.instances
 

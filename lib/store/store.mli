@@ -56,6 +56,27 @@ val annotate :
 (** Update the designer-facing annotation of an instance (section 4.1:
     naming and documenting design steps). *)
 
+val tick : 'a t -> int
+(** The store's monotonic instance counter: the iid the next {!put}
+    will assign.  Exposed so journal replay and the design server can
+    restore the clock instead of re-deriving it from the contents. *)
+
+val restore_tick : 'a t -> int -> unit
+(** Reset the counter after a replay.  @raise Store_error when moving
+    the counter backwards (iids must stay unique). *)
+
+(** {1 Write observation (the journal's attachment point)} *)
+
+type 'a event =
+  | Put of 'a instance * 'a       (** a new instance was installed *)
+  | Annotated of 'a instance      (** an instance's meta changed *)
+
+val set_observer : 'a t -> ('a event -> unit) -> unit
+(** Install the single write observer, called synchronously after each
+    mutation commits.  The write-ahead journal subscribes here. *)
+
+val clear_observer : 'a t -> unit
+
 val instance_count : 'a t -> int
 
 val physical_count : 'a t -> int

@@ -1,0 +1,388 @@
+(* The Hercules design-server wire protocol: framed s-expressions over
+   a stream socket.
+
+   Framing is a fixed header line ("ddf1 <len>") followed by exactly
+   <len> payload bytes and a newline, so either side reads one message
+   with two exact reads and malformed peers are detected immediately.
+   The payload grammar reuses the persistence codecs (Workspace_file
+   meta form, Codec value form) so the network speaks the same dialect
+   as the disk. *)
+
+open Ddf_store
+module S = Ddf_persist.Sexp
+module W = Ddf_persist.Workspace_file
+
+exception Wire_error of string
+
+let wire_errorf fmt = Format.kasprintf (fun s -> raise (Wire_error s)) fmt
+
+type iid = Store.iid
+
+type catalog = Entities | Tools | Flows
+
+type request =
+  | Hello of string
+  | Ping
+  | Stat
+  | Catalog of catalog
+  | Browse of Store.filter
+  | Install of {
+      entity : string;
+      label : string;
+      keywords : string list;
+      value : S.t;
+    }
+  | Annotate of {
+      iid : iid;
+      label : string option;
+      comment : string option;
+      keywords : string list option;
+    }
+  | Start_goal of string
+  | Start_data of iid
+  | Expand of int
+  | Specialize of int * string
+  | Select of int * iid list
+  | Node_browse of int * Store.filter
+  | Leaves
+  | Run of int
+  | Render
+  | Recall of iid
+  | Trace of iid
+  | Uses of iid
+  | Refresh of iid
+  | Save_flow of string
+  | Load_flow of string
+  | Shutdown
+
+type stat = {
+  st_clock : int;
+  st_instances : int;
+  st_records : int;
+  st_store_tick : int;
+  st_history_tick : int;
+  st_uptime_s : float;
+}
+
+type instance_row = {
+  row_iid : iid;
+  row_entity : string;
+  row_meta : Store.meta;
+}
+
+type response =
+  | Ok_unit
+  | Ok_int of int
+  | Ok_ints of int list
+  | Ok_atoms of string list
+  | Ok_text of string
+  | Ok_nodes of (int * string) list
+  | Ok_rows of instance_row list
+  | Ok_stat of stat
+  | Ok_refresh of { fresh : iid; reran : int; reused : int }
+  | Error of string
+
+(* ------------------------------------------------------------------ *)
+(* Filters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Optional filter fields are present-or-absent fields of one
+   (filter ...) form. *)
+let filter_to_sexp (f : Store.filter) =
+  let fields = ref [] in
+  let add name items = fields := S.field name items :: !fields in
+  Option.iter (fun es -> add "entities" (List.map S.atom es)) f.Store.f_entities;
+  Option.iter (fun u -> add "user" [ S.atom u ]) f.Store.f_user;
+  Option.iter (fun t -> add "from" [ S.int t ]) f.Store.f_from;
+  Option.iter (fun t -> add "to" [ S.int t ]) f.Store.f_to;
+  if f.Store.f_keywords <> [] then
+    add "keywords" (List.map S.atom f.Store.f_keywords);
+  Option.iter (fun t -> add "text" [ S.atom t ]) f.Store.f_text;
+  S.field "filter" (List.rev !fields)
+
+let filter_of_sexp sexp =
+  match S.as_list sexp with
+  | S.Atom "filter" :: fields ->
+    let opt name f =
+      Option.map (fun items -> f (S.one name items))
+        (S.find_field_opt fields name)
+    in
+    {
+      Store.f_entities =
+        Option.map (List.map S.as_atom) (S.find_field_opt fields "entities");
+      f_user = opt "user" S.as_atom;
+      f_from = opt "from" S.as_int;
+      f_to = opt "to" S.as_int;
+      f_keywords =
+        (match S.find_field_opt fields "keywords" with
+        | Some ks -> List.map S.as_atom ks
+        | None -> []);
+      f_text = opt "text" S.as_atom;
+    }
+  | _ -> wire_errorf "malformed filter"
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_name = function
+  | Entities -> "entities"
+  | Tools -> "tools"
+  | Flows -> "flows"
+
+let request_to_sexp = function
+  | Hello user -> S.field "hello" [ S.atom user ]
+  | Ping -> S.atom "ping"
+  | Stat -> S.atom "stat"
+  | Catalog c -> S.field "catalog" [ S.atom (catalog_name c) ]
+  | Browse f -> S.field "browse" [ filter_to_sexp f ]
+  | Install { entity; label; keywords; value } ->
+    S.field "install"
+      [ S.atom entity; S.atom label; S.list (List.map S.atom keywords); value ]
+  | Annotate { iid; label; comment; keywords } ->
+    let fields = ref [] in
+    Option.iter (fun l -> fields := S.field "label" [ S.atom l ] :: !fields) label;
+    Option.iter
+      (fun c -> fields := S.field "comment" [ S.atom c ] :: !fields)
+      comment;
+    Option.iter
+      (fun ks -> fields := S.field "keywords" (List.map S.atom ks) :: !fields)
+      keywords;
+    S.field "annotate" (S.int iid :: List.rev !fields)
+  | Start_goal entity -> S.field "start-goal" [ S.atom entity ]
+  | Start_data iid -> S.field "start-data" [ S.int iid ]
+  | Expand nid -> S.field "expand" [ S.int nid ]
+  | Specialize (nid, sub) -> S.field "specialize" [ S.int nid; S.atom sub ]
+  | Select (nid, iids) ->
+    S.field "select" [ S.int nid; S.list (List.map S.int iids) ]
+  | Node_browse (nid, f) -> S.field "node-browse" [ S.int nid; filter_to_sexp f ]
+  | Leaves -> S.atom "leaves"
+  | Run nid -> S.field "run" [ S.int nid ]
+  | Render -> S.atom "render"
+  | Recall iid -> S.field "recall" [ S.int iid ]
+  | Trace iid -> S.field "trace" [ S.int iid ]
+  | Uses iid -> S.field "uses" [ S.int iid ]
+  | Refresh iid -> S.field "refresh" [ S.int iid ]
+  | Save_flow name -> S.field "save-flow" [ S.atom name ]
+  | Load_flow name -> S.field "load-flow" [ S.atom name ]
+  | Shutdown -> S.atom "shutdown"
+
+let request_of_sexp sexp =
+  match sexp with
+  | S.Atom "ping" -> Ping
+  | S.Atom "stat" -> Stat
+  | S.Atom "leaves" -> Leaves
+  | S.Atom "render" -> Render
+  | S.Atom "shutdown" -> Shutdown
+  | S.List (S.Atom name :: args) -> (
+    match (name, args) with
+    | "hello", [ user ] -> Hello (S.as_atom user)
+    | "catalog", [ S.Atom "entities" ] -> Catalog Entities
+    | "catalog", [ S.Atom "tools" ] -> Catalog Tools
+    | "catalog", [ S.Atom "flows" ] -> Catalog Flows
+    | "browse", [ f ] -> Browse (filter_of_sexp f)
+    | "install", [ entity; label; keywords; value ] ->
+      Install
+        { entity = S.as_atom entity; label = S.as_atom label;
+          keywords = List.map S.as_atom (S.as_list keywords); value }
+    | "annotate", iid :: fields ->
+      let opt name f =
+        Option.map (fun items -> f (S.one name items))
+          (S.find_field_opt fields name)
+      in
+      Annotate
+        { iid = S.as_int iid; label = opt "label" S.as_atom;
+          comment = opt "comment" S.as_atom;
+          keywords =
+            Option.map (List.map S.as_atom) (S.find_field_opt fields "keywords") }
+    | "start-goal", [ e ] -> Start_goal (S.as_atom e)
+    | "start-data", [ iid ] -> Start_data (S.as_int iid)
+    | "expand", [ nid ] -> Expand (S.as_int nid)
+    | "specialize", [ nid; sub ] -> Specialize (S.as_int nid, S.as_atom sub)
+    | "select", [ nid; iids ] ->
+      Select (S.as_int nid, List.map S.as_int (S.as_list iids))
+    | "node-browse", [ nid; f ] -> Node_browse (S.as_int nid, filter_of_sexp f)
+    | "run", [ nid ] -> Run (S.as_int nid)
+    | "recall", [ iid ] -> Recall (S.as_int iid)
+    | "trace", [ iid ] -> Trace (S.as_int iid)
+    | "uses", [ iid ] -> Uses (S.as_int iid)
+    | "refresh", [ iid ] -> Refresh (S.as_int iid)
+    | "save-flow", [ n ] -> Save_flow (S.as_atom n)
+    | "load-flow", [ n ] -> Load_flow (S.as_atom n)
+    | _ -> wire_errorf "unknown request %S" name)
+  | _ -> wire_errorf "malformed request"
+
+let request_name = function
+  | Hello _ -> "hello"
+  | Ping -> "ping"
+  | Stat -> "stat"
+  | Catalog _ -> "catalog"
+  | Browse _ -> "browse"
+  | Install _ -> "install"
+  | Annotate _ -> "annotate"
+  | Start_goal _ -> "start-goal"
+  | Start_data _ -> "start-data"
+  | Expand _ -> "expand"
+  | Specialize _ -> "specialize"
+  | Select _ -> "select"
+  | Node_browse _ -> "node-browse"
+  | Leaves -> "leaves"
+  | Run _ -> "run"
+  | Render -> "render"
+  | Recall _ -> "recall"
+  | Trace _ -> "trace"
+  | Uses _ -> "uses"
+  | Refresh _ -> "refresh"
+  | Save_flow _ -> "save-flow"
+  | Load_flow _ -> "load-flow"
+  | Shutdown -> "shutdown"
+
+(* Mutations of the shared store/history/clock go through the
+   single-writer loop; everything else (including task-window editing,
+   which touches only the per-connection session) is a read. *)
+let is_mutation = function
+  | Install _ | Annotate _ | Run _ | Recall _ | Refresh _ -> true
+  | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
+  | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
+  | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_sexp r =
+  S.list [ S.int r.row_iid; S.atom r.row_entity; W.meta_to_sexp r.row_meta ]
+
+let row_of_sexp sexp =
+  match S.as_list sexp with
+  | [ iid; entity; meta ] ->
+    { row_iid = S.as_int iid; row_entity = S.as_atom entity;
+      row_meta =
+        (try W.meta_of_sexp meta
+         with W.Persist_error m -> wire_errorf "row meta: %s" m) }
+  | _ -> wire_errorf "malformed instance row"
+
+let response_to_sexp = function
+  | Ok_unit -> S.atom "ok"
+  | Ok_int n -> S.field "ok-int" [ S.int n ]
+  | Ok_ints ns -> S.field "ok-ints" (List.map S.int ns)
+  | Ok_atoms l -> S.field "ok-atoms" (List.map S.atom l)
+  | Ok_text t -> S.field "ok-text" [ S.atom t ]
+  | Ok_nodes l ->
+    S.field "ok-nodes"
+      (List.map (fun (nid, e) -> S.list [ S.int nid; S.atom e ]) l)
+  | Ok_rows rows -> S.field "ok-rows" (List.map row_to_sexp rows)
+  | Ok_stat st ->
+    S.field "ok-stat"
+      [ S.int st.st_clock; S.int st.st_instances; S.int st.st_records;
+        S.int st.st_store_tick; S.int st.st_history_tick;
+        S.float st.st_uptime_s ]
+  | Ok_refresh { fresh; reran; reused } ->
+    S.field "ok-refresh" [ S.int fresh; S.int reran; S.int reused ]
+  | Error m -> S.field "error" [ S.atom m ]
+
+let response_of_sexp sexp =
+  match sexp with
+  | S.Atom "ok" -> Ok_unit
+  | S.List (S.Atom name :: args) -> (
+    match (name, args) with
+    | "ok-int", [ n ] -> Ok_int (S.as_int n)
+    | "ok-ints", ns -> Ok_ints (List.map S.as_int ns)
+    | "ok-atoms", l -> Ok_atoms (List.map S.as_atom l)
+    | "ok-text", [ t ] -> Ok_text (S.as_atom t)
+    | "ok-nodes", l ->
+      Ok_nodes
+        (List.map
+           (fun s ->
+             match S.as_list s with
+             | [ nid; e ] -> (S.as_int nid, S.as_atom e)
+             | _ -> wire_errorf "malformed node")
+           l)
+    | "ok-rows", rows -> Ok_rows (List.map row_of_sexp rows)
+    | "ok-stat", [ c; i; r; sti; hti; up ] ->
+      Ok_stat
+        { st_clock = S.as_int c; st_instances = S.as_int i;
+          st_records = S.as_int r; st_store_tick = S.as_int sti;
+          st_history_tick = S.as_int hti; st_uptime_s = S.as_float up }
+    | "ok-refresh", [ f; re; ru ] ->
+      Ok_refresh
+        { fresh = S.as_int f; reran = S.as_int re; reused = S.as_int ru }
+    | "error", [ m ] -> Error (S.as_atom m)
+    | _ -> wire_errorf "unknown response %S" name)
+  | _ -> wire_errorf "malformed response"
+
+(* ------------------------------------------------------------------ *)
+(* Framed socket I/O                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | 0 -> wire_errorf "peer closed the connection mid-write"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+        wire_errorf "peer closed the connection"
+  in
+  go 0
+
+let send fd sexp =
+  let payload = S.to_string sexp in
+  let msg = Printf.sprintf "ddf1 %d\n%s\n" (String.length payload) payload in
+  write_all fd (Bytes.of_string msg)
+
+(* Read exactly [n] bytes; [None] when the stream ends cleanly at a
+   message boundary (off = 0). *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then None else wire_errorf "truncated frame"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        if off = 0 then None else wire_errorf "connection reset mid-frame"
+  in
+  go 0
+
+let read_header_line fd =
+  let buf = Buffer.create 24 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else wire_errorf "truncated header"
+    | _ ->
+      if Bytes.get byte 0 = '\n' then Some (Buffer.contents buf)
+      else begin
+        if Buffer.length buf > 64 then wire_errorf "oversized frame header";
+        Buffer.add_char buf (Bytes.get byte 0);
+        go ()
+      end
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+  in
+  go ()
+
+let recv fd =
+  match read_header_line fd with
+  | None -> None
+  | Some header -> (
+    match String.split_on_char ' ' header with
+    | [ "ddf1"; len ] -> (
+      let len =
+        match int_of_string_opt len with
+        | Some n when n >= 0 && n <= max_frame -> n
+        | Some _ | None -> wire_errorf "bad frame length %S" len
+      in
+      match read_exact fd (len + 1) with
+      | None -> wire_errorf "truncated frame"
+      | Some bytes ->
+        if Bytes.get bytes len <> '\n' then wire_errorf "missing frame terminator";
+        let payload = Bytes.sub_string bytes 0 len in
+        (try Some (S.of_string payload)
+         with S.Sexp_error m -> wire_errorf "payload: %s" m))
+    | _ -> wire_errorf "bad frame header %S" header)

@@ -1,0 +1,104 @@
+(** The Hercules design-server wire protocol.
+
+    Requests and responses are s-expressions, framed on the socket as
+
+    {v ddf1 <payload-bytes>\n<payload>\n v}
+
+    so both sides can read exactly one message without scanning.  The
+    request surface mirrors {!Ddf_session.Session}: catalog queries,
+    task-window construction (expand / specialize / select), execution,
+    history queries and consistency refresh — plus auth-lite client
+    identity ([Hello]) that the server maps onto [Store.meta.user] for
+    every mutation the client performs. *)
+
+exception Wire_error of string
+
+type iid = Ddf_store.Store.iid
+
+type catalog = Entities | Tools | Flows
+
+type request =
+  | Hello of string                      (** client identity (user) *)
+  | Ping
+  | Stat
+  | Catalog of catalog
+  | Browse of Ddf_store.Store.filter     (** whole-store browse *)
+  | Install of {
+      entity : string;
+      label : string;
+      keywords : string list;
+      value : Ddf_persist.Sexp.t;        (** {!Ddf_persist.Codec} form *)
+    }
+  | Annotate of {
+      iid : iid;
+      label : string option;
+      comment : string option;
+      keywords : string list option;
+    }
+  | Start_goal of string
+  | Start_data of iid
+  | Expand of int
+  | Specialize of int * string
+  | Select of int * iid list
+  | Node_browse of int * Ddf_store.Store.filter
+  | Leaves                               (** current flow's leaves *)
+  | Run of int
+  | Render                               (** ASCII task window *)
+  | Recall of iid
+  | Trace of iid                         (** derivation trace, rendered *)
+  | Uses of iid
+  | Refresh of iid                       (** [Consistency.refresh] *)
+  | Save_flow of string
+  | Load_flow of string
+  | Shutdown
+
+type stat = {
+  st_clock : int;
+  st_instances : int;
+  st_records : int;
+  st_store_tick : int;
+  st_history_tick : int;
+  st_uptime_s : float;
+}
+
+type instance_row = {
+  row_iid : iid;
+  row_entity : string;
+  row_meta : Ddf_store.Store.meta;
+}
+
+type response =
+  | Ok_unit
+  | Ok_int of int                        (** fresh node / instance id *)
+  | Ok_ints of int list                  (** node or instance ids *)
+  | Ok_atoms of string list              (** catalog names *)
+  | Ok_text of string                    (** rendered window / trace *)
+  | Ok_nodes of (int * string) list      (** node id, entity *)
+  | Ok_rows of instance_row list
+  | Ok_stat of stat
+  | Ok_refresh of { fresh : iid; reran : int; reused : int }
+  | Error of string
+
+val request_to_sexp : request -> Ddf_persist.Sexp.t
+val request_of_sexp : Ddf_persist.Sexp.t -> request
+(** @raise Wire_error on malformed input. *)
+
+val response_to_sexp : response -> Ddf_persist.Sexp.t
+val response_of_sexp : Ddf_persist.Sexp.t -> response
+
+val request_name : request -> string
+(** Stable short name for tracing and metrics ("run", "browse", ...). *)
+
+val is_mutation : request -> bool
+(** Must the request go through the single-writer engine loop?
+    Session-window operations (expand/select/...) mutate only the
+    per-connection session and count as reads of the shared store. *)
+
+(** {1 Framed socket I/O} *)
+
+val send : Unix.file_descr -> Ddf_persist.Sexp.t -> unit
+(** Write one framed message. @raise Wire_error on a closed peer. *)
+
+val recv : Unix.file_descr -> Ddf_persist.Sexp.t option
+(** Read one framed message; [None] on clean end-of-stream.
+    @raise Wire_error on framing violations. *)

@@ -1,0 +1,213 @@
+(* The write-ahead journal: durable replay, torn-tail crash recovery,
+   snapshot compaction. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let dir_counter = ref 0
+
+(* A fresh scratch database directory per test. *)
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddf-journal-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* The whole durable surface in one comparable string: instances with
+   meta-data and payloads, history records, the clock.  The session
+   [user] header is per-connection identity, not durable state (a
+   server rebinds it on every mutation), so it is normalized out. *)
+let state ctx =
+  Persist.save (Session.of_context ctx)
+  |> String.split_on_char '\n'
+  |> List.map (fun line ->
+         if String.length line >= 7 && String.sub line 0 7 = " (user " then
+           " (user _)"
+         else line)
+  |> String.concat "\n"
+
+(* Drive a journaled context through the kind of work a session does:
+   tool installs (via the workspace wrapper), netlist installs, edit
+   tasks through the engine, annotations. Returns the version chain. *)
+let activity ?(seed = 7) ctx n =
+  let w = Workspace.of_session (Session.of_context ctx) in
+  let v0 =
+    Workspace.install_netlist w
+      (Eda.Circuits.random ~n_inputs:3 ~n_gates:6 (Eda.Rng.create seed))
+  in
+  let versions = ref [ v0 ] in
+  for i = 1 to n do
+    let base = List.hd !versions in
+    let es =
+      Workspace.install_editor_session w
+        (Eda.Edit_script.create
+           ~name:(Printf.sprintf "e%d" i)
+           [ Eda.Edit_script.Rename (Printf.sprintf "v%d" i) ])
+    in
+    let g, out = Task_graph.create (Workspace.schema w) E.edited_netlist in
+    let g, fresh = Task_graph.expand g out in
+    let editor, src =
+      match fresh with [ a; b ] -> (a, b) | _ -> assert false
+    in
+    let run =
+      Engine.execute (Workspace.ctx w) g
+        ~bindings:[ (editor, es); (src, base) ]
+    in
+    versions := Engine.result_of run out :: !versions
+  done;
+  !versions
+
+let reopened_equals dir reference =
+  let j = Journal.open_ ~dir Standard_schemas.odyssey in
+  let s = state (Journal.context j) in
+  Journal.close j;
+  Alcotest.(check string) "replayed state" reference s
+
+let basics =
+  [
+    Alcotest.test_case "replay reconstructs the context" `Quick (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 5);
+        Store.annotate ctx.Engine.store 1 ~label:"renamed" ~comment:"note"
+          ~keywords:[ "k1"; "k2" ] ();
+        let before = state ctx in
+        Journal.close j;
+        reopened_equals dir before);
+    Alcotest.test_case "replay restores ticks and clock" `Quick (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 3);
+        let st = Store.tick ctx.Engine.store
+        and ht = History.tick ctx.Engine.history
+        and clock = ctx.Engine.clock in
+        Journal.close j;
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        Alcotest.(check int) "store tick" st (Store.tick ctx.Engine.store);
+        Alcotest.(check int) "history tick" ht (History.tick ctx.Engine.history);
+        Alcotest.(check int) "clock" clock ctx.Engine.clock;
+        (* and new ids continue densely after the replay *)
+        let iid =
+          Engine.install ctx ~entity:E.stimuli ~label:"more"
+            (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ]))
+        in
+        Alcotest.(check int) "next iid" st iid;
+        Journal.close j);
+    Alcotest.test_case "abandoned journal (crash) still replays" `Quick
+      (fun () ->
+        with_dir @@ fun dir ->
+        (* no [close], no fsync: mimic a killed process.  Appends are
+           flushed per entry, so everything written must replay. *)
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 4);
+        let before = state ctx in
+        reopened_equals dir before);
+  ]
+
+let torn_tail =
+  [
+    Alcotest.test_case "torn tail is truncated, prefix survives" `Quick
+      (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 3);
+        let before = state ctx in
+        Journal.close j;
+        (* half an entry at the end: a frame header promising more
+           bytes than exist *)
+        let wal = Filename.concat dir "wal.ddf" in
+        let oc = open_out_gen [ Open_append ] 0o644 wal in
+        output_string oc "J1 5000 0123456789abcdef0123456789abcdef\n(put";
+        close_out oc;
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        Alcotest.(check bool) "tail dropped" true (Journal.truncated_on_open j > 0);
+        Alcotest.(check string) "prefix state" before (state (Journal.context j));
+        (* the journal stays writable after recovery *)
+        ignore
+          (Engine.install (Journal.context j) ~entity:E.stimuli ~label:"after"
+             (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])));
+        let after = state (Journal.context j) in
+        Journal.close j;
+        reopened_equals dir after);
+    Alcotest.test_case "corrupted checksum in the tail is dropped" `Quick
+      (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore
+          (Engine.install ctx ~entity:E.stimuli ~label:"one"
+             (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])));
+        let before = state ctx in
+        let wal = Filename.concat dir "wal.ddf" in
+        let size = (Unix.stat wal).Unix.st_size in
+        ignore
+          (Engine.install ctx ~entity:E.stimuli ~label:"two"
+             (Value.Stimuli (Eda.Stimuli.exhaustive [ "b" ])));
+        Journal.close j;
+        (* flip one payload byte of the last entry *)
+        let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.lseek fd (size + 40) Unix.SEEK_SET);
+        ignore (Unix.write fd (Bytes.of_string "#") 0 1);
+        Unix.close fd;
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        Alcotest.(check bool) "tail dropped" true (Journal.truncated_on_open j > 0);
+        Alcotest.(check string) "prefix state" before (state (Journal.context j));
+        Journal.close j);
+  ]
+
+let compaction =
+  [
+    Alcotest.test_case "compact folds the log into the snapshot" `Quick
+      (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 4);
+        let before = state ctx in
+        Journal.compact j;
+        Alcotest.(check int) "log emptied" 0 (Journal.entries_since_snapshot j);
+        Alcotest.(check bool) "snapshot exists" true
+          (Sys.file_exists (Filename.concat dir "snapshot.ddf"));
+        (* post-compaction writes land in the fresh log *)
+        ignore (activity ~seed:99 ctx 2);
+        let after = state ctx in
+        Alcotest.(check bool) "state advanced" true (before <> after);
+        Journal.close j;
+        reopened_equals dir after);
+    Alcotest.test_case "maybe_compact honors the threshold" `Quick (fun () ->
+        with_dir @@ fun dir ->
+        let j =
+          Journal.open_ ~compact_every:5 ~dir Standard_schemas.odyssey
+        in
+        let ctx = Journal.context j in
+        ignore (activity ctx 6);
+        (* activity wrote well over 5 entries *)
+        Alcotest.(check bool) "over threshold" true
+          (Journal.entries_since_snapshot j >= 5);
+        Alcotest.(check bool) "compacted" true (Journal.maybe_compact j);
+        Alcotest.(check int) "log emptied" 0 (Journal.entries_since_snapshot j);
+        Alcotest.(check bool) "below threshold now" false
+          (Journal.maybe_compact j);
+        let final = state ctx in
+        Journal.close j;
+        reopened_equals dir final);
+  ]
+
+let suite = [ ("journal", basics @ torn_tail @ compaction) ]

@@ -198,10 +198,36 @@ let blif_props =
         Value.hash v = Value.hash v2);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Journal replay is the identity on generated contexts               *)
+(* ------------------------------------------------------------------ *)
+
+let journal_props =
+  let gen = QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 6)) in
+  [
+    Util.qcheck ~count:12 "journal round-trips generated contexts" gen
+      (fun (seed, depth) ->
+        Test_journal.with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (Test_journal.activity ~seed ctx depth);
+        Store.annotate ctx.Engine.store
+          (1 + (seed mod Store.instance_count ctx.Engine.store))
+          ~label:(Printf.sprintf "a%d" seed)
+          ~keywords:[ "generated" ] ();
+        let before = Test_journal.state ctx in
+        Journal.close j;
+        let j2 = Journal.open_ ~dir Standard_schemas.odyssey in
+        let after = Test_journal.state (Journal.context j2) in
+        Journal.close j2;
+        before = after);
+  ]
+
 let suite =
   [
     ("properties.history", history_laws);
     ("properties.lvs", lvs_mutation);
     ("properties.freedom", freedom_checks);
     ("properties.blif", blif_props);
+    ("properties.journal", journal_props);
   ]
