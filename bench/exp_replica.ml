@@ -1,0 +1,147 @@
+(* Experiment R: journal-shipping replication.
+
+   A primary with F followers on scratch databases; a writer thread
+   installs through the primary while reader threads browse.  Two
+   questions:
+
+     - read scaling: browse throughput with reads pinned to the
+       primary vs spread round-robin over the followers (the pool's
+       read path);
+     - apply lag: how far a follower's journal trails the primary's,
+       sampled after every write, reported as p50/p99 in entries.
+
+   Both are exported as gauges for --json. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddf-bench-replica-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let seed ctx =
+  ignore (Workspace.of_session (Session.of_context ctx))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let n_followers = 2
+let n_readers = 4
+let n_writes = 30
+let reads_per_thread = 80
+
+let no_filter =
+  { Store.f_entities = None; f_user = None; f_from = None; f_to = None;
+    f_keywords = []; f_text = None }
+
+(* [reads_per_thread] browses per reader thread over the given
+   endpoints; returns sustained reads/sec.  Pools, like clients, are
+   not thread-safe: one per thread. *)
+let read_throughput endpoints =
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init n_readers (fun i ->
+        Thread.create
+          (fun () ->
+            let pool =
+              Client.Pool.connect
+                ~user:(Printf.sprintf "bench-reader%d" i)
+                endpoints
+            in
+            for _ = 1 to reads_per_thread do
+              ignore
+                (Client.Pool.read pool (fun c -> Client.browse c no_filter))
+            done;
+            Client.Pool.close pool)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  float_of_int (n_readers * reads_per_thread) /. wall
+
+let run () =
+  Bench_util.section
+    (Printf.sprintf
+       "replication: 1 primary + %d followers, %d writes, %d reader threads"
+       n_followers n_writes n_readers);
+  let root = fresh_dir () in
+  Unix.mkdir root 0o755;
+  let psock = Filename.concat root "p.sock" in
+  let p =
+    Server.start ~seed
+      ~db:(Filename.concat root "p")
+      ~socket:psock Standard_schemas.odyssey
+  in
+  let followers =
+    List.init n_followers (fun i ->
+        let sock = Filename.concat root (Printf.sprintf "f%d.sock" i) in
+        ( Server.start ~follow:psock
+            ~db:(Filename.concat root (Printf.sprintf "f%d" i))
+            ~socket:sock Standard_schemas.odyssey,
+          sock ))
+  in
+  let fsocks = List.map snd followers in
+  (* writes on the primary, sampling each follower's lag (in journal
+     entries) right after every install *)
+  let lags = ref [] in
+  Client.with_client ~user:"bench-writer" ~socket:psock (fun cp ->
+      let cfs =
+        List.map (fun s -> Client.connect ~user:"bench-lag" ~socket:s ()) fsocks
+      in
+      for j = 1 to n_writes do
+        ignore
+          (Client.install cp ~entity:E.stimuli
+             ~label:(Printf.sprintf "w%d" j)
+             (Codec.value_to_sexp
+                (Value.Stimuli (Eda.Stimuli.exhaustive [ "a"; "b" ]))));
+        let pseq = (Client.stat cp).Wire.st_seq in
+        List.iter
+          (fun cf ->
+            let fseq = (Client.stat cf).Wire.st_seq in
+            lags := float_of_int (max 0 (pseq - fseq)) :: !lags)
+          cfs
+      done;
+      (* let the set catch up before the read comparison *)
+      let rec settle n =
+        let pseq = (Client.stat cp).Wire.st_seq in
+        if
+          n > 0
+          && List.exists (fun cf -> (Client.stat cf).Wire.st_seq < pseq) cfs
+        then begin
+          Thread.delay 0.02;
+          settle (n - 1)
+        end
+      in
+      settle 250;
+      List.iter Client.close cfs);
+  let primary_rps = read_throughput [ psock ] in
+  let replica_rps = read_throughput (psock :: fsocks) in
+  List.iter (fun (f, _) -> Server.stop f; Server.wait f) followers;
+  Server.stop p;
+  Server.wait p;
+  rm_rf root;
+  let lag = Array.of_list !lags in
+  Array.sort compare lag;
+  let p50 = percentile lag 0.50 and p99 = percentile lag 0.99 in
+  Printf.printf "  reads: primary only %.0f req/s, with %d followers %.0f req/s (%.2fx)\n"
+    primary_rps n_followers replica_rps (replica_rps /. primary_rps);
+  Printf.printf "  apply lag p50 %.0f entries, p99 %.0f entries (%d samples)\n"
+    p50 p99 (Array.length lag);
+  Metrics.set (Metrics.gauge "replica.bench.primary_rps") primary_rps;
+  Metrics.set (Metrics.gauge "replica.bench.replica_rps") replica_rps;
+  Metrics.set (Metrics.gauge "replica.bench.lag_p50") p50;
+  Metrics.set (Metrics.gauge "replica.bench.lag_p99") p99

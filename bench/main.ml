@@ -22,6 +22,7 @@ let experiments =
     ("E11", "Fig. 11: versioning", Exp_fig11.run);
     ("A", "ablations A1-A4", Exp_ablations.run);
     ("S", "design server: wire throughput and latency", Exp_server.run);
+    ("R", "replication: read scaling and apply lag", Exp_replica.run);
   ]
 
 let () =

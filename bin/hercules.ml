@@ -700,7 +700,19 @@ let serve_cmd =
           ~doc:"Open the database, replay the journal, print a summary and \
                 exit without serving.")
   in
-  let run db socket compact_every request_timeout max_clients replay_only obs =
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"PRIMARY_SOCKET"
+          ~doc:
+            "Run as a read-only replication follower of the primary \
+             listening on $(docv): subscribe to its journal stream, apply \
+             every entry locally (crash-safe, promotable) and serve reads; \
+             writes are rejected with a pointer to the primary.")
+  in
+  let run db socket follow compact_every request_timeout max_clients
+      replay_only obs =
     let socket =
       match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
     in
@@ -719,9 +731,13 @@ let serve_cmd =
     end
     else begin
       with_obs ~locked:true obs @@ fun () ->
-      Printf.printf "hercules: serving %s on %s\n%!" db socket;
+      (match follow with
+      | None -> Printf.printf "hercules: serving %s on %s\n%!" db socket
+      | Some primary ->
+        Printf.printf "hercules: serving %s on %s (following %s)\n%!" db
+          socket primary);
       match
-        Server.run ~seed:seed_database ~max_clients ~request_timeout
+        Server.run ~seed:seed_database ?follow ~max_clients ~request_timeout
           ~compact_every ~db ~socket Standard_schemas.odyssey
       with
       | () -> print_endline "hercules: shut down"
@@ -737,9 +753,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the design-server daemon: a journaled store shared by \
-          concurrent $(b,hercules remote) clients.")
+          concurrent $(b,hercules remote) clients — as the primary, or as a \
+          read-scaling replication follower ($(b,--follow)).")
     Term.(
-      const run $ db_arg $ socket $ compact_every $ request_timeout
+      const run $ db_arg $ socket $ follow $ compact_every $ request_timeout
       $ max_clients $ replay_only $ obs_term)
 
 (* ------------------------------------------------------------------ *)
@@ -760,13 +777,16 @@ let remote_user_arg =
         ~doc:"Identity stamped on instances this session creates (default \
               \\$USER).")
 
+(* Remote verbs ride out a daemon restart or failover: a few redials
+   with backoff, and a per-request timeout so a wedged server fails
+   the verb instead of hanging it. *)
 let with_remote socket user f =
   let user =
     match user with
     | Some u -> u
     | None -> Sys.getenv_opt "USER" |> Option.value ~default:"anonymous"
   in
-  match Client.with_client ~user ~socket f with
+  match Client.with_client ~user ~retries:4 ~timeout:30.0 ~socket f with
   | v -> v
   | exception Client.Client_error m ->
     Printf.eprintf "error: %s\n" m;
@@ -800,6 +820,8 @@ let remote_stat_cmd =
   let run socket user =
     with_remote socket user @@ fun c ->
     let s = Client.stat c in
+    Printf.printf "role         %s\nseq          %d\n" s.Wire.st_role
+      s.Wire.st_seq;
     Printf.printf "clock        %d\ninstances    %d\nrecords      %d\n"
       s.Wire.st_clock s.Wire.st_instances s.Wire.st_records;
     Printf.printf "store tick   %d\nhistory tick %d\nuptime       %.1f s\n"
@@ -807,6 +829,37 @@ let remote_stat_cmd =
   in
   Cmd.v
     (Cmd.info "stat" ~doc:"Server store/history/clock statistics.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_lag_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    let primary_seq, rows = Client.lag c in
+    Printf.printf "journal seq %d, %d follower(s)\n" primary_seq
+      (List.length rows);
+    List.iter
+      (fun r ->
+        Printf.printf "%-24s acked %-8d sent %-8d lag %d\n" r.Wire.lag_follower
+          r.Wire.lag_acked r.Wire.lag_sent
+          (primary_seq - r.Wire.lag_acked))
+      rows
+  in
+  Cmd.v
+    (Cmd.info "lag"
+       ~doc:"Replication lag: the journal seqno and each follower's \
+             acked/sent watermarks.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_compact_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    Client.compact c;
+    let s = Client.stat c in
+    Printf.printf "compacted at seq %d\n" s.Wire.st_seq
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Fold the server's journal into a fresh snapshot now.")
     Term.(const run $ remote_socket_arg $ remote_user_arg)
 
 let remote_catalog_cmd =
@@ -1020,7 +1073,8 @@ let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
        ~doc:"Talk to a $(b,hercules serve) daemon over its socket.")
-    [ remote_ping_cmd; remote_stat_cmd; remote_catalog_cmd; remote_browse_cmd;
+    [ remote_ping_cmd; remote_stat_cmd; remote_lag_cmd; remote_compact_cmd;
+      remote_catalog_cmd; remote_browse_cmd;
       remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
       remote_shutdown_cmd ]
 

@@ -1,6 +1,19 @@
 (* Typed client: one socket, blocking request/response.  All the
    interesting protocol work (framing, codecs) lives in Ddf_wire; this
-   module is the thin typed veneer the CLI and tests use. *)
+   module is the thin typed veneer the CLI and tests use.
+
+   Resilience: a client remembers how it connected, so when the
+   transport fails (daemon restart, failover) it can redial with
+   bounded exponential backoff and retry the request — up to [retries]
+   attempts, default 0 (fail fast, the historical behaviour).  Only
+   transport failures are retried; an [Error] response from the server
+   is the answer, never a reason to reconnect.  [timeout] arms
+   [SO_RCVTIMEO], so a request stuck behind a wedged daemon returns a
+   timeout error instead of hanging; the connection is dropped (the
+   reply could arrive late and desynchronize the stream) and redialed
+   on the next call.  With [retries > 0], a mutation whose connection
+   died mid-call may be delivered more than once — at-least-once, like
+   re-running the CLI verb by hand. *)
 
 module Wire = Ddf_wire.Wire
 
@@ -9,22 +22,118 @@ exception Client_error of string
 let client_errorf fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
 
 type t = {
-  fd : Unix.file_descr;
+  socket : string;
   c_user : string;
+  c_version : int;
+  c_timeout : float option;
+  c_retries : int;
+  mutable fd : Unix.file_descr option;
   mutable closed : bool;
 }
 
 let user t = t.c_user
 
-let call t req =
+let backoff_initial = 0.05
+let backoff_max = 1.0
+
+let drop t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* One dial attempt: socket, connect, hello.  The server answers the
+   hello with Ok_unit, or refuses (version mismatch, capacity) with an
+   Error we surface verbatim — and never retry. *)
+let dial t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise (Client_error s))
+      fmt
+  in
+  (match Unix.connect fd (Unix.ADDR_UNIX t.socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    fail "cannot connect to %s: %s" t.socket (Unix.error_message e));
+  (match t.c_timeout with
+  | Some s -> (
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | None -> ());
+  (match
+     Wire.send fd
+       (Wire.request_to_sexp
+          (Wire.Hello { user = t.c_user; version = t.c_version }));
+     Wire.recv fd
+   with
+  | Some sexp -> (
+    match Wire.response_of_sexp sexp with
+    | Wire.Ok_unit -> ()
+    | Wire.Error m -> fail "%s" m
+    | _ -> fail "unexpected response to hello")
+  | None -> fail "server closed the connection during hello"
+  | exception Wire.Wire_error m -> fail "%s" m
+  | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
+  t.fd <- Some fd
+
+(* Retryable? Connection refusals and resets are; a server [Error]
+   (raised by [dial] after a completed round trip) is not.  We tell
+   them apart by shape: dial re-raises transport problems as
+   Client_error too, so retry decisions happen where the Unix error is
+   still visible — hence dial_retrying catches only "cannot connect". *)
+let rec dial_retrying t attempts backoff =
+  match dial t with
+  | () -> ()
+  | exception (Client_error m as e) ->
+    let transport =
+      (* a refused hello is final; an unreachable socket is transient *)
+      String.length m >= 14 && String.sub m 0 14 = "cannot connect"
+    in
+    if transport && attempts > 0 then begin
+      Unix.sleepf backoff;
+      dial_retrying t (attempts - 1) (Float.min (backoff *. 2.0) backoff_max)
+    end
+    else raise e
+
+let ensure_connected t =
   if t.closed then client_errorf "connection is closed";
-  match
-    Wire.send t.fd (Wire.request_to_sexp req);
-    Wire.recv t.fd
-  with
-  | Some sexp -> Wire.response_of_sexp sexp
-  | None -> client_errorf "server closed the connection"
-  | exception Wire.Wire_error m -> client_errorf "%s" m
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    dial_retrying t t.c_retries backoff_initial;
+    Option.get t.fd
+
+let call t req =
+  let rec attempt retries backoff =
+    let fd = ensure_connected t in
+    let retry e =
+      drop t;
+      if retries > 0 then begin
+        Unix.sleepf backoff;
+        attempt (retries - 1) (Float.min (backoff *. 2.0) backoff_max)
+      end
+      else raise e
+    in
+    match
+      Wire.send fd (Wire.request_to_sexp req);
+      Wire.recv fd
+    with
+    | Some sexp -> Wire.response_of_sexp sexp
+    | None -> retry (Client_error "server closed the connection")
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* the reply may still arrive; the stream is no longer trustworthy *)
+      drop t;
+      client_errorf "request timed out after %gs"
+        (Option.value t.c_timeout ~default:0.0)
+    | exception Wire.Wire_error m -> retry (Client_error m)
+    | exception Unix.Unix_error (e, _, _) ->
+      retry (Client_error (Unix.error_message e))
+  in
+  attempt t.c_retries backoff_initial
 
 (* Raise on Error, return the payload otherwise; each wrapper below
    then destructures the one constructor it expects. *)
@@ -40,7 +149,9 @@ let unexpected req resp =
     | Wire.Ok_ints _ -> "ints" | Wire.Ok_atoms _ -> "atoms"
     | Wire.Ok_text _ -> "text" | Wire.Ok_nodes _ -> "nodes"
     | Wire.Ok_rows _ -> "rows" | Wire.Ok_stat _ -> "stat"
-    | Wire.Ok_refresh _ -> "refresh" | Wire.Error _ -> "error")
+    | Wire.Ok_refresh _ -> "refresh" | Wire.Ok_snapshot _ -> "snapshot"
+    | Wire.Ok_frame _ -> "frame" | Wire.Ok_lags _ -> "lags"
+    | Wire.Error _ -> "error")
     (Wire.request_name req)
 
 let ok_unit t req =
@@ -68,28 +179,23 @@ let ok_rows t req =
 (* Connection lifecycle                                                *)
 (* ------------------------------------------------------------------ *)
 
-let connect ?(user = "anonymous") ~socket () =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () -> ()
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    client_errorf "cannot connect to %s: %s" socket (Unix.error_message e));
-  let t = { fd; c_user = user; closed = false } in
-  (try ok_unit t (Wire.Hello user)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+let connect ?(user = "anonymous") ?(version = Wire.protocol_version) ?timeout
+    ?(retries = 0) ~socket () =
+  let t =
+    { socket; c_user = user; c_version = version; c_timeout = timeout;
+      c_retries = retries; fd = None; closed = false }
+  in
+  dial_retrying t retries backoff_initial;
   t
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    drop t
   end
 
-let with_client ?user ~socket f =
-  let t = connect ?user ~socket () in
+let with_client ?user ?version ?timeout ?retries ~socket f =
+  let t = connect ?user ?version ?timeout ?retries ~socket () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 (* ------------------------------------------------------------------ *)
@@ -133,6 +239,128 @@ let refresh t iid =
 let save_flow t name = ok_unit t (Wire.Save_flow name)
 let load_flow t name = ok_ints t (Wire.Load_flow name)
 
+let lag t =
+  match ok t Wire.Lag with
+  | Wire.Ok_lags { primary_seq; rows } -> (primary_seq, rows)
+  | resp -> unexpected Wire.Lag resp
+
+let compact t = ok_unit t Wire.Compact
+
 let shutdown t =
   ok_unit t Wire.Shutdown;
   close t
+
+(* ------------------------------------------------------------------ *)
+(* Pool: read/write splitting over a replica set                       *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  (* Roles come from [stat]: each endpoint reports "primary" or
+     "follower".  Reads round-robin over live followers (falling back
+     to the primary when none are up); writes go to the primary, and a
+     write that cannot reach one re-probes every endpoint — so when an
+     operator promotes a follower, the pool finds the new primary on
+     the next write instead of erroring out. *)
+
+  type member = {
+    ep : string;
+    mutable conn : t option;
+    mutable role : string;  (* "primary" | "follower" | "down" *)
+  }
+
+  type pool = {
+    members : member list;
+    p_user : string option;
+    p_timeout : float option;
+    mutable rr : int;
+  }
+
+  let probe pool m =
+    (match m.conn with
+    | Some c when c.closed -> m.conn <- None
+    | Some _ | None -> ());
+    (match m.conn with
+    | Some _ -> ()
+    | None -> (
+      match
+        connect ?user:pool.p_user ?timeout:pool.p_timeout ~socket:m.ep ()
+      with
+      | c -> m.conn <- Some c
+      | exception Client_error _ -> ()));
+    match m.conn with
+    | None -> m.role <- "down"
+    | Some c -> (
+      match stat c with
+      | s -> m.role <- s.Wire.st_role
+      | exception Client_error _ ->
+        close c;
+        m.conn <- None;
+        m.role <- "down")
+
+  let connect ?user ?timeout endpoints =
+    let members =
+      List.map (fun ep -> { ep; conn = None; role = "down" }) endpoints
+    in
+    let pool = { members; p_user = user; p_timeout = timeout; rr = 0 } in
+    List.iter (probe pool) members;
+    pool
+
+  let endpoints pool = List.map (fun m -> (m.ep, m.role)) pool.members
+
+  let primary pool =
+    List.find_opt
+      (fun m -> m.role = "primary" && m.conn <> None)
+      pool.members
+
+  let followers pool =
+    List.filter
+      (fun m -> m.role = "follower" && m.conn <> None)
+      pool.members
+
+  let write pool f =
+    let attempt () =
+      match primary pool with
+      | Some { conn = Some c; _ } -> Some (f c)
+      | Some { conn = None; _ } | None -> None
+    in
+    match attempt () with
+    | Some v -> v
+    | None | (exception Client_error _) -> (
+      (* failover: a follower may have been promoted since we probed *)
+      List.iter (probe pool) pool.members;
+      match attempt () with
+      | Some v -> v
+      | None -> raise (Client_error "no writable endpoint in the pool"))
+
+  let read pool f =
+    let rec go tries =
+      if tries = 0 then write pool f   (* primary serves reads too *)
+      else
+        match followers pool with
+        | [] -> write pool f
+        | fs -> (
+          let m = List.nth fs (pool.rr mod List.length fs) in
+          pool.rr <- pool.rr + 1;
+          match m.conn with
+          | None -> go (tries - 1)
+          | Some c -> (
+            match f c with
+            | v -> v
+            | exception (Client_error _ as e) ->
+              (* dead follower, or a real server error?  Re-probe: if
+                 the endpoint still answers, the error is the answer. *)
+              probe pool m;
+              if m.role = "down" then go (tries - 1) else raise e))
+    in
+    go (List.length pool.members)
+
+  let close pool =
+    List.iter
+      (fun m ->
+        (match m.conn with
+        | Some c -> ( try close c with Client_error _ -> ())
+        | None -> ());
+        m.conn <- None;
+        m.role <- "down")
+      pool.members
+end

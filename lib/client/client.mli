@@ -13,16 +13,32 @@ exception Client_error of string
 
 type t
 
-val connect : ?user:string -> socket:string -> unit -> t
+val connect :
+  ?user:string -> ?version:int -> ?timeout:float -> ?retries:int ->
+  socket:string -> unit -> t
 (** Connect to the daemon listening on [socket] and introduce
     ourselves as [user] (default ["anonymous"]); the server stamps
     that identity on every instance and history record this
-    connection creates. *)
+    connection creates.
+
+    [version] (default {!Ddf_wire.Wire.protocol_version}) is the
+    protocol dialect announced in the handshake — a mismatch is
+    refused by the server with a typed error.  [timeout] bounds each
+    request's wait for a response (seconds); on expiry the call raises
+    and the connection is dropped, to be redialed on the next call.
+    [retries] (default 0) is how many times a call survives a {e
+    transport} failure: the client redials with bounded exponential
+    backoff (50ms doubling to 1s) and resends, so CLI verbs ride out a
+    daemon restart or failover.  Server [Error] responses are never
+    retried.  With [retries > 0] a mutation can be delivered more than
+    once if the connection dies mid-call. *)
 
 val close : t -> unit
 (** Close the connection (idempotent). *)
 
-val with_client : ?user:string -> socket:string -> (t -> 'a) -> 'a
+val with_client :
+  ?user:string -> ?version:int -> ?timeout:float -> ?retries:int ->
+  socket:string -> (t -> 'a) -> 'a
 (** [connect], run, [close] — also on exception. *)
 
 val user : t -> string
@@ -82,6 +98,15 @@ val refresh : t -> Ddf_store.Store.iid -> Ddf_store.Store.iid * int * int
 val save_flow : t -> string -> unit
 val load_flow : t -> string -> int list
 
+(** {1 Administration} *)
+
+val lag : t -> int * Ddf_wire.Wire.lag_row list
+(** Replication lag as seen by this server: its own journal seqno and
+    one row per subscribed follower (acked / sent watermarks). *)
+
+val compact : t -> unit
+(** Ask the daemon to fold its journal into a fresh snapshot now. *)
+
 val shutdown : t -> unit
 (** Ask the daemon to shut down gracefully, then close this
     connection. *)
@@ -91,3 +116,39 @@ val shutdown : t -> unit
 val call : t -> Ddf_wire.Wire.request -> Ddf_wire.Wire.response
 (** Raw request/response; [Error] responses are returned, not
     raised.  @raise Client_error on a dropped connection. *)
+
+(** {1 Read/write splitting over a replica set}
+
+    A {!Pool.pool} watches a set of endpoints — one primary and any
+    number of followers — classifying each by the role its [stat]
+    reports.  {!Pool.read} round-robins over live followers (read
+    scaling), {!Pool.write} targets the primary; both re-probe the set
+    when their endpoint fails, so a promoted follower is discovered
+    and adopted without restarting the client.  Like a single client,
+    a pool is not thread-safe: one per thread. *)
+
+module Pool : sig
+  type pool
+
+  val connect : ?user:string -> ?timeout:float -> string list -> pool
+  (** Probe every endpoint (sockets); unreachable ones stay in the set
+      and are re-probed on failover. *)
+
+  val endpoints : pool -> (string * string) list
+  (** [(socket, role)] per member; role is ["primary"], ["follower"]
+      or ["down"]. *)
+
+  val read : pool -> (t -> 'a) -> 'a
+  (** Run a read on a live follower (round-robin), falling back to the
+      primary when no follower is up.  A member that stops answering
+      is marked down and the read moves on; a server [Error] from a
+      live member is raised as the answer.
+      @raise Client_error when no endpoint can serve. *)
+
+  val write : pool -> (t -> 'a) -> 'a
+  (** Run a write on the primary; when it is gone, re-probe everything
+      once to find a promoted follower and retry.
+      @raise Client_error when no writable endpoint exists. *)
+
+  val close : pool -> unit
+end

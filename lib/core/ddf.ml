@@ -32,6 +32,7 @@ module Metrics = Ddf_obs.Metrics
 module Obs_sinks = Ddf_obs.Sinks
 module Journal = Ddf_journal.Journal
 module Wire = Ddf_wire.Wire
+module Replica = Ddf_replica.Replica
 module Server = Ddf_server.Server
 module Client = Ddf_client.Client
 

@@ -25,8 +25,8 @@ let m_batches = Metrics.counter "engine.batched_merges"
 
 type context = {
   schema : Schema.t;
-  store : Ddf_data.value Store.t;
-  history : History.t;
+  mutable store : Ddf_data.value Store.t;
+  mutable history : History.t;
   registry : Encapsulation.registry;
   mutable clock : int;
   mutable user : string;

@@ -16,8 +16,10 @@ open Ddf_tools
 
 type context = {
   schema : Schema.t;
-  store : Ddf_data.value Store.t;
-  history : History.t;
+  mutable store : Ddf_data.value Store.t;
+      (** swapped wholesale only by a replication snapshot reinstall
+          ({!Ddf_journal}); everything else mutates the store in place *)
+  mutable history : History.t;
   registry : Encapsulation.registry;
   mutable clock : int;   (** logical time; advanced by {!tick} *)
   mutable user : string;

@@ -4,6 +4,7 @@
 
      snapshot.ddf   full workspace (Workspace_file format), optional
      wal.ddf        framed log entries appended since the snapshot
+     base.ddf       sequence number folded into the snapshot
 
    Each log frame is
 
@@ -21,7 +22,14 @@
    the log at the last complete frame and replays the rest.  Entries
    carry the engine's logical clock so replay restores it exactly;
    counters (next iid / next rid) are restored through the stores'
-   [tick] accessors. *)
+   [tick] accessors.
+
+   Sequence numbers.  Every entry ever journaled has a global sequence
+   number: the snapshot covers entries 1..base (persisted in base.ddf,
+   0 when absent), the wal holds base+1..seq.  Seqnos are not written
+   into the frames — the i-th wal frame is entry base+i — so the disk
+   format is unchanged; they exist so a replication stream can name
+   frames exactly ([entries_since], [apply], the frame observer). *)
 
 open Ddf_store
 open Ddf_history
@@ -41,10 +49,14 @@ let m_torn = Ddf_obs.Metrics.counter "journal.torn_tails"
 type t = {
   j_dir : string;
   j_ctx : Ddf_exec.Engine.context;
+  j_registry : Ddf_tools.Encapsulation.registry option;
   mutable j_oc : out_channel;        (* wal.ddf, append mode *)
   mutable j_entries : int;           (* entries since the snapshot *)
+  mutable j_base : int;              (* seq folded into the snapshot *)
+  mutable j_seq : int;               (* seq of the last entry = base + entries *)
   j_truncated : int;                 (* torn-tail bytes dropped on open *)
   mutable j_closed : bool;
+  mutable j_frame_obs : (int -> string -> unit) option;
   compact_every : int;
 }
 
@@ -52,9 +64,39 @@ let context j = j.j_ctx
 let dir j = j.j_dir
 let entries_since_snapshot j = j.j_entries
 let truncated_on_open j = j.j_truncated
+let seq j = j.j_seq
+let base_seq j = j.j_base
+
+let set_frame_observer j f = j.j_frame_obs <- Some f
+let clear_frame_observer j = j.j_frame_obs <- None
 
 let snapshot_path dir = Filename.concat dir "snapshot.ddf"
 let wal_path dir = Filename.concat dir "wal.ddf"
+let base_path dir = Filename.concat dir "base.ddf"
+
+(* The base seqno is a tiny self-checking text file, written atomically
+   (tmp + rename) so a crash leaves either the old or the new base. *)
+let read_base dir =
+  if not (Sys.file_exists (base_path dir)) then 0
+  else
+    let ic = open_in_bin (base_path dir) in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "B1"; n ] -> (
+      match int_of_string_opt n with
+      | Some b when b >= 0 -> b
+      | Some _ | None -> journal_errorf "base.ddf: bad sequence %S" n)
+    | _ -> journal_errorf "base.ddf: malformed (%S)" line
+
+let write_base dir base =
+  let tmp = base_path dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Printf.fprintf oc "B1 %d\n" base;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp (base_path dir)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
@@ -178,7 +220,13 @@ let append j payload =
   if not j.j_closed then begin
     write_frame j.j_oc payload;
     j.j_entries <- j.j_entries + 1;
-    Ddf_obs.Metrics.incr m_appends
+    j.j_seq <- j.j_seq + 1;
+    Ddf_obs.Metrics.incr m_appends;
+    (* durable first, then shipped: the frame observer (the replication
+       fan-out) sees an entry only after it is on the local disk *)
+    match j.j_frame_obs with
+    | Some f -> f j.j_seq payload
+    | None -> ()
   end
 
 let attach j =
@@ -269,9 +317,11 @@ let open_ ?registry ?(compact_every = 10_000) ~dir schema =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (wal_path dir)
   in
+  let base = read_base dir in
   let j =
-    { j_dir = dir; j_ctx = ctx; j_oc = oc; j_entries = entries;
-      j_truncated = torn; j_closed = false; compact_every }
+    { j_dir = dir; j_ctx = ctx; j_registry = registry; j_oc = oc;
+      j_entries = entries; j_base = base; j_seq = base + entries;
+      j_truncated = torn; j_closed = false; j_frame_obs = None; compact_every }
   in
   attach j;
   j
@@ -292,13 +342,15 @@ let compact j =
      raise e);
   Sys.rename tmp (snapshot_path j.j_dir);
   fsync_dir j.j_dir;
+  write_base j.j_dir j.j_seq;
   (* the log's contents are folded into the snapshot: restart it *)
   close_out j.j_oc;
   j.j_oc <-
     open_out_gen
       [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
       0o644 (wal_path j.j_dir);
-  j.j_entries <- 0
+  j.j_entries <- 0;
+  j.j_base <- j.j_seq
 
 let maybe_compact j =
   if (not j.j_closed) && j.j_entries >= j.compact_every then begin
@@ -314,3 +366,122 @@ let close j =
     close_out j.j_oc;
     j.j_closed <- true
   end
+
+(* ------------------------------------------------------------------ *)
+(* Replication: tailing, follower application, snapshot resync         *)
+(* ------------------------------------------------------------------ *)
+
+let m_applied = Ddf_obs.Metrics.counter "journal.replicated_applies"
+let m_resyncs = Ddf_obs.Metrics.counter "journal.snapshot_resyncs"
+
+type tail =
+  | Frames of (int * string) list
+  | Snapshot_needed
+
+(* Entries with seqno > [since], read back from the on-disk wal.  The
+   i-th frame of the wal is entry base+i.  Callers must exclude writers
+   (the server reads the tail from its single-writer loop), so the file
+   ends exactly at the last complete frame. *)
+let entries_since j since =
+  if j.j_closed then journal_errorf "journal is closed";
+  if since < j.j_base then Snapshot_needed
+  else if since >= j.j_seq then Frames []
+  else begin
+    flush j.j_oc;
+    let ic = open_in_bin (wal_path j.j_dir) in
+    let frames = ref [] in
+    let n = ref j.j_base in
+    (try
+       let rec go () =
+         match read_frame ic with
+         | None -> ()
+         | Some payload ->
+           incr n;
+           if !n > since then frames := (!n, payload) :: !frames;
+           go ()
+       in
+       (try go () with Torn at -> journal_errorf "wal torn mid-read at %d" at)
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    close_in ic;
+    Frames (List.rev !frames)
+  end
+
+(* The full current state as a replication seed: (seqno, workspace
+   save).  Like [entries_since], call this with writers excluded. *)
+let snapshot_state j =
+  if j.j_closed then journal_errorf "journal is closed";
+  (j.j_seq, W.save (Ddf_session.Session.of_context j.j_ctx))
+
+(* Apply one replicated frame: replay the payload into the context and
+   append the identical bytes to the local wal, so a follower's journal
+   is byte-for-byte the primary's log suffix and the follower is itself
+   crash-safe (and promotable).  The payload's integrity was already
+   checked frame-by-frame in transit; [replay_entry] re-verifies the
+   content hash and dense-id ordering on application.
+
+   Note the clock is pre-set from the payload before the entry is
+   applied, and observers stay detached during application: the bytes
+   written locally are the primary's bytes, not a re-encoding (a
+   re-encoding after [Store.put] would stamp a stale clock). *)
+let apply j ~seq payload =
+  if j.j_closed then journal_errorf "journal is closed";
+  if seq <> j.j_seq + 1 then
+    journal_errorf "replication gap: expected entry %d, got %d" (j.j_seq + 1)
+      seq;
+  detach j;
+  (try replay_entry j.j_ctx payload
+   with e ->
+     attach j;
+     raise e);
+  attach j;
+  write_frame j.j_oc payload;
+  j.j_entries <- j.j_entries + 1;
+  j.j_seq <- seq;
+  Ddf_obs.Metrics.incr m_applied;
+  match j.j_frame_obs with
+  | Some f -> f j.j_seq payload
+  | None -> ()
+
+(* Replace the whole database with a primary's snapshot (the catch-up
+   path when our seqno predates the primary's oldest wal entry, e.g.
+   after a primary compaction).  Disk first — snapshot.ddf via atomic
+   rename, base.ddf, truncated wal — then the in-memory context is
+   swapped to the freshly loaded store/history/clock in place, so
+   sessions holding the context observe the new state. *)
+let reset_to_snapshot j ~seq data =
+  if j.j_closed then journal_errorf "journal is closed";
+  Ddf_obs.Metrics.incr m_resyncs;
+  let session =
+    try W.load ?registry:j.j_registry j.j_ctx.Ddf_exec.Engine.schema data
+    with W.Persist_error m -> journal_errorf "replication snapshot: %s" m
+  in
+  let fresh = Ddf_session.Session.context session in
+  detach j;
+  let tmp = snapshot_path j.j_dir ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc data;
+     fsync_oc oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     attach j;
+     raise e);
+  Sys.rename tmp (snapshot_path j.j_dir);
+  fsync_dir j.j_dir;
+  write_base j.j_dir seq;
+  close_out j.j_oc;
+  j.j_oc <-
+    open_out_gen
+      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+      0o644 (wal_path j.j_dir);
+  j.j_ctx.Ddf_exec.Engine.store <- fresh.Ddf_exec.Engine.store;
+  j.j_ctx.Ddf_exec.Engine.history <- fresh.Ddf_exec.Engine.history;
+  j.j_ctx.Ddf_exec.Engine.clock <- fresh.Ddf_exec.Engine.clock;
+  j.j_entries <- 0;
+  j.j_base <- seq;
+  j.j_seq <- seq;
+  attach j

@@ -59,3 +59,50 @@ val maybe_compact : t -> bool
 val close : t -> unit
 (** Detach the observers, {!sync} and close the log.  The context
     remains usable but further writes are no longer journaled. *)
+
+(** {1 Replication (journal shipping)}
+
+    Every journaled entry has a global sequence number: the snapshot
+    covers entries [1..base_seq] (persisted in [base.ddf]) and the wal
+    holds [base_seq+1..seq].  A primary streams frames tagged with
+    their seqnos; a follower applies them through its own journal, so
+    its wal is byte-for-byte the primary's log suffix. *)
+
+val seq : t -> int
+(** Sequence number of the last entry journaled (applied or appended). *)
+
+val base_seq : t -> int
+(** Sequence number folded into the current snapshot. *)
+
+val set_frame_observer : t -> (int -> string -> unit) -> unit
+(** Install the single frame observer, called with [(seqno, payload)]
+    after each entry reaches the local disk — the replication fan-out
+    point.  Called from whichever thread performs the write. *)
+
+val clear_frame_observer : t -> unit
+
+type tail =
+  | Frames of (int * string) list  (** [(seqno, payload)], ascending *)
+  | Snapshot_needed
+      (** the requested seqno predates the snapshot base: the follower
+          must resync from a fresh snapshot *)
+
+val entries_since : t -> int -> tail
+(** Entries with seqno greater than the argument, read back from the
+    on-disk wal.  Call with writers excluded (the design server calls
+    it from its single-writer loop). *)
+
+val snapshot_state : t -> int * string
+(** The full current state as a replication seed: [(seq, workspace
+    save)].  Call with writers excluded. *)
+
+val apply : t -> seq:int -> string -> unit
+(** Follower-side: apply one replicated frame — replay the payload into
+    the context and append the identical bytes to the local wal.
+    @raise Journal_error on a sequence gap ([seq] must be [seq t + 1]),
+    content-hash mismatch or out-of-order ids. *)
+
+val reset_to_snapshot : t -> seq:int -> string -> unit
+(** Follower-side resync: replace the whole database (disk and the
+    live context, in place) with a primary snapshot taken at [seq].
+    @raise Journal_error when the snapshot does not parse. *)

@@ -58,6 +58,7 @@ let gauge ?(registry = global) name =
     g
 
 let set g v = g.value <- v
+let value g = g.value
 
 let histogram ?(registry = global) name =
   match Hashtbl.find_opt registry.histograms name with

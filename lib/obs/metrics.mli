@@ -26,6 +26,7 @@ val count : counter -> int
 
 val gauge : ?registry:t -> string -> gauge
 val set : gauge -> float -> unit
+val value : gauge -> float
 
 val histogram : ?registry:t -> string -> histogram
 val observe : histogram -> float -> unit

@@ -1,0 +1,339 @@
+(* Journal-shipping replication: the transport pieces shared by the
+   primary (Outbox) and the follower daemon (Feed, Follower).
+
+   The protocol rides on Ddf_wire.  A follower connects to the primary
+   like any client, says Hello, then sends [Subscribe since]; from
+   that point the connection is a replication stream: the primary
+   pushes an optional [Ok_snapshot] followed by [Ok_frame]s forever,
+   and the follower answers only with [Repl_ack]s.  Frames carry the
+   journal's global seqnos and md5 digests, so a follower detects both
+   gaps and corruption before anything touches its database.
+
+   Threading: an [Outbox] owns the send side of a replication
+   connection (one sender thread, bounded queue) so the primary's
+   writer loop never blocks on a slow follower — a follower that falls
+   more than [cap] frames behind is evicted and must reconnect, which
+   lands it on the catch-up path.  A [Follower] owns one background
+   thread that keeps a Feed alive with bounded exponential backoff and
+   pumps every event into the caller's [apply]/[reset] hooks. *)
+
+module Wire = Ddf_wire.Wire
+module Metrics = Ddf_obs.Metrics
+
+exception Replica_error of string
+
+let replica_errorf fmt = Printf.ksprintf (fun s -> raise (Replica_error s)) fmt
+
+let m_frames_sent = Metrics.counter "replica.frames_sent"
+let m_snapshots_sent = Metrics.counter "replica.snapshots_sent"
+let m_evicted = Metrics.counter "replica.followers_evicted"
+let m_reconnects = Metrics.counter "replica.follower_reconnects"
+
+let digest_hex payload = Digest.to_hex (Digest.string payload)
+
+(* ------------------------------------------------------------------ *)
+(* Feed: the follower's view of the stream                             *)
+(* ------------------------------------------------------------------ *)
+
+module Feed = struct
+  type event =
+    | Snapshot of { seq : int; data : string }
+    | Frame of { seq : int; payload : string }
+
+  type t = {
+    fd : Unix.file_descr;
+    mutable closed : bool;
+  }
+
+  let connect ?(user = "follower") ~socket ~since () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise (Replica_error s))
+        fmt
+    in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "cannot connect to primary %s: %s" socket (Unix.error_message e));
+    let hello =
+      Wire.Hello { user; version = Wire.protocol_version }
+    in
+    (match
+       Wire.send fd (Wire.request_to_sexp hello);
+       Wire.recv fd
+     with
+    | Some sexp -> (
+      match Wire.response_of_sexp sexp with
+      | Wire.Ok_unit -> ()
+      | Wire.Error m -> fail "primary refused hello: %s" m
+      | _ -> fail "unexpected response to hello")
+    | None -> fail "primary closed the connection during hello"
+    | exception Wire.Wire_error m -> fail "%s" m);
+    (match Wire.send fd (Wire.request_to_sexp (Wire.Subscribe since)) with
+    | () -> ()
+    | exception Wire.Wire_error m -> fail "%s" m);
+    { fd; closed = false }
+
+  let next t =
+    if t.closed then replica_errorf "feed is closed";
+    match Wire.recv t.fd with
+    | None -> replica_errorf "primary closed the replication stream"
+    | exception Wire.Wire_error m -> replica_errorf "%s" m
+    | exception Unix.Unix_error (e, _, _) ->
+      replica_errorf "replication stream: %s" (Unix.error_message e)
+    | Some sexp -> (
+      match Wire.response_of_sexp sexp with
+      | Wire.Ok_snapshot { seq; data } -> Snapshot { seq; data }
+      | Wire.Ok_frame { seq; payload; digest } ->
+        if not (String.equal (digest_hex payload) digest) then
+          replica_errorf "frame %d failed its checksum in transit" seq;
+        Frame { seq; payload }
+      | Wire.Error m -> replica_errorf "primary: %s" m
+      | _ -> replica_errorf "unexpected message on the replication stream")
+
+  let ack t seq =
+    if not t.closed then
+      match Wire.send t.fd (Wire.request_to_sexp (Wire.Repl_ack seq)) with
+      | () -> ()
+      | exception Wire.Wire_error _ -> ()
+      | exception Unix.Unix_error _ -> ()
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
+
+  (* For [Follower.stop]: unblock a reader stuck in [next] without
+     releasing the descriptor out from under it. *)
+  let interrupt t =
+    try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Outbox: the primary's per-follower send queue                       *)
+(* ------------------------------------------------------------------ *)
+
+module Outbox = struct
+  type t = {
+    ob_name : string;
+    ob_fd : Unix.file_descr;
+    ob_cap : int;
+    ob_m : Mutex.t;
+    ob_c : Condition.t;
+    ob_q : Wire.response Queue.t;
+    mutable ob_dead : bool;
+    mutable ob_sent : int;   (* highest seqno enqueued for this follower *)
+    mutable ob_acked : int;  (* highest seqno it acknowledged *)
+    mutable ob_sender : Thread.t option;
+  }
+
+  let kill_locked t =
+    if not t.ob_dead then begin
+      t.ob_dead <- true;
+      Queue.clear t.ob_q;
+      Condition.broadcast t.ob_c;
+      (* The connection's ack loop owns the descriptor; shutting it
+         down fails that loop's recv, which unregisters and closes. *)
+      try Unix.shutdown t.ob_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+    end
+
+  let sender_loop t =
+    let rec next () =
+      Mutex.lock t.ob_m;
+      let rec await () =
+        if t.ob_dead then None
+        else if not (Queue.is_empty t.ob_q) then Some (Queue.pop t.ob_q)
+        else begin
+          Condition.wait t.ob_c t.ob_m;
+          await ()
+        end
+      in
+      let resp = await () in
+      Mutex.unlock t.ob_m;
+      match resp with
+      | None -> ()
+      | Some resp ->
+        (match Wire.send t.ob_fd (Wire.response_to_sexp resp) with
+        | () -> next ()
+        | exception Wire.Wire_error _ | exception Unix.Unix_error _ ->
+          Mutex.lock t.ob_m;
+          kill_locked t;
+          Mutex.unlock t.ob_m)
+    in
+    next ()
+
+  let create ?(cap = 65536) ~name fd =
+    let t =
+      { ob_name = name; ob_fd = fd; ob_cap = cap; ob_m = Mutex.create ();
+        ob_c = Condition.create (); ob_q = Queue.create (); ob_dead = false;
+        ob_sent = 0; ob_acked = 0; ob_sender = None }
+    in
+    t.ob_sender <- Some (Thread.create sender_loop t);
+    t
+
+  let name t = t.ob_name
+
+  let push t resp =
+    Mutex.lock t.ob_m;
+    if not t.ob_dead then begin
+      if Queue.length t.ob_q >= t.ob_cap then begin
+        (* hopelessly behind: cut it loose rather than buffer forever *)
+        Metrics.incr m_evicted;
+        kill_locked t
+      end
+      else begin
+        (match resp with
+        | Wire.Ok_frame { seq; _ } ->
+          t.ob_sent <- max t.ob_sent seq;
+          Metrics.incr m_frames_sent
+        | Wire.Ok_snapshot { seq; _ } ->
+          t.ob_sent <- max t.ob_sent seq;
+          t.ob_acked <- max t.ob_acked seq;
+          Metrics.incr m_snapshots_sent
+        | _ -> ());
+        Queue.push resp t.ob_q;
+        Condition.signal t.ob_c
+      end
+    end;
+    Mutex.unlock t.ob_m
+
+  let note_ack t seq =
+    Mutex.lock t.ob_m;
+    if seq > t.ob_acked then t.ob_acked <- seq;
+    Mutex.unlock t.ob_m
+
+  let sent t =
+    Mutex.lock t.ob_m;
+    let v = t.ob_sent in
+    Mutex.unlock t.ob_m;
+    v
+
+  let acked t =
+    Mutex.lock t.ob_m;
+    let v = t.ob_acked in
+    Mutex.unlock t.ob_m;
+    v
+
+  let alive t =
+    Mutex.lock t.ob_m;
+    let v = not t.ob_dead in
+    Mutex.unlock t.ob_m;
+    v
+
+  let close t =
+    Mutex.lock t.ob_m;
+    kill_locked t;
+    let sender = t.ob_sender in
+    t.ob_sender <- None;
+    Mutex.unlock t.ob_m;
+    Option.iter Thread.join sender
+end
+
+(* ------------------------------------------------------------------ *)
+(* Follower: the reconnecting stream driver                            *)
+(* ------------------------------------------------------------------ *)
+
+module Follower = struct
+  type t = {
+    f_primary : string;
+    f_m : Mutex.t;
+    mutable f_stopped : bool;
+    mutable f_feed : Feed.t option;
+    mutable f_thread : Thread.t option;
+  }
+
+  let backoff_initial = 0.05
+  let backoff_max = 2.0
+
+  let stopped t =
+    Mutex.lock t.f_m;
+    let v = t.f_stopped in
+    Mutex.unlock t.f_m;
+    v
+
+  (* Sleep [d] in small slices so [stop] never waits long. *)
+  let interruptible_sleep t d =
+    let slice = 0.05 in
+    let rec go left =
+      if left > 0.0 && not (stopped t) then begin
+        Thread.delay (Float.min slice left);
+        go (left -. slice)
+      end
+    in
+    go d
+
+  let drive t ~name ~current_seq ~apply ~reset ~on_error =
+    let rec attempt backoff =
+      if not (stopped t) then begin
+        match Feed.connect ~user:name ~socket:t.f_primary
+                ~since:(current_seq ()) ()
+        with
+        | exception Replica_error m ->
+          if not (stopped t) then begin
+            on_error m;
+            interruptible_sleep t backoff;
+            attempt (Float.min (backoff *. 2.0) backoff_max)
+          end
+        | feed ->
+          Mutex.lock t.f_m;
+          let usable = not t.f_stopped in
+          if usable then t.f_feed <- Some feed;
+          Mutex.unlock t.f_m;
+          if not usable then Feed.close feed
+          else begin
+            Metrics.incr m_reconnects;
+            (match
+               let rec pump () =
+                 (match Feed.next feed with
+                 | Feed.Snapshot { seq; data } -> reset ~seq data
+                 | Feed.Frame { seq; payload } -> apply ~seq payload);
+                 Feed.ack feed (current_seq ());
+                 pump ()
+               in
+               pump ()
+             with
+            | () -> ()
+            | exception Replica_error m -> if not (stopped t) then on_error m
+            | exception e -> if not (stopped t) then on_error (Printexc.to_string e));
+            Mutex.lock t.f_m;
+            t.f_feed <- None;
+            Mutex.unlock t.f_m;
+            Feed.close feed;
+            (* a fresh connect restarts catch-up from [current_seq ()] *)
+            interruptible_sleep t backoff_initial;
+            attempt backoff_initial
+          end
+      end
+    in
+    attempt backoff_initial
+
+  let start ?(name = "follower") ~primary ~current_seq ~apply ~reset
+      ?(on_error = fun _ -> ()) () =
+    let t =
+      { f_primary = primary; f_m = Mutex.create (); f_stopped = false;
+        f_feed = None; f_thread = None }
+    in
+    t.f_thread <-
+      Some
+        (Thread.create
+           (fun () -> drive t ~name ~current_seq ~apply ~reset ~on_error)
+           ());
+    t
+
+  let primary t = t.f_primary
+
+  let stop t =
+    Mutex.lock t.f_m;
+    t.f_stopped <- true;
+    let feed = t.f_feed in
+    let thread = t.f_thread in
+    t.f_thread <- None;
+    Mutex.unlock t.f_m;
+    Option.iter Feed.interrupt feed;
+    Option.iter Thread.join thread
+end

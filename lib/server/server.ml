@@ -25,6 +25,7 @@ module Session = Ddf_session.Session
 module Engine = Ddf_exec.Engine
 module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
+module Replica = Ddf_replica.Replica
 
 exception Server_error of string
 
@@ -36,8 +37,15 @@ let m_errors = Metrics.counter "server.errors"
 let m_timeouts = Metrics.counter "server.timeouts"
 let m_connections = Metrics.counter "server.connections"
 let m_rejected = Metrics.counter "server.rejected_connections"
+let m_version_mismatch = Metrics.counter "server.version_mismatches"
 let h_request = Metrics.histogram "server.request_us"
 let h_queue_wait = Metrics.histogram "server.write_queue_wait_us"
+
+(* replication gauges: the primary's shipped seqno, its worst follower
+   lag (entries), follower count, and a follower's applied seqno *)
+let g_seq = Metrics.gauge "replica.seq"
+let g_lag = Metrics.gauge "replica.lag_entries"
+let g_followers = Metrics.gauge "replica.followers"
 
 (* ------------------------------------------------------------------ *)
 (* A readers/writer lock                                               *)
@@ -119,9 +127,51 @@ type t = {
   queue_c : Condition.t;              (* signalled on enqueue and stop *)
   mutable writer : Thread.t option;
   mutable accepter : Thread.t option;
+  (* replication *)
+  mutable follow : string option;     (* primary socket when a follower *)
+  mutable follower : Replica.Follower.t option;
+  mutable followers : Replica.Outbox.t list;   (* primary side, under [m] *)
 }
 
 let context t = t.ctx
+
+let role t = match t.follow with None -> "primary" | Some _ -> "follower"
+
+let is_follower t = t.follow <> None
+
+(* ------------------------------------------------------------------ *)
+(* Follower bookkeeping (primary side)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let live_followers t =
+  Mutex.lock t.m;
+  let obs = List.filter Replica.Outbox.alive t.followers in
+  t.followers <- obs;
+  Mutex.unlock t.m;
+  obs
+
+let update_replica_gauges t =
+  let obs = live_followers t in
+  let seq = Journal.seq t.journal in
+  let lag =
+    List.fold_left
+      (fun worst ob -> max worst (seq - Replica.Outbox.acked ob))
+      0 obs
+  in
+  Metrics.set g_followers (float_of_int (List.length obs));
+  Metrics.set g_lag (float_of_int lag)
+
+let register_follower t outbox =
+  Mutex.lock t.m;
+  t.followers <- outbox :: t.followers;
+  Mutex.unlock t.m;
+  update_replica_gauges t
+
+let unregister_follower t outbox =
+  Mutex.lock t.m;
+  t.followers <- List.filter (fun ob -> ob != outbox) t.followers;
+  Mutex.unlock t.m;
+  update_replica_gauges t
 
 (* ------------------------------------------------------------------ *)
 (* The writer loop                                                     *)
@@ -234,12 +284,31 @@ let eval t session req =
   | Wire.Hello _ | Wire.Ping | Wire.Shutdown -> Wire.Ok_unit
   | Wire.Stat ->
     Wire.Ok_stat
-      { Wire.st_clock = ctx.Engine.clock;
+      { Wire.st_role = role t;
+        st_seq = Journal.seq t.journal;
+        st_clock = ctx.Engine.clock;
         st_instances = Store.instance_count store;
         st_records = History.size ctx.Engine.history;
         st_store_tick = Store.tick store;
         st_history_tick = History.tick ctx.Engine.history;
         st_uptime_s = Unix.gettimeofday () -. t.started_at }
+  | Wire.Lag ->
+    let obs = live_followers t in
+    Wire.Ok_lags
+      { primary_seq = Journal.seq t.journal;
+        rows =
+          List.map
+            (fun ob ->
+              { Wire.lag_follower = Replica.Outbox.name ob;
+                lag_acked = Replica.Outbox.acked ob;
+                lag_sent = Replica.Outbox.sent ob })
+            obs }
+  | Wire.Compact ->
+    Journal.compact t.journal;
+    Wire.Ok_unit
+  | Wire.Subscribe _ | Wire.Repl_ack _ ->
+    (* handled by the connection loop before reaching the evaluator *)
+    Wire.Error "replication message outside a replication stream"
   | Wire.Catalog Wire.Entities -> Wire.Ok_atoms (Session.entity_catalog session)
   | Wire.Catalog Wire.Tools -> Wire.Ok_atoms (Session.tool_catalog session)
   | Wire.Catalog Wire.Flows -> Wire.Ok_atoms (Session.flow_catalog session)
@@ -291,11 +360,25 @@ let eval t session req =
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* A follower's store is a replica: every write must happen on the
+   primary (and arrive here through the stream), or the two histories
+   diverge.  Local journal compaction and shutdown remain legal. *)
+let follower_rejects t req =
+  is_follower t && Wire.is_mutation req
+  && (match (req : Wire.request) with
+     | Wire.Compact | Wire.Shutdown -> false
+     | _ -> true)
+
 let serve_request t session ~conn_id ~user req =
   Metrics.incr m_requests;
   let t0 = if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6 in
   let resp =
-    if Wire.is_mutation req then begin
+    if follower_rejects t req then
+      Wire.Error
+        (Printf.sprintf
+           "read-only follower: send writes to the primary at %s"
+           (Option.value t.follow ~default:"?"))
+    else if Wire.is_mutation req then begin
       Metrics.incr m_mutations;
       submit t ~user:!user (fun () -> eval t session req)
     end
@@ -328,9 +411,14 @@ let rec stop t =
   let already = t.stopping in
   t.stopping <- true;
   let conns = t.conns in
+  let driver = t.follower in
+  t.follower <- None;
   Condition.broadcast t.queue_c;
   Mutex.unlock t.m;
   if not already then begin
+    (* a follower stops chasing the primary first, so no replication
+       job races the drain *)
+    Option.iter Replica.Follower.stop driver;
     (* unblock the accept loop and every reader; the accepter closes
        the listening socket itself on the way out *)
     (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
@@ -341,6 +429,55 @@ let rec stop t =
       conns
   end
 
+(* A [Subscribe] flips its connection into replication mode.  The
+   backlog read and the fan-out registration run as one writer job, so
+   no frame can be appended between "read everything through seqno s"
+   and "start receiving live frames after s" — the stream is gapless
+   by construction.  After that this thread only reads acks; the
+   outbox's sender thread owns the socket's write side. *)
+and replication_loop t fd ~user since =
+  let outbox = Replica.Outbox.create ~name:user fd in
+  let subscribed =
+    submit t ~user (fun () ->
+        (match Journal.entries_since t.journal since with
+        | Journal.Snapshot_needed ->
+          (* the journal was compacted past [since]: reseed *)
+          let seq, data = Journal.snapshot_state t.journal in
+          Replica.Outbox.push outbox (Wire.Ok_snapshot { seq; data })
+        | Journal.Frames frames ->
+          List.iter
+            (fun (seq, payload) ->
+              Replica.Outbox.push outbox
+                (Wire.Ok_frame
+                   { seq; payload;
+                     digest = Digest.to_hex (Digest.string payload) }))
+            frames);
+        register_follower t outbox;
+        Wire.Ok_unit)
+  in
+  (match subscribed with
+  | Wire.Ok_unit ->
+    let rec acks () =
+      match Wire.recv fd with
+      | None -> ()
+      | Some sexp -> (
+        match Wire.request_of_sexp sexp with
+        | Wire.Repl_ack seq ->
+          Replica.Outbox.note_ack outbox seq;
+          update_replica_gauges t;
+          acks ()
+        | exception Wire.Wire_error _ -> ()
+        | _ ->
+          (* protocol violation: drop the stream *)
+          ())
+    in
+    (try acks () with Wire.Wire_error _ | Unix.Unix_error _ -> ())
+  | resp -> (
+    try Wire.send fd (Wire.response_to_sexp resp)
+    with Wire.Wire_error _ -> ()));
+  unregister_follower t outbox;
+  Replica.Outbox.close outbox
+
 and connection_loop t fd conn_id =
   let session = Session.of_context t.ctx in
   let user = ref "anonymous" in
@@ -348,27 +485,40 @@ and connection_loop t fd conn_id =
     match Wire.recv fd with
     | None -> ()
     | Some sexp ->
-      let resp, continue =
-        match Wire.request_of_sexp sexp with
-        | exception Wire.Wire_error m -> (Wire.Error m, false)
-        | Wire.Hello u ->
-          user := u;
-          (serve_request t session ~conn_id ~user (Wire.Hello u), true)
-        | Wire.Shutdown ->
-          (serve_request t session ~conn_id ~user Wire.Shutdown, false)
-        | req -> (serve_request t session ~conn_id ~user req, true)
-      in
-      (match Wire.send fd (Wire.response_to_sexp resp) with
-      | () -> ()
-      | exception Wire.Wire_error _ -> ());
-      if continue then loop ()
-      else if
-        (* a Shutdown request stops the whole server after the reply *)
-        match Wire.request_of_sexp sexp with
-        | Wire.Shutdown -> true
-        | _ -> false
-        | exception Wire.Wire_error _ -> false
-      then stop t
+      match Wire.request_of_sexp sexp with
+      | exception Wire.Wire_error m ->
+        (try Wire.send fd (Wire.response_to_sexp (Wire.Error m))
+         with Wire.Wire_error _ -> ())
+      | Wire.Subscribe since -> replication_loop t fd ~user:!user since
+      | req ->
+        let resp, continue =
+          match req with
+          | Wire.Hello { user = u; version } ->
+            if version <> Wire.protocol_version then begin
+              Metrics.incr m_version_mismatch;
+              ( Wire.Error
+                  (Printf.sprintf
+                     "protocol version mismatch: server speaks v%d, client \
+                      speaks v%d"
+                     Wire.protocol_version version),
+                false )
+            end
+            else begin
+              user := u;
+              (serve_request t session ~conn_id ~user req, true)
+            end
+          | Wire.Shutdown ->
+            (serve_request t session ~conn_id ~user Wire.Shutdown, false)
+          | req -> (serve_request t session ~conn_id ~user req, true)
+        in
+        (match Wire.send fd (Wire.response_to_sexp resp) with
+        | () -> ()
+        | exception Wire.Wire_error _ -> ());
+        if continue then loop ()
+        else if
+          (* a Shutdown request stops the whole server after the reply *)
+          match req with Wire.Shutdown -> true | _ -> false
+        then stop t
   in
   (try loop () with
   | Wire.Wire_error _ -> ()
@@ -439,12 +589,13 @@ let accept_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start ?registry ?seed ?(max_clients = 64) ?(request_timeout = 30.0)
+let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     ?compact_every ~db ~socket schema =
   let journal = Journal.open_ ?registry ?compact_every ~dir:db schema in
   let ctx = Journal.context journal in
   (match seed with
-  | Some f when Store.instance_count ctx.Engine.store = 0 -> f ctx
+  | Some f when follow = None && Store.instance_count ctx.Engine.store = 0 ->
+    f ctx
   | Some _ | None -> ());
   if Sys.file_exists socket then (
     try Unix.unlink socket
@@ -466,11 +617,74 @@ let start ?registry ?seed ?(max_clients = 64) ?(request_timeout = 30.0)
       max_clients; request_timeout; started_at = Unix.gettimeofday ();
       m = Mutex.create (); stopping = false; conns = []; next_conn = 1;
       threads = []; queue = Queue.create (); queue_c = Condition.create ();
-      writer = None; accepter = None }
+      writer = None; accepter = None;
+      follow; follower = None; followers = [] }
   in
+  (* Fan every journaled entry out to the subscribed followers.  The
+     observer fires on the writer thread right after the entry hits
+     the local disk (durable first, then ship) — and it fires on
+     replicated applies too, so a follower can itself feed followers. *)
+  Journal.set_frame_observer journal (fun seq payload ->
+      Metrics.set g_seq (float_of_int seq);
+      match live_followers t with
+      | [] -> ()
+      | obs ->
+        let frame =
+          Wire.Ok_frame
+            { seq; payload; digest = Digest.to_hex (Digest.string payload) }
+        in
+        List.iter (fun ob -> Replica.Outbox.push ob frame) obs);
+  Metrics.set g_seq (float_of_int (Journal.seq journal));
   t.writer <- Some (Thread.create writer_loop t);
   t.accepter <- Some (Thread.create accept_loop t);
+  (* A follower chases its primary on a background driver: every frame
+     and snapshot is applied as a writer job, so replication shares
+     the one serialization point (and the RW lock, and auto-compaction)
+     with local mutations. *)
+  (match follow with
+  | None -> ()
+  | Some primary ->
+    let apply_job what run =
+      match submit t ~user:"replication" run with
+      | Wire.Ok_unit -> ()
+      | Wire.Error m -> server_errorf "replication %s failed: %s" what m
+      | _ -> server_errorf "replication %s failed" what
+    in
+    let driver =
+      Replica.Follower.start
+        ~name:(Printf.sprintf "follower:%s" (Filename.basename socket))
+        ~primary
+        ~current_seq:(fun () -> Journal.seq t.journal)
+        ~apply:(fun ~seq payload ->
+          apply_job "apply" (fun () ->
+              Journal.apply t.journal ~seq payload;
+              Wire.Ok_unit))
+        ~reset:(fun ~seq data ->
+          apply_job "resync" (fun () ->
+              Journal.reset_to_snapshot t.journal ~seq data;
+              Wire.Ok_unit))
+        ~on_error:(fun m ->
+          if Obs.enabled () then
+            Obs.instant ~cat:"replica" ~attrs:[ ("error", Obs.Str m) ]
+              "replica.stream_error")
+        ()
+    in
+    t.follower <- Some driver);
   t
+
+(* Failover: stop chasing the (dead) primary and open for writes.
+   The local journal already holds a prefix of the primary's history —
+   byte-identical — so new writes continue the same log. *)
+let promote t =
+  let driver =
+    Mutex.lock t.m;
+    let d = t.follower in
+    t.follower <- None;
+    t.follow <- None;
+    Mutex.unlock t.m;
+    d
+  in
+  Option.iter Replica.Follower.stop driver
 
 let wait t =
   Option.iter Thread.join t.accepter;
@@ -492,11 +706,11 @@ let wait t =
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
-let run ?registry ?seed ?max_clients ?request_timeout ?compact_every ~db
-    ~socket schema =
+let run ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
+    ~db ~socket schema =
   let t =
-    start ?registry ?seed ?max_clients ?request_timeout ?compact_every ~db
-      ~socket schema
+    start ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
+      ~db ~socket schema
   in
   let on_signal _ = stop t in
   let previous =

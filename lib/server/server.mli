@@ -20,6 +20,7 @@ type t
 val start :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?seed:(Ddf_exec.Engine.context -> unit) ->
+  ?follow:string ->
   ?max_clients:int ->
   ?request_timeout:float ->
   ?compact_every:int ->
@@ -29,12 +30,29 @@ val start :
     empty (the CLI installs the standard tool catalog there).
     [max_clients] (default 64) bounds concurrent connections;
     [request_timeout] (default 30s) bounds a mutation's wait in the
-    write queue.  @raise Server_error when the socket cannot be
-    bound. *)
+    write queue.
+
+    [follow] makes this daemon a replication follower of the primary
+    listening on that socket: it subscribes to the primary's journal
+    stream, applies every entry through its own (crash-safe) journal,
+    serves the whole read surface locally and rejects writes; [seed]
+    is ignored (state comes from the stream).  The connection is kept
+    alive with bounded exponential backoff, and a follower whose
+    journal predates the primary's snapshot resyncs from a fresh
+    snapshot automatically.  @raise Server_error when the socket
+    cannot be bound. *)
 
 val context : t -> Ddf_exec.Engine.context
 (** The shared engine context.  Not synchronized: use it only before
     serving traffic or after {!wait} returns. *)
+
+val role : t -> string
+(** ["primary"] or ["follower"] — also reported in [Stat]. *)
+
+val promote : t -> unit
+(** Follower failover: stop following and start accepting writes.  The
+    local journal holds a byte-identical prefix of the primary's log,
+    so new writes continue the same history.  No-op on a primary. *)
 
 val stop : t -> unit
 (** Initiate graceful shutdown (idempotent): stop accepting, unblock
@@ -46,6 +64,7 @@ val wait : t -> unit
 val run :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?seed:(Ddf_exec.Engine.context -> unit) ->
+  ?follow:string ->
   ?max_clients:int ->
   ?request_timeout:float ->
   ?compact_every:int ->

@@ -18,10 +18,15 @@ let wire_errorf fmt = Format.kasprintf (fun s -> raise (Wire_error s)) fmt
 
 type iid = Store.iid
 
+(* Version 1: the PR-2 request/response surface, (hello <user>).
+   Version 2: hello carries (version N), replication (subscribe /
+   repl-ack / lag / compact) and the role/seq stat fields. *)
+let protocol_version = 2
+
 type catalog = Entities | Tools | Flows
 
 type request =
-  | Hello of string
+  | Hello of { user : string; version : int }
   | Ping
   | Stat
   | Catalog of catalog
@@ -54,8 +59,14 @@ type request =
   | Save_flow of string
   | Load_flow of string
   | Shutdown
+  | Subscribe of int
+  | Repl_ack of int
+  | Lag
+  | Compact
 
 type stat = {
+  st_role : string;
+  st_seq : int;
   st_clock : int;
   st_instances : int;
   st_records : int;
@@ -70,6 +81,12 @@ type instance_row = {
   row_meta : Store.meta;
 }
 
+type lag_row = {
+  lag_follower : string;
+  lag_acked : int;
+  lag_sent : int;
+}
+
 type response =
   | Ok_unit
   | Ok_int of int
@@ -80,6 +97,9 @@ type response =
   | Ok_rows of instance_row list
   | Ok_stat of stat
   | Ok_refresh of { fresh : iid; reran : int; reused : int }
+  | Ok_snapshot of { seq : int; data : string }
+  | Ok_frame of { seq : int; payload : string; digest : string }
+  | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Error of string
 
 (* ------------------------------------------------------------------ *)
@@ -131,7 +151,8 @@ let catalog_name = function
   | Flows -> "flows"
 
 let request_to_sexp = function
-  | Hello user -> S.field "hello" [ S.atom user ]
+  | Hello { user; version } ->
+    S.field "hello" [ S.atom user; S.field "version" [ S.int version ] ]
   | Ping -> S.atom "ping"
   | Stat -> S.atom "stat"
   | Catalog c -> S.field "catalog" [ S.atom (catalog_name c) ]
@@ -166,6 +187,10 @@ let request_to_sexp = function
   | Save_flow name -> S.field "save-flow" [ S.atom name ]
   | Load_flow name -> S.field "load-flow" [ S.atom name ]
   | Shutdown -> S.atom "shutdown"
+  | Subscribe seq -> S.field "subscribe" [ S.int seq ]
+  | Repl_ack seq -> S.field "repl-ack" [ S.int seq ]
+  | Lag -> S.atom "lag"
+  | Compact -> S.atom "compact"
 
 let request_of_sexp sexp =
   match sexp with
@@ -174,9 +199,14 @@ let request_of_sexp sexp =
   | S.Atom "leaves" -> Leaves
   | S.Atom "render" -> Render
   | S.Atom "shutdown" -> Shutdown
+  | S.Atom "lag" -> Lag
+  | S.Atom "compact" -> Compact
   | S.List (S.Atom name :: args) -> (
     match (name, args) with
-    | "hello", [ user ] -> Hello (S.as_atom user)
+    (* a bare (hello <user>) is the version-1 dialect *)
+    | "hello", [ user ] -> Hello { user = S.as_atom user; version = 1 }
+    | "hello", [ user; S.List [ S.Atom "version"; v ] ] ->
+      Hello { user = S.as_atom user; version = S.as_int v }
     | "catalog", [ S.Atom "entities" ] -> Catalog Entities
     | "catalog", [ S.Atom "tools" ] -> Catalog Tools
     | "catalog", [ S.Atom "flows" ] -> Catalog Flows
@@ -209,6 +239,8 @@ let request_of_sexp sexp =
     | "refresh", [ iid ] -> Refresh (S.as_int iid)
     | "save-flow", [ n ] -> Save_flow (S.as_atom n)
     | "load-flow", [ n ] -> Load_flow (S.as_atom n)
+    | "subscribe", [ seq ] -> Subscribe (S.as_int seq)
+    | "repl-ack", [ seq ] -> Repl_ack (S.as_int seq)
     | _ -> wire_errorf "unknown request %S" name)
   | _ -> wire_errorf "malformed request"
 
@@ -236,15 +268,23 @@ let request_name = function
   | Save_flow _ -> "save-flow"
   | Load_flow _ -> "load-flow"
   | Shutdown -> "shutdown"
+  | Subscribe _ -> "subscribe"
+  | Repl_ack _ -> "repl-ack"
+  | Lag -> "lag"
+  | Compact -> "compact"
 
 (* Mutations of the shared store/history/clock go through the
    single-writer loop; everything else (including task-window editing,
-   which touches only the per-connection session) is a read. *)
+   which touches only the per-connection session) is a read.  Compact
+   counts as a mutation (it rewrites the journal's snapshot); Subscribe
+   and Repl_ack never reach the evaluator — the server's connection
+   loop handles replication mode itself. *)
 let is_mutation = function
-  | Install _ | Annotate _ | Run _ | Recall _ | Refresh _ -> true
+  | Install _ | Annotate _ | Run _ | Recall _ | Refresh _ | Compact -> true
   | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
   | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
-  | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown ->
+  | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown | Subscribe _
+  | Repl_ack _ | Lag ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -275,11 +315,23 @@ let response_to_sexp = function
   | Ok_rows rows -> S.field "ok-rows" (List.map row_to_sexp rows)
   | Ok_stat st ->
     S.field "ok-stat"
-      [ S.int st.st_clock; S.int st.st_instances; S.int st.st_records;
-        S.int st.st_store_tick; S.int st.st_history_tick;
-        S.float st.st_uptime_s ]
+      [ S.atom st.st_role; S.int st.st_seq; S.int st.st_clock;
+        S.int st.st_instances; S.int st.st_records; S.int st.st_store_tick;
+        S.int st.st_history_tick; S.float st.st_uptime_s ]
   | Ok_refresh { fresh; reran; reused } ->
     S.field "ok-refresh" [ S.int fresh; S.int reran; S.int reused ]
+  | Ok_snapshot { seq; data } ->
+    S.field "ok-snapshot" [ S.int seq; S.atom data ]
+  | Ok_frame { seq; payload; digest } ->
+    S.field "ok-frame" [ S.int seq; S.atom digest; S.atom payload ]
+  | Ok_lags { primary_seq; rows } ->
+    S.field "ok-lags"
+      (S.int primary_seq
+      :: List.map
+           (fun r ->
+             S.list
+               [ S.atom r.lag_follower; S.int r.lag_acked; S.int r.lag_sent ])
+           rows)
   | Error m -> S.field "error" [ S.atom m ]
 
 let response_of_sexp sexp =
@@ -300,14 +352,33 @@ let response_of_sexp sexp =
              | _ -> wire_errorf "malformed node")
            l)
     | "ok-rows", rows -> Ok_rows (List.map row_of_sexp rows)
-    | "ok-stat", [ c; i; r; sti; hti; up ] ->
+    | "ok-stat", [ role; seq; c; i; r; sti; hti; up ] ->
       Ok_stat
-        { st_clock = S.as_int c; st_instances = S.as_int i;
+        { st_role = S.as_atom role; st_seq = S.as_int seq;
+          st_clock = S.as_int c; st_instances = S.as_int i;
           st_records = S.as_int r; st_store_tick = S.as_int sti;
           st_history_tick = S.as_int hti; st_uptime_s = S.as_float up }
     | "ok-refresh", [ f; re; ru ] ->
       Ok_refresh
         { fresh = S.as_int f; reran = S.as_int re; reused = S.as_int ru }
+    | "ok-snapshot", [ seq; data ] ->
+      Ok_snapshot { seq = S.as_int seq; data = S.as_atom data }
+    | "ok-frame", [ seq; digest; payload ] ->
+      Ok_frame
+        { seq = S.as_int seq; digest = S.as_atom digest;
+          payload = S.as_atom payload }
+    | "ok-lags", primary_seq :: rows ->
+      Ok_lags
+        { primary_seq = S.as_int primary_seq;
+          rows =
+            List.map
+              (fun s ->
+                match S.as_list s with
+                | [ f; a; l ] ->
+                  { lag_follower = S.as_atom f; lag_acked = S.as_int a;
+                    lag_sent = S.as_int l }
+                | _ -> wire_errorf "malformed lag row")
+              rows }
     | "error", [ m ] -> Error (S.as_atom m)
     | _ -> wire_errorf "unknown response %S" name)
   | _ -> wire_errorf "malformed response"

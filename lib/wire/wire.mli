@@ -15,10 +15,17 @@ exception Wire_error of string
 
 type iid = Ddf_store.Store.iid
 
+val protocol_version : int
+(** The dialect this build speaks (2).  The [Hello] handshake carries
+    the client's version; a server refuses mismatched clients with a
+    typed error before serving anything else. *)
+
 type catalog = Entities | Tools | Flows
 
 type request =
-  | Hello of string                      (** client identity (user) *)
+  | Hello of { user : string; version : int }
+      (** client identity (user) + protocol version; a version-1 peer
+          sends a bare [(hello <user>)], decoded as [version = 1] *)
   | Ping
   | Stat
   | Catalog of catalog
@@ -51,8 +58,22 @@ type request =
   | Save_flow of string
   | Load_flow of string
   | Shutdown
+  | Subscribe of int
+      (** follower → primary: stream me every journal entry with seqno
+          greater than this (0 = from the beginning).  The connection
+          switches into replication mode: the server answers with an
+          optional [Ok_snapshot] followed by an unbounded stream of
+          [Ok_frame]s, and reads only [Repl_ack]s from then on. *)
+  | Repl_ack of int                      (** follower → primary: applied
+                                             through this seqno (no
+                                             response) *)
+  | Lag                                  (** per-follower replication lag *)
+  | Compact                              (** admin: fold the journal into
+                                             a fresh snapshot now *)
 
 type stat = {
+  st_role : string;                      (** "primary" or "follower" *)
+  st_seq : int;                          (** last journaled seqno *)
   st_clock : int;
   st_instances : int;
   st_records : int;
@@ -67,6 +88,12 @@ type instance_row = {
   row_meta : Ddf_store.Store.meta;
 }
 
+type lag_row = {
+  lag_follower : string;                 (** follower identity (hello user) *)
+  lag_acked : int;                       (** last seqno it acknowledged *)
+  lag_sent : int;                        (** last seqno sent to it *)
+}
+
 type response =
   | Ok_unit
   | Ok_int of int                        (** fresh node / instance id *)
@@ -77,6 +104,12 @@ type response =
   | Ok_rows of instance_row list
   | Ok_stat of stat
   | Ok_refresh of { fresh : iid; reran : int; reused : int }
+  | Ok_snapshot of { seq : int; data : string }
+      (** replication seed: a full workspace save as of [seq] *)
+  | Ok_frame of { seq : int; payload : string; digest : string }
+      (** one journal entry; [digest] is the md5 hex of [payload], the
+          same checksum the on-disk frame carries *)
+  | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Error of string
 
 val request_to_sexp : request -> Ddf_persist.Sexp.t

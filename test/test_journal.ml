@@ -208,6 +208,22 @@ let compaction =
         let final = state ctx in
         Journal.close j;
         reopened_equals dir final);
+    Alcotest.test_case "torn snapshot write (.tmp) is ignored on open" `Quick
+      (fun () ->
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        ignore (activity (Journal.context j) 3);
+        Journal.compact j;
+        let final = state (Journal.context j) in
+        Journal.close j;
+        (* a crash mid-compaction leaves a half-written temp file; the
+           atomic rename never happened, so replay must not read it *)
+        let oc =
+          open_out (Filename.concat dir "snapshot.ddf.tmp")
+        in
+        output_string oc "(store (instances (garbage";
+        close_out oc;
+        reopened_equals dir final);
   ]
 
 let suite = [ ("journal", basics @ torn_tail @ compaction) ]

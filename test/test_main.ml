@@ -5,4 +5,5 @@ let () =
     @ Test_store_history.suite @ Test_exec.suite @ Test_session.suite
     @ Test_baselines.suite @ Test_persist.suite @ Test_integration.suite
     @ Test_hier_process.suite @ Test_properties.suite @ Test_misc.suite
-    @ Test_obs.suite @ Test_journal.suite @ Test_server.suite)
+    @ Test_obs.suite @ Test_journal.suite @ Test_server.suite
+    @ Test_replica.suite)
