@@ -711,7 +711,23 @@ let serve_cmd =
              every entry locally (crash-safe, promotable) and serve reads; \
              writes are rejected with a pointer to the primary.")
   in
-  let run db socket follow compact_every request_timeout max_clients
+  let sync_mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("always", Journal.Always); ("group", Journal.Group);
+               ("none", Journal.Never) ])
+          Journal.Group
+      & info [ "sync-mode" ] ~docv:"MODE"
+          ~doc:
+            "Journal durability: $(b,always) fsyncs inside every append; \
+             $(b,group) (the default) fsyncs once per write batch before \
+             acknowledging any request in it — group commit, so concurrent \
+             writers share one disk flush; $(b,none) never fsyncs (for \
+             replay-only followers and benchmarks).")
+  in
+  let run db socket follow sync_mode compact_every request_timeout max_clients
       replay_only obs =
     let socket =
       match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
@@ -737,8 +753,8 @@ let serve_cmd =
         Printf.printf "hercules: serving %s on %s (following %s)\n%!" db
           socket primary);
       match
-        Server.run ~seed:seed_database ?follow ~max_clients ~request_timeout
-          ~compact_every ~db ~socket Standard_schemas.odyssey
+        Server.run ~seed:seed_database ?follow ~sync_mode ~max_clients
+          ~request_timeout ~compact_every ~db ~socket Standard_schemas.odyssey
       with
       | () -> print_endline "hercules: shut down"
       | exception Server.Server_error m ->
@@ -756,8 +772,8 @@ let serve_cmd =
           concurrent $(b,hercules remote) clients — as the primary, or as a \
           read-scaling replication follower ($(b,--follow)).")
     Term.(
-      const run $ db_arg $ socket $ follow $ compact_every $ request_timeout
-      $ max_clients $ replay_only $ obs_term)
+      const run $ db_arg $ socket $ follow $ sync_mode $ compact_every
+      $ request_timeout $ max_clients $ replay_only $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hercules remote                                                     *)
@@ -1069,12 +1085,51 @@ let remote_shutdown_cmd =
     (Cmd.info "shutdown" ~doc:"Ask the server to shut down gracefully.")
     Term.(const run $ remote_socket_arg $ remote_user_arg)
 
+let remote_batch_cmd =
+  let run socket user =
+    (* One request s-expression per non-empty stdin line; the whole
+       list travels as a single pipelined frame and the responses come
+       back positionally, one line each. *)
+    let reqs = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then
+           match Wire.request_of_sexp (Sexp.of_string line) with
+           | req -> reqs := req :: !reqs
+           | exception (Sexp.Sexp_error m | Wire.Wire_error m) ->
+             Printf.eprintf "bad request %S: %s\n" line m;
+             exit 1
+       done
+     with End_of_file -> ());
+    let reqs = List.rev !reqs in
+    if reqs = [] then begin
+      Printf.eprintf "no requests on stdin\n";
+      exit 1
+    end;
+    with_remote socket user @@ fun c ->
+    let resps = Client.batch c reqs in
+    List.iter
+      (fun r -> print_endline (Sexp.to_string (Wire.response_to_sexp r)))
+      resps;
+    if List.exists (function Wire.Error _ -> true | _ -> false) resps then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Pipeline many requests in one round trip: read request \
+          s-expressions from stdin (one per line), send them as a single \
+          $(b,batch) frame, and print the responses in order.  Exits \
+          non-zero when any response is an error.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
        ~doc:"Talk to a $(b,hercules serve) daemon over its socket.")
     [ remote_ping_cmd; remote_stat_cmd; remote_lag_cmd; remote_compact_cmd;
-      remote_catalog_cmd; remote_browse_cmd;
+      remote_catalog_cmd; remote_browse_cmd; remote_batch_cmd;
       remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
       remote_shutdown_cmd ]
 

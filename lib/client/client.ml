@@ -151,7 +151,7 @@ let unexpected req resp =
     | Wire.Ok_rows _ -> "rows" | Wire.Ok_stat _ -> "stat"
     | Wire.Ok_refresh _ -> "refresh" | Wire.Ok_snapshot _ -> "snapshot"
     | Wire.Ok_frame _ -> "frame" | Wire.Ok_lags _ -> "lags"
-    | Wire.Error _ -> "error")
+    | Wire.Ok_batch _ -> "batch" | Wire.Error _ -> "error")
     (Wire.request_name req)
 
 let ok_unit t req =
@@ -245,6 +245,16 @@ let lag t =
   | resp -> unexpected Wire.Lag resp
 
 let compact t = ok_unit t Wire.Compact
+
+let batch t reqs =
+  let req = Wire.Batch reqs in
+  match ok t req with
+  | Wire.Ok_batch resps ->
+    let want = List.length reqs and got = List.length resps in
+    if want <> got then
+      client_errorf "batch answered %d of %d requests" got want;
+    resps
+  | resp -> unexpected req resp
 
 let shutdown t =
   ok_unit t Wire.Shutdown;
@@ -353,6 +363,13 @@ module Pool = struct
               if m.role = "down" then go (tries - 1) else raise e))
     in
     go (List.length pool.members)
+
+  (* One pipeline frame; primary iff any member mutates, since a
+     follower rejects a batch that writes.  [batch] here is the
+     single-connection pipeline above. *)
+  let batch pool reqs =
+    if List.exists Wire.is_mutation reqs then write pool (fun c -> batch c reqs)
+    else read pool (fun c -> batch c reqs)
 
   let close pool =
     List.iter

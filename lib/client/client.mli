@@ -107,6 +107,16 @@ val lag : t -> int * Ddf_wire.Wire.lag_row list
 val compact : t -> unit
 (** Ask the daemon to fold its journal into a fresh snapshot now. *)
 
+val batch : t -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list
+(** Pipeline: send the requests as one [Batch] frame and return their
+    responses positionally (always the same length as the input).  The
+    server executes them in order; an inner failure is an [Error] at
+    its position and execution continues — effects of earlier members
+    are not rolled back.  A batch containing a mutation runs as one
+    writer job, so its writes share one group commit (and one fsync).
+    @raise Client_error on a top-level refusal (e.g. a read-only
+    follower rejecting a mutating batch) or a length mismatch. *)
+
 val shutdown : t -> unit
 (** Ask the daemon to shut down gracefully, then close this
     connection. *)
@@ -149,6 +159,11 @@ module Pool : sig
   (** Run a write on the primary; when it is gone, re-probe everything
       once to find a promoted follower and retry.
       @raise Client_error when no writable endpoint exists. *)
+
+  val batch :
+    pool -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list
+  (** One pipeline frame, routed to the primary iff any member is a
+      mutation (a follower would reject it), to a follower otherwise. *)
 
   val close : pool -> unit
 end

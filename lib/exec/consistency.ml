@@ -20,14 +20,8 @@ exception Consistency_error of string
 (* The latest version of an instance: the newest leaf of its version
    tree (by creation time, ties to the higher iid). *)
 let latest_version (ctx : Engine.context) iid =
-  let versions =
-    History.versions ctx.Engine.history ctx.Engine.store ctx.Engine.schema iid
-  in
-  List.fold_left
-    (fun best v ->
-      let t v = (Store.meta_of ctx.Engine.store v).Store.created_at in
-      if (t v, v) > (t best, best) then v else best)
-    iid versions
+  History.latest_version ctx.Engine.history ctx.Engine.store ctx.Engine.schema
+    iid
 
 type refresh_report = {
   fresh_instance : Store.iid;   (* up-to-date equivalent of the input *)

@@ -21,12 +21,30 @@ type record = {
   at : int;                               (* logical time of execution *)
 }
 
+(* The version-successor index: version-parent and version-children
+   edges derived from the records (see "Versioning" below).  Records
+   and instance entities are immutable once written, so an indexed
+   prefix of the record ids stays valid forever; the index advances
+   incrementally over rids [vi_next ..] at query time ([add] has no
+   store/schema in hand, so it cannot maintain the edges itself).  The
+   store and schema the edges were derived against are remembered by
+   physical identity — a different store (e.g. after a replication
+   resync swaps the context's store) rebuilds from scratch. *)
+type vindex = {
+  vi_store : Obj.t;
+  vi_schema : Obj.t;
+  vi_parent : (Store.iid, Store.iid) Hashtbl.t;
+  vi_children : (Store.iid, Store.iid list ref) Hashtbl.t;
+  mutable vi_next : int;               (* first rid not yet folded in *)
+}
+
 type t = {
   mutable next_rid : int;
   records : (int, record) Hashtbl.t;
   produced_by : (Store.iid, int) Hashtbl.t;    (* instance -> record *)
   used_by : (Store.iid, int list ref) Hashtbl.t;
   mutable observer : (record -> unit) option;
+  mutable vindex : vindex option;
 }
 
 exception History_error of string
@@ -45,6 +63,7 @@ let create () =
     produced_by = Hashtbl.create 64;
     used_by = Hashtbl.create 64;
     observer = None;
+    vindex = None;
   }
 
 let size h = Hashtbl.length h.records
@@ -321,36 +340,80 @@ let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
 (* A record is an editing task when one input has the same root entity
    type as an output: versioning is characterized exactly so in the
    paper.  The version parent of an instance is that input. *)
+let record_version_parent store schema (r : record) out_iid =
+  let root = Schema.root_of schema (Store.entity_of store out_iid) in
+  List.find_opt
+    (fun (_, input) ->
+      Schema.root_of schema (Store.entity_of store input) = root)
+    r.inputs
+  |> Option.map snd
+
+(* Get the index for (store, schema), building or advancing it first:
+   fold in every record with rid >= vi_next.  Each output has at most
+   one producing record ([add] enforces it), so the parent edge per
+   instance is unique. *)
+let vindex_of h (store : 'a Store.t) (schema : Schema.t) =
+  let vi =
+    match h.vindex with
+    | Some vi when vi.vi_store == Obj.repr store
+                   && vi.vi_schema == Obj.repr schema ->
+      vi
+    | Some _ | None ->
+      let vi =
+        { vi_store = Obj.repr store; vi_schema = Obj.repr schema;
+          vi_parent = Hashtbl.create 64; vi_children = Hashtbl.create 64;
+          vi_next = 1 }
+      in
+      h.vindex <- Some vi;
+      vi
+  in
+  let last = h.next_rid - 1 in
+  if vi.vi_next <= last then begin
+    for rid = vi.vi_next to last do
+      match Hashtbl.find_opt h.records rid with
+      | None -> ()   (* rid gap from a forward [restore_tick] *)
+      | Some r ->
+        List.iter
+          (fun (_, out) ->
+            match record_version_parent store schema r out with
+            | None -> ()
+            | Some parent ->
+              Hashtbl.replace vi.vi_parent out parent;
+              let l =
+                match Hashtbl.find_opt vi.vi_children parent with
+                | Some l -> l
+                | None ->
+                  let l = ref [] in
+                  Hashtbl.add vi.vi_children parent l;
+                  l
+              in
+              l := out :: !l)
+          r.outputs
+    done;
+    vi.vi_next <- last + 1
+  end;
+  vi
+
 let version_parent h store schema iid =
-  match derivation_of h iid with
-  | None -> None
-  | Some r ->
-    let root = Schema.root_of schema (Store.entity_of store iid) in
-    List.find_opt
-      (fun (_, input) ->
-        Schema.root_of schema (Store.entity_of store input) = root)
-      r.inputs
-    |> Option.map snd
+  Hashtbl.find_opt (vindex_of h store schema).vi_parent iid
 
 type version_tree = {
   v_iid : Store.iid;
   v_children : version_tree list;
 }
 
-(* The version tree rooted at an instance, following edit successors. *)
+(* The version tree rooted at an instance, following edit successors —
+   one child-table hit per node instead of re-deriving the successors
+   from [uses_of] at every node. *)
 let version_tree h store schema iid =
+  let vi = vindex_of h store schema in
+  let children iid =
+    match Hashtbl.find_opt vi.vi_children iid with
+    | Some l -> List.sort_uniq compare !l
+    | None -> []
+  in
   let rec build iid =
-    let children =
-      uses_of h iid
-      |> List.concat_map (fun r ->
-             List.filter_map
-               (fun (_, out) ->
-                 if version_parent h store schema out = Some iid then Some out
-                 else None)
-               r.outputs)
-      |> List.sort_uniq compare
-    in
-    { v_iid = iid; v_children = List.map build children }
+    { v_iid = iid; v_children = List.map build (children iid) }
   in
   build iid
 
@@ -365,10 +428,20 @@ let versions h store schema iid =
     | Some p -> origin p
     | None -> iid
   in
-  let rec flatten t =
-    t.v_iid :: List.concat_map flatten t.v_children
-  in
-  flatten (version_tree h store schema (origin iid)) |> List.sort_uniq compare
+  (* accumulator fold: [concat_map] would copy the tail once per level,
+     quadratic on the long linear chains edit histories produce *)
+  let rec flatten acc t = List.fold_left flatten (t.v_iid :: acc) t.v_children in
+  flatten [] (version_tree h store schema (origin iid))
+  |> List.sort_uniq compare
+
+(* The newest instance in the version tree by creation time (ties go
+   to the higher iid); the instance itself when it has no versions. *)
+let latest_version h store schema iid =
+  let at v = (Store.meta_of store v).Store.created_at in
+  List.fold_left
+    (fun best v -> if (at v, v) > (at best, best) then v else best)
+    iid
+    (versions h store schema iid)
 
 (* ------------------------------------------------------------------ *)
 (* Consistency (out-of-date analysis)                                  *)

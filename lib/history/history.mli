@@ -88,7 +88,15 @@ val query_template :
     the recorded history; [bound] pins some nodes.  Result capped at
     1000 bindings. *)
 
-(** {1 Versioning (Fig. 11)} *)
+(** {1 Versioning (Fig. 11)}
+
+    Version queries are answered from a version-successor index
+    (parent and children edges per instance) built lazily and advanced
+    incrementally over the records added since the last query — never
+    re-derived from [uses_of] per node.  The index is keyed on the
+    physical identity of the (store, schema) pair it was derived
+    against; querying with a different store (e.g. after a replication
+    resync) rebuilds it transparently. *)
 
 val version_parent : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid option
 (** The edit predecessor: the input of the producing record whose
@@ -104,6 +112,10 @@ val version_tree_size : version_tree -> int
 
 val versions : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid list
 (** Every version in the instance's tree, from its origin. *)
+
+val latest_version : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid
+(** The newest version by creation time (ties go to the higher iid);
+    the instance itself when it has no versions. *)
 
 (** {1 Consistency} *)
 

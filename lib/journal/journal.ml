@@ -45,6 +45,32 @@ let m_appends = Ddf_obs.Metrics.counter "journal.appends"
 let m_replayed = Ddf_obs.Metrics.counter "journal.replayed_entries"
 let m_compactions = Ddf_obs.Metrics.counter "journal.compactions"
 let m_torn = Ddf_obs.Metrics.counter "journal.torn_tails"
+let m_syncs = Ddf_obs.Metrics.counter "journal.syncs"
+let h_batch = Ddf_obs.Metrics.histogram "journal.group_commit_batch"
+
+(* When is an entry durable?
+     [Always] - fsync inside every append: an entry is on disk before
+       the caller proceeds.  Safest, one disk flush per write.
+     [Group]  - appends only flush to the OS; durability happens at the
+       next [sync], which fsyncs once for every entry buffered since
+       the previous one (classic WAL group commit).  The design server
+       drains its write queue in batches and syncs once per batch, so
+       a write is acknowledged only after its batch is durable.
+     [Never]  - no fsync at all, for replay-only followers and
+       benchmark scaffolding: a machine crash may lose the tail, a
+       clean process exit loses nothing. *)
+type sync_mode = Always | Group | Never
+
+let sync_mode_of_string = function
+  | "always" -> Some Always
+  | "group" -> Some Group
+  | "none" | "never" -> Some Never
+  | _ -> None
+
+let sync_mode_to_string = function
+  | Always -> "always"
+  | Group -> "group"
+  | Never -> "none"
 
 type t = {
   j_dir : string;
@@ -58,6 +84,8 @@ type t = {
   mutable j_closed : bool;
   mutable j_frame_obs : (int -> string -> unit) option;
   compact_every : int;
+  mutable j_sync_mode : sync_mode;
+  mutable j_pending : int;           (* entries since the last durability point *)
 }
 
 let context j = j.j_ctx
@@ -69,6 +97,9 @@ let base_seq j = j.j_base
 
 let set_frame_observer j f = j.j_frame_obs <- Some f
 let clear_frame_observer j = j.j_frame_obs <- None
+
+let sync_mode j = j.j_sync_mode
+let set_sync_mode j m = j.j_sync_mode <- m
 
 let snapshot_path dir = Filename.concat dir "snapshot.ddf"
 let wal_path dir = Filename.concat dir "wal.ddf"
@@ -92,10 +123,18 @@ let read_base dir =
 let write_base dir base =
   let tmp = base_path dir ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Printf.fprintf oc "B1 %d\n" base;
-  flush oc;
-  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
-  close_out oc;
+  (try
+     Printf.fprintf oc "B1 %d\n" base;
+     flush oc;
+     (* an fsync failure here must fail the caller: renaming a base
+        that may not be on disk would report durability that didn't
+        happen *)
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   Sys.rename tmp (base_path dir)
 
 (* ------------------------------------------------------------------ *)
@@ -216,14 +255,28 @@ let replay_entry ctx payload =
 (* Observers: the live write path                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* One durability point: fsync the wal and record how many entries the
+   flush covered (the group-commit batch size). *)
+let fsync_now j =
+  flush j.j_oc;
+  Unix.fsync (Unix.descr_of_out_channel j.j_oc);
+  Ddf_obs.Metrics.incr m_syncs;
+  if j.j_pending > 0 then
+    Ddf_obs.Metrics.observe h_batch (float_of_int j.j_pending);
+  j.j_pending <- 0
+
 let append j payload =
   if not j.j_closed then begin
     write_frame j.j_oc payload;
     j.j_entries <- j.j_entries + 1;
     j.j_seq <- j.j_seq + 1;
+    j.j_pending <- j.j_pending + 1;
     Ddf_obs.Metrics.incr m_appends;
-    (* durable first, then shipped: the frame observer (the replication
-       fan-out) sees an entry only after it is on the local disk *)
+    if j.j_sync_mode = Always then fsync_now j;
+    (* written first, then shipped: the frame observer (the replication
+       fan-out) sees an entry only after the local wal has it — on disk
+       in [Always] mode, flushed to the OS in [Group]/[Never] (the
+       entry becomes durable at the batch's [sync]) *)
     match j.j_frame_obs with
     | Some f -> f j.j_seq payload
     | None -> ()
@@ -259,7 +312,14 @@ let fsync_dir dir =
     Unix.close fd
   | exception Unix.Unix_error _ -> ()
 
-let sync j = if not j.j_closed then fsync_oc j.j_oc
+let sync j =
+  if not j.j_closed then begin
+    flush j.j_oc;
+    if j.j_pending > 0 then
+      match j.j_sync_mode with
+      | Never -> j.j_pending <- 0 (* no durability point, just bound the count *)
+      | Always | Group -> fsync_now j
+  end
 
 (* Replay wal.ddf into [ctx]; returns (entries, torn-tail bytes
    dropped).  The file is truncated at the first torn frame. *)
@@ -290,7 +350,7 @@ let replay_wal ctx path =
     (!entries, torn)
   end
 
-let open_ ?registry ?(compact_every = 10_000) ~dir schema =
+let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group) ~dir schema =
   if compact_every < 1 then journal_errorf "compact_every must be positive";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   if not (Sys.is_directory dir) then journal_errorf "%s is not a directory" dir;
@@ -321,7 +381,8 @@ let open_ ?registry ?(compact_every = 10_000) ~dir schema =
   let j =
     { j_dir = dir; j_ctx = ctx; j_registry = registry; j_oc = oc;
       j_entries = entries; j_base = base; j_seq = base + entries;
-      j_truncated = torn; j_closed = false; j_frame_obs = None; compact_every }
+      j_truncated = torn; j_closed = false; j_frame_obs = None; compact_every;
+      j_sync_mode = sync_mode; j_pending = 0 }
   in
   attach j;
   j
@@ -350,7 +411,10 @@ let compact j =
       [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
       0o644 (wal_path j.j_dir);
   j.j_entries <- 0;
-  j.j_base <- j.j_seq
+  j.j_base <- j.j_seq;
+  (* every journaled entry is folded into the fsynced snapshot: this is
+     a durability point even for entries not yet fsynced in the wal *)
+  j.j_pending <- 0
 
 let maybe_compact j =
   if (not j.j_closed) && j.j_entries >= j.compact_every then begin
@@ -362,7 +426,9 @@ let maybe_compact j =
 let close j =
   if not j.j_closed then begin
     detach j;
-    fsync_oc j.j_oc;
+    (match j.j_sync_mode with
+    | Never -> flush j.j_oc
+    | Always | Group -> fsync_now j);
     close_out j.j_oc;
     j.j_closed <- true
   end
@@ -439,6 +505,8 @@ let apply j ~seq payload =
   write_frame j.j_oc payload;
   j.j_entries <- j.j_entries + 1;
   j.j_seq <- seq;
+  j.j_pending <- j.j_pending + 1;
+  if j.j_sync_mode = Always then fsync_now j;
   Ddf_obs.Metrics.incr m_applied;
   match j.j_frame_obs with
   | Some f -> f j.j_seq payload
@@ -484,4 +552,5 @@ let reset_to_snapshot j ~seq data =
   j.j_entries <- 0;
   j.j_base <- seq;
   j.j_seq <- seq;
+  j.j_pending <- 0;
   attach j

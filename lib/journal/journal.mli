@@ -21,17 +21,38 @@ exception Journal_error of string
 
 type t
 
+type sync_mode =
+  | Always  (** [fsync] inside every append: each entry is on disk
+                before the caller proceeds. *)
+  | Group   (** appends only flush to the OS; {!sync} makes everything
+                buffered durable with one [fsync] — classic WAL group
+                commit.  The default: callers choose the durability
+                points. *)
+  | Never   (** no [fsync] at all — for replay-only followers and
+                benchmark scaffolding.  A clean close loses nothing; a
+                machine crash may lose the tail. *)
+
+val sync_mode_of_string : string -> sync_mode option
+(** ["always"], ["group"], ["none"] (or ["never"]). *)
+
+val sync_mode_to_string : sync_mode -> string
+
 val open_ :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?compact_every:int ->
+  ?sync_mode:sync_mode ->
   dir:string -> Ddf_schema.Schema.t -> t
 (** Open a database directory (created when missing): load
     [snapshot.ddf] if present, replay [wal.ddf] (truncating a torn
     tail), then attach write observers to the rebuilt context so
     subsequent mutations are journaled.  [compact_every] (default
     10_000) is the log-entry threshold {!maybe_compact} acts on.
+    [sync_mode] (default {!Group}) sets when entries become durable.
     @raise Journal_error on corruption before the tail (iid/rid or
     content-hash mismatches). *)
+
+val sync_mode : t -> sync_mode
+val set_sync_mode : t -> sync_mode -> unit
 
 val context : t -> Ddf_exec.Engine.context
 (** The journaled context; mutate it only through the normal engine /
@@ -45,8 +66,13 @@ val truncated_on_open : t -> int
 (** Bytes of torn tail dropped by crash recovery during {!open_}. *)
 
 val sync : t -> unit
-(** Flush and [fsync] the log: everything journaled so far survives a
-    machine crash. *)
+(** A durability point: flush and [fsync] the log, so everything
+    journaled so far survives a machine crash.  In {!Group} mode this
+    is the group commit — one [fsync] covers every entry appended
+    since the previous durability point, and the batch size is
+    recorded in the [journal.group_commit_batch] histogram.  In
+    {!Never} mode it only flushes.  Skips the [fsync] when nothing is
+    pending. *)
 
 val compact : t -> unit
 (** Write a fresh snapshot (atomically, via rename) and truncate the

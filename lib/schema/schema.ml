@@ -31,9 +31,24 @@ type entity = {
   description : string;
 }
 
+(* Memoized subtype-closure tables.  A schema value is immutable —
+   [add_entity]/[remove_entity] build a new record — so each record
+   carries its own lazily-built cache in a fresh ref: extension
+   invalidates by construction, and the tables are computed at most
+   once per schema value, on first use. *)
+type closure = {
+  cl_children : (string, string list) Hashtbl.t;
+      (* direct subtypes, ascending id order *)
+  cl_ancestors : (string, String_set.t) Hashtbl.t;
+      (* proper ancestors (the parent chain) as a set *)
+  cl_descendants : (string, string list) Hashtbl.t;
+      (* transitive subtypes in BFS order, filled per queried root *)
+}
+
 type t = {
   name : string;
   entities : entity String_map.t;
+  closure : closure option ref;
 }
 
 exception Schema_error of string
@@ -96,24 +111,87 @@ let root_of s id =
   | [] -> id
   | r :: _ -> r
 
+(* Build the children lists and ancestor sets in one pass over the
+   entity map; descendant lists are filled on demand per queried root.
+   Parent chains are acyclic (validated), so the memoized ancestor
+   recursion terminates. *)
+let closure_of s =
+  match !(s.closure) with
+  | Some cl -> cl
+  | None ->
+    let n = String_map.cardinal s.entities in
+    let children = Hashtbl.create n in
+    String_map.iter
+      (fun id e ->
+        match e.parent with
+        | None -> ()
+        | Some p ->
+          let prev = try Hashtbl.find children p with Not_found -> [] in
+          Hashtbl.replace children p (id :: prev))
+      s.entities;
+    (* the map iterates in ascending id order; un-reverse each list *)
+    Hashtbl.iter
+      (fun p subs -> Hashtbl.replace children p (List.rev subs))
+      (Hashtbl.copy children);
+    let ancs = Hashtbl.create n in
+    let rec anc_of id =
+      match Hashtbl.find_opt ancs id with
+      | Some set -> set
+      | None ->
+        let set =
+          match (String_map.find id s.entities).parent with
+          | None -> String_set.empty
+          | Some p -> String_set.add p (anc_of p)
+        in
+        Hashtbl.add ancs id set;
+        set
+    in
+    String_map.iter (fun id _ -> ignore (anc_of id)) s.entities;
+    let cl =
+      { cl_children = children; cl_ancestors = ancs;
+        cl_descendants = Hashtbl.create n }
+    in
+    s.closure := Some cl;
+    cl
+
 let subtypes s id =
-  String_map.fold
-    (fun sub e acc -> if e.parent = Some id then sub :: acc else acc)
-    s.entities []
-  |> List.rev
+  match Hashtbl.find_opt (closure_of s).cl_children id with
+  | Some subs -> subs
+  | None -> []
 
 let descendants s id =
-  let rec widen acc frontier =
-    match frontier with
-    | [] -> acc
-    | x :: rest ->
-      let subs = subtypes s x in
-      widen (acc @ subs) (rest @ subs)
-  in
-  widen [] [ id ]
+  let cl = closure_of s in
+  match Hashtbl.find_opt cl.cl_descendants id with
+  | Some l -> l
+  | None ->
+    (* BFS with an explicit visited set and a reversed accumulator:
+       linear, and terminating even on (invalid) cyclic subtype edges *)
+    let visited = Hashtbl.create 16 in
+    let out = ref [] in
+    let q = Queue.create () in
+    Hashtbl.add visited id ();
+    Queue.add id q;
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      List.iter
+        (fun sub ->
+          if not (Hashtbl.mem visited sub) then begin
+            Hashtbl.add visited sub ();
+            out := sub :: !out;
+            Queue.add sub q
+          end)
+        (subtypes s x)
+    done;
+    let l = List.rev !out in
+    Hashtbl.replace cl.cl_descendants id l;
+    l
 
 let is_subtype s ~sub ~super =
-  sub = super || List.mem super (ancestors s sub)
+  sub = super
+  ||
+  match Hashtbl.find_opt (closure_of s).cl_ancestors sub with
+  | Some ancs -> String_set.mem super ancs
+  | None -> schema_errorf "unknown entity %S in schema %S" sub s.name
 
 (* ------------------------------------------------------------------ *)
 (* Construction rules                                                  *)
@@ -316,19 +394,28 @@ let create name entity_list =
     else String_map.add e.id e acc
   in
   let entities = List.fold_left add String_map.empty entity_list in
-  let s = { name; entities } in
+  let s = { name; entities; closure = ref None } in
   validate s;
   s
 
+(* Extension and removal build a fresh record with a fresh (empty)
+   closure cache — never [{ s with ... }], which would share the stale
+   cache ref with the original schema. *)
 let add_entity s e =
   if mem s e.id then schema_errorf "entity %S already present" e.id;
-  let s = { s with entities = String_map.add e.id e s.entities } in
+  let s =
+    { name = s.name; entities = String_map.add e.id e s.entities;
+      closure = ref None }
+  in
   validate s;
   s
 
 let remove_entity s id =
   let _ = find s id in
-  let s = { s with entities = String_map.remove id s.entities } in
+  let s =
+    { name = s.name; entities = String_map.remove id s.entities;
+      closure = ref None }
+  in
   validate s;
   s
 

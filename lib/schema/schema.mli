@@ -98,8 +98,13 @@ val subtypes : t -> string -> string list
 (** Direct subtypes only. *)
 
 val descendants : t -> string -> string list
+(** Transitive subtypes, breadth-first, excluding [id] itself. *)
+
 val is_subtype : t -> sub:string -> super:string -> bool
-(** Reflexive and transitive. *)
+(** Reflexive and transitive.  Subtype queries are answered from
+    memoized closure tables built lazily per schema value; since a
+    schema is immutable, {!add_entity}/{!remove_entity} invalidate by
+    constructing a fresh cache. *)
 
 (** {1 Construction rules} *)
 

@@ -199,41 +199,69 @@ let finish job result =
   Condition.signal job.job_c;
   Mutex.unlock job.job_m
 
+(* Group commit: the writer drains its whole queue as one batch, runs
+   each job (mutating the store and appending journal frames), then
+   makes the batch durable with a single [Journal.sync] before
+   acknowledging anyone.  Under load the queue fills while the previous
+   batch runs, so the fsync cost amortizes over every waiting writer;
+   an idle server degenerates to one fsync per write.  Jobs still
+   execute one at a time under the write lock, so readers interleave
+   between jobs exactly as before. *)
 let writer_loop t =
   let rec next () =
     Mutex.lock t.m;
     let rec await () =
-      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      if not (Queue.is_empty t.queue) then begin
+        let batch = ref [] in
+        while not (Queue.is_empty t.queue) do
+          batch := Queue.pop t.queue :: !batch
+        done;
+        Some (List.rev !batch)
+      end
       else if t.stopping then None
       else begin
         Condition.wait t.queue_c t.m;
         await ()
       end
     in
-    let job = await () in
+    let batch = await () in
     Mutex.unlock t.m;
-    match job with
+    match batch with
     | None -> ()
-    | Some job ->
-      let waited = Unix.gettimeofday () -. job.job_enqueued in
-      Metrics.observe h_queue_wait (waited *. 1e6);
-      let result =
-        if waited > t.request_timeout then begin
-          Metrics.incr m_timeouts;
-          Wire.Error
-            (Printf.sprintf "request timed out after %.1fs in the write queue"
-               waited)
-        end
-        else
-          Rw.with_write t.rw (fun () ->
-              t.ctx.Engine.user <- job.job_user;
-              match job.job_run () with
-              | resp ->
-                ignore (Journal.maybe_compact t.journal);
-                resp
-              | exception e -> error_response e)
+    | Some batch ->
+      let run_one job =
+        let waited = Unix.gettimeofday () -. job.job_enqueued in
+        Metrics.observe h_queue_wait (waited *. 1e6);
+        let result =
+          if waited > t.request_timeout then begin
+            Metrics.incr m_timeouts;
+            Wire.Error
+              (Printf.sprintf "request timed out after %.1fs in the write queue"
+                 waited)
+          end
+          else
+            Rw.with_write t.rw (fun () ->
+                t.ctx.Engine.user <- job.job_user;
+                match job.job_run () with
+                | resp ->
+                  ignore (Journal.maybe_compact t.journal);
+                  resp
+                | exception e -> error_response e)
+        in
+        (job, result)
       in
-      finish job result;
+      let results = List.map run_one batch in
+      (* one fsync covers every frame the batch appended; only after it
+         succeeds are the jobs acknowledged.  If the disk fails here,
+         nobody gets an Ok for an entry of unknown durability. *)
+      let results =
+        match Journal.sync t.journal with
+        | () -> results
+        | exception e ->
+          let err = error_response e in
+          List.map (fun (job, _) -> (job, err)) results
+      in
+      List.iter (fun (job, result) -> finish job result) results;
       next ()
   in
   next ()
@@ -277,10 +305,28 @@ let nodes_with_entities flow nids =
 (* Evaluate one request against a connection's session.  Shared-state
    locking is the caller's business: mutations arrive here on the
    writer thread, reads under the shared lock. *)
-let eval t session req =
+let rec eval t session req =
   let ctx = t.ctx in
   let store = ctx.Engine.store in
   match (req : Wire.request) with
+  | Wire.Batch reqs ->
+    (* Positional answers; an inner failure becomes an [Error] at its
+       position and execution continues — journaled effects of earlier
+       members are already committed (there is no rollback).  When the
+       batch is a mutation it arrived here as one writer job, so all
+       its writes share one group commit. *)
+    Wire.Ok_batch
+      (List.map
+         (fun r ->
+           match (r : Wire.request) with
+           | Wire.Batch _ -> Wire.Error "batch requests do not nest"
+           | Wire.Hello _ | Wire.Shutdown | Wire.Subscribe _ | Wire.Repl_ack _
+             ->
+             Wire.Error
+               (Printf.sprintf "connection-level request %S inside a batch"
+                  (Wire.request_name r))
+           | r -> ( try eval t session r with e -> error_response e))
+         reqs)
   | Wire.Hello _ | Wire.Ping | Wire.Shutdown -> Wire.Ok_unit
   | Wire.Stat ->
     Wire.Ok_stat
@@ -590,8 +636,8 @@ let accept_loop t =
 (* ------------------------------------------------------------------ *)
 
 let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
-    ?compact_every ~db ~socket schema =
-  let journal = Journal.open_ ?registry ?compact_every ~dir:db schema in
+    ?compact_every ?sync_mode ~db ~socket schema =
+  let journal = Journal.open_ ?registry ?compact_every ?sync_mode ~dir:db schema in
   let ctx = Journal.context journal in
   (match seed with
   | Some f when follow = None && Store.instance_count ctx.Engine.store = 0 ->
@@ -707,10 +753,10 @@ let wait t =
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
 let run ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
-    ~db ~socket schema =
+    ?sync_mode ~db ~socket schema =
   let t =
     start ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
-      ~db ~socket schema
+      ?sync_mode ~db ~socket schema
   in
   let on_signal _ = stop t in
   let previous =

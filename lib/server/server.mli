@@ -24,6 +24,7 @@ val start :
   ?max_clients:int ->
   ?request_timeout:float ->
   ?compact_every:int ->
+  ?sync_mode:Ddf_journal.Journal.sync_mode ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> t
 (** Open (or create) the database under [db], bind [socket] and start
     accepting.  [seed] runs once — journaled — when the database is
@@ -31,6 +32,13 @@ val start :
     [max_clients] (default 64) bounds concurrent connections;
     [request_timeout] (default 30s) bounds a mutation's wait in the
     write queue.
+
+    [sync_mode] (default [Group]) sets the journal durability policy.
+    Under [Group] the writer loop drains its queue in batches and
+    fsyncs once per batch {e before} acknowledging any job in it —
+    group commit: every [Ok] a client sees is durable, but concurrent
+    writers share one fsync.  [Always] fsyncs inside every append;
+    [Never] never fsyncs (replay-only / bench scaffolding).
 
     [follow] makes this daemon a replication follower of the primary
     listening on that socket: it subscribes to the primary's journal
@@ -68,6 +76,7 @@ val run :
   ?max_clients:int ->
   ?request_timeout:float ->
   ?compact_every:int ->
+  ?sync_mode:Ddf_journal.Journal.sync_mode ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> unit
 (** {!start}, shut down on SIGINT/SIGTERM (or a [Shutdown] request),
     {!wait}. *)

@@ -34,6 +34,7 @@ type 'a t = {
   instances : (iid, 'a instance) Hashtbl.t;
   payloads : (string, 'a) Hashtbl.t;     (* content-addressed physical data *)
   by_entity : (string, iid list ref) Hashtbl.t;
+  mutable all_rev : iid list;            (* every iid, newest first *)
   mutable observer : ('a event -> unit) option;
 }
 
@@ -51,6 +52,7 @@ let create () =
     instances = Hashtbl.create 64;
     payloads = Hashtbl.create 64;
     by_entity = Hashtbl.create 16;
+    all_rev = [];
     observer = None;
   }
 
@@ -91,6 +93,7 @@ let put store ~entity ~hash ~meta payload =
       l
   in
   bucket := iid :: !bucket;
+  store.all_rev <- iid :: store.all_rev;
   notify store (Put (inst, payload));
   iid
 
@@ -132,9 +135,10 @@ let instances_of_entity store entity =
   | Some l -> List.rev !l
   | None -> []
 
-let all_instances store =
-  Hashtbl.fold (fun iid _ acc -> iid :: acc) store.instances []
-  |> List.sort compare
+(* [put] assigns dense ascending iids and nothing is ever deleted, so
+   reversing the insertion list IS the sorted order — no per-call
+   Hashtbl fold + sort. *)
+let all_instances store = List.rev store.all_rev
 
 (* ------------------------------------------------------------------ *)
 (* Browser filters (the Fig. 9 instance browser)                       *)
@@ -153,29 +157,35 @@ let any_filter =
   { f_entities = None; f_user = None; f_from = None; f_to = None;
     f_keywords = []; f_text = None }
 
-let matches store filter iid =
-  let inst = find store iid in
-  let m = inst.meta in
-  let contains hay needle =
-    let lh = String.lowercase_ascii hay and ln = String.lowercase_ascii needle in
+(* Compile a filter into a predicate over instances: the text needle
+   is lowercased once here, not once per instance scanned. *)
+let compile filter =
+  let needle = Option.map String.lowercase_ascii filter.f_text in
+  let contains_lower hay ln =
+    let lh = String.lowercase_ascii hay in
     let n = String.length ln and h = String.length lh in
     let rec at i = i + n <= h && (String.sub lh i n = ln || at (i + 1)) in
     n = 0 || at 0
   in
-  (match filter.f_entities with
-  | None -> true
-  | Some es -> List.mem inst.entity es)
-  && (match filter.f_user with None -> true | Some u -> m.user = u)
-  && (match filter.f_from with None -> true | Some t -> m.created_at >= t)
-  && (match filter.f_to with None -> true | Some t -> m.created_at <= t)
-  && List.for_all (fun k -> List.mem k m.keywords) filter.f_keywords
-  && (match filter.f_text with
-     | None -> true
-     | Some s -> contains m.label s || contains m.comment s)
+  fun inst ->
+    let m = inst.meta in
+    (match filter.f_entities with
+    | None -> true
+    | Some es -> List.mem inst.entity es)
+    && (match filter.f_user with None -> true | Some u -> m.user = u)
+    && (match filter.f_from with None -> true | Some t -> m.created_at >= t)
+    && (match filter.f_to with None -> true | Some t -> m.created_at <= t)
+    && List.for_all (fun k -> List.mem k m.keywords) filter.f_keywords
+    && (match needle with
+       | None -> true
+       | Some ln -> contains_lower m.label ln || contains_lower m.comment ln)
+
+let matches store filter iid = compile filter (find store iid)
 
 let browse store filter =
   Ddf_obs.Metrics.incr m_browses;
-  List.filter (matches store filter) (all_instances store)
+  let accept = compile filter in
+  List.filter (fun iid -> accept (find store iid)) (all_instances store)
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -20,8 +20,10 @@ type iid = Store.iid
 
 (* Version 1: the PR-2 request/response surface, (hello <user>).
    Version 2: hello carries (version N), replication (subscribe /
-   repl-ack / lag / compact) and the role/seq stat fields. *)
-let protocol_version = 2
+   repl-ack / lag / compact) and the role/seq stat fields.
+   Version 3: (batch <req>...) pipelining — one frame carrying a
+   sequence of requests, answered by one (ok-batch <resp>...). *)
+let protocol_version = 3
 
 type catalog = Entities | Tools | Flows
 
@@ -63,6 +65,12 @@ type request =
   | Repl_ack of int
   | Lag
   | Compact
+  | Batch of request list
+      (** A pipeline: the requests are executed in order and answered
+          positionally by one [Ok_batch], one frame each way.  An inner
+          failure yields an [Error] at its position; execution
+          continues (the journal has no rollback).  Batches do not
+          nest. *)
 
 type stat = {
   st_role : string;
@@ -100,6 +108,7 @@ type response =
   | Ok_snapshot of { seq : int; data : string }
   | Ok_frame of { seq : int; payload : string; digest : string }
   | Ok_lags of { primary_seq : int; rows : lag_row list }
+  | Ok_batch of response list
   | Error of string
 
 (* ------------------------------------------------------------------ *)
@@ -150,7 +159,7 @@ let catalog_name = function
   | Tools -> "tools"
   | Flows -> "flows"
 
-let request_to_sexp = function
+let rec request_to_sexp = function
   | Hello { user; version } ->
     S.field "hello" [ S.atom user; S.field "version" [ S.int version ] ]
   | Ping -> S.atom "ping"
@@ -191,8 +200,9 @@ let request_to_sexp = function
   | Repl_ack seq -> S.field "repl-ack" [ S.int seq ]
   | Lag -> S.atom "lag"
   | Compact -> S.atom "compact"
+  | Batch reqs -> S.field "batch" (List.map request_to_sexp reqs)
 
-let request_of_sexp sexp =
+let rec request_of_sexp sexp =
   match sexp with
   | S.Atom "ping" -> Ping
   | S.Atom "stat" -> Stat
@@ -241,6 +251,7 @@ let request_of_sexp sexp =
     | "load-flow", [ n ] -> Load_flow (S.as_atom n)
     | "subscribe", [ seq ] -> Subscribe (S.as_int seq)
     | "repl-ack", [ seq ] -> Repl_ack (S.as_int seq)
+    | "batch", reqs -> Batch (List.map request_of_sexp reqs)
     | _ -> wire_errorf "unknown request %S" name)
   | _ -> wire_errorf "malformed request"
 
@@ -272,15 +283,19 @@ let request_name = function
   | Repl_ack _ -> "repl-ack"
   | Lag -> "lag"
   | Compact -> "compact"
+  | Batch _ -> "batch"
 
 (* Mutations of the shared store/history/clock go through the
    single-writer loop; everything else (including task-window editing,
    which touches only the per-connection session) is a read.  Compact
    counts as a mutation (it rewrites the journal's snapshot); Subscribe
    and Repl_ack never reach the evaluator — the server's connection
-   loop handles replication mode itself. *)
-let is_mutation = function
+   loop handles replication mode itself.  A batch is a mutation iff
+   any member is: the whole pipeline then runs as one writer job, so
+   its writes group-commit together. *)
+let rec is_mutation = function
   | Install _ | Annotate _ | Run _ | Recall _ | Refresh _ | Compact -> true
+  | Batch reqs -> List.exists is_mutation reqs
   | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
   | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
   | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown | Subscribe _
@@ -303,7 +318,7 @@ let row_of_sexp sexp =
          with W.Persist_error m -> wire_errorf "row meta: %s" m) }
   | _ -> wire_errorf "malformed instance row"
 
-let response_to_sexp = function
+let rec response_to_sexp = function
   | Ok_unit -> S.atom "ok"
   | Ok_int n -> S.field "ok-int" [ S.int n ]
   | Ok_ints ns -> S.field "ok-ints" (List.map S.int ns)
@@ -332,9 +347,10 @@ let response_to_sexp = function
              S.list
                [ S.atom r.lag_follower; S.int r.lag_acked; S.int r.lag_sent ])
            rows)
+  | Ok_batch resps -> S.field "ok-batch" (List.map response_to_sexp resps)
   | Error m -> S.field "error" [ S.atom m ]
 
-let response_of_sexp sexp =
+let rec response_of_sexp sexp =
   match sexp with
   | S.Atom "ok" -> Ok_unit
   | S.List (S.Atom name :: args) -> (
@@ -379,6 +395,7 @@ let response_of_sexp sexp =
                     lag_sent = S.as_int l }
                 | _ -> wire_errorf "malformed lag row")
               rows }
+    | "ok-batch", resps -> Ok_batch (List.map response_of_sexp resps)
     | "error", [ m ] -> Error (S.as_atom m)
     | _ -> wire_errorf "unknown response %S" name)
   | _ -> wire_errorf "malformed response"

@@ -16,7 +16,7 @@ exception Wire_error of string
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (2).  The [Hello] handshake carries
+(** The dialect this build speaks (3).  The [Hello] handshake carries
     the client's version; a server refuses mismatched clients with a
     typed error before serving anything else. *)
 
@@ -70,6 +70,14 @@ type request =
   | Lag                                  (** per-follower replication lag *)
   | Compact                              (** admin: fold the journal into
                                              a fresh snapshot now *)
+  | Batch of request list
+      (** a pipeline: the requests run in order and are answered
+          positionally by one [Ok_batch] — one frame each way.  An
+          inner failure yields an [Error] at its position and
+          execution continues (journaled effects of earlier members
+          are not rolled back).  A batch containing a mutation runs as
+          one writer job, so its writes group-commit together; batches
+          do not nest. *)
 
 type stat = {
   st_role : string;                      (** "primary" or "follower" *)
@@ -110,6 +118,7 @@ type response =
       (** one journal entry; [digest] is the md5 hex of [payload], the
           same checksum the on-disk frame carries *)
   | Ok_lags of { primary_seq : int; rows : lag_row list }
+  | Ok_batch of response list            (** positional answers to [Batch] *)
   | Error of string
 
 val request_to_sexp : request -> Ddf_persist.Sexp.t

@@ -269,6 +269,110 @@ let journal_props =
         let replayed = Test_journal.state (Journal.context f2) in
         Journal.close f2;
         want = got && want = replayed);
+    (* Group commit's contract: every write acknowledged by [sync]
+       survives a crash that loses any suffix of the wal written after
+       the durability point, and cutting exactly at the point replays
+       to exactly the acked state. *)
+    Util.qcheck ~count:10 "group_commit_replay_equiv" journal_pair_gen
+      (fun (seed, steps) ->
+        Test_journal.with_dir @@ fun dir ->
+        let wal = Filename.concat dir "wal.ddf" in
+        let j =
+          Journal.open_ ~sync_mode:Journal.Group ~dir Standard_schemas.odyssey
+        in
+        let ctx = Journal.context j in
+        let rng = Eda.Rng.create seed in
+        ignore (Test_journal.activity ~seed ctx (1 + (steps mod 4)));
+        Journal.sync j;
+        let acked_state = Test_journal.state ctx in
+        let acked_tick = Store.tick ctx.Engine.store in
+        let acked =
+          List.map
+            (fun iid ->
+              ( iid,
+                Store.entity_of ctx.Engine.store iid,
+                Store.hash_of ctx.Engine.store iid ))
+            (Store.all_instances ctx.Engine.store)
+        in
+        let synced = (Unix.stat wal).Unix.st_size in
+        (* unacked tail, then "crash": lose a random suffix of the wal
+           at or after the last durability point *)
+        ignore (Test_journal.activity ~seed:(seed + 1) ctx (1 + (steps mod 3)));
+        Journal.close j;
+        let full = (Unix.stat wal).Unix.st_size in
+        Unix.truncate wal (synced + Eda.Rng.int rng (full - synced + 1));
+        let j2 = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx2 = Journal.context j2 in
+        let prefix_ok =
+          Store.tick ctx2.Engine.store >= acked_tick
+          && List.for_all
+               (fun (iid, e, h) ->
+                 Store.mem ctx2.Engine.store iid
+                 && Store.entity_of ctx2.Engine.store iid = e
+                 && Store.hash_of ctx2.Engine.store iid = h)
+               acked
+        in
+        Journal.close j2;
+        Unix.truncate wal synced;
+        let j3 = Journal.open_ ~dir Standard_schemas.odyssey in
+        let exact = Test_journal.state (Journal.context j3) = acked_state in
+        Journal.close j3;
+        prefix_ok && exact);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The memoized subtype closure agrees with the bare parent walk       *)
+(* ------------------------------------------------------------------ *)
+
+let schema_index_props =
+  (* a random parent forest: entity ei (i > 0) may pick any earlier
+     entity as its parent, so chains, bushes and isolated roots all
+     occur *)
+  let forest_gen = QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 14)) in
+  let build seed n =
+    let rng = Eda.Rng.create seed in
+    let id i = Printf.sprintf "e%d" i in
+    let ents =
+      List.init n (fun i ->
+          if i = 0 || Eda.Rng.int rng 3 = 0 then Schema.entity (id i) []
+          else Schema.entity ~parent:(id (Eda.Rng.int rng i)) (id i) [])
+    in
+    (Schema.create "forest" ents, List.init n id)
+  in
+  (* the unindexed reference: walk parent links, no closure tables *)
+  let rec plain s ~sub ~super =
+    sub = super
+    ||
+    match Schema.parent_of s sub with
+    | None -> false
+    | Some p -> plain s ~sub:p ~super
+  in
+  let agree s ids =
+    List.for_all
+      (fun sub ->
+        List.for_all
+          (fun super ->
+            Schema.is_subtype s ~sub ~super = plain s ~sub ~super)
+          ids)
+      ids
+  in
+  [
+    Util.qcheck ~count:60 "is_subtype agrees with the parent walk" forest_gen
+      (fun (seed, n) ->
+        let s, ids = build seed n in
+        agree s ids);
+    Util.qcheck ~count:40 "closure survives schema extension" forest_gen
+      (fun (seed, n) ->
+        let s, ids = build seed n in
+        (* query first so the closure tables exist, then extend: the
+           extended schema must answer from fresh tables, not the old
+           cache *)
+        let _ = agree s ids in
+        let parent = Printf.sprintf "e%d" (seed mod n) in
+        let s' = Schema.add_entity s (Schema.entity ~parent "fresh" []) in
+        agree s' ("fresh" :: ids)
+        && Schema.is_subtype s' ~sub:"fresh" ~super:parent
+        && agree s ids);
   ]
 
 let suite =
@@ -278,4 +382,5 @@ let suite =
     ("properties.freedom", freedom_checks);
     ("properties.blif", blif_props);
     ("properties.journal", journal_props);
+    ("properties.schema_index", schema_index_props);
   ]

@@ -287,10 +287,96 @@ let observability =
           [ "hello"; "ping"; "browse"; "install" ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pipelined batches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stim_install label =
+  Wire.Install
+    {
+      entity = E.stimuli;
+      label;
+      keywords = [];
+      value = Codec.value_to_sexp (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ]));
+    }
+
+let batching =
+  [
+    Alcotest.test_case "batch answers positionally, writes visible" `Quick
+      (fun () ->
+        with_server @@ fun _t ~dir:_ ~socket ->
+        Client.with_client ~user:"b" ~socket @@ fun c ->
+        let resps =
+          Client.batch c
+            [ Wire.Ping; stim_install "s1"; stim_install "s2";
+              Wire.Browse no_filter ]
+        in
+        match resps with
+        | [ Wire.Ok_unit; Wire.Ok_int i1; Wire.Ok_int i2; Wire.Ok_rows rows ] ->
+          Alcotest.(check bool) "iids ascend in batch order" true (i2 > i1);
+          let iids = List.map (fun r -> r.Wire.row_iid) rows in
+          Alcotest.(check bool) "earlier batch writes visible to later read"
+            true
+            (List.mem i1 iids && List.mem i2 iids)
+        | _ -> Alcotest.fail "unexpected batch response shape");
+    Alcotest.test_case "an error mid-batch does not stop the rest" `Quick
+      (fun () ->
+        with_server @@ fun _t ~dir:_ ~socket ->
+        Client.with_client ~user:"b" ~socket @@ fun c ->
+        let resps =
+          Client.batch c
+            [ Wire.Ping;
+              Wire.Install
+                { entity = "no-such-entity"; label = "x"; keywords = [];
+                  value =
+                    Codec.value_to_sexp
+                      (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])) };
+              stim_install "after-the-error" ]
+        in
+        match resps with
+        | [ Wire.Ok_unit; Wire.Error _; Wire.Ok_int _ ] -> ()
+        | _ -> Alcotest.fail "expected ok/error/ok");
+    Alcotest.test_case "nested and connection-level requests refused" `Quick
+      (fun () ->
+        with_server @@ fun _t ~dir:_ ~socket ->
+        Client.with_client ~user:"b" ~socket @@ fun c ->
+        match Client.batch c [ Wire.Batch []; Wire.Shutdown; Wire.Ping ] with
+        | [ Wire.Error _; Wire.Error _; Wire.Ok_unit ] ->
+          (* the Shutdown inside the batch must NOT have shut the server
+             down: the connection still answers *)
+          Client.ping c
+        | _ -> Alcotest.fail "expected error/error/ok");
+    Alcotest.test_case "batch writes are durable across a restart" `Quick
+      (fun () ->
+        Test_journal.with_dir @@ fun dir ->
+        let socket = Filename.concat dir "s.sock" in
+        let t = Server.start ~seed ~db:dir ~socket Standard_schemas.odyssey in
+        let i1 =
+          Client.with_client ~user:"b" ~socket @@ fun c ->
+          match Client.batch c [ stim_install "keep-me" ] with
+          | [ Wire.Ok_int i ] -> i
+          | _ -> Alcotest.fail "unexpected batch response shape"
+        in
+        Server.stop t;
+        Server.wait t;
+        let t2 = Server.start ~seed ~db:dir ~socket Standard_schemas.odyssey in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.stop t2;
+            Server.wait t2)
+          (fun () ->
+            Client.with_client ~user:"b" ~socket @@ fun c ->
+            Alcotest.(check bool) "acked batch write replayed" true
+              (List.exists
+                 (fun r -> r.Wire.row_iid = i1)
+                 (Client.browse c no_filter))));
+  ]
+
 let suite =
   [
     ("server.surface", surface);
     ("server.concurrency", concurrency);
     ("server.limits", limits);
+    ("server.batch", batching);
     ("server.obs", observability);
   ]
