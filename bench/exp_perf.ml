@@ -75,7 +75,7 @@ let write_throughput sync_mode =
   for i = 1 to write_batches do
     List.iter
       (function
-        | Wire.Error m -> failwith ("install failed: " ^ m) | _ -> ())
+        | Wire.Error e -> failwith ("install failed: " ^ Error.message e) | _ -> ())
       (Client.batch c (List.init batch_size (install_req i)))
   done;
   float_of_int (write_batches * batch_size) /. (Unix.gettimeofday () -. t0)

@@ -25,6 +25,8 @@ let experiments =
     ("R", "replication: read scaling and apply lag", Exp_replica.run);
     ("P", "hot paths: group commit, pipelined batches, indexed queries",
      Exp_perf.run);
+    ("O", "overload: load shedding keeps the latency tail bounded",
+     Exp_overload.run);
   ]
 
 let () =

@@ -586,8 +586,8 @@ let annotate_cmd =
       let keywords = if keyword = [] then None else Some keyword in
       (try
          Store.annotate (Workspace.store w) instance ?label ?comment ?keywords ()
-       with Store.Store_error m ->
-         Printf.eprintf "%s\n" m;
+       with Store.Store_error err ->
+         Printf.eprintf "%s\n" (Error.message err);
          exit 1);
       let m = Store.meta_of (Workspace.store w) instance in
       Printf.printf "#%d %s %S [%s]\n" instance
@@ -693,6 +693,25 @@ let serve_cmd =
       value & opt int 64
       & info [ "max-clients" ] ~doc:"Concurrent connection limit.")
   in
+  let max_queue =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Write-queue admission bound: a mutation arriving when $(docv) \
+             jobs already wait is shed with a typed overloaded error (and a \
+             retry-after hint) instead of queueing unbounded latency.")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Give every request from a client that sent no deadline header \
+             an implicit budget of $(docv) seconds; requests whose budget \
+             expires before execution are shed, never run.")
+  in
   let replay_only =
     Arg.(
       value & flag
@@ -728,7 +747,7 @@ let serve_cmd =
              replay-only followers and benchmarks).")
   in
   let run db socket follow sync_mode compact_every request_timeout max_clients
-      replay_only obs =
+      max_queue default_deadline replay_only obs =
     let socket =
       match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
     in
@@ -754,14 +773,15 @@ let serve_cmd =
           socket primary);
       match
         Server.run ~seed:seed_database ?follow ~sync_mode ~max_clients
-          ~request_timeout ~compact_every ~db ~socket Standard_schemas.odyssey
+          ~request_timeout ~max_queue ?default_deadline ~compact_every ~db
+          ~socket Standard_schemas.odyssey
       with
       | () -> print_endline "hercules: shut down"
       | exception Server.Server_error m ->
         Printf.eprintf "server error: %s\n" m;
         exit 1
-      | exception Journal.Journal_error m ->
-        Printf.eprintf "journal error: %s\n" m;
+      | exception Journal.Journal_error err ->
+        Printf.eprintf "journal error: %s\n" (Error.to_string err);
         exit 1
     end
   in
@@ -773,7 +793,8 @@ let serve_cmd =
           read-scaling replication follower ($(b,--follow)).")
     Term.(
       const run $ db_arg $ socket $ follow $ sync_mode $ compact_every
-      $ request_timeout $ max_clients $ replay_only $ obs_term)
+      $ request_timeout $ max_clients $ max_queue $ default_deadline
+      $ replay_only $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hercules remote                                                     *)
@@ -804,8 +825,8 @@ let with_remote socket user f =
   in
   match Client.with_client ~user ~retries:4 ~timeout:30.0 ~socket f with
   | v -> v
-  | exception Client.Client_error m ->
-    Printf.eprintf "error: %s\n" m;
+  | exception Client.Client_error err ->
+    Printf.eprintf "error: %s\n" (Error.to_string err);
     exit 1
 
 let no_filter =

@@ -2,24 +2,42 @@
    interesting protocol work (framing, codecs) lives in Ddf_wire; this
    module is the thin typed veneer the CLI and tests use.
 
-   Resilience: a client remembers how it connected, so when the
-   transport fails (daemon restart, failover) it can redial with
-   bounded exponential backoff and retry the request — up to [retries]
-   attempts, default 0 (fail fast, the historical behaviour).  Only
-   transport failures are retried; an [Error] response from the server
-   is the answer, never a reason to reconnect.  [timeout] arms
-   [SO_RCVTIMEO], so a request stuck behind a wedged daemon returns a
-   timeout error instead of hanging; the connection is dropped (the
-   reply could arrive late and desynchronize the stream) and redialed
-   on the next call.  With [retries > 0], a mutation whose connection
-   died mid-call may be delivered more than once — at-least-once, like
-   re-running the CLI verb by hand. *)
+   Resilience is driven by the error taxonomy rather than blind
+   redialing.  Every failure is classified before any retry decision:
+
+   - send-phase transport failure: the server never saw a complete
+     frame, so nothing executed — safe to resend anything;
+   - recv-phase failure on a read: the answer is lost but re-asking is
+     harmless — resend;
+   - recv-phase failure on a MUTATION: the request was fully delivered
+     and may have committed — surfaced as [`Ambiguous_commit], never
+     resent (an at-least-once blind retry could double-apply);
+   - a server error with [retryable = true] ([`Overloaded], a queue
+     [`Timeout]): the server asserts the request was not executed —
+     resend anything, honouring its retry-after hint;
+   - any other server error is the answer, never a reason to retry.
+
+   [retries] bounds the resend attempts (default 0: fail fast, the
+   historical behaviour); backoff is exponential from 50ms to 1s with
+   the server's retry-after hint as a floor.  [deadline] gives each
+   call a total budget: the remaining budget rides in every frame
+   header so the server can shed work the client will no longer read,
+   and retries stop when the budget is spent.  [timeout] arms
+   [SO_RCVTIMEO] per attempt; on expiry the connection is dropped (a
+   late reply would desynchronize the stream) and redialed on the next
+   call. *)
 
 module Wire = Ddf_wire.Wire
+module E = Ddf_core.Error
+module Metrics = Ddf_obs.Metrics
 
-exception Client_error of string
+exception Client_error = E.Ddf_error
+(* Deprecated alias: the client raises the shared typed error now. *)
 
-let client_errorf fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
+let client_errorf ?(code = `Internal) fmt = E.errorf code fmt
+
+let m_retries = Metrics.counter "client.retries"
+let m_ambiguous = Metrics.counter "client.ambiguous_commits"
 
 type t = {
   socket : string;
@@ -27,6 +45,7 @@ type t = {
   c_version : int;
   c_timeout : float option;
   c_retries : int;
+  c_deadline : float option;          (* per-call budget, seconds *)
   mutable fd : Unix.file_descr option;
   mutable closed : bool;
 }
@@ -44,15 +63,15 @@ let drop t =
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
 (* One dial attempt: socket, connect, hello.  The server answers the
-   hello with Ok_unit, or refuses (version mismatch, capacity) with an
-   Error we surface verbatim — and never retry. *)
+   hello with Ok_unit, or refuses (version mismatch, capacity) with a
+   typed error we re-raise with its code intact. *)
 let dial t =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let fail fmt =
+  let fail ?(code = `Unavailable) fmt =
     Printf.ksprintf
       (fun s ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise (Client_error s))
+        E.raise_ (E.make ~context:[ ("endpoint", t.socket) ] code s))
       fmt
   in
   (match Unix.connect fd (Unix.ADDR_UNIX t.socket) with
@@ -73,34 +92,34 @@ let dial t =
   | Some sexp -> (
     match Wire.response_of_sexp sexp with
     | Wire.Ok_unit -> ()
-    | Wire.Error m -> fail "%s" m
-    | _ -> fail "unexpected response to hello")
+    | Wire.Error err ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (E.Ddf_error err)
+    | _ -> fail ~code:`Internal "unexpected response to hello")
   | None -> fail "server closed the connection during hello"
   | exception Wire.Wire_error m -> fail "%s" m
   | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
   t.fd <- Some fd
 
-(* Retryable? Connection refusals and resets are; a server [Error]
-   (raised by [dial] after a completed round trip) is not.  We tell
-   them apart by shape: dial re-raises transport problems as
-   Client_error too, so retry decisions happen where the Unix error is
-   still visible — hence dial_retrying catches only "cannot connect". *)
+(* A refused hello (version mismatch) comes back [retryable = false]
+   and is final; an unreachable socket or a capacity refusal is
+   transient and worth another dial. *)
 let rec dial_retrying t attempts backoff =
   match dial t with
   | () -> ()
-  | exception (Client_error m as e) ->
-    let transport =
-      (* a refused hello is final; an unreachable socket is transient *)
-      String.length m >= 14 && String.sub m 0 14 = "cannot connect"
-    in
-    if transport && attempts > 0 then begin
-      Unix.sleepf backoff;
+  | exception (E.Ddf_error err as e) ->
+    if err.E.retryable && attempts > 0 then begin
+      Metrics.incr m_retries;
+      Unix.sleepf
+        (match err.E.retry_after with
+        | Some after -> Float.max backoff after
+        | None -> backoff);
       dial_retrying t (attempts - 1) (Float.min (backoff *. 2.0) backoff_max)
     end
     else raise e
 
 let ensure_connected t =
-  if t.closed then client_errorf "connection is closed";
+  if t.closed then client_errorf ~code:`Invalid "connection is closed";
   match t.fd with
   | Some fd -> fd
   | None ->
@@ -108,30 +127,97 @@ let ensure_connected t =
     Option.get t.fd
 
 let call t req =
+  let started = Unix.gettimeofday () in
+  let mutation = Wire.is_mutation req in
+  let budget_left () =
+    Option.map (fun b -> b -. (Unix.gettimeofday () -. started)) t.c_deadline
+  in
+  let ambiguous what =
+    drop t;
+    Metrics.incr m_ambiguous;
+    E.errorf
+      ~context:[ ("request", Wire.request_name req) ]
+      `Ambiguous_commit
+      "%s after the mutation was sent: it may or may not have committed" what
+  in
   let rec attempt retries backoff =
+    (match budget_left () with
+    | Some left when left <= 0.0 ->
+      E.errorf `Timeout "deadline (%gs) spent before the request went out"
+        (Option.value t.c_deadline ~default:0.0)
+    | Some _ | None -> ());
     let fd = ensure_connected t in
-    let retry e =
-      drop t;
-      if retries > 0 then begin
-        Unix.sleepf backoff;
+    (* what is left of the budget rides in the frame header, so the
+       server can shed the request once we are no longer listening *)
+    let deadline_ms =
+      Option.map
+        (fun left -> int_of_float (Float.max 1.0 (left *. 1000.0)))
+        (budget_left ())
+    in
+    let retry ?(sleep = backoff) e =
+      let budget_ok =
+        match budget_left () with Some left -> left > sleep | None -> true
+      in
+      if retries > 0 && budget_ok then begin
+        Metrics.incr m_retries;
+        Unix.sleepf sleep;
         attempt (retries - 1) (Float.min (backoff *. 2.0) backoff_max)
       end
       else raise e
     in
+    let sent = ref false in
     match
-      Wire.send fd (Wire.request_to_sexp req);
+      Wire.send ?deadline_ms fd (Wire.request_to_sexp req);
+      sent := true;
       Wire.recv fd
     with
-    | Some sexp -> Wire.response_of_sexp sexp
-    | None -> retry (Client_error "server closed the connection")
+    | Some sexp -> (
+      match Wire.response_of_sexp sexp with
+      | Wire.Error err when err.E.retryable && retries > 0 ->
+        (* the server asserts the request was NOT executed (shed,
+           expired in the queue): resending cannot double-apply *)
+        let sleep =
+          match err.E.retry_after with
+          | Some after -> Float.max backoff after
+          | None -> backoff
+        in
+        retry ~sleep (E.Ddf_error err)
+      | resp -> resp)
+    | None ->
+      if !sent && mutation then ambiguous "the connection closed"
+      else begin
+        drop t;
+        retry (E.Ddf_error (E.make `Unavailable "server closed the connection"))
+      end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      (* the reply may still arrive; the stream is no longer trustworthy *)
+      (* the reply may still arrive; the stream is no longer
+         trustworthy either way *)
+      if !sent && mutation then ambiguous "the reply timed out"
+      else begin
+        drop t;
+        retry
+          (E.Ddf_error
+             (E.make `Timeout
+                (Printf.sprintf "request timed out after %gs"
+                   (Option.value t.c_timeout ~default:0.0))))
+      end
+    | exception Wire.Wire_error m ->
+      if !sent && mutation then ambiguous m
+      else begin
+        drop t;
+        retry (E.Ddf_error (E.make `Unavailable m))
+      end
+    | exception Ddf_fault.Fault.Injected point ->
+      (* an injected torn send: the frame never fully left, so the
+         server cannot have parsed (or executed) it *)
       drop t;
-      client_errorf "request timed out after %gs"
-        (Option.value t.c_timeout ~default:0.0)
-    | exception Wire.Wire_error m -> retry (Client_error m)
+      retry (E.Ddf_error (E.make `Unavailable ("injected fault at " ^ point)))
     | exception Unix.Unix_error (e, _, _) ->
-      retry (Client_error (Unix.error_message e))
+      if !sent && mutation then ambiguous (Unix.error_message e)
+      else begin
+        drop t;
+        retry (E.Ddf_error (E.make `Unavailable (Unix.error_message e)))
+      end
   in
   attempt t.c_retries backoff_initial
 
@@ -139,7 +225,7 @@ let call t req =
    then destructures the one constructor it expects. *)
 let ok t req =
   match call t req with
-  | Wire.Error m -> raise (Client_error m)
+  | Wire.Error err -> raise (E.Ddf_error err)
   | resp -> resp
 
 let unexpected req resp =
@@ -180,10 +266,10 @@ let ok_rows t req =
 (* ------------------------------------------------------------------ *)
 
 let connect ?(user = "anonymous") ?(version = Wire.protocol_version) ?timeout
-    ?(retries = 0) ~socket () =
+    ?(retries = 0) ?deadline ~socket () =
   let t =
     { socket; c_user = user; c_version = version; c_timeout = timeout;
-      c_retries = retries; fd = None; closed = false }
+      c_retries = retries; c_deadline = deadline; fd = None; closed = false }
   in
   dial_retrying t retries backoff_initial;
   t
@@ -194,8 +280,10 @@ let close t =
     drop t
   end
 
-let with_client ?user ?version ?timeout ?retries ~socket f =
-  let t = connect ?user ?version ?timeout ?retries ~socket () in
+let closed t = t.closed
+
+let with_client ?user ?version ?timeout ?retries ?deadline ~socket f =
+  let t = connect ?user ?version ?timeout ?retries ?deadline ~socket () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 (* ------------------------------------------------------------------ *)
@@ -257,8 +345,46 @@ let batch t reqs =
   | resp -> unexpected req resp
 
 let shutdown t =
-  ok_unit t Wire.Shutdown;
-  close t
+  if not t.closed then begin
+    ok_unit t Wire.Shutdown;
+    close t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Result-typed variants                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Same calls, [Error e] instead of a raised exception — for callers
+   that route on the error code (retry orchestration, degraded-mode
+   UIs) without exception handlers. *)
+let res f = match f () with v -> Ok v | exception E.Ddf_error e -> Error e
+
+let ping_r t = res (fun () -> ping t)
+let stat_r t = res (fun () -> stat t)
+let catalog_r t which = res (fun () -> catalog t which)
+let browse_r t filter = res (fun () -> browse t filter)
+
+let install_r t ~entity ?label ?keywords value =
+  res (fun () -> install t ~entity ?label ?keywords value)
+
+let annotate_r t ?label ?comment ?keywords iid =
+  res (fun () -> annotate t ?label ?comment ?keywords iid)
+
+let start_goal_r t entity = res (fun () -> start_goal t entity)
+let start_data_r t iid = res (fun () -> start_data t iid)
+let expand_r t nid = res (fun () -> expand t nid)
+let specialize_r t nid sub = res (fun () -> specialize t nid sub)
+let select_r t nid iids = res (fun () -> select t nid iids)
+let node_browse_r t nid filter = res (fun () -> node_browse t nid filter)
+let leaves_r t = res (fun () -> leaves t)
+let run_r t nid = res (fun () -> run t nid)
+let render_r t = res (fun () -> render t)
+let recall_r t iid = res (fun () -> recall t iid)
+let trace_r t iid = res (fun () -> trace t iid)
+let uses_r t iid = res (fun () -> uses t iid)
+let refresh_r t iid = res (fun () -> refresh t iid)
+let save_flow_r t name = res (fun () -> save_flow t name)
+let load_flow_r t name = res (fun () -> load_flow t name)
 
 (* ------------------------------------------------------------------ *)
 (* Pool: read/write splitting over a replica set                       *)
@@ -267,10 +393,20 @@ let shutdown t =
 module Pool = struct
   (* Roles come from [stat]: each endpoint reports "primary" or
      "follower".  Reads round-robin over live followers (falling back
-     to the primary when none are up); writes go to the primary, and a
-     write that cannot reach one re-probes every endpoint — so when an
-     operator promotes a follower, the pool finds the new primary on
-     the next write instead of erroring out. *)
+     to the primary when none are up); writes go to the primary.
+
+     A write that fails with [`Unavailable] — the primary unreachable,
+     shutting down, or a follower telling us we are mis-routed —
+     re-probes every endpoint and retries once: the error asserts the
+     request never executed, so resending is safe, and a promoted
+     follower is adopted without restarting the client.  Any other
+     error is final; in particular [`Ambiguous_commit] is NEVER
+     resent — the caller must reconcile.  When no primary can be
+     found the pool enters degraded mode: reads keep flowing to the
+     followers (counted in [pool.degraded_reads]) while writes fail
+     fast with [`Unavailable], until a re-probe finds a primary. *)
+
+  let m_degraded_reads = Metrics.counter "pool.degraded_reads"
 
   type member = {
     ep : string;
@@ -282,8 +418,13 @@ module Pool = struct
     members : member list;
     p_user : string option;
     p_timeout : float option;
+    p_deadline : float option;
+    mutable p_degraded : bool;
     mutable rr : int;
   }
+
+  let find_primary members =
+    List.find_opt (fun m -> m.role = "primary" && m.conn <> None) members
 
   let probe pool m =
     (match m.conn with
@@ -293,11 +434,12 @@ module Pool = struct
     | Some _ -> ()
     | None -> (
       match
-        connect ?user:pool.p_user ?timeout:pool.p_timeout ~socket:m.ep ()
+        connect ?user:pool.p_user ?timeout:pool.p_timeout
+          ?deadline:pool.p_deadline ~socket:m.ep ()
       with
       | c -> m.conn <- Some c
       | exception Client_error _ -> ()));
-    match m.conn with
+    (match m.conn with
     | None -> m.role <- "down"
     | Some c -> (
       match stat c with
@@ -305,22 +447,25 @@ module Pool = struct
       | exception Client_error _ ->
         close c;
         m.conn <- None;
-        m.role <- "down")
+        m.role <- "down"));
+    pool.p_degraded <- find_primary pool.members = None
 
-  let connect ?user ?timeout endpoints =
+  let connect ?user ?timeout ?deadline endpoints =
     let members =
       List.map (fun ep -> { ep; conn = None; role = "down" }) endpoints
     in
-    let pool = { members; p_user = user; p_timeout = timeout; rr = 0 } in
+    let pool =
+      { members; p_user = user; p_timeout = timeout; p_deadline = deadline;
+        p_degraded = false; rr = 0 }
+    in
     List.iter (probe pool) members;
     pool
 
   let endpoints pool = List.map (fun m -> (m.ep, m.role)) pool.members
 
-  let primary pool =
-    List.find_opt
-      (fun m -> m.role = "primary" && m.conn <> None)
-      pool.members
+  let degraded pool = pool.p_degraded
+
+  let primary pool = find_primary pool.members
 
   let followers pool =
     List.filter
@@ -333,16 +478,34 @@ module Pool = struct
       | Some { conn = Some c; _ } -> Some (f c)
       | Some { conn = None; _ } | None -> None
     in
-    match attempt () with
-    | Some v -> v
-    | None | (exception Client_error _) -> (
+    let reprobe_and_retry () =
       (* failover: a follower may have been promoted since we probed *)
       List.iter (probe pool) pool.members;
       match attempt () with
-      | Some v -> v
-      | None -> raise (Client_error "no writable endpoint in the pool"))
+      | Some v ->
+        pool.p_degraded <- false;
+        v
+      | None ->
+        pool.p_degraded <- true;
+        E.errorf ~retryable:false `Unavailable
+          "no writable endpoint in the pool (degraded to follower reads)"
+    in
+    match attempt () with
+    | Some v ->
+      pool.p_degraded <- false;
+      v
+    | None -> reprobe_and_retry ()
+    | exception E.Ddf_error err when err.E.code = `Unavailable ->
+      (* [`Unavailable] asserts the write never executed, so resending
+         on the re-probed primary cannot double-apply.  Everything
+         else — including [`Ambiguous_commit] — propagates untouched. *)
+      reprobe_and_retry ()
 
   let read pool f =
+    let serve c =
+      if pool.p_degraded then Metrics.incr m_degraded_reads;
+      f c
+    in
     let rec go tries =
       if tries = 0 then write pool f   (* primary serves reads too *)
       else
@@ -354,11 +517,12 @@ module Pool = struct
           match m.conn with
           | None -> go (tries - 1)
           | Some c -> (
-            match f c with
+            match serve c with
             | v -> v
-            | exception (Client_error _ as e) ->
-              (* dead follower, or a real server error?  Re-probe: if
-                 the endpoint still answers, the error is the answer. *)
+            | exception (E.Ddf_error err as e)
+              when err.E.code = `Unavailable || err.E.code = `Timeout ->
+              (* dead follower, or one mid-shutdown?  Re-probe: when
+                 the endpoint is really gone the read moves on *)
               probe pool m;
               if m.role = "down" then go (tries - 1) else raise e))
     in

@@ -2,20 +2,35 @@
 
     Wraps one Unix-domain socket connection to a {!Ddf_server.Server}
     daemon.  Every call sends one {!Ddf_wire.Wire.request} and blocks
-    for its response; server-side failures come back as
-    {!Client_error}.  A client is not thread-safe — give each thread
-    its own connection, as the server gives each connection its own
-    session (task window, flow catalog, selections). *)
+    for its response; failures carry a typed {!Ddf_core.Error.t}.  A
+    client is not thread-safe — give each thread its own connection,
+    as the server gives each connection its own session (task window,
+    flow catalog, selections).
 
-exception Client_error of string
-(** A server-side error response, a protocol violation, or a dropped
-    connection. *)
+    Failure handling is classified, not blind.  With [retries > 0] a
+    call resends only when resending cannot double-apply: after a
+    send-phase transport failure (the server never saw a complete
+    frame), after any failure of a {e read}, or after a server error
+    with [retryable = true] — the server's assertion that the request
+    was not executed (shed under overload, expired in the queue),
+    whose [retry_after] hint floors the backoff.  A {e mutation} whose
+    transport dies after the request was fully sent raises
+    [`Ambiguous_commit]: it may or may not have committed, and the
+    caller must reconcile (re-read, then decide) instead of resending.
+    Retries are counted in [client.retries], ambiguous outcomes in
+    [client.ambiguous_commits]. *)
+
+exception Client_error of Ddf_core.Error.t
+(** Deprecated alias of {!Ddf_core.Error.Ddf_error}: server-side
+    errors, protocol violations and transport failures all raise the
+    shared typed error.  Existing handlers keep catching; use
+    {!Ddf_core.Error.message} for the text and the [code] for routing. *)
 
 type t
 
 val connect :
   ?user:string -> ?version:int -> ?timeout:float -> ?retries:int ->
-  socket:string -> unit -> t
+  ?deadline:float -> socket:string -> unit -> t
 (** Connect to the daemon listening on [socket] and introduce
     ourselves as [user] (default ["anonymous"]); the server stamps
     that identity on every instance and history record this
@@ -23,22 +38,23 @@ val connect :
 
     [version] (default {!Ddf_wire.Wire.protocol_version}) is the
     protocol dialect announced in the handshake — a mismatch is
-    refused by the server with a typed error.  [timeout] bounds each
-    request's wait for a response (seconds); on expiry the call raises
-    and the connection is dropped, to be redialed on the next call.
-    [retries] (default 0) is how many times a call survives a {e
-    transport} failure: the client redials with bounded exponential
-    backoff (50ms doubling to 1s) and resends, so CLI verbs ride out a
-    daemon restart or failover.  Server [Error] responses are never
-    retried.  With [retries > 0] a mutation can be delivered more than
-    once if the connection dies mid-call. *)
+    refused by the server with a final typed error.  [timeout] bounds
+    each attempt's wait for a response (seconds); on expiry the
+    connection is dropped, to be redialed on the next call.
+    [retries] (default 0: fail fast) bounds classified resends with
+    exponential backoff (50ms doubling to 1s).  [deadline] gives
+    every call a total budget in seconds: the remaining budget is
+    sent in each frame header so the server can shed requests the
+    client has given up on, and retries stop when it is spent. *)
 
 val close : t -> unit
 (** Close the connection (idempotent). *)
 
+val closed : t -> bool
+
 val with_client :
   ?user:string -> ?version:int -> ?timeout:float -> ?retries:int ->
-  socket:string -> (t -> 'a) -> 'a
+  ?deadline:float -> socket:string -> (t -> 'a) -> 'a
 (** [connect], run, [close] — also on exception. *)
 
 val user : t -> string
@@ -98,6 +114,76 @@ val refresh : t -> Ddf_store.Store.iid -> Ddf_store.Store.iid * int * int
 val save_flow : t -> string -> unit
 val load_flow : t -> string -> int list
 
+(** {1 Result-typed variants}
+
+    The same session surface returning [(value, Ddf_core.Error.t)
+    result] instead of raising — for callers that route on the error
+    code (retry orchestration, degraded-mode UIs) without exception
+    handlers. *)
+
+val ping_r : t -> (unit, Ddf_core.Error.t) result
+val stat_r : t -> (Ddf_wire.Wire.stat, Ddf_core.Error.t) result
+
+val catalog_r :
+  t -> Ddf_wire.Wire.catalog -> (string list, Ddf_core.Error.t) result
+
+val browse_r :
+  t ->
+  Ddf_store.Store.filter ->
+  (Ddf_wire.Wire.instance_row list, Ddf_core.Error.t) result
+
+val install_r :
+  t ->
+  entity:string ->
+  ?label:string ->
+  ?keywords:string list ->
+  Ddf_persist.Sexp.t ->
+  (Ddf_store.Store.iid, Ddf_core.Error.t) result
+
+val annotate_r :
+  t ->
+  ?label:string ->
+  ?comment:string ->
+  ?keywords:string list ->
+  Ddf_store.Store.iid ->
+  (unit, Ddf_core.Error.t) result
+
+val start_goal_r : t -> string -> (int, Ddf_core.Error.t) result
+val start_data_r : t -> Ddf_store.Store.iid -> (int, Ddf_core.Error.t) result
+val expand_r : t -> int -> ((int * string) list, Ddf_core.Error.t) result
+val specialize_r : t -> int -> string -> (unit, Ddf_core.Error.t) result
+
+val select_r :
+  t -> int -> Ddf_store.Store.iid list -> (unit, Ddf_core.Error.t) result
+
+val node_browse_r :
+  t ->
+  int ->
+  Ddf_store.Store.filter ->
+  (Ddf_store.Store.iid list, Ddf_core.Error.t) result
+
+val leaves_r : t -> ((int * string) list, Ddf_core.Error.t) result
+
+val run_r :
+  t -> int -> (Ddf_store.Store.iid list, Ddf_core.Error.t) result
+
+val render_r : t -> (string, Ddf_core.Error.t) result
+val recall_r : t -> Ddf_store.Store.iid -> (int, Ddf_core.Error.t) result
+val trace_r : t -> Ddf_store.Store.iid -> (string, Ddf_core.Error.t) result
+
+val uses_r :
+  t ->
+  Ddf_store.Store.iid ->
+  (Ddf_store.Store.iid list, Ddf_core.Error.t) result
+
+val refresh_r :
+  t ->
+  Ddf_store.Store.iid ->
+  (Ddf_store.Store.iid * int * int, Ddf_core.Error.t) result
+
+val save_flow_r : t -> string -> (unit, Ddf_core.Error.t) result
+val load_flow_r : t -> string -> (int list, Ddf_core.Error.t) result
+
 (** {1 Administration} *)
 
 val lag : t -> int * Ddf_wire.Wire.lag_row list
@@ -119,46 +205,58 @@ val batch : t -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list
 
 val shutdown : t -> unit
 (** Ask the daemon to shut down gracefully, then close this
-    connection. *)
+    connection (idempotent: a no-op on a closed client). *)
 
 (** {1 Escape hatch} *)
 
 val call : t -> Ddf_wire.Wire.request -> Ddf_wire.Wire.response
-(** Raw request/response; [Error] responses are returned, not
-    raised.  @raise Client_error on a dropped connection. *)
+(** Raw request/response; [Error] responses are returned, not raised
+    (though retryable ones are resent first when [retries > 0]).
+    @raise Client_error on a dropped connection. *)
 
 (** {1 Read/write splitting over a replica set}
 
     A {!Pool.pool} watches a set of endpoints — one primary and any
     number of followers — classifying each by the role its [stat]
     reports.  {!Pool.read} round-robins over live followers (read
-    scaling), {!Pool.write} targets the primary; both re-probe the set
-    when their endpoint fails, so a promoted follower is discovered
-    and adopted without restarting the client.  Like a single client,
-    a pool is not thread-safe: one per thread. *)
+    scaling), {!Pool.write} targets the primary.  A write failing
+    with [`Unavailable] re-probes the set and retries once (the code
+    asserts the request never executed), so a promoted follower is
+    adopted without restarting the client; an [`Ambiguous_commit] is
+    never resent.  When no primary is reachable the pool degrades:
+    reads keep flowing to followers (counted in
+    [pool.degraded_reads]) while writes fail fast, until a re-probe
+    finds a primary again.  Like a single client, a pool is not
+    thread-safe: one per thread. *)
 
 module Pool : sig
   type pool
 
-  val connect : ?user:string -> ?timeout:float -> string list -> pool
+  val connect :
+    ?user:string -> ?timeout:float -> ?deadline:float -> string list -> pool
   (** Probe every endpoint (sockets); unreachable ones stay in the set
-      and are re-probed on failover. *)
+      and are re-probed on failover.  [timeout] and [deadline] apply
+      to every member connection. *)
 
   val endpoints : pool -> (string * string) list
   (** [(socket, role)] per member; role is ["primary"], ["follower"]
       or ["down"]. *)
 
+  val degraded : pool -> bool
+  (** No reachable primary: the pool serves follower reads only. *)
+
   val read : pool -> (t -> 'a) -> 'a
   (** Run a read on a live follower (round-robin), falling back to the
       primary when no follower is up.  A member that stops answering
-      is marked down and the read moves on; a server [Error] from a
+      is marked down and the read moves on; a server error from a
       live member is raised as the answer.
       @raise Client_error when no endpoint can serve. *)
 
   val write : pool -> (t -> 'a) -> 'a
-  (** Run a write on the primary; when it is gone, re-probe everything
-      once to find a promoted follower and retry.
-      @raise Client_error when no writable endpoint exists. *)
+  (** Run a write on the primary; on [`Unavailable] — and only then —
+      re-probe everything once to find a promoted follower and retry.
+      @raise Client_error when no writable endpoint exists
+      ([`Unavailable], and the pool is marked degraded). *)
 
   val batch :
     pool -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list

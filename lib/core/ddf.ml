@@ -4,6 +4,8 @@
    a ready-to-use Hercules-style environment over the odyssey schema
    with the standard tool catalog installed. *)
 
+module Error = Ddf_core.Error
+module Fault = Ddf_fault.Fault
 module Schema = Ddf_schema.Schema
 module Standard_schemas = Ddf_schema.Standard_schemas
 module Task_graph = Ddf_graph.Task_graph

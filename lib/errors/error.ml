@@ -1,0 +1,87 @@
+(* The one typed error for every subsystem: a closed code set, a
+   message, structured context, and an explicit retry contract.  The
+   [retryable] bit is a *promise by the raiser* that the failed request
+   was not executed, so a client may resend without double-applying;
+   [retry_after] is a backoff hint (seconds) used by overload
+   shedding. *)
+
+type code =
+  [ `Not_found
+  | `Type_error
+  | `Conflict
+  | `Overloaded
+  | `Timeout
+  | `Unavailable
+  | `Ambiguous_commit
+  | `Invalid
+  | `Internal ]
+
+type t = {
+  code : code;
+  message : string;
+  context : (string * string) list;
+  retryable : bool;
+  retry_after : float option;
+}
+
+exception Ddf_error of t
+
+let default_retryable = function
+  | `Overloaded | `Timeout | `Unavailable -> true
+  | `Not_found | `Type_error | `Conflict | `Ambiguous_commit | `Invalid
+  | `Internal ->
+    false
+
+let make ?(context = []) ?retryable ?retry_after code message =
+  let retryable =
+    match retryable with Some r -> r | None -> default_retryable code
+  in
+  { code; message; context; retryable; retry_after }
+
+let raise_ t = raise (Ddf_error t)
+
+let errorf ?context ?retryable ?retry_after code fmt =
+  Format.kasprintf
+    (fun message -> raise_ (make ?context ?retryable ?retry_after code message))
+    fmt
+
+let code_to_string = function
+  | `Not_found -> "not-found"
+  | `Type_error -> "type-error"
+  | `Conflict -> "conflict"
+  | `Overloaded -> "overloaded"
+  | `Timeout -> "timeout"
+  | `Unavailable -> "unavailable"
+  | `Ambiguous_commit -> "ambiguous-commit"
+  | `Invalid -> "invalid"
+  | `Internal -> "internal"
+
+let all_codes : code list =
+  [ `Not_found; `Type_error; `Conflict; `Overloaded; `Timeout; `Unavailable;
+    `Ambiguous_commit; `Invalid; `Internal ]
+
+let code_of_string s =
+  List.find_opt (fun c -> code_to_string c = s) all_codes
+
+let message t = t.message
+
+let to_string t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (code_to_string t.code);
+  Buffer.add_string b ": ";
+  Buffer.add_string b t.message;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf " [%s=%s]" k v))
+    t.context;
+  if t.retryable then begin
+    Buffer.add_string b " (retryable";
+    (match t.retry_after with
+    | Some s -> Buffer.add_string b (Printf.sprintf " after %.3gs" s)
+    | None -> ());
+    Buffer.add_string b ")"
+  end;
+  Buffer.contents b
+
+let of_exn = function
+  | Ddf_error t -> t
+  | e -> make `Internal (Printexc.to_string e)

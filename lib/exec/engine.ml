@@ -32,9 +32,10 @@ type context = {
   mutable user : string;
 }
 
-exception Execution_error of string
+exception Execution_error = Ddf_core.Error.Ddf_error
+(* Deprecated alias: the engine raises the shared typed error now. *)
 
-let exec_errorf fmt = Format.kasprintf (fun s -> raise (Execution_error s)) fmt
+let exec_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 let create_context ?(user = "designer") ?registry schema =
   let registry =
@@ -69,7 +70,7 @@ let install ctx ~entity ?(label = "") ?(comment = "") ?(keywords = []) ?user
 let install_tool ctx entity =
   match Standard_tools.default_tool_payload entity with
   | Some payload -> install ctx ~entity ~label:entity payload
-  | None -> exec_errorf "tool %s has no default catalog payload" entity
+  | None -> exec_errorf ~code:`Not_found "tool %s has no default catalog payload" entity
 
 type stats = {
   executed : int;     (* invocations actually run *)
@@ -270,7 +271,8 @@ let execute ?(memo = true) ctx g ~bindings =
       let entity = Task_graph.entity_of g nid in
       let inst_entity = Store.entity_of ctx.store iid in
       if not (Schema.is_subtype ctx.schema ~sub:inst_entity ~super:entity) then
-        exec_errorf "instance #%d (%s) cannot fill node %d (%s)" iid inst_entity
+        exec_errorf ~code:`Type_error "instance #%d (%s) cannot fill node %d (%s)" iid
+          inst_entity
           nid entity;
       Hashtbl.replace assignment nid iid)
     bindings;
@@ -355,7 +357,7 @@ let execute ?(memo = true) ctx g ~bindings =
 let decompose ctx iid =
   let entity = Store.entity_of ctx.store iid in
   if not (Schema.is_composite ctx.schema entity) then
-    exec_errorf "instance #%d (%s) is not composite" iid entity;
+    exec_errorf ~code:`Type_error "instance #%d (%s) is not composite" iid entity;
   let decomposer = Encapsulation.find_decomposer ctx.registry entity in
   let parts = decomposer (Store.payload ctx.store iid) in
   let at = tick ctx in
@@ -381,7 +383,7 @@ let decompose ctx iid =
 let result_of run nid =
   match List.assoc_opt nid run.assignment with
   | Some iid -> iid
-  | None -> exec_errorf "node %d was not computed" nid
+  | None -> exec_errorf ~code:`Not_found "node %d was not computed" nid
 
 (* Batched tool calls (section 4.1): when every consumer of a
    multi-selected node is served by a batched encapsulation and the

@@ -27,7 +27,8 @@ type context = {
           server rebinds it to the requesting client per operation *)
 }
 
-exception Execution_error of string
+exception Execution_error of Ddf_core.Error.t
+(** Deprecated alias of {!Ddf_core.Error.Ddf_error}. *)
 
 val create_context :
   ?user:string -> ?registry:Encapsulation.registry -> Schema.t -> context

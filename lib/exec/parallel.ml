@@ -221,7 +221,7 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
         !pending
     in
     if ready = [] then
-      raise (Engine.Execution_error "parallel execution stuck: unbound leaves");
+      Ddf_core.Error.errorf `Invalid "parallel execution stuck: unbound leaves";
     (* skip invocations whose outputs are pre-bound *)
     let ready =
       List.filter
@@ -347,9 +347,8 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
                 match List.assoc_opt entity stored with
                 | Some iid -> Hashtbl.replace assignment nid iid
                 | None ->
-                  raise
-                    (Engine.Execution_error
-                       ("no output for entity " ^ entity)))
+                  Ddf_core.Error.errorf `Internal "no output for entity %s"
+                    entity)
               inv.Task_graph.outputs;
             incr executed;
             Metrics.incr m_parallel_executed)

@@ -37,9 +37,12 @@ module S = Ddf_persist.Sexp
 module W = Ddf_persist.Workspace_file
 module Codec = Ddf_persist.Codec
 
-exception Journal_error of string
+exception Journal_error = Ddf_core.Error.Ddf_error
+(* Deprecated alias: the journal raises the shared typed error now. *)
 
-let journal_errorf fmt = Format.kasprintf (fun s -> raise (Journal_error s)) fmt
+module Fault = Ddf_fault.Fault
+
+let journal_errorf ?(code = `Internal) fmt = Ddf_core.Error.errorf code fmt
 
 let m_appends = Ddf_obs.Metrics.counter "journal.appends"
 let m_replayed = Ddf_obs.Metrics.counter "journal.replayed_entries"
@@ -82,6 +85,7 @@ type t = {
   mutable j_seq : int;               (* seq of the last entry = base + entries *)
   j_truncated : int;                 (* torn-tail bytes dropped on open *)
   mutable j_closed : bool;
+  mutable j_failed : string option;  (* fail-stop reason, sticky until reopen *)
   mutable j_frame_obs : (int -> string -> unit) option;
   compact_every : int;
   mutable j_sync_mode : sync_mode;
@@ -100,6 +104,29 @@ let clear_frame_observer j = j.j_frame_obs <- None
 
 let sync_mode j = j.j_sync_mode
 let set_sync_mode j m = j.j_sync_mode <- m
+let failed j = j.j_failed
+
+let m_failures = Ddf_obs.Metrics.counter "journal.failures"
+
+(* A write-path failure (fsync error, short write, injected fault)
+   fail-stops the journal: the wal's good prefix stays intact and every
+   later append/sync/compact refuses with [`Unavailable].  Continuing
+   to append past a failed or torn frame would bury it mid-log, and
+   recovery truncates at the FIRST bad frame — acknowledged entries
+   after it would silently vanish.  Fail-stop makes that impossible:
+   un-acked writes error out, acked ones stay replayable. *)
+let fail_stop j e =
+  if j.j_failed = None then begin
+    j.j_failed <- Some (Printexc.to_string e);
+    Ddf_obs.Metrics.incr m_failures
+  end;
+  raise e
+
+let check_writable j =
+  match j.j_failed with
+  | Some reason ->
+    journal_errorf ~code:`Unavailable "journal failed (fail-stop): %s" reason
+  | None -> ()
 
 let snapshot_path dir = Filename.concat dir "snapshot.ddf"
 let wal_path dir = Filename.concat dir "wal.ddf"
@@ -142,9 +169,19 @@ let write_base dir base =
 (* ------------------------------------------------------------------ *)
 
 let write_frame oc payload =
-  Printf.fprintf oc "J1 %d %s\n%s\n" (String.length payload)
-    (Digest.to_hex (Digest.string payload))
-    payload;
+  let frame =
+    Printf.sprintf "J1 %d %s\n%s\n" (String.length payload)
+      (Digest.to_hex (Digest.string payload))
+      payload
+  in
+  (match Fault.check "journal.torn_write" with
+  | Some (Fault.Torn k) ->
+    (* a crash mid-append: only a prefix of the frame reaches the file *)
+    output_string oc (String.sub frame 0 (min k (String.length frame)));
+    flush oc;
+    raise (Fault.Injected "journal.torn_write")
+  | Some Fault.Fail -> raise (Fault.Injected "journal.torn_write")
+  | Some (Fault.Delay _) | None -> output_string oc frame);
   flush oc
 
 (* Read one frame; [None] cleanly at end of file.  A short, malformed
@@ -259,6 +296,7 @@ let replay_entry ctx payload =
    flush covered (the group-commit batch size). *)
 let fsync_now j =
   flush j.j_oc;
+  Fault.fire "journal.fsync";
   Unix.fsync (Unix.descr_of_out_channel j.j_oc);
   Ddf_obs.Metrics.incr m_syncs;
   if j.j_pending > 0 then
@@ -267,12 +305,17 @@ let fsync_now j =
 
 let append j payload =
   if not j.j_closed then begin
-    write_frame j.j_oc payload;
-    j.j_entries <- j.j_entries + 1;
-    j.j_seq <- j.j_seq + 1;
-    j.j_pending <- j.j_pending + 1;
-    Ddf_obs.Metrics.incr m_appends;
-    if j.j_sync_mode = Always then fsync_now j;
+    check_writable j;
+    (match
+       write_frame j.j_oc payload;
+       j.j_entries <- j.j_entries + 1;
+       j.j_seq <- j.j_seq + 1;
+       j.j_pending <- j.j_pending + 1;
+       Ddf_obs.Metrics.incr m_appends;
+       if j.j_sync_mode = Always then fsync_now j
+     with
+    | () -> ()
+    | exception e -> fail_stop j e);
     (* written first, then shipped: the frame observer (the replication
        fan-out) sees an entry only after the local wal has it — on disk
        in [Always] mode, flushed to the OS in [Group]/[Never] (the
@@ -314,11 +357,17 @@ let fsync_dir dir =
 
 let sync j =
   if not j.j_closed then begin
-    flush j.j_oc;
-    if j.j_pending > 0 then
-      match j.j_sync_mode with
-      | Never -> j.j_pending <- 0 (* no durability point, just bound the count *)
-      | Always | Group -> fsync_now j
+    check_writable j;
+    match
+      flush j.j_oc;
+      if j.j_pending > 0 then
+        match j.j_sync_mode with
+        | Never ->
+          j.j_pending <- 0 (* no durability point, just bound the count *)
+        | Always | Group -> fsync_now j
+    with
+    | () -> ()
+    | exception e -> fail_stop j e
   end
 
 (* Replay wal.ddf into [ctx]; returns (entries, torn-tail bytes
@@ -381,14 +430,16 @@ let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group) ~dir schema =
   let j =
     { j_dir = dir; j_ctx = ctx; j_registry = registry; j_oc = oc;
       j_entries = entries; j_base = base; j_seq = base + entries;
-      j_truncated = torn; j_closed = false; j_frame_obs = None; compact_every;
+      j_truncated = torn; j_closed = false; j_failed = None;
+      j_frame_obs = None; compact_every;
       j_sync_mode = sync_mode; j_pending = 0 }
   in
   attach j;
   j
 
 let compact j =
-  if j.j_closed then journal_errorf "journal is closed";
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
+  check_writable j;
   Ddf_obs.Metrics.incr m_compactions;
   let tmp = snapshot_path j.j_dir ^ ".tmp" in
   let oc = open_out tmp in
@@ -426,10 +477,17 @@ let maybe_compact j =
 let close j =
   if not j.j_closed then begin
     detach j;
-    (match j.j_sync_mode with
-    | Never -> flush j.j_oc
-    | Always | Group -> fsync_now j);
-    close_out j.j_oc;
+    (* best effort: a failed (or failing) journal still closes — its
+       good prefix is already safe, and close is called from shutdown
+       paths that must stay idempotent *)
+    (match
+       match j.j_sync_mode with
+       | Never -> flush j.j_oc
+       | Always | Group -> if j.j_failed = None then fsync_now j else flush j.j_oc
+     with
+    | () -> ()
+    | exception _ -> j.j_failed <- Some "fsync failed during close");
+    close_out_noerr j.j_oc;
     j.j_closed <- true
   end
 
@@ -449,7 +507,7 @@ type tail =
    (the server reads the tail from its single-writer loop), so the file
    ends exactly at the last complete frame. *)
 let entries_since j since =
-  if j.j_closed then journal_errorf "journal is closed";
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   if since < j.j_base then Snapshot_needed
   else if since >= j.j_seq then Frames []
   else begin
@@ -477,7 +535,7 @@ let entries_since j since =
 (* The full current state as a replication seed: (seqno, workspace
    save).  Like [entries_since], call this with writers excluded. *)
 let snapshot_state j =
-  if j.j_closed then journal_errorf "journal is closed";
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   (j.j_seq, W.save (Ddf_session.Session.of_context j.j_ctx))
 
 (* Apply one replicated frame: replay the payload into the context and
@@ -492,21 +550,26 @@ let snapshot_state j =
    written locally are the primary's bytes, not a re-encoding (a
    re-encoding after [Store.put] would stamp a stale clock). *)
 let apply j ~seq payload =
-  if j.j_closed then journal_errorf "journal is closed";
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
+  check_writable j;
   if seq <> j.j_seq + 1 then
-    journal_errorf "replication gap: expected entry %d, got %d" (j.j_seq + 1)
-      seq;
+    journal_errorf ~code:`Conflict "replication gap: expected entry %d, got %d"
+      (j.j_seq + 1) seq;
   detach j;
   (try replay_entry j.j_ctx payload
    with e ->
      attach j;
      raise e);
   attach j;
-  write_frame j.j_oc payload;
-  j.j_entries <- j.j_entries + 1;
-  j.j_seq <- seq;
-  j.j_pending <- j.j_pending + 1;
-  if j.j_sync_mode = Always then fsync_now j;
+  (match
+     write_frame j.j_oc payload;
+     j.j_entries <- j.j_entries + 1;
+     j.j_seq <- seq;
+     j.j_pending <- j.j_pending + 1;
+     if j.j_sync_mode = Always then fsync_now j
+   with
+  | () -> ()
+  | exception e -> fail_stop j e);
   Ddf_obs.Metrics.incr m_applied;
   match j.j_frame_obs with
   | Some f -> f j.j_seq payload
@@ -519,7 +582,7 @@ let apply j ~seq payload =
    swapped to the freshly loaded store/history/clock in place, so
    sessions holding the context observe the new state. *)
 let reset_to_snapshot j ~seq data =
-  if j.j_closed then journal_errorf "journal is closed";
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   Ddf_obs.Metrics.incr m_resyncs;
   let session =
     try W.load ?registry:j.j_registry j.j_ctx.Ddf_exec.Engine.schema data

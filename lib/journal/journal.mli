@@ -17,7 +17,10 @@
     ([snapshot.ddf], the {!Ddf_persist.Workspace_file} format) and
     truncates the log. *)
 
-exception Journal_error of string
+exception Journal_error of Ddf_core.Error.t
+(** Deprecated alias of {!Ddf_core.Error.Ddf_error}: corruption and
+    ordering violations are [`Internal]/[`Conflict], operations on a
+    closed or failed journal are [`Unavailable]. *)
 
 type t
 
@@ -64,6 +67,14 @@ val entries_since_snapshot : t -> int
 
 val truncated_on_open : t -> int
 (** Bytes of torn tail dropped by crash recovery during {!open_}. *)
+
+val failed : t -> string option
+(** Fail-stop reason, if a write-path failure (fsync error, short
+    write, injected fault) poisoned the journal.  A failed journal
+    refuses every later mutation with [`Unavailable] so a bad frame
+    can never end up buried mid-log — recovery truncates at the first
+    torn frame, and anything after it would be lost even though it was
+    acknowledged.  Cleared only by reopening. *)
 
 val sync : t -> unit
 (** A durability point: flush and [fsync] the log, so everything

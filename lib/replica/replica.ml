@@ -68,7 +68,8 @@ module Feed = struct
     | Some sexp -> (
       match Wire.response_of_sexp sexp with
       | Wire.Ok_unit -> ()
-      | Wire.Error m -> fail "primary refused hello: %s" m
+      | Wire.Error err ->
+        fail "primary refused hello: %s" (Ddf_core.Error.to_string err)
       | _ -> fail "unexpected response to hello")
     | None -> fail "primary closed the connection during hello"
     | exception Wire.Wire_error m -> fail "%s" m);
@@ -91,7 +92,8 @@ module Feed = struct
         if not (String.equal (digest_hex payload) digest) then
           replica_errorf "frame %d failed its checksum in transit" seq;
         Frame { seq; payload }
-      | Wire.Error m -> replica_errorf "primary: %s" m
+      | Wire.Error err ->
+        replica_errorf "primary: %s" (Ddf_core.Error.to_string err)
       | _ -> replica_errorf "unexpected message on the replication stream")
 
   let ack t seq =

@@ -26,6 +26,8 @@ module Engine = Ddf_exec.Engine
 module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
 module Replica = Ddf_replica.Replica
+module E = Ddf_core.Error
+module Fault = Ddf_fault.Fault
 
 exception Server_error of string
 
@@ -35,6 +37,8 @@ let m_requests = Metrics.counter "server.requests"
 let m_mutations = Metrics.counter "server.mutations"
 let m_errors = Metrics.counter "server.errors"
 let m_timeouts = Metrics.counter "server.timeouts"
+let m_shed = Metrics.counter "server.shed"
+let m_deadline_missed = Metrics.counter "server.deadline_missed"
 let m_connections = Metrics.counter "server.connections"
 let m_rejected = Metrics.counter "server.rejected_connections"
 let m_version_mismatch = Metrics.counter "server.version_mismatches"
@@ -63,11 +67,22 @@ module Rw = struct
     { m = Mutex.create (); c = Condition.create (); readers = 0;
       writing = false }
 
-  let with_read t f =
+  let with_read ?deadline t f =
     Mutex.lock t.m;
-    while t.writing do
-      Condition.wait t.c t.m
-    done;
+    let rec await () =
+      if t.writing then begin
+        (match deadline with
+        | Some d when Unix.gettimeofday () > d ->
+          (* bail BEFORE bumping the reader count: a timed-out reader
+             leaves no trace, so the writer never waits on a ghost *)
+          Mutex.unlock t.m;
+          E.errorf `Timeout "deadline expired waiting for the read lock"
+        | Some _ | None -> ());
+        Condition.wait t.c t.m;
+        await ()
+      end
+    in
+    await ();
     t.readers <- t.readers + 1;
     Mutex.unlock t.m;
     Fun.protect f ~finally:(fun () ->
@@ -91,6 +106,76 @@ module Rw = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Read admission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* At most [capacity] reads evaluate concurrently and at most
+   [max_waiting] wait for a slot; anything beyond that is shed
+   immediately instead of stacking up unbounded latency.  A waiter
+   whose deadline expires leaves cleanly — the waiting count drops and
+   no slot leaks. *)
+module Gate = struct
+  type t = {
+    gm : Mutex.t;
+    gc : Condition.t;
+    capacity : int;
+    max_waiting : int;
+    mutable active : int;
+    mutable waiting : int;
+  }
+
+  let create ~capacity ~max_waiting =
+    { gm = Mutex.create (); gc = Condition.create ();
+      capacity = max 1 capacity; max_waiting = max 0 max_waiting;
+      active = 0; waiting = 0 }
+
+  let deadline_expired = function
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+
+  let acquire ?deadline g =
+    Mutex.lock g.gm;
+    let verdict =
+      if g.active < g.capacity then begin
+        g.active <- g.active + 1;
+        `Admitted
+      end
+      else if g.waiting >= g.max_waiting then `Shed
+      else begin
+        g.waiting <- g.waiting + 1;
+        let rec await () =
+          if g.active < g.capacity then begin
+            g.active <- g.active + 1;
+            `Admitted
+          end
+          else if deadline_expired deadline then `Expired
+          else begin
+            Condition.wait g.gc g.gm;
+            await ()
+          end
+        in
+        let v = await () in
+        g.waiting <- g.waiting - 1;
+        v
+      end
+    in
+    Mutex.unlock g.gm;
+    verdict
+
+  let release g =
+    Mutex.lock g.gm;
+    g.active <- g.active - 1;
+    Condition.broadcast g.gc;
+    Mutex.unlock g.gm
+
+  let with_slot ?deadline g f =
+    match acquire ?deadline g with
+    | `Shed -> `Shed
+    | `Expired -> `Expired
+    | `Admitted -> `Done (Fun.protect f ~finally:(fun () -> release g))
+end
+
+(* ------------------------------------------------------------------ *)
 (* Write-queue jobs                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -98,6 +183,7 @@ type job = {
   job_user : string;
   job_run : unit -> Wire.response;
   job_enqueued : float;
+  job_deadline : float option;        (* absolute; shed when passed *)
   job_m : Mutex.t;
   job_c : Condition.t;
   mutable job_result : Wire.response option;
@@ -116,6 +202,10 @@ type t = {
   wake_w : Unix.file_descr;
   max_clients : int;
   request_timeout : float;
+  max_queue : int;                    (* writer admission bound *)
+  default_deadline : float option;    (* seconds, for deadline-less peers *)
+  drain_grace : float;                (* seconds to let in-flight finish *)
+  gate : Gate.t;                      (* read admission *)
   started_at : float;
   (* shared state under [m] *)
   m : Mutex.t;
@@ -125,6 +215,8 @@ type t = {
   mutable threads : Thread.t list;
   queue : job Queue.t;
   queue_c : Condition.t;              (* signalled on enqueue and stop *)
+  mutable in_flight : int;            (* requests being served right now *)
+  mutable avg_job_us : float;         (* EWMA of writer job service time *)
   mutable writer : Thread.t option;
   mutable accepter : Thread.t option;
   (* replication *)
@@ -177,21 +269,27 @@ let unregister_follower t outbox =
 (* The writer loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let error_message = function
-  | Session.Session_error m | Store.Store_error m | History.History_error m
-  | Engine.Execution_error m | Ddf_exec.Consistency.Consistency_error m
-  | Ddf_persist.Codec.Codec_error m | Ddf_persist.Sexp.Sexp_error m
-  | Wire.Wire_error m | Journal.Journal_error m ->
-    Some m
-  | Ddf_exec.Typing.Type_mismatch m | Ddf_schema.Schema.Schema_error m
-  | Ddf_graph.Task_graph.Graph_error m ->
-    Some m
-  | _ -> None
-
+(* Session/Store/Engine/Consistency/Journal errors are all rebound to
+   Ddf_error and pass through with their code intact; the unmigrated
+   stringly exceptions get classified here. *)
 let error_response e =
-  match error_message e with
-  | Some m -> Wire.Error m
-  | None -> Wire.Error (Printexc.to_string e)
+  let err =
+    match e with
+    | E.Ddf_error err -> err
+    | Ddf_exec.Typing.Type_mismatch m -> E.make `Type_error m
+    | History.History_error m -> E.make `Conflict m
+    | Ddf_schema.Schema.Schema_error m | Ddf_graph.Task_graph.Graph_error m
+    | Ddf_persist.Codec.Codec_error m | Ddf_persist.Sexp.Sexp_error m
+    | Wire.Wire_error m ->
+      E.make `Invalid m
+    | e -> E.of_exn e
+  in
+  Wire.Error err
+
+let wire_error ?context ?retryable ?retry_after code fmt =
+  Format.kasprintf
+    (fun m -> Wire.Error (E.make ?context ?retryable ?retry_after code m))
+    fmt
 
 let finish job result =
   Mutex.lock job.job_m;
@@ -229,24 +327,47 @@ let writer_loop t =
     match batch with
     | None -> ()
     | Some batch ->
+      (* test hook: an armed delay here models a stalled writer (slow
+         disk, GC pause) so tests can fill the admission queue *)
+      ignore (Fault.check "server.writer_stall" : Fault.action option);
       let run_one job =
-        let waited = Unix.gettimeofday () -. job.job_enqueued in
+        let now = Unix.gettimeofday () in
+        let waited = now -. job.job_enqueued in
         Metrics.observe h_queue_wait (waited *. 1e6);
+        let expired =
+          match job.job_deadline with Some d -> now > d | None -> false
+        in
         let result =
-          if waited > t.request_timeout then begin
-            Metrics.incr m_timeouts;
-            Wire.Error
-              (Printf.sprintf "request timed out after %.1fs in the write queue"
-                 waited)
+          if expired then begin
+            (* the client gave up while the job sat in the queue;
+               executing it now would waste write-lock time nobody
+               will read — and the entry was never journaled *)
+            Metrics.incr m_deadline_missed;
+            wire_error `Timeout
+              "deadline expired after %.3fs in the write queue" waited
           end
-          else
-            Rw.with_write t.rw (fun () ->
-                t.ctx.Engine.user <- job.job_user;
-                match job.job_run () with
-                | resp ->
-                  ignore (Journal.maybe_compact t.journal);
-                  resp
-                | exception e -> error_response e)
+          else if waited > t.request_timeout then begin
+            Metrics.incr m_timeouts;
+            wire_error `Timeout
+              "request timed out after %.1fs in the write queue" waited
+          end
+          else begin
+            let r =
+              Rw.with_write t.rw (fun () ->
+                  t.ctx.Engine.user <- job.job_user;
+                  match job.job_run () with
+                  | resp ->
+                    ignore (Journal.maybe_compact t.journal);
+                    resp
+                  | exception e -> error_response e)
+            in
+            let dur_us = (Unix.gettimeofday () -. now) *. 1e6 in
+            Mutex.lock t.m;
+            (* EWMA of service time drives the retry-after hint *)
+            t.avg_job_us <- (0.8 *. t.avg_job_us) +. (0.2 *. dur_us);
+            Mutex.unlock t.m;
+            r
+          end
         in
         (job, result)
       in
@@ -266,27 +387,46 @@ let writer_loop t =
   in
   next ()
 
-let submit t ~user run =
+(* How long a shed client should back off: the queue's expected drain
+   time under the writer's recent service rate.  Call under [t.m]. *)
+let retry_after_hint t queued =
+  let avg_us = if t.avg_job_us > 0.0 then t.avg_job_us else 2_000.0 in
+  Float.max 0.01 (float_of_int (queued + 1) *. avg_us /. 1e6)
+
+let submit ?deadline t ~user run =
   let job =
     { job_user = user; job_run = run; job_enqueued = Unix.gettimeofday ();
+      job_deadline = deadline;
       job_m = Mutex.create (); job_c = Condition.create (); job_result = None }
   in
   Mutex.lock t.m;
-  let accepted = not t.stopping in
-  if accepted then begin
-    Queue.push job t.queue;
-    Condition.broadcast t.queue_c
-  end;
+  let verdict =
+    if t.stopping then `Stopping
+    else if Queue.length t.queue >= t.max_queue then begin
+      Metrics.incr m_shed;
+      `Full (retry_after_hint t (Queue.length t.queue))
+    end
+    else begin
+      Queue.push job t.queue;
+      Condition.broadcast t.queue_c;
+      `Queued
+    end
+  in
   Mutex.unlock t.m;
-  if not accepted then Wire.Error "server is shutting down"
-  else begin
+  match verdict with
+  | `Stopping -> wire_error `Unavailable "server is shutting down"
+  | `Full retry_after ->
+    (* shed at admission: the request never reaches the writer, so it
+       is never executed and never journaled — safe to resend *)
+    wire_error ~retry_after `Overloaded "write queue is full (%d jobs)"
+      t.max_queue
+  | `Queued ->
     Mutex.lock job.job_m;
     while job.job_result = None do
       Condition.wait job.job_c job.job_m
     done;
     Mutex.unlock job.job_m;
     Option.get job.job_result
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Request evaluation                                                  *)
@@ -319,12 +459,12 @@ let rec eval t session req =
       (List.map
          (fun r ->
            match (r : Wire.request) with
-           | Wire.Batch _ -> Wire.Error "batch requests do not nest"
+           | Wire.Batch _ ->
+             wire_error `Invalid "batch requests do not nest"
            | Wire.Hello _ | Wire.Shutdown | Wire.Subscribe _ | Wire.Repl_ack _
              ->
-             Wire.Error
-               (Printf.sprintf "connection-level request %S inside a batch"
-                  (Wire.request_name r))
+             wire_error `Invalid "connection-level request %S inside a batch"
+               (Wire.request_name r)
            | r -> ( try eval t session r with e -> error_response e))
          reqs)
   | Wire.Hello _ | Wire.Ping | Wire.Shutdown -> Wire.Ok_unit
@@ -354,7 +494,7 @@ let rec eval t session req =
     Wire.Ok_unit
   | Wire.Subscribe _ | Wire.Repl_ack _ ->
     (* handled by the connection loop before reaching the evaluator *)
-    Wire.Error "replication message outside a replication stream"
+    wire_error `Invalid "replication message outside a replication stream"
   | Wire.Catalog Wire.Entities -> Wire.Ok_atoms (Session.entity_catalog session)
   | Wire.Catalog Wire.Tools -> Wire.Ok_atoms (Session.tool_catalog session)
   | Wire.Catalog Wire.Flows -> Wire.Ok_atoms (Session.flow_catalog session)
@@ -415,23 +555,55 @@ let follower_rejects t req =
      | Wire.Compact | Wire.Shutdown -> false
      | _ -> true)
 
-let serve_request t session ~conn_id ~user req =
+let serve_request t session ~conn_id ~user ?deadline req =
   Metrics.incr m_requests;
+  Mutex.lock t.m;
+  t.in_flight <- t.in_flight + 1;
+  Mutex.unlock t.m;
+  Fun.protect ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.in_flight <- t.in_flight - 1;
+      Mutex.unlock t.m)
+  @@ fun () ->
   let t0 = if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6 in
   let resp =
-    if follower_rejects t req then
-      Wire.Error
-        (Printf.sprintf
-           "read-only follower: send writes to the primary at %s"
-           (Option.value t.follow ~default:"?"))
+    if
+      (* inclusive: a zero-remaining budget is already spent *)
+      match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+    then begin
+      (* the budget was spent before dispatch (slow network, queued
+         socket): doing the work now would serve a reply nobody reads *)
+      Metrics.incr m_deadline_missed;
+      wire_error `Timeout "deadline expired before dispatch"
+    end
+    else if follower_rejects t req then
+      wire_error ~retryable:false
+        ~context:[ ("primary", Option.value t.follow ~default:"?") ]
+        `Unavailable "read-only follower: send writes to the primary at %s"
+        (Option.value t.follow ~default:"?")
     else if Wire.is_mutation req then begin
       Metrics.incr m_mutations;
-      submit t ~user:!user (fun () -> eval t session req)
+      submit ?deadline t ~user:!user (fun () -> eval t session req)
     end
-    else
-      match Rw.with_read t.rw (fun () -> eval t session req) with
-      | resp -> resp
-      | exception e -> error_response e
+    else begin
+      match
+        Gate.with_slot ?deadline t.gate (fun () ->
+            match
+              Rw.with_read ?deadline t.rw (fun () -> eval t session req)
+            with
+            | resp -> resp
+            | exception e -> error_response e)
+      with
+      | `Done resp -> resp
+      | `Shed ->
+        Metrics.incr m_shed;
+        wire_error ~retry_after:0.05 `Overloaded
+          "read queue is full (%d active, %d waiting)"
+          t.gate.Gate.capacity t.gate.Gate.max_waiting
+      | `Expired ->
+        Metrics.incr m_deadline_missed;
+        wire_error `Timeout "deadline expired waiting for a read slot"
+    end
   in
   let dur_us =
     (if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6)
@@ -456,7 +628,6 @@ let rec stop t =
   Mutex.lock t.m;
   let already = t.stopping in
   t.stopping <- true;
-  let conns = t.conns in
   let driver = t.follower in
   t.follower <- None;
   Condition.broadcast t.queue_c;
@@ -465,14 +636,40 @@ let rec stop t =
     (* a follower stops chasing the primary first, so no replication
        job races the drain *)
     Option.iter Replica.Follower.stop driver;
-    (* unblock the accept loop and every reader; the accepter closes
-       the listening socket itself on the way out *)
+    (* unblock the accept loop; the accepter closes the listening
+       socket itself on the way out *)
     (try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
      with Unix.Unix_error _ -> ());
-    List.iter
-      (fun (_, fd) ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns
+    (* graceful drain: new work is already refused everywhere, so let
+       the requests being served finish (bounded by [drain_grace])
+       before severing the connections *)
+    let drainer =
+      Thread.create
+        (fun () ->
+          let give_up = Unix.gettimeofday () +. t.drain_grace in
+          let rec poll () =
+            Mutex.lock t.m;
+            let busy = t.in_flight > 0 in
+            Mutex.unlock t.m;
+            if busy && Unix.gettimeofday () < give_up then begin
+              Thread.delay 0.01;
+              poll ()
+            end
+          in
+          poll ();
+          Mutex.lock t.m;
+          let conns = t.conns in
+          Mutex.unlock t.m;
+          List.iter
+            (fun (_, fd) ->
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ())
+            conns)
+        ()
+    in
+    Mutex.lock t.m;
+    t.threads <- drainer :: t.threads;
+    Mutex.unlock t.m
   end
 
 (* A [Subscribe] flips its connection into replication mode.  The
@@ -527,13 +724,27 @@ and replication_loop t fd ~user since =
 and connection_loop t fd conn_id =
   let session = Session.of_context t.ctx in
   let user = ref "anonymous" in
+  let stopping () =
+    Mutex.lock t.m;
+    let s = t.stopping in
+    Mutex.unlock t.m;
+    s
+  in
   let rec loop () =
-    match Wire.recv fd with
+    match Wire.recv_deadline fd with
     | None -> ()
-    | Some sexp ->
+    | Some (sexp, deadline_ms) ->
+      (* the budget starts ticking the moment the frame is read; a
+         header-less request falls back to the server default *)
+      let deadline =
+        let now = Unix.gettimeofday () in
+        match deadline_ms with
+        | Some ms -> Some (now +. (float_of_int ms /. 1000.0))
+        | None -> Option.map (fun d -> now +. d) t.default_deadline
+      in
       match Wire.request_of_sexp sexp with
       | exception Wire.Wire_error m ->
-        (try Wire.send fd (Wire.response_to_sexp (Wire.Error m))
+        (try Wire.send fd (Wire.response_to_sexp (wire_error `Invalid "%s" m))
          with Wire.Wire_error _ -> ())
       | Wire.Subscribe since -> replication_loop t fd ~user:!user since
       | req ->
@@ -542,25 +753,29 @@ and connection_loop t fd conn_id =
           | Wire.Hello { user = u; version } ->
             if version <> Wire.protocol_version then begin
               Metrics.incr m_version_mismatch;
-              ( Wire.Error
-                  (Printf.sprintf
-                     "protocol version mismatch: server speaks v%d, client \
-                      speaks v%d"
-                     Wire.protocol_version version),
+              ( wire_error `Invalid
+                  "protocol version mismatch: server speaks v%d, client \
+                   speaks v%d"
+                  Wire.protocol_version version,
                 false )
             end
             else begin
               user := u;
-              (serve_request t session ~conn_id ~user req, true)
+              (serve_request t session ~conn_id ~user ?deadline req, true)
             end
           | Wire.Shutdown ->
-            (serve_request t session ~conn_id ~user Wire.Shutdown, false)
-          | req -> (serve_request t session ~conn_id ~user req, true)
+            (serve_request t session ~conn_id ~user ?deadline Wire.Shutdown,
+             false)
+          | req -> (serve_request t session ~conn_id ~user ?deadline req, true)
         in
         (match Wire.send fd (Wire.response_to_sexp resp) with
         | () -> ()
         | exception Wire.Wire_error _ -> ());
-        if continue then loop ()
+        if continue then begin
+          (* during a drain, finish the request in hand but take no
+             more from this connection *)
+          if not (stopping ()) then loop ()
+        end
         else if
           (* a Shutdown request stops the whole server after the reply *)
           match req with Wire.Shutdown -> true | _ -> false
@@ -569,8 +784,8 @@ and connection_loop t fd conn_id =
   (try loop () with
   | Wire.Wire_error _ -> ()
   | Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  remove_conn t conn_id
+  remove_conn t conn_id;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Accepting                                                           *)
@@ -607,7 +822,9 @@ let accept_loop t =
           Metrics.incr m_rejected;
           (try
              Wire.send fd
-               (Wire.response_to_sexp (Wire.Error "server is at capacity"))
+               (Wire.response_to_sexp
+                  (wire_error ~retry_after:0.1 `Overloaded
+                     "server is at capacity (%d clients)" t.max_clients))
            with Wire.Wire_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ())
         end
@@ -636,7 +853,8 @@ let accept_loop t =
 (* ------------------------------------------------------------------ *)
 
 let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
-    ?compact_every ?sync_mode ~db ~socket schema =
+    ?(max_queue = 256) ?default_deadline ?(max_readers = 32)
+    ?(drain_grace = 5.0) ?compact_every ?sync_mode ~db ~socket schema =
   let journal = Journal.open_ ?registry ?compact_every ?sync_mode ~dir:db schema in
   let ctx = Journal.context journal in
   (match seed with
@@ -660,9 +878,13 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
   let t =
     { journal; ctx; rw = Rw.create (); socket_path = socket; listen_fd;
       wake_r; wake_w;
-      max_clients; request_timeout; started_at = Unix.gettimeofday ();
+      max_clients; request_timeout; max_queue; default_deadline;
+      drain_grace;
+      gate = Gate.create ~capacity:max_readers ~max_waiting:(2 * max_clients);
+      started_at = Unix.gettimeofday ();
       m = Mutex.create (); stopping = false; conns = []; next_conn = 1;
       threads = []; queue = Queue.create (); queue_c = Condition.create ();
+      in_flight = 0; avg_job_us = 0.0;
       writer = None; accepter = None;
       follow; follower = None; followers = [] }
   in
@@ -693,7 +915,8 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     let apply_job what run =
       match submit t ~user:"replication" run with
       | Wire.Ok_unit -> ()
-      | Wire.Error m -> server_errorf "replication %s failed: %s" what m
+      | Wire.Error err ->
+        server_errorf "replication %s failed: %s" what (E.to_string err)
       | _ -> server_errorf "replication %s failed" what
     in
     let driver =
@@ -752,11 +975,13 @@ let wait t =
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
-let run ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
-    ?sync_mode ~db ~socket schema =
+let run ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
+    ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode ~db
+    ~socket schema =
   let t =
-    start ?registry ?seed ?follow ?max_clients ?request_timeout ?compact_every
-      ?sync_mode ~db ~socket schema
+    start ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
+      ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode
+      ~db ~socket schema
   in
   let on_signal _ = stop t in
   let previous =

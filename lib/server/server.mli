@@ -8,10 +8,20 @@
     mutations funnel through a single-writer loop, while reads are
     served concurrently from the connection threads under a shared
     lock.  Every request is traced as a [server.request] span (lane =
-    connection id) and counted in the metrics registry; mutations
-    waiting longer than the request timeout in the write queue are
-    rejected.  Graceful shutdown drains the writer, closes the
-    connections and fsyncs the journal. *)
+    connection id) and counted in the metrics registry.
+
+    Robustness: both admission queues are bounded — at most
+    [max_queue] mutations wait for the writer and at most
+    [max_readers] reads evaluate concurrently; excess load is shed
+    with a typed [`Overloaded] error carrying a retry-after hint,
+    {e before} any work (or journaling) happens.  Requests carry a
+    deadline budget in the frame header (or inherit
+    [default_deadline]); a request whose budget expires before or
+    while it waits is shed with [`Timeout] — again never executed,
+    so resending is safe.  Graceful shutdown stops admitting, lets
+    in-flight requests finish (bounded by [drain_grace]), drains the
+    writer, closes the connections and fsyncs the journal; {!stop}
+    and {!wait} are idempotent. *)
 
 exception Server_error of string
 
@@ -23,6 +33,10 @@ val start :
   ?follow:string ->
   ?max_clients:int ->
   ?request_timeout:float ->
+  ?max_queue:int ->
+  ?default_deadline:float ->
+  ?max_readers:int ->
+  ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> t
@@ -32,6 +46,15 @@ val start :
     [max_clients] (default 64) bounds concurrent connections;
     [request_timeout] (default 30s) bounds a mutation's wait in the
     write queue.
+
+    [max_queue] (default 256) bounds the write queue: a mutation
+    arriving when it is full is refused with [`Overloaded] and a
+    retry-after hint derived from the writer's recent service rate.
+    [max_readers] (default 32) bounds concurrently evaluating reads
+    the same way.  [default_deadline] (seconds) gives every request
+    from a peer that sent no deadline header an implicit budget;
+    [drain_grace] (default 5s) is how long {!stop} lets in-flight
+    requests finish before severing their connections.
 
     [sync_mode] (default [Group]) sets the journal durability policy.
     Under [Group] the writer loop drains its queue in batches and
@@ -75,6 +98,10 @@ val run :
   ?follow:string ->
   ?max_clients:int ->
   ?request_timeout:float ->
+  ?max_queue:int ->
+  ?default_deadline:float ->
+  ?max_readers:int ->
+  ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> unit

@@ -12,9 +12,10 @@ open Ddf_schema
 open Ddf_graph
 open Ddf_store
 
-exception Session_error of string
+exception Session_error = Ddf_core.Error.Ddf_error
+(* Deprecated alias: sessions raise the shared typed error now. *)
 
-let session_errorf fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
+let session_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
@@ -100,7 +101,7 @@ let start_goal_based s entity =
    derivable from the schema. *)
 let start_tool_based s tool_entity =
   if not (Schema.is_tool s.ctx.Ddf_exec.Engine.schema tool_entity) then
-    session_errorf "%s is not a tool" tool_entity;
+    session_errorf ~code:`Type_error "%s is not a tool" tool_entity;
   clear s;
   let g, nid = Task_graph.create s.ctx.Ddf_exec.Engine.schema tool_entity in
   s.current <- g;
@@ -121,7 +122,7 @@ let start_data_based s iid =
 (* Plan-based: pick a predefined flow from the flow catalog. *)
 let start_plan_based s name =
   match Hashtbl.find_opt s.flow_catalog name with
-  | None -> session_errorf "no flow %S in the catalog" name
+  | None -> session_errorf ~code:`Not_found "no flow %S in the catalog" name
   | Some g ->
     clear s;
     s.current <- g;
@@ -180,7 +181,7 @@ let select s nid iids =
       let node_entity = Task_graph.entity_of s.current nid in
       if not (Schema.is_subtype s.ctx.Ddf_exec.Engine.schema ~sub:entity ~super:node_entity)
       then
-        session_errorf "instance #%d (%s) cannot fill a %s node" iid entity
+        session_errorf ~code:`Type_error "instance #%d (%s) cannot fill a %s node" iid entity
           node_entity)
     iids;
   Hashtbl.replace s.selections nid iids

@@ -10,7 +10,8 @@
 open Ddf_graph
 open Ddf_store
 
-exception Session_error of string
+exception Session_error of Ddf_core.Error.t
+(** Deprecated alias of {!Ddf_core.Error.Ddf_error}. *)
 
 type t
 

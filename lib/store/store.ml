@@ -38,9 +38,10 @@ type 'a t = {
   mutable observer : ('a event -> unit) option;
 }
 
-exception Store_error of string
+exception Store_error = Ddf_core.Error.Ddf_error
+(* Deprecated alias: the store raises the shared typed error now. *)
 
-let store_errorf fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
+let store_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 let m_puts = Ddf_obs.Metrics.counter "store.puts"
 let m_dedup = Ddf_obs.Metrics.counter "store.dedup_hits"
@@ -102,7 +103,7 @@ let find_opt store iid = Hashtbl.find_opt store.instances iid
 let find store iid =
   match find_opt store iid with
   | Some inst -> inst
-  | None -> store_errorf "no instance %d" iid
+  | None -> store_errorf ~code:`Not_found "no instance %d" iid
 
 let mem store iid = Hashtbl.mem store.instances iid
 let payload store iid = Hashtbl.find store.payloads (find store iid).data_hash

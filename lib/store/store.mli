@@ -29,7 +29,11 @@ type 'a instance = private {
 
 type 'a t
 
-exception Store_error of string
+exception Store_error of Ddf_core.Error.t
+(** Deprecated alias of {!Ddf_core.Error.Ddf_error}: store failures
+    carry a typed {!Ddf_core.Error.t} ([`Not_found] for missing
+    instances, [`Invalid] otherwise).  Existing handlers keep catching;
+    use {!Ddf_core.Error.message} for the text. *)
 
 val create : unit -> 'a t
 

@@ -90,7 +90,8 @@ let verify_physical (ctx : Ddf_exec.Engine.context) ~logic ~physical ~extractor_
         else if entity = E.verifier then (nid, verifier_tool)
         else
           raise
-            (Ddf_exec.Engine.Execution_error ("unexpected tool leaf " ^ entity)))
+            (Ddf_core.Error.Ddf_error
+               (Ddf_core.Error.make `Type_error ("unexpected tool leaf " ^ entity))))
       tool_leaves
   in
   let bindings =

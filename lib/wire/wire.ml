@@ -11,6 +11,8 @@
 open Ddf_store
 module S = Ddf_persist.Sexp
 module W = Ddf_persist.Workspace_file
+module E = Ddf_core.Error
+module Fault = Ddf_fault.Fault
 
 exception Wire_error of string
 
@@ -22,8 +24,11 @@ type iid = Store.iid
    Version 2: hello carries (version N), replication (subscribe /
    repl-ack / lag / compact) and the role/seq stat fields.
    Version 3: (batch <req>...) pipelining — one frame carrying a
-   sequence of requests, answered by one (ok-batch <resp>...). *)
-let protocol_version = 3
+   sequence of requests, answered by one (ok-batch <resp>...).
+   Version 4: structured error frames (error <code> <msg> <retry>
+   ...) and an optional per-request deadline budget in the frame
+   header.  A v4 side still parses the bare v3 (error <msg>) form. *)
+let protocol_version = 4
 
 type catalog = Entities | Tools | Flows
 
@@ -109,7 +114,7 @@ type response =
   | Ok_frame of { seq : int; payload : string; digest : string }
   | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Ok_batch of response list
-  | Error of string
+  | Error of E.t
 
 (* ------------------------------------------------------------------ *)
 (* Filters                                                             *)
@@ -348,7 +353,22 @@ let rec response_to_sexp = function
                [ S.atom r.lag_follower; S.int r.lag_acked; S.int r.lag_sent ])
            rows)
   | Ok_batch resps -> S.field "ok-batch" (List.map response_to_sexp resps)
-  | Error m -> S.field "error" [ S.atom m ]
+  | Error e ->
+    S.field "error"
+      (S.atom (E.code_to_string e.E.code)
+       :: S.atom e.E.message
+       :: S.atom (if e.E.retryable then "retryable" else "final")
+       :: ((match e.E.retry_after with
+           | Some after -> [ S.field "retry-after" [ S.float after ] ]
+           | None -> [])
+          @
+          match e.E.context with
+          | [] -> []
+          | ctx ->
+            [ S.field "ctx"
+                (List.map
+                   (fun (k, v) -> S.list [ S.atom k; S.atom v ])
+                   ctx) ]))
 
 let rec response_of_sexp sexp =
   match sexp with
@@ -396,7 +416,37 @@ let rec response_of_sexp sexp =
                 | _ -> wire_errorf "malformed lag row")
               rows }
     | "ok-batch", resps -> Ok_batch (List.map response_of_sexp resps)
-    | "error", [ m ] -> Error (S.as_atom m)
+    (* bare (error <msg>) is the pre-v4 dialect: unclassified, final *)
+    | "error", [ m ] -> Error (E.make ~retryable:false `Internal (S.as_atom m))
+    | "error", code :: msg :: flag :: rest ->
+      let code =
+        match E.code_of_string (S.as_atom code) with
+        | Some c -> c
+        | None -> `Internal (* a code minted by a newer peer *)
+      in
+      let retryable =
+        match S.as_atom flag with
+        | "retryable" -> true
+        | "final" -> false
+        | other -> wire_errorf "bad retry flag %S" other
+      in
+      let retry_after =
+        Option.map
+          (fun items -> S.as_float (S.one "retry-after" items))
+          (S.find_field_opt rest "retry-after")
+      in
+      let context =
+        match S.find_field_opt rest "ctx" with
+        | None -> []
+        | Some items ->
+          List.map
+            (fun s ->
+              match S.as_list s with
+              | [ k; v ] -> (S.as_atom k, S.as_atom v)
+              | _ -> wire_errorf "malformed error context")
+            items
+      in
+      Error (E.make ~context ~retryable ?retry_after code (S.as_atom msg))
     | _ -> wire_errorf "unknown response %S" name)
   | _ -> wire_errorf "malformed response"
 
@@ -418,10 +468,22 @@ let write_all fd bytes =
   in
   go 0
 
-let send fd sexp =
+let send ?deadline_ms fd sexp =
   let payload = S.to_string sexp in
-  let msg = Printf.sprintf "ddf1 %d\n%s\n" (String.length payload) payload in
-  write_all fd (Bytes.of_string msg)
+  let header =
+    match deadline_ms with
+    | None -> Printf.sprintf "ddf1 %d\n" (String.length payload)
+    | Some ms -> Printf.sprintf "ddf1 %d %d\n" (String.length payload) ms
+  in
+  let msg = header ^ payload ^ "\n" in
+  match Fault.check "wire.send" with
+  | Some (Fault.Torn k) ->
+    (* the sender dies mid-frame: the peer sees a truncated message *)
+    (try write_all fd (Bytes.of_string (String.sub msg 0 (min k (String.length msg))))
+     with Wire_error _ -> ());
+    raise (Fault.Injected "wire.send")
+  | Some Fault.Fail -> raise (Fault.Injected "wire.send")
+  | Some (Fault.Delay _) | None -> write_all fd (Bytes.of_string msg)
 
 (* Read exactly [n] bytes; [None] when the stream ends cleanly at a
    message boundary (off = 0). *)
@@ -455,22 +517,33 @@ let read_header_line fd =
   in
   go ()
 
-let recv fd =
+let recv_deadline fd =
   match read_header_line fd with
   | None -> None
   | Some header -> (
     match String.split_on_char ' ' header with
-    | [ "ddf1"; len ] -> (
+    | "ddf1" :: len :: rest -> (
       let len =
         match int_of_string_opt len with
         | Some n when n >= 0 && n <= max_frame -> n
         | Some _ | None -> wire_errorf "bad frame length %S" len
+      in
+      let deadline_ms =
+        match rest with
+        | [] -> None
+        | [ ms ] -> (
+          match int_of_string_opt ms with
+          | Some n when n >= 0 -> Some n
+          | Some _ | None -> wire_errorf "bad deadline %S" ms)
+        | _ -> wire_errorf "bad frame header %S" header
       in
       match read_exact fd (len + 1) with
       | None -> wire_errorf "truncated frame"
       | Some bytes ->
         if Bytes.get bytes len <> '\n' then wire_errorf "missing frame terminator";
         let payload = Bytes.sub_string bytes 0 len in
-        (try Some (S.of_string payload)
+        (try Some (S.of_string payload, deadline_ms)
          with S.Sexp_error m -> wire_errorf "payload: %s" m))
     | _ -> wire_errorf "bad frame header %S" header)
+
+let recv fd = Option.map fst (recv_deadline fd)

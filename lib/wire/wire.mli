@@ -2,9 +2,12 @@
 
     Requests and responses are s-expressions, framed on the socket as
 
-    {v ddf1 <payload-bytes>\n<payload>\n v}
+    {v ddf1 <payload-bytes> [<deadline-ms>]\n<payload>\n v}
 
     so both sides can read exactly one message without scanning.  The
+    optional third header token is the sender's remaining deadline
+    budget in milliseconds — how long it is still willing to wait for
+    the answer; the server sheds requests it cannot start in time.  The
     request surface mirrors {!Ddf_session.Session}: catalog queries,
     task-window construction (expand / specialize / select), execution,
     history queries and consistency refresh — plus auth-lite client
@@ -16,9 +19,11 @@ exception Wire_error of string
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (3).  The [Hello] handshake carries
+(** The dialect this build speaks (4).  The [Hello] handshake carries
     the client's version; a server refuses mismatched clients with a
-    typed error before serving anything else. *)
+    typed error before serving anything else.  Version 4 added
+    structured error frames and the deadline header token; a v4 peer
+    still parses the bare v3 [(error <msg>)] form. *)
 
 type catalog = Entities | Tools | Flows
 
@@ -119,7 +124,14 @@ type response =
           same checksum the on-disk frame carries *)
   | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Ok_batch of response list            (** positional answers to [Batch] *)
-  | Error of string
+  | Error of Ddf_core.Error.t
+      (** on the wire:
+          [(error <code> <msg> <retryable|final> [(retry-after s)]
+          [(ctx (k v) ...)])].  [retryable] is the server's assertion
+          that the request was {e not executed}, so resending cannot
+          double-apply; [retry-after] is its backoff hint in seconds.
+          A bare [(error <msg>)] from a v3 peer decodes as a final
+          [`Internal] error. *)
 
 val request_to_sexp : request -> Ddf_persist.Sexp.t
 val request_of_sexp : Ddf_persist.Sexp.t -> request
@@ -138,9 +150,15 @@ val is_mutation : request -> bool
 
 (** {1 Framed socket I/O} *)
 
-val send : Unix.file_descr -> Ddf_persist.Sexp.t -> unit
-(** Write one framed message. @raise Wire_error on a closed peer. *)
+val send : ?deadline_ms:int -> Unix.file_descr -> Ddf_persist.Sexp.t -> unit
+(** Write one framed message; [deadline_ms] puts the sender's
+    remaining budget in the header.  @raise Wire_error on a closed
+    peer. *)
 
 val recv : Unix.file_descr -> Ddf_persist.Sexp.t option
 (** Read one framed message; [None] on clean end-of-stream.
     @raise Wire_error on framing violations. *)
+
+val recv_deadline : Unix.file_descr -> (Ddf_persist.Sexp.t * int option) option
+(** Like {!recv} but also yields the peer's deadline budget (ms) when
+    the header carried one — what the server reads. *)

@@ -199,6 +199,53 @@ let blif_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Typed errors survive the wire                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole taxonomy — code, message, context pairs, retryability and
+   the backoff hint — must round-trip through a v4 error frame exactly:
+   a client's retry decision is only as good as what the frame
+   preserves. *)
+let error_gen =
+  let open QCheck2.Gen in
+  let text = string_size ~gen:printable (int_range 0 30) in
+  map
+    (fun (code, (msg, (ctx, (retryable, after)))) ->
+      Error.make ~context:ctx ~retryable
+        ?retry_after:
+          (Option.map (fun n -> float_of_int n /. 1024.0) after)
+        code msg)
+    (pair (oneofl Error.all_codes)
+       (pair text
+          (pair
+             (small_list (pair text text))
+             (pair bool (option (int_range 0 100_000))))))
+
+let wire_error_props =
+  [
+    Util.qcheck ~count:200 "error frames round-trip the taxonomy" error_gen
+      (fun e ->
+        let s =
+          Sexp.of_string (Sexp.to_string (Wire.response_to_sexp (Wire.Error e)))
+        in
+        match Wire.response_of_sexp s with
+        | Wire.Error e' -> e = e'
+        | _ -> false);
+    Util.qcheck ~count:50 "codes round-trip their names"
+      QCheck2.Gen.(oneofl Error.all_codes)
+      (fun c -> Error.code_of_string (Error.code_to_string c) = Some c);
+    Alcotest.test_case "a bare v3 error frame decodes as final" `Quick
+      (fun () ->
+        match Wire.response_of_sexp (Sexp.of_string "(error \"boom\")") with
+        | Wire.Error e ->
+          Alcotest.(check string) "internal" "internal"
+            (Error.code_to_string e.Error.code);
+          Alcotest.(check string) "message" "boom" (Error.message e);
+          Alcotest.(check bool) "final" false e.Error.retryable
+        | _ -> Alcotest.fail "expected an error response");
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Journal replay is the identity on generated contexts               *)
 (* ------------------------------------------------------------------ *)
 
@@ -381,6 +428,7 @@ let suite =
     ("properties.lvs", lvs_mutation);
     ("properties.freedom", freedom_checks);
     ("properties.blif", blif_props);
+    ("properties.wire_errors", wire_error_props);
     ("properties.journal", journal_props);
     ("properties.schema_index", schema_index_props);
   ]

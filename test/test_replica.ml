@@ -89,10 +89,10 @@ let convergence =
                 (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])))
          with
         | _ -> Alcotest.fail "expected a follower write rejection"
-        | exception Client.Client_error m ->
+        | exception Client.Client_error e ->
           Alcotest.(check bool) "names the primary" true
-            (Util.contains m "read-only follower"
-            && Util.contains m psock));
+            (Util.contains (Error.message e) "read-only follower"
+            && Util.contains (Error.message e) psock));
         (* local journal folding is not a logical write *)
         Client.compact cf);
     Alcotest.test_case "replication lag is reported and gauged" `Quick
@@ -299,10 +299,10 @@ let versioning =
             | c ->
               Client.close c;
               Alcotest.fail "expected a version refusal"
-            | exception Client.Client_error m ->
+            | exception Client.Client_error e ->
               Alcotest.(check bool) "typed mismatch error" true
-                (Util.contains m "protocol version mismatch"
-                && Util.contains m "v1"));
+                (Util.contains (Error.message e) "protocol version mismatch"
+                && Util.contains (Error.message e) "v1"));
             (* current version still welcome on the same daemon *)
             Client.with_client ~socket Client.ping));
     Alcotest.test_case "a bare hello decodes as protocol version 1" `Quick

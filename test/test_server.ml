@@ -115,9 +115,9 @@ let surface =
         Client.with_client ~socket @@ fun c ->
         match Client.trace c 999 with
         | _ -> Alcotest.fail "expected Client_error"
-        | exception Client.Client_error m ->
+        | exception Client.Client_error e ->
           Alcotest.(check bool) "mentions the instance" true
-            (Util.contains m "999"));
+            (Util.contains (Error.message e) "999"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -221,8 +221,9 @@ let limits =
         | c2 ->
           Client.close c2;
           Alcotest.fail "expected a capacity rejection"
-        | exception Client.Client_error m ->
-          Alcotest.(check bool) "says so" true (Util.contains m "capacity"));
+        | exception Client.Client_error e ->
+          Alcotest.(check bool) "says so" true
+            (Util.contains (Error.message e) "capacity"));
     Alcotest.test_case "mutations time out in the write queue" `Quick
       (fun () ->
         with_server ~request_timeout:(-1.0) @@ fun _t ~dir:_ ~socket ->
@@ -236,8 +237,9 @@ let limits =
                (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])))
         with
         | _ -> Alcotest.fail "expected a timeout"
-        | exception Client.Client_error m ->
-          Alcotest.(check bool) "says so" true (Util.contains m "timed out"));
+        | exception Client.Client_error e ->
+          Alcotest.(check bool) "says so" true
+            (Util.contains (Error.message e) "timed out"));
     Alcotest.test_case "shutdown request stops the daemon and fsyncs" `Quick
       (fun () ->
         Test_journal.with_dir @@ fun dir ->
