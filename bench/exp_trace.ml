@@ -1,0 +1,84 @@
+(* Experiment T: tracing overhead.
+
+   The experiment-P write workload (pipelined batch installs against a
+   scratch group-commit server) run twice: with tracing disabled (the
+   PR-5 baseline — no sink installed, every [with_span] runs its thunk
+   directly) and with a JSONL sink recording every span on the client,
+   server, writer and journal paths in-process — the worst case, since
+   one sink sees both sides of the wire.
+
+   Targets: disabled within noise of the baseline, enabled < 10%
+   throughput loss.
+
+   Exported gauges (for --json): trace.write.{off_rps,on_rps,
+   overhead_pct,events}. *)
+
+open Ddf
+
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+(* Longer than experiment P's 32 batches, and measured as the median
+   of interleaved off/on rounds: a short burst at tens of thousands of
+   writes per second is otherwise dominated by fsync timing noise. *)
+let write_batches = 128
+let rounds = 5
+
+let write_throughput () =
+  Exp_perf.with_scratch_server ~sync_mode:Journal.Group @@ fun socket ->
+  Client.with_client ~user:"trace" ~socket @@ fun c ->
+  ignore (Client.batch c (List.init Exp_perf.batch_size (Exp_perf.install_req 0)));
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to write_batches do
+    List.iter
+      (function
+        | Wire.Error e -> failwith ("install failed: " ^ Error.message e)
+        | _ -> ())
+      (Client.batch c (List.init Exp_perf.batch_size (Exp_perf.install_req i)))
+  done;
+  float_of_int (write_batches * Exp_perf.batch_size)
+  /. (Unix.gettimeofday () -. t0)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let run () =
+  Bench_util.section
+    (Printf.sprintf
+       "tracing overhead: %dx %d batches of %d installs, sync=group, off vs \
+        jsonl"
+       rounds write_batches Exp_perf.batch_size);
+  let path = Filename.temp_file "ddf-bench-trace" ".jsonl" in
+  let offs = ref [] and ons = ref [] in
+  let events = ref 0 in
+  for _ = 1 to rounds do
+    offs := write_throughput () :: !offs;
+    Obs.set_sink (Obs_sinks.to_file ~format:Obs_sinks.Jsonl path);
+    ons :=
+      Fun.protect ~finally:Obs.clear_sink (fun () -> write_throughput ())
+      :: !ons;
+    events := count_lines path
+  done;
+  let off_rps = median !offs and on_rps = median !ons in
+  let events = !events in
+  Sys.remove path;
+  let overhead = (off_rps -. on_rps) /. off_rps *. 100.0 in
+  Printf.printf
+    "  tracing off %.0f writes/s, jsonl %.0f writes/s (%.1f%% overhead, %d \
+     trace lines)\n"
+    off_rps on_rps overhead events;
+  Metrics.set (Metrics.gauge "trace.write.off_rps") off_rps;
+  Metrics.set (Metrics.gauge "trace.write.on_rps") on_rps;
+  Metrics.set (Metrics.gauge "trace.write.overhead_pct") overhead;
+  Metrics.set (Metrics.gauge "trace.write.events") (float_of_int events)

@@ -27,6 +27,7 @@ let experiments =
      Exp_perf.run);
     ("O", "overload: load shedding keeps the latency tail bounded",
      Exp_overload.run);
+    ("T", "telemetry: tracing overhead on the write path", Exp_trace.run);
   ]
 
 let () =

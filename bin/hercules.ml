@@ -712,6 +712,17 @@ let serve_cmd =
              an implicit budget of $(docv) seconds; requests whose budget \
              expires before execution are shed, never run.")
   in
+  let slow_request =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-request" ] ~docv:"SECONDS"
+          ~doc:
+            "Slow-request log: report any request served slower than \
+             $(docv) seconds on stderr — operation, user, duration and \
+             (when tracing) its trace token — and count it in \
+             $(b,server.slow_requests).")
+  in
   let replay_only =
     Arg.(
       value & flag
@@ -747,7 +758,7 @@ let serve_cmd =
              replay-only followers and benchmarks).")
   in
   let run db socket follow sync_mode compact_every request_timeout max_clients
-      max_queue default_deadline replay_only obs =
+      max_queue default_deadline slow_request replay_only obs =
     let socket =
       match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
     in
@@ -773,8 +784,8 @@ let serve_cmd =
           socket primary);
       match
         Server.run ~seed:seed_database ?follow ~sync_mode ~max_clients
-          ~request_timeout ~max_queue ?default_deadline ~compact_every ~db
-          ~socket Standard_schemas.odyssey
+          ~request_timeout ~max_queue ?default_deadline ?slow_log:slow_request
+          ~compact_every ~db ~socket Standard_schemas.odyssey
       with
       | () -> print_endline "hercules: shut down"
       | exception Server.Server_error m ->
@@ -794,7 +805,7 @@ let serve_cmd =
     Term.(
       const run $ db_arg $ socket $ follow $ sync_mode $ compact_every
       $ request_timeout $ max_clients $ max_queue $ default_deadline
-      $ replay_only $ obs_term)
+      $ slow_request $ replay_only $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hercules remote                                                     *)
@@ -1002,8 +1013,16 @@ let remote_run_cmd =
       value & opt int 16
       & info [ "vectors" ] ~doc:"Random stimulus vectors to simulate.")
   in
-  let run socket user circuit blif goal vectors =
+  let run socket user circuit blif goal vectors obs =
     let cname, circuit = load_circuit circuit blif in
+    (* one root span for the whole command, so every client call — and
+       through the frame headers every server/follower span they cause
+       — lands in a single distributed trace *)
+    with_obs obs @@ fun () ->
+    Obs.with_span ~cat:"cli"
+      ~attrs:[ ("circuit", Obs.Str cname) ]
+      "cli.remote_run"
+    @@ fun () ->
     with_remote socket user @@ fun c ->
     let schema = Standard_schemas.odyssey in
     let nl_iid =
@@ -1068,7 +1087,7 @@ let remote_run_cmd =
        ~doc:"Build and run a goal-based flow on the design server.")
     Term.(
       const run $ remote_socket_arg $ remote_user_arg $ circuit_arg $ blif_arg
-      $ goal_arg $ vectors)
+      $ goal_arg $ vectors $ obs_term)
 
 let remote_iid_arg =
   Arg.(
@@ -1145,6 +1164,29 @@ let remote_batch_cmd =
           non-zero when any response is an error.")
     Term.(const run $ remote_socket_arg $ remote_user_arg)
 
+let remote_metrics_cmd =
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Emit Prometheus text exposition (counters as $(b,_total), \
+             histograms as summaries with p50/p90/p99 quantiles) instead \
+             of the human-readable table.")
+  in
+  let run socket user prometheus =
+    with_remote socket user @@ fun c ->
+    let ms = Client.metrics c in
+    if prometheus then print_string (Metrics.prometheus_of_metrics ms)
+    else Format.printf "%a" Metrics.pp_metrics ms
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Fetch the server's metrics registry: counters, gauges and \
+          latency histograms with p50/p90/p99 quantiles.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ prometheus)
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
@@ -1152,7 +1194,185 @@ let remote_cmd =
     [ remote_ping_cmd; remote_stat_cmd; remote_lag_cmd; remote_compact_cmd;
       remote_catalog_cmd; remote_browse_cmd; remote_batch_cmd;
       remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
-      remote_shutdown_cmd ]
+      remote_metrics_cmd; remote_shutdown_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* hercules top                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "n"; "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes (default: run until \
+             interrupted).")
+  in
+  let run socket user interval count =
+    with_remote socket user @@ fun c ->
+    let clear = Unix.isatty Unix.stdout in
+    let rec loop i prev =
+      let s = Client.stat c in
+      let ms = Client.metrics c in
+      let t_now = Unix.gettimeofday () in
+      if clear then print_string "\027[H\027[2J";
+      Printf.printf "hercules top — %s  seq %d  clock %d  uptime %.0fs\n"
+        s.Wire.st_role s.Wire.st_seq s.Wire.st_clock s.Wire.st_uptime_s;
+      (* counter rates come from the delta against the previous poll *)
+      let rate name n =
+        match prev with
+        | None -> ""
+        | Some (t_prev, prev_ms) -> (
+          let dt = t_now -. t_prev in
+          match
+            List.find_opt
+              (function
+                | Metrics.Counter (n', _) -> n' = name | _ -> false)
+              prev_ms
+          with
+          | Some (Metrics.Counter (_, p)) when dt > 0.0 ->
+            Printf.sprintf "  %8.1f/s" (float_of_int (n - p) /. dt)
+          | _ -> "")
+      in
+      let counters =
+        List.filter_map
+          (function Metrics.Counter (n, v) -> Some (n, v) | _ -> None)
+          ms
+      and gauges =
+        List.filter_map
+          (function Metrics.Gauge (n, v) -> Some (n, v) | _ -> None)
+          ms
+      and histos =
+        List.filter_map
+          (function Metrics.Histogram (n, h) -> Some (n, h) | _ -> None)
+          ms
+      in
+      if histos <> [] then begin
+        Printf.printf "\n%-34s %8s %10s %10s %10s %10s %10s\n" "latency" "n"
+          "mean" "p50" "p90" "p99" "max";
+        List.iter
+          (fun (name, h) ->
+            Printf.printf
+              "%-34s %8d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name
+              h.Metrics.hs_n (Metrics.hs_mean h) h.Metrics.hs_p50
+              h.Metrics.hs_p90 h.Metrics.hs_p99 h.Metrics.hs_max)
+          histos
+      end;
+      if counters <> [] then begin
+        print_newline ();
+        List.iter
+          (fun (name, v) ->
+            Printf.printf "%-34s %8d%s\n" name v (rate name v))
+          counters
+      end;
+      if gauges <> [] then begin
+        print_newline ();
+        List.iter
+          (fun (name, v) -> Printf.printf "%-34s %8g\n" name v)
+          gauges
+      end;
+      flush stdout;
+      match count with
+      | Some n when i + 1 >= n -> ()
+      | Some _ | None ->
+        Unix.sleepf interval;
+        loop (i + 1) (Some (t_now, ms))
+    in
+    loop 0 None
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live server statistics: poll the metrics registry every \
+          $(b,--interval) seconds and render latency quantiles, counters \
+          (with rates) and gauges.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ interval $ count)
+
+(* ------------------------------------------------------------------ *)
+(* hercules trace-merge                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_merge_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"The merged chrome://tracing document.")
+  in
+  let require_flow =
+    Arg.(
+      value & flag
+      & info [ "require-flow" ]
+          ~doc:
+            "Exit non-zero unless the merged trace contains at least one \
+             flow link — a span bound to its parent, the record that draws \
+             the cross-process arrow.")
+  in
+  let inputs =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"JSONL"
+          ~doc:
+            "JSON-lines trace files ($(b,--trace-format jsonl)), typically \
+             one per process.")
+  in
+  (* Every input line is already one complete trace-event object (the
+     jsonl sink emits flow records alongside span begins), so merging
+     is concatenation inside the envelope — no JSON parsing. *)
+  let contains_sub line sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    go 0
+  in
+  let run out require_flow inputs =
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf "{\"traceEvents\": [";
+    let events = ref 0 and flows = ref 0 in
+    List.iter
+      (fun path ->
+        let ic = open_in path in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" then begin
+               if !events > 0 then Buffer.add_string buf ",\n  ";
+               incr events;
+               Buffer.add_string buf line;
+               if contains_sub line "\"ph\": \"f\"" then incr flows
+             end
+           done
+         with End_of_file -> ());
+        close_in ic)
+      inputs;
+    Buffer.add_string buf "],\n\"displayTimeUnit\": \"ms\"}\n";
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "[%d event(s) from %d file(s), %d flow link(s) -> %s]\n"
+      !events (List.length inputs) !flows out;
+    if require_flow && !flows = 0 then begin
+      Printf.eprintf
+        "trace-merge: no flow links — the inputs do not join into one \
+         cross-process trace\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge per-process JSONL traces into one chrome://tracing \
+          document.  The flow records already present in the streams bind \
+          client, server and follower spans of one trace together, so the \
+          merged view draws the cross-process arrows directly.")
+    Term.(const run $ out $ require_flow $ inputs)
 
 (* ------------------------------------------------------------------ *)
 (* hercules demo                                                       *)
@@ -1201,4 +1421,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [ schema_cmd; flow_cmd; run_cmd; browse_cmd; demo_cmd; export_cmd;
             history_cmd; query_cmd; process_cmd; annotate_cmd;
-            recall_cmd; serve_cmd; remote_cmd ]))
+            recall_cmd; serve_cmd; remote_cmd; top_cmd; trace_merge_cmd ]))

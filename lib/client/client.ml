@@ -30,6 +30,7 @@
 module Wire = Ddf_wire.Wire
 module E = Ddf_core.Error
 module Metrics = Ddf_obs.Metrics
+module Obs = Ddf_obs.Obs
 
 exception Client_error = E.Ddf_error
 (* Deprecated alias: the client raises the shared typed error now. *)
@@ -126,6 +127,12 @@ let ensure_connected t =
     dial_retrying t t.c_retries backoff_initial;
     Option.get t.fd
 
+(* Tracing: the whole call is one [client.request] span; each wire
+   attempt is a [client.attempt] child whose context rides the frame
+   header, so the server's dispatch span (and everything under it)
+   joins this client's trace.  Retries appear as [client.retry]
+   instants between attempt spans, not inside them — the waterfall
+   then shows each attempt's true extent and the backoff gaps. *)
 let call t req =
   let started = Unix.gettimeofday () in
   let mutation = Wire.is_mutation req in
@@ -160,18 +167,35 @@ let call t req =
       in
       if retries > 0 && budget_ok then begin
         Metrics.incr m_retries;
+        Obs.instant ~cat:"client"
+          ~attrs:
+            [ ("op", Obs.Str (Wire.request_name req));
+              ("sleep_ms", Obs.Float (sleep *. 1000.0)) ]
+          "client.retry";
         Unix.sleepf sleep;
         attempt (retries - 1) (Float.min (backoff *. 2.0) backoff_max)
       end
       else raise e
     in
     let sent = ref false in
-    match
-      Wire.send ?deadline_ms fd (Wire.request_to_sexp req);
-      sent := true;
-      Wire.recv fd
-    with
-    | Some sexp -> (
+    (* the attempt span covers exactly the wire exchange; its context
+       goes out in the frame header so the server parents under it *)
+    let outcome =
+      Obs.with_span ~cat:"client"
+        ~attrs:[ ("attempt", Obs.Int (t.c_retries - retries)) ]
+        "client.attempt"
+        (fun () ->
+          match
+            Wire.send ?deadline_ms ?trace:(Obs.current_span ()) fd
+              (Wire.request_to_sexp req);
+            sent := true;
+            Wire.recv fd
+          with
+          | v -> Ok v
+          | exception e -> Error e)
+    in
+    match outcome with
+    | Ok (Some sexp) -> (
       match Wire.response_of_sexp sexp with
       | Wire.Error err when err.E.retryable && retries > 0 ->
         (* the server asserts the request was NOT executed (shed,
@@ -183,13 +207,13 @@ let call t req =
         in
         retry ~sleep (E.Ddf_error err)
       | resp -> resp)
-    | None ->
+    | Ok None ->
       if !sent && mutation then ambiguous "the connection closed"
       else begin
         drop t;
         retry (E.Ddf_error (E.make `Unavailable "server closed the connection"))
       end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    | Error (Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)) ->
       (* the reply may still arrive; the stream is no longer
          trustworthy either way *)
       if !sent && mutation then ambiguous "the reply timed out"
@@ -201,25 +225,29 @@ let call t req =
                 (Printf.sprintf "request timed out after %gs"
                    (Option.value t.c_timeout ~default:0.0))))
       end
-    | exception Wire.Wire_error m ->
+    | Error (Wire.Wire_error m) ->
       if !sent && mutation then ambiguous m
       else begin
         drop t;
         retry (E.Ddf_error (E.make `Unavailable m))
       end
-    | exception Ddf_fault.Fault.Injected point ->
+    | Error (Ddf_fault.Fault.Injected point) ->
       (* an injected torn send: the frame never fully left, so the
          server cannot have parsed (or executed) it *)
       drop t;
       retry (E.Ddf_error (E.make `Unavailable ("injected fault at " ^ point)))
-    | exception Unix.Unix_error (e, _, _) ->
+    | Error (Unix.Unix_error (e, _, _)) ->
       if !sent && mutation then ambiguous (Unix.error_message e)
       else begin
         drop t;
         retry (E.Ddf_error (E.make `Unavailable (Unix.error_message e)))
       end
+    | Error e -> raise e
   in
-  attempt t.c_retries backoff_initial
+  Obs.with_span ~cat:"client"
+    ~attrs:[ ("op", Obs.Str (Wire.request_name req)) ]
+    "client.request"
+    (fun () -> attempt t.c_retries backoff_initial)
 
 (* Raise on Error, return the payload otherwise; each wrapper below
    then destructures the one constructor it expects. *)
@@ -237,7 +265,8 @@ let unexpected req resp =
     | Wire.Ok_rows _ -> "rows" | Wire.Ok_stat _ -> "stat"
     | Wire.Ok_refresh _ -> "refresh" | Wire.Ok_snapshot _ -> "snapshot"
     | Wire.Ok_frame _ -> "frame" | Wire.Ok_lags _ -> "lags"
-    | Wire.Ok_batch _ -> "batch" | Wire.Error _ -> "error")
+    | Wire.Ok_batch _ -> "batch" | Wire.Ok_metrics _ -> "metrics"
+    | Wire.Error _ -> "error")
     (Wire.request_name req)
 
 let ok_unit t req =
@@ -333,6 +362,11 @@ let lag t =
   | resp -> unexpected Wire.Lag resp
 
 let compact t = ok_unit t Wire.Compact
+
+let metrics t =
+  match ok t Wire.Metrics with
+  | Wire.Ok_metrics ms -> ms
+  | resp -> unexpected Wire.Metrics resp
 
 let batch t reqs =
   let req = Wire.Batch reqs in

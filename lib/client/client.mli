@@ -18,7 +18,14 @@
     [`Ambiguous_commit]: it may or may not have committed, and the
     caller must reconcile (re-read, then decide) instead of resending.
     Retries are counted in [client.retries], ambiguous outcomes in
-    [client.ambiguous_commits]. *)
+    [client.ambiguous_commits].
+
+    When {!Ddf_obs.Obs} tracing is on, every call is a
+    [client.request] span with one [client.attempt] child per wire
+    exchange; the attempt's span context rides the frame header, so
+    the server's dispatch (and its queue/fsync/follower child spans)
+    join this client's trace.  Retries appear as [client.retry]
+    instants between attempts. *)
 
 exception Client_error of Ddf_core.Error.t
 (** Deprecated alias of {!Ddf_core.Error.Ddf_error}: server-side
@@ -192,6 +199,11 @@ val lag : t -> int * Ddf_wire.Wire.lag_row list
 
 val compact : t -> unit
 (** Ask the daemon to fold its journal into a fresh snapshot now. *)
+
+val metrics : t -> Ddf_obs.Metrics.metric list
+(** The server's metrics registry snapshot: counters, gauges and
+    histograms with p50/p90/p99 quantiles — the payload behind
+    [hercules remote metrics] and [hercules top]. *)
 
 val batch : t -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list
 (** Pipeline: send the requests as one [Batch] frame and return their

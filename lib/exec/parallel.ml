@@ -175,6 +175,7 @@ let chrome_trace_of_schedule ?label_of s =
           ts_us = float_of_int e.start_us;
           logical = -1;
           tid = e.machine;
+          span = None;
           attrs = [ ("machine", Obs.Int e.machine) ];
         })
       s.entries

@@ -295,13 +295,22 @@ let replay_entry ctx payload =
 (* One durability point: fsync the wal and record how many entries the
    flush covered (the group-commit batch size). *)
 let fsync_now j =
+  let t0 = Unix.gettimeofday () in
+  let batch = j.j_pending in
   flush j.j_oc;
   Fault.fire "journal.fsync";
   Unix.fsync (Unix.descr_of_out_channel j.j_oc);
   Ddf_obs.Metrics.incr m_syncs;
   if j.j_pending > 0 then
     Ddf_obs.Metrics.observe h_batch (float_of_int j.j_pending);
-  j.j_pending <- 0
+  j.j_pending <- 0;
+  (* inherits the writer thread's current span, so the fsync shows up
+     inside the write job (or batch-sync span) that forced it *)
+  if Ddf_obs.Obs.enabled () then
+    Ddf_obs.Obs.complete ~cat:"journal"
+      ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+      ~attrs:[ ("batch", Ddf_obs.Obs.Int batch) ]
+      "journal.fsync"
 
 let append j payload =
   if not j.j_closed then begin

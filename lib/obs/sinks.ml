@@ -1,6 +1,14 @@
 (* Sink implementations: human-readable text, JSON-lines, and the
    Chrome trace-event format (load the file in chrome://tracing or
-   https://ui.perfetto.dev), plus an in-memory recorder for tests. *)
+   https://ui.perfetto.dev), plus an in-memory recorder for tests.
+
+   Span-carrying events render with their trace identity in [args],
+   and every span Begin additionally yields Chrome *flow* records:
+   a flow start (ph "s") anchored at the span so children anywhere —
+   including other processes — can bind to it, and a flow finish
+   (ph "f") binding the span to its parent.  Merging the JSONL output
+   of several processes into one document therefore draws arrows
+   client → server → follower with no post-processing. *)
 
 open Obs
 
@@ -29,8 +37,9 @@ let memory () =
 (* Thread-safety wrapper                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Sinks are single-threaded by default; the design server wraps its
-   sink so concurrent connection threads emit safely. *)
+(* [Obs.emit] already serialises all emission behind a process-wide
+   mutex, so this wrapper is needed only for sinks driven directly
+   (bypassing [Obs.emit]); it is kept for compatibility. *)
 let locked sink =
   let m = Mutex.create () in
   let guard f x =
@@ -46,13 +55,17 @@ let locked sink =
 let pp_attrs ppf attrs =
   List.iter (fun (k, v) -> Fmt.pf ppf " %s=%a" k Obs.pp_value v) attrs
 
+(* Timestamps are absolute microseconds; the text sink shows them
+   relative to the first event so the column stays readable. *)
 let text oc =
   let depth = ref 0 in
+  let t0 = ref nan in
   let emit ev =
+    if Float.is_nan !t0 then t0 := ev.ts_us;
     let line fmt =
       Printf.ksprintf
         (fun s ->
-          Printf.fprintf oc "%10.1f %s%s\n" ev.ts_us
+          Printf.fprintf oc "%10.1f %s%s\n" (ev.ts_us -. !t0)
             (String.make (2 * !depth) ' ')
             s)
         fmt
@@ -76,47 +89,121 @@ let text oc =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let json_fields_of_event ev =
-  let kind, extra =
-    match ev.kind with
-    | Begin -> ("B", [])
-    | End -> ("E", [])
-    | Complete dur -> ("X", [ ("dur", Obs.json_float dur) ])
-    | Instant -> ("i", [ ("s", "\"t\"") ])
-    | Sample v -> ("C", [ ("value", Obs.json_float v) ])
+let pid = lazy (Unix.getpid ())
+
+(* The hot path appends straight into a buffer: one jsonl emission is
+   a single buffer fill and one channel write, with no intermediate
+   field lists or string concatenation. *)
+let add_json_of_event buf ev =
+  let str s =
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (Obs.json_escape s);
+    Buffer.add_char buf '"'
   in
-  let args =
-    (if ev.logical >= 0 then [ ("logical", string_of_int ev.logical) ] else [])
-    @ List.map (fun (k, v) -> (k, Obs.json_of_value v)) ev.attrs
-    @ (match ev.kind with Sample v -> [ ("value", Obs.json_float v) ] | _ -> [])
+  Buffer.add_string buf "{\"name\": ";
+  str ev.name;
+  Buffer.add_string buf ", \"cat\": ";
+  str (if ev.cat = "" then "ddf" else ev.cat);
+  Buffer.add_string buf ", \"ph\": \"";
+  Buffer.add_string buf
+    (match ev.kind with
+    | Begin -> "B"
+    | End -> "E"
+    | Complete _ -> "X"
+    | Instant -> "i"
+    | Sample _ -> "C");
+  Buffer.add_string buf "\", \"ts\": ";
+  Buffer.add_string buf (Obs.json_float ev.ts_us);
+  Buffer.add_string buf ", \"pid\": ";
+  Buffer.add_string buf (string_of_int (Lazy.force pid));
+  Buffer.add_string buf ", \"tid\": ";
+  Buffer.add_string buf (string_of_int ev.tid);
+  (match ev.kind with
+  | Complete dur ->
+    Buffer.add_string buf ", \"dur\": ";
+    Buffer.add_string buf (Obs.json_float dur)
+  | Instant -> Buffer.add_string buf ", \"s\": \"t\""
+  | Begin | End | Sample _ -> ());
+  Buffer.add_string buf ", \"args\": {";
+  let sep = ref false in
+  let arg k v =
+    if !sep then Buffer.add_string buf ", ";
+    sep := true;
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (Obs.json_escape k);
+    Buffer.add_string buf "\": ";
+    Buffer.add_string buf v
   in
-  [
-    ("name", "\"" ^ Obs.json_escape ev.name ^ "\"");
-    ("cat", "\"" ^ Obs.json_escape (if ev.cat = "" then "ddf" else ev.cat) ^ "\"");
-    ("ph", "\"" ^ kind ^ "\"");
-    ("ts", Obs.json_float ev.ts_us);
-    ("pid", "1");
-    ("tid", string_of_int ev.tid);
-  ]
-  @ (match ev.kind with Sample _ -> [] | _ -> extra)
-  @ [
-      ( "args",
-        "{"
-        ^ String.concat ", "
-            (List.map (fun (k, v) -> "\"" ^ Obs.json_escape k ^ "\": " ^ v) args)
-        ^ "}" );
-    ]
+  if ev.logical >= 0 then arg "logical" (string_of_int ev.logical);
+  (match ev.span with
+  | None -> ()
+  | Some c ->
+    arg "trace_id" ("\"" ^ c.trace_id ^ "\"");
+    arg "span" (Printf.sprintf "\"%x\"" c.span_id);
+    if c.parent_id <> 0 then arg "parent" (Printf.sprintf "\"%x\"" c.parent_id));
+  List.iter (fun (k, v) -> arg k (Obs.json_of_value v)) ev.attrs;
+  (match ev.kind with Sample v -> arg "value" (Obs.json_float v) | _ -> ());
+  Buffer.add_string buf "}}"
 
 let json_of_event ev =
-  "{"
-  ^ String.concat ", "
-      (List.map (fun (k, v) -> "\"" ^ k ^ "\": " ^ v) (json_fields_of_event ev))
-  ^ "}"
+  let buf = Buffer.create 256 in
+  add_json_of_event buf ev;
+  Buffer.contents buf
 
-(* One trace event per line: greppable, streamable, jq-friendly. *)
+(* Chrome flow records: same (name, cat, id) triple binds a start to
+   its finish.  Anchored at the event's own coordinates. *)
+let add_flow_record buf ~ph ~id ev =
+  Buffer.add_string buf "{\"name\": \"span\", \"cat\": \"trace\", \"ph\": \"";
+  Buffer.add_string buf ph;
+  Buffer.add_string buf "\", ";
+  if ph = "f" then Buffer.add_string buf "\"bp\": \"e\", ";
+  Buffer.add_string buf (Printf.sprintf "\"id\": \"0x%x\", " id);
+  Buffer.add_string buf "\"ts\": ";
+  Buffer.add_string buf (Obs.json_float ev.ts_us);
+  Buffer.add_string buf
+    (Printf.sprintf ", \"pid\": %d, \"tid\": %d}" (Lazy.force pid) ev.tid)
+
+let flow_record ~ph ~id ev =
+  let buf = Buffer.create 128 in
+  add_flow_record buf ~ph ~id ev;
+  Buffer.contents buf
+
+(* The event as JSON plus any flow records it implies: a span Begin
+   opens a flow anchor under its own id and, when parented, closes the
+   parent's flow into itself — which is what draws the cross-process
+   arrow once traces are merged. *)
+let add_json_lines buf ev =
+  add_json_of_event buf ev;
+  Buffer.add_char buf '\n';
+  match (ev.kind, ev.span) with
+  | Begin, Some c ->
+    add_flow_record buf ~ph:"s" ~id:c.span_id ev;
+    Buffer.add_char buf '\n';
+    if c.parent_id <> 0 then begin
+      add_flow_record buf ~ph:"f" ~id:c.parent_id ev;
+      Buffer.add_char buf '\n'
+    end
+  | _ -> ()
+
+let json_lines_of_event ev =
+  let main = json_of_event ev in
+  match (ev.kind, ev.span) with
+  | Begin, Some c ->
+    (main :: [ flow_record ~ph:"s" ~id:c.span_id ev ])
+    @ (if c.parent_id <> 0 then [ flow_record ~ph:"f" ~id:c.parent_id ev ]
+       else [])
+  | _ -> [ main ]
+
+(* One trace event per line: greppable, streamable, jq-friendly.  The
+   scratch buffer is owned by the sink; [Obs.emit] serialises calls. *)
 let jsonl oc =
+  let buf = Buffer.create 512 in
   {
-    emit = (fun ev -> output_string oc (json_of_event ev ^ "\n"));
+    emit =
+      (fun ev ->
+        Buffer.clear buf;
+        add_json_lines buf ev;
+        Buffer.output_buffer oc buf);
     close = (fun () -> flush oc);
   }
 
@@ -134,11 +221,11 @@ let chrome_json_of_events ?(lane_names = []) events =
     (fun (tid, name) ->
       add
         (Printf.sprintf
-           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": \
             %d, \"args\": {\"name\": \"%s\"}}"
-           tid (Obs.json_escape name)))
+           (Lazy.force pid) tid (Obs.json_escape name)))
     lane_names;
-  List.iter (fun ev -> add (json_of_event ev)) events;
+  List.iter (fun ev -> List.iter add (json_lines_of_event ev)) events;
   Buffer.add_string buf "],\n\"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents buf
 

@@ -22,6 +22,12 @@ val chrome : out_channel -> Obs.sink
 
 val json_of_event : Obs.event -> string
 
+val json_lines_of_event : Obs.event -> string list
+(** The event's JSON object plus the Chrome flow records (ph ["s"] /
+    ["f"]) a span Begin implies — one line each, the shape the JSONL
+    sink writes.  Flow records are what draw cross-process arrows once
+    traces from several processes are merged. *)
+
 val chrome_json_of_events :
   ?lane_names:(int * string) list -> Obs.event list -> string
 (** The Chrome envelope over pre-built events; [lane_names] adds
@@ -29,10 +35,9 @@ val chrome_json_of_events :
     per-machine lanes of a {e schedule}). *)
 
 val locked : Obs.sink -> Obs.sink
-(** Serialize [emit]/[close] behind a mutex.  Sinks are single-threaded
-    by default; the design server wraps its sink with [locked] so
-    per-request spans from concurrent connection threads interleave
-    safely. *)
+(** Serialize [emit]/[close] behind a mutex.  {!Obs.emit} already
+    serialises all emission process-wide, so this is only needed for
+    sinks driven directly; kept for compatibility. *)
 
 val of_format : format -> out_channel -> Obs.sink
 

@@ -19,6 +19,7 @@
 
 module Wire = Ddf_wire.Wire
 module Metrics = Ddf_obs.Metrics
+module Obs = Ddf_obs.Obs
 
 exception Replica_error of string
 
@@ -38,7 +39,7 @@ let digest_hex payload = Digest.to_hex (Digest.string payload)
 module Feed = struct
   type event =
     | Snapshot of { seq : int; data : string }
-    | Frame of { seq : int; payload : string }
+    | Frame of { seq : int; payload : string; trace : Obs.span_ctx option }
 
   type t = {
     fd : Unix.file_descr;
@@ -80,18 +81,18 @@ module Feed = struct
 
   let next t =
     if t.closed then replica_errorf "feed is closed";
-    match Wire.recv t.fd with
+    match Wire.recv_meta t.fd with
     | None -> replica_errorf "primary closed the replication stream"
     | exception Wire.Wire_error m -> replica_errorf "%s" m
     | exception Unix.Unix_error (e, _, _) ->
       replica_errorf "replication stream: %s" (Unix.error_message e)
-    | Some sexp -> (
+    | Some (sexp, meta) -> (
       match Wire.response_of_sexp sexp with
       | Wire.Ok_snapshot { seq; data } -> Snapshot { seq; data }
       | Wire.Ok_frame { seq; payload; digest } ->
         if not (String.equal (digest_hex payload) digest) then
           replica_errorf "frame %d failed its checksum in transit" seq;
-        Frame { seq; payload }
+        Frame { seq; payload; trace = meta.Wire.fm_trace }
       | Wire.Error err ->
         replica_errorf "primary: %s" (Ddf_core.Error.to_string err)
       | _ -> replica_errorf "unexpected message on the replication stream")
@@ -127,7 +128,9 @@ module Outbox = struct
     ob_cap : int;
     ob_m : Mutex.t;
     ob_c : Condition.t;
-    ob_q : Wire.response Queue.t;
+    (* each queued message keeps the span context of the write that
+       produced it, so the frame's header carries the trace onward *)
+    ob_q : (Wire.response * Obs.span_ctx option) Queue.t;
     mutable ob_dead : bool;
     mutable ob_sent : int;   (* highest seqno enqueued for this follower *)
     mutable ob_acked : int;  (* highest seqno it acknowledged *)
@@ -159,8 +162,8 @@ module Outbox = struct
       Mutex.unlock t.ob_m;
       match resp with
       | None -> ()
-      | Some resp ->
-        (match Wire.send t.ob_fd (Wire.response_to_sexp resp) with
+      | Some (resp, trace) ->
+        (match Wire.send ?trace t.ob_fd (Wire.response_to_sexp resp) with
         | () -> next ()
         | exception Wire.Wire_error _ | exception Unix.Unix_error _ ->
           Mutex.lock t.ob_m;
@@ -180,7 +183,7 @@ module Outbox = struct
 
   let name t = t.ob_name
 
-  let push t resp =
+  let push ?trace t resp =
     Mutex.lock t.ob_m;
     if not t.ob_dead then begin
       if Queue.length t.ob_q >= t.ob_cap then begin
@@ -198,7 +201,7 @@ module Outbox = struct
           t.ob_acked <- max t.ob_acked seq;
           Metrics.incr m_snapshots_sent
         | _ -> ());
-        Queue.push resp t.ob_q;
+        Queue.push (resp, trace) t.ob_q;
         Condition.signal t.ob_c
       end
     end;
@@ -293,7 +296,8 @@ module Follower = struct
                let rec pump () =
                  (match Feed.next feed with
                  | Feed.Snapshot { seq; data } -> reset ~seq data
-                 | Feed.Frame { seq; payload } -> apply ~seq payload);
+                 | Feed.Frame { seq; payload; trace } ->
+                   apply ~trace ~seq payload);
                  Feed.ack feed (current_seq ());
                  pump ()
                in

@@ -25,8 +25,13 @@ module Feed : sig
   type event =
     | Snapshot of { seq : int; data : string }
         (** full workspace state as of [seq]; replaces everything *)
-    | Frame of { seq : int; payload : string }
-        (** one journal entry (digest already verified) *)
+    | Frame of {
+        seq : int;
+        payload : string;
+        trace : Ddf_obs.Obs.span_ctx option;
+            (** the primary-side span of the write that produced the
+                frame, when the primary was tracing *)
+      }  (** one journal entry (digest already verified) *)
 
   val connect : ?user:string -> socket:string -> since:int -> unit -> t
   (** Dial the primary, handshake ([Hello] with this build's protocol
@@ -58,9 +63,11 @@ module Outbox : sig
   (** [cap] defaults to 65536 queued messages. *)
 
   val name : t -> string
-  val push : t -> Ddf_wire.Wire.response -> unit
+  val push : ?trace:Ddf_obs.Obs.span_ctx -> t -> Ddf_wire.Wire.response -> unit
   (** Enqueue; silently drops when the outbox is dead.  [Ok_frame] and
-      [Ok_snapshot] update the sent-seqno watermark. *)
+      [Ok_snapshot] update the sent-seqno watermark.  [trace] rides
+      the frame header so the follower's apply span joins the
+      producing write's trace. *)
 
   val note_ack : t -> int -> unit
   val sent : t -> int    (** highest seqno enqueued *)
@@ -86,7 +93,7 @@ module Follower : sig
     ?name:string ->
     primary:string ->
     current_seq:(unit -> int) ->
-    apply:(seq:int -> string -> unit) ->
+    apply:(trace:Ddf_obs.Obs.span_ctx option -> seq:int -> string -> unit) ->
     reset:(seq:int -> string -> unit) ->
     ?on_error:(string -> unit) ->
     unit -> t

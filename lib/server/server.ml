@@ -42,6 +42,7 @@ let m_deadline_missed = Metrics.counter "server.deadline_missed"
 let m_connections = Metrics.counter "server.connections"
 let m_rejected = Metrics.counter "server.rejected_connections"
 let m_version_mismatch = Metrics.counter "server.version_mismatches"
+let m_slow = Metrics.counter "server.slow_requests"
 let h_request = Metrics.histogram "server.request_us"
 let h_queue_wait = Metrics.histogram "server.write_queue_wait_us"
 
@@ -184,6 +185,7 @@ type job = {
   job_run : unit -> Wire.response;
   job_enqueued : float;
   job_deadline : float option;        (* absolute; shed when passed *)
+  job_span : Obs.span_ctx option;     (* submitter's span, for the trace *)
   job_m : Mutex.t;
   job_c : Condition.t;
   mutable job_result : Wire.response option;
@@ -205,6 +207,7 @@ type t = {
   max_queue : int;                    (* writer admission bound *)
   default_deadline : float option;    (* seconds, for deadline-less peers *)
   drain_grace : float;                (* seconds to let in-flight finish *)
+  slow_log : float option;            (* seconds; log requests above it *)
   gate : Gate.t;                      (* read admission *)
   started_at : float;
   (* shared state under [m] *)
@@ -334,6 +337,9 @@ let writer_loop t =
         let now = Unix.gettimeofday () in
         let waited = now -. job.job_enqueued in
         Metrics.observe h_queue_wait (waited *. 1e6);
+        if Obs.enabled () then
+          Obs.complete ~cat:"server" ?span:job.job_span
+            ~dur_us:(waited *. 1e6) "server.queue_wait";
         let expired =
           match job.job_deadline with Some d -> now > d | None -> false
         in
@@ -353,6 +359,12 @@ let writer_loop t =
           end
           else begin
             let r =
+              (* the write-job span becomes the writer thread's current
+                 context, so journal appends (and the frame observer
+                 shipping to followers) inherit the request's trace *)
+              Obs.with_span ~cat:"server" ?parent:job.job_span
+                ~attrs:[ ("user", Obs.Str job.job_user) ] "server.write_job"
+              @@ fun () ->
               Rw.with_write t.rw (fun () ->
                   t.ctx.Engine.user <- job.job_user;
                   match job.job_run () with
@@ -376,7 +388,15 @@ let writer_loop t =
          succeeds are the jobs acknowledged.  If the disk fails here,
          nobody gets an Ok for an entry of unknown durability. *)
       let results =
-        match Journal.sync t.journal with
+        match
+          (* the batch shares one fsync; parent the sync span to the
+             first traced job so the group commit shows in its trace *)
+          Obs.with_span ~cat:"journal"
+            ?parent:(List.find_map (fun (job, _) -> job.job_span) results)
+            ~attrs:[ ("batch", Obs.Int (List.length results)) ]
+            "journal.sync_batch"
+            (fun () -> Journal.sync t.journal)
+        with
         | () -> results
         | exception e ->
           let err = error_response e in
@@ -397,6 +417,9 @@ let submit ?deadline t ~user run =
   let job =
     { job_user = user; job_run = run; job_enqueued = Unix.gettimeofday ();
       job_deadline = deadline;
+      (* captured on the submitting thread: the dispatch span (or the
+         follower pump's context) the queued work belongs to *)
+      job_span = (if Obs.enabled () then Obs.current_span () else None);
       job_m = Mutex.create (); job_c = Condition.create (); job_result = None }
   in
   Mutex.lock t.m;
@@ -492,6 +515,7 @@ let rec eval t session req =
   | Wire.Compact ->
     Journal.compact t.journal;
     Wire.Ok_unit
+  | Wire.Metrics -> Wire.Ok_metrics (Metrics.snapshot Metrics.global)
   | Wire.Subscribe _ | Wire.Repl_ack _ ->
     (* handled by the connection loop before reaching the evaluator *)
     wire_error `Invalid "replication message outside a replication stream"
@@ -555,7 +579,7 @@ let follower_rejects t req =
      | Wire.Compact | Wire.Shutdown -> false
      | _ -> true)
 
-let serve_request t session ~conn_id ~user ?deadline req =
+let serve_request t session ~conn_id ~user ?deadline ?trace req =
   Metrics.incr m_requests;
   Mutex.lock t.m;
   t.in_flight <- t.in_flight + 1;
@@ -565,7 +589,14 @@ let serve_request t session ~conn_id ~user ?deadline req =
       t.in_flight <- t.in_flight - 1;
       Mutex.unlock t.m)
   @@ fun () ->
-  let t0 = if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6 in
+  (* the dispatch span parents everything this request causes — queue
+     wait, write job, journal sync, replication frames — and, when the
+     client sent a trace token, joins the client's trace *)
+  Obs.with_span ~cat:"server" ~tid:conn_id ?parent:trace
+    ~attrs:[ ("op", Obs.Str (Wire.request_name req)) ]
+    "server.dispatch"
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () *. 1e6 in
   let resp =
     if
       (* inclusive: a zero-remaining budget is already spent *)
@@ -586,8 +617,13 @@ let serve_request t session ~conn_id ~user ?deadline req =
       submit ?deadline t ~user:!user (fun () -> eval t session req)
     end
     else begin
+      let g0 = Unix.gettimeofday () in
       match
         Gate.with_slot ?deadline t.gate (fun () ->
+            if Obs.enabled () then
+              Obs.complete ~cat:"server" ~tid:conn_id
+                ~dur_us:((Unix.gettimeofday () -. g0) *. 1e6)
+                "server.gate_wait";
             match
               Rw.with_read ?deadline t.rw (fun () -> eval t session req)
             with
@@ -605,10 +641,7 @@ let serve_request t session ~conn_id ~user ?deadline req =
         wire_error `Timeout "deadline expired waiting for a read slot"
     end
   in
-  let dur_us =
-    (if Obs.enabled () then Obs.now_us () else Unix.gettimeofday () *. 1e6)
-    -. t0
-  in
+  let dur_us = (Unix.gettimeofday () *. 1e6) -. t0 in
   Metrics.observe h_request dur_us;
   (match resp with Wire.Error _ -> Metrics.incr m_errors | _ -> ());
   if Obs.enabled () then
@@ -617,6 +650,19 @@ let serve_request t session ~conn_id ~user ?deadline req =
         [ ("op", Obs.Str (Wire.request_name req)); ("user", Obs.Str !user);
           ("ok", Obs.Bool (match resp with Wire.Error _ -> false | _ -> true)) ]
       "server.request";
+  (match t.slow_log with
+  | Some threshold when dur_us >= threshold *. 1e6 ->
+    (* sampled trace dump: the slow-log line carries the trace token so
+       the offending request can be pulled out of the trace file *)
+    Metrics.incr m_slow;
+    let tok =
+      match Obs.current_span () with
+      | Some ctx -> " trace=" ^ Obs.span_ctx_to_token ctx
+      | None -> ""
+    in
+    Printf.eprintf "[hercules] slow request: op=%s user=%s conn=%d dur=%.3fs%s\n%!"
+      (Wire.request_name req) !user conn_id (dur_us /. 1e6) tok
+  | Some _ | None -> ());
   resp
 
 let remove_conn t conn_id =
@@ -731,17 +777,18 @@ and connection_loop t fd conn_id =
     s
   in
   let rec loop () =
-    match Wire.recv_deadline fd with
+    match Wire.recv_meta fd with
     | None -> ()
-    | Some (sexp, deadline_ms) ->
+    | Some (sexp, meta) ->
       (* the budget starts ticking the moment the frame is read; a
          header-less request falls back to the server default *)
       let deadline =
         let now = Unix.gettimeofday () in
-        match deadline_ms with
+        match meta.Wire.fm_deadline_ms with
         | Some ms -> Some (now +. (float_of_int ms /. 1000.0))
         | None -> Option.map (fun d -> now +. d) t.default_deadline
       in
+      let trace = meta.Wire.fm_trace in
       match Wire.request_of_sexp sexp with
       | exception Wire.Wire_error m ->
         (try Wire.send fd (Wire.response_to_sexp (wire_error `Invalid "%s" m))
@@ -751,22 +798,29 @@ and connection_loop t fd conn_id =
         let resp, continue =
           match req with
           | Wire.Hello { user = u; version } ->
-            if version <> Wire.protocol_version then begin
+            if
+              version < Wire.min_protocol_version
+              || version > Wire.protocol_version
+            then begin
               Metrics.incr m_version_mismatch;
               ( wire_error `Invalid
-                  "protocol version mismatch: server speaks v%d, client \
-                   speaks v%d"
+                  "protocol version mismatch: server speaks v%d (accepts \
+                   v%d..v%d), client speaks v%d"
+                  Wire.protocol_version Wire.min_protocol_version
                   Wire.protocol_version version,
                 false )
             end
             else begin
               user := u;
-              (serve_request t session ~conn_id ~user ?deadline req, true)
+              (serve_request t session ~conn_id ~user ?deadline ?trace req,
+               true)
             end
           | Wire.Shutdown ->
-            (serve_request t session ~conn_id ~user ?deadline Wire.Shutdown,
-             false)
-          | req -> (serve_request t session ~conn_id ~user ?deadline req, true)
+            ( serve_request t session ~conn_id ~user ?deadline ?trace
+                Wire.Shutdown,
+              false )
+          | req ->
+            (serve_request t session ~conn_id ~user ?deadline ?trace req, true)
         in
         (match Wire.send fd (Wire.response_to_sexp resp) with
         | () -> ()
@@ -854,7 +908,8 @@ let accept_loop t =
 
 let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     ?(max_queue = 256) ?default_deadline ?(max_readers = 32)
-    ?(drain_grace = 5.0) ?compact_every ?sync_mode ~db ~socket schema =
+    ?(drain_grace = 5.0) ?compact_every ?sync_mode ?slow_log ~db ~socket
+    schema =
   let journal = Journal.open_ ?registry ?compact_every ?sync_mode ~dir:db schema in
   let ctx = Journal.context journal in
   (match seed with
@@ -879,7 +934,7 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     { journal; ctx; rw = Rw.create (); socket_path = socket; listen_fd;
       wake_r; wake_w;
       max_clients; request_timeout; max_queue; default_deadline;
-      drain_grace;
+      drain_grace; slow_log;
       gate = Gate.create ~capacity:max_readers ~max_waiting:(2 * max_clients);
       started_at = Unix.gettimeofday ();
       m = Mutex.create (); stopping = false; conns = []; next_conn = 1;
@@ -901,7 +956,10 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
           Wire.Ok_frame
             { seq; payload; digest = Digest.to_hex (Digest.string payload) }
         in
-        List.iter (fun ob -> Replica.Outbox.push ob frame) obs);
+        (* the observer fires on the writer thread inside the write-job
+           span, so the frame ships with the producing request's trace *)
+        let trace = if Obs.enabled () then Obs.current_span () else None in
+        List.iter (fun ob -> Replica.Outbox.push ?trace ob frame) obs);
   Metrics.set g_seq (float_of_int (Journal.seq journal));
   t.writer <- Some (Thread.create writer_loop t);
   t.accepter <- Some (Thread.create accept_loop t);
@@ -924,9 +982,13 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
         ~name:(Printf.sprintf "follower:%s" (Filename.basename socket))
         ~primary
         ~current_seq:(fun () -> Journal.seq t.journal)
-        ~apply:(fun ~seq payload ->
+        ~apply:(fun ~trace ~seq payload ->
           apply_job "apply" (fun () ->
-              Journal.apply t.journal ~seq payload;
+              (* linked under the primary's write span via the frame's
+                 trace token: the cross-process apply-lag edge *)
+              Obs.with_span ~cat:"replica" ?parent:trace
+                ~attrs:[ ("seq", Obs.Int seq) ] "follower.apply"
+                (fun () -> Journal.apply t.journal ~seq payload);
               Wire.Ok_unit))
         ~reset:(fun ~seq data ->
           apply_job "resync" (fun () ->
@@ -976,12 +1038,12 @@ let wait t =
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
 let run ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
-    ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode ~db
-    ~socket schema =
+    ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode
+    ?slow_log ~db ~socket schema =
   let t =
     start ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
       ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode
-      ~db ~socket schema
+      ?slow_log ~db ~socket schema
   in
   let on_signal _ = stop t in
   let previous =

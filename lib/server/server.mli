@@ -7,8 +7,13 @@
     selections) over the one shared engine context; store/history
     mutations funnel through a single-writer loop, while reads are
     served concurrently from the connection threads under a shared
-    lock.  Every request is traced as a [server.request] span (lane =
-    connection id) and counted in the metrics registry.
+    lock.  Every request is traced as a [server.dispatch] span (lane =
+    connection id) carrying [server.request] timing, joined to the
+    client's distributed trace when the frame header carried a trace
+    token, and counted in the metrics registry; queue wait, gate wait,
+    group-commit fsync and follower applies appear as child spans of
+    the same trace.  The [Metrics] wire verb exposes the registry
+    (with p50/p90/p99 histogram quantiles) to remote clients.
 
     Robustness: both admission queues are bounded — at most
     [max_queue] mutations wait for the writer and at most
@@ -39,6 +44,7 @@ val start :
   ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->
+  ?slow_log:float ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> t
 (** Open (or create) the database under [db], bind [socket] and start
     accepting.  [seed] runs once — journaled — when the database is
@@ -55,6 +61,11 @@ val start :
     from a peer that sent no deadline header an implicit budget;
     [drain_grace] (default 5s) is how long {!stop} lets in-flight
     requests finish before severing their connections.
+
+    [slow_log] (seconds) turns on the slow-request log: any request
+    whose service time exceeds the threshold is reported on stderr
+    with its operation, user, duration and — when tracing — its trace
+    token, and counted in [server.slow_requests].
 
     [sync_mode] (default [Group]) sets the journal durability policy.
     Under [Group] the writer loop drains its queue in batches and
@@ -104,6 +115,7 @@ val run :
   ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->
+  ?slow_log:float ->
   db:string -> socket:string -> Ddf_schema.Schema.t -> unit
 (** {!start}, shut down on SIGINT/SIGTERM (or a [Shutdown] request),
     {!wait}. *)

@@ -27,8 +27,14 @@ type iid = Store.iid
    sequence of requests, answered by one (ok-batch <resp>...).
    Version 4: structured error frames (error <code> <msg> <retry>
    ...) and an optional per-request deadline budget in the frame
-   header.  A v4 side still parses the bare v3 (error <msg>) form. *)
-let protocol_version = 4
+   header.  A v4 side still parses the bare v3 (error <msg>) form.
+   Version 5: the (metrics) verb answered by (ok-metrics ...), and an
+   optional trace-context header token (t=<trace>.<span>).  Both ride
+   in slots a v4 peer never sends, so a v5 server accepts v4 clients
+   — the handshake takes any version in
+   [min_protocol_version, protocol_version]. *)
+let protocol_version = 5
+let min_protocol_version = 4
 
 type catalog = Entities | Tools | Flows
 
@@ -70,6 +76,7 @@ type request =
   | Repl_ack of int
   | Lag
   | Compact
+  | Metrics
   | Batch of request list
       (** A pipeline: the requests are executed in order and answered
           positionally by one [Ok_batch], one frame each way.  An inner
@@ -113,6 +120,7 @@ type response =
   | Ok_snapshot of { seq : int; data : string }
   | Ok_frame of { seq : int; payload : string; digest : string }
   | Ok_lags of { primary_seq : int; rows : lag_row list }
+  | Ok_metrics of Ddf_obs.Metrics.metric list
   | Ok_batch of response list
   | Error of E.t
 
@@ -205,6 +213,7 @@ let rec request_to_sexp = function
   | Repl_ack seq -> S.field "repl-ack" [ S.int seq ]
   | Lag -> S.atom "lag"
   | Compact -> S.atom "compact"
+  | Metrics -> S.atom "metrics"
   | Batch reqs -> S.field "batch" (List.map request_to_sexp reqs)
 
 let rec request_of_sexp sexp =
@@ -216,6 +225,7 @@ let rec request_of_sexp sexp =
   | S.Atom "shutdown" -> Shutdown
   | S.Atom "lag" -> Lag
   | S.Atom "compact" -> Compact
+  | S.Atom "metrics" -> Metrics
   | S.List (S.Atom name :: args) -> (
     match (name, args) with
     (* a bare (hello <user>) is the version-1 dialect *)
@@ -288,6 +298,7 @@ let request_name = function
   | Repl_ack _ -> "repl-ack"
   | Lag -> "lag"
   | Compact -> "compact"
+  | Metrics -> "metrics"
   | Batch _ -> "batch"
 
 (* Mutations of the shared store/history/clock go through the
@@ -304,12 +315,40 @@ let rec is_mutation = function
   | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
   | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
   | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown | Subscribe _
-  | Repl_ack _ | Lag ->
+  | Repl_ack _ | Lag | Metrics ->
     false
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Metrics ride the wire as one tagged form per metric: (c <name>
+   <count>), (g <name> <value>), (h <name> <n> <sum> <min> <max> <p50>
+   <p90> <p99>).  [S.float] prints hex floats, so values round-trip
+   exactly. *)
+module M = Ddf_obs.Metrics
+
+let metric_to_sexp = function
+  | M.Counter (n, v) -> S.list [ S.atom "c"; S.atom n; S.int v ]
+  | M.Gauge (n, v) -> S.list [ S.atom "g"; S.atom n; S.float v ]
+  | M.Histogram (n, h) ->
+    S.list
+      [ S.atom "h"; S.atom n; S.int h.M.hs_n; S.float h.M.hs_sum;
+        S.float h.M.hs_min; S.float h.M.hs_max; S.float h.M.hs_p50;
+        S.float h.M.hs_p90; S.float h.M.hs_p99 ]
+
+let metric_of_sexp sexp =
+  match S.as_list sexp with
+  | [ S.Atom "c"; n; v ] -> M.Counter (S.as_atom n, S.as_int v)
+  | [ S.Atom "g"; n; v ] -> M.Gauge (S.as_atom n, S.as_float v)
+  | [ S.Atom "h"; n; cnt; sum; mn; mx; p50; p90; p99 ] ->
+    M.Histogram
+      ( S.as_atom n,
+        { M.hs_n = S.as_int cnt; hs_sum = S.as_float sum;
+          hs_min = S.as_float mn; hs_max = S.as_float mx;
+          hs_p50 = S.as_float p50; hs_p90 = S.as_float p90;
+          hs_p99 = S.as_float p99 } )
+  | _ -> wire_errorf "malformed metric"
 
 let row_to_sexp r =
   S.list [ S.int r.row_iid; S.atom r.row_entity; W.meta_to_sexp r.row_meta ]
@@ -352,6 +391,7 @@ let rec response_to_sexp = function
              S.list
                [ S.atom r.lag_follower; S.int r.lag_acked; S.int r.lag_sent ])
            rows)
+  | Ok_metrics ms -> S.field "ok-metrics" (List.map metric_to_sexp ms)
   | Ok_batch resps -> S.field "ok-batch" (List.map response_to_sexp resps)
   | Error e ->
     S.field "error"
@@ -415,6 +455,7 @@ let rec response_of_sexp sexp =
                     lag_sent = S.as_int l }
                 | _ -> wire_errorf "malformed lag row")
               rows }
+    | "ok-metrics", ms -> Ok_metrics (List.map metric_of_sexp ms)
     | "ok-batch", resps -> Ok_batch (List.map response_of_sexp resps)
     (* bare (error <msg>) is the pre-v4 dialect: unclassified, final *)
     | "error", [ m ] -> Error (E.make ~retryable:false `Internal (S.as_atom m))
@@ -468,12 +509,16 @@ let write_all fd bytes =
   in
   go 0
 
-let send ?deadline_ms fd sexp =
+let send ?deadline_ms ?trace fd sexp =
   let payload = S.to_string sexp in
   let header =
-    match deadline_ms with
-    | None -> Printf.sprintf "ddf1 %d\n" (String.length payload)
-    | Some ms -> Printf.sprintf "ddf1 %d %d\n" (String.length payload) ms
+    Printf.sprintf "ddf1 %d%s%s\n" (String.length payload)
+      (match deadline_ms with
+      | None -> ""
+      | Some ms -> Printf.sprintf " %d" ms)
+      (match trace with
+      | None -> ""
+      | Some ctx -> " " ^ Ddf_obs.Obs.span_ctx_to_token ctx)
   in
   let msg = header ^ payload ^ "\n" in
   match Fault.check "wire.send" with
@@ -517,7 +562,15 @@ let read_header_line fd =
   in
   go ()
 
-let recv_deadline fd =
+type frame_meta = {
+  fm_deadline_ms : int option;
+  fm_trace : Ddf_obs.Obs.span_ctx option;
+}
+
+(* Header tokens after the length are recognised by shape — digits are
+   a deadline budget, "t=..." a trace context — so either, both (in
+   that order) or neither may appear and old peers stay parseable. *)
+let recv_meta fd =
   match read_header_line fd with
   | None -> None
   | Some header -> (
@@ -528,22 +581,30 @@ let recv_deadline fd =
         | Some n when n >= 0 && n <= max_frame -> n
         | Some _ | None -> wire_errorf "bad frame length %S" len
       in
-      let deadline_ms =
-        match rest with
-        | [] -> None
-        | [ ms ] -> (
-          match int_of_string_opt ms with
-          | Some n when n >= 0 -> Some n
-          | Some _ | None -> wire_errorf "bad deadline %S" ms)
-        | _ -> wire_errorf "bad frame header %S" header
+      let meta =
+        List.fold_left
+          (fun meta tok ->
+            if String.length tok >= 2 && String.sub tok 0 2 = "t=" then
+              match Ddf_obs.Obs.span_ctx_of_token tok with
+              | Some ctx -> { meta with fm_trace = Some ctx }
+              | None -> wire_errorf "bad trace token %S" tok
+            else
+              match int_of_string_opt tok with
+              | Some n when n >= 0 -> { meta with fm_deadline_ms = Some n }
+              | Some _ | None -> wire_errorf "bad frame header %S" header)
+          { fm_deadline_ms = None; fm_trace = None }
+          rest
       in
       match read_exact fd (len + 1) with
       | None -> wire_errorf "truncated frame"
       | Some bytes ->
         if Bytes.get bytes len <> '\n' then wire_errorf "missing frame terminator";
         let payload = Bytes.sub_string bytes 0 len in
-        (try Some (S.of_string payload, deadline_ms)
+        (try Some (S.of_string payload, meta)
          with S.Sexp_error m -> wire_errorf "payload: %s" m))
     | _ -> wire_errorf "bad frame header %S" header)
 
-let recv fd = Option.map fst (recv_deadline fd)
+let recv_deadline fd =
+  Option.map (fun (sexp, meta) -> (sexp, meta.fm_deadline_ms)) (recv_meta fd)
+
+let recv fd = Option.map fst (recv_meta fd)

@@ -2,12 +2,15 @@
 
     Requests and responses are s-expressions, framed on the socket as
 
-    {v ddf1 <payload-bytes> [<deadline-ms>]\n<payload>\n v}
+    {v ddf1 <payload-bytes> [<deadline-ms>] [t=<trace>.<span>]\n<payload>\n v}
 
     so both sides can read exactly one message without scanning.  The
-    optional third header token is the sender's remaining deadline
-    budget in milliseconds — how long it is still willing to wait for
-    the answer; the server sheds requests it cannot start in time.  The
+    optional extra header tokens are recognised by shape: a run of
+    digits is the sender's remaining deadline budget in milliseconds —
+    how long it is still willing to wait for the answer; the server
+    sheds requests it cannot start in time — and a [t=]-prefixed token
+    is a trace context ({!Ddf_obs.Obs.span_ctx_to_token}) linking the
+    receiver's spans into the sender's distributed trace.  The
     request surface mirrors {!Ddf_session.Session}: catalog queries,
     task-window construction (expand / specialize / select), execution,
     history queries and consistency refresh — plus auth-lite client
@@ -19,11 +22,16 @@ exception Wire_error of string
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (4).  The [Hello] handshake carries
-    the client's version; a server refuses mismatched clients with a
-    typed error before serving anything else.  Version 4 added
-    structured error frames and the deadline header token; a v4 peer
-    still parses the bare v3 [(error <msg>)] form. *)
+(** The dialect this build speaks (5).  The [Hello] handshake carries
+    the client's version; a server refuses clients outside
+    [[min_protocol_version, protocol_version]] with a typed error
+    before serving anything else.  Version 4 added structured error
+    frames and the deadline header token; version 5 adds the
+    [Metrics] verb and the trace-context header token — both in slots
+    a v4 peer never sends, so v4 clients still interoperate. *)
+
+val min_protocol_version : int
+(** The oldest client dialect a server of this build accepts (4). *)
 
 type catalog = Entities | Tools | Flows
 
@@ -75,6 +83,8 @@ type request =
   | Lag                                  (** per-follower replication lag *)
   | Compact                              (** admin: fold the journal into
                                              a fresh snapshot now *)
+  | Metrics                              (** the server's metrics registry
+                                             snapshot (v5) *)
   | Batch of request list
       (** a pipeline: the requests run in order and are answered
           positionally by one [Ok_batch] — one frame each way.  An
@@ -123,6 +133,9 @@ type response =
       (** one journal entry; [digest] is the md5 hex of [payload], the
           same checksum the on-disk frame carries *)
   | Ok_lags of { primary_seq : int; rows : lag_row list }
+  | Ok_metrics of Ddf_obs.Metrics.metric list
+      (** the server's metrics snapshot; histogram stats travel as hex
+          floats so they round-trip exactly *)
   | Ok_batch of response list            (** positional answers to [Batch] *)
   | Error of Ddf_core.Error.t
       (** on the wire:
@@ -150,15 +163,27 @@ val is_mutation : request -> bool
 
 (** {1 Framed socket I/O} *)
 
-val send : ?deadline_ms:int -> Unix.file_descr -> Ddf_persist.Sexp.t -> unit
+val send :
+  ?deadline_ms:int -> ?trace:Ddf_obs.Obs.span_ctx ->
+  Unix.file_descr -> Ddf_persist.Sexp.t -> unit
 (** Write one framed message; [deadline_ms] puts the sender's
-    remaining budget in the header.  @raise Wire_error on a closed
-    peer. *)
+    remaining budget in the header, [trace] its span context (so the
+    receiver can parent its spans into the sender's trace).
+    @raise Wire_error on a closed peer. *)
 
 val recv : Unix.file_descr -> Ddf_persist.Sexp.t option
 (** Read one framed message; [None] on clean end-of-stream.
     @raise Wire_error on framing violations. *)
 
+type frame_meta = {
+  fm_deadline_ms : int option;   (** peer's remaining budget, ms *)
+  fm_trace : Ddf_obs.Obs.span_ctx option;  (** peer's span context *)
+}
+
+val recv_meta :
+  Unix.file_descr -> (Ddf_persist.Sexp.t * frame_meta) option
+(** Like {!recv} but also yields the optional header tokens — what
+    the server and the replication feed read. *)
+
 val recv_deadline : Unix.file_descr -> (Ddf_persist.Sexp.t * int option) option
-(** Like {!recv} but also yields the peer's deadline budget (ms) when
-    the header carried one — what the server reads. *)
+(** {!recv_meta} restricted to the deadline budget. *)

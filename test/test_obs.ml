@@ -226,12 +226,25 @@ let metrics_tests =
         let h = Metrics.histogram ~registry:reg "d" in
         List.iter (fun v -> Metrics.observe h v) [ 1.0; 3.0; 8.0 ];
         (match Metrics.snapshot reg with
-        | [ Metrics.Histogram ("d", n, mean, min_v, max_v) ] ->
-          check Alcotest.int "n" 3 n;
-          check (Alcotest.float 1e-9) "mean" 4.0 mean;
-          check (Alcotest.float 1e-9) "min" 1.0 min_v;
-          check (Alcotest.float 1e-9) "max" 8.0 max_v
+        | [ Metrics.Histogram ("d", hs) ] ->
+          check Alcotest.int "n" 3 hs.Metrics.hs_n;
+          check (Alcotest.float 1e-9) "mean" 4.0 (Metrics.hs_mean hs);
+          check (Alcotest.float 1e-9) "min" 1.0 hs.Metrics.hs_min;
+          check (Alcotest.float 1e-9) "max" 8.0 hs.Metrics.hs_max
         | _ -> Alcotest.fail "unexpected snapshot"));
+    t "empty histograms appear in snapshots with n=0" (fun () ->
+        let reg = Metrics.create () in
+        let _ = Metrics.histogram ~registry:reg "idle" in
+        (match Metrics.snapshot reg with
+        | [ Metrics.Histogram ("idle", hs) ] ->
+          check Alcotest.int "n" 0 hs.Metrics.hs_n;
+          check (Alcotest.float 1e-9) "min zeroed" 0.0 hs.Metrics.hs_min
+        | _ -> Alcotest.fail "empty histogram omitted");
+        match parse_json (Metrics.to_json reg) with
+        | Jobj [ ("idle", Jobj fields) ] ->
+          check Alcotest.bool "n = 0 in json" true
+            (List.assoc_opt "n" fields = Some (Jnum 0.0))
+        | _ -> Alcotest.fail "empty histogram missing from to_json");
     t "reset zeroes in place, handles stay valid" (fun () ->
         let reg = Metrics.create () in
         let c = Metrics.counter ~registry:reg "x" in
@@ -398,13 +411,21 @@ let sink_tests =
            done
          with End_of_file -> close_in ic);
         Sys.remove path;
-        check Alcotest.int "three events" 3 (List.length !lines);
         List.iter
           (fun line ->
             match parse_json line with
             | Jobj _ -> ()
             | _ -> Alcotest.fail "line is not an object")
-          !lines);
+          !lines;
+        (* span Begins also yield flow records; count the main events *)
+        let mains =
+          List.filter
+            (fun line ->
+              match parse_json line with
+              | j -> str_member "cat" j <> Some "trace")
+            !lines
+        in
+        check Alcotest.int "three events" 3 (List.length mains));
     t "text sink produces a line per event" (fun () ->
         let path = Filename.temp_file "ddf_obs" ".txt" in
         Obs.set_sink (Sinks.to_file ~format:Sinks.Text path);
