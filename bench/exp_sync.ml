@@ -1,0 +1,132 @@
+(* Experiment Y: anti-entropy sync cost.
+
+   Two clones of one workspace diverge by a controlled number of
+   journal entries; one bidirectional sync session reconciles them.
+   Two questions:
+
+     - proportionality: the frames transferred must track the delta
+       size, not the journal size — anti-entropy pulls exactly the
+       missing suffix (plus the echo of what the first direction
+       merged), so doubling the shared prefix must not move the count;
+     - round latency: p50/p99 of a bounded pull round (fetch + apply +
+       cursor persist), from the [sync.round_us] histogram the sync
+       driver already maintains.
+
+   Gauges for --json: sync.bench.frames_<delta>, sync.bench.round_p50,
+   sync.bench.round_p99, sync.bench.converged. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddf-bench-sync-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let rec copy_dir src dst =
+  Unix.mkdir dst 0o755;
+  Array.iter
+    (fun f ->
+      let s = Filename.concat src f and d = Filename.concat dst f in
+      if Sys.is_directory s then copy_dir s d
+      else begin
+        let ic = open_in_bin s in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let oc = open_out_bin d in
+        output_string oc data;
+        close_out oc
+      end)
+    (Sys.readdir src)
+
+let clone src dst =
+  copy_dir src dst;
+  List.iter
+    (fun f ->
+      let p = Filename.concat dst f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "wsid.ddf"; "sync.ddf" ]
+
+(* [n] one-entry installs: a delta of exactly [n] journal frames. *)
+let diverge ctx tag n =
+  for i = 1 to n do
+    ignore
+      (Engine.install ctx ~entity:E.stimuli
+         ~label:(Printf.sprintf "%s-%d" tag i)
+         (Value.Stimuli (Eda.Stimuli.exhaustive [ tag; string_of_int i ])))
+  done
+
+let deltas = [ 8; 32; 128 ]
+let batch = 32
+
+let run () =
+  let results =
+    List.map
+      (fun delta ->
+        let base = fresh_dir () in
+        let da = fresh_dir () and db = fresh_dir () in
+        let j = Journal.open_ ~dir:base Standard_schemas.odyssey in
+        ignore (Workspace.of_session (Session.of_context (Journal.context j)));
+        diverge (Journal.context j) "shared" 16;
+        Journal.close j;
+        clone base da;
+        clone base db;
+        let ja = Journal.open_ ~dir:da Standard_schemas.odyssey in
+        let jb = Journal.open_ ~dir:db Standard_schemas.odyssey in
+        diverge (Journal.context ja) "a" delta;
+        diverge (Journal.context jb) "b" delta;
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Sync.run ~batch ~a:(Sync.of_journal ja) ~b:(Sync.of_journal jb) ()
+        in
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        let converged =
+          Sync.fingerprint (Journal.context ja)
+          = Sync.fingerprint (Journal.context jb)
+        in
+        let pulled =
+          r.Sync.rp_into_a.Sync.d_pulled + r.Sync.rp_into_b.Sync.d_pulled
+        in
+        let applied =
+          r.Sync.rp_into_a.Sync.d_applied + r.Sync.rp_into_b.Sync.d_applied
+        in
+        Journal.close ja;
+        Journal.close jb;
+        rm_rf base;
+        rm_rf da;
+        rm_rf db;
+        (delta, pulled, applied, wall_ms, converged))
+      deltas
+  in
+  Printf.printf "  one session over clones sharing a 16-entry prefix (batch %d):\n"
+    batch;
+  List.iter
+    (fun (delta, pulled, applied, wall_ms, converged) ->
+      Printf.printf
+        "  delta %4d/side: %4d frames pulled (%d applied) in %6.1f ms%s\n"
+        delta pulled applied wall_ms
+        (if converged then "" else "  [DID NOT CONVERGE]");
+      Metrics.set
+        (Metrics.gauge (Printf.sprintf "sync.bench.frames_%d" delta))
+        (float_of_int pulled))
+    results;
+  let h = Metrics.histogram "sync.round_us" in
+  let p50 = Metrics.quantile h 0.50 /. 1e3
+  and p99 = Metrics.quantile h 0.99 /. 1e3 in
+  Printf.printf "  pull round latency: p50 %.2f ms, p99 %.2f ms\n" p50 p99;
+  Metrics.set (Metrics.gauge "sync.bench.round_p50_ms") p50;
+  Metrics.set (Metrics.gauge "sync.bench.round_p99_ms") p99;
+  Metrics.set
+    (Metrics.gauge "sync.bench.converged")
+    (if List.for_all (fun (_, _, _, _, c) -> c) results then 1.0 else 0.0)

@@ -28,6 +28,8 @@ let experiments =
     ("O", "overload: load shedding keeps the latency tail bounded",
      Exp_overload.run);
     ("T", "telemetry: tracing overhead on the write path", Exp_trace.run);
+    ("Y", "anti-entropy sync: frames vs delta size, round latency",
+     Exp_sync.run);
   ]
 
 let () =

@@ -1115,6 +1115,50 @@ let remote_refresh_cmd =
        ~doc:"Bring an instance up to date (consistency maintenance).")
     Term.(const run $ remote_socket_arg $ remote_user_arg $ remote_iid_arg)
 
+let remote_edit_cmd =
+  let rename =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rename" ] ~docv:"NAME"
+          ~doc:"Rename the netlist to $(docv) — the smallest scripted edit.")
+  in
+  let run socket user iid rename =
+    with_remote socket user @@ fun c ->
+    let es =
+      Client.install c ~entity:E.netlist_editor ~label:("edit " ^ rename)
+        (Codec.value_to_sexp
+           (Value.Tool
+              (Value.Scripted_netlist_editor
+                 (Eda.Edit_script.create ~name:rename
+                    [ Eda.Edit_script.Rename rename ]))))
+    in
+    let root = Client.start_goal c E.edited_netlist in
+    let fresh = Client.expand c root in
+    let node entity =
+      match List.find_opt (fun (_, e) -> e = entity) fresh with
+      | Some (nid, _) -> nid
+      | None ->
+        Printf.eprintf "no %s leaf in the edit flow\n" entity;
+        exit 1
+    in
+    Client.select c (node E.netlist_editor) [ es ];
+    Client.select c (node E.netlist) [ iid ];
+    match Client.run c root with
+    | out :: _ -> Printf.printf "-> #%d\n" out
+    | [] -> print_endline "nothing produced"
+  in
+  Cmd.v
+    (Cmd.info "edit"
+       ~doc:
+         "Derive a new version of a netlist instance through a scripted \
+          editing session (the Fig. 11 versioning walkthrough, remotely).  \
+          Two workspaces editing the same version and then syncing get \
+          both results as alternatives plus a surfaced conflict.")
+    Term.(
+      const run $ remote_socket_arg $ remote_user_arg $ remote_iid_arg
+      $ rename)
+
 let remote_shutdown_cmd =
   let run socket user =
     with_remote socket user @@ fun c ->
@@ -1187,6 +1231,89 @@ let remote_metrics_cmd =
           latency histograms with p50/p90/p99 quantiles.")
     Term.(const run $ remote_socket_arg $ remote_user_arg $ prometheus)
 
+let remote_digest_cmd =
+  let run socket user =
+    with_remote socket user @@ fun c ->
+    let wsid, base, seq, fp, cursors, _entries = Client.sync_digest c in
+    Printf.printf "wsid        %s\nbase        %d\nseq         %d\n" wsid base
+      seq;
+    Printf.printf "fingerprint %s\n" fp;
+    List.iter
+      (fun (origin, n) -> Printf.printf "cursor      %s -> %d\n" origin n)
+      (List.sort compare cursors)
+  in
+  Cmd.v
+    (Cmd.info "digest"
+       ~doc:
+         "The server's anti-entropy digest: workspace id, journal window \
+          and the canonical state fingerprint (equal fingerprints mean \
+          equal design state, whatever the local instance ids).")
+    Term.(const run $ remote_socket_arg $ remote_user_arg)
+
+let remote_conflicts_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Include conflicts that are already resolved.")
+  in
+  let run socket user all =
+    with_remote socket user @@ fun c ->
+    let rows = Client.conflicts c in
+    let rows =
+      if all then rows else List.filter (fun r -> r.Wire.cf_winner = None) rows
+    in
+    if rows = [] then print_endline "no conflicts"
+    else begin
+      Printf.printf "%-4s %-6s %-6s %-8s %-14s %-6s %s\n" "id" "base" "ours"
+        "theirs" "origin" "at" "winner";
+      List.iter
+        (fun r ->
+          Printf.printf "%-4d #%-5d #%-5d #%-7d %-14s %-6d %s\n" r.Wire.cf_id
+            r.Wire.cf_base r.Wire.cf_ours r.Wire.cf_theirs
+            (let o = r.Wire.cf_origin in
+             if String.length o > 12 then String.sub o 0 12 ^ ".." else o)
+            r.Wire.cf_at
+            (match r.Wire.cf_winner with
+            | None -> "-"
+            | Some w -> Printf.sprintf "#%d" w))
+        rows
+    end
+  in
+  Cmd.v
+    (Cmd.info "conflicts"
+       ~doc:
+         "Divergences surfaced by anti-entropy sync: both workspaces \
+          derived a version of the same design object; each row names the \
+          branch point and the two alternatives.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ all)
+
+let remote_resolve_cmd =
+  let conflict =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"CONFLICT" ~doc:"Conflict id (see $(b,conflicts).)")
+  in
+  let winner =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"WINNER"
+          ~doc:"Winning instance: the conflict's base, ours or theirs.")
+  in
+  let run socket user conflict winner =
+    with_remote socket user @@ fun c ->
+    Client.resolve c ~conflict ~winner;
+    Printf.printf "conflict %d resolved: winner #%d\n" conflict winner
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:
+         "Pick the winning version of a surfaced sync conflict.  The losing \
+          alternative stays in the store and the version tree; the \
+          resolution itself is journaled and syncs onward.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ conflict $ winner)
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
@@ -1194,7 +1321,63 @@ let remote_cmd =
     [ remote_ping_cmd; remote_stat_cmd; remote_lag_cmd; remote_compact_cmd;
       remote_catalog_cmd; remote_browse_cmd; remote_batch_cmd;
       remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
-      remote_metrics_cmd; remote_shutdown_cmd ]
+      remote_edit_cmd; remote_metrics_cmd; remote_digest_cmd;
+      remote_conflicts_cmd;
+      remote_resolve_cmd; remote_shutdown_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* hercules sync                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sync_cmd =
+  let peer =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PEER_SOCKET"
+          ~doc:"Socket of the peer daemon to reconcile with.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Count what each side would pull; apply nothing.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Frames per sync round.")
+  in
+  let run socket user peer dry_run batch =
+    with_remote socket user @@ fun local ->
+    with_remote peer (Some (Client.user local)) @@ fun remote ->
+    let report =
+      Sync.run ~dry_run ~batch ~a:(Sync.of_client local)
+        ~b:(Sync.of_client remote) ()
+    in
+    Format.printf "%a@." Sync.pp_report report;
+    let la, _, _, lfp, _, _ = Client.sync_digest local in
+    let ra, _, _, rfp, _, _ = Client.sync_digest remote in
+    if dry_run then ()
+    else if lfp = rfp then
+      Printf.printf "workspaces %s and %s converged (fingerprint %s)\n" la ra
+        lfp
+    else
+      Printf.printf
+        "fingerprints differ (unresolved divergence or concurrent writes): \
+         %s vs %s\nrun the sync again after resolving conflicts\n"
+        lfp rfp
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:
+         "Anti-entropy reconciliation of two disconnected workspaces: \
+          exchange journal digests with the daemon at $(docv), pull exactly \
+          the missing entries in both directions, and surface any \
+          conflicting derivations as alternative versions (see $(b,remote \
+          conflicts)).")
+    Term.(
+      const run $ remote_socket_arg $ remote_user_arg $ peer $ dry_run $ batch)
 
 (* ------------------------------------------------------------------ *)
 (* hercules top                                                        *)
@@ -1421,4 +1604,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [ schema_cmd; flow_cmd; run_cmd; browse_cmd; demo_cmd; export_cmd;
             history_cmd; query_cmd; process_cmd; annotate_cmd;
-            recall_cmd; serve_cmd; remote_cmd; top_cmd; trace_merge_cmd ]))
+            recall_cmd; serve_cmd; remote_cmd; sync_cmd; top_cmd;
+            trace_merge_cmd ]))

@@ -266,6 +266,8 @@ let unexpected req resp =
     | Wire.Ok_refresh _ -> "refresh" | Wire.Ok_snapshot _ -> "snapshot"
     | Wire.Ok_frame _ -> "frame" | Wire.Ok_lags _ -> "lags"
     | Wire.Ok_batch _ -> "batch" | Wire.Ok_metrics _ -> "metrics"
+    | Wire.Ok_digest _ -> "digest" | Wire.Ok_frames _ -> "frames"
+    | Wire.Ok_sync _ -> "sync" | Wire.Ok_conflicts _ -> "conflicts"
     | Wire.Error _ -> "error")
     (Wire.request_name req)
 
@@ -383,6 +385,36 @@ let shutdown t =
     ok_unit t Wire.Shutdown;
     close t
   end
+
+(* ------------------------------------------------------------------ *)
+(* The anti-entropy sync surface (wire v6)                             *)
+(* ------------------------------------------------------------------ *)
+
+let sync_digest t =
+  match ok t Wire.Sync_digest with
+  | Wire.Ok_digest { wsid; base; seq; fingerprint; cursors; entries } ->
+      (wsid, base, seq, fingerprint, cursors, entries)
+  | resp -> unexpected Wire.Sync_digest resp
+
+let sync_frames t ~after ~limit =
+  let req = Wire.Sync_frames { after; limit } in
+  match ok t req with
+  | Wire.Ok_frames fs -> fs
+  | resp -> unexpected req resp
+
+let sync_push t ~origin ~upto frames =
+  let req = Wire.Sync_ack { origin; upto; frames } in
+  match ok t req with
+  | Wire.Ok_sync st -> st
+  | resp -> unexpected req resp
+
+let conflicts t =
+  match ok t Wire.Conflicts with
+  | Wire.Ok_conflicts rows -> rows
+  | resp -> unexpected Wire.Conflicts resp
+
+let resolve t ~conflict ~winner =
+  ok_unit t (Wire.Resolve { conflict; winner })
 
 (* ------------------------------------------------------------------ *)
 (* Result-typed variants                                               *)

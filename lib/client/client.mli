@@ -219,6 +219,42 @@ val shutdown : t -> unit
 (** Ask the daemon to shut down gracefully, then close this
     connection (idempotent: a no-op on a closed client). *)
 
+(** {1 Anti-entropy sync (wire v6)}
+
+    The raw verbs {!Ddf_sync.Sync} drives: a digest handshake, frame
+    pulls, and frame pushes.  Useful directly for diagnostics
+    ([hercules remote digest]); for an actual reconciliation use
+    {!Ddf_sync.Sync.run}, which sequences them into bounded rounds. *)
+
+val sync_digest :
+  t ->
+  string * int * int * string * (string * int) list * (int * string) list
+(** The server's anti-entropy digest:
+    [(wsid, base, seq, fingerprint, cursors, entries)] — see
+    {!Ddf_wire.Wire.response}. *)
+
+val sync_frames :
+  t -> after:int -> limit:int -> (int * string * string) list
+(** At most [limit] of the server's wal frames with seqno > [after],
+    as [(seqno, md5, payload)]. *)
+
+val sync_push :
+  t ->
+  origin:string ->
+  upto:int ->
+  (int * string * string) list ->
+  Ddf_wire.Wire.sync_stats
+(** Deliver a batch of [origin]'s frames for application and advance
+    the server's persisted cursor for that origin to [upto].  An empty
+    batch just moves the cursor. *)
+
+val conflicts : t -> Ddf_wire.Wire.conflict_row list
+(** The server's sync-conflict registry, resolved entries included. *)
+
+val resolve : t -> conflict:int -> winner:Ddf_store.Store.iid -> unit
+(** Pick the winning version of a surfaced conflict; [winner] must be
+    the conflict's base, ours or theirs instance. *)
+
 (** {1 Escape hatch} *)
 
 val call : t -> Ddf_wire.Wire.request -> Ddf_wire.Wire.response

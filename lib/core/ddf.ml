@@ -37,6 +37,7 @@ module Wire = Ddf_wire.Wire
 module Replica = Ddf_replica.Replica
 module Server = Ddf_server.Server
 module Client = Ddf_client.Client
+module Sync = Ddf_sync.Sync
 
 module Baselines = struct
   module Static_flow = Ddf_baselines.Static_flow

@@ -20,6 +20,10 @@
     - ["server.writer_stall"] the server's writer loop, once per
                              batch ([Delay s] → the writer sleeps with
                              requests queued behind it)
+    - ["sync.pull"]          before each anti-entropy frame fetch
+                             ([Fail] → the sync round dies mid-flight;
+                             the persisted cursor makes the next sync
+                             resume where this one stopped)
 
     The spec grammar for [DDF_FAULT] (and {!configure}) is a
     semicolon-separated list of [point=action], where action is

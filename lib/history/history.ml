@@ -38,6 +38,23 @@ type vindex = {
   mutable vi_next : int;               (* first rid not yet folded in *)
 }
 
+(* A sync conflict: two journal histories derived different versions
+   of the same design object.  Both derivations stay in the history as
+   alternative versions (the paper's Fig. 11 version branches); the
+   conflict is a first-class, queryable pointer at the branch point,
+   resolvable by picking a winner but never by deleting a branch. *)
+type conflict = {
+  cid : int;
+  c_base : Store.iid;      (* the shared version both sides edited *)
+  c_ours : Store.iid;      (* the locally derived alternative *)
+  c_theirs : Store.iid;    (* the remotely derived alternative *)
+  c_origin : string;       (* workspace id the remote branch came from *)
+  c_at : int;              (* logical time the conflict was detected *)
+  mutable c_winner : Store.iid option;
+}
+
+type conflict_event = Conflict_added of conflict | Conflict_resolved of conflict
+
 type t = {
   mutable next_rid : int;
   records : (int, record) Hashtbl.t;
@@ -45,6 +62,9 @@ type t = {
   used_by : (Store.iid, int list ref) Hashtbl.t;
   mutable observer : (record -> unit) option;
   mutable vindex : vindex option;
+  mutable next_cid : int;
+  conflict_tbl : (int, conflict) Hashtbl.t;
+  mutable conflict_observer : (conflict_event -> unit) option;
 }
 
 exception History_error of string
@@ -64,6 +84,9 @@ let create () =
     used_by = Hashtbl.create 64;
     observer = None;
     vindex = None;
+    next_cid = 1;
+    conflict_tbl = Hashtbl.create 8;
+    conflict_observer = None;
   }
 
 let size h = Hashtbl.length h.records
@@ -77,6 +100,58 @@ let restore_tick h n =
 
 let set_observer h f = h.observer <- Some f
 let clear_observer h = h.observer <- None
+
+let set_conflict_observer h f = h.conflict_observer <- Some f
+let clear_conflict_observer h = h.conflict_observer <- None
+
+let conflict_tick h = h.next_cid
+
+let add_conflict h ~base ~ours ~theirs ~origin ~at =
+  let cid = h.next_cid in
+  h.next_cid <- cid + 1;
+  let c =
+    { cid; c_base = base; c_ours = ours; c_theirs = theirs;
+      c_origin = origin; c_at = at; c_winner = None }
+  in
+  Hashtbl.add h.conflict_tbl cid c;
+  (match h.conflict_observer with None -> () | Some f -> f (Conflict_added c));
+  c
+
+let find_conflict h cid =
+  match Hashtbl.find_opt h.conflict_tbl cid with
+  | Some c -> c
+  | None -> history_errorf "no conflict %d" cid
+
+(* Unordered-pair lookup: the two sides of a sync each record the same
+   divergence with [ours]/[theirs] swapped, so dedup ignores the
+   orientation. *)
+let find_conflict_pair h a b =
+  let key x = (min x.c_ours x.c_theirs, max x.c_ours x.c_theirs) in
+  let want = (min a b, max a b) in
+  Hashtbl.fold
+    (fun _ c acc -> if acc = None && key c = want then Some c else acc)
+    h.conflict_tbl None
+
+let all_conflicts h =
+  Hashtbl.fold (fun _ c acc -> c :: acc) h.conflict_tbl []
+  |> List.sort (fun a b -> compare a.cid b.cid)
+
+let conflicts h = List.filter (fun c -> c.c_winner = None) (all_conflicts h)
+
+let resolve_conflict h cid ~winner =
+  let c = find_conflict h cid in
+  if winner <> c.c_base && winner <> c.c_ours && winner <> c.c_theirs then
+    history_errorf "conflict %d: %d is not one of its versions" cid winner;
+  (match c.c_winner with
+  | Some w when w = winner -> ()    (* idempotent: re-applying a synced resolution *)
+  | Some w ->
+    history_errorf "conflict %d already resolved in favour of %d" cid w
+  | None ->
+    c.c_winner <- Some winner;
+    (match h.conflict_observer with
+    | None -> ()
+    | Some f -> f (Conflict_resolved c)));
+  c
 
 let add h ~task_entity ~tool ~inputs ~outputs ~at =
   if outputs = [] then history_errorf "a record needs at least one output";
@@ -396,6 +471,14 @@ let vindex_of h (store : 'a Store.t) (schema : Schema.t) =
 
 let version_parent h store schema iid =
   Hashtbl.find_opt (vindex_of h store schema).vi_parent iid
+
+(* Direct edit successors: the alternative versions branching off an
+   instance.  More than one child — siblings — is exactly the shape an
+   anti-entropy merge of divergent workspaces produces. *)
+let version_children h store schema iid =
+  match Hashtbl.find_opt (vindex_of h store schema).vi_children iid with
+  | Some l -> List.sort_uniq compare !l
+  | None -> []
 
 type version_tree = {
   v_iid : Store.iid;

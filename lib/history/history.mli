@@ -52,6 +52,62 @@ val set_observer : t -> (record -> unit) -> unit
 
 val clear_observer : t -> unit
 
+(** {1 Sync conflicts (alternative-version surfacing)}
+
+    When anti-entropy sync ({!Ddf_sync}) applies a remote journal
+    suffix and finds that both workspaces derived a version of the
+    same design object, the remote derivation is kept as a sibling in
+    the version tree — Fig. 11 already represents alternatives — and
+    the branch point is registered here as a first-class conflict:
+    queryable, resolvable by picking a winner, never silently
+    overwritten. *)
+
+type conflict = {
+  cid : int;
+  c_base : Store.iid;      (** the shared version both sides edited *)
+  c_ours : Store.iid;      (** the locally derived alternative *)
+  c_theirs : Store.iid;    (** the remotely derived alternative *)
+  c_origin : string;       (** workspace id the remote branch came from *)
+  c_at : int;              (** logical time the conflict was detected *)
+  mutable c_winner : Store.iid option;
+}
+
+type conflict_event = Conflict_added of conflict | Conflict_resolved of conflict
+
+val add_conflict :
+  t -> base:Store.iid -> ours:Store.iid -> theirs:Store.iid ->
+  origin:string -> at:int -> conflict
+
+val find_conflict : t -> int -> conflict
+(** @raise History_error on an unknown id. *)
+
+val find_conflict_pair : t -> Store.iid -> Store.iid -> conflict option
+(** The conflict whose \{ours, theirs\} equals the unordered pair, if
+    any — the dedup key: both peers record the same divergence with
+    the orientation swapped. *)
+
+val conflicts : t -> conflict list
+(** Unresolved conflicts, oldest first. *)
+
+val all_conflicts : t -> conflict list
+
+val resolve_conflict : t -> int -> winner:Store.iid -> conflict
+(** Pick a winner (one of base/ours/theirs).  Re-resolving with the
+    same winner is a no-op (synced resolutions re-apply); a different
+    winner raises.
+    @raise History_error on an unknown id, a winner outside the
+    conflict, or a contradictory re-resolution. *)
+
+val conflict_tick : t -> int
+(** The cid the next {!add_conflict} will assign (dense, like record
+    ids — journal replay asserts it). *)
+
+val set_conflict_observer : t -> (conflict_event -> unit) -> unit
+(** Install the single conflict observer (the journal subscribes here,
+    like {!set_observer} for records). *)
+
+val clear_conflict_observer : t -> unit
+
 (** {1 Chaining (Fig. 10)} *)
 
 val derivation_of : t -> Store.iid -> record option
@@ -101,6 +157,17 @@ val query_template :
 val version_parent : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid option
 (** The edit predecessor: the input of the producing record whose
     entity shares the instance's root type. *)
+
+val version_children : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid list
+(** Direct edit successors — more than one means alternative versions
+    branch here (deliberate alternatives, or a sync merge of divergent
+    workspaces). *)
+
+val record_version_parent :
+  'a Store.t -> Schema.t -> record -> Store.iid -> Store.iid option
+(** The version parent [record] gives one of its outputs: the input
+    sharing the output's root entity type.  Exposed for the sync
+    applier, which must detect version branches record by record. *)
 
 type version_tree = {
   v_iid : Store.iid;

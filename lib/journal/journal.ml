@@ -16,6 +16,9 @@
      (put (iid N) (clock C) (entity E) (hash H) (meta M) (value V))
      (note (iid N) (meta M))
      (record (clock C) R)               ; R as in Workspace_file
+     (conflict (clock C) (id N) (base B) (ours O) (theirs T)
+               (origin S) (at A))       ; sync divergence registered
+     (resolve (clock C) (id N) (winner W))
 
    The frame header makes entries self-delimiting and the checksum
    makes a torn tail (crash mid-append) detectable: recovery truncates
@@ -232,6 +235,22 @@ let record_to_sexp ~clock r =
   S.list
     [ S.atom "record"; S.field "clock" [ S.int clock ]; W.record_to_sexp r ]
 
+let conflict_to_sexp ~clock (c : History.conflict) =
+  S.list
+    [ S.atom "conflict"; S.field "clock" [ S.int clock ];
+      S.field "id" [ S.int c.History.cid ];
+      S.field "base" [ S.int c.History.c_base ];
+      S.field "ours" [ S.int c.History.c_ours ];
+      S.field "theirs" [ S.int c.History.c_theirs ];
+      S.field "origin" [ S.atom c.History.c_origin ];
+      S.field "at" [ S.int c.History.c_at ] ]
+
+let resolve_to_sexp ~clock (c : History.conflict) winner =
+  S.list
+    [ S.atom "resolve"; S.field "clock" [ S.int clock ];
+      S.field "id" [ S.int c.History.cid ];
+      S.field "winner" [ S.int winner ] ]
+
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -285,6 +304,27 @@ let replay_entry ctx payload =
     if r.History.rid <> p.W.rp_rid then
       journal_errorf "log out of order: record %d replayed as %d" p.W.rp_rid
         r.History.rid;
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+  | S.Atom "conflict" :: fields ->
+    let int_f name = S.as_int (S.one name (S.find_field fields name)) in
+    let clock = int_f "clock" in
+    let cid = int_f "id" in
+    let c =
+      History.add_conflict ctx.Ddf_exec.Engine.history ~base:(int_f "base")
+        ~ours:(int_f "ours") ~theirs:(int_f "theirs")
+        ~origin:(S.as_atom (S.one "origin" (S.find_field fields "origin")))
+        ~at:(int_f "at")
+    in
+    if c.History.cid <> cid then
+      journal_errorf "log out of order: conflict %d replayed as %d" cid
+        c.History.cid;
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+  | S.Atom "resolve" :: fields ->
+    let int_f name = S.as_int (S.one name (S.find_field fields name)) in
+    let clock = int_f "clock" in
+    ignore
+      (History.resolve_conflict ctx.Ddf_exec.Engine.history (int_f "id")
+         ~winner:(int_f "winner"));
     ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
   | _ -> journal_errorf "unknown log entry kind"
 
@@ -343,11 +383,20 @@ let attach j =
     | Store.Annotated inst -> append j (S.to_string (note_to_sexp inst)));
   History.set_observer ctx.Ddf_exec.Engine.history (fun r ->
       append j
-        (S.to_string (record_to_sexp ~clock:ctx.Ddf_exec.Engine.clock r)))
+        (S.to_string (record_to_sexp ~clock:ctx.Ddf_exec.Engine.clock r)));
+  History.set_conflict_observer ctx.Ddf_exec.Engine.history (fun ev ->
+      let clock = ctx.Ddf_exec.Engine.clock in
+      match ev with
+      | History.Conflict_added c ->
+        append j (S.to_string (conflict_to_sexp ~clock c))
+      | History.Conflict_resolved c ->
+        let winner = Option.get c.History.c_winner in
+        append j (S.to_string (resolve_to_sexp ~clock c winner)))
 
 let detach j =
   Store.clear_observer j.j_ctx.Ddf_exec.Engine.store;
-  History.clear_observer j.j_ctx.Ddf_exec.Engine.history
+  History.clear_observer j.j_ctx.Ddf_exec.Engine.history;
+  History.clear_conflict_observer j.j_ctx.Ddf_exec.Engine.history
 
 (* ------------------------------------------------------------------ *)
 (* Open / close / compaction                                           *)
@@ -539,6 +588,114 @@ let entries_since j since =
        raise e);
     close_in ic;
     Frames (List.rev !frames)
+  end
+
+(* Anti-entropy support: the digest a peer compares against, and exact
+   frame extraction by seqno window.  Both read the wal back from disk
+   (writers excluded, like [entries_since]); frames are hashed with the
+   same md5 the frame header carries, so a digest mismatch means the
+   histories genuinely diverge at that seqno. *)
+
+let frame_digest payload = Digest.to_hex (Digest.string payload)
+
+(* (seqno, md5) for every wal frame, ascending — entries base+1..seq. *)
+let digest j =
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
+  flush j.j_oc;
+  if not (Sys.file_exists (wal_path j.j_dir)) then []
+  else begin
+    let ic = open_in_bin (wal_path j.j_dir) in
+    let out = ref [] in
+    let n = ref j.j_base in
+    (try
+       let rec go () =
+         match read_frame ic with
+         | None -> ()
+         | Some payload ->
+           incr n;
+           out := (!n, frame_digest payload) :: !out;
+           go ()
+       in
+       (try go () with Torn at -> journal_errorf "wal torn mid-read at %d" at)
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    close_in ic;
+    List.rev !out
+  end
+
+(* At most [limit] frames with seqno > [after], as (seqno, md5,
+   payload) ascending.  Asking below the snapshot base is a typed
+   conflict: those frames were folded away and cannot be served. *)
+let frames j ~after ~limit =
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
+  if limit < 0 then journal_errorf ~code:`Invalid "negative frame limit";
+  if after < j.j_base then
+    journal_errorf ~code:`Conflict
+      "frames before %d were compacted away (asked for > %d)" j.j_base after;
+  flush j.j_oc;
+  if after >= j.j_seq || limit = 0 then []
+  else begin
+    let ic = open_in_bin (wal_path j.j_dir) in
+    let out = ref [] in
+    let taken = ref 0 in
+    let n = ref j.j_base in
+    (try
+       let rec go () =
+         if !taken < limit then
+           match read_frame ic with
+           | None -> ()
+           | Some payload ->
+             incr n;
+             if !n > after then begin
+               incr taken;
+               out := (!n, frame_digest payload, payload) :: !out
+             end;
+             go ()
+       in
+       (try go () with Torn at -> journal_errorf "wal torn mid-read at %d" at)
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    close_in ic;
+    List.rev !out
+  end
+
+(* A stable workspace identity for the sync fabric, minted on first
+   use and persisted next to the wal.  A cloned database directory
+   must shed [wsid.ddf] (like a machine-id) so the clone syncs as its
+   own peer. *)
+let wsid_path dir = Filename.concat dir "wsid.ddf"
+
+let wsid j =
+  let path = wsid_path j.j_dir in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "W1"; id ] when id <> "" -> id
+    | _ -> journal_errorf "wsid.ddf: malformed (%S)" line
+  end
+  else begin
+    let id =
+      Digest.to_hex
+        (Digest.string
+           (Printf.sprintf "%s|%d|%f|%d" j.j_dir (Unix.getpid ())
+              (Unix.gettimeofday ()) (Random.bits ())))
+    in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       Printf.fprintf oc "W1 %s\n" id;
+       flush oc;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path;
+    id
   end
 
 (* The full current state as a replication seed: (seqno, workspace

@@ -133,6 +133,33 @@ val snapshot_state : t -> int * string
 (** The full current state as a replication seed: [(seq, workspace
     save)].  Call with writers excluded. *)
 
+(** {1 Anti-entropy sync support}
+
+    {!Ddf_sync} reconciles two divergent journals pairwise: each side
+    publishes {!digest} (seqno → frame md5 over its wal), the common
+    prefix is located by comparing digests, and exactly the missing
+    frames are fetched with {!frames} and re-executed remotely.  Like
+    the replication readers, call these with writers excluded. *)
+
+val digest : t -> (int * string) list
+(** [(seqno, md5)] per wal frame, ascending — entries
+    [base_seq+1 .. seq].  The md5 is the frame-header checksum, so
+    equal digests mean byte-identical entries. *)
+
+val frames : t -> after:int -> limit:int -> (int * string * string) list
+(** At most [limit] frames with seqno > [after], as
+    [(seqno, md5, payload)] ascending.
+    @raise Journal_error ([`Conflict]) when [after] predates
+    [base_seq]: those frames were compacted away. *)
+
+val frame_digest : string -> string
+(** The md5 hex a frame header (and {!digest}) carries for a payload. *)
+
+val wsid : t -> string
+(** This database directory's stable workspace identity, minted on
+    first use and persisted in [wsid.ddf].  Clones of a directory must
+    remove that file (like a machine-id) to sync as their own peer. *)
+
 val apply : t -> seq:int -> string -> unit
 (** Follower-side: apply one replicated frame — replay the payload into
     the context and append the identical bytes to the local wal.

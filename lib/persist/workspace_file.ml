@@ -59,6 +59,23 @@ let record_to_sexp (r : History.record) =
            r.History.outputs);
       S.int r.History.at ]
 
+let conflict_to_sexp (c : History.conflict) =
+  S.list
+    [ S.int c.History.cid; S.int c.History.c_base; S.int c.History.c_ours;
+      S.int c.History.c_theirs; S.atom c.History.c_origin;
+      S.int c.History.c_at;
+      (match c.History.c_winner with None -> S.atom "-" | Some w -> S.int w) ]
+
+let conflict_of_sexp sexp =
+  match S.as_list sexp with
+  | [ cid; base; ours; theirs; origin; at; winner ] ->
+    let winner =
+      match winner with S.Atom "-" -> None | w -> Some (S.as_int w)
+    in
+    (S.as_int cid, S.as_int base, S.as_int ours, S.as_int theirs,
+     S.as_atom origin, S.as_int at, winner)
+  | _ -> persist_errorf "malformed conflict"
+
 type record_parts = {
   rp_rid : int;
   rp_task_entity : string;
@@ -87,24 +104,29 @@ let save session =
   let store = ctx.Ddf_exec.Engine.store in
   let sexp =
     S.list
-      [ S.atom "ddf_workspace";
-        S.field "version" [ S.int format_version ];
-        S.field "user" [ S.atom ctx.Ddf_exec.Engine.user ];
-        S.field "clock" [ S.int ctx.Ddf_exec.Engine.clock ];
-        S.field "instances"
-          (List.map (instance_to_sexp store) (Store.all_instances store));
-        S.field "records"
-          (List.map record_to_sexp (History.records ctx.Ddf_exec.Engine.history));
-        S.field "flows"
-          (List.filter_map
-             (fun name ->
-               Option.map
-                 (fun g ->
-                   S.list
-                     [ S.atom name;
-                       S.atom (Ddf_graph.Sexp_form.to_string g) ])
-                 (Ddf_session.Session.catalog_flow session name))
-             (Ddf_session.Session.flow_catalog session)) ]
+      ([ S.atom "ddf_workspace";
+         S.field "version" [ S.int format_version ];
+         S.field "user" [ S.atom ctx.Ddf_exec.Engine.user ];
+         S.field "clock" [ S.int ctx.Ddf_exec.Engine.clock ];
+         S.field "instances"
+           (List.map (instance_to_sexp store) (Store.all_instances store));
+         S.field "records"
+           (List.map record_to_sexp (History.records ctx.Ddf_exec.Engine.history)) ]
+      (* omitted when empty, so files without sync conflicts keep the
+         exact pre-sync shape *)
+      @ (match History.all_conflicts ctx.Ddf_exec.Engine.history with
+        | [] -> []
+        | cs -> [ S.field "conflicts" (List.map conflict_to_sexp cs) ])
+      @ [ S.field "flows"
+            (List.filter_map
+               (fun name ->
+                 Option.map
+                   (fun g ->
+                     S.list
+                       [ S.atom name;
+                         S.atom (Ddf_graph.Sexp_form.to_string g) ])
+                   (Ddf_session.Session.catalog_flow session name))
+               (Ddf_session.Session.flow_catalog session)) ])
   in
   S.to_string sexp ^ "\n"
 
@@ -176,6 +198,26 @@ let load ?registry schema text =
         persist_errorf "record ids are not dense (%d loaded as %d)" p.rp_rid
           r.History.rid)
     records;
+  (* sync conflicts (optional section; absent in pre-sync files) *)
+  (match S.find_field_opt fields "conflicts" with
+  | None -> ()
+  | Some sexps ->
+    sexps
+    |> List.map conflict_of_sexp
+    |> List.sort compare
+    |> List.iter (fun (cid, base, ours, theirs, origin, at, winner) ->
+           let c =
+             History.add_conflict ctx.Ddf_exec.Engine.history ~base ~ours
+               ~theirs ~origin ~at
+           in
+           if c.History.cid <> cid then
+             persist_errorf "conflict ids are not dense (%d loaded as %d)" cid
+               c.History.cid;
+           match winner with
+           | None -> ()
+           | Some w ->
+             ignore (History.resolve_conflict ctx.Ddf_exec.Engine.history cid
+                       ~winner:w)));
   (* the clock resumes where it stopped *)
   ctx.Ddf_exec.Engine.clock <-
     S.as_int (S.one "clock" (S.find_field fields "clock"));

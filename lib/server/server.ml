@@ -26,6 +26,7 @@ module Engine = Ddf_exec.Engine
 module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
 module Replica = Ddf_replica.Replica
+module Sync = Ddf_sync.Sync
 module E = Ddf_core.Error
 module Fault = Ddf_fault.Fault
 
@@ -516,6 +517,32 @@ let rec eval t session req =
     Journal.compact t.journal;
     Wire.Ok_unit
   | Wire.Metrics -> Wire.Ok_metrics (Metrics.snapshot Metrics.global)
+  | Wire.Sync_digest ->
+    (* runs as a writer job (wal reads need the writer excluded), but
+       mutates nothing — the anti-entropy handshake *)
+    let d = Sync.digest_of t.journal in
+    Wire.Ok_digest
+      { wsid = d.Sync.g_wsid; base = d.Sync.g_base; seq = d.Sync.g_seq;
+        fingerprint = d.Sync.g_fingerprint; cursors = d.Sync.g_cursors;
+        entries = d.Sync.g_entries }
+  | Wire.Sync_frames { after; limit } ->
+    Wire.Ok_frames (Journal.frames t.journal ~after ~limit)
+  | Wire.Sync_ack { origin; upto; frames } ->
+    Wire.Ok_sync (Sync.apply_frames t.journal ~origin ~upto frames)
+  | Wire.Conflicts ->
+    Wire.Ok_conflicts
+      (List.map
+         (fun (c : History.conflict) ->
+           { Wire.cf_id = c.History.cid; cf_base = c.History.c_base;
+             cf_ours = c.History.c_ours; cf_theirs = c.History.c_theirs;
+             cf_origin = c.History.c_origin; cf_at = c.History.c_at;
+             cf_winner = c.History.c_winner })
+         (History.all_conflicts ctx.Engine.history))
+  | Wire.Resolve { conflict; winner } ->
+    ignore
+      (History.resolve_conflict ctx.Engine.history conflict ~winner
+        : History.conflict);
+    Wire.Ok_unit
   | Wire.Subscribe _ | Wire.Repl_ack _ ->
     (* handled by the connection loop before reaching the evaluator *)
     wire_error `Invalid "replication message outside a replication stream"
@@ -576,7 +603,12 @@ let rec eval t session req =
 let follower_rejects t req =
   is_follower t && Wire.is_mutation req
   && (match (req : Wire.request) with
-     | Wire.Compact | Wire.Shutdown -> false
+     (* the sync pull verbs are writer-serialized wal reads, not
+        mutations — a follower may be inspected and pulled from, it
+        just may not apply a sync (its journal must stay a byte copy
+        of the primary's) *)
+     | Wire.Compact | Wire.Shutdown | Wire.Sync_digest | Wire.Sync_frames _ ->
+       false
      | _ -> true)
 
 let serve_request t session ~conn_id ~user ?deadline ?trace req =

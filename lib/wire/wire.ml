@@ -32,8 +32,15 @@ type iid = Store.iid
    optional trace-context header token (t=<trace>.<span>).  Both ride
    in slots a v4 peer never sends, so a v5 server accepts v4 clients
    — the handshake takes any version in
-   [min_protocol_version, protocol_version]. *)
-let protocol_version = 5
+   [min_protocol_version, protocol_version].
+   Version 6: anti-entropy sync verbs — (sync-digest) answered by
+   (ok-digest ...), (sync-frames <after> <limit>) / (ok-frames ...),
+   (sync-ack <origin> <upto> <frame>...) / (ok-sync ...) — plus the
+   conflict surface (conflicts) / (ok-conflicts ...) and (resolve
+   <id> <winner>).  All live in slots a v4/v5 peer never sends, so
+   the handshake window stays [4, 6] and older clients interoperate
+   unchanged. *)
+let protocol_version = 6
 let min_protocol_version = 4
 
 type catalog = Entities | Tools | Flows
@@ -77,6 +84,17 @@ type request =
   | Lag
   | Compact
   | Metrics
+  | Sync_digest
+      (** the peer's journal digest, peer cursors and state
+          fingerprint — the anti-entropy handshake *)
+  | Sync_frames of { after : int; limit : int }
+      (** pull at most [limit] wal frames with seqno > [after] *)
+  | Sync_ack of { origin : string; upto : int; frames : (int * string * string) list }
+      (** deliver a batch of [origin]'s frames [(seqno, md5, payload)]
+          for application and advance the origin cursor to [upto]; an
+          empty batch just acknowledges *)
+  | Conflicts
+  | Resolve of { conflict : int; winner : iid }
   | Batch of request list
       (** A pipeline: the requests are executed in order and answered
           positionally by one [Ok_batch], one frame each way.  An inner
@@ -107,6 +125,23 @@ type lag_row = {
   lag_sent : int;
 }
 
+type conflict_row = {
+  cf_id : int;
+  cf_base : iid;
+  cf_ours : iid;
+  cf_theirs : iid;
+  cf_origin : string;
+  cf_at : int;
+  cf_winner : iid option;
+}
+
+type sync_stats = {
+  sy_applied : int;   (** frames whose effects were new here *)
+  sy_skipped : int;   (** frames deduplicated as already present *)
+  sy_conflicts : int; (** divergences registered while applying *)
+  sy_cursor : int;    (** origin seqno applied through, persisted *)
+}
+
 type response =
   | Ok_unit
   | Ok_int of int
@@ -121,6 +156,19 @@ type response =
   | Ok_frame of { seq : int; payload : string; digest : string }
   | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Ok_metrics of Ddf_obs.Metrics.metric list
+  | Ok_digest of {
+      wsid : string;
+      base : int;
+      seq : int;
+      fingerprint : string;
+          (** canonical identity-independent state digest: equal
+              fingerprints mean converged stores/histories *)
+      cursors : (string * int) list;  (** origin wsid -> applied seqno *)
+      entries : (int * string) list;  (** seqno -> frame md5, ascending *)
+    }
+  | Ok_frames of (int * string * string) list  (** (seqno, md5, payload) *)
+  | Ok_sync of sync_stats
+  | Ok_conflicts of conflict_row list
   | Ok_batch of response list
   | Error of E.t
 
@@ -214,6 +262,19 @@ let rec request_to_sexp = function
   | Lag -> S.atom "lag"
   | Compact -> S.atom "compact"
   | Metrics -> S.atom "metrics"
+  | Sync_digest -> S.atom "sync-digest"
+  | Sync_frames { after; limit } ->
+    S.field "sync-frames" [ S.int after; S.int limit ]
+  | Sync_ack { origin; upto; frames } ->
+    S.field "sync-ack"
+      (S.atom origin :: S.int upto
+      :: List.map
+           (fun (seq, digest, payload) ->
+             S.list [ S.int seq; S.atom digest; S.atom payload ])
+           frames)
+  | Conflicts -> S.atom "conflicts"
+  | Resolve { conflict; winner } ->
+    S.field "resolve" [ S.int conflict; S.int winner ]
   | Batch reqs -> S.field "batch" (List.map request_to_sexp reqs)
 
 let rec request_of_sexp sexp =
@@ -226,6 +287,8 @@ let rec request_of_sexp sexp =
   | S.Atom "lag" -> Lag
   | S.Atom "compact" -> Compact
   | S.Atom "metrics" -> Metrics
+  | S.Atom "sync-digest" -> Sync_digest
+  | S.Atom "conflicts" -> Conflicts
   | S.List (S.Atom name :: args) -> (
     match (name, args) with
     (* a bare (hello <user>) is the version-1 dialect *)
@@ -266,6 +329,21 @@ let rec request_of_sexp sexp =
     | "load-flow", [ n ] -> Load_flow (S.as_atom n)
     | "subscribe", [ seq ] -> Subscribe (S.as_int seq)
     | "repl-ack", [ seq ] -> Repl_ack (S.as_int seq)
+    | "sync-frames", [ after; limit ] ->
+      Sync_frames { after = S.as_int after; limit = S.as_int limit }
+    | "sync-ack", origin :: upto :: frames ->
+      Sync_ack
+        { origin = S.as_atom origin; upto = S.as_int upto;
+          frames =
+            List.map
+              (fun s ->
+                match S.as_list s with
+                | [ seq; digest; payload ] ->
+                  (S.as_int seq, S.as_atom digest, S.as_atom payload)
+                | _ -> wire_errorf "malformed sync frame")
+              frames }
+    | "resolve", [ conflict; winner ] ->
+      Resolve { conflict = S.as_int conflict; winner = S.as_int winner }
     | "batch", reqs -> Batch (List.map request_of_sexp reqs)
     | _ -> wire_errorf "unknown request %S" name)
   | _ -> wire_errorf "malformed request"
@@ -299,6 +377,11 @@ let request_name = function
   | Lag -> "lag"
   | Compact -> "compact"
   | Metrics -> "metrics"
+  | Sync_digest -> "sync-digest"
+  | Sync_frames _ -> "sync-frames"
+  | Sync_ack _ -> "sync-ack"
+  | Conflicts -> "conflicts"
+  | Resolve _ -> "resolve"
   | Batch _ -> "batch"
 
 (* Mutations of the shared store/history/clock go through the
@@ -311,11 +394,15 @@ let request_name = function
    its writes group-commit together. *)
 let rec is_mutation = function
   | Install _ | Annotate _ | Run _ | Recall _ | Refresh _ | Compact -> true
+  (* the digest and frame pulls are reads of the wal FILE, which only
+     the writer loop may touch (like [Subscribe]'s backlog read) — so
+     they ride the writer too, not just the actual sync mutations *)
+  | Sync_digest | Sync_frames _ | Sync_ack _ | Resolve _ -> true
   | Batch reqs -> List.exists is_mutation reqs
   | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
   | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
   | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown | Subscribe _
-  | Repl_ack _ | Lag | Metrics ->
+  | Repl_ack _ | Lag | Metrics | Conflicts ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -392,6 +479,32 @@ let rec response_to_sexp = function
                [ S.atom r.lag_follower; S.int r.lag_acked; S.int r.lag_sent ])
            rows)
   | Ok_metrics ms -> S.field "ok-metrics" (List.map metric_to_sexp ms)
+  | Ok_digest { wsid; base; seq; fingerprint; cursors; entries } ->
+    S.field "ok-digest"
+      [ S.atom wsid; S.int base; S.int seq; S.atom fingerprint;
+        S.list
+          (List.map (fun (o, n) -> S.list [ S.atom o; S.int n ]) cursors);
+        S.list
+          (List.map (fun (s, d) -> S.list [ S.int s; S.atom d ]) entries) ]
+  | Ok_frames frames ->
+    S.field "ok-frames"
+      (List.map
+         (fun (seq, digest, payload) ->
+           S.list [ S.int seq; S.atom digest; S.atom payload ])
+         frames)
+  | Ok_sync { sy_applied; sy_skipped; sy_conflicts; sy_cursor } ->
+    S.field "ok-sync"
+      [ S.int sy_applied; S.int sy_skipped; S.int sy_conflicts;
+        S.int sy_cursor ]
+  | Ok_conflicts rows ->
+    S.field "ok-conflicts"
+      (List.map
+         (fun c ->
+           S.list
+             [ S.int c.cf_id; S.int c.cf_base; S.int c.cf_ours;
+               S.int c.cf_theirs; S.atom c.cf_origin; S.int c.cf_at;
+               (match c.cf_winner with None -> S.atom "-" | Some w -> S.int w) ])
+         rows)
   | Ok_batch resps -> S.field "ok-batch" (List.map response_to_sexp resps)
   | Error e ->
     S.field "error"
@@ -456,6 +569,52 @@ let rec response_of_sexp sexp =
                 | _ -> wire_errorf "malformed lag row")
               rows }
     | "ok-metrics", ms -> Ok_metrics (List.map metric_of_sexp ms)
+    | "ok-digest", [ wsid; base; seq; fp; cursors; entries ] ->
+      Ok_digest
+        { wsid = S.as_atom wsid; base = S.as_int base; seq = S.as_int seq;
+          fingerprint = S.as_atom fp;
+          cursors =
+            List.map
+              (fun s ->
+                match S.as_list s with
+                | [ o; n ] -> (S.as_atom o, S.as_int n)
+                | _ -> wire_errorf "malformed cursor")
+              (S.as_list cursors);
+          entries =
+            List.map
+              (fun s ->
+                match S.as_list s with
+                | [ seq; d ] -> (S.as_int seq, S.as_atom d)
+                | _ -> wire_errorf "malformed digest entry")
+              (S.as_list entries) }
+    | "ok-frames", frames ->
+      Ok_frames
+        (List.map
+           (fun s ->
+             match S.as_list s with
+             | [ seq; digest; payload ] ->
+               (S.as_int seq, S.as_atom digest, S.as_atom payload)
+             | _ -> wire_errorf "malformed sync frame")
+           frames)
+    | "ok-sync", [ a; s; c; cur ] ->
+      Ok_sync
+        { sy_applied = S.as_int a; sy_skipped = S.as_int s;
+          sy_conflicts = S.as_int c; sy_cursor = S.as_int cur }
+    | "ok-conflicts", rows ->
+      Ok_conflicts
+        (List.map
+           (fun s ->
+             match S.as_list s with
+             | [ id; base; ours; theirs; origin; at; winner ] ->
+               { cf_id = S.as_int id; cf_base = S.as_int base;
+                 cf_ours = S.as_int ours; cf_theirs = S.as_int theirs;
+                 cf_origin = S.as_atom origin; cf_at = S.as_int at;
+                 cf_winner =
+                   (match winner with
+                   | S.Atom "-" -> None
+                   | w -> Some (S.as_int w)) }
+             | _ -> wire_errorf "malformed conflict row")
+           rows)
     | "ok-batch", resps -> Ok_batch (List.map response_of_sexp resps)
     (* bare (error <msg>) is the pre-v4 dialect: unclassified, final *)
     | "error", [ m ] -> Error (E.make ~retryable:false `Internal (S.as_atom m))

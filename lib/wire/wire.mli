@@ -22,13 +22,16 @@ exception Wire_error of string
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (5).  The [Hello] handshake carries
+(** The dialect this build speaks (6).  The [Hello] handshake carries
     the client's version; a server refuses clients outside
     [[min_protocol_version, protocol_version]] with a typed error
     before serving anything else.  Version 4 added structured error
-    frames and the deadline header token; version 5 adds the
-    [Metrics] verb and the trace-context header token — both in slots
-    a v4 peer never sends, so v4 clients still interoperate. *)
+    frames and the deadline header token; version 5 added the
+    [Metrics] verb and the trace-context header token; version 6 adds
+    the anti-entropy sync verbs ([Sync_digest] / [Sync_frames] /
+    [Sync_ack]) and the conflict surface ([Conflicts] / [Resolve]) —
+    all in slots older peers never send, so v4/v5 clients still
+    interoperate unchanged. *)
 
 val min_protocol_version : int
 (** The oldest client dialect a server of this build accepts (4). *)
@@ -85,6 +88,22 @@ type request =
                                              a fresh snapshot now *)
   | Metrics                              (** the server's metrics registry
                                              snapshot (v5) *)
+  | Sync_digest
+      (** v6 anti-entropy handshake: the server's workspace id, journal
+          base/seq, wal digest (seqno → frame md5), per-origin applied
+          cursors and canonical state fingerprint — everything a peer
+          needs to locate the common prefix and resume a sync *)
+  | Sync_frames of { after : int; limit : int }
+      (** v6: pull at most [limit] wal frames with seqno > [after] *)
+  | Sync_ack of { origin : string; upto : int; frames : (int * string * string) list }
+      (** v6: deliver a batch of [origin]'s frames [(seqno, md5,
+          payload)] for application through the writer loop and
+          advance the persisted origin cursor to [upto]; an empty
+          batch just acknowledges.  This is the push half of a sync
+          round — a mutation. *)
+  | Conflicts                            (** v6: the sync-conflict registry *)
+  | Resolve of { conflict : int; winner : iid }
+      (** v6: pick the winning version of a surfaced conflict *)
   | Batch of request list
       (** a pipeline: the requests run in order and are answered
           positionally by one [Ok_batch] — one frame each way.  An
@@ -117,6 +136,23 @@ type lag_row = {
   lag_sent : int;                        (** last seqno sent to it *)
 }
 
+type conflict_row = {
+  cf_id : int;
+  cf_base : iid;                         (** the version both sides edited *)
+  cf_ours : iid;                         (** the local alternative *)
+  cf_theirs : iid;                       (** the synced-in alternative *)
+  cf_origin : string;                    (** wsid the remote branch came from *)
+  cf_at : int;
+  cf_winner : iid option;                (** [None] until resolved *)
+}
+
+type sync_stats = {
+  sy_applied : int;    (** frames whose effects were new here *)
+  sy_skipped : int;    (** frames deduplicated as already present *)
+  sy_conflicts : int;  (** divergences registered while applying *)
+  sy_cursor : int;     (** origin seqno applied through, persisted *)
+}
+
 type response =
   | Ok_unit
   | Ok_int of int                        (** fresh node / instance id *)
@@ -136,6 +172,21 @@ type response =
   | Ok_metrics of Ddf_obs.Metrics.metric list
       (** the server's metrics snapshot; histogram stats travel as hex
           floats so they round-trip exactly *)
+  | Ok_digest of {
+      wsid : string;
+      base : int;
+      seq : int;
+      fingerprint : string;
+          (** canonical identity-independent state digest: two peers
+              whose fingerprints agree hold the same design state even
+              though their iids may differ *)
+      cursors : (string * int) list;     (** origin wsid → applied seqno *)
+      entries : (int * string) list;     (** seqno → frame md5, ascending *)
+    }
+  | Ok_frames of (int * string * string) list
+      (** [(seqno, md5, payload)] — answers [Sync_frames] *)
+  | Ok_sync of sync_stats                (** answers [Sync_ack] *)
+  | Ok_conflicts of conflict_row list
   | Ok_batch of response list            (** positional answers to [Batch] *)
   | Error of Ddf_core.Error.t
       (** on the wire:

@@ -224,6 +224,47 @@ let compaction =
         output_string oc "(store (instances (garbage";
         close_out oc;
         reopened_equals dir final);
+    Alcotest.test_case "entries_since at exactly base_seq is the cutover"
+      `Quick (fun () ->
+        (* the snapshot covers [1..base_seq]: a follower that has
+           applied exactly base_seq entries needs Frames [], one entry
+           fewer needs a snapshot resync *)
+        with_dir @@ fun dir ->
+        let j = Journal.open_ ~dir Standard_schemas.odyssey in
+        let ctx = Journal.context j in
+        ignore (activity ctx 2);
+        Journal.compact j;
+        let base = Journal.base_seq j in
+        Alcotest.(check bool) "snapshot base advanced" true (base > 0);
+        (match Journal.entries_since j base with
+        | Journal.Frames [] -> ()
+        | Journal.Frames fs ->
+          Alcotest.failf "expected no frames, got %d" (List.length fs)
+        | Journal.Snapshot_needed ->
+          Alcotest.fail "base_seq itself must not demand a snapshot");
+        (match Journal.entries_since j (base - 1) with
+        | Journal.Snapshot_needed -> ()
+        | Journal.Frames _ ->
+          Alcotest.fail "pre-base seqnos were compacted away");
+        (* a post-compaction append is served from the fresh wal,
+           numbered base+1 *)
+        ignore
+          (Engine.install ctx ~entity:E.stimuli ~label:"tail"
+             (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ])));
+        (match Journal.entries_since j base with
+        | Journal.Frames [ (s, _) ] ->
+          Alcotest.(check int) "first wal frame is base+1" (base + 1) s
+        | Journal.Frames fs ->
+          Alcotest.failf "expected one frame, got %d" (List.length fs)
+        | Journal.Snapshot_needed ->
+          Alcotest.fail "base_seq itself must not demand a snapshot");
+        (* the sync reader draws the same boundary with a typed error *)
+        (match Journal.frames j ~after:(base - 1) ~limit:10 with
+        | _ -> Alcotest.fail "compacted frames must not be served"
+        | exception Error.Ddf_error e ->
+          Alcotest.(check bool) "typed `Conflict" true
+            (e.Error.code = `Conflict));
+        Journal.close j);
   ]
 
 let suite = [ ("journal", basics @ torn_tail @ compaction) ]
