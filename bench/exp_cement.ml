@@ -1,0 +1,297 @@
+(* Experiment C: tiered cemented history and streaming bootstrap.
+
+   Three questions about the cold tier:
+
+     - replay scaling: how long a restart takes as the journaled
+       history grows, for a journal that never compacts (wal replay is
+       linear in history) vs one that compacted into cement (snapshot
+       load + segment scan — flat, with the full history still
+       addressable by seqno);
+     - the cold tier itself: how much resident memory payload eviction
+       releases, and what a positioned cold read costs;
+     - follower bootstrap: wall time and peak-heap growth of a v7
+       streamed snapshot (bounded 256 KiB chunks spooled to disk)
+       vs the v6 monolithic resync (the whole state as one string).
+
+   Everything is exported as gauges for --json. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddf-bench-cement-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let word_bytes = Sys.word_size / 8
+let mib w = float_of_int (w * word_bytes) /. (1024.0 *. 1024.0)
+
+(* One light journal entry: a distinct stimuli install (distinct nets,
+   so payloads are not deduplicated away by content hash). *)
+let stim i =
+  Eda.Stimuli.exhaustive (List.init 5 (fun k -> Printf.sprintf "n%d_%d" i k))
+
+(* [n] install entries: state grows with history (the eviction
+   workload — every entry leaves a resident payload behind). *)
+let populate_installs ctx n =
+  let w = Workspace.of_session (Session.of_context ctx) in
+  for i = 1 to n do
+    ignore
+      (Workspace.install_stimuli w ~label:(Printf.sprintf "s%d" i) (stim i))
+  done
+
+(* [n] history entries over BOUNDED state: a small working set of
+   instances annotated over and over — the shape cement targets, where
+   the journal grows without the database growing.  Uncompacted, a
+   restart replays all [n] frames; compacted, it loads a constant-size
+   snapshot (and the history stays addressable in cement). *)
+let populate_history ctx n =
+  let w = Workspace.of_session (Session.of_context ctx) in
+  let base = 20 in
+  let iids =
+    Array.init base (fun i ->
+        Workspace.install_stimuli w ~label:(Printf.sprintf "s%d" i) (stim i))
+  in
+  let store = ctx.Engine.store in
+  for i = base + 1 to n do
+    Store.annotate store
+      iids.(i mod base)
+      ~label:(Printf.sprintf "rev%d" i)
+      ~comment:"bench revision" ~keywords:[] ()
+  done
+
+(* Build a database with [n] entries; [compacted] folds the whole
+   history into snapshot + cement before closing. *)
+let build ~style ~compacted n =
+  let dir = fresh_dir () in
+  let j = Journal.open_ ~dir Standard_schemas.odyssey in
+  style (Journal.context j) n;
+  if compacted then Journal.compact j;
+  Journal.close j;
+  dir
+
+let reopen_us dir =
+  Bench_util.time_us ~runs:3 (fun () ->
+      let j = Journal.open_ ~dir Standard_schemas.odyssey in
+      let seq = Journal.seq j in
+      Journal.close j;
+      seq)
+
+(* Resident live words with the database open (and optionally its cold
+   payloads evicted) — the restart memory footprint. *)
+let live_words ~evict dir =
+  let j = Journal.open_ ~dir Standard_schemas.odyssey in
+  if evict then ignore (Journal.evict_cold j);
+  Gc.full_major ();
+  let live = (Gc.stat ()).Gc.live_words in
+  Journal.close j;
+  live
+
+let sizes = [ 500; 1_000; 2_000; 4_000; 8_000 ]
+
+let replay_scaling () =
+  Bench_util.section
+    "replay scaling: restart cost vs history length, bounded state \
+     (median of 3)";
+  let rows =
+    List.map
+      (fun n ->
+        let wal_dir = build ~style:populate_history ~compacted:false n in
+        let cem_dir = build ~style:populate_history ~compacted:true n in
+        let wal_us = reopen_us wal_dir in
+        let cem_us = reopen_us cem_dir in
+        let wal_live = live_words ~evict:false wal_dir in
+        let cem_live = live_words ~evict:true cem_dir in
+        let segs, bytes =
+          let j = Journal.open_ ~dir:cem_dir Standard_schemas.odyssey in
+          let r =
+            match Journal.cement_stats j with
+            | Some (s, b, _, _) -> (s, b)
+            | None -> (0, 0)
+          in
+          Journal.close j;
+          r
+        in
+        Metrics.set
+          (Metrics.gauge (Printf.sprintf "cement.bench.replay_wal_us_%d" n))
+          wal_us;
+        Metrics.set
+          (Metrics.gauge (Printf.sprintf "cement.bench.replay_cem_us_%d" n))
+          cem_us;
+        rm_rf wal_dir;
+        rm_rf cem_dir;
+        [ string_of_int n;
+          Printf.sprintf "%.1f" (wal_us /. 1000.0);
+          Printf.sprintf "%.1f" (cem_us /. 1000.0);
+          Printf.sprintf "%.1f" (mib wal_live);
+          Printf.sprintf "%.1f" (mib cem_live);
+          string_of_int segs;
+          Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0) ])
+      sizes
+  in
+  Bench_util.print_table
+    [ "entries"; "wal replay ms"; "cemented ms"; "wal live MiB";
+      "evicted live MiB"; "segments"; "cement KiB" ]
+    rows
+
+let cold_tier () =
+  Bench_util.section "cold tier: eviction and positioned reads";
+  let n = List.nth sizes (List.length sizes - 1) in
+  let dir = build ~style:populate_installs ~compacted:true n in
+  let j = Journal.open_ ~dir Standard_schemas.odyssey in
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let evicted = Journal.evict_cold j in
+  Gc.full_major ();
+  let after = (Gc.stat ()).Gc.live_words in
+  let seq = Journal.seq j in
+  (* positioned reads across the whole cemented window, cold cache *)
+  let reads = 200 in
+  let read_us =
+    Bench_util.time_us ~runs:3 (fun () ->
+        for i = 1 to reads do
+          ignore (Journal.cold_frame j (1 + (i * 7 mod seq)))
+        done)
+    /. float_of_int reads
+  in
+  Journal.close j;
+  rm_rf dir;
+  Printf.printf
+    "  evicted %d payloads, releasing %.1f MiB of resident heap\n"
+    evicted
+    (mib (max 0 (before - after)));
+  Printf.printf "  cold frame read: %.1f us (index lookup + pread + checksum)\n"
+    read_us;
+  Metrics.set (Metrics.gauge "cement.bench.evicted") (float_of_int evicted);
+  Metrics.set (Metrics.gauge "cement.bench.evicted_mib")
+    (mib (max 0 (before - after)));
+  Metrics.set (Metrics.gauge "cement.bench.cold_read_us") read_us
+
+(* Follower bootstrap: one deep, compacted primary; subscribe from
+   seqno 0 at v7 (streamed) and v6 (monolithic).  The streamed pass
+   runs FIRST so the monotone top-of-heap checkpoint attributes any
+   growth to the pass that actually caused it. *)
+let bootstrap () =
+  let n = 400 in
+  (* heavyweight payloads (256-vector stimuli, ~20 KiB each) so the
+     snapshot is a few MiB and the two paths' peak memory diverges *)
+  let big_stim i =
+    Eda.Stimuli.exhaustive (List.init 8 (fun k -> Printf.sprintf "b%d_%d" i k))
+  in
+  Bench_util.section
+    (Printf.sprintf "follower bootstrap: %d-install snapshot, streamed vs monolithic" n);
+  let root = fresh_dir () in
+  Unix.mkdir root 0o755;
+  let psock = Filename.concat root "p.sock" in
+  let p =
+    Server.start
+      ~seed:(fun ctx -> ignore (Workspace.of_session (Session.of_context ctx)))
+      ~db:(Filename.concat root "p")
+      ~socket:psock Standard_schemas.odyssey
+  in
+  Client.with_client ~user:"bench-writer" ~socket:psock (fun cp ->
+      for i = 1 to n do
+        ignore
+          (Client.install cp ~entity:E.stimuli
+             ~label:(Printf.sprintf "s%d" i)
+             (Codec.value_to_sexp (Value.Stimuli (big_stim i))))
+      done;
+      Client.compact cp);
+  (* Each bootstrap runs in a forked child so its heap growth is the
+     follower's alone — in-process the server's chunk encoding would
+     drown the number being measured.  The child compacts its
+     inherited heap first, so any later growth is caused by the
+     bootstrap itself. *)
+  let bootstrap_once version =
+    let result = Filename.concat root (Printf.sprintf "boot-%d.out" version) in
+    match Unix.fork () with
+    | 0 ->
+      let status =
+        try
+          Gc.compact ();
+          let base = (Gc.stat ()).Gc.live_words in
+          (* live words at the handoff point — the follower's resident
+             requirement when it owns the complete snapshot.  Streamed,
+             the state is a spool file on disk (and mid-flight at most
+             one chunk is in memory by construction); monolithic, the
+             whole snapshot string must be live at once. *)
+          let peak = ref base in
+          let sample () = peak := max !peak (Gc.stat ()).Gc.live_words in
+          let t0 = Unix.gettimeofday () in
+          let feed =
+            Replica.Feed.connect ~version ~spool:root ~socket:psock ~since:0 ()
+          in
+          let bytes =
+            match Replica.Feed.next feed with
+            | Replica.Feed.Snapshot_file { path; _ } ->
+              Gc.full_major ();
+              sample ();
+              let b = (Unix.stat path).Unix.st_size in
+              Sys.remove path;
+              b
+            | Replica.Feed.Snapshot { data; _ } ->
+              Gc.full_major ();
+              sample ();
+              String.length (Sys.opaque_identity data)
+            | Replica.Feed.Frame _ -> failwith "expected a snapshot event"
+          in
+          Replica.Feed.close feed;
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let oc = open_out result in
+          Printf.fprintf oc "%d %f %d\n" bytes wall_ms (!peak - base);
+          close_out oc;
+          0
+        with _ -> 1
+      in
+      Unix._exit status
+    | pid ->
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith "bootstrap child failed");
+      let ic = open_in result in
+      let line = input_line ic in
+      close_in ic;
+      Sys.remove result;
+      Scanf.sscanf line "%d %f %d" (fun bytes wall_ms grew ->
+          (bytes, wall_ms, grew))
+  in
+  let s_bytes, s_ms, s_grew = bootstrap_once Wire.protocol_version in
+  let m_bytes, m_ms, m_grew = bootstrap_once 6 in
+  Server.stop p;
+  Server.wait p;
+  rm_rf root;
+  Printf.printf
+    "  snapshot %.1f KiB; chunk size %d KiB\n"
+    (float_of_int s_bytes /. 1024.0)
+    (Wire.snapshot_chunk_bytes / 1024);
+  Printf.printf
+    "  streamed (v7):   %.1f ms, peak live growth %.2f MiB (spooled to disk)\n"
+    s_ms (mib s_grew);
+  Printf.printf
+    "  monolithic (v6): %.1f ms, peak live growth %.2f MiB (one resident string)\n"
+    m_ms (mib m_grew);
+  ignore m_bytes;
+  Metrics.set (Metrics.gauge "cement.bench.snapshot_bytes")
+    (float_of_int s_bytes);
+  Metrics.set (Metrics.gauge "cement.bench.stream_ms") s_ms;
+  Metrics.set (Metrics.gauge "cement.bench.stream_heap_mib") (mib s_grew);
+  Metrics.set (Metrics.gauge "cement.bench.mono_ms") m_ms;
+  Metrics.set (Metrics.gauge "cement.bench.mono_heap_mib") (mib m_grew)
+
+(* Bootstrap first: the top-of-heap checkpoints it takes are monotone,
+   so it must run before the other phases warm the heap up. *)
+let run () =
+  bootstrap ();
+  replay_scaling ();
+  cold_tier ()

@@ -30,6 +30,8 @@ let experiments =
     ("T", "telemetry: tracing overhead on the write path", Exp_trace.run);
     ("Y", "anti-entropy sync: frames vs delta size, round latency",
      Exp_sync.run);
+    ("C", "tiered storage: cemented replay, cold reads, streamed bootstrap",
+     Exp_cement.run);
   ]
 
 let () =

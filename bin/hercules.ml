@@ -910,6 +910,27 @@ let remote_compact_cmd =
        ~doc:"Fold the server's journal into a fresh snapshot now.")
     Term.(const run $ remote_socket_arg $ remote_user_arg)
 
+let remote_export_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the snapshot here (atomically, via $(docv).tmp).")
+  in
+  let run socket user out =
+    with_remote socket user @@ fun c ->
+    let seq, bytes = Client.snapshot_export c ~out in
+    Printf.printf "exported snapshot at seq %d (%d bytes) to %s\n" seq bytes
+      out
+  in
+  Cmd.v
+    (Cmd.info "snapshot-export"
+       ~doc:"Compact the server and stream its snapshot to a local file in \
+             bounded chunks (wire v7) — a consistent online backup that \
+             never holds the state in memory on either side.")
+    Term.(const run $ remote_socket_arg $ remote_user_arg $ out)
+
 let remote_catalog_cmd =
   let which =
     Arg.(
@@ -1319,11 +1340,61 @@ let remote_cmd =
     (Cmd.info "remote"
        ~doc:"Talk to a $(b,hercules serve) daemon over its socket.")
     [ remote_ping_cmd; remote_stat_cmd; remote_lag_cmd; remote_compact_cmd;
+      remote_export_cmd;
       remote_catalog_cmd; remote_browse_cmd; remote_batch_cmd;
       remote_demo_cmd; remote_run_cmd; remote_trace_cmd; remote_refresh_cmd;
       remote_edit_cmd; remote_metrics_cmd; remote_digest_cmd;
       remote_conflicts_cmd;
       remote_resolve_cmd; remote_shutdown_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* hercules cement                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Offline inspection of a database's tiered cold store: opens only
+   [DIR/cemented] (no journal replay), so it is cheap even against a
+   deep history and safe against a database a daemon has open — the
+   segments are append-only and immutable once sealed. *)
+let cement_cmd =
+  let read_seq =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "read" ] ~docv:"SEQ"
+          ~doc:"Print the cemented frame payload for this seqno (a \
+                checksum-verified positioned read).")
+  in
+  let run db read_seq =
+    let dir = Filename.concat db "cemented" in
+    if not (Sys.file_exists dir) then begin
+      Printf.eprintf "no cemented history under %s\n" db;
+      exit 1
+    end;
+    let c = Cement.open_ ~dir in
+    Fun.protect ~finally:(fun () -> Cement.close c) @@ fun () ->
+    match read_seq with
+    | Some seqno -> (
+      match Cement.read c seqno with
+      | Some payload -> print_endline payload
+      | None ->
+        Printf.eprintf "seq %d is outside the cemented window %d..%d\n" seqno
+          (Cement.first_seq c) (Cement.last_seq c);
+        exit 1)
+    | None ->
+      Printf.printf "segments   %d\n" (Cement.segment_count c);
+      Printf.printf "bytes      %d\n" (Cement.total_bytes c);
+      Printf.printf "first-seq  %d\n" (Cement.first_seq c);
+      Printf.printf "last-seq   %d\n" (Cement.last_seq c);
+      if Cement.truncated_on_open c > 0 then
+        Printf.printf "truncated  %d bytes of torn tail dropped on open\n"
+          (Cement.truncated_on_open c)
+  in
+  Cmd.v
+    (Cmd.info "cement"
+       ~doc:"Inspect a database directory's tiered cold store (segment \
+             count, bytes, cemented seqno window), or read one cemented \
+             frame back.")
+    Term.(const run $ db_arg $ read_seq)
 
 (* ------------------------------------------------------------------ *)
 (* hercules sync                                                       *)
@@ -1604,5 +1675,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [ schema_cmd; flow_cmd; run_cmd; browse_cmd; demo_cmd; export_cmd;
             history_cmd; query_cmd; process_cmd; annotate_cmd;
-            recall_cmd; serve_cmd; remote_cmd; sync_cmd; top_cmd;
+            recall_cmd; serve_cmd; remote_cmd; cement_cmd; sync_cmd; top_cmd;
             trace_merge_cmd ]))

@@ -264,6 +264,9 @@ let unexpected req resp =
     | Wire.Ok_text _ -> "text" | Wire.Ok_nodes _ -> "nodes"
     | Wire.Ok_rows _ -> "rows" | Wire.Ok_stat _ -> "stat"
     | Wire.Ok_refresh _ -> "refresh" | Wire.Ok_snapshot _ -> "snapshot"
+    | Wire.Ok_snapshot_begin _ -> "snapshot-begin"
+    | Wire.Ok_snapshot_chunk _ -> "snapshot-chunk"
+    | Wire.Ok_snapshot_end _ -> "snapshot-end"
     | Wire.Ok_frame _ -> "frame" | Wire.Ok_lags _ -> "lags"
     | Wire.Ok_batch _ -> "batch" | Wire.Ok_metrics _ -> "metrics"
     | Wire.Ok_digest _ -> "digest" | Wire.Ok_frames _ -> "frames"
@@ -415,6 +418,64 @@ let conflicts t =
 
 let resolve t ~conflict ~winner =
   ok_unit t (Wire.Resolve { conflict; winner })
+
+(* ------------------------------------------------------------------ *)
+(* Streaming snapshot export (wire v7)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One request, many response frames — this cannot ride [call]'s
+   one-in-one-out machinery, so it speaks on the socket directly (and
+   never retries: the server compacts first, a mutation).  The
+   snapshot is spooled to [out ^ ".tmp"] chunk by chunk, verified
+   against the stream digest and renamed into place, so it never
+   exists as one in-memory string. *)
+let snapshot_export t ~out =
+  let fd = ensure_connected t in
+  let tmp = out ^ ".tmp" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        drop t;
+        client_errorf ~code:`Unavailable "%s" s)
+      fmt
+  in
+  let recv () =
+    match Wire.recv fd with
+    | Some sexp -> Wire.response_of_sexp sexp
+    | None -> fail "server closed the connection mid-export"
+    | exception Wire.Wire_error m -> fail "%s" m
+    | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e)
+  in
+  (match Wire.send fd (Wire.request_to_sexp Wire.Snapshot_export) with
+  | () -> ()
+  | exception Wire.Wire_error m -> fail "%s" m
+  | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
+  match recv () with
+  | Wire.Error err -> raise (E.Ddf_error err)
+  | Wire.Ok_snapshot_begin { seq; bytes } ->
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    let rec chunks received =
+      match recv () with
+      | Wire.Ok_snapshot_chunk { data } ->
+        output_string oc data;
+        chunks (received + String.length data)
+      | Wire.Ok_snapshot_end { digest } ->
+        close_out oc;
+        if received <> bytes then
+          fail "export ended short: %d of %d bytes" received bytes;
+        if not (String.equal (Digest.to_hex (Digest.file tmp)) digest) then
+          fail "export failed its checksum";
+        Sys.rename tmp out;
+        (seq, bytes)
+      | Wire.Error err ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise (E.Ddf_error err)
+      | resp -> unexpected Wire.Snapshot_export resp
+    in
+    chunks 0
+  | resp -> unexpected Wire.Snapshot_export resp
 
 (* ------------------------------------------------------------------ *)
 (* Result-typed variants                                               *)

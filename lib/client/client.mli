@@ -205,6 +205,16 @@ val metrics : t -> Ddf_obs.Metrics.metric list
     histograms with p50/p90/p99 quantiles — the payload behind
     [hercules remote metrics] and [hercules top]. *)
 
+val snapshot_export : t -> out:string -> int * int
+(** Ask the daemon to compact and stream its snapshot back in bounded
+    chunks (wire v7).  The stream is spooled to [out ^ ".tmp"],
+    verified against its digest and byte count, and renamed to [out];
+    at no point does the snapshot exist as one in-memory string.
+    Returns [(seq, bytes)] — the seqno the snapshot covers and its
+    size.  Never retried (the server compacts first, a mutation).
+    @raise Client_error on refusal (a pre-v7 negotiation) or a
+    corrupt/short stream. *)
+
 val batch : t -> Ddf_wire.Wire.request list -> Ddf_wire.Wire.response list
 (** Pipeline: send the requests as one [Batch] frame and return their
     responses positionally (always the same length as the input).  The

@@ -33,6 +33,7 @@ module Obs = Ddf_obs.Obs
 module Metrics = Ddf_obs.Metrics
 module Obs_sinks = Ddf_obs.Sinks
 module Journal = Ddf_journal.Journal
+module Cement = Ddf_cement.Cement
 module Wire = Ddf_wire.Wire
 module Replica = Ddf_replica.Replica
 module Server = Ddf_server.Server

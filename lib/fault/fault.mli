@@ -14,6 +14,11 @@
     - ["journal.torn_write"] a wal frame append ([Torn n] → only the
                              first [n] bytes reach the file, then the
                              append raises — a crash mid-write)
+    - ["journal.dir_fsync"]  the directory fsync pinning compaction and
+                             resync renames ([Fail] → dies exactly
+                             between the base write and the wal
+                             truncation — the crash window open-time
+                             repair recovers from)
     - ["wire.send"]          any framed socket send ([Torn n] → the
                              peer sees [n] bytes then a dead
                              connection)

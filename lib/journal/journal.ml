@@ -39,6 +39,7 @@ open Ddf_history
 module S = Ddf_persist.Sexp
 module W = Ddf_persist.Workspace_file
 module Codec = Ddf_persist.Codec
+module Cement = Ddf_cement.Cement
 
 exception Journal_error = Ddf_core.Error.Ddf_error
 (* Deprecated alias: the journal raises the shared typed error now. *)
@@ -53,6 +54,7 @@ let m_compactions = Ddf_obs.Metrics.counter "journal.compactions"
 let m_torn = Ddf_obs.Metrics.counter "journal.torn_tails"
 let m_syncs = Ddf_obs.Metrics.counter "journal.syncs"
 let h_batch = Ddf_obs.Metrics.histogram "journal.group_commit_batch"
+let h_compact = Ddf_obs.Metrics.histogram "journal.compact_seconds"
 
 (* When is an entry durable?
      [Always] - fsync inside every append: an entry is on disk before
@@ -93,6 +95,8 @@ type t = {
   compact_every : int;
   mutable j_sync_mode : sync_mode;
   mutable j_pending : int;           (* entries since the last durability point *)
+  j_cement_enabled : bool;
+  mutable j_cement : Cement.t option;  (* opened lazily on first fold *)
 }
 
 let context j = j.j_ctx
@@ -134,6 +138,9 @@ let check_writable j =
 let snapshot_path dir = Filename.concat dir "snapshot.ddf"
 let wal_path dir = Filename.concat dir "wal.ddf"
 let base_path dir = Filename.concat dir "base.ddf"
+let cemented_dir dir = Filename.concat dir "cemented"
+
+let snapshot_file j = snapshot_path j.j_dir
 
 (* The base seqno is a tiny self-checking text file, written atomically
    (tmp + rename) so a crash leaves either the old or the new base. *)
@@ -255,7 +262,21 @@ let resolve_to_sexp ~clock (c : History.conflict) winner =
 (* Replay                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let replay_entry ctx payload =
+(* [lenient] makes replay idempotent: an entry whose effect is already
+   present (same instance/record/conflict with identical content) is
+   skipped instead of raising "log out of order".  Only [replay_wal]
+   passes it — a crash inside [compact] between the snapshot rename and
+   the base.ddf write leaves a NEW snapshot with the OLD base and a
+   full wal, so restart replays entries the snapshot already folded in.
+   Divergent content under a replayed id still errors: leniency covers
+   exact re-application, never conflicting history.
+
+   Returns whether the entry changed anything: [false] means its whole
+   effect was already present.  A wal whose every entry replays as
+   [false] is a leftover from an interrupted compaction — [open_] uses
+   that signal (confirmed against the cement watermark) to finish the
+   truncation instead of double-counting the frames. *)
+let replay_entry ?(lenient = false) ctx payload =
   let sexp =
     try S.of_string payload
     with S.Sexp_error m -> journal_errorf "log entry: %s" m
@@ -275,17 +296,43 @@ let replay_entry ctx payload =
     let hash = Ddf_data.hash value in
     if hash <> stored_hash then
       journal_errorf "instance %d: content hash mismatch (log corrupt?)" iid;
-    let got = Store.put store ~entity ~hash ~meta value in
-    if got <> iid then
-      journal_errorf "log out of order: instance %d replayed as %d" iid got;
-    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+    let applied =
+      if lenient && Store.mem store iid then begin
+        let inst = Store.find store iid in
+        if inst.Store.entity <> entity || inst.Store.data_hash <> hash then
+          journal_errorf
+            "instance %d already present with different content (log \
+             corrupt?)"
+            iid;
+        false
+      end
+      else begin
+        let got = Store.put store ~entity ~hash ~meta value in
+        if got <> iid then
+          journal_errorf "log out of order: instance %d replayed as %d" iid
+            got;
+        true
+      end
+    in
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock;
+    applied
   | S.Atom "note" :: fields ->
     let iid = S.as_int (S.one "iid" (S.find_field fields "iid")) in
     let meta = W.meta_of_sexp (S.one "meta" (S.find_field fields "meta")) in
     if not (Store.mem store iid) then
       journal_errorf "annotation of unknown instance %d" iid;
-    Store.annotate store iid ~label:meta.Store.label
-      ~comment:meta.Store.comment ~keywords:meta.Store.keywords ()
+    let inst = Store.find store iid in
+    if
+      lenient
+      && inst.Store.meta.Store.label = meta.Store.label
+      && inst.Store.meta.Store.comment = meta.Store.comment
+      && inst.Store.meta.Store.keywords = meta.Store.keywords
+    then false
+    else begin
+      Store.annotate store iid ~label:meta.Store.label
+        ~comment:meta.Store.comment ~keywords:meta.Store.keywords ();
+      true
+    end
   | [ S.Atom "record"; clock_field; r ] ->
     let clock =
       match clock_field with
@@ -296,36 +343,68 @@ let replay_entry ctx payload =
       try W.record_of_sexp r
       with W.Persist_error m -> journal_errorf "record entry: %s" m
     in
-    let r =
-      History.add ctx.Ddf_exec.Engine.history ~task_entity:p.W.rp_task_entity
-        ~tool:p.W.rp_tool ~inputs:p.W.rp_inputs ~outputs:p.W.rp_outputs
-        ~at:p.W.rp_at
+    let history = ctx.Ddf_exec.Engine.history in
+    let applied =
+      if lenient && p.W.rp_rid < History.tick history then begin
+        (* raises if the claimed record was never actually replayed *)
+        ignore (History.find history p.W.rp_rid);
+        false
+      end
+      else begin
+        let r =
+          History.add history ~task_entity:p.W.rp_task_entity
+            ~tool:p.W.rp_tool ~inputs:p.W.rp_inputs ~outputs:p.W.rp_outputs
+            ~at:p.W.rp_at
+        in
+        if r.History.rid <> p.W.rp_rid then
+          journal_errorf "log out of order: record %d replayed as %d"
+            p.W.rp_rid r.History.rid;
+        true
+      end
     in
-    if r.History.rid <> p.W.rp_rid then
-      journal_errorf "log out of order: record %d replayed as %d" p.W.rp_rid
-        r.History.rid;
-    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock;
+    applied
   | S.Atom "conflict" :: fields ->
     let int_f name = S.as_int (S.one name (S.find_field fields name)) in
     let clock = int_f "clock" in
     let cid = int_f "id" in
-    let c =
-      History.add_conflict ctx.Ddf_exec.Engine.history ~base:(int_f "base")
-        ~ours:(int_f "ours") ~theirs:(int_f "theirs")
-        ~origin:(S.as_atom (S.one "origin" (S.find_field fields "origin")))
-        ~at:(int_f "at")
+    let history = ctx.Ddf_exec.Engine.history in
+    let applied =
+      if lenient && cid < History.conflict_tick history then begin
+        ignore (History.find_conflict history cid);
+        false
+      end
+      else begin
+        let c =
+          History.add_conflict history ~base:(int_f "base")
+            ~ours:(int_f "ours") ~theirs:(int_f "theirs")
+            ~origin:(S.as_atom (S.one "origin" (S.find_field fields "origin")))
+            ~at:(int_f "at")
+        in
+        if c.History.cid <> cid then
+          journal_errorf "log out of order: conflict %d replayed as %d" cid
+            c.History.cid;
+        true
+      end
     in
-    if c.History.cid <> cid then
-      journal_errorf "log out of order: conflict %d replayed as %d" cid
-        c.History.cid;
-    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock;
+    applied
   | S.Atom "resolve" :: fields ->
     let int_f name = S.as_int (S.one name (S.find_field fields name)) in
     let clock = int_f "clock" in
-    ignore
-      (History.resolve_conflict ctx.Ddf_exec.Engine.history (int_f "id")
-         ~winner:(int_f "winner"));
-    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock
+    let cid = int_f "id" in
+    let winner = int_f "winner" in
+    let history = ctx.Ddf_exec.Engine.history in
+    let already =
+      lenient
+      && (match History.find_conflict history cid with
+         | c -> c.History.c_winner = Some winner
+         | exception _ -> false)
+    in
+    if not already then
+      ignore (History.resolve_conflict history cid ~winner);
+    ctx.Ddf_exec.Engine.clock <- max ctx.Ddf_exec.Engine.clock clock;
+    not already
   | _ -> journal_errorf "unknown log entry kind"
 
 (* ------------------------------------------------------------------ *)
@@ -406,7 +485,15 @@ let fsync_oc oc =
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 
+(* Directory fsync: a rename is only durable once the directory entry
+   itself reaches disk — without this, a power cut after [compact] or
+   [reset_to_snapshot] can resurrect the pre-rename snapshot/base.
+   Real I/O errors are swallowed (the fsync is belt-and-braces on
+   filesystems that journal renames anyway), but the
+   [journal.dir_fsync] crash point fires through so the fault sweep
+   can kill the process exactly here. *)
 let fsync_dir dir =
+  Fault.fire "journal.dir_fsync";
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | fd ->
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
@@ -429,19 +516,26 @@ let sync j =
   end
 
 (* Replay wal.ddf into [ctx]; returns (entries, torn-tail bytes
-   dropped).  The file is truncated at the first torn frame. *)
+   dropped, entries that actually applied something new).  The file is
+   truncated at the first torn frame.  [applied] = 0 with entries > 0
+   means the snapshot already held everything — the signal [open_]
+   uses to detect a compaction that crashed between its base write and
+   its wal truncation. *)
 let replay_wal ctx path =
-  if not (Sys.file_exists path) then (0, 0)
+  if not (Sys.file_exists path) then (0, 0, 0)
   else begin
     let ic = open_in_bin path in
     let total = in_channel_length ic in
     let entries = ref 0 in
+    let applied = ref 0 in
     let good_end =
       let rec go () =
         match read_frame ic with
         | None -> pos_in ic
         | Some payload ->
-          replay_entry ctx payload;
+          (* lenient: a crash inside [compact] can leave a snapshot
+             that already folded in a prefix of this wal *)
+          if replay_entry ~lenient:true ctx payload then incr applied;
           incr entries;
           Ddf_obs.Metrics.incr m_replayed;
           go ()
@@ -454,10 +548,102 @@ let replay_wal ctx path =
       Ddf_obs.Metrics.incr m_torn;
       Unix.truncate path good_end
     end;
-    (!entries, torn)
+    (!entries, torn, !applied)
   end
 
-let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group) ~dir schema =
+(* ------------------------------------------------------------------ *)
+(* Tiered cold storage (the cement store)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The cement handle, opened lazily: a database that never compacts
+   never creates [cemented/].  Once it exists it is reopened eagerly
+   by [open_] so cold reads work before the first fold. *)
+let cement_store j =
+  match j.j_cement with
+  | Some c -> c
+  | None ->
+    let c = Cement.open_ ~dir:(cemented_dir j.j_dir) in
+    j.j_cement <- Some c;
+    c
+
+let cement_stats j =
+  match j.j_cement with
+  | None -> None
+  | Some c ->
+    Some
+      (Cement.segment_count c, Cement.total_bytes c, Cement.first_seq c,
+       Cement.last_seq c)
+
+(* A cemented frame payload by seqno — the cold half of the log. *)
+let cold_frame j seqno =
+  match j.j_cement with None -> None | Some c -> Cement.read c seqno
+
+(* The store's cold-load path: re-read an evicted payload from the
+   cemented put frame that installed it.  The frame checksum was
+   verified by [Cement]; the content hash is re-verified here exactly
+   like live replay does. *)
+let cold_put_value j iid =
+  match j.j_cement with
+  | None -> None
+  | Some c -> (
+    match Cement.find_put c ~iid with
+    | None -> None
+    | Some payload -> (
+      let sexp =
+        try S.of_string payload
+        with S.Sexp_error m -> journal_errorf "cemented entry: %s" m
+      in
+      match S.as_list sexp with
+      | S.Atom "put" :: fields ->
+        let stored_hash =
+          S.as_atom (S.one "hash" (S.find_field fields "hash"))
+        in
+        let value =
+          try Codec.value_of_sexp (S.one "value" (S.find_field fields "value"))
+          with Codec.Codec_error m ->
+            journal_errorf "cemented entry for #%d: %s" iid m
+        in
+        if Ddf_data.hash value <> stored_hash then
+          journal_errorf "cemented instance %d: content hash mismatch" iid;
+        Some value
+      | _ -> None))
+
+let install_cold_loader j =
+  if j.j_cement_enabled then
+    Store.set_cold_loader j.j_ctx.Ddf_exec.Engine.store (cold_put_value j)
+
+(* Evict resident payloads whose every owning instance can be cold-
+   loaded back from cement.  Payloads are shared by content hash, so a
+   hash is only droppable when ALL its owners' installing puts are
+   cemented; one [Store.evict] per hash drops it for every owner.
+   Returns the number of payloads evicted. *)
+let evict_cold j =
+  match j.j_cement with
+  | None -> 0
+  | Some c ->
+    let store = j.j_ctx.Ddf_exec.Engine.store in
+    let cold = Hashtbl.create 256 in
+    Cement.iter_puts c (fun iid -> Hashtbl.replace cold iid ());
+    let owners = Hashtbl.create 256 in
+    (* hash -> (droppable so far, representative iid) *)
+    List.iter
+      (fun iid ->
+        let h = Store.hash_of store iid in
+        let ok = Hashtbl.mem cold iid in
+        match Hashtbl.find_opt owners h with
+        | None -> Hashtbl.replace owners h (ok, iid)
+        | Some (all_ok, rep) -> Hashtbl.replace owners h (all_ok && ok, rep))
+      (Store.all_instances store);
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun _h (all_ok, rep) ->
+        if all_ok && Store.payload_resident store rep && Store.evict store rep
+        then incr n)
+      owners;
+    !n
+
+let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group)
+    ?(cement = true) ~dir schema =
   if compact_every < 1 then journal_errorf "compact_every must be positive";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   if not (Sys.is_directory dir) then journal_errorf "%s is not a directory" dir;
@@ -470,7 +656,7 @@ let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group) ~dir schema =
       Ddf_session.Session.context session
     else Ddf_exec.Engine.create_context ?registry schema
   in
-  let entries, torn = replay_wal ctx (wal_path dir) in
+  let entries, torn, applied = replay_wal ctx (wal_path dir) in
   (* counters were restored by dense re-insertion; assert the ticks
      agree with the contents before trusting the database *)
   let store = ctx.Ddf_exec.Engine.store in
@@ -490,15 +676,82 @@ let open_ ?registry ?(compact_every = 10_000) ?(sync_mode = Group) ~dir schema =
       j_entries = entries; j_base = base; j_seq = base + entries;
       j_truncated = torn; j_closed = false; j_failed = None;
       j_frame_obs = None; compact_every;
-      j_sync_mode = sync_mode; j_pending = 0 }
+      j_sync_mode = sync_mode; j_pending = 0;
+      j_cement_enabled = cement; j_cement = None }
   in
+  (* reopen an existing cement store eagerly so cold reads (and torn-
+     tail recovery on its newest segment) happen now, not mid-query *)
+  if cement && Sys.file_exists (cemented_dir dir) then
+    ignore (cement_store j);
+  (* Crash between compact's base write and its wal truncation: replay
+     proved the wal fully redundant (nothing applied) while the cement
+     watermark sits exactly at the new base — so these frames are the
+     pre-compaction wal, already folded into both snapshot and cement.
+     Complete the interrupted truncation instead of double-counting
+     them into the seqno line.  (The other crash window — snapshot
+     renamed, base still old — is left alone: there the cement
+     watermark equals base + entries, not base.) *)
+  if applied = 0 && entries > 0 then
+    (match j.j_cement with
+    | Some c when Cement.last_seq c = base && base > 0 ->
+      close_out j.j_oc;
+      j.j_oc <-
+        open_out_gen
+          [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+          0o644 (wal_path dir);
+      j.j_entries <- 0;
+      j.j_seq <- base
+    | _ -> ());
+  install_cold_loader j;
   attach j;
   j
+
+(* Wal entries with seqno > [since], as (seqno, payload) ascending.
+   Reads the file back from its start (the i-th frame is entry
+   base+i); callers must exclude writers so the file ends exactly at
+   the last complete frame. *)
+let wal_tail j since =
+  flush j.j_oc;
+  if not (Sys.file_exists (wal_path j.j_dir)) then []
+  else begin
+    let ic = open_in_bin (wal_path j.j_dir) in
+    let frames = ref [] in
+    let n = ref j.j_base in
+    (try
+       let rec go () =
+         match read_frame ic with
+         | None -> ()
+         | Some payload ->
+           incr n;
+           if !n > since then frames := (!n, payload) :: !frames;
+           go ()
+       in
+       (try go () with Torn at -> journal_errorf "wal torn mid-read at %d" at)
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    close_in ic;
+    List.rev !frames
+  end
 
 let compact j =
   if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   check_writable j;
   Ddf_obs.Metrics.incr m_compactions;
+  let t0 = Unix.gettimeofday () in
+  (* Cement first: the wal frames about to be folded into the snapshot
+     move to cold storage instead of vanishing.  [Cement.fold] is
+     durable on return and skips already-cemented seqnos, so a crash
+     anywhere in compact leaves fold idempotent on retry. *)
+  (if j.j_cement_enabled && j.j_entries > 0 then begin
+     let c = cement_store j in
+     (* a cold store that stops short of the current base (cement was
+        disabled for a while, or the directory was copied from another
+        line) cannot be extended contiguously: start over *)
+     if Cement.last_seq c <> 0 && Cement.last_seq c < j.j_base then
+       Cement.clear c;
+     Cement.fold c ~first:(j.j_base + 1) (wal_tail j j.j_base)
+   end);
   let tmp = snapshot_path j.j_dir ^ ".tmp" in
   let oc = open_out tmp in
   (try
@@ -511,8 +764,11 @@ let compact j =
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp (snapshot_path j.j_dir);
-  fsync_dir j.j_dir;
   write_base j.j_dir j.j_seq;
+  (* one directory fsync pins BOTH renames (snapshot.ddf and base.ddf):
+     without it a power cut can resurrect the old directory entries
+     even though both files were themselves fsynced *)
+  fsync_dir j.j_dir;
   (* the log's contents are folded into the snapshot: restart it *)
   close_out j.j_oc;
   j.j_oc <-
@@ -523,7 +779,8 @@ let compact j =
   j.j_base <- j.j_seq;
   (* every journaled entry is folded into the fsynced snapshot: this is
      a durability point even for entries not yet fsynced in the wal *)
-  j.j_pending <- 0
+  j.j_pending <- 0;
+  Ddf_obs.Metrics.observe h_compact (Unix.gettimeofday () -. t0)
 
 let maybe_compact j =
   if (not j.j_closed) && j.j_entries >= j.compact_every then begin
@@ -546,6 +803,7 @@ let close j =
     | () -> ()
     | exception _ -> j.j_failed <- Some "fsync failed during close");
     close_out_noerr j.j_oc;
+    (match j.j_cement with Some c -> Cement.close c | None -> ());
     j.j_closed <- true
   end
 
@@ -568,27 +826,7 @@ let entries_since j since =
   if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   if since < j.j_base then Snapshot_needed
   else if since >= j.j_seq then Frames []
-  else begin
-    flush j.j_oc;
-    let ic = open_in_bin (wal_path j.j_dir) in
-    let frames = ref [] in
-    let n = ref j.j_base in
-    (try
-       let rec go () =
-         match read_frame ic with
-         | None -> ()
-         | Some payload ->
-           incr n;
-           if !n > since then frames := (!n, payload) :: !frames;
-           go ()
-       in
-       (try go () with Torn at -> journal_errorf "wal torn mid-read at %d" at)
-     with e ->
-       close_in_noerr ic;
-       raise e);
-    close_in ic;
-    Frames (List.rev !frames)
-  end
+  else Frames (wal_tail j since)
 
 (* Anti-entropy support: the digest a peer compares against, and exact
    frame extraction by seqno window.  Both read the wal back from disk
@@ -625,14 +863,40 @@ let digest j =
   end
 
 (* At most [limit] frames with seqno > [after], as (seqno, md5,
-   payload) ascending.  Asking below the snapshot base is a typed
-   conflict: those frames were folded away and cannot be served. *)
-let frames j ~after ~limit =
+   payload) ascending.  Frames below the snapshot base are served from
+   the cement store when it covers them (positioned reads, no replay);
+   asking below both is a typed conflict: those frames are gone. *)
+let rec frames j ~after ~limit =
   if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   if limit < 0 then journal_errorf ~code:`Invalid "negative frame limit";
-  if after < j.j_base then
-    journal_errorf ~code:`Conflict
-      "frames before %d were compacted away (asked for > %d)" j.j_base after;
+  if after < j.j_base then begin
+    let served_cold =
+      match j.j_cement with
+      | Some c
+        when Cement.first_seq c <> 0 && after + 1 >= Cement.first_seq c ->
+        let out = ref [] in
+        let taken = ref 0 in
+        Cement.iter_range c ~from:(after + 1)
+          ~upto:(min j.j_base (after + limit))
+          (fun seqno payload ->
+            if !taken < limit then begin
+              incr taken;
+              out := (seqno, frame_digest payload, payload) :: !out
+            end);
+        Some (List.rev !out)
+      | Some _ | None -> None
+    in
+    match served_cold with
+    | None ->
+      journal_errorf ~code:`Conflict
+        "frames before %d were compacted away (asked for > %d)" j.j_base after
+    | Some cold ->
+      let got = List.length cold in
+      if got < limit then
+        cold @ frames j ~after:j.j_base ~limit:(limit - got)
+      else cold
+  end
+  else begin
   flush j.j_oc;
   if after >= j.j_seq || limit = 0 then []
   else begin
@@ -659,6 +923,7 @@ let frames j ~after ~limit =
        raise e);
     close_in ic;
     List.rev !out
+  end
   end
 
 (* A stable workspace identity for the sync fabric, minted on first
@@ -722,7 +987,7 @@ let apply j ~seq payload =
     journal_errorf ~code:`Conflict "replication gap: expected entry %d, got %d"
       (j.j_seq + 1) seq;
   detach j;
-  (try replay_entry j.j_ctx payload
+  (try ignore (replay_entry j.j_ctx payload : bool)
    with e ->
      attach j;
      raise e);
@@ -747,6 +1012,32 @@ let apply j ~seq payload =
    rename, base.ddf, truncated wal — then the in-memory context is
    swapped to the freshly loaded store/history/clock in place, so
    sessions holding the context observe the new state. *)
+(* Shared tail of both reset flavours, entered with the new
+   snapshot.ddf already renamed into place and observers detached. *)
+let finish_reset j ~seq fresh =
+  write_base j.j_dir seq;
+  (* one directory fsync pins both renames (snapshot + base) *)
+  fsync_dir j.j_dir;
+  close_out j.j_oc;
+  j.j_oc <-
+    open_out_gen
+      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+      0o644 (wal_path j.j_dir);
+  j.j_ctx.Ddf_exec.Engine.store <- fresh.Ddf_exec.Engine.store;
+  j.j_ctx.Ddf_exec.Engine.history <- fresh.Ddf_exec.Engine.history;
+  j.j_ctx.Ddf_exec.Engine.clock <- fresh.Ddf_exec.Engine.clock;
+  j.j_entries <- 0;
+  j.j_base <- seq;
+  j.j_seq <- seq;
+  j.j_pending <- 0;
+  (* the resync rebased the seqno line: the cemented history belongs
+     to the pre-reset database and can never be extended contiguously *)
+  (match j.j_cement with Some c -> Cement.clear c | None -> ());
+  (* the fresh store needs the cold loader re-wired (it replaced the
+     one the loader was installed on) *)
+  install_cold_loader j;
+  attach j
+
 let reset_to_snapshot j ~seq data =
   if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
   Ddf_obs.Metrics.incr m_resyncs;
@@ -768,18 +1059,64 @@ let reset_to_snapshot j ~seq data =
      attach j;
      raise e);
   Sys.rename tmp (snapshot_path j.j_dir);
-  fsync_dir j.j_dir;
-  write_base j.j_dir seq;
-  close_out j.j_oc;
-  j.j_oc <-
-    open_out_gen
-      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
-      0o644 (wal_path j.j_dir);
-  j.j_ctx.Ddf_exec.Engine.store <- fresh.Ddf_exec.Engine.store;
-  j.j_ctx.Ddf_exec.Engine.history <- fresh.Ddf_exec.Engine.history;
-  j.j_ctx.Ddf_exec.Engine.clock <- fresh.Ddf_exec.Engine.clock;
-  j.j_entries <- 0;
-  j.j_base <- seq;
-  j.j_seq <- seq;
-  j.j_pending <- 0;
-  attach j
+  finish_reset j ~seq fresh
+
+let m_stream_resyncs = Ddf_obs.Metrics.counter "journal.snapshot_stream_resyncs"
+
+(* Move [src] over [dst] — rename when the spool shares the
+   filesystem, copy-then-rename when it does not. *)
+let rename_or_copy src dst =
+  try Sys.rename src dst
+  with Sys_error _ ->
+    let ic = open_in_bin src in
+    let tmp = dst ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       let buf = Bytes.create 65536 in
+       let rec loop () =
+         let n = input ic buf 0 (Bytes.length buf) in
+         if n > 0 then begin
+           output oc buf 0 n;
+           loop ()
+         end
+       in
+       loop ();
+       fsync_oc oc;
+       close_out oc;
+       close_in ic
+     with e ->
+       close_out_noerr oc;
+       close_in_noerr ic;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp dst;
+    try Sys.remove src with Sys_error _ -> ()
+
+(* The streaming flavour of [reset_to_snapshot]: [path] holds a
+   workspace save spooled to disk in bounded chunks (a streamed
+   bootstrap), so the snapshot bytes never exist as one in-memory
+   string here.  The file is parsed FIRST — a malformed stream must
+   not clobber the database — then fsynced and renamed into place. *)
+let reset_to_snapshot_file j ~seq path =
+  if j.j_closed then journal_errorf ~code:`Unavailable "journal is closed";
+  Ddf_obs.Metrics.incr m_resyncs;
+  Ddf_obs.Metrics.incr m_stream_resyncs;
+  let session =
+    try W.load_file ?registry:j.j_registry j.j_ctx.Ddf_exec.Engine.schema path
+    with W.Persist_error m -> journal_errorf "replication snapshot: %s" m
+  in
+  let fresh = Ddf_session.Session.context session in
+  detach j;
+  (match
+     (match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+     | fd ->
+       (try Unix.fsync fd with Unix.Unix_error _ -> ());
+       Unix.close fd
+     | exception Unix.Unix_error _ -> ());
+     rename_or_copy path (snapshot_path j.j_dir)
+   with
+  | () -> ()
+  | exception e ->
+    attach j;
+    raise e);
+  finish_reset j ~seq fresh

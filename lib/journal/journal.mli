@@ -44,6 +44,7 @@ val open_ :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?compact_every:int ->
   ?sync_mode:sync_mode ->
+  ?cement:bool ->
   dir:string -> Ddf_schema.Schema.t -> t
 (** Open a database directory (created when missing): load
     [snapshot.ddf] if present, replay [wal.ddf] (truncating a torn
@@ -51,6 +52,9 @@ val open_ :
     subsequent mutations are journaled.  [compact_every] (default
     10_000) is the log-entry threshold {!maybe_compact} acts on.
     [sync_mode] (default {!Group}) sets when entries become durable.
+    [cement] (default [true]) keeps compacted history in the tiered
+    cold store (see the {!section-cement} section); [false] restores
+    the old discard-on-compact behaviour.
     @raise Journal_error on corruption before the tail (iid/rid or
     content-hash mismatches). *)
 
@@ -87,7 +91,11 @@ val sync : t -> unit
 
 val compact : t -> unit
 (** Write a fresh snapshot (atomically, via rename) and truncate the
-    log. *)
+    log.  With cement enabled the truncated frames are first folded
+    into the cold store, so the full history stays addressable by
+    seqno.  The snapshot and base renames are pinned by a directory
+    fsync (crash point [journal.dir_fsync]); the whole operation is
+    timed into the [journal.compact_seconds] histogram. *)
 
 val maybe_compact : t -> bool
 (** {!compact} when the log has reached [compact_every] entries;
@@ -148,9 +156,11 @@ val digest : t -> (int * string) list
 
 val frames : t -> after:int -> limit:int -> (int * string * string) list
 (** At most [limit] frames with seqno > [after], as
-    [(seqno, md5, payload)] ascending.
-    @raise Journal_error ([`Conflict]) when [after] predates
-    [base_seq]: those frames were compacted away. *)
+    [(seqno, md5, payload)] ascending.  Frames below [base_seq] are
+    served from the cement store when it covers them (positioned
+    reads), transparently continuing into the wal.
+    @raise Journal_error ([`Conflict]) when [after] predates both the
+    cemented window and [base_seq]: those frames are gone. *)
 
 val frame_digest : string -> string
 (** The md5 hex a frame header (and {!digest}) carries for a payload. *)
@@ -169,4 +179,49 @@ val apply : t -> seq:int -> string -> unit
 val reset_to_snapshot : t -> seq:int -> string -> unit
 (** Follower-side resync: replace the whole database (disk and the
     live context, in place) with a primary snapshot taken at [seq].
+    Clears the cement store — its history belongs to the pre-reset
+    seqno line.
     @raise Journal_error when the snapshot does not parse. *)
+
+val reset_to_snapshot_file : t -> seq:int -> string -> unit
+(** Like {!reset_to_snapshot} but the snapshot was spooled to the
+    given file path in bounded chunks (a streamed bootstrap), so the
+    state never exists as one in-memory string.  The file is parsed
+    first — a malformed stream leaves the database untouched — then
+    fsynced and renamed (or copied across filesystems) into place.
+    Counts [journal.snapshot_stream_resyncs] on top of
+    [journal.snapshot_resyncs].
+    @raise Journal_error when the file does not parse. *)
+
+val snapshot_file : t -> string
+(** Path of [snapshot.ddf] in this database directory — the file a
+    primary streams to bootstrap a follower.  Exists whenever
+    [base_seq t > 0]. *)
+
+(** {1:cement Tiered cold storage}
+
+    With cement enabled (the {!open_} default), {!compact} folds the
+    wal frames it is about to truncate into an append-only, indexed
+    cold store under [cemented/] (see {!Ddf_cement.Cement}).  The full
+    journaled history 1..seq then stays addressable: seqnos at or
+    below [base_seq] resolve by positioned reads against cement,
+    seqnos above it live in the wal.  The store's heavy payloads can
+    be evicted from memory and reloaded on demand from their cemented
+    put frames. *)
+
+val cement_stats : t -> (int * int * int * int) option
+(** [(segments, bytes, first_seq, last_seq)] of the cement store, or
+    [None] when nothing has been cemented (or cement is disabled). *)
+
+val cold_frame : t -> int -> string option
+(** The cemented frame payload for a seqno — one index lookup and one
+    checksum-verified positioned read; [None] outside the cemented
+    window. *)
+
+val evict_cold : t -> int
+(** Evict resident payloads whose every owning instance can be
+    reloaded from cement (payloads are shared by content hash, so a
+    payload only leaves memory when all its owners' puts are
+    cemented).  Instance meta-data always stays resident.  Returns the
+    number of payloads evicted; later reads reload and re-promote them
+    transparently ([store.cold_loads]). *)

@@ -27,10 +27,38 @@ let replica_errorf fmt = Printf.ksprintf (fun s -> raise (Replica_error s)) fmt
 
 let m_frames_sent = Metrics.counter "replica.frames_sent"
 let m_snapshots_sent = Metrics.counter "replica.snapshots_sent"
+let m_snapshots_streamed = Metrics.counter "replica.snapshots_streamed"
 let m_evicted = Metrics.counter "replica.followers_evicted"
 let m_reconnects = Metrics.counter "replica.follower_reconnects"
 
 let digest_hex payload = Digest.to_hex (Digest.string payload)
+
+(* Stream a pinned snapshot descriptor as begin/chunk/end frames.  The
+   caller opened [fd] while the writer was excluded, so the descriptor
+   pins the snapshot inode — a later compaction renames a fresh file
+   into place but cannot disturb these bytes.  Two passes: one for the
+   md5, one for the chunks; at no point is more than one chunk in
+   memory.  Closes [fd].  [send] must raise to abort the stream. *)
+let stream_snapshot ~send ~seq fd =
+  let ic = Unix.in_channel_of_descr fd in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let size = in_channel_length ic in
+  seek_in ic 0;
+  let digest = Digest.to_hex (Digest.channel ic size) in
+  seek_in ic 0;
+  send (Wire.Ok_snapshot_begin { seq; bytes = size });
+  let buf = Bytes.create Wire.snapshot_chunk_bytes in
+  let rec go remaining =
+    if remaining > 0 then begin
+      let k = min remaining (Bytes.length buf) in
+      really_input ic buf 0 k;
+      send (Wire.Ok_snapshot_chunk { data = Bytes.sub_string buf 0 k });
+      go (remaining - k)
+    end
+  in
+  go size;
+  send (Wire.Ok_snapshot_end { digest });
+  Metrics.incr m_snapshots_streamed
 
 (* ------------------------------------------------------------------ *)
 (* Feed: the follower's view of the stream                             *)
@@ -39,14 +67,17 @@ let digest_hex payload = Digest.to_hex (Digest.string payload)
 module Feed = struct
   type event =
     | Snapshot of { seq : int; data : string }
+    | Snapshot_file of { seq : int; path : string }
     | Frame of { seq : int; payload : string; trace : Obs.span_ctx option }
 
   type t = {
     fd : Unix.file_descr;
+    spool : string;
     mutable closed : bool;
   }
 
-  let connect ?(user = "follower") ~socket ~since () =
+  let connect ?(user = "follower") ?(version = Wire.protocol_version)
+      ?(spool = Filename.get_temp_dir_name ()) ~socket ~since () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     let fail fmt =
       Printf.ksprintf
@@ -59,9 +90,7 @@ module Feed = struct
     | () -> ()
     | exception Unix.Unix_error (e, _, _) ->
       fail "cannot connect to primary %s: %s" socket (Unix.error_message e));
-    let hello =
-      Wire.Hello { user; version = Wire.protocol_version }
-    in
+    let hello = Wire.Hello { user; version } in
     (match
        Wire.send fd (Wire.request_to_sexp hello);
        Wire.recv fd
@@ -77,7 +106,50 @@ module Feed = struct
     (match Wire.send fd (Wire.request_to_sexp (Wire.Subscribe since)) with
     | () -> ()
     | exception Wire.Wire_error m -> fail "%s" m);
-    { fd; closed = false }
+    { fd; spool; closed = false }
+
+  (* Reassemble a streamed snapshot into a spool file: after
+     [Ok_snapshot_begin] only chunk frames may arrive until
+     [Ok_snapshot_end], whose digest covers the whole reassembled
+     file.  Only one chunk is ever held in memory. *)
+  let spool_snapshot t ~seq ~bytes =
+    let path =
+      try Filename.temp_file ~temp_dir:t.spool "snapshot" ".spool"
+      with Sys_error m -> replica_errorf "cannot spool snapshot: %s" m
+    in
+    let oc = open_out_bin path in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          close_out_noerr oc;
+          (try Sys.remove path with Sys_error _ -> ());
+          raise (Replica_error s))
+        fmt
+    in
+    let rec chunks received =
+      match Wire.recv t.fd with
+      | None -> fail "primary closed the stream mid-snapshot"
+      | exception Wire.Wire_error m -> fail "%s" m
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "snapshot stream: %s" (Unix.error_message e)
+      | Some sexp -> (
+        match Wire.response_of_sexp sexp with
+        | Wire.Ok_snapshot_chunk { data } ->
+          output_string oc data;
+          chunks (received + String.length data)
+        | Wire.Ok_snapshot_end { digest } ->
+          if received <> bytes then
+            fail "snapshot stream ended short: %d of %d bytes" received bytes;
+          close_out oc;
+          if not (String.equal (Digest.to_hex (Digest.file path)) digest) then begin
+            (try Sys.remove path with Sys_error _ -> ());
+            replica_errorf "snapshot stream failed its checksum"
+          end;
+          Snapshot_file { seq; path }
+        | Wire.Error err -> fail "primary: %s" (Ddf_core.Error.to_string err)
+        | _ -> fail "unexpected message inside a snapshot stream")
+    in
+    chunks 0
 
   let next t =
     if t.closed then replica_errorf "feed is closed";
@@ -89,6 +161,7 @@ module Feed = struct
     | Some (sexp, meta) -> (
       match Wire.response_of_sexp sexp with
       | Wire.Ok_snapshot { seq; data } -> Snapshot { seq; data }
+      | Wire.Ok_snapshot_begin { seq; bytes } -> spool_snapshot t ~seq ~bytes
       | Wire.Ok_frame { seq; payload; digest } ->
         if not (String.equal (digest_hex payload) digest) then
           replica_errorf "frame %d failed its checksum in transit" seq;
@@ -122,6 +195,12 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Outbox = struct
+  type msg =
+    | Resp of Wire.response
+    | Stream_snapshot of { sf_seq : int; sf_fd : Unix.file_descr }
+        (* a snapshot to stream as begin/chunk/end; the descriptor was
+           opened with the writer excluded, pinning the inode *)
+
   type t = {
     ob_name : string;
     ob_fd : Unix.file_descr;
@@ -130,7 +209,7 @@ module Outbox = struct
     ob_c : Condition.t;
     (* each queued message keeps the span context of the write that
        produced it, so the frame's header carries the trace onward *)
-    ob_q : (Wire.response * Obs.span_ctx option) Queue.t;
+    ob_q : (msg * Obs.span_ctx option) Queue.t;
     mutable ob_dead : bool;
     mutable ob_sent : int;   (* highest seqno enqueued for this follower *)
     mutable ob_acked : int;  (* highest seqno it acknowledged *)
@@ -140,6 +219,13 @@ module Outbox = struct
   let kill_locked t =
     if not t.ob_dead then begin
       t.ob_dead <- true;
+      (* queued snapshot descriptors would otherwise leak *)
+      Queue.iter
+        (function
+          | Stream_snapshot { sf_fd; _ }, _ ->
+            (try Unix.close sf_fd with Unix.Unix_error _ -> ())
+          | Resp _, _ -> ())
+        t.ob_q;
       Queue.clear t.ob_q;
       Condition.broadcast t.ob_c;
       (* The connection's ack loop owns the descriptor; shutting it
@@ -162,10 +248,21 @@ module Outbox = struct
       Mutex.unlock t.ob_m;
       match resp with
       | None -> ()
-      | Some (resp, trace) ->
+      | Some (Resp resp, trace) ->
         (match Wire.send ?trace t.ob_fd (Wire.response_to_sexp resp) with
         | () -> next ()
         | exception Wire.Wire_error _ | exception Unix.Unix_error _ ->
+          Mutex.lock t.ob_m;
+          kill_locked t;
+          Mutex.unlock t.ob_m)
+      | Some (Stream_snapshot { sf_seq; sf_fd }, _) ->
+        (match
+           stream_snapshot ~seq:sf_seq sf_fd
+             ~send:(fun r -> Wire.send t.ob_fd (Wire.response_to_sexp r))
+         with
+        | () -> next ()
+        | exception Wire.Wire_error _ | exception Unix.Unix_error _
+        | exception Sys_error _ | exception End_of_file ->
           Mutex.lock t.ob_m;
           kill_locked t;
           Mutex.unlock t.ob_m)
@@ -201,11 +298,36 @@ module Outbox = struct
           t.ob_acked <- max t.ob_acked seq;
           Metrics.incr m_snapshots_sent
         | _ -> ());
-        Queue.push (resp, trace) t.ob_q;
+        Queue.push (Resp resp, trace) t.ob_q;
         Condition.signal t.ob_c
       end
     end;
     Mutex.unlock t.ob_m
+
+  (* Enqueue a snapshot to be streamed in chunks.  Call with the
+     writer excluded and [seq = base_seq]: the descriptor opened here
+     pins the inode, so later compactions renaming a fresh snapshot
+     into place cannot disturb what the sender streams. *)
+  let push_snapshot_file t ~seq path =
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Mutex.lock t.ob_m;
+      kill_locked t;
+      Mutex.unlock t.ob_m;
+      replica_errorf "cannot open snapshot %s: %s" path (Unix.error_message e)
+    | fd ->
+      Mutex.lock t.ob_m;
+      if t.ob_dead then begin
+        Mutex.unlock t.ob_m;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        t.ob_sent <- max t.ob_sent seq;
+        t.ob_acked <- max t.ob_acked seq;
+        Queue.push (Stream_snapshot { sf_seq = seq; sf_fd = fd }, None) t.ob_q;
+        Condition.signal t.ob_c;
+        Mutex.unlock t.ob_m
+      end
 
   let note_ack t seq =
     Mutex.lock t.ob_m;
@@ -272,10 +394,28 @@ module Follower = struct
     in
     go d
 
-  let drive t ~name ~current_seq ~apply ~reset ~on_error =
+  let drive t ~name ?spool ~current_seq ~apply ~reset ?reset_file ~on_error () =
+    (* Without a file hook a streamed snapshot degrades to the
+       monolithic path: read the spool back and hand it to [reset]. *)
+    let reset_spooled ~seq path =
+      match reset_file with
+      | Some f ->
+        f ~seq path;
+        (* the hook usually renames the spool into place; clean up if not *)
+        if Sys.file_exists path then
+          (try Sys.remove path with Sys_error _ -> ())
+      | None ->
+        let data =
+          let ic = open_in_bin path in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+          really_input_string ic (in_channel_length ic)
+        in
+        (try Sys.remove path with Sys_error _ -> ());
+        reset ~seq data
+    in
     let rec attempt backoff =
       if not (stopped t) then begin
-        match Feed.connect ~user:name ~socket:t.f_primary
+        match Feed.connect ~user:name ?spool ~socket:t.f_primary
                 ~since:(current_seq ()) ()
         with
         | exception Replica_error m ->
@@ -296,6 +436,7 @@ module Follower = struct
                let rec pump () =
                  (match Feed.next feed with
                  | Feed.Snapshot { seq; data } -> reset ~seq data
+                 | Feed.Snapshot_file { seq; path } -> reset_spooled ~seq path
                  | Feed.Frame { seq; payload; trace } ->
                    apply ~trace ~seq payload);
                  Feed.ack feed (current_seq ());
@@ -318,8 +459,8 @@ module Follower = struct
     in
     attempt backoff_initial
 
-  let start ?(name = "follower") ~primary ~current_seq ~apply ~reset
-      ?(on_error = fun _ -> ()) () =
+  let start ?(name = "follower") ?spool ~primary ~current_seq ~apply ~reset
+      ?reset_file ?(on_error = fun _ -> ()) () =
     let t =
       { f_primary = primary; f_m = Mutex.create (); f_stopped = false;
         f_feed = None; f_thread = None }
@@ -327,7 +468,9 @@ module Follower = struct
     t.f_thread <-
       Some
         (Thread.create
-           (fun () -> drive t ~name ~current_seq ~apply ~reset ~on_error)
+           (fun () ->
+             drive t ~name ?spool ~current_seq ~apply ~reset ?reset_file
+               ~on_error ())
            ());
     t
 

@@ -18,6 +18,16 @@
 
 exception Replica_error of string
 
+val stream_snapshot :
+  send:(Ddf_wire.Wire.response -> unit) -> seq:int -> Unix.file_descr -> unit
+(** Stream a snapshot file descriptor as [Ok_snapshot_begin], then
+    {!Ddf_wire.Wire.snapshot_chunk_bytes}-sized [Ok_snapshot_chunk]s,
+    then [Ok_snapshot_end] (md5 over the whole file).  Open the
+    descriptor with the writer excluded — it pins the snapshot inode
+    against later compaction renames.  Holds at most one chunk in
+    memory; closes the descriptor; counts [replica.snapshots_streamed].
+    [send] must raise to abort the stream (the exception propagates). *)
+
 (** The follower's end of a replication stream. *)
 module Feed : sig
   type t
@@ -25,6 +35,10 @@ module Feed : sig
   type event =
     | Snapshot of { seq : int; data : string }
         (** full workspace state as of [seq]; replaces everything *)
+    | Snapshot_file of { seq : int; path : string }
+        (** a v7 streamed snapshot, reassembled (byte count and digest
+            verified) into a spool file the consumer owns — state as
+            of [seq] without ever existing as one in-memory string *)
     | Frame of {
         seq : int;
         payload : string;
@@ -33,9 +47,15 @@ module Feed : sig
                 frame, when the primary was tracing *)
       }  (** one journal entry (digest already verified) *)
 
-  val connect : ?user:string -> socket:string -> since:int -> unit -> t
+  val connect :
+    ?user:string -> ?version:int -> ?spool:string ->
+    socket:string -> since:int -> unit -> t
   (** Dial the primary, handshake ([Hello] with this build's protocol
-      version) and send [Subscribe since].
+      version — override [version] to exercise the downlevel monolithic
+      resync path) and send [Subscribe since].  [spool] is the
+      directory streamed snapshots are reassembled in (default the
+      system temp dir); put it on the database's filesystem so the
+      final rename into place is atomic.
       @raise Replica_error on connection refusal, a version mismatch,
       or any transport failure. *)
 
@@ -69,6 +89,14 @@ module Outbox : sig
       the frame header so the follower's apply span joins the
       producing write's trace. *)
 
+  val push_snapshot_file : t -> seq:int -> string -> unit
+  (** Enqueue the snapshot file at this path to be streamed as
+      begin/chunk/end frames ({!stream_snapshot}).  The descriptor is
+      opened here — call with the writer excluded and [seq] equal to
+      the journal's base, so the pinned bytes are exactly the state at
+      [seq].  Kills the outbox when the file cannot be opened.
+      @raise Replica_error in that open-failure case. *)
+
   val note_ack : t -> int -> unit
   val sent : t -> int    (** highest seqno enqueued *)
 
@@ -91,12 +119,19 @@ module Follower : sig
 
   val start :
     ?name:string ->
+    ?spool:string ->
     primary:string ->
     current_seq:(unit -> int) ->
     apply:(trace:Ddf_obs.Obs.span_ctx option -> seq:int -> string -> unit) ->
     reset:(seq:int -> string -> unit) ->
+    ?reset_file:(seq:int -> string -> unit) ->
     ?on_error:(string -> unit) ->
     unit -> t
+  (** [spool] is where streamed snapshots are reassembled (see
+      {!Feed.connect}).  [reset_file] handles a {!Feed.Snapshot_file}
+      event — typically {!Ddf_journal.Journal.reset_to_snapshot_file},
+      which consumes the spool file; when absent the driver reads the
+      spool back into memory and falls through to [reset]. *)
 
   val primary : t -> string
 

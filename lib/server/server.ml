@@ -486,7 +486,7 @@ let rec eval t session req =
            | Wire.Batch _ ->
              wire_error `Invalid "batch requests do not nest"
            | Wire.Hello _ | Wire.Shutdown | Wire.Subscribe _ | Wire.Repl_ack _
-             ->
+           | Wire.Snapshot_export ->
              wire_error `Invalid "connection-level request %S inside a batch"
                (Wire.request_name r)
            | r -> ( try eval t session r with e -> error_response e))
@@ -543,9 +543,9 @@ let rec eval t session req =
       (History.resolve_conflict ctx.Engine.history conflict ~winner
         : History.conflict);
     Wire.Ok_unit
-  | Wire.Subscribe _ | Wire.Repl_ack _ ->
+  | Wire.Subscribe _ | Wire.Repl_ack _ | Wire.Snapshot_export ->
     (* handled by the connection loop before reaching the evaluator *)
-    wire_error `Invalid "replication message outside a replication stream"
+    wire_error `Invalid "streaming request outside the connection loop"
   | Wire.Catalog Wire.Entities -> Wire.Ok_atoms (Session.entity_catalog session)
   | Wire.Catalog Wire.Tools -> Wire.Ok_atoms (Session.tool_catalog session)
   | Wire.Catalog Wire.Flows -> Wire.Ok_atoms (Session.flow_catalog session)
@@ -702,6 +702,43 @@ let remove_conn t conn_id =
   t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns;
   Mutex.unlock t.m
 
+(* [Snapshot_export] (wire v7): compact, then stream the on-disk
+   snapshot back as begin/chunk/end frames.  The compaction and the
+   descriptor open run as one writer job, so the pinned descriptor is
+   exactly the state at the captured seqno; the streaming itself runs
+   on the connection thread, outside the writer — a slow reader never
+   blocks writes.  A later compaction renames a fresh snapshot into
+   place but cannot disturb the pinned inode. *)
+let snapshot_export_stream t fd ~user ~version =
+  let send resp =
+    try Wire.send fd (Wire.response_to_sexp resp) with Wire.Wire_error _ -> ()
+  in
+  if version < 7 then
+    send
+      (wire_error `Invalid
+         "snapshot-export needs protocol v7 (connection negotiated v%d)"
+         version)
+  else begin
+    let pinned = ref None in
+    let resp =
+      submit t ~user (fun () ->
+          Journal.compact t.journal;
+          let seq = Journal.base_seq t.journal in
+          let sfd =
+            Unix.openfile (Journal.snapshot_file t.journal) [ Unix.O_RDONLY ] 0
+          in
+          pinned := Some (seq, sfd);
+          Wire.Ok_unit)
+    in
+    match (resp, !pinned) with
+    | Wire.Ok_unit, Some (seq, sfd) -> (
+      try
+        Replica.stream_snapshot ~seq sfd
+          ~send:(fun r -> Wire.send fd (Wire.response_to_sexp r))
+      with Wire.Wire_error _ | Unix.Unix_error _ | Sys_error _ -> ())
+    | resp, _ -> send resp
+  end
+
 let rec stop t =
   Mutex.lock t.m;
   let already = t.stopping in
@@ -756,23 +793,36 @@ let rec stop t =
    and "start receiving live frames after s" — the stream is gapless
    by construction.  After that this thread only reads acks; the
    outbox's sender thread owns the socket's write side. *)
-and replication_loop t fd ~user since =
+and replication_loop t fd ~user ~version since =
   let outbox = Replica.Outbox.create ~name:user fd in
+  let push_frames frames =
+    List.iter
+      (fun (seq, payload) ->
+        Replica.Outbox.push outbox
+          (Wire.Ok_frame
+             { seq; payload; digest = Digest.to_hex (Digest.string payload) }))
+      frames
+  in
   let subscribed =
     submit t ~user (fun () ->
         (match Journal.entries_since t.journal since with
+        | Journal.Snapshot_needed when version >= 7 ->
+          (* the journal was compacted past [since]: reseed.  A v7
+             subscriber gets the on-disk snapshot (state at base_seq)
+             streamed in chunks — the descriptor pinned here, under
+             the writer — plus the wal tail above it; neither side
+             ever holds the state as one string. *)
+          let base = Journal.base_seq t.journal in
+          Replica.Outbox.push_snapshot_file outbox ~seq:base
+            (Journal.snapshot_file t.journal);
+          (match Journal.entries_since t.journal base with
+          | Journal.Frames frames -> push_frames frames
+          | Journal.Snapshot_needed -> assert false)
         | Journal.Snapshot_needed ->
-          (* the journal was compacted past [since]: reseed *)
+          (* a v6-or-below subscriber: one monolithic snapshot *)
           let seq, data = Journal.snapshot_state t.journal in
           Replica.Outbox.push outbox (Wire.Ok_snapshot { seq; data })
-        | Journal.Frames frames ->
-          List.iter
-            (fun (seq, payload) ->
-              Replica.Outbox.push outbox
-                (Wire.Ok_frame
-                   { seq; payload;
-                     digest = Digest.to_hex (Digest.string payload) }))
-            frames);
+        | Journal.Frames frames -> push_frames frames);
         register_follower t outbox;
         Wire.Ok_unit)
   in
@@ -802,6 +852,9 @@ and replication_loop t fd ~user since =
 and connection_loop t fd conn_id =
   let session = Session.of_context t.ctx in
   let user = ref "anonymous" in
+  (* negotiated protocol dialect; a peer that never says Hello is
+     treated as pre-streaming (v1) and gets the monolithic paths *)
+  let version = ref 1 in
   let stopping () =
     Mutex.lock t.m;
     let s = t.stopping in
@@ -825,25 +878,30 @@ and connection_loop t fd conn_id =
       | exception Wire.Wire_error m ->
         (try Wire.send fd (Wire.response_to_sexp (wire_error `Invalid "%s" m))
          with Wire.Wire_error _ -> ())
-      | Wire.Subscribe since -> replication_loop t fd ~user:!user since
+      | Wire.Subscribe since ->
+        replication_loop t fd ~user:!user ~version:!version since
+      | Wire.Snapshot_export ->
+        snapshot_export_stream t fd ~user:!user ~version:!version;
+        if not (stopping ()) then loop ()
       | req ->
         let resp, continue =
           match req with
-          | Wire.Hello { user = u; version } ->
+          | Wire.Hello { user = u; version = version_ } ->
             if
-              version < Wire.min_protocol_version
-              || version > Wire.protocol_version
+              version_ < Wire.min_protocol_version
+              || version_ > Wire.protocol_version
             then begin
               Metrics.incr m_version_mismatch;
               ( wire_error `Invalid
                   "protocol version mismatch: server speaks v%d (accepts \
                    v%d..v%d), client speaks v%d"
                   Wire.protocol_version Wire.min_protocol_version
-                  Wire.protocol_version version,
+                  Wire.protocol_version version_,
                 false )
             end
             else begin
               user := u;
+              version := version_;
               (serve_request t session ~conn_id ~user ?deadline ?trace req,
                true)
             end
@@ -1012,6 +1070,9 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     let driver =
       Replica.Follower.start
         ~name:(Printf.sprintf "follower:%s" (Filename.basename socket))
+        (* spool streamed snapshots beside the database, so the final
+           rename into place stays on one filesystem *)
+        ~spool:(Journal.dir t.journal)
         ~primary
         ~current_seq:(fun () -> Journal.seq t.journal)
         ~apply:(fun ~trace ~seq payload ->
@@ -1025,6 +1086,10 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
         ~reset:(fun ~seq data ->
           apply_job "resync" (fun () ->
               Journal.reset_to_snapshot t.journal ~seq data;
+              Wire.Ok_unit))
+        ~reset_file:(fun ~seq path ->
+          apply_job "resync" (fun () ->
+              Journal.reset_to_snapshot_file t.journal ~seq path;
               Wire.Ok_unit))
         ~on_error:(fun m ->
           if Obs.enabled () then

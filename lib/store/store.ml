@@ -36,6 +36,8 @@ type 'a t = {
   by_entity : (string, iid list ref) Hashtbl.t;
   mutable all_rev : iid list;            (* every iid, newest first *)
   mutable observer : ('a event -> unit) option;
+  mutable cold_loader : (iid -> 'a option) option;
+  (* tiered storage: reloads an evicted payload from cold storage *)
 }
 
 exception Store_error = Ddf_core.Error.Ddf_error
@@ -46,6 +48,8 @@ let store_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 let m_puts = Ddf_obs.Metrics.counter "store.puts"
 let m_dedup = Ddf_obs.Metrics.counter "store.dedup_hits"
 let m_browses = Ddf_obs.Metrics.counter "store.browses"
+let m_cold_loads = Ddf_obs.Metrics.counter "store.cold_loads"
+let m_evictions = Ddf_obs.Metrics.counter "store.evictions"
 
 let create () =
   {
@@ -55,6 +59,7 @@ let create () =
     by_entity = Hashtbl.create 16;
     all_rev = [];
     observer = None;
+    cold_loader = None;
   }
 
 let tick store = store.next_iid
@@ -106,7 +111,43 @@ let find store iid =
   | None -> store_errorf ~code:`Not_found "no instance %d" iid
 
 let mem store iid = Hashtbl.mem store.instances iid
-let payload store iid = Hashtbl.find store.payloads (find store iid).data_hash
+
+let set_cold_loader store f = store.cold_loader <- Some f
+let clear_cold_loader store = store.cold_loader <- None
+
+let payload_resident store iid =
+  Hashtbl.mem store.payloads (find store iid).data_hash
+
+(* Hot path first: a resident payload is one hash lookup.  On a miss,
+   fall through to cold storage (if wired) and promote the reloaded
+   payload back into the resident table so later readers stay hot. *)
+let payload store iid =
+  let inst = find store iid in
+  match Hashtbl.find_opt store.payloads inst.data_hash with
+  | Some v -> v
+  | None -> (
+    match store.cold_loader with
+    | None -> Hashtbl.find store.payloads inst.data_hash
+    | Some load -> (
+      match load iid with
+      | Some v ->
+        Ddf_obs.Metrics.incr m_cold_loads;
+        Hashtbl.add store.payloads inst.data_hash v;
+        v
+      | None ->
+        store_errorf ~code:`Not_found
+          "payload of instance %d is neither resident nor cemented" iid))
+
+let evict store iid =
+  match find_opt store iid with
+  | None -> false
+  | Some inst ->
+    if Hashtbl.mem store.payloads inst.data_hash then (
+      Hashtbl.remove store.payloads inst.data_hash;
+      Ddf_obs.Metrics.incr m_evictions;
+      true)
+    else false
+
 let entity_of store iid = (find store iid).entity
 let meta_of store iid = (find store iid).meta
 let hash_of store iid = (find store iid).data_hash

@@ -49,7 +49,15 @@ val find : 'a t -> iid -> 'a instance
 
 val find_opt : 'a t -> iid -> 'a instance option
 val mem : 'a t -> iid -> bool
+
 val payload : 'a t -> iid -> 'a
+(** The physical datum behind an instance.  Resident payloads are one
+    hash lookup; an evicted payload falls through to the cold loader
+    (see {!set_cold_loader}), is re-installed in the resident table
+    (promote-on-read) and counted in [store.cold_loads].
+    @raise Store_error ([`Not_found]) when the payload is neither
+    resident nor reloadable. *)
+
 val entity_of : 'a t -> iid -> string
 val meta_of : 'a t -> iid -> meta
 val hash_of : 'a t -> iid -> string
@@ -68,6 +76,30 @@ val tick : 'a t -> int
 val restore_tick : 'a t -> int -> unit
 (** Reset the counter after a replay.  @raise Store_error when moving
     the counter backwards (iids must stay unique). *)
+
+(** {1 Tiered storage (the cement store's attachment point)}
+
+    Instance meta-data always stays resident — only the physical
+    payloads (the heavy part) tier out.  The journal wires a cold
+    loader backed by cemented [put] frames, then {!evict} drops
+    resident payloads whose every owning instance is reloadable. *)
+
+val set_cold_loader : 'a t -> (iid -> 'a option) -> unit
+(** Install the fall-through used by {!payload} on a non-resident
+    datum.  The loader receives the iid (cold storage is keyed by the
+    installing put, not by hash) and returns the payload or [None]. *)
+
+val clear_cold_loader : 'a t -> unit
+
+val payload_resident : 'a t -> iid -> bool
+(** Whether {!payload} would be served from the resident table (no
+    cold load).  @raise Store_error on a missing instance. *)
+
+val evict : 'a t -> iid -> bool
+(** Drop the resident payload behind [iid] (shared-hash siblings lose
+    residency too — callers must check every owner is cold-loadable
+    first).  Returns [false] when already evicted or the instance is
+    unknown.  Counts [store.evictions]. *)
 
 (** {1 Write observation (the journal's attachment point)} *)
 

@@ -39,9 +39,24 @@ type iid = Store.iid
    conflict surface (conflicts) / (ok-conflicts ...) and (resolve
    <id> <winner>).  All live in slots a v4/v5 peer never sends, so
    the handshake window stays [4, 6] and older clients interoperate
-   unchanged. *)
-let protocol_version = 6
+   unchanged.
+   Version 7: chunked streaming snapshots.  (snapshot-export) asks the
+   server to compact and stream its on-disk snapshot back as
+   (ok-snapshot-begin <seq> <bytes>), a run of (ok-snapshot-chunk
+   <data>) frames and a final (ok-snapshot-end <md5>); a v7 subscriber
+   whose cursor predates the primary's base is resynced with the same
+   begin/chunk/end run (followed by wal frames) instead of one
+   monolithic (ok-snapshot ...), so neither side ever holds the whole
+   state as a single string.  Negotiated via hello: a v6-or-below
+   subscriber still gets the monolithic form, and (snapshot-export)
+   from such a peer is refused. *)
+let protocol_version = 7
 let min_protocol_version = 4
+
+(* Streamed snapshots travel in bounded chunks: big enough to amortise
+   framing, small enough that neither peer ever buffers more than a few
+   of them. *)
+let snapshot_chunk_bytes = 256 * 1024
 
 type catalog = Entities | Tools | Flows
 
@@ -95,6 +110,10 @@ type request =
           empty batch just acknowledges *)
   | Conflicts
   | Resolve of { conflict : int; winner : iid }
+  | Snapshot_export
+      (** compact, then stream the on-disk snapshot back as
+          begin/chunk/end frames — the bounded-memory bootstrap verb
+          (v7; handled at connection level like [Subscribe]) *)
   | Batch of request list
       (** A pipeline: the requests are executed in order and answered
           positionally by one [Ok_batch], one frame each way.  An inner
@@ -153,6 +172,12 @@ type response =
   | Ok_stat of stat
   | Ok_refresh of { fresh : iid; reran : int; reused : int }
   | Ok_snapshot of { seq : int; data : string }
+  | Ok_snapshot_begin of { seq : int; bytes : int }
+      (** a streamed snapshot follows: [bytes] of workspace save taken
+          at [seq], in {!snapshot_chunk_bytes}-bounded chunks *)
+  | Ok_snapshot_chunk of { data : string }
+  | Ok_snapshot_end of { digest : string }
+      (** md5 hex over the whole reassembled snapshot *)
   | Ok_frame of { seq : int; payload : string; digest : string }
   | Ok_lags of { primary_seq : int; rows : lag_row list }
   | Ok_metrics of Ddf_obs.Metrics.metric list
@@ -275,6 +300,7 @@ let rec request_to_sexp = function
   | Conflicts -> S.atom "conflicts"
   | Resolve { conflict; winner } ->
     S.field "resolve" [ S.int conflict; S.int winner ]
+  | Snapshot_export -> S.atom "snapshot-export"
   | Batch reqs -> S.field "batch" (List.map request_to_sexp reqs)
 
 let rec request_of_sexp sexp =
@@ -289,6 +315,7 @@ let rec request_of_sexp sexp =
   | S.Atom "metrics" -> Metrics
   | S.Atom "sync-digest" -> Sync_digest
   | S.Atom "conflicts" -> Conflicts
+  | S.Atom "snapshot-export" -> Snapshot_export
   | S.List (S.Atom name :: args) -> (
     match (name, args) with
     (* a bare (hello <user>) is the version-1 dialect *)
@@ -382,6 +409,7 @@ let request_name = function
   | Sync_ack _ -> "sync-ack"
   | Conflicts -> "conflicts"
   | Resolve _ -> "resolve"
+  | Snapshot_export -> "snapshot-export"
   | Batch _ -> "batch"
 
 (* Mutations of the shared store/history/clock go through the
@@ -399,10 +427,13 @@ let rec is_mutation = function
      they ride the writer too, not just the actual sync mutations *)
   | Sync_digest | Sync_frames _ | Sync_ack _ | Resolve _ -> true
   | Batch reqs -> List.exists is_mutation reqs
+  (* Snapshot_export never reaches the evaluator either — the
+     connection loop streams it itself (its compact runs as a writer
+     job inside that handler) *)
   | Hello _ | Ping | Stat | Catalog _ | Browse _ | Start_goal _ | Start_data _
   | Expand _ | Specialize _ | Select _ | Node_browse _ | Leaves | Render
   | Trace _ | Uses _ | Save_flow _ | Load_flow _ | Shutdown | Subscribe _
-  | Repl_ack _ | Lag | Metrics | Conflicts ->
+  | Repl_ack _ | Lag | Metrics | Conflicts | Snapshot_export ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -468,6 +499,10 @@ let rec response_to_sexp = function
     S.field "ok-refresh" [ S.int fresh; S.int reran; S.int reused ]
   | Ok_snapshot { seq; data } ->
     S.field "ok-snapshot" [ S.int seq; S.atom data ]
+  | Ok_snapshot_begin { seq; bytes } ->
+    S.field "ok-snapshot-begin" [ S.int seq; S.int bytes ]
+  | Ok_snapshot_chunk { data } -> S.field "ok-snapshot-chunk" [ S.atom data ]
+  | Ok_snapshot_end { digest } -> S.field "ok-snapshot-end" [ S.atom digest ]
   | Ok_frame { seq; payload; digest } ->
     S.field "ok-frame" [ S.int seq; S.atom digest; S.atom payload ]
   | Ok_lags { primary_seq; rows } ->
@@ -552,6 +587,12 @@ let rec response_of_sexp sexp =
         { fresh = S.as_int f; reran = S.as_int re; reused = S.as_int ru }
     | "ok-snapshot", [ seq; data ] ->
       Ok_snapshot { seq = S.as_int seq; data = S.as_atom data }
+    | "ok-snapshot-begin", [ seq; bytes ] ->
+      Ok_snapshot_begin { seq = S.as_int seq; bytes = S.as_int bytes }
+    | "ok-snapshot-chunk", [ data ] ->
+      Ok_snapshot_chunk { data = S.as_atom data }
+    | "ok-snapshot-end", [ digest ] ->
+      Ok_snapshot_end { digest = S.as_atom digest }
     | "ok-frame", [ seq; digest; payload ] ->
       Ok_frame
         { seq = S.as_int seq; digest = S.as_atom digest;

@@ -22,19 +22,28 @@ exception Wire_error of string
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (6).  The [Hello] handshake carries
+(** The dialect this build speaks (7).  The [Hello] handshake carries
     the client's version; a server refuses clients outside
     [[min_protocol_version, protocol_version]] with a typed error
     before serving anything else.  Version 4 added structured error
     frames and the deadline header token; version 5 added the
-    [Metrics] verb and the trace-context header token; version 6 adds
-    the anti-entropy sync verbs ([Sync_digest] / [Sync_frames] /
-    [Sync_ack]) and the conflict surface ([Conflicts] / [Resolve]) —
-    all in slots older peers never send, so v4/v5 clients still
-    interoperate unchanged. *)
+    [Metrics] verb and the trace-context header token; version 6 the
+    anti-entropy sync verbs ([Sync_digest] / [Sync_frames] /
+    [Sync_ack]) and the conflict surface ([Conflicts] / [Resolve]);
+    version 7 adds chunked streaming snapshots ([Snapshot_export] and
+    the [Ok_snapshot_begin]/[Ok_snapshot_chunk]/[Ok_snapshot_end]
+    responses, also used to resync a v7 subscriber).  All live in
+    slots older peers never send, so v4–v6 clients interoperate
+    unchanged — a v6-or-below subscriber is still resynced with one
+    monolithic [Ok_snapshot]. *)
 
 val min_protocol_version : int
 (** The oldest client dialect a server of this build accepts (4). *)
+
+val snapshot_chunk_bytes : int
+(** Chunk size of a streamed snapshot (both the [Subscribe] resync and
+    [Snapshot_export] paths): the most snapshot data either peer holds
+    in memory at once, per frame. *)
 
 type catalog = Entities | Tools | Flows
 
@@ -104,6 +113,12 @@ type request =
   | Conflicts                            (** v6: the sync-conflict registry *)
   | Resolve of { conflict : int; winner : iid }
       (** v6: pick the winning version of a surfaced conflict *)
+  | Snapshot_export
+      (** v7: compact, then stream the on-disk snapshot back as
+          [Ok_snapshot_begin], [Ok_snapshot_chunk]s and
+          [Ok_snapshot_end] — the bounded-memory bootstrap/backup
+          verb.  Handled at connection level (like [Subscribe]);
+          refused for peers that negotiated below 7. *)
   | Batch of request list
       (** a pipeline: the requests run in order and are answered
           positionally by one [Ok_batch] — one frame each way.  An
@@ -164,7 +179,15 @@ type response =
   | Ok_stat of stat
   | Ok_refresh of { fresh : iid; reran : int; reused : int }
   | Ok_snapshot of { seq : int; data : string }
-      (** replication seed: a full workspace save as of [seq] *)
+      (** replication seed: a full workspace save as of [seq] (the
+          monolithic, v6-and-below form) *)
+  | Ok_snapshot_begin of { seq : int; bytes : int }
+      (** v7: a streamed snapshot follows — [bytes] of workspace save
+          taken at [seq], chunked in {!snapshot_chunk_bytes} pieces *)
+  | Ok_snapshot_chunk of { data : string }
+  | Ok_snapshot_end of { digest : string }
+      (** v7: end of stream; [digest] is md5 hex over the whole
+          reassembled snapshot *)
   | Ok_frame of { seq : int; payload : string; digest : string }
       (** one journal entry; [digest] is the md5 hex of [payload], the
           same checksum the on-disk frame carries *)

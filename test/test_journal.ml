@@ -258,13 +258,31 @@ let compaction =
           Alcotest.failf "expected one frame, got %d" (List.length fs)
         | Journal.Snapshot_needed ->
           Alcotest.fail "base_seq itself must not demand a snapshot");
-        (* the sync reader draws the same boundary with a typed error *)
+        (* the sync reader no longer hits a wall at the base: cemented
+           frames are served by positioned reads, continuing into the
+           wal without a seam *)
         (match Journal.frames j ~after:(base - 1) ~limit:10 with
+        | (s0, _, _) :: _ as fs ->
+          Alcotest.(check int) "cold read starts at base" base s0;
+          Alcotest.(check int) "cold read continues into the wal" (base + 1)
+            (match List.rev fs with (s, _, _) :: _ -> s | [] -> 0)
+        | [] -> Alcotest.fail "cemented frames must be served");
+        Journal.close j;
+        (* with cement disabled, the old contract holds: a typed
+           `Conflict marks the compacted-away boundary *)
+        with_dir @@ fun dir2 ->
+        let j2 =
+          Journal.open_ ~cement:false ~dir:dir2 Standard_schemas.odyssey
+        in
+        ignore (activity (Journal.context j2) 2);
+        Journal.compact j2;
+        let base2 = Journal.base_seq j2 in
+        (match Journal.frames j2 ~after:(base2 - 1) ~limit:10 with
         | _ -> Alcotest.fail "compacted frames must not be served"
         | exception Error.Ddf_error e ->
           Alcotest.(check bool) "typed `Conflict" true
             (e.Error.code = `Conflict));
-        Journal.close j);
+        Journal.close j2);
   ]
 
 let suite = [ ("journal", basics @ torn_tail @ compaction) ]
