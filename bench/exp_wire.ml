@@ -1,0 +1,281 @@
+(* Experiment W: the v8 binary wire codec against the sexp codec.
+
+   Three layers: (1) codec microbenchmarks — encode and decode ns per
+   frame and bytes per frame over representative requests/responses,
+   with the median binary-vs-sexp speedup as the headline number;
+   (2) framed transport throughput for large payload bodies over a
+   socketpair (the zero-copy slice path); (3) an end-to-end mini rerun
+   of experiment S's shape: one server, a v8 (binary) client vs a v7
+   (sexp) client driving the same install/browse workload, singly and
+   as pipelined batches.  Exported as gauges for --json. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let fresh_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddf-bench-wire-%d" (Unix.getpid ()))
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Representative frames                                               *)
+(* ------------------------------------------------------------------ *)
+
+let meta =
+  { Store.user = "designer"; created_at = 42; label = "netlist v3";
+    comment = "seeded from the walkthrough"; keywords = [ "bench"; "wire" ] }
+
+let filter =
+  { Store.f_entities = Some [ E.stimuli; E.edited_netlist ];
+    f_user = Some "designer"; f_from = Some 10; f_to = Some 99_999;
+    f_keywords = [ "adder" ]; f_text = Some "v3" }
+
+let payload n = String.init n (fun i -> Char.chr (0x20 + (i land 0x5f)))
+
+let sample_requests =
+  [
+    ("req ping", Wire.Ping);
+    ("req run", Wire.Run 12);
+    ("req browse", Wire.Browse filter);
+    ( "req install",
+      Wire.Install
+        { entity = E.stimuli; label = "stim"; keywords = [ "bench" ];
+          value =
+            Codec.value_to_sexp
+              (Value.Stimuli (Eda.Stimuli.exhaustive [ "a"; "b"; "c" ])) } );
+    ("req batch-8", Wire.Batch (List.init 8 (fun i -> Wire.Run i)));
+  ]
+
+let sample_responses =
+  [
+    ("resp int", Wire.Ok_int 7);
+    ( "resp rows-20",
+      Wire.Ok_rows
+        (List.init 20 (fun i ->
+             { Wire.row_iid = i; row_entity = E.stimuli; row_meta = meta })) );
+    ( "resp frame-4k",
+      Wire.Ok_frame
+        { seq = 9; payload = payload 4096;
+          digest = "0123456789abcdef0123456789abcdef" } );
+    ( "resp metrics-16",
+      Wire.Ok_metrics
+        (List.init 16 (fun i ->
+             Metrics.Counter (Printf.sprintf "engine.counter_%d" i, i * 17)))
+    );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec microbenchmarks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ns_per ?(iters = 10_000) f =
+  for _ = 1 to 200 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* One row per sample frame: sizes, encode/decode ns for each codec,
+   and the two speedups. *)
+let codec_rows () =
+  let row name ~enc_bin ~dec_bin ~enc_sexp ~dec_sexp ~bin_bytes ~sexp_bytes =
+    [ name;
+      string_of_int bin_bytes; string_of_int sexp_bytes;
+      Printf.sprintf "%.0f" enc_bin; Printf.sprintf "%.0f" enc_sexp;
+      Printf.sprintf "%.0f" dec_bin; Printf.sprintf "%.0f" dec_sexp;
+      Printf.sprintf "%.1fx" (enc_sexp /. enc_bin);
+      Printf.sprintf "%.1fx" (dec_sexp /. dec_bin) ]
+  in
+  let speedups = ref [] in
+  let bench name to_bin of_bin to_sexp of_sexp =
+    let bin = to_bin () and sx = to_sexp () in
+    let enc_bin = ns_per to_bin and enc_sexp = ns_per to_sexp in
+    let dec_bin = ns_per (fun () -> of_bin bin)
+    and dec_sexp = ns_per (fun () -> of_sexp sx) in
+    speedups :=
+      (enc_sexp /. enc_bin, dec_sexp /. dec_bin, sx, bin) :: !speedups;
+    row name ~enc_bin ~dec_bin ~enc_sexp ~dec_sexp
+      ~bin_bytes:(String.length bin) ~sexp_bytes:(String.length sx)
+  in
+  let rows =
+    List.map
+      (fun (name, r) ->
+        bench name
+          (fun () -> Wire.request_to_binary_string r)
+          Wire.request_of_binary_string
+          (fun () -> Sexp.to_string ~pretty:false (Wire.request_to_sexp r))
+          (fun s -> Wire.request_of_sexp (Sexp.of_string s)))
+      sample_requests
+    @ List.map
+        (fun (name, r) ->
+          bench name
+            (fun () -> Wire.response_to_binary_string r)
+            Wire.response_of_binary_string
+            (fun () -> Sexp.to_string ~pretty:false (Wire.response_to_sexp r))
+            (fun s -> Wire.response_of_sexp (Sexp.of_string s)))
+        sample_responses
+  in
+  (rows, !speedups)
+
+(* ------------------------------------------------------------------ *)
+(* Framed transport throughput                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stream_throughput codec ~frames ~bytes_per =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let resp =
+    Wire.Ok_frame
+      { seq = 1; payload = payload bytes_per;
+        digest = "0123456789abcdef0123456789abcdef" }
+  in
+  let t0 = Unix.gettimeofday () in
+  let sender =
+    Thread.create
+      (fun () ->
+        for _ = 1 to frames do
+          Wire.send_response codec a resp
+        done;
+        Unix.close a)
+      ()
+  in
+  let received = ref 0 in
+  (try
+     while
+       match Wire.recv_response b with
+       | Some _ ->
+         incr received;
+         !received < frames
+       | None -> false
+     do
+       ()
+     done
+   with Wire.Wire_error _ -> ());
+  Thread.join sender;
+  Unix.close b;
+  let wall = Unix.gettimeofday () -. t0 in
+  let mb = float_of_int (frames * bytes_per) /. 1e6 in
+  (mb /. wall, !received)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: one server, one client per codec                        *)
+(* ------------------------------------------------------------------ *)
+
+let seed ctx = ignore (Workspace.of_session (Session.of_context ctx))
+
+let e2e_rounds = 120
+
+(* install + annotate + browse + stat per round, like experiment S. *)
+let e2e_workload socket version =
+  Client.with_client ~user:(Printf.sprintf "wire-v%d" version) ~version ~socket
+    (fun c ->
+      let t0 = Unix.gettimeofday () in
+      for j = 1 to e2e_rounds do
+        let iid =
+          Client.install c ~entity:E.stimuli
+            ~label:(Printf.sprintf "w%d-%d" version j)
+            (Codec.value_to_sexp
+               (Value.Stimuli (Eda.Stimuli.exhaustive [ "a"; "b" ])))
+        in
+        Client.annotate c ~keywords:[ "bench" ] iid;
+        ignore
+          (Client.browse c { filter with Store.f_entities = Some [ E.stimuli ] });
+        ignore (Client.stat c)
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      float_of_int (4 * e2e_rounds) /. wall)
+
+(* experiment P's shape: pipelined batches of 32 reads, one frame each
+   way per batch. *)
+let batch_rounds = 60
+
+let batch_workload socket version =
+  Client.with_client ~user:(Printf.sprintf "batch-v%d" version) ~version
+    ~socket (fun c ->
+      let reqs = List.init 32 (fun _ -> Wire.Stat) in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch_rounds do
+        ignore (Client.batch c reqs)
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      float_of_int (32 * batch_rounds) /. wall)
+
+let run () =
+  (* --- codec micro --- *)
+  Bench_util.section "codec: encode/decode ns per frame, bytes per frame";
+  let rows, speedups = codec_rows () in
+  Bench_util.print_table
+    [ "frame"; "B bin"; "B sexp"; "enc bin"; "enc sexp"; "dec bin";
+      "dec sexp"; "enc x"; "dec x" ]
+    rows;
+  let enc_x = median (List.map (fun (e, _, _, _) -> e) speedups) in
+  let dec_x = median (List.map (fun (_, d, _, _) -> d) speedups) in
+  let size_ratio =
+    median
+      (List.map
+         (fun (_, _, sx, bin) ->
+           float_of_int (String.length sx) /. float_of_int (String.length bin))
+         speedups)
+  in
+  Printf.printf
+    "  median speedup: encode %.1fx, decode %.1fx; sexp/binary bytes %.2fx\n"
+    enc_x dec_x size_ratio;
+  Metrics.set (Metrics.gauge "wire.bench.encode_speedup_median") enc_x;
+  Metrics.set (Metrics.gauge "wire.bench.decode_speedup_median") dec_x;
+  Metrics.set (Metrics.gauge "wire.bench.sexp_to_binary_bytes") size_ratio;
+
+  (* --- transport throughput --- *)
+  Bench_util.section "transport: 64 x 1 MiB payload frames over a socketpair";
+  let mbps_bin, got_b =
+    stream_throughput Wire.Binary ~frames:64 ~bytes_per:(1 lsl 20)
+  in
+  let mbps_sexp, got_s =
+    stream_throughput Wire.Sexp ~frames:64 ~bytes_per:(1 lsl 20)
+  in
+  Printf.printf "  binary  %8.0f MB/s  (%d frames)\n" mbps_bin got_b;
+  Printf.printf "  sexp    %8.0f MB/s  (%d frames)\n" mbps_sexp got_s;
+  Metrics.set (Metrics.gauge "wire.bench.stream_mbps_binary") mbps_bin;
+  Metrics.set (Metrics.gauge "wire.bench.stream_mbps_sexp") mbps_sexp;
+
+  (* --- end to end --- *)
+  Bench_util.section
+    (Printf.sprintf
+       "end to end: %d install/annotate/browse/stat rounds per codec"
+       e2e_rounds);
+  let dir = fresh_dir () in
+  rm_rf dir;
+  let socket = Filename.concat dir "s.sock" in
+  let t = Server.start ~seed ~db:dir ~socket Standard_schemas.odyssey in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t;
+      rm_rf dir)
+    (fun () ->
+      let rps8 = e2e_workload socket Wire.protocol_version in
+      let rps7 = e2e_workload socket 7 in
+      let bat8 = batch_workload socket Wire.protocol_version in
+      let bat7 = batch_workload socket 7 in
+      Printf.printf "  singles: v8 binary %8.0f req/s   v7 sexp %8.0f req/s\n"
+        rps8 rps7;
+      Printf.printf "  batches: v8 binary %8.0f req/s   v7 sexp %8.0f req/s\n"
+        bat8 bat7;
+      Metrics.set (Metrics.gauge "wire.bench.rps_binary") rps8;
+      Metrics.set (Metrics.gauge "wire.bench.rps_sexp") rps7;
+      Metrics.set (Metrics.gauge "wire.bench.batch_rps_binary") bat8;
+      Metrics.set (Metrics.gauge "wire.bench.batch_rps_sexp") bat7)

@@ -32,6 +32,8 @@ let experiments =
      Exp_sync.run);
     ("C", "tiered storage: cemented replay, cold reads, streamed bootstrap",
      Exp_cement.run);
+    ("W", "wire codec: binary vs sexp encode/decode, framed throughput",
+     Exp_wire.run);
   ]
 
 let () =

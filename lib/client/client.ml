@@ -48,6 +48,11 @@ type t = {
   c_retries : int;
   c_deadline : float option;          (* per-call budget, seconds *)
   mutable fd : Unix.file_descr option;
+  (* the codec the CURRENT connection negotiated.  Never carried over:
+     [drop] resets it to [Sexp], and only a completed hello on a fresh
+     dial upgrades it — a redial after a mid-frame disconnect
+     re-negotiates from scratch. *)
+  mutable c_codec : Wire.codec;
   mutable closed : bool;
 }
 
@@ -57,6 +62,7 @@ let backoff_initial = 0.05
 let backoff_max = 1.0
 
 let drop t =
+  t.c_codec <- Wire.Sexp;
   match t.fd with
   | None -> ()
   | Some fd ->
@@ -84,19 +90,21 @@ let dial t =
     try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
     with Unix.Unix_error _ | Invalid_argument _ -> ())
   | None -> ());
+  (* the hello itself always travels as sexp — the server's dialect is
+     unknown until it answers.  An accepting v8 server switches the
+     connection immediately, so the hello reply already arrives binary
+     (recv_response sniffs the frame's first byte either way). *)
   (match
-     Wire.send fd
-       (Wire.request_to_sexp
-          (Wire.Hello { user = t.c_user; version = t.c_version }));
-     Wire.recv fd
+     Wire.send_request Wire.Sexp fd
+       (Wire.Hello { user = t.c_user; version = t.c_version });
+     Wire.recv_response fd
    with
-  | Some sexp -> (
-    match Wire.response_of_sexp sexp with
-    | Wire.Ok_unit -> ()
-    | Wire.Error err ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise (E.Ddf_error err)
-    | _ -> fail ~code:`Internal "unexpected response to hello")
+  | Some (Wire.Ok_unit, _, _) ->
+    t.c_codec <- Wire.codec_for_version t.c_version
+  | Some (Wire.Error err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (E.Ddf_error err)
+  | Some _ -> fail ~code:`Internal "unexpected response to hello"
   | None -> fail "server closed the connection during hello"
   | exception Wire.Wire_error m -> fail "%s" m
   | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
@@ -186,17 +194,17 @@ let call t req =
         "client.attempt"
         (fun () ->
           match
-            Wire.send ?deadline_ms ?trace:(Obs.current_span ()) fd
-              (Wire.request_to_sexp req);
+            Wire.send_request ?deadline_ms ?trace:(Obs.current_span ())
+              t.c_codec fd req;
             sent := true;
-            Wire.recv fd
+            Wire.recv_response fd
           with
           | v -> Ok v
           | exception e -> Error e)
     in
     match outcome with
-    | Ok (Some sexp) -> (
-      match Wire.response_of_sexp sexp with
+    | Ok (Some (resp, _, _)) -> (
+      match resp with
       | Wire.Error err when err.E.retryable && retries > 0 ->
         (* the server asserts the request was NOT executed (shed,
            expired in the queue): resending cannot double-apply *)
@@ -303,7 +311,8 @@ let connect ?(user = "anonymous") ?(version = Wire.protocol_version) ?timeout
     ?(retries = 0) ?deadline ~socket () =
   let t =
     { socket; c_user = user; c_version = version; c_timeout = timeout;
-      c_retries = retries; c_deadline = deadline; fd = None; closed = false }
+      c_retries = retries; c_deadline = deadline; fd = None;
+      c_codec = Wire.Sexp; closed = false }
   in
   dial_retrying t retries backoff_initial;
   t
@@ -441,13 +450,13 @@ let snapshot_export t ~out =
       fmt
   in
   let recv () =
-    match Wire.recv fd with
-    | Some sexp -> Wire.response_of_sexp sexp
+    match Wire.recv_response fd with
+    | Some (resp, _, _) -> resp
     | None -> fail "server closed the connection mid-export"
     | exception Wire.Wire_error m -> fail "%s" m
     | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e)
   in
-  (match Wire.send fd (Wire.request_to_sexp Wire.Snapshot_export) with
+  (match Wire.send_request t.c_codec fd Wire.Snapshot_export with
   | () -> ()
   | exception Wire.Wire_error m -> fail "%s" m
   | exception Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));

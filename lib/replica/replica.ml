@@ -73,6 +73,7 @@ module Feed = struct
   type t = {
     fd : Unix.file_descr;
     spool : string;
+    codec : Wire.codec;
     mutable closed : bool;
   }
 
@@ -90,23 +91,25 @@ module Feed = struct
     | () -> ()
     | exception Unix.Unix_error (e, _, _) ->
       fail "cannot connect to primary %s: %s" socket (Unix.error_message e));
+    (* the hello always travels as sexp — the server's version is
+       unknown until it answers; the reply already arrives in the
+       negotiated codec (recv_response sniffs per frame) *)
     let hello = Wire.Hello { user; version } in
     (match
-       Wire.send fd (Wire.request_to_sexp hello);
-       Wire.recv fd
+       Wire.send_request Wire.Sexp fd hello;
+       Wire.recv_response fd
      with
-    | Some sexp -> (
-      match Wire.response_of_sexp sexp with
-      | Wire.Ok_unit -> ()
-      | Wire.Error err ->
-        fail "primary refused hello: %s" (Ddf_core.Error.to_string err)
-      | _ -> fail "unexpected response to hello")
+    | Some (Wire.Ok_unit, _, _) -> ()
+    | Some (Wire.Error err, _, _) ->
+      fail "primary refused hello: %s" (Ddf_core.Error.to_string err)
+    | Some _ -> fail "unexpected response to hello"
     | None -> fail "primary closed the connection during hello"
     | exception Wire.Wire_error m -> fail "%s" m);
-    (match Wire.send fd (Wire.request_to_sexp (Wire.Subscribe since)) with
+    let codec = Wire.codec_for_version version in
+    (match Wire.send_request codec fd (Wire.Subscribe since) with
     | () -> ()
     | exception Wire.Wire_error m -> fail "%s" m);
-    { fd; spool; closed = false }
+    { fd; spool; codec; closed = false }
 
   (* Reassemble a streamed snapshot into a spool file: after
      [Ok_snapshot_begin] only chunk frames may arrive until
@@ -127,13 +130,13 @@ module Feed = struct
         fmt
     in
     let rec chunks received =
-      match Wire.recv t.fd with
+      match Wire.recv_response t.fd with
       | None -> fail "primary closed the stream mid-snapshot"
       | exception Wire.Wire_error m -> fail "%s" m
       | exception Unix.Unix_error (e, _, _) ->
         fail "snapshot stream: %s" (Unix.error_message e)
-      | Some sexp -> (
-        match Wire.response_of_sexp sexp with
+      | Some (resp, _, _) -> (
+        match resp with
         | Wire.Ok_snapshot_chunk { data } ->
           output_string oc data;
           chunks (received + String.length data)
@@ -153,13 +156,13 @@ module Feed = struct
 
   let next t =
     if t.closed then replica_errorf "feed is closed";
-    match Wire.recv_meta t.fd with
+    match Wire.recv_response t.fd with
     | None -> replica_errorf "primary closed the replication stream"
     | exception Wire.Wire_error m -> replica_errorf "%s" m
     | exception Unix.Unix_error (e, _, _) ->
       replica_errorf "replication stream: %s" (Unix.error_message e)
-    | Some (sexp, meta) -> (
-      match Wire.response_of_sexp sexp with
+    | Some (resp, meta, _) -> (
+      match resp with
       | Wire.Ok_snapshot { seq; data } -> Snapshot { seq; data }
       | Wire.Ok_snapshot_begin { seq; bytes } -> spool_snapshot t ~seq ~bytes
       | Wire.Ok_frame { seq; payload; digest } ->
@@ -172,7 +175,7 @@ module Feed = struct
 
   let ack t seq =
     if not t.closed then
-      match Wire.send t.fd (Wire.request_to_sexp (Wire.Repl_ack seq)) with
+      match Wire.send_request t.codec t.fd (Wire.Repl_ack seq) with
       | () -> ()
       | exception Wire.Wire_error _ -> ()
       | exception Unix.Unix_error _ -> ()
@@ -204,6 +207,7 @@ module Outbox = struct
   type t = {
     ob_name : string;
     ob_fd : Unix.file_descr;
+    ob_codec : Wire.codec;  (* negotiated by the subscriber's hello *)
     ob_cap : int;
     ob_m : Mutex.t;
     ob_c : Condition.t;
@@ -238,27 +242,32 @@ module Outbox = struct
       Mutex.lock t.ob_m;
       let rec await () =
         if t.ob_dead then None
-        else if not (Queue.is_empty t.ob_q) then Some (Queue.pop t.ob_q)
+        else if not (Queue.is_empty t.ob_q) then
+          match Queue.pop t.ob_q with
+          | (Stream_snapshot _, _) as m -> Some [ m ]
+          | (Resp _, _) as m ->
+            (* drain the contiguous run of queued responses: the whole
+               group — typically one group commit's fan-out — flushes
+               below as a single gathered write *)
+            let rec run acc =
+              match Queue.peek_opt t.ob_q with
+              | Some (Resp _, _) -> run (Queue.pop t.ob_q :: acc)
+              | Some (Stream_snapshot _, _) | None -> List.rev acc
+            in
+            Some (run [ m ])
         else begin
           Condition.wait t.ob_c t.ob_m;
           await ()
         end
       in
-      let resp = await () in
+      let batch = await () in
       Mutex.unlock t.ob_m;
-      match resp with
+      match batch with
       | None -> ()
-      | Some (Resp resp, trace) ->
-        (match Wire.send ?trace t.ob_fd (Wire.response_to_sexp resp) with
-        | () -> next ()
-        | exception Wire.Wire_error _ | exception Unix.Unix_error _ ->
-          Mutex.lock t.ob_m;
-          kill_locked t;
-          Mutex.unlock t.ob_m)
-      | Some (Stream_snapshot { sf_seq; sf_fd }, _) ->
+      | Some [ (Stream_snapshot { sf_seq; sf_fd }, _) ] ->
         (match
            stream_snapshot ~seq:sf_seq sf_fd
-             ~send:(fun r -> Wire.send t.ob_fd (Wire.response_to_sexp r))
+             ~send:(fun r -> Wire.send_response t.ob_codec t.ob_fd r)
          with
         | () -> next ()
         | exception Wire.Wire_error _ | exception Unix.Unix_error _
@@ -266,12 +275,27 @@ module Outbox = struct
           Mutex.lock t.ob_m;
           kill_locked t;
           Mutex.unlock t.ob_m)
+      | Some batch ->
+        let items =
+          List.filter_map
+            (function
+              | Resp r, trace -> Some (r, trace)
+              | Stream_snapshot _, _ -> None)
+            batch
+        in
+        (match Wire.send_response_batch t.ob_codec t.ob_fd items with
+        | () -> next ()
+        | exception Wire.Wire_error _ | exception Unix.Unix_error _ ->
+          Mutex.lock t.ob_m;
+          kill_locked t;
+          Mutex.unlock t.ob_m)
     in
     next ()
 
-  let create ?(cap = 65536) ~name fd =
+  let create ?(cap = 65536) ?(codec = Wire.Sexp) ~name fd =
     let t =
-      { ob_name = name; ob_fd = fd; ob_cap = cap; ob_m = Mutex.create ();
+      { ob_name = name; ob_fd = fd; ob_codec = codec; ob_cap = cap;
+        ob_m = Mutex.create ();
         ob_c = Condition.create (); ob_q = Queue.create (); ob_dead = false;
         ob_sent = 0; ob_acked = 0; ob_sender = None }
     in
@@ -394,7 +418,8 @@ module Follower = struct
     in
     go d
 
-  let drive t ~name ?spool ~current_seq ~apply ~reset ?reset_file ~on_error () =
+  let drive t ~name ?version ?spool ~current_seq ~apply ~reset ?reset_file
+      ~on_error () =
     (* Without a file hook a streamed snapshot degrades to the
        monolithic path: read the spool back and hand it to [reset]. *)
     let reset_spooled ~seq path =
@@ -415,7 +440,7 @@ module Follower = struct
     in
     let rec attempt backoff =
       if not (stopped t) then begin
-        match Feed.connect ~user:name ?spool ~socket:t.f_primary
+        match Feed.connect ~user:name ?version ?spool ~socket:t.f_primary
                 ~since:(current_seq ()) ()
         with
         | exception Replica_error m ->
@@ -459,8 +484,8 @@ module Follower = struct
     in
     attempt backoff_initial
 
-  let start ?(name = "follower") ?spool ~primary ~current_seq ~apply ~reset
-      ?reset_file ?(on_error = fun _ -> ()) () =
+  let start ?(name = "follower") ?version ?spool ~primary ~current_seq ~apply
+      ~reset ?reset_file ?(on_error = fun _ -> ()) () =
     let t =
       { f_primary = primary; f_m = Mutex.create (); f_stopped = false;
         f_feed = None; f_thread = None }
@@ -469,8 +494,8 @@ module Follower = struct
       Some
         (Thread.create
            (fun () ->
-             drive t ~name ?spool ~current_seq ~apply ~reset ?reset_file
-               ~on_error ())
+             drive t ~name ?version ?spool ~current_seq ~apply ~reset
+               ?reset_file ~on_error ())
            ());
     t
 

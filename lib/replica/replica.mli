@@ -51,11 +51,12 @@ module Feed : sig
     ?user:string -> ?version:int -> ?spool:string ->
     socket:string -> since:int -> unit -> t
   (** Dial the primary, handshake ([Hello] with this build's protocol
-      version — override [version] to exercise the downlevel monolithic
-      resync path) and send [Subscribe since].  [spool] is the
-      directory streamed snapshots are reassembled in (default the
-      system temp dir); put it on the database's filesystem so the
-      final rename into place is atomic.
+      version — override [version] to exercise the downlevel sexp
+      codec or monolithic resync paths; the feed speaks the codec the
+      version negotiates from the Subscribe onward) and send
+      [Subscribe since].  [spool] is the directory streamed snapshots
+      are reassembled in (default the system temp dir); put it on the
+      database's filesystem so the final rename into place is atomic.
       @raise Replica_error on connection refusal, a version mismatch,
       or any transport failure. *)
 
@@ -79,8 +80,13 @@ end
 module Outbox : sig
   type t
 
-  val create : ?cap:int -> name:string -> Unix.file_descr -> t
-  (** [cap] defaults to 65536 queued messages. *)
+  val create :
+    ?cap:int -> ?codec:Ddf_wire.Wire.codec -> name:string ->
+    Unix.file_descr -> t
+  (** [cap] defaults to 65536 queued messages.  [codec] (default
+      [Sexp]) is the encoding the subscriber negotiated; the sender
+      thread drains each contiguous run of queued responses and
+      flushes it as {e one} gathered write in that codec. *)
 
   val name : t -> string
   val push : ?trace:Ddf_obs.Obs.span_ctx -> t -> Ddf_wire.Wire.response -> unit
@@ -119,6 +125,7 @@ module Follower : sig
 
   val start :
     ?name:string ->
+    ?version:int ->
     ?spool:string ->
     primary:string ->
     current_seq:(unit -> int) ->
@@ -127,8 +134,10 @@ module Follower : sig
     ?reset_file:(seq:int -> string -> unit) ->
     ?on_error:(string -> unit) ->
     unit -> t
-  (** [spool] is where streamed snapshots are reassembled (see
-      {!Feed.connect}).  [reset_file] handles a {!Feed.Snapshot_file}
+  (** [version] overrides the protocol version each (re)connection
+      hellos with — the downlevel-codec debug lever (see
+      {!Feed.connect}).  [spool] is where streamed snapshots are
+      reassembled.  [reset_file] handles a {!Feed.Snapshot_file}
       event — typically {!Ddf_journal.Journal.reset_to_snapshot_file},
       which consumes the spool file; when absent the driver reads the
       spool back into memory and falls through to [reset]. *)

@@ -710,8 +710,9 @@ let remove_conn t conn_id =
    blocks writes.  A later compaction renames a fresh snapshot into
    place but cannot disturb the pinned inode. *)
 let snapshot_export_stream t fd ~user ~version =
+  let codec = Wire.codec_for_version version in
   let send resp =
-    try Wire.send fd (Wire.response_to_sexp resp) with Wire.Wire_error _ -> ()
+    try Wire.send_response codec fd resp with Wire.Wire_error _ -> ()
   in
   if version < 7 then
     send
@@ -734,7 +735,7 @@ let snapshot_export_stream t fd ~user ~version =
     | Wire.Ok_unit, Some (seq, sfd) -> (
       try
         Replica.stream_snapshot ~seq sfd
-          ~send:(fun r -> Wire.send fd (Wire.response_to_sexp r))
+          ~send:(fun r -> Wire.send_response codec fd r)
       with Wire.Wire_error _ | Unix.Unix_error _ | Sys_error _ -> ())
     | resp, _ -> send resp
   end
@@ -794,7 +795,8 @@ let rec stop t =
    by construction.  After that this thread only reads acks; the
    outbox's sender thread owns the socket's write side. *)
 and replication_loop t fd ~user ~version since =
-  let outbox = Replica.Outbox.create ~name:user fd in
+  let codec = Wire.codec_for_version version in
+  let outbox = Replica.Outbox.create ~codec ~name:user fd in
   let push_frames frames =
     List.iter
       (fun (seq, payload) ->
@@ -829,23 +831,19 @@ and replication_loop t fd ~user ~version since =
   (match subscribed with
   | Wire.Ok_unit ->
     let rec acks () =
-      match Wire.recv fd with
+      match Wire.recv_request fd with
       | None -> ()
-      | Some sexp -> (
-        match Wire.request_of_sexp sexp with
-        | Wire.Repl_ack seq ->
-          Replica.Outbox.note_ack outbox seq;
-          update_replica_gauges t;
-          acks ()
-        | exception Wire.Wire_error _ -> ()
-        | _ ->
-          (* protocol violation: drop the stream *)
-          ())
+      | Some (Wire.Repl_ack seq, _, _) ->
+        Replica.Outbox.note_ack outbox seq;
+        update_replica_gauges t;
+        acks ()
+      | Some _ ->
+        (* protocol violation: drop the stream *)
+        ()
     in
     (try acks () with Wire.Wire_error _ | Unix.Unix_error _ -> ())
   | resp -> (
-    try Wire.send fd (Wire.response_to_sexp resp)
-    with Wire.Wire_error _ -> ()));
+    try Wire.send_response codec fd resp with Wire.Wire_error _ -> ()));
   unregister_follower t outbox;
   Replica.Outbox.close outbox
 
@@ -861,10 +859,19 @@ and connection_loop t fd conn_id =
     Mutex.unlock t.m;
     s
   in
+  (* which codec this connection answers in: a pure function of the
+     negotiated version, so the reply to an accepted v8 hello — and
+     everything after it — is already binary *)
+  let codec () = Wire.codec_for_version !version in
   let rec loop () =
-    match Wire.recv_meta fd with
+    match Wire.recv_request fd with
     | None -> ()
-    | Some (sexp, meta) ->
+    | exception Wire.Wire_error m ->
+      (* malformed frame or undecodable request: answer in the
+         connection's current codec, then drop the connection *)
+      (try Wire.send_response (codec ()) fd (wire_error `Invalid "%s" m)
+       with Wire.Wire_error _ -> ())
+    | Some (req, meta, _frame_codec) -> (
       (* the budget starts ticking the moment the frame is read; a
          header-less request falls back to the server default *)
       let deadline =
@@ -874,10 +881,7 @@ and connection_loop t fd conn_id =
         | None -> Option.map (fun d -> now +. d) t.default_deadline
       in
       let trace = meta.Wire.fm_trace in
-      match Wire.request_of_sexp sexp with
-      | exception Wire.Wire_error m ->
-        (try Wire.send fd (Wire.response_to_sexp (wire_error `Invalid "%s" m))
-         with Wire.Wire_error _ -> ())
+      match req with
       | Wire.Subscribe since ->
         replication_loop t fd ~user:!user ~version:!version since
       | Wire.Snapshot_export ->
@@ -912,7 +916,7 @@ and connection_loop t fd conn_id =
           | req ->
             (serve_request t session ~conn_id ~user ?deadline ?trace req, true)
         in
-        (match Wire.send fd (Wire.response_to_sexp resp) with
+        (match Wire.send_response (codec ()) fd resp with
         | () -> ()
         | exception Wire.Wire_error _ -> ());
         if continue then begin
@@ -923,7 +927,7 @@ and connection_loop t fd conn_id =
         else if
           (* a Shutdown request stops the whole server after the reply *)
           match req with Wire.Shutdown -> true | _ -> false
-        then stop t
+        then stop t)
   in
   (try loop () with
   | Wire.Wire_error _ -> ()
@@ -996,10 +1000,10 @@ let accept_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
-    ?(max_queue = 256) ?default_deadline ?(max_readers = 32)
-    ?(drain_grace = 5.0) ?compact_every ?sync_mode ?slow_log ~db ~socket
-    schema =
+let start ?registry ?seed ?follow ?feed_version ?(max_clients = 64)
+    ?(request_timeout = 30.0) ?(max_queue = 256) ?default_deadline
+    ?(max_readers = 32) ?(drain_grace = 5.0) ?compact_every ?sync_mode
+    ?slow_log ~db ~socket schema =
   let journal = Journal.open_ ?registry ?compact_every ?sync_mode ~dir:db schema in
   let ctx = Journal.context journal in
   (match seed with
@@ -1070,6 +1074,7 @@ let start ?registry ?seed ?follow ?(max_clients = 64) ?(request_timeout = 30.0)
     let driver =
       Replica.Follower.start
         ~name:(Printf.sprintf "follower:%s" (Filename.basename socket))
+        ?version:feed_version
         (* spool streamed snapshots beside the database, so the final
            rename into place stays on one filesystem *)
         ~spool:(Journal.dir t.journal)
@@ -1134,13 +1139,13 @@ let wait t =
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
-let run ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
-    ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode
-    ?slow_log ~db ~socket schema =
+let run ?registry ?seed ?follow ?feed_version ?max_clients ?request_timeout
+    ?max_queue ?default_deadline ?max_readers ?drain_grace ?compact_every
+    ?sync_mode ?slow_log ~db ~socket schema =
   let t =
-    start ?registry ?seed ?follow ?max_clients ?request_timeout ?max_queue
-      ?default_deadline ?max_readers ?drain_grace ?compact_every ?sync_mode
-      ?slow_log ~db ~socket schema
+    start ?registry ?seed ?follow ?feed_version ?max_clients ?request_timeout
+      ?max_queue ?default_deadline ?max_readers ?drain_grace ?compact_every
+      ?sync_mode ?slow_log ~db ~socket schema
   in
   let on_signal _ = stop t in
   let previous =

@@ -36,6 +36,7 @@ val start :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?seed:(Ddf_exec.Engine.context -> unit) ->
   ?follow:string ->
+  ?feed_version:int ->
   ?max_clients:int ->
   ?request_timeout:float ->
   ?max_queue:int ->
@@ -81,8 +82,10 @@ val start :
     is ignored (state comes from the stream).  The connection is kept
     alive with bounded exponential backoff, and a follower whose
     journal predates the primary's snapshot resyncs from a fresh
-    snapshot automatically.  @raise Server_error when the socket
-    cannot be bound. *)
+    snapshot automatically.  [feed_version] overrides the protocol
+    version the replication feed hellos with (the [--wire sexp] debug
+    lever: 7 keeps the upstream link on the sexp codec).
+    @raise Server_error when the socket cannot be bound. *)
 
 val context : t -> Ddf_exec.Engine.context
 (** The shared engine context.  Not synchronized: use it only before
@@ -107,6 +110,7 @@ val run :
   ?registry:Ddf_tools.Encapsulation.registry ->
   ?seed:(Ddf_exec.Engine.context -> unit) ->
   ?follow:string ->
+  ?feed_version:int ->
   ?max_clients:int ->
   ?request_timeout:float ->
   ?max_queue:int ->

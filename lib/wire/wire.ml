@@ -49,9 +49,28 @@ type iid = Store.iid
    monolithic (ok-snapshot ...), so neither side ever holds the whole
    state as a single string.  Negotiated via hello: a v6-or-below
    subscriber still gets the monolithic form, and (snapshot-export)
-   from such a peer is refused. *)
-let protocol_version = 7
+   from such a peer is refused.
+   Version 8: the length-prefixed binary codec.  No new verbs — the
+   same request/response surface rides binary frames (tag byte,
+   fixed-width little-endian ints, length-delimited strings; journal
+   payloads and snapshot chunks as opaque byte slices that are never
+   escaped through an s-expression).  Negotiation stays inside the
+   hello handshake: the hello itself and its reply up to acceptance
+   travel as framed s-expressions, and once a v8 hello is accepted
+   every later frame in both directions is binary.  Receivers always
+   dispatch on the first frame byte (0xD8 = binary, 'd' of "ddf1" =
+   sexp), so a v≤7 peer — or a v8 client forced down with --wire sexp,
+   which simply negotiates v7 — interoperates unchanged. *)
+let protocol_version = 8
 let min_protocol_version = 4
+
+(* The two on-wire codecs.  Which one a connection speaks is a pure
+   function of the negotiated hello version, re-derived per connection
+   (a redial always restarts from [Sexp] until its own hello lands). *)
+type codec = Sexp | Binary
+
+let codec_name = function Sexp -> "sexp" | Binary -> "binary"
+let codec_for_version v = if v >= 8 then Binary else Sexp
 
 (* Streamed snapshots travel in bounded chunks: big enough to amortise
    framing, small enough that neither peer ever buffers more than a few
@@ -692,6 +711,706 @@ let rec response_of_sexp sexp =
   | _ -> wire_errorf "malformed response"
 
 (* ------------------------------------------------------------------ *)
+(* The v8 binary codec                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wire traffic accounting, split by codec: encode/decode latency per
+   frame and bytes moved each way.  Surfaced through the Metrics verb,
+   `remote metrics` and `hercules top` like every other registry
+   metric. *)
+let m_bytes_out_sexp = M.counter "wire.sexp.bytes_out"
+let m_bytes_in_sexp = M.counter "wire.sexp.bytes_in"
+let m_bytes_out_bin = M.counter "wire.binary.bytes_out"
+let m_bytes_in_bin = M.counter "wire.binary.bytes_in"
+let h_encode_sexp = M.histogram "wire.sexp.encode_seconds"
+let h_decode_sexp = M.histogram "wire.sexp.decode_seconds"
+let h_encode_bin = M.histogram "wire.binary.encode_seconds"
+let h_decode_bin = M.histogram "wire.binary.decode_seconds"
+
+let bytes_out_counter = function
+  | Sexp -> m_bytes_out_sexp
+  | Binary -> m_bytes_out_bin
+
+let bytes_in_counter = function
+  | Sexp -> m_bytes_in_sexp
+  | Binary -> m_bytes_in_bin
+
+let encode_histogram = function
+  | Sexp -> h_encode_sexp
+  | Binary -> h_encode_bin
+
+let decode_histogram = function
+  | Sexp -> h_decode_sexp
+  | Binary -> h_decode_bin
+
+(* An iovec-style frame list: header buffers interleaved with borrowed
+   payload slices.  [gather_write] flushes a whole list with one
+   kernel write per socket-buffer fill (the C stub gathers outside the
+   OCaml heap and writes with the runtime lock released), so a group
+   of frames costs one syscall, not one per frame — and large payload
+   bodies are never concatenated through an intermediate string on the
+   OCaml side. *)
+module Iovec = struct
+  type slice = { io_base : string; io_off : int; io_len : int }
+
+  external gather_write : Unix.file_descr -> slice array -> int -> int
+    = "ddf_gather_write"
+
+  let of_string s = { io_base = s; io_off = 0; io_len = String.length s }
+
+  let total slices =
+    List.fold_left (fun n s -> n + s.io_len) 0 slices
+
+  let concat slices =
+    let n = total slices in
+    let b = Bytes.create n in
+    let off = ref 0 in
+    List.iter
+      (fun s ->
+        Bytes.blit_string s.io_base s.io_off b !off s.io_len;
+        off := !off + s.io_len)
+      slices;
+    Bytes.unsafe_to_string b
+end
+
+(* Payload bodies at least this large travel as their own iovec slice
+   (zero-copy on the OCaml side); smaller ones are cheaper to append
+   to the scratch buffer than to carry as an extra slice. *)
+let zero_copy_min = 512
+
+module Enc = struct
+  type t = {
+    mutable slices : Iovec.slice list;  (* finalized, reversed *)
+    buf : Buffer.t;                     (* scratch being filled *)
+  }
+
+  let create () = { slices = []; buf = Buffer.create 256 }
+
+  let flush_buf e =
+    if Buffer.length e.buf > 0 then begin
+      e.slices <- Iovec.of_string (Buffer.contents e.buf) :: e.slices;
+      Buffer.clear e.buf
+    end
+
+  let u8 e n = Buffer.add_char e.buf (Char.chr (n land 0xff))
+  let u32 e n = Buffer.add_int32_le e.buf (Int32.of_int n)
+  let int e n = Buffer.add_int64_le e.buf (Int64.of_int n)
+  let float e f = Buffer.add_int64_le e.buf (Int64.bits_of_float f)
+  let bool e b = u8 e (if b then 1 else 0)
+
+  let str e s =
+    u32 e (String.length s);
+    Buffer.add_string e.buf s
+
+  (* An opaque payload body: length-delimited raw bytes, borrowed as a
+     slice when large — the codec never escapes or re-encodes them. *)
+  let payload e s =
+    u32 e (String.length s);
+    if String.length s >= zero_copy_min then begin
+      flush_buf e;
+      e.slices <- Iovec.of_string s :: e.slices
+    end
+    else Buffer.add_string e.buf s
+
+  let opt e f = function
+    | None -> u8 e 0
+    | Some v ->
+      u8 e 1;
+      f e v
+
+  let list e f l =
+    u32 e (List.length l);
+    List.iter (f e) l
+
+  let finish e =
+    flush_buf e;
+    List.rev e.slices
+end
+
+module Dec = struct
+  type t = { db : string; mutable pos : int }
+
+  let of_string s = { db = s; pos = 0 }
+
+  let need d n =
+    if d.pos + n > String.length d.db then
+      wire_errorf "truncated binary frame body (at byte %d)" d.pos
+
+  let u8 d =
+    need d 1;
+    let v = Char.code d.db.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u32 d =
+    need d 4;
+    let v = Int32.to_int (String.get_int32_le d.db d.pos) land 0xFFFFFFFF in
+    d.pos <- d.pos + 4;
+    v
+
+  let int d =
+    need d 8;
+    let v = Int64.to_int (String.get_int64_le d.db d.pos) in
+    d.pos <- d.pos + 8;
+    v
+
+  let float d =
+    need d 8;
+    let v = Int64.float_of_bits (String.get_int64_le d.db d.pos) in
+    d.pos <- d.pos + 8;
+    v
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | n -> wire_errorf "bad boolean byte %d" n
+
+  let str d =
+    let n = u32 d in
+    need d n;
+    let v = String.sub d.db d.pos n in
+    d.pos <- d.pos + n;
+    v
+
+  let payload = str
+
+  let opt d f =
+    match u8 d with
+    | 0 -> None
+    | 1 -> Some (f d)
+    | n -> wire_errorf "bad option byte %d" n
+
+  let list d f =
+    let n = u32 d in
+    (* cheap sanity bound: every item costs at least one byte *)
+    need d n;
+    List.init n (fun _ -> f d)
+
+  let finished d = d.pos = String.length d.db
+end
+
+(* --- binary forms of the shared sub-structures --- *)
+
+let filter_to_bin e (f : Store.filter) =
+  Enc.opt e (fun e -> Enc.list e Enc.str) f.Store.f_entities;
+  Enc.opt e Enc.str f.Store.f_user;
+  Enc.opt e Enc.int f.Store.f_from;
+  Enc.opt e Enc.int f.Store.f_to;
+  Enc.list e Enc.str f.Store.f_keywords;
+  Enc.opt e Enc.str f.Store.f_text
+
+let filter_of_bin d =
+  let f_entities = Dec.opt d (fun d -> Dec.list d Dec.str) in
+  let f_user = Dec.opt d Dec.str in
+  let f_from = Dec.opt d Dec.int in
+  let f_to = Dec.opt d Dec.int in
+  let f_keywords = Dec.list d Dec.str in
+  let f_text = Dec.opt d Dec.str in
+  { Store.f_entities; f_user; f_from; f_to; f_keywords; f_text }
+
+let meta_to_bin e (m : Store.meta) =
+  Enc.str e m.Store.user;
+  Enc.int e m.Store.created_at;
+  Enc.str e m.Store.label;
+  Enc.str e m.Store.comment;
+  Enc.list e Enc.str m.Store.keywords
+
+let meta_of_bin d =
+  let user = Dec.str d in
+  let created_at = Dec.int d in
+  let label = Dec.str d in
+  let comment = Dec.str d in
+  let keywords = Dec.list d Dec.str in
+  { Store.user; created_at; label; comment; keywords }
+
+let sync_frame_to_bin e (seq, digest, payload) =
+  Enc.int e seq;
+  Enc.str e digest;
+  Enc.payload e payload
+
+let sync_frame_of_bin d =
+  let seq = Dec.int d in
+  let digest = Dec.str d in
+  let payload = Dec.payload d in
+  (seq, digest, payload)
+
+let pair_to_bin fa fb e (a, b) =
+  fa e a;
+  fb e b
+
+let pair_of_bin fa fb d =
+  let a = fa d in
+  let b = fb d in
+  (a, b)
+
+let error_to_bin e (err : E.t) =
+  Enc.str e (E.code_to_string err.E.code);
+  Enc.str e err.E.message;
+  Enc.bool e err.E.retryable;
+  Enc.opt e Enc.float err.E.retry_after;
+  Enc.list e (pair_to_bin Enc.str Enc.str) err.E.context
+
+let error_of_bin d =
+  let code =
+    match E.code_of_string (Dec.str d) with
+    | Some c -> c
+    | None -> `Internal (* a code minted by a newer peer *)
+  in
+  let message = Dec.str d in
+  let retryable = Dec.bool d in
+  let retry_after = Dec.opt d Dec.float in
+  let context = Dec.list d (pair_of_bin Dec.str Dec.str) in
+  E.make ~context ~retryable ?retry_after code message
+
+let metric_to_bin e = function
+  | M.Counter (n, v) ->
+    Enc.u8 e 0;
+    Enc.str e n;
+    Enc.int e v
+  | M.Gauge (n, v) ->
+    Enc.u8 e 1;
+    Enc.str e n;
+    Enc.float e v
+  | M.Histogram (n, h) ->
+    Enc.u8 e 2;
+    Enc.str e n;
+    Enc.int e h.M.hs_n;
+    Enc.float e h.M.hs_sum;
+    Enc.float e h.M.hs_min;
+    Enc.float e h.M.hs_max;
+    Enc.float e h.M.hs_p50;
+    Enc.float e h.M.hs_p90;
+    Enc.float e h.M.hs_p99
+
+let metric_of_bin d =
+  match Dec.u8 d with
+  | 0 ->
+    let n = Dec.str d in
+    let v = Dec.int d in
+    M.Counter (n, v)
+  | 1 ->
+    let n = Dec.str d in
+    let v = Dec.float d in
+    M.Gauge (n, v)
+  | 2 ->
+    let n = Dec.str d in
+    let hs_n = Dec.int d in
+    let hs_sum = Dec.float d in
+    let hs_min = Dec.float d in
+    let hs_max = Dec.float d in
+    let hs_p50 = Dec.float d in
+    let hs_p90 = Dec.float d in
+    let hs_p99 = Dec.float d in
+    M.Histogram
+      (n, { M.hs_n; hs_sum; hs_min; hs_max; hs_p50; hs_p90; hs_p99 })
+  | t -> wire_errorf "unknown binary metric tag %d" t
+
+let catalog_to_bin = function Entities -> 0 | Tools -> 1 | Flows -> 2
+
+let catalog_of_bin = function
+  | 0 -> Entities
+  | 1 -> Tools
+  | 2 -> Flows
+  | t -> wire_errorf "unknown catalog tag %d" t
+
+(* --- requests --- *)
+
+(* Tag bytes are append-only protocol surface: never renumber. *)
+let rec request_to_bin e = function
+  | Hello { user; version } ->
+    Enc.u8 e 1;
+    Enc.str e user;
+    Enc.int e version
+  | Ping -> Enc.u8 e 2
+  | Stat -> Enc.u8 e 3
+  | Catalog c ->
+    Enc.u8 e 4;
+    Enc.u8 e (catalog_to_bin c)
+  | Browse f ->
+    Enc.u8 e 5;
+    filter_to_bin e f
+  | Install { entity; label; keywords; value } ->
+    Enc.u8 e 6;
+    Enc.str e entity;
+    Enc.str e label;
+    Enc.list e Enc.str keywords;
+    (* the design-object value rides as one opaque body: printed once
+       here, parsed once by the evaluator, never re-framed between *)
+    Enc.payload e (S.to_string ~pretty:false value)
+  | Annotate { iid; label; comment; keywords } ->
+    Enc.u8 e 7;
+    Enc.int e iid;
+    Enc.opt e Enc.str label;
+    Enc.opt e Enc.str comment;
+    Enc.opt e (fun e -> Enc.list e Enc.str) keywords
+  | Start_goal entity ->
+    Enc.u8 e 8;
+    Enc.str e entity
+  | Start_data iid ->
+    Enc.u8 e 9;
+    Enc.int e iid
+  | Expand nid ->
+    Enc.u8 e 10;
+    Enc.int e nid
+  | Specialize (nid, sub) ->
+    Enc.u8 e 11;
+    Enc.int e nid;
+    Enc.str e sub
+  | Select (nid, iids) ->
+    Enc.u8 e 12;
+    Enc.int e nid;
+    Enc.list e Enc.int iids
+  | Node_browse (nid, f) ->
+    Enc.u8 e 13;
+    Enc.int e nid;
+    filter_to_bin e f
+  | Leaves -> Enc.u8 e 14
+  | Run nid ->
+    Enc.u8 e 15;
+    Enc.int e nid
+  | Render -> Enc.u8 e 16
+  | Recall iid ->
+    Enc.u8 e 17;
+    Enc.int e iid
+  | Trace iid ->
+    Enc.u8 e 18;
+    Enc.int e iid
+  | Uses iid ->
+    Enc.u8 e 19;
+    Enc.int e iid
+  | Refresh iid ->
+    Enc.u8 e 20;
+    Enc.int e iid
+  | Save_flow name ->
+    Enc.u8 e 21;
+    Enc.str e name
+  | Load_flow name ->
+    Enc.u8 e 22;
+    Enc.str e name
+  | Shutdown -> Enc.u8 e 23
+  | Subscribe seq ->
+    Enc.u8 e 24;
+    Enc.int e seq
+  | Repl_ack seq ->
+    Enc.u8 e 25;
+    Enc.int e seq
+  | Lag -> Enc.u8 e 26
+  | Compact -> Enc.u8 e 27
+  | Metrics -> Enc.u8 e 28
+  | Sync_digest -> Enc.u8 e 29
+  | Sync_frames { after; limit } ->
+    Enc.u8 e 30;
+    Enc.int e after;
+    Enc.int e limit
+  | Sync_ack { origin; upto; frames } ->
+    Enc.u8 e 31;
+    Enc.str e origin;
+    Enc.int e upto;
+    Enc.list e sync_frame_to_bin frames
+  | Conflicts -> Enc.u8 e 32
+  | Resolve { conflict; winner } ->
+    Enc.u8 e 33;
+    Enc.int e conflict;
+    Enc.int e winner
+  | Snapshot_export -> Enc.u8 e 34
+  | Batch reqs ->
+    Enc.u8 e 35;
+    Enc.list e request_to_bin reqs
+
+let rec request_of_bin d =
+  match Dec.u8 d with
+  | 1 ->
+    let user = Dec.str d in
+    let version = Dec.int d in
+    Hello { user; version }
+  | 2 -> Ping
+  | 3 -> Stat
+  | 4 -> Catalog (catalog_of_bin (Dec.u8 d))
+  | 5 -> Browse (filter_of_bin d)
+  | 6 ->
+    let entity = Dec.str d in
+    let label = Dec.str d in
+    let keywords = Dec.list d Dec.str in
+    let value =
+      let body = Dec.payload d in
+      try S.of_string body
+      with S.Sexp_error m -> wire_errorf "install value: %s" m
+    in
+    Install { entity; label; keywords; value }
+  | 7 ->
+    let iid = Dec.int d in
+    let label = Dec.opt d Dec.str in
+    let comment = Dec.opt d Dec.str in
+    let keywords = Dec.opt d (fun d -> Dec.list d Dec.str) in
+    Annotate { iid; label; comment; keywords }
+  | 8 -> Start_goal (Dec.str d)
+  | 9 -> Start_data (Dec.int d)
+  | 10 -> Expand (Dec.int d)
+  | 11 ->
+    let nid = Dec.int d in
+    let sub = Dec.str d in
+    Specialize (nid, sub)
+  | 12 ->
+    let nid = Dec.int d in
+    let iids = Dec.list d Dec.int in
+    Select (nid, iids)
+  | 13 ->
+    let nid = Dec.int d in
+    let f = filter_of_bin d in
+    Node_browse (nid, f)
+  | 14 -> Leaves
+  | 15 -> Run (Dec.int d)
+  | 16 -> Render
+  | 17 -> Recall (Dec.int d)
+  | 18 -> Trace (Dec.int d)
+  | 19 -> Uses (Dec.int d)
+  | 20 -> Refresh (Dec.int d)
+  | 21 -> Save_flow (Dec.str d)
+  | 22 -> Load_flow (Dec.str d)
+  | 23 -> Shutdown
+  | 24 -> Subscribe (Dec.int d)
+  | 25 -> Repl_ack (Dec.int d)
+  | 26 -> Lag
+  | 27 -> Compact
+  | 28 -> Metrics
+  | 29 -> Sync_digest
+  | 30 ->
+    let after = Dec.int d in
+    let limit = Dec.int d in
+    Sync_frames { after; limit }
+  | 31 ->
+    let origin = Dec.str d in
+    let upto = Dec.int d in
+    let frames = Dec.list d sync_frame_of_bin in
+    Sync_ack { origin; upto; frames }
+  | 32 -> Conflicts
+  | 33 ->
+    let conflict = Dec.int d in
+    let winner = Dec.int d in
+    Resolve { conflict; winner }
+  | 34 -> Snapshot_export
+  | 35 -> Batch (Dec.list d request_of_bin)
+  | t -> wire_errorf "unknown binary request tag %d" t
+
+(* --- responses --- *)
+
+let rec response_to_bin e = function
+  | Ok_unit -> Enc.u8 e 1
+  | Ok_int n ->
+    Enc.u8 e 2;
+    Enc.int e n
+  | Ok_ints ns ->
+    Enc.u8 e 3;
+    Enc.list e Enc.int ns
+  | Ok_atoms l ->
+    Enc.u8 e 4;
+    Enc.list e Enc.str l
+  | Ok_text t ->
+    Enc.u8 e 5;
+    Enc.payload e t
+  | Ok_nodes l ->
+    Enc.u8 e 6;
+    Enc.list e (pair_to_bin Enc.int Enc.str) l
+  | Ok_rows rows ->
+    Enc.u8 e 7;
+    Enc.list e
+      (fun e r ->
+        Enc.int e r.row_iid;
+        Enc.str e r.row_entity;
+        meta_to_bin e r.row_meta)
+      rows
+  | Ok_stat st ->
+    Enc.u8 e 8;
+    Enc.str e st.st_role;
+    Enc.int e st.st_seq;
+    Enc.int e st.st_clock;
+    Enc.int e st.st_instances;
+    Enc.int e st.st_records;
+    Enc.int e st.st_store_tick;
+    Enc.int e st.st_history_tick;
+    Enc.float e st.st_uptime_s
+  | Ok_refresh { fresh; reran; reused } ->
+    Enc.u8 e 9;
+    Enc.int e fresh;
+    Enc.int e reran;
+    Enc.int e reused
+  | Ok_snapshot { seq; data } ->
+    Enc.u8 e 10;
+    Enc.int e seq;
+    Enc.payload e data
+  | Ok_snapshot_begin { seq; bytes } ->
+    Enc.u8 e 11;
+    Enc.int e seq;
+    Enc.int e bytes
+  | Ok_snapshot_chunk { data } ->
+    Enc.u8 e 12;
+    Enc.payload e data
+  | Ok_snapshot_end { digest } ->
+    Enc.u8 e 13;
+    Enc.str e digest
+  | Ok_frame { seq; payload; digest } ->
+    Enc.u8 e 14;
+    Enc.int e seq;
+    Enc.str e digest;
+    Enc.payload e payload
+  | Ok_lags { primary_seq; rows } ->
+    Enc.u8 e 15;
+    Enc.int e primary_seq;
+    Enc.list e
+      (fun e r ->
+        Enc.str e r.lag_follower;
+        Enc.int e r.lag_acked;
+        Enc.int e r.lag_sent)
+      rows
+  | Ok_metrics ms ->
+    Enc.u8 e 16;
+    Enc.list e metric_to_bin ms
+  | Ok_digest { wsid; base; seq; fingerprint; cursors; entries } ->
+    Enc.u8 e 17;
+    Enc.str e wsid;
+    Enc.int e base;
+    Enc.int e seq;
+    Enc.str e fingerprint;
+    Enc.list e (pair_to_bin Enc.str Enc.int) cursors;
+    Enc.list e (pair_to_bin Enc.int Enc.str) entries
+  | Ok_frames frames ->
+    Enc.u8 e 18;
+    Enc.list e sync_frame_to_bin frames
+  | Ok_sync { sy_applied; sy_skipped; sy_conflicts; sy_cursor } ->
+    Enc.u8 e 19;
+    Enc.int e sy_applied;
+    Enc.int e sy_skipped;
+    Enc.int e sy_conflicts;
+    Enc.int e sy_cursor
+  | Ok_conflicts rows ->
+    Enc.u8 e 20;
+    Enc.list e
+      (fun e c ->
+        Enc.int e c.cf_id;
+        Enc.int e c.cf_base;
+        Enc.int e c.cf_ours;
+        Enc.int e c.cf_theirs;
+        Enc.str e c.cf_origin;
+        Enc.int e c.cf_at;
+        Enc.opt e Enc.int c.cf_winner)
+      rows
+  | Ok_batch resps ->
+    Enc.u8 e 21;
+    Enc.list e response_to_bin resps
+  | Error err ->
+    Enc.u8 e 22;
+    error_to_bin e err
+
+let rec response_of_bin d =
+  match Dec.u8 d with
+  | 1 -> Ok_unit
+  | 2 -> Ok_int (Dec.int d)
+  | 3 -> Ok_ints (Dec.list d Dec.int)
+  | 4 -> Ok_atoms (Dec.list d Dec.str)
+  | 5 -> Ok_text (Dec.payload d)
+  | 6 -> Ok_nodes (Dec.list d (pair_of_bin Dec.int Dec.str))
+  | 7 ->
+    Ok_rows
+      (Dec.list d (fun d ->
+           let row_iid = Dec.int d in
+           let row_entity = Dec.str d in
+           let row_meta = meta_of_bin d in
+           { row_iid; row_entity; row_meta }))
+  | 8 ->
+    let st_role = Dec.str d in
+    let st_seq = Dec.int d in
+    let st_clock = Dec.int d in
+    let st_instances = Dec.int d in
+    let st_records = Dec.int d in
+    let st_store_tick = Dec.int d in
+    let st_history_tick = Dec.int d in
+    let st_uptime_s = Dec.float d in
+    Ok_stat
+      { st_role; st_seq; st_clock; st_instances; st_records; st_store_tick;
+        st_history_tick; st_uptime_s }
+  | 9 ->
+    let fresh = Dec.int d in
+    let reran = Dec.int d in
+    let reused = Dec.int d in
+    Ok_refresh { fresh; reran; reused }
+  | 10 ->
+    let seq = Dec.int d in
+    let data = Dec.payload d in
+    Ok_snapshot { seq; data }
+  | 11 ->
+    let seq = Dec.int d in
+    let bytes = Dec.int d in
+    Ok_snapshot_begin { seq; bytes }
+  | 12 -> Ok_snapshot_chunk { data = Dec.payload d }
+  | 13 -> Ok_snapshot_end { digest = Dec.str d }
+  | 14 ->
+    let seq = Dec.int d in
+    let digest = Dec.str d in
+    let payload = Dec.payload d in
+    Ok_frame { seq; payload; digest }
+  | 15 ->
+    let primary_seq = Dec.int d in
+    let rows =
+      Dec.list d (fun d ->
+          let lag_follower = Dec.str d in
+          let lag_acked = Dec.int d in
+          let lag_sent = Dec.int d in
+          { lag_follower; lag_acked; lag_sent })
+    in
+    Ok_lags { primary_seq; rows }
+  | 16 -> Ok_metrics (Dec.list d metric_of_bin)
+  | 17 ->
+    let wsid = Dec.str d in
+    let base = Dec.int d in
+    let seq = Dec.int d in
+    let fingerprint = Dec.str d in
+    let cursors = Dec.list d (pair_of_bin Dec.str Dec.int) in
+    let entries = Dec.list d (pair_of_bin Dec.int Dec.str) in
+    Ok_digest { wsid; base; seq; fingerprint; cursors; entries }
+  | 18 -> Ok_frames (Dec.list d sync_frame_of_bin)
+  | 19 ->
+    let sy_applied = Dec.int d in
+    let sy_skipped = Dec.int d in
+    let sy_conflicts = Dec.int d in
+    let sy_cursor = Dec.int d in
+    Ok_sync { sy_applied; sy_skipped; sy_conflicts; sy_cursor }
+  | 20 ->
+    Ok_conflicts
+      (Dec.list d (fun d ->
+           let cf_id = Dec.int d in
+           let cf_base = Dec.int d in
+           let cf_ours = Dec.int d in
+           let cf_theirs = Dec.int d in
+           let cf_origin = Dec.str d in
+           let cf_at = Dec.int d in
+           let cf_winner = Dec.opt d Dec.int in
+           { cf_id; cf_base; cf_ours; cf_theirs; cf_origin; cf_at; cf_winner }))
+  | 21 -> Ok_batch (Dec.list d response_of_bin)
+  | 22 -> Error (error_of_bin d)
+  | t -> wire_errorf "unknown binary response tag %d" t
+
+(* String forms of the binary codec, for the property tests and the
+   codec bench (the socket paths below keep the iovec form). *)
+let encode_to_string enc v =
+  let e = Enc.create () in
+  enc e v;
+  Iovec.concat (Enc.finish e)
+
+let decode_of_string dec s =
+  let d = Dec.of_string s in
+  let v = dec d in
+  if not (Dec.finished d) then
+    wire_errorf "trailing bytes in binary frame (%d of %d consumed)" d.Dec.pos
+      (String.length s);
+  v
+
+let request_to_binary_string = encode_to_string request_to_bin
+let request_of_binary_string = decode_of_string request_of_bin
+let response_to_binary_string = encode_to_string response_to_bin
+let response_of_binary_string = decode_of_string response_of_bin
+
+(* ------------------------------------------------------------------ *)
 (* Framed socket I/O                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -709,26 +1428,117 @@ let write_all fd bytes =
   in
   go 0
 
-let send ?deadline_ms ?trace fd sexp =
-  let payload = S.to_string sexp in
-  let header =
-    Printf.sprintf "ddf1 %d%s%s\n" (String.length payload)
-      (match deadline_ms with
-      | None -> ""
-      | Some ms -> Printf.sprintf " %d" ms)
-      (match trace with
-      | None -> ""
-      | Some ctx -> " " ^ Ddf_obs.Obs.span_ctx_to_token ctx)
-  in
-  let msg = header ^ payload ^ "\n" in
+(* One fault-checked flush of an iovec frame list.  Both codecs funnel
+   through here, so a "wire.send" fault (fail / torn) covers them
+   equally: [Torn k] writes the first [k] bytes of the flattened batch
+   and dies, exactly as the old single-string path did. *)
+let flush_slices fd slices =
   match Fault.check "wire.send" with
   | Some (Fault.Torn k) ->
     (* the sender dies mid-frame: the peer sees a truncated message *)
+    let msg = Iovec.concat slices in
     (try write_all fd (Bytes.of_string (String.sub msg 0 (min k (String.length msg))))
      with Wire_error _ -> ());
     raise (Fault.Injected "wire.send")
   | Some Fault.Fail -> raise (Fault.Injected "wire.send")
-  | Some (Fault.Delay _) | None -> write_all fd (Bytes.of_string msg)
+  | Some (Fault.Delay _) | None -> (
+    try ignore (Iovec.gather_write fd (Array.of_list slices) (Iovec.total slices))
+    with Unix.Unix_error (Unix.EPIPE, _, _) ->
+      wire_errorf "peer closed the connection")
+
+let sexp_header ?deadline_ms ?trace len =
+  Printf.sprintf "ddf1 %d%s%s\n" len
+    (match deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf " %d" ms)
+    (match trace with
+    | None -> ""
+    | Some ctx -> " " ^ Ddf_obs.Obs.span_ctx_to_token ctx)
+
+let sexp_frame ?deadline_ms ?trace payload =
+  sexp_header ?deadline_ms ?trace (String.length payload) ^ payload ^ "\n"
+
+let send ?deadline_ms ?trace fd sexp =
+  let msg = sexp_frame ?deadline_ms ?trace (S.to_string sexp) in
+  flush_slices fd [ Iovec.of_string msg ]
+
+(* A binary frame: 0xd8 magic, flags byte (bit0 deadline, bit1 trace),
+   u32-LE body length, then the optional header fields in flag order
+   (u32-LE deadline ms; u8-length-prefixed trace token), then the
+   body. *)
+let binary_magic = '\xd8'
+
+let binary_frame ?deadline_ms ?trace body_slices =
+  let blen = Iovec.total body_slices in
+  if blen > max_frame then wire_errorf "oversized frame (%d bytes)" blen;
+  let h = Buffer.create 48 in
+  Buffer.add_char h binary_magic;
+  let flags =
+    (if deadline_ms = None then 0 else 1) lor if trace = None then 0 else 2
+  in
+  Buffer.add_char h (Char.chr flags);
+  Buffer.add_int32_le h (Int32.of_int blen);
+  (match deadline_ms with
+  | None -> ()
+  | Some ms -> Buffer.add_int32_le h (Int32.of_int (max 0 ms)));
+  (match trace with
+  | None -> ()
+  | Some ctx ->
+    let tok = Ddf_obs.Obs.span_ctx_to_token ctx in
+    Buffer.add_char h (Char.chr (String.length tok));
+    Buffer.add_string h tok);
+  Iovec.of_string (Buffer.contents h) :: body_slices
+
+let encode_request_frame ?deadline_ms ?trace codec req =
+  match codec with
+  | Sexp ->
+    [ Iovec.of_string
+        (sexp_frame ?deadline_ms ?trace (S.to_string (request_to_sexp req))) ]
+  | Binary ->
+    let e = Enc.create () in
+    request_to_bin e req;
+    binary_frame ?deadline_ms ?trace (Enc.finish e)
+
+let encode_response_frame ?deadline_ms ?trace codec resp =
+  match codec with
+  | Sexp ->
+    [ Iovec.of_string
+        (sexp_frame ?deadline_ms ?trace (S.to_string (response_to_sexp resp))) ]
+  | Binary ->
+    let e = Enc.create () in
+    response_to_bin e resp;
+    binary_frame ?deadline_ms ?trace (Enc.finish e)
+
+let instrument_encode codec enc =
+  let t0 = Unix.gettimeofday () in
+  let slices = enc () in
+  M.observe (encode_histogram codec) (Unix.gettimeofday () -. t0);
+  M.incr ~by:(Iovec.total slices) (bytes_out_counter codec);
+  slices
+
+let send_request ?deadline_ms ?trace codec fd req =
+  flush_slices fd
+    (instrument_encode codec (fun () ->
+         encode_request_frame ?deadline_ms ?trace codec req))
+
+let send_response ?deadline_ms ?trace codec fd resp =
+  flush_slices fd
+    (instrument_encode codec (fun () ->
+         encode_response_frame ?deadline_ms ?trace codec resp))
+
+(* A whole group of responses as one flush: the frame lists are
+   chained and hit the kernel in a single gathered write — this is the
+   replication outbox's group-commit fan-out path. *)
+let send_response_batch codec fd items =
+  match items with
+  | [] -> ()
+  | items ->
+    flush_slices fd
+      (List.concat_map
+         (fun (resp, trace) ->
+           instrument_encode codec (fun () ->
+               encode_response_frame ?trace codec resp))
+         items)
 
 (* Read exactly [n] bytes; [None] when the stream ends cleanly at a
    message boundary (off = 0). *)
@@ -745,20 +1555,33 @@ let read_exact fd n =
   in
   go 0
 
-let read_header_line fd =
+(* One byte of lookahead: every receiver sniffs the first byte of a
+   frame (0xd8 = binary, 'd' of "ddf1" = sexp), so a server can read
+   the sexp hello of a peer whose version it does not yet know and
+   binary frames the moment the handshake settles. *)
+let read_byte fd =
+  let byte = Bytes.create 1 in
+  match Unix.read fd byte 0 1 with
+  | 0 -> None
+  | _ -> Some (Bytes.get byte 0)
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+
+let read_header_line_from fd first =
   let buf = Buffer.create 24 in
+  Buffer.add_char buf first;
   let byte = Bytes.create 1 in
   let rec go () =
     match Unix.read fd byte 0 1 with
-    | 0 -> if Buffer.length buf = 0 then None else wire_errorf "truncated header"
+    | 0 -> wire_errorf "truncated header"
     | _ ->
-      if Bytes.get byte 0 = '\n' then Some (Buffer.contents buf)
+      if Bytes.get byte 0 = '\n' then Buffer.contents buf
       else begin
         if Buffer.length buf > 64 then wire_errorf "oversized frame header";
         Buffer.add_char buf (Bytes.get byte 0);
         go ()
       end
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      wire_errorf "connection reset mid-header"
   in
   go ()
 
@@ -770,41 +1593,136 @@ type frame_meta = {
 (* Header tokens after the length are recognised by shape — digits are
    a deadline budget, "t=..." a trace context — so either, both (in
    that order) or neither may appear and old peers stay parseable. *)
-let recv_meta fd =
-  match read_header_line fd with
+let parse_sexp_header header =
+  match String.split_on_char ' ' header with
+  | "ddf1" :: len :: rest ->
+    let len =
+      match int_of_string_opt len with
+      | Some n when n >= 0 && n <= max_frame -> n
+      | Some _ | None -> wire_errorf "bad frame length %S" len
+    in
+    let meta =
+      List.fold_left
+        (fun meta tok ->
+          if String.length tok >= 2 && String.sub tok 0 2 = "t=" then
+            match Ddf_obs.Obs.span_ctx_of_token tok with
+            | Some ctx -> { meta with fm_trace = Some ctx }
+            | None -> wire_errorf "bad trace token %S" tok
+          else
+            match int_of_string_opt tok with
+            | Some n when n >= 0 -> { meta with fm_deadline_ms = Some n }
+            | Some _ | None -> wire_errorf "bad frame header %S" header)
+        { fm_deadline_ms = None; fm_trace = None }
+        rest
+    in
+    (len, meta)
+  | _ -> wire_errorf "bad frame header %S" header
+
+(* The raw body of one frame, still undecoded; the constructor records
+   which codec it arrived in. *)
+type raw_frame = Raw_sexp of string | Raw_binary of string
+
+let recv_sexp_rest fd first =
+  let header = read_header_line_from fd first in
+  let len, meta = parse_sexp_header header in
+  match read_exact fd (len + 1) with
+  | None -> wire_errorf "truncated frame"
+  | Some bytes ->
+    if Bytes.get bytes len <> '\n' then wire_errorf "missing frame terminator";
+    let payload = Bytes.sub_string bytes 0 len in
+    (Raw_sexp payload, meta, String.length header + 1 + len + 1)
+
+let recv_binary_rest fd =
+  match read_exact fd 5 with
+  | None -> wire_errorf "truncated binary frame header"
+  | Some hdr ->
+    let flags = Char.code (Bytes.get hdr 0) in
+    if flags land lnot 3 <> 0 then
+      wire_errorf "bad binary frame flags 0x%x" flags;
+    let blen = Int32.to_int (Bytes.get_int32_le hdr 1) land 0xFFFFFFFF in
+    if blen > max_frame then wire_errorf "oversized binary frame (%d bytes)" blen;
+    let hbytes = ref 6 in
+    let fm_deadline_ms =
+      if flags land 1 = 0 then None
+      else
+        match read_exact fd 4 with
+        | None -> wire_errorf "truncated binary frame header"
+        | Some b ->
+          hbytes := !hbytes + 4;
+          Some (Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF)
+    in
+    let fm_trace =
+      if flags land 2 = 0 then None
+      else
+        match read_exact fd 1 with
+        | None -> wire_errorf "truncated binary frame header"
+        | Some n -> (
+          let n = Char.code (Bytes.get n 0) in
+          match read_exact fd n with
+          | None -> wire_errorf "truncated binary frame header"
+          | Some tok -> (
+            hbytes := !hbytes + 1 + n;
+            let tok = Bytes.to_string tok in
+            match Ddf_obs.Obs.span_ctx_of_token tok with
+            | Some ctx -> Some ctx
+            | None -> wire_errorf "bad trace token %S" tok))
+    in
+    let body =
+      match read_exact fd blen with
+      | None -> wire_errorf "truncated binary frame"
+      | Some b -> Bytes.unsafe_to_string b
+    in
+    (Raw_binary body, { fm_deadline_ms; fm_trace }, !hbytes + blen)
+
+(* [None] on clean EOF at a frame boundary. *)
+let recv_raw fd =
+  match read_byte fd with
   | None -> None
-  | Some header -> (
-    match String.split_on_char ' ' header with
-    | "ddf1" :: len :: rest -> (
-      let len =
-        match int_of_string_opt len with
-        | Some n when n >= 0 && n <= max_frame -> n
-        | Some _ | None -> wire_errorf "bad frame length %S" len
-      in
-      let meta =
-        List.fold_left
-          (fun meta tok ->
-            if String.length tok >= 2 && String.sub tok 0 2 = "t=" then
-              match Ddf_obs.Obs.span_ctx_of_token tok with
-              | Some ctx -> { meta with fm_trace = Some ctx }
-              | None -> wire_errorf "bad trace token %S" tok
-            else
-              match int_of_string_opt tok with
-              | Some n when n >= 0 -> { meta with fm_deadline_ms = Some n }
-              | Some _ | None -> wire_errorf "bad frame header %S" header)
-          { fm_deadline_ms = None; fm_trace = None }
-          rest
-      in
-      match read_exact fd (len + 1) with
-      | None -> wire_errorf "truncated frame"
-      | Some bytes ->
-        if Bytes.get bytes len <> '\n' then wire_errorf "missing frame terminator";
-        let payload = Bytes.sub_string bytes 0 len in
-        (try Some (S.of_string payload, meta)
-         with S.Sexp_error m -> wire_errorf "payload: %s" m))
-    | _ -> wire_errorf "bad frame header %S" header)
+  | Some c when c = binary_magic -> Some (recv_binary_rest fd)
+  | Some c -> Some (recv_sexp_rest fd c)
+
+let parse_sexp_payload payload =
+  try S.of_string payload with S.Sexp_error m -> wire_errorf "payload: %s" m
+
+let recv_meta fd =
+  match recv_raw fd with
+  | None -> None
+  | Some (Raw_binary _, _, _) ->
+    wire_errorf "unexpected binary frame on a sexp connection"
+  | Some (Raw_sexp payload, meta, _) -> Some (parse_sexp_payload payload, meta)
 
 let recv_deadline fd =
   Option.map (fun (sexp, meta) -> (sexp, meta.fm_deadline_ms)) (recv_meta fd)
 
 let recv fd = Option.map fst (recv_meta fd)
+
+let instrument_decode raw nbytes dec_sexp dec_bin =
+  let t0 = Unix.gettimeofday () in
+  let codec, v =
+    match raw with
+    | Raw_sexp payload -> (Sexp, dec_sexp (parse_sexp_payload payload))
+    | Raw_binary body -> (Binary, decode_of_string dec_bin body)
+  in
+  M.observe (decode_histogram codec) (Unix.gettimeofday () -. t0);
+  M.incr ~by:nbytes (bytes_in_counter codec);
+  (v, codec)
+
+(* Typed receive: sniffs the codec per frame, so a connection can
+   switch from sexp to binary mid-stream when a v8 hello is accepted.
+   Returns the frame's codec so servers can answer a pre-hello frame
+   in kind. *)
+let recv_request fd =
+  match recv_raw fd with
+  | None -> None
+  | Some (raw, meta, nbytes) ->
+    let req, codec = instrument_decode raw nbytes request_of_sexp request_of_bin in
+    Some (req, meta, codec)
+
+let recv_response fd =
+  match recv_raw fd with
+  | None -> None
+  | Some (raw, meta, nbytes) ->
+    let resp, codec =
+      instrument_decode raw nbytes response_of_sexp response_of_bin
+    in
+    Some (resp, meta, codec)

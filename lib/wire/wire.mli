@@ -1,6 +1,7 @@
 (** The Hercules design-server wire protocol.
 
-    Requests and responses are s-expressions, framed on the socket as
+    Two codecs share the socket.  The s-expression codec frames each
+    message as
 
     {v ddf1 <payload-bytes> [<deadline-ms>] [t=<trace>.<span>]\n<payload>\n v}
 
@@ -10,19 +11,32 @@
     how long it is still willing to wait for the answer; the server
     sheds requests it cannot start in time — and a [t=]-prefixed token
     is a trace context ({!Ddf_obs.Obs.span_ctx_to_token}) linking the
-    receiver's spans into the sender's distributed trace.  The
-    request surface mirrors {!Ddf_session.Session}: catalog queries,
-    task-window construction (expand / specialize / select), execution,
-    history queries and consistency refresh — plus auth-lite client
-    identity ([Hello]) that the server maps onto [Store.meta.user] for
-    every mutation the client performs. *)
+    receiver's spans into the sender's distributed trace.
+
+    The v8 {e binary} codec carries the same meta in a fixed header —
+    [0xd8] magic, a flags byte, a u32-LE body length, then the flagged
+    optional fields — followed by a tag-byte-dispatched body of
+    fixed-width ints and length-delimited strings.  Design-object
+    values, journal frames and snapshot chunks ride in it as opaque
+    length-delimited byte slices the codec never re-encodes.  Every
+    receiver sniffs the first byte of each frame (0xd8 vs the ['d'] of
+    ["ddf1"]), so the codec can switch mid-connection: a hello always
+    travels as sexp, and once a server {e accepts} a v8 hello, every
+    later frame in both directions — the hello reply included — is
+    binary.
+
+    The request surface mirrors {!Ddf_session.Session}: catalog
+    queries, task-window construction (expand / specialize / select),
+    execution, history queries and consistency refresh — plus
+    auth-lite client identity ([Hello]) that the server maps onto
+    [Store.meta.user] for every mutation the client performs. *)
 
 exception Wire_error of string
 
 type iid = Ddf_store.Store.iid
 
 val protocol_version : int
-(** The dialect this build speaks (7).  The [Hello] handshake carries
+(** The dialect this build speaks (8).  The [Hello] handshake carries
     the client's version; a server refuses clients outside
     [[min_protocol_version, protocol_version]] with a typed error
     before serving anything else.  Version 4 added structured error
@@ -32,13 +46,23 @@ val protocol_version : int
     [Sync_ack]) and the conflict surface ([Conflicts] / [Resolve]);
     version 7 adds chunked streaming snapshots ([Snapshot_export] and
     the [Ok_snapshot_begin]/[Ok_snapshot_chunk]/[Ok_snapshot_end]
-    responses, also used to resync a v7 subscriber).  All live in
-    slots older peers never send, so v4–v6 clients interoperate
-    unchanged — a v6-or-below subscriber is still resynced with one
-    monolithic [Ok_snapshot]. *)
+    responses, also used to resync a v7 subscriber); version 8 adds no
+    verbs — it switches the connection to the length-prefixed binary
+    codec after the handshake.  All verb additions live in slots older
+    peers never send, so v4–v7 clients interoperate unchanged — a
+    v≤7 peer simply keeps the sexp codec both ways. *)
 
 val min_protocol_version : int
 (** The oldest client dialect a server of this build accepts (4). *)
+
+type codec = Sexp | Binary
+(** Which on-wire encoding a connection speaks.  Derived from the
+    negotiated hello version per connection ({!codec_for_version}); a
+    redial always restarts from [Sexp] until its own hello lands. *)
+
+val codec_name : codec -> string
+val codec_for_version : int -> codec
+(** [Binary] for negotiated version ≥ 8, [Sexp] below. *)
 
 val snapshot_chunk_bytes : int
 (** Chunk size of a streamed snapshot (both the [Subscribe] resync and
@@ -235,19 +259,30 @@ val is_mutation : request -> bool
     Session-window operations (expand/select/...) mutate only the
     per-connection session and count as reads of the shared store. *)
 
+(** {1 The v8 binary codec} *)
+
+val request_to_binary_string : request -> string
+val request_of_binary_string : string -> request
+val response_to_binary_string : response -> string
+val response_of_binary_string : string -> response
+(** The binary codec as plain strings (frame body only, no header) —
+    the property-test and bench surface; the socket paths below keep
+    the gathered iovec form.  Decoders
+    @raise Wire_error on malformed input, including trailing bytes. *)
+
 (** {1 Framed socket I/O} *)
 
 val send :
   ?deadline_ms:int -> ?trace:Ddf_obs.Obs.span_ctx ->
   Unix.file_descr -> Ddf_persist.Sexp.t -> unit
-(** Write one framed message; [deadline_ms] puts the sender's
+(** Write one sexp-framed message; [deadline_ms] puts the sender's
     remaining budget in the header, [trace] its span context (so the
     receiver can parent its spans into the sender's trace).
     @raise Wire_error on a closed peer. *)
 
 val recv : Unix.file_descr -> Ddf_persist.Sexp.t option
 (** Read one framed message; [None] on clean end-of-stream.
-    @raise Wire_error on framing violations. *)
+    @raise Wire_error on framing violations (a binary frame included). *)
 
 type frame_meta = {
   fm_deadline_ms : int option;   (** peer's remaining budget, ms *)
@@ -256,8 +291,43 @@ type frame_meta = {
 
 val recv_meta :
   Unix.file_descr -> (Ddf_persist.Sexp.t * frame_meta) option
-(** Like {!recv} but also yields the optional header tokens — what
-    the server and the replication feed read. *)
+(** Like {!recv} but also yields the optional header tokens. *)
 
 val recv_deadline : Unix.file_descr -> (Ddf_persist.Sexp.t * int option) option
 (** {!recv_meta} restricted to the deadline budget. *)
+
+(** {1 Typed codec-aware I/O}
+
+    What every production path speaks.  Senders encode in the given
+    codec; receivers sniff the codec per frame, so a connection can
+    switch from sexp to binary the moment a v8 hello is accepted.
+    Each call observes the [wire.<codec>.encode_seconds] /
+    [wire.<codec>.decode_seconds] histograms and the
+    [wire.<codec>.bytes_out] / [wire.<codec>.bytes_in] counters. *)
+
+val send_request :
+  ?deadline_ms:int -> ?trace:Ddf_obs.Obs.span_ctx ->
+  codec -> Unix.file_descr -> request -> unit
+
+val send_response :
+  ?deadline_ms:int -> ?trace:Ddf_obs.Obs.span_ctx ->
+  codec -> Unix.file_descr -> response -> unit
+
+val send_response_batch :
+  codec -> Unix.file_descr ->
+  (response * Ddf_obs.Obs.span_ctx option) list -> unit
+(** Flush a whole group of response frames (each with its own trace
+    context) as {e one} gathered kernel write — the replication
+    outbox's group-commit fan-out.  Large binary payload bodies are
+    carried as borrowed slices, never concatenated on the OCaml
+    side. *)
+
+val recv_request :
+  Unix.file_descr -> (request * frame_meta * codec) option
+(** Read and decode one request; the returned codec is the frame's
+    own, letting a server answer a pre-hello frame in kind.
+    [None] on clean end-of-stream.
+    @raise Wire_error on framing or decode violations. *)
+
+val recv_response :
+  Unix.file_descr -> (response * frame_meta * codec) option

@@ -263,10 +263,13 @@ let shedding =
                 try Unix.close fd with Unix.Unix_error _ -> ())
               (fun () ->
                 Unix.connect fd (Unix.ADDR_UNIX socket);
+                (* a hand-rolled peer that keeps sending sexp frames
+                   after a v8 hello: the server sniffs each frame and
+                   answers binary — recv_response sniffs right back *)
                 let rpc ?deadline_ms req =
                   Wire.send ?deadline_ms fd (Wire.request_to_sexp req);
-                  match Wire.recv fd with
-                  | Some s -> Wire.response_of_sexp s
+                  match Wire.recv_response fd with
+                  | Some (resp, _, _) -> resp
                   | None -> Alcotest.fail "connection dropped"
                 in
                 (match
@@ -311,10 +314,10 @@ let classification =
           Thread.create
             (fun () ->
               let fd, _ = Unix.accept srv in
-              (match Wire.recv fd with
-              | Some _ -> Wire.send fd (Wire.response_to_sexp Wire.Ok_unit)
+              (match Wire.recv_request fd with
+              | Some _ -> Wire.send_response Wire.Sexp fd Wire.Ok_unit
               | None -> ());
-              ignore (Wire.recv fd);
+              ignore (Wire.recv_request fd);
               Unix.close fd)
             ()
         in
@@ -378,21 +381,20 @@ let classification =
             (fun () ->
               let fd, _ = Unix.accept srv in
               let rec serve () =
-                match Wire.recv fd with
+                match Wire.recv_request fd with
                 | None -> ()
-                | Some s -> (
-                  match Wire.request_of_sexp s with
+                | Some (req, _, _) -> (
+                  match req with
                   | Wire.Hello _ ->
-                    Wire.send fd (Wire.response_to_sexp Wire.Ok_unit);
+                    Wire.send_response Wire.Sexp fd Wire.Ok_unit;
                     serve ()
                   | Wire.Stat ->
-                    Wire.send fd
-                      (Wire.response_to_sexp
-                         (Wire.Ok_stat
-                            { st_role = "primary"; st_seq = 0; st_clock = 0;
-                              st_instances = 0; st_records = 0;
-                              st_store_tick = 0; st_history_tick = 0;
-                              st_uptime_s = 0.0 }));
+                    Wire.send_response Wire.Binary fd
+                      (Wire.Ok_stat
+                         { st_role = "primary"; st_seq = 0; st_clock = 0;
+                           st_instances = 0; st_records = 0;
+                           st_store_tick = 0; st_history_tick = 0;
+                           st_uptime_s = 0.0 });
                     serve ()
                   | _ -> () (* the mutation: received whole, unanswered *))
               in

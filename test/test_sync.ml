@@ -419,13 +419,13 @@ let with_server ?dir f =
 
 let hello_matrix =
   [
-    Alcotest.test_case "hello: v4..v7 clients are accepted, outliers refused"
+    Alcotest.test_case "hello: v4..v8 clients are accepted, outliers refused"
       `Quick (fun () ->
         with_server @@ fun ~dir:_ ~socket ->
         List.iter
           (fun v ->
             Client.with_client ~version:v ~socket @@ fun c -> Client.ping c)
-          [ 4; 5; 6; 7 ];
+          [ 4; 5; 6; 7; 8 ];
         List.iter
           (fun v ->
             match Client.connect ~version:v ~socket () with
@@ -435,7 +435,7 @@ let hello_matrix =
             | exception Error.Ddf_error e ->
               Alcotest.(check bool) "typed final refusal" true
                 (e.Error.code = `Invalid && not e.Error.retryable))
-          [ 3; 8 ]);
+          [ 3; Wire.protocol_version + 1 ]);
   ]
 
 let sockets =

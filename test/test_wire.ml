@@ -1,0 +1,579 @@
+(* Wire protocol v8: the length-prefixed binary codec.  A qcheck
+   codec-equivalence oracle over generated requests and responses
+   (binary and sexp must both round-trip every constructor to the same
+   value), header-token round-trips over real sockets in both codecs,
+   gathered batch writes, large-payload framing, per-frame codec
+   sniffing, the version interop matrix (binary and sexp clients
+   against one server, a mixed-codec replication pair, a sexp-feed
+   sync round), and redial renegotiation after torn sends. *)
+
+open Ddf
+module E = Standard_schemas.E
+
+let with_faults f = Fun.protect ~finally:Fault.reset f
+
+(* ------------------------------------------------------------------ *)
+(* Generators: every constructor of both wire types                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_text = QCheck2.Gen.(string_size ~gen:printable (int_range 0 24))
+
+(* 64-bit extremes included: binary ints travel as 8-byte words. *)
+let gen_int =
+  QCheck2.Gen.(
+    frequency
+      [ (4, small_signed_int); (1, oneofl [ 0; 1; -1; max_int; min_int ]) ])
+
+let gen_nat = QCheck2.Gen.(int_bound 1_000_000)
+
+(* Finite floats only: both codecs are bit-exact (hex atoms on the
+   sexp side), but NaN breaks the structural-equality oracle. *)
+let gen_float =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> float_of_int a /. float_of_int (b + 1))
+      (pair (int_range (-1_000_000) 1_000_000) (int_bound 1000)))
+
+let gen_sexp =
+  QCheck2.Gen.(
+    sized @@ fix
+    @@ fun self n ->
+    if n <= 0 then map (fun s -> Sexp.Atom s) gen_text
+    else
+      frequency
+        [ (2, map (fun s -> Sexp.Atom s) gen_text);
+          (1, map (fun l -> Sexp.List l) (list_size (int_bound 4) (self (n / 2))))
+        ])
+
+let gen_filter =
+  QCheck2.Gen.(
+    map
+      (fun ((ents, user), (from_, to_), (kws, text)) ->
+        { Store.f_entities = ents; f_user = user; f_from = from_; f_to = to_;
+          f_keywords = kws; f_text = text })
+      (triple
+         (pair (option (small_list gen_text)) (option gen_text))
+         (pair (option gen_nat) (option gen_nat))
+         (pair (small_list gen_text) (option gen_text))))
+
+let gen_meta =
+  QCheck2.Gen.(
+    map
+      (fun ((user, created_at), (label, comment), kws) ->
+        { Store.user; created_at; label; comment; keywords = kws })
+      (triple (pair gen_text gen_nat) (pair gen_text gen_text)
+         (small_list gen_text)))
+
+let gen_error =
+  QCheck2.Gen.(
+    map
+      (fun (code, (msg, (ctx, (retryable, after)))) ->
+        Error.make ~context:ctx ~retryable
+          ?retry_after:(Option.map (fun n -> float_of_int n /. 1024.0) after)
+          code msg)
+      (pair (oneofl Error.all_codes)
+         (pair gen_text
+            (pair
+               (small_list (pair gen_text gen_text))
+               (pair bool (option (int_range 0 100_000)))))))
+
+let gen_sync_frames = QCheck2.Gen.(small_list (triple gen_nat gen_text gen_text))
+
+(* Every non-batch request constructor, uniformly. *)
+let gen_simple_request =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun (user, version) -> Wire.Hello { user; version })
+          (pair gen_text (int_range 1 20));
+        return Wire.Ping;
+        return Wire.Stat;
+        map (fun c -> Wire.Catalog c)
+          (oneofl [ Wire.Entities; Wire.Tools; Wire.Flows ]);
+        map (fun f -> Wire.Browse f) gen_filter;
+        map
+          (fun ((entity, label), (kws, value)) ->
+            Wire.Install { entity; label; keywords = kws; value })
+          (pair (pair gen_text gen_text) (pair (small_list gen_text) gen_sexp));
+        map
+          (fun ((iid, label), (comment, kws)) ->
+            Wire.Annotate { iid; label; comment; keywords = kws })
+          (pair
+             (pair gen_nat (option gen_text))
+             (pair (option gen_text) (option (small_list gen_text))));
+        map (fun s -> Wire.Start_goal s) gen_text;
+        map (fun i -> Wire.Start_data i) gen_nat;
+        map (fun n -> Wire.Expand n) gen_nat;
+        map (fun (n, e) -> Wire.Specialize (n, e)) (pair gen_nat gen_text);
+        map (fun (n, iids) -> Wire.Select (n, iids))
+          (pair gen_nat (small_list gen_nat));
+        map (fun (n, f) -> Wire.Node_browse (n, f)) (pair gen_nat gen_filter);
+        return Wire.Leaves;
+        map (fun n -> Wire.Run n) gen_nat;
+        return Wire.Render;
+        map (fun i -> Wire.Recall i) gen_nat;
+        map (fun i -> Wire.Trace i) gen_nat;
+        map (fun i -> Wire.Uses i) gen_nat;
+        map (fun i -> Wire.Refresh i) gen_nat;
+        map (fun s -> Wire.Save_flow s) gen_text;
+        map (fun s -> Wire.Load_flow s) gen_text;
+        return Wire.Shutdown;
+        map (fun n -> Wire.Subscribe n) gen_nat;
+        map (fun n -> Wire.Repl_ack n) gen_nat;
+        return Wire.Lag;
+        return Wire.Compact;
+        return Wire.Metrics;
+        return Wire.Sync_digest;
+        map (fun (after, limit) -> Wire.Sync_frames { after; limit })
+          (pair gen_nat gen_nat);
+        map
+          (fun ((origin, upto), frames) ->
+            Wire.Sync_ack { origin; upto; frames })
+          (pair (pair gen_text gen_nat) gen_sync_frames);
+        return Wire.Conflicts;
+        map (fun (conflict, winner) -> Wire.Resolve { conflict; winner })
+          (pair gen_nat gen_nat);
+        return Wire.Snapshot_export
+      ])
+
+let gen_request =
+  QCheck2.Gen.(
+    frequency
+      [ (9, gen_simple_request);
+        (1, map (fun rs -> Wire.Batch rs) (small_list gen_simple_request))
+      ])
+
+let gen_histo =
+  QCheck2.Gen.(
+    map
+      (fun ((n, sum), (mn, mx), (p50, (p90, p99))) ->
+        { Metrics.hs_n = n; hs_sum = sum; hs_min = mn; hs_max = mx;
+          hs_p50 = p50; hs_p90 = p90; hs_p99 = p99 })
+      (triple (pair gen_nat gen_float) (pair gen_float gen_float)
+         (pair gen_float (pair gen_float gen_float))))
+
+let gen_metric =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun (n, v) -> Metrics.Counter (n, v)) (pair gen_text gen_nat);
+        map (fun (n, v) -> Metrics.Gauge (n, v)) (pair gen_text gen_float);
+        map (fun (n, h) -> Metrics.Histogram (n, h)) (pair gen_text gen_histo)
+      ])
+
+let gen_simple_response =
+  QCheck2.Gen.(
+    oneof
+      [ return Wire.Ok_unit;
+        map (fun i -> Wire.Ok_int i) gen_int;
+        map (fun is -> Wire.Ok_ints is) (small_list gen_int);
+        map (fun ss -> Wire.Ok_atoms ss) (small_list gen_text);
+        map (fun s -> Wire.Ok_text s) gen_text;
+        map (fun ns -> Wire.Ok_nodes ns) (small_list (pair gen_nat gen_text));
+        map (fun rows -> Wire.Ok_rows rows)
+          (small_list
+             (map
+                (fun ((iid, entity), meta) ->
+                  { Wire.row_iid = iid; row_entity = entity; row_meta = meta })
+                (pair (pair gen_nat gen_text) gen_meta)));
+        map
+          (fun ((role, (seq, clock)), (insts, recs), (st, (ht, up))) ->
+            Wire.Ok_stat
+              { Wire.st_role = role; st_seq = seq; st_clock = clock;
+                st_instances = insts; st_records = recs; st_store_tick = st;
+                st_history_tick = ht; st_uptime_s = up })
+          (triple (pair gen_text (pair gen_nat gen_nat)) (pair gen_nat gen_nat)
+             (pair gen_nat (pair gen_nat gen_float)));
+        map (fun ((fresh, reran), reused) ->
+            Wire.Ok_refresh { fresh; reran; reused })
+          (pair (pair gen_nat gen_nat) gen_nat);
+        map (fun (seq, data) -> Wire.Ok_snapshot { seq; data })
+          (pair gen_nat gen_text);
+        map (fun (seq, bytes) -> Wire.Ok_snapshot_begin { seq; bytes })
+          (pair gen_nat gen_nat);
+        map (fun data -> Wire.Ok_snapshot_chunk { data }) gen_text;
+        map (fun digest -> Wire.Ok_snapshot_end { digest }) gen_text;
+        map
+          (fun ((seq, payload), digest) ->
+            Wire.Ok_frame { seq; payload; digest })
+          (pair (pair gen_nat gen_text) gen_text);
+        map
+          (fun (primary_seq, rows) -> Wire.Ok_lags { primary_seq; rows })
+          (pair gen_nat
+             (small_list
+                (map
+                   (fun ((f, a), s) ->
+                     { Wire.lag_follower = f; lag_acked = a; lag_sent = s })
+                   (pair (pair gen_text gen_nat) gen_nat))));
+        map (fun ms -> Wire.Ok_metrics ms) (small_list gen_metric);
+        map
+          (fun ((wsid, (base, seq)), fingerprint, (cursors, entries)) ->
+            Wire.Ok_digest { wsid; base; seq; fingerprint; cursors; entries })
+          (triple (pair gen_text (pair gen_nat gen_nat)) gen_text
+             (pair (small_list (pair gen_text gen_nat))
+                (small_list (pair gen_nat gen_text))));
+        map (fun fs -> Wire.Ok_frames fs) gen_sync_frames;
+        map
+          (fun ((ap, sk), (cf, cur)) ->
+            Wire.Ok_sync
+              { Wire.sy_applied = ap; sy_skipped = sk; sy_conflicts = cf;
+                sy_cursor = cur })
+          (pair (pair gen_nat gen_nat) (pair gen_nat gen_nat));
+        map (fun rows -> Wire.Ok_conflicts rows)
+          (small_list
+             (map
+                (fun ((id, base), (ours, theirs), (origin, (at, winner))) ->
+                  { Wire.cf_id = id; cf_base = base; cf_ours = ours;
+                    cf_theirs = theirs; cf_origin = origin; cf_at = at;
+                    cf_winner = winner })
+                (triple (pair gen_nat gen_nat) (pair gen_nat gen_nat)
+                   (pair gen_text (pair gen_nat (option gen_nat))))));
+        map (fun e -> Wire.Error e) gen_error
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    frequency
+      [ (9, gen_simple_response);
+        (1, map (fun rs -> Wire.Ok_batch rs) (small_list gen_simple_response))
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* The codec-equivalence oracle                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sexp_reparse s = Sexp.of_string (Sexp.to_string s)
+
+let codec_props =
+  [
+    Util.qcheck ~count:300 "requests round-trip the binary codec" gen_request
+      (fun r ->
+        Wire.request_of_binary_string (Wire.request_to_binary_string r) = r);
+    Util.qcheck ~count:300 "responses round-trip the binary codec" gen_response
+      (fun r ->
+        Wire.response_of_binary_string (Wire.response_to_binary_string r) = r);
+    (* the two codecs must agree on every constructor: what binary
+       decodes to is exactly what the sexp path decodes to *)
+    Util.qcheck ~count:300 "request codecs agree (sexp oracle)" gen_request
+      (fun r ->
+        Wire.request_of_binary_string (Wire.request_to_binary_string r)
+        = Wire.request_of_sexp (sexp_reparse (Wire.request_to_sexp r)));
+    Util.qcheck ~count:300 "response codecs agree (sexp oracle)" gen_response
+      (fun r ->
+        Wire.response_of_binary_string (Wire.response_to_binary_string r)
+        = Wire.response_of_sexp (sexp_reparse (Wire.response_to_sexp r)));
+    Alcotest.test_case "binary decode rejects trailing bytes" `Quick (fun () ->
+        let s = Wire.request_to_binary_string Wire.Ping ^ "\x00" in
+        match Wire.request_of_binary_string s with
+        | _ -> Alcotest.fail "expected a Wire_error"
+        | exception Wire.Wire_error m ->
+          Alcotest.(check bool) "names the trailing bytes" true
+            (Util.contains m "trailing"));
+    Alcotest.test_case "binary decode rejects unknown tags" `Quick (fun () ->
+        match Wire.request_of_binary_string "\xff" with
+        | _ -> Alcotest.fail "expected a Wire_error"
+        | exception Wire.Wire_error _ -> ());
+    Alcotest.test_case "binary decode rejects truncated bodies" `Quick
+      (fun () ->
+        let whole = Wire.request_to_binary_string (Wire.Start_goal "perf") in
+        let torn = String.sub whole 0 (String.length whole - 2) in
+        match Wire.request_of_binary_string torn with
+        | _ -> Alcotest.fail "expected a Wire_error"
+        | exception Wire.Wire_error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Framing over real sockets                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_sockpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      (try Unix.close b with Unix.Unix_error _ -> ()))
+    (fun () -> f a b)
+
+(* Send from a thread: socketpair buffers are finite, so big frames
+   need a concurrent reader. *)
+let send_threaded f =
+  let t = Thread.create f () in
+  Fun.protect ~finally:(fun () -> Thread.join t)
+
+let header_roundtrip codec () =
+  with_sockpair @@ fun a b ->
+  let span = Obs.new_root () in
+  Wire.send_request ~deadline_ms:1234 ~trace:span codec a (Wire.Run 7);
+  match Wire.recv_request b with
+  | None -> Alcotest.fail "expected a frame"
+  | Some (req, meta, seen) ->
+    Alcotest.(check bool) "request" true (req = Wire.Run 7);
+    Alcotest.(check bool) "codec sniffed" true (seen = codec);
+    Alcotest.(check (option int)) "deadline" (Some 1234) meta.Wire.fm_deadline_ms;
+    (match meta.Wire.fm_trace with
+    | None -> Alcotest.fail "expected a trace token"
+    | Some ctx ->
+      Alcotest.(check string) "trace id" span.Obs.trace_id ctx.Obs.trace_id;
+      Alcotest.(check int) "span id" span.Obs.span_id ctx.Obs.span_id)
+
+let framing =
+  [
+    Alcotest.test_case "header tokens round-trip (binary)" `Quick
+      (header_roundtrip Wire.Binary);
+    Alcotest.test_case "header tokens round-trip (sexp)" `Quick
+      (header_roundtrip Wire.Sexp);
+    Alcotest.test_case "receivers sniff the codec per frame" `Quick (fun () ->
+        with_sockpair @@ fun a b ->
+        (* the v8 handshake moment: a sexp hello, then binary frames on
+           the same stream — no receiver-side mode switch *)
+        Wire.send_request Wire.Sexp a
+          (Wire.Hello { user = "u"; version = Wire.protocol_version });
+        Wire.send_request Wire.Binary a Wire.Stat;
+        Wire.send_request Wire.Sexp a Wire.Ping;
+        (match Wire.recv_request b with
+        | Some (Wire.Hello _, _, Wire.Sexp) -> ()
+        | _ -> Alcotest.fail "expected a sexp hello");
+        (match Wire.recv_request b with
+        | Some (Wire.Stat, _, Wire.Binary) -> ()
+        | _ -> Alcotest.fail "expected a binary stat");
+        match Wire.recv_request b with
+        | Some (Wire.Ping, _, Wire.Sexp) -> ()
+        | _ -> Alcotest.fail "expected a sexp ping");
+    Alcotest.test_case "large payload bodies survive binary framing" `Quick
+      (fun () ->
+        with_sockpair @@ fun a b ->
+        (* well past [zero_copy_min]: the body rides as its own iovec
+           slice through the gathered write *)
+        let data = String.init 3_000_000 (fun i -> Char.chr (i land 0xff)) in
+        send_threaded
+          (fun () ->
+            Wire.send_response Wire.Binary a
+              (Wire.Ok_frame { seq = 42; payload = data; digest = "d" }))
+          (fun () ->
+            match Wire.recv_response b with
+            | Some (Wire.Ok_frame { seq; payload; digest }, _, Wire.Binary) ->
+              Alcotest.(check int) "seq" 42 seq;
+              Alcotest.(check string) "digest" "d" digest;
+              Alcotest.(check bool) "payload intact" true (payload = data)
+            | _ -> Alcotest.fail "expected a binary frame"));
+    Alcotest.test_case "a batch flush delivers every frame in order" `Quick
+      (fun () ->
+        with_sockpair @@ fun a b ->
+        let items =
+          List.init 64 (fun i ->
+              ( Wire.Ok_frame
+                  { seq = i; payload = String.make (200 * i) 'x'; digest = "" },
+                if i mod 2 = 0 then Some (Obs.new_root ()) else None ))
+        in
+        send_threaded
+          (fun () -> Wire.send_response_batch Wire.Binary a items)
+          (fun () ->
+            List.iteri
+              (fun i (want, trace) ->
+                match Wire.recv_response b with
+                | Some (got, meta, Wire.Binary) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "frame %d" i)
+                    true (got = want);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "trace %d" i)
+                    true
+                    (Option.is_some meta.Wire.fm_trace = Option.is_some trace)
+                | _ -> Alcotest.fail "expected a binary frame")
+              items));
+    Alcotest.test_case "a binary frame on a legacy sexp reader is refused"
+      `Quick (fun () ->
+        with_sockpair @@ fun a b ->
+        Wire.send_request Wire.Binary a Wire.Ping;
+        match Wire.recv b with
+        | _ -> Alcotest.fail "expected a Wire_error"
+        | exception Wire.Wire_error m ->
+          Alcotest.(check bool) "names the binary frame" true
+            (Util.contains m "binary"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The version interop matrix                                          *)
+(* ------------------------------------------------------------------ *)
+
+let only entity =
+  { Test_server.no_filter with Store.f_entities = Some [ entity ] }
+
+let stim_sexp =
+  Codec.value_to_sexp (Value.Stimuli (Eda.Stimuli.exhaustive [ "a" ]))
+
+let counter_of name metrics =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | Metrics.Counter (n, v) when n = name -> acc + v
+      | _ -> acc)
+    0 metrics
+
+let interop =
+  [
+    Alcotest.test_case "binary and sexp clients share one server" `Quick
+      (fun () ->
+        Test_server.with_server @@ fun _t ~dir:_ ~socket ->
+        Client.with_client ~user:"v8" ~socket @@ fun c8 ->
+        Client.with_client ~user:"v7" ~version:7 ~socket @@ fun c7 ->
+        let iid =
+          Client.install c8 ~entity:E.stimuli ~label:"from-v8" stim_sexp
+        in
+        (* the downlevel sexp peer sees the binary peer's write *)
+        let rows = Client.browse c7 (only E.stimuli) in
+        Alcotest.(check bool) "sexp client reads it" true
+          (List.exists (fun r -> r.Wire.row_iid = iid) rows);
+        ignore (Client.install c7 ~entity:E.stimuli ~label:"from-v7" stim_sexp);
+        Alcotest.(check int) "binary client reads both" 2
+          (List.length (Client.browse c8 (only E.stimuli)));
+        (* both codecs moved real bytes, and the server metered them *)
+        let ms = Client.metrics c8 in
+        Alcotest.(check bool) "binary bytes metered" true
+          (counter_of "wire.binary.bytes_in" ms > 0
+          && counter_of "wire.binary.bytes_out" ms > 0);
+        Alcotest.(check bool) "sexp bytes metered" true
+          (counter_of "wire.sexp.bytes_in" ms > 0
+          && counter_of "wire.sexp.bytes_out" ms > 0));
+    Alcotest.test_case "a sexp-feed follower of a binary-era primary converges"
+      `Quick (fun () ->
+        Test_journal.with_dir @@ fun root ->
+        Unix.mkdir root 0o755;
+        let pdir = Filename.concat root "p"
+        and fdir = Filename.concat root "f" in
+        let psock = Filename.concat root "p.sock"
+        and fsock = Filename.concat root "f.sock" in
+        let p =
+          Server.start ~seed:Test_server.seed ~db:pdir ~socket:psock
+            Standard_schemas.odyssey
+        in
+        (* the --wire sexp lever: the replication feed hellos with v7,
+           so the whole stream rides the legacy codec *)
+        let fl =
+          Server.start ~follow:psock ~feed_version:7 ~db:fdir ~socket:fsock
+            Standard_schemas.odyssey
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Server.stop fl; Server.wait fl with _ -> ());
+            (try Server.stop p; Server.wait p with _ -> ()))
+          (fun () ->
+            Client.with_client ~user:"w" ~socket:psock @@ fun cp ->
+            Client.with_client ~user:"r" ~socket:fsock @@ fun cf ->
+            ignore
+              (Test_server.perf_run cp (Eda.Circuits.c17 ()) "mixed-pair");
+            Test_replica.wait_until ~what:"sexp-feed catch-up"
+              (Test_replica.caught_up cp cf);
+            let _, _, _, fpp, _, _ = Client.sync_digest cp in
+            let _, _, _, fpf, _, _ = Client.sync_digest cf in
+            Alcotest.(check string)
+              "fingerprints agree across the codec boundary" fpp fpf));
+    Alcotest.test_case "a sexp sync round against a binary-era server" `Quick
+      (fun () ->
+        Test_journal.with_dir @@ fun root ->
+        Unix.mkdir root 0o755;
+        let adir = Filename.concat root "a"
+        and bdir = Filename.concat root "b" in
+        let asock = Filename.concat root "a.sock"
+        and bsock = Filename.concat root "b.sock" in
+        let a =
+          Server.start ~seed:Test_server.seed ~db:adir ~socket:asock
+            Standard_schemas.odyssey
+        in
+        let b =
+          Server.start ~db:bdir ~socket:bsock Standard_schemas.odyssey
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Server.stop a; Server.wait a with _ -> ());
+            (try Server.stop b; Server.wait b with _ -> ()))
+          (fun () ->
+            Client.with_client ~user:"wa" ~socket:asock @@ fun ca ->
+            ignore
+              (Client.install ca ~entity:E.stimuli ~label:"sync-me" stim_sexp);
+            (* the pulling side speaks v7: every sync verb crosses the
+               codec boundary *)
+            Client.with_client ~user:"sync" ~version:7 ~socket:asock
+            @@ fun pull ->
+            Client.with_client ~user:"sync" ~version:7 ~socket:bsock
+            @@ fun push ->
+            let wsid_a, _, seq_a, fpa, _, _ = Client.sync_digest pull in
+            let frames = Client.sync_frames pull ~after:0 ~limit:10_000 in
+            Alcotest.(check int) "pulled the whole wal" seq_a
+              (List.length frames);
+            let stats = Client.sync_push push ~origin:wsid_a ~upto:seq_a frames in
+            Alcotest.(check int) "cursor advanced" seq_a stats.Wire.sy_cursor;
+            let _, _, _, fpb, _, _ = Client.sync_digest push in
+            Alcotest.(check string) "fingerprints converge" fpa fpb));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Torn sends and renegotiation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let faults =
+  [
+    Alcotest.test_case "a redial after a torn binary frame renegotiates" `Quick
+      (fun () ->
+        with_faults @@ fun () ->
+        Test_journal.with_dir @@ fun dir ->
+        let socket = Filename.concat dir "s.sock" in
+        let t =
+          Server.start ~seed:Test_server.seed ~db:dir ~socket
+            Standard_schemas.odyssey
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.stop t;
+            Server.wait t)
+          (fun () ->
+            Client.with_client ~retries:2 ~socket @@ fun c ->
+            Client.ping c (* negotiate binary before arming the fault *);
+            (* the next binary frame dies 7 bytes in.  The client must
+               drop, redial, redo the hello from sexp, land back on
+               binary and retry — transparently *)
+            Fault.arm ~times:1 "wire.send" (Fault.Torn 7);
+            let stat = Client.stat c in
+            Alcotest.(check string) "retried to an answer" "primary"
+              stat.Wire.st_role;
+            Alcotest.(check int) "the fault fired" 1 (Fault.fired "wire.send");
+            (* the renegotiated connection keeps working *)
+            ignore
+              (Client.install c ~entity:E.stimuli ~label:"post-tear" stim_sexp);
+            Alcotest.(check int) "applied exactly once" 1
+              (List.length (Client.browse c (only E.stimuli)))));
+    Alcotest.test_case "a torn hello fails the dial, not the codec state"
+      `Quick (fun () ->
+        with_faults @@ fun () ->
+        Test_journal.with_dir @@ fun dir ->
+        let socket = Filename.concat dir "s.sock" in
+        let t =
+          Server.start ~seed:Test_server.seed ~db:dir ~socket
+            Standard_schemas.odyssey
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.stop t;
+            Server.wait t)
+          (fun () ->
+            (* the hello itself tears: no connection was ever
+               established, so the injection surfaces raw from the
+               eager dial *)
+            Fault.arm ~times:1 "wire.send" (Fault.Torn 5);
+            (match Client.connect ~socket () with
+            | c ->
+              Client.close c;
+              Alcotest.fail "expected the torn hello to surface"
+            | exception Fault.Injected _ -> ());
+            Alcotest.(check int) "the fault fired" 1 (Fault.fired "wire.send");
+            (* a fresh dial renegotiates from scratch *)
+            Client.with_client ~socket @@ fun c ->
+            Alcotest.(check string) "fresh hello lands on binary" "primary"
+              (Client.stat c).Wire.st_role));
+  ]
+
+let suite =
+  [
+    ("wire-v8 codec", codec_props);
+    ("wire-v8 framing", framing);
+    ("wire-v8 interop", interop);
+    ("wire-v8 faults", faults);
+  ]
