@@ -34,6 +34,8 @@ let experiments =
      Exp_cement.run);
     ("W", "wire codec: binary vs sexp encode/decode, framed throughput",
      Exp_wire.run);
+    ("M", "MVCC: domain-pool read scaling with the writer loop active",
+     Exp_mvcc.run);
   ]
 
 let () =

@@ -586,7 +586,7 @@ let annotate_cmd =
       let keywords = if keyword = [] then None else Some keyword in
       (try
          Store.annotate (Workspace.store w) instance ?label ?comment ?keywords ()
-       with Store.Store_error err ->
+       with Ddf.Error.Ddf_error err ->
          Printf.eprintf "%s\n" (Error.message err);
          exit 1);
       let m = Store.meta_of (Workspace.store w) instance in
@@ -702,6 +702,18 @@ let serve_cmd =
              jobs already wait is shed with a typed overloaded error (and a \
              retry-after hint) instead of queueing unbounded latency.")
   in
+  let read_domains =
+    Arg.(
+      value & opt int 0
+      & info [ "read-domains" ] ~docv:"N"
+          ~doc:
+            "Size of the domain-pool read executor: with $(docv) > 0, pure \
+             reads are evaluated on $(docv) worker domains, each pinning \
+             the latest published store+history snapshot, so read \
+             throughput scales across cores while the writer keeps \
+             committing; 0 (the default) evaluates reads inline on the \
+             connection threads — equally lock-free, just unpooled.")
+  in
   let default_deadline =
     Arg.(
       value
@@ -771,7 +783,8 @@ let serve_cmd =
              their own codec per connection.")
   in
   let run db socket follow wire sync_mode compact_every request_timeout
-      max_clients max_queue default_deadline slow_request replay_only obs =
+      max_clients max_queue read_domains default_deadline slow_request
+      replay_only obs =
     let socket =
       match socket with Some s -> s | None -> Filename.concat db "hercules.sock"
     in
@@ -797,7 +810,8 @@ let serve_cmd =
           socket primary);
       match
         Server.run ~seed:seed_database ?follow ~feed_version:wire ~sync_mode
-          ~max_clients ~request_timeout ~max_queue ?default_deadline
+          ~max_clients ~request_timeout ~max_queue ~read_domains
+          ?default_deadline
           ?slow_log:slow_request ~compact_every ~db ~socket
           Standard_schemas.odyssey
       with
@@ -818,7 +832,8 @@ let serve_cmd =
           read-scaling replication follower ($(b,--follow)).")
     Term.(
       const run $ db_arg $ socket $ follow $ wire $ sync_mode $ compact_every
-      $ request_timeout $ max_clients $ max_queue $ default_deadline
+      $ request_timeout $ max_clients $ max_queue $ read_domains
+      $ default_deadline
       $ slow_request $ replay_only $ obs_term)
 
 (* ------------------------------------------------------------------ *)

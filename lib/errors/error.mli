@@ -8,11 +8,10 @@
     asserts the failed request was {e not executed} (so resending
     cannot double-apply), [retry_after] is a backoff hint in seconds.
 
-    The migrated modules ([Store], [Session], [Engine], [Consistency],
-    [Journal], [Client]) rebind their historical exceptions to
-    {!Ddf_error}, so existing [try ... with Store.Store_error _]
-    handlers keep compiling and keep catching; only code that
-    destructured the old string payload needs {!message}. *)
+    Every subsystem ([Store], [History], [Session], [Engine],
+    [Consistency], [Journal], [Client], the server) raises
+    {!Ddf_error} directly; the per-module [X_error] aliases that eased
+    the migration are gone. *)
 
 type code =
   [ `Not_found  (** no such instance / record / flow *)

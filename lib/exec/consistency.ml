@@ -15,9 +15,6 @@ let m_refreshes = Metrics.counter "consistency.refreshes"
 let m_reran = Metrics.counter "consistency.reran"
 let m_reused = Metrics.counter "consistency.reused"
 
-exception Consistency_error = Ddf_core.Error.Ddf_error
-(* Deprecated alias: consistency raises the shared typed error now. *)
-
 (* The latest version of an instance: the newest leaf of its version
    tree (by creation time, ties to the higher iid). *)
 let latest_version (ctx : Engine.context) iid =

@@ -3,9 +3,6 @@
 
 open Ddf_store
 
-exception Consistency_error of Ddf_core.Error.t
-(** Deprecated alias of {!Ddf_core.Error.Ddf_error}. *)
-
 val latest_version : Engine.context -> Store.iid -> Store.iid
 (** The newest version in the instance's version tree (by creation
     time). *)

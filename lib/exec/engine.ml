@@ -32,9 +32,6 @@ type context = {
   mutable user : string;
 }
 
-exception Execution_error = Ddf_core.Error.Ddf_error
-(* Deprecated alias: the engine raises the shared typed error now. *)
-
 let exec_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 let create_context ?(user = "designer") ?registry schema =
@@ -53,6 +50,21 @@ let create_context ?(user = "designer") ?registry schema =
 let tick ctx =
   ctx.clock <- ctx.clock + 1;
   ctx.clock
+
+(* A pinned read view over a context: the store and history snapshots
+   captured together.  The history is captured first — records only
+   ever reference instances already installed, so the (possibly
+   later) store view covers every instance a captured record
+   mentions. *)
+type view = {
+  v_store : Ddf_data.value Store.snapshot;
+  v_history : History.snapshot;
+}
+
+let pin ctx =
+  let v_history = History.snapshot ctx.history in
+  let v_store = Store.snapshot ctx.store in
+  { v_store; v_history }
 
 (* Install a source design object (or a tool from the catalog). *)
 let install ctx ~entity ?(label = "") ?(comment = "") ?(keywords = []) ?user

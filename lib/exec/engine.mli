@@ -27,15 +27,27 @@ type context = {
           server rebinds it to the requesting client per operation *)
 }
 
-exception Execution_error of Ddf_core.Error.t
-(** Deprecated alias of {!Ddf_core.Error.Ddf_error}. *)
-
 val create_context :
   ?user:string -> ?registry:Encapsulation.registry -> Schema.t -> context
 (** A fresh context; the registry defaults to
     {!Standard_tools.registry}. *)
 
 val tick : context -> int
+
+type view = {
+  v_store : Ddf_data.value Store.snapshot;
+  v_history : History.snapshot;
+}
+(** A pinned read view over a context: the store and history captured
+    together, lock-free.  Every read through one view is repeatable —
+    concurrent writer commits are invisible.  This is what the server's
+    domain-pool read executor and {!Parallel} flow branches read
+    through. *)
+
+val pin : context -> view
+(** Capture a view (two atomic loads; the history side is captured
+    first so the store side covers every instance its records
+    mention). *)
 
 val install :
   context -> entity:string -> ?label:string -> ?comment:string ->
@@ -46,7 +58,7 @@ val install :
 
 val install_tool : context -> string -> Store.iid
 (** Install a catalog tool with its default payload.
-    @raise Execution_error for tools without one. *)
+    @raise Ddf_core.Error.Ddf_error for tools without one. *)
 
 type stats = {
   executed : int;    (** invocations actually run *)
@@ -80,20 +92,20 @@ val execute :
     optionally pre-computed inner nodes); leaves filling only optional
     roles may stay unbound.  With [memo] (default), identical tasks are
     resolved from the history.
-    @raise Execution_error on unbound mandatory leaves, incompatible
+    @raise Ddf_core.Error.Ddf_error on unbound mandatory leaves, incompatible
     bindings or missing outputs. *)
 
 val execute_fanout :
   ?memo:bool -> ?max_combinations:int -> context -> Task_graph.t ->
   bindings:(int * Store.iid list) list -> run list
 (** Multi-instance selections (section 4.1): the flow runs once per
-    combination. @raise Execution_error past [max_combinations]. *)
+    combination. @raise Ddf_core.Error.Ddf_error past [max_combinations]. *)
 
 val decompose : context -> Store.iid -> (string * Store.iid) list
 (** Apply the implicit decomposition function of a composite instance,
     storing the parts and recording the derivation (section 3.1). *)
 
 val result_of : run -> int -> Store.iid
-(** @raise Execution_error when the node was not computed. *)
+(** @raise Ddf_core.Error.Ddf_error when the node was not computed. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -260,7 +260,14 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
             false)
         ready
     in
-    (* prepare the pure part of each invocation *)
+    (* Pin one store snapshot for the whole wave: every instance a
+       ready invocation references was committed in an earlier wave, so
+       the snapshot covers it, and the payload lookups then run
+       *inside* the spawned domains — lock-free reads on real cores
+       instead of a serial resolve on the coordinator. *)
+    let snap = Store.snapshot ctx.Engine.store in
+    (* prepare each invocation: graph/assignment lookups stay on the
+       coordinator, payload resolution moves into the worker domain *)
     let prepared =
       List.map
         (fun (inv : Task_graph.invocation) ->
@@ -269,9 +276,9 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
           let inputs =
             List.map (fun (role, nid) -> (role, lookup nid)) inv.Task_graph.inputs
           in
-          let args =
+          let resolve_args () =
             List.map
-              (fun (role, iid) -> (role, Store.payload ctx.Engine.store iid))
+              (fun (role, iid) -> (role, Store.Snapshot.payload snap iid))
               inputs
           in
           let out_entities = List.map node_entity inv.Task_graph.outputs in
@@ -282,18 +289,18 @@ let execute_parallel ?(domains = 4) ?(memo = true) (ctx : Engine.context) g
               let composer =
                 Encapsulation.find_composer ctx.Engine.registry entity
               in
-              fun () -> [ (entity, composer args) ]
+              fun () -> [ (entity, composer (resolve_args ())) ]
             | Some tool_nid ->
               let tool_iid = lookup tool_nid in
-              let tool_payload = Store.payload ctx.Engine.store tool_iid in
-              let tool_entity = Store.entity_of ctx.Engine.store tool_iid in
+              let tool_entity = Store.Snapshot.entity_of snap tool_iid in
               let enc =
                 Encapsulation.resolve ctx.Engine.registry ctx.Engine.schema
                   ~tool_entity ~goal:(List.hd out_entities)
               in
               fun () ->
-                enc.Encapsulation.behavior ~tool:tool_payload
-                  ~goals:out_entities args
+                enc.Encapsulation.behavior
+                  ~tool:(Store.Snapshot.payload snap tool_iid)
+                  ~goals:out_entities (resolve_args ())
           in
           (inv, inputs, work))
         ready

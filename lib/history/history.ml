@@ -7,10 +7,17 @@
    reconstructs how an object was made (Fig. 10), forward chaining
    finds what depends on it, and a flow trace -- the same form as a
    task graph -- is a semantically richer superset of a version tree
-   (Fig. 11). *)
+   (Fig. 11).
+
+   MVCC: like the store, the whole hot state is one immutable record
+   behind an [Atomic.t]; a snapshot is [Atomic.get], mutations CAS a
+   new state in.  Store-joined reads (traces, version queries) pair a
+   history snapshot with a {!Store.Snapshot.t} so the two views are
+   frozen together. *)
 
 open Ddf_schema
 open Ddf_store
+module Int_map = Map.Make (Int)
 
 type record = {
   rid : int;
@@ -21,28 +28,13 @@ type record = {
   at : int;                               (* logical time of execution *)
 }
 
-(* The version-successor index: version-parent and version-children
-   edges derived from the records (see "Versioning" below).  Records
-   and instance entities are immutable once written, so an indexed
-   prefix of the record ids stays valid forever; the index advances
-   incrementally over rids [vi_next ..] at query time ([add] has no
-   store/schema in hand, so it cannot maintain the edges itself).  The
-   store and schema the edges were derived against are remembered by
-   physical identity — a different store (e.g. after a replication
-   resync swaps the context's store) rebuilds from scratch. *)
-type vindex = {
-  vi_store : Obj.t;
-  vi_schema : Obj.t;
-  vi_parent : (Store.iid, Store.iid) Hashtbl.t;
-  vi_children : (Store.iid, Store.iid list ref) Hashtbl.t;
-  mutable vi_next : int;               (* first rid not yet folded in *)
-}
-
 (* A sync conflict: two journal histories derived different versions
    of the same design object.  Both derivations stay in the history as
    alternative versions (the paper's Fig. 11 version branches); the
    conflict is a first-class, queryable pointer at the branch point,
-   resolvable by picking a winner but never by deleting a branch. *)
+   resolvable by picking a winner but never by deleting a branch.
+   Immutable: resolution replaces the record, so a conflict value read
+   through a snapshot can never be torn by a concurrent resolve. *)
 type conflict = {
   cid : int;
   c_base : Store.iid;      (* the shared version both sides edited *)
@@ -50,53 +42,106 @@ type conflict = {
   c_theirs : Store.iid;    (* the remotely derived alternative *)
   c_origin : string;       (* workspace id the remote branch came from *)
   c_at : int;              (* logical time the conflict was detected *)
-  mutable c_winner : Store.iid option;
+  c_winner : Store.iid option;
 }
 
 type conflict_event = Conflict_added of conflict | Conflict_resolved of conflict
 
+(* The immutable hot state. *)
+type state = {
+  hs_next_rid : int;
+  hs_records : record Int_map.t;
+  hs_produced_by : int Int_map.t;         (* instance -> record *)
+  hs_used_by : int list Int_map.t;        (* instance -> rids, newest first *)
+  hs_next_cid : int;
+  hs_conflicts : conflict Int_map.t;
+}
+
+(* The version-successor index: version-parent and version-children
+   edges derived from the records (see "Versioning" below).  Records
+   and instance entities are immutable once written, so an indexed
+   prefix of the record ids stays valid forever; the index advances
+   incrementally over rids [vi_next ..] at query time ([add] has no
+   store/schema in hand, so it cannot maintain the edges itself).
+
+   The index is itself an immutable record cached on the handle and
+   republished by CAS, which makes it snapshot-safe: a query over a
+   history snapshot uses the cache only when the cached prefix is
+   within the snapshot ([vi_next - 1 <= snapshot boundary]), extends
+   it privately to exactly the boundary, and publishes the extension
+   (a strict improvement — records are shared).  When the cache has
+   advanced past the snapshot (the live history grew), the query
+   rebuilds the prefix privately and leaves the cache alone.
+
+   The store and schema the edges were derived against are remembered
+   by store-handle id and schema physical identity — a different store
+   (e.g. after a replication resync swaps the context's store)
+   rebuilds from scratch. *)
+type vindex = {
+  vi_store : int;                       (* Store.id of the source handle *)
+  vi_schema : Obj.t;
+  vi_parent : Store.iid Int_map.t;
+  vi_children : Store.iid list Int_map.t;
+  vi_next : int;                        (* first rid not yet folded in *)
+}
+
 type t = {
-  mutable next_rid : int;
-  records : (int, record) Hashtbl.t;
-  produced_by : (Store.iid, int) Hashtbl.t;    (* instance -> record *)
-  used_by : (Store.iid, int list ref) Hashtbl.t;
+  state : state Atomic.t;
   mutable observer : (record -> unit) option;
-  mutable vindex : vindex option;
-  mutable next_cid : int;
-  conflict_tbl : (int, conflict) Hashtbl.t;
+  vindex : vindex option Atomic.t;
   mutable conflict_observer : (conflict_event -> unit) option;
 }
 
-exception History_error of string
+type snapshot = {
+  hsnap_state : state;
+  hsnap_source : t;
+  (* the handle is carried only to reach the shared vindex cache *)
+}
 
-let history_errorf fmt = Format.kasprintf (fun s -> raise (History_error s)) fmt
+let history_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 let m_appends = Ddf_obs.Metrics.counter "history.appends"
 let m_queries = Ddf_obs.Metrics.counter "history.template_queries"
 let h_backward = Ddf_obs.Metrics.histogram "history.backward_depth"
 let h_forward = Ddf_obs.Metrics.histogram "history.forward_depth"
 
+let empty_state =
+  {
+    hs_next_rid = 1;
+    hs_records = Int_map.empty;
+    hs_produced_by = Int_map.empty;
+    hs_used_by = Int_map.empty;
+    hs_next_cid = 1;
+    hs_conflicts = Int_map.empty;
+  }
+
 let create () =
   {
-    next_rid = 1;
-    records = Hashtbl.create 64;
-    produced_by = Hashtbl.create 64;
-    used_by = Hashtbl.create 64;
+    state = Atomic.make empty_state;
     observer = None;
-    vindex = None;
-    next_cid = 1;
-    conflict_tbl = Hashtbl.create 8;
+    vindex = Atomic.make None;
     conflict_observer = None;
   }
 
-let size h = Hashtbl.length h.records
+(* Pure-state CAS retry loop; [f]'s side effects must be none (it may
+   run twice under contention). *)
+let rec update h f =
+  let old_state = Atomic.get h.state in
+  let new_state, ret = f old_state in
+  if Atomic.compare_and_set h.state old_state new_state then ret
+  else update h f
 
-let tick h = h.next_rid
+let snapshot h = { hsnap_state = Atomic.get h.state; hsnap_source = h }
+
+let size h = Int_map.cardinal (Atomic.get h.state).hs_records
+let tick h = (Atomic.get h.state).hs_next_rid
 
 let restore_tick h n =
-  if n < h.next_rid then
-    history_errorf "cannot move the record counter back (%d < %d)" n h.next_rid;
-  h.next_rid <- n
+  update h (fun st ->
+      if n < st.hs_next_rid then
+        history_errorf "cannot move the record counter back (%d < %d)" n
+          st.hs_next_rid;
+      ({ st with hs_next_rid = n }, ()))
 
 let set_observer h f = h.observer <- Some f
 let clear_observer h = h.observer <- None
@@ -104,114 +149,140 @@ let clear_observer h = h.observer <- None
 let set_conflict_observer h f = h.conflict_observer <- Some f
 let clear_conflict_observer h = h.conflict_observer <- None
 
-let conflict_tick h = h.next_cid
+let conflict_tick h = (Atomic.get h.state).hs_next_cid
 
 let add_conflict h ~base ~ours ~theirs ~origin ~at =
-  let cid = h.next_cid in
-  h.next_cid <- cid + 1;
   let c =
-    { cid; c_base = base; c_ours = ours; c_theirs = theirs;
-      c_origin = origin; c_at = at; c_winner = None }
+    update h (fun st ->
+        let cid = st.hs_next_cid in
+        let c =
+          { cid; c_base = base; c_ours = ours; c_theirs = theirs;
+            c_origin = origin; c_at = at; c_winner = None }
+        in
+        ( { st with
+            hs_next_cid = cid + 1;
+            hs_conflicts = Int_map.add cid c st.hs_conflicts },
+          c ))
   in
-  Hashtbl.add h.conflict_tbl cid c;
   (match h.conflict_observer with None -> () | Some f -> f (Conflict_added c));
-  c
-
-let find_conflict h cid =
-  match Hashtbl.find_opt h.conflict_tbl cid with
-  | Some c -> c
-  | None -> history_errorf "no conflict %d" cid
-
-(* Unordered-pair lookup: the two sides of a sync each record the same
-   divergence with [ours]/[theirs] swapped, so dedup ignores the
-   orientation. *)
-let find_conflict_pair h a b =
-  let key x = (min x.c_ours x.c_theirs, max x.c_ours x.c_theirs) in
-  let want = (min a b, max a b) in
-  Hashtbl.fold
-    (fun _ c acc -> if acc = None && key c = want then Some c else acc)
-    h.conflict_tbl None
-
-let all_conflicts h =
-  Hashtbl.fold (fun _ c acc -> c :: acc) h.conflict_tbl []
-  |> List.sort (fun a b -> compare a.cid b.cid)
-
-let conflicts h = List.filter (fun c -> c.c_winner = None) (all_conflicts h)
-
-let resolve_conflict h cid ~winner =
-  let c = find_conflict h cid in
-  if winner <> c.c_base && winner <> c.c_ours && winner <> c.c_theirs then
-    history_errorf "conflict %d: %d is not one of its versions" cid winner;
-  (match c.c_winner with
-  | Some w when w = winner -> ()    (* idempotent: re-applying a synced resolution *)
-  | Some w ->
-    history_errorf "conflict %d already resolved in favour of %d" cid w
-  | None ->
-    c.c_winner <- Some winner;
-    (match h.conflict_observer with
-    | None -> ()
-    | Some f -> f (Conflict_resolved c)));
   c
 
 let add h ~task_entity ~tool ~inputs ~outputs ~at =
   if outputs = [] then history_errorf "a record needs at least one output";
-  Ddf_obs.Metrics.incr m_appends;
-  let rid = h.next_rid in
-  h.next_rid <- rid + 1;
-  let r = { rid; task_entity; tool; inputs; outputs; at } in
-  Hashtbl.add h.records rid r;
-  List.iter
-    (fun (_, iid) ->
-      if Hashtbl.mem h.produced_by iid then
-        history_errorf "instance %d already has a producing record" iid;
-      Hashtbl.add h.produced_by iid rid)
-    outputs;
-  let note_use iid =
-    let l =
-      match Hashtbl.find_opt h.used_by iid with
-      | Some l -> l
-      | None ->
-        let l = ref [] in
-        Hashtbl.add h.used_by iid l;
-        l
-    in
-    l := rid :: !l
+  let r =
+    update h (fun st ->
+        let rid = st.hs_next_rid in
+        let r = { rid; task_entity; tool; inputs; outputs; at } in
+        let produced_by =
+          List.fold_left
+            (fun acc (_, iid) ->
+              if Int_map.mem iid acc then
+                history_errorf ~code:`Conflict
+                  "instance %d already has a producing record" iid;
+              Int_map.add iid rid acc)
+            st.hs_produced_by outputs
+        in
+        let note_use acc iid =
+          let l = Option.value (Int_map.find_opt iid acc) ~default:[] in
+          Int_map.add iid (rid :: l) acc
+        in
+        let used_by =
+          List.fold_left (fun acc (_, iid) -> note_use acc iid)
+            st.hs_used_by inputs
+        in
+        let used_by =
+          match tool with Some t -> note_use used_by t | None -> used_by
+        in
+        ( { st with
+            hs_next_rid = rid + 1;
+            hs_records = Int_map.add rid r st.hs_records;
+            hs_produced_by = produced_by;
+            hs_used_by = used_by },
+          r ))
   in
-  List.iter (fun (_, iid) -> note_use iid) inputs;
-  (match tool with Some t -> note_use t | None -> ());
+  Ddf_obs.Metrics.incr m_appends;
   (match h.observer with None -> () | Some f -> f r);
   r
 
-let find h rid =
-  match Hashtbl.find_opt h.records rid with
+let resolve_conflict h cid ~winner =
+  let c, resolved =
+    update h (fun st ->
+        match Int_map.find_opt cid st.hs_conflicts with
+        | None -> history_errorf ~code:`Not_found "no conflict %d" cid
+        | Some c -> (
+          if winner <> c.c_base && winner <> c.c_ours && winner <> c.c_theirs
+          then
+            history_errorf "conflict %d: %d is not one of its versions" cid
+              winner;
+          match c.c_winner with
+          | Some w when w = winner ->
+            (st, (c, false))   (* idempotent: re-applying a synced resolution *)
+          | Some w ->
+            history_errorf ~code:`Conflict
+              "conflict %d already resolved in favour of %d" cid w
+          | None ->
+            let c = { c with c_winner = Some winner } in
+            ( { st with hs_conflicts = Int_map.add cid c st.hs_conflicts },
+              (c, true) )))
+  in
+  (if resolved then
+     match h.conflict_observer with
+     | None -> ()
+     | Some f -> f (Conflict_resolved c));
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Reads over one frozen state                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below is pure over a [state] (plus, for store-joined
+   queries, a [Store.Snapshot.t] and a schema); the [Snapshot] module
+   and the live wrappers at the bottom both delegate here. *)
+
+let st_find st rid =
+  match Int_map.find_opt rid st.hs_records with
   | Some r -> r
-  | None -> history_errorf "no record %d" rid
+  | None -> history_errorf ~code:`Not_found "no record %d" rid
 
-let records h =
-  Hashtbl.fold (fun _ r acc -> r :: acc) h.records []
-  |> List.sort (fun a b -> compare a.rid b.rid)
+let st_records st = List.map snd (Int_map.bindings st.hs_records)
 
-(* ------------------------------------------------------------------ *)
-(* Chaining                                                            *)
-(* ------------------------------------------------------------------ *)
+let st_find_conflict st cid =
+  match Int_map.find_opt cid st.hs_conflicts with
+  | Some c -> c
+  | None -> history_errorf ~code:`Not_found "no conflict %d" cid
+
+(* Unordered-pair lookup: the two sides of a sync each record the same
+   divergence with [ours]/[theirs] swapped, so dedup ignores the
+   orientation. *)
+let st_find_conflict_pair st a b =
+  let key x = (min x.c_ours x.c_theirs, max x.c_ours x.c_theirs) in
+  let want = (min a b, max a b) in
+  Int_map.fold
+    (fun _ c acc -> if acc = None && key c = want then Some c else acc)
+    st.hs_conflicts None
+
+let st_all_conflicts st = List.map snd (Int_map.bindings st.hs_conflicts)
+
+let st_conflicts st =
+  List.filter (fun c -> c.c_winner = None) (st_all_conflicts st)
 
 (* The record that created an instance; None for instances installed
    directly by the designer (sources). *)
-let derivation_of h iid =
-  Option.map (find h) (Hashtbl.find_opt h.produced_by iid)
+let st_derivation_of st iid =
+  Option.map (st_find st) (Int_map.find_opt iid st.hs_produced_by)
 
-let uses_of h iid =
-  match Hashtbl.find_opt h.used_by iid with
-  | Some l -> List.rev_map (find h) !l
+let st_uses_of st iid =
+  match Int_map.find_opt iid st.hs_used_by with
+  | Some l -> List.rev_map (st_find st) l
   | None -> []
 
 (* Backward chaining: every record in the derivation history of an
    instance, nearest first. *)
-let backward_closure h iid =
+let st_backward_closure st iid =
   let seen_records = Hashtbl.create 16 in
   let acc = ref [] in
   let rec go iid =
-    match derivation_of h iid with
+    match st_derivation_of st iid with
     | None -> ()
     | Some r ->
       if not (Hashtbl.mem seen_records r.rid) then begin
@@ -227,7 +298,7 @@ let backward_closure h iid =
 
 (* Forward chaining: every record that transitively depends on an
    instance -- e.g. all the performances derived from a netlist. *)
-let forward_closure h iid =
+let st_forward_closure st iid =
   let seen_records = Hashtbl.create 16 in
   let acc = ref [] in
   let rec go iid =
@@ -238,19 +309,19 @@ let forward_closure h iid =
           acc := r :: !acc;
           List.iter (fun (_, out) -> go out) r.outputs
         end)
-      (uses_of h iid)
+      (st_uses_of st iid)
   in
   go iid;
   Ddf_obs.Metrics.observe h_forward (float_of_int (Hashtbl.length seen_records));
   List.rev !acc
 
-let derived_instances h iid =
-  forward_closure h iid
+let st_derived_instances st iid =
+  st_forward_closure st iid
   |> List.concat_map (fun r -> List.map snd r.outputs)
   |> List.sort_uniq compare
 
-let ancestor_instances h iid =
-  backward_closure h iid
+let st_ancestor_instances st iid =
+  st_backward_closure st iid
   |> List.concat_map (fun r ->
          (match r.tool with Some t -> [ t ] | None -> [])
          @ List.map snd r.inputs)
@@ -262,7 +333,7 @@ let ancestor_instances h iid =
 
 (* The derivation history of an instance as a task graph with an
    instance binding: the same form queries and re-execution use. *)
-let trace h store schema iid =
+let st_trace st store schema iid =
   (* gather nodes and edges, then assemble the graph in one pass *)
   let binding = Hashtbl.create 16 in  (* iid -> node *)
   let nodes = ref [] and edges = ref [] in
@@ -271,12 +342,12 @@ let trace h store schema iid =
     match Hashtbl.find_opt binding iid with
     | Some nid -> nid
     | None ->
-      let entity = Store.entity_of store iid in
+      let entity = Store.Snapshot.entity_of store iid in
       let nid = !counter in
       incr counter;
       Hashtbl.add binding iid nid;
       nodes := (nid, entity) :: !nodes;
-      (match derivation_of h iid with
+      (match st_derivation_of st iid with
       | None -> ()
       | Some r ->
         (match (r.tool, Schema.functional_dep schema entity) with
@@ -306,12 +377,12 @@ let trace h store schema iid =
    the history: bound nodes are fixed, the rest are solved for.  Used
    for queries like "find the simulations performed on this netlist"
    where the template is the flow itself. *)
-let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
+let st_query_template st store (g : Ddf_graph.Task_graph.t) ~bound =
   Ddf_obs.Metrics.incr m_queries;
   let schema = Ddf_graph.Task_graph.schema g in
   let satisfies nid iid =
     Schema.is_subtype schema
-      ~sub:(Store.entity_of store iid)
+      ~sub:(Store.Snapshot.entity_of store iid)
       ~super:(Ddf_graph.Task_graph.entity_of g nid)
   in
   (* candidate instances for a node under a partial binding *)
@@ -324,10 +395,13 @@ let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
           match List.assoc_opt user partial with
           | None -> None
           | Some user_iid -> (
-            match derivation_of h user_iid with
+            match st_derivation_of st user_iid with
             | None -> Some []
             | Some r -> (
-              match Schema.functional_dep schema (Store.entity_of store user_iid) with
+              match
+                Schema.functional_dep schema
+                  (Store.Snapshot.entity_of store user_iid)
+              with
               | Some d when d.Schema.role = role ->
                 Some (match r.tool with Some t -> [ t ] | None -> [])
               | Some _ | None ->
@@ -348,16 +422,18 @@ let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
       (* otherwise any instance of the entity's subtree *)
       let entity = Ddf_graph.Task_graph.entity_of g nid in
       List.concat_map
-        (Store.instances_of_entity store)
+        (Store.Snapshot.instances_of_entity store)
         (entity :: Schema.descendants schema entity)
   in
   (* does the history record of [user_iid] really bind [role] to
      [dep_iid]? *)
   let edge_ok user_iid role dep_iid =
-    match derivation_of h user_iid with
+    match st_derivation_of st user_iid with
     | None -> false
     | Some r -> (
-      match Schema.functional_dep schema (Store.entity_of store user_iid) with
+      match
+        Schema.functional_dep schema (Store.Snapshot.entity_of store user_iid)
+      with
       | Some d when d.Schema.role = role -> r.tool = Some dep_iid
       | Some _ | None -> List.assoc_opt role r.inputs = Some dep_iid)
   in
@@ -415,69 +491,85 @@ let query_template h store (g : Ddf_graph.Task_graph.t) ~bound =
 (* A record is an editing task when one input has the same root entity
    type as an output: versioning is characterized exactly so in the
    paper.  The version parent of an instance is that input. *)
-let record_version_parent store schema (r : record) out_iid =
-  let root = Schema.root_of schema (Store.entity_of store out_iid) in
+let snap_record_version_parent store schema (r : record) out_iid =
+  let root = Schema.root_of schema (Store.Snapshot.entity_of store out_iid) in
   List.find_opt
     (fun (_, input) ->
-      Schema.root_of schema (Store.entity_of store input) = root)
+      Schema.root_of schema (Store.Snapshot.entity_of store input) = root)
     r.inputs
   |> Option.map snd
 
-(* Get the index for (store, schema), building or advancing it first:
-   fold in every record with rid >= vi_next.  Each output has at most
-   one producing record ([add] enforces it), so the parent edge per
-   instance is unique. *)
-let vindex_of h (store : 'a Store.t) (schema : Schema.t) =
-  let vi =
-    match h.vindex with
-    | Some vi when vi.vi_store == Obj.repr store
-                   && vi.vi_schema == Obj.repr schema ->
-      vi
-    | Some _ | None ->
-      let vi =
-        { vi_store = Obj.repr store; vi_schema = Obj.repr schema;
-          vi_parent = Hashtbl.create 64; vi_children = Hashtbl.create 64;
-          vi_next = 1 }
-      in
-      h.vindex <- Some vi;
-      vi
-  in
-  let last = h.next_rid - 1 in
-  if vi.vi_next <= last then begin
-    for rid = vi.vi_next to last do
-      match Hashtbl.find_opt h.records rid with
-      | None -> ()   (* rid gap from a forward [restore_tick] *)
-      | Some r ->
-        List.iter
-          (fun (_, out) ->
-            match record_version_parent store schema r out with
-            | None -> ()
-            | Some parent ->
-              Hashtbl.replace vi.vi_parent out parent;
-              let l =
-                match Hashtbl.find_opt vi.vi_children parent with
-                | Some l -> l
-                | None ->
-                  let l = ref [] in
-                  Hashtbl.add vi.vi_children parent l;
-                  l
-              in
-              l := out :: !l)
-          r.outputs
-    done;
-    vi.vi_next <- last + 1
-  end;
-  vi
+(* Fold records [from .. until] into (parent, children) edge maps.
+   Pure: builds fresh maps from the given ones. *)
+let fold_edges st store schema ~from ~until parent children =
+  let parent = ref parent and children = ref children in
+  for rid = from to until do
+    match Int_map.find_opt rid st.hs_records with
+    | None -> ()   (* rid gap from a forward [restore_tick] *)
+    | Some r ->
+      List.iter
+        (fun (_, out) ->
+          match snap_record_version_parent store schema r out with
+          | None -> ()
+          | Some p ->
+            parent := Int_map.add out p !parent;
+            let l = Option.value (Int_map.find_opt p !children) ~default:[] in
+            children := Int_map.add p (out :: l) !children)
+        r.outputs
+  done;
+  (!parent, !children)
 
-let version_parent h store schema iid =
-  Hashtbl.find_opt (vindex_of h store schema).vi_parent iid
+(* Get the version index for this (state, store, schema): the cached
+   one when its indexed prefix fits inside the state, extended to the
+   state's boundary; a privately rebuilt one otherwise.  Extensions of
+   the shared cache are published with a CAS (losing the race is fine
+   — the value returned is used either way; the cache just misses one
+   advance).  Each output has at most one producing record ([add]
+   enforces it), so the parent edge per instance is unique. *)
+let vindex_for h st store schema =
+  let boundary = st.hs_next_rid - 1 in
+  let sid = Store.id (Store.Snapshot.source store) in
+  let schema_id = Obj.repr schema in
+  let fresh () =
+    let parent, children =
+      fold_edges st store schema ~from:1 ~until:boundary Int_map.empty
+        Int_map.empty
+    in
+    { vi_store = sid; vi_schema = schema_id; vi_parent = parent;
+      vi_children = children; vi_next = boundary + 1 }
+  in
+  let cached = Atomic.get h.vindex in
+  match cached with
+  | Some vi when vi.vi_store = sid && vi.vi_schema == schema_id ->
+    if vi.vi_next = boundary + 1 then vi
+    else if vi.vi_next > boundary + 1 then
+      (* the live cache ran ahead of this snapshot: rebuild privately
+         for the snapshot's prefix, leave the cache alone *)
+      fresh ()
+    else begin
+      let parent, children =
+        fold_edges st store schema ~from:vi.vi_next ~until:boundary
+          vi.vi_parent vi.vi_children
+      in
+      let vi' = { vi with vi_parent = parent; vi_children = children;
+                  vi_next = boundary + 1 } in
+      ignore (Atomic.compare_and_set h.vindex cached (Some vi'));
+      vi'
+    end
+  | Some _ | None ->
+    let vi = fresh () in
+    ignore (Atomic.compare_and_set h.vindex cached (Some vi));
+    vi
+
+let st_version_parent h st store schema iid =
+  Int_map.find_opt iid (vindex_for h st store schema).vi_parent
 
 (* Direct edit successors: the alternative versions branching off an
    instance.  More than one child — siblings — is exactly the shape an
    anti-entropy merge of divergent workspaces produces. *)
-let version_children h store schema iid =
-  match Hashtbl.find_opt (vindex_of h store schema).vi_children iid with
-  | Some l -> List.sort_uniq compare !l
+let st_version_children h st store schema iid =
+  match Int_map.find_opt iid (vindex_for h st store schema).vi_children with
+  | Some l -> List.sort_uniq compare l
   | None -> []
 
 type version_tree = {
@@ -486,13 +578,13 @@ type version_tree = {
 }
 
 (* The version tree rooted at an instance, following edit successors —
-   one child-table hit per node instead of re-deriving the successors
+   one child-map hit per node instead of re-deriving the successors
    from [uses_of] at every node. *)
-let version_tree h store schema iid =
-  let vi = vindex_of h store schema in
+let st_version_tree h st store schema iid =
+  let vi = vindex_for h st store schema in
   let children iid =
-    match Hashtbl.find_opt vi.vi_children iid with
-    | Some l -> List.sort_uniq compare !l
+    match Int_map.find_opt iid vi.vi_children with
+    | Some l -> List.sort_uniq compare l
     | None -> []
   in
   let rec build iid =
@@ -504,27 +596,28 @@ let rec version_tree_size t =
   1 + List.fold_left (fun acc c -> acc + version_tree_size c) 0 t.v_children
 
 (* All versions (the instances in the version tree), oldest first. *)
-let versions h store schema iid =
+let st_versions h st store schema iid =
   (* walk up to the first version *)
+  let vi = vindex_for h st store schema in
   let rec origin iid =
-    match version_parent h store schema iid with
+    match Int_map.find_opt iid vi.vi_parent with
     | Some p -> origin p
     | None -> iid
   in
   (* accumulator fold: [concat_map] would copy the tail once per level,
      quadratic on the long linear chains edit histories produce *)
   let rec flatten acc t = List.fold_left flatten (t.v_iid :: acc) t.v_children in
-  flatten [] (version_tree h store schema (origin iid))
+  flatten [] (st_version_tree h st store schema (origin iid))
   |> List.sort_uniq compare
 
 (* The newest instance in the version tree by creation time (ties go
    to the higher iid); the instance itself when it has no versions. *)
-let latest_version h store schema iid =
-  let at v = (Store.meta_of store v).Store.created_at in
+let st_latest_version h st store schema iid =
+  let at v = (Store.Snapshot.meta_of store v).Store.created_at in
   List.fold_left
     (fun best v -> if (at v, v) > (at best, best) then v else best)
     iid
-    (versions h store schema iid)
+    (st_versions h st store schema iid)
 
 (* ------------------------------------------------------------------ *)
 (* Consistency (out-of-date analysis)                                  *)
@@ -533,24 +626,136 @@ let latest_version h store schema iid =
 (* An instance is out of date when some input of its derivation has a
    newer version: e.g. the layout was edited after this netlist was
    extracted from it.  Returns the stale (input, newer-version) pairs. *)
-let out_of_date h store schema iid =
-  match derivation_of h iid with
+let st_out_of_date h st store schema iid =
+  match st_derivation_of st iid with
   | None -> []
   | Some r ->
     List.filter_map
       (fun (role, input) ->
         let newer =
-          versions h store schema input
+          st_versions h st store schema input
           |> List.filter (fun v ->
                  v <> input
-                 && (Store.meta_of store v).Store.created_at > r.at)
+                 && (Store.Snapshot.meta_of store v).Store.created_at > r.at)
         in
         match newer with
         | [] -> None
         | _ -> Some (role, input, newer))
       r.inputs
 
-let is_up_to_date h store schema iid = out_of_date h store schema iid = []
+let st_is_up_to_date h st store schema iid =
+  st_out_of_date h st store schema iid = []
+
+(* ------------------------------------------------------------------ *)
+(* The snapshot read API                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type t = snapshot
+
+  let size snap = Int_map.cardinal snap.hsnap_state.hs_records
+  let tick snap = snap.hsnap_state.hs_next_rid
+  let conflict_tick snap = snap.hsnap_state.hs_next_cid
+  let find snap rid = st_find snap.hsnap_state rid
+  let records snap = st_records snap.hsnap_state
+  let find_conflict snap cid = st_find_conflict snap.hsnap_state cid
+  let find_conflict_pair snap a b = st_find_conflict_pair snap.hsnap_state a b
+  let all_conflicts snap = st_all_conflicts snap.hsnap_state
+  let conflicts snap = st_conflicts snap.hsnap_state
+  let derivation_of snap iid = st_derivation_of snap.hsnap_state iid
+  let uses_of snap iid = st_uses_of snap.hsnap_state iid
+  let backward_closure snap iid = st_backward_closure snap.hsnap_state iid
+  let forward_closure snap iid = st_forward_closure snap.hsnap_state iid
+  let derived_instances snap iid = st_derived_instances snap.hsnap_state iid
+
+  let ancestor_instances snap iid =
+    st_ancestor_instances snap.hsnap_state iid
+
+  let trace snap store schema iid = st_trace snap.hsnap_state store schema iid
+
+  let query_template snap store g ~bound =
+    st_query_template snap.hsnap_state store g ~bound
+
+  let version_parent snap store schema iid =
+    st_version_parent snap.hsnap_source snap.hsnap_state store schema iid
+
+  let version_children snap store schema iid =
+    st_version_children snap.hsnap_source snap.hsnap_state store schema iid
+
+  let version_tree snap store schema iid =
+    st_version_tree snap.hsnap_source snap.hsnap_state store schema iid
+
+  let versions snap store schema iid =
+    st_versions snap.hsnap_source snap.hsnap_state store schema iid
+
+  let latest_version snap store schema iid =
+    st_latest_version snap.hsnap_source snap.hsnap_state store schema iid
+
+  let out_of_date snap store schema iid =
+    st_out_of_date snap.hsnap_source snap.hsnap_state store schema iid
+
+  let is_up_to_date snap store schema iid =
+    st_is_up_to_date snap.hsnap_source snap.hsnap_state store schema iid
+end
+
+(* ------------------------------------------------------------------ *)
+(* Live reads: thin wrappers over fresh snapshots.  The history state  *)
+(* is captured *before* the store snapshot: records only ever refer to *)
+(* instances already installed, so a later store view covers every     *)
+(* instance a record mentions.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find h rid = st_find (Atomic.get h.state) rid
+let records h = st_records (Atomic.get h.state)
+let find_conflict h cid = st_find_conflict (Atomic.get h.state) cid
+let find_conflict_pair h a b = st_find_conflict_pair (Atomic.get h.state) a b
+let all_conflicts h = st_all_conflicts (Atomic.get h.state)
+let conflicts h = st_conflicts (Atomic.get h.state)
+let derivation_of h iid = st_derivation_of (Atomic.get h.state) iid
+let uses_of h iid = st_uses_of (Atomic.get h.state) iid
+let backward_closure h iid = st_backward_closure (Atomic.get h.state) iid
+let forward_closure h iid = st_forward_closure (Atomic.get h.state) iid
+let derived_instances h iid = st_derived_instances (Atomic.get h.state) iid
+let ancestor_instances h iid = st_ancestor_instances (Atomic.get h.state) iid
+
+let trace h store schema iid =
+  let st = Atomic.get h.state in
+  st_trace st (Store.snapshot store) schema iid
+
+let query_template h store g ~bound =
+  let st = Atomic.get h.state in
+  st_query_template st (Store.snapshot store) g ~bound
+
+let record_version_parent store schema r out_iid =
+  snap_record_version_parent (Store.snapshot store) schema r out_iid
+
+let version_parent h store schema iid =
+  let st = Atomic.get h.state in
+  st_version_parent h st (Store.snapshot store) schema iid
+
+let version_children h store schema iid =
+  let st = Atomic.get h.state in
+  st_version_children h st (Store.snapshot store) schema iid
+
+let version_tree h store schema iid =
+  let st = Atomic.get h.state in
+  st_version_tree h st (Store.snapshot store) schema iid
+
+let versions h store schema iid =
+  let st = Atomic.get h.state in
+  st_versions h st (Store.snapshot store) schema iid
+
+let latest_version h store schema iid =
+  let st = Atomic.get h.state in
+  st_latest_version h st (Store.snapshot store) schema iid
+
+let out_of_date h store schema iid =
+  let st = Atomic.get h.state in
+  st_out_of_date h st (Store.snapshot store) schema iid
+
+let is_up_to_date h store schema iid =
+  let st = Atomic.get h.state in
+  st_is_up_to_date h st (Store.snapshot store) schema iid
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -7,7 +7,18 @@
     an object was made (Fig. 10), forward chaining finds what depends
     on it, a flow trace — the same form as a task graph — subsumes a
     version tree (Fig. 11), and staleness falls out of version
-    comparison. *)
+    comparison.
+
+    {b MVCC:} like {!Store}, the hot state is one immutable record
+    behind an [Atomic.t].  {!snapshot} captures it lock-free; all the
+    reads below exist in two forms — live wrappers on {!t} (a fresh
+    capture per call) and the {!Snapshot} module for pinned views.
+    Store-joined queries pair a history snapshot with a
+    {!Store.Snapshot.t} so both sides are frozen together.
+
+    Failures raise {!Ddf_core.Error.Ddf_error} ([`Not_found] for
+    missing records/conflicts, [`Conflict] for duplicate producers and
+    contradictory resolutions, [`Invalid] otherwise). *)
 
 open Ddf_schema
 open Ddf_store
@@ -23,18 +34,24 @@ type record = {
 
 type t
 
-exception History_error of string
+type snapshot
+(** An immutable view of the history at one commit point; O(1) and
+    lock-free to capture, repeatable to read. *)
 
 val create : unit -> t
+
+val snapshot : t -> snapshot
+(** Capture the latest committed state: one atomic load. *)
+
 val size : t -> int
 
 val add :
   t -> task_entity:string -> tool:Store.iid option ->
   inputs:(string * Store.iid) list -> outputs:(string * Store.iid) list ->
   at:int -> record
-(** @raise History_error when an output already has a producing record
-    (derivations uniquely identify design objects) or outputs are
-    empty. *)
+(** @raise Ddf_core.Error.Ddf_error ([`Conflict]) when an output
+    already has a producing record (derivations uniquely identify
+    design objects), [`Invalid] when outputs are empty. *)
 
 val find : t -> int -> record
 val records : t -> record list
@@ -44,7 +61,8 @@ val tick : t -> int
     will assign (restorable like {!Store.tick}). *)
 
 val restore_tick : t -> int -> unit
-(** @raise History_error when moving the counter backwards. *)
+(** @raise Ddf_core.Error.Ddf_error when moving the counter
+    backwards. *)
 
 val set_observer : t -> (record -> unit) -> unit
 (** Install the single append observer, called synchronously after a
@@ -60,7 +78,9 @@ val clear_observer : t -> unit
     the version tree — Fig. 11 already represents alternatives — and
     the branch point is registered here as a first-class conflict:
     queryable, resolvable by picking a winner, never silently
-    overwritten. *)
+    overwritten.  Conflict values are immutable; {!resolve_conflict}
+    replaces the record, so a value read through a snapshot is never
+    torn by a concurrent resolution. *)
 
 type conflict = {
   cid : int;
@@ -69,7 +89,7 @@ type conflict = {
   c_theirs : Store.iid;    (** the remotely derived alternative *)
   c_origin : string;       (** workspace id the remote branch came from *)
   c_at : int;              (** logical time the conflict was detected *)
-  mutable c_winner : Store.iid option;
+  c_winner : Store.iid option;
 }
 
 type conflict_event = Conflict_added of conflict | Conflict_resolved of conflict
@@ -79,7 +99,7 @@ val add_conflict :
   origin:string -> at:int -> conflict
 
 val find_conflict : t -> int -> conflict
-(** @raise History_error on an unknown id. *)
+(** @raise Ddf_core.Error.Ddf_error on an unknown id. *)
 
 val find_conflict_pair : t -> Store.iid -> Store.iid -> conflict option
 (** The conflict whose \{ours, theirs\} equals the unordered pair, if
@@ -92,11 +112,11 @@ val conflicts : t -> conflict list
 val all_conflicts : t -> conflict list
 
 val resolve_conflict : t -> int -> winner:Store.iid -> conflict
-(** Pick a winner (one of base/ours/theirs).  Re-resolving with the
-    same winner is a no-op (synced resolutions re-apply); a different
-    winner raises.
-    @raise History_error on an unknown id, a winner outside the
-    conflict, or a contradictory re-resolution. *)
+(** Pick a winner (one of base/ours/theirs), returning the updated
+    conflict.  Re-resolving with the same winner is a no-op (synced
+    resolutions re-apply); a different winner raises.
+    @raise Ddf_core.Error.Ddf_error on an unknown id, a winner outside
+    the conflict, or a contradictory re-resolution. *)
 
 val conflict_tick : t -> int
 (** The cid the next {!add_conflict} will assign (dense, like record
@@ -104,7 +124,8 @@ val conflict_tick : t -> int
 
 val set_conflict_observer : t -> (conflict_event -> unit) -> unit
 (** Install the single conflict observer (the journal subscribes here,
-    like {!set_observer} for records). *)
+    like {!set_observer} for records).  [Conflict_resolved] carries the
+    {e updated} record (winner set). *)
 
 val clear_conflict_observer : t -> unit
 
@@ -149,10 +170,15 @@ val query_template :
     Version queries are answered from a version-successor index
     (parent and children edges per instance) built lazily and advanced
     incrementally over the records added since the last query — never
-    re-derived from [uses_of] per node.  The index is keyed on the
-    physical identity of the (store, schema) pair it was derived
-    against; querying with a different store (e.g. after a replication
-    resync) rebuilds it transparently. *)
+    re-derived from [uses_of] per node.  The index is an immutable
+    value cached on the handle and republished by CAS, which makes it
+    both domain-safe and snapshot-safe: a query through a pinned
+    snapshot only uses the cached prefix up to the snapshot's own
+    record boundary (rebuilding privately when the live cache has run
+    ahead).  The index is keyed on the {!Store.id} and the physical
+    identity of the schema it was derived against; querying with a
+    different store (e.g. after a replication resync) rebuilds it
+    transparently. *)
 
 val version_parent : t -> 'a Store.t -> Schema.t -> Store.iid -> Store.iid option
 (** The edit predecessor: the input of the producing record whose
@@ -193,6 +219,63 @@ val out_of_date :
     [(role, input, newer versions)]. *)
 
 val is_up_to_date : t -> 'a Store.t -> Schema.t -> Store.iid -> bool
+
+(** {1 Snapshot reads}
+
+    The read API above, against one frozen history view.  Store-joined
+    queries take the {!Store.Snapshot.t} to read instance entities and
+    metadata from — pin both sides together (the server's published
+    view does) for a fully repeatable query. *)
+
+module Snapshot : sig
+  type t = snapshot
+
+  val size : t -> int
+  val tick : t -> int
+  val conflict_tick : t -> int
+  val find : t -> int -> record
+  val records : t -> record list
+  val find_conflict : t -> int -> conflict
+  val find_conflict_pair : t -> Store.iid -> Store.iid -> conflict option
+  val all_conflicts : t -> conflict list
+  val conflicts : t -> conflict list
+  val derivation_of : t -> Store.iid -> record option
+  val uses_of : t -> Store.iid -> record list
+  val backward_closure : t -> Store.iid -> record list
+  val forward_closure : t -> Store.iid -> record list
+  val derived_instances : t -> Store.iid -> Store.iid list
+  val ancestor_instances : t -> Store.iid -> Store.iid list
+
+  val trace :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid ->
+    Ddf_graph.Task_graph.t * int * (int * Store.iid) list
+
+  val query_template :
+    t -> 'a Store.Snapshot.t -> Ddf_graph.Task_graph.t ->
+    bound:(int * Store.iid) list -> (int * Store.iid) list list
+
+  val version_parent :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> Store.iid option
+
+  val version_children :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> Store.iid list
+
+  val version_tree :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> version_tree
+
+  val versions :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> Store.iid list
+
+  val latest_version :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> Store.iid
+
+  val out_of_date :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid ->
+    (string * Store.iid * Store.iid list) list
+
+  val is_up_to_date :
+    t -> 'a Store.Snapshot.t -> Schema.t -> Store.iid -> bool
+end
 
 val pp_record : Format.formatter -> record -> unit
 val pp : Format.formatter -> t -> unit

@@ -33,22 +33,25 @@ type entity = {
 
 (* Memoized subtype-closure tables.  A schema value is immutable —
    [add_entity]/[remove_entity] build a new record — so each record
-   carries its own lazily-built cache in a fresh ref: extension
-   invalidates by construction, and the tables are computed at most
-   once per schema value, on first use. *)
+   carries its own lazily-built cache: extension invalidates by
+   construction.  The cache itself is an *immutable* record behind an
+   [Atomic.t] so concurrent domain readers are safe: builders publish
+   a fully-constructed closure with one CAS, and per-root descendant
+   lists extend the record by CAS-swapping a new map in.  Losing a
+   race just means recomputing a pure value — no torn Hashtbl state. *)
 type closure = {
-  cl_children : (string, string list) Hashtbl.t;
+  cl_children : string list String_map.t;
       (* direct subtypes, ascending id order *)
-  cl_ancestors : (string, String_set.t) Hashtbl.t;
+  cl_ancestors : String_set.t String_map.t;
       (* proper ancestors (the parent chain) as a set *)
-  cl_descendants : (string, string list) Hashtbl.t;
+  cl_descendants : string list String_map.t;
       (* transitive subtypes in BFS order, filled per queried root *)
 }
 
 type t = {
   name : string;
   entities : entity String_map.t;
-  closure : closure option ref;
+  closure : closure option Atomic.t;
 }
 
 exception Schema_error of string
@@ -115,53 +118,53 @@ let root_of s id =
    entity map; descendant lists are filled on demand per queried root.
    Parent chains are acyclic (validated), so the memoized ancestor
    recursion terminates. *)
+let build_closure s =
+  let children =
+    String_map.fold
+      (fun id e acc ->
+        match e.parent with
+        | None -> acc
+        | Some p ->
+          let prev = Option.value (String_map.find_opt p acc) ~default:[] in
+          String_map.add p (id :: prev) acc)
+      s.entities String_map.empty
+  in
+  (* the fold visits ids in ascending order; un-reverse each list *)
+  let children = String_map.map List.rev children in
+  let ancs = ref String_map.empty in
+  let rec anc_of id =
+    match String_map.find_opt id !ancs with
+    | Some set -> set
+    | None ->
+      let set =
+        match (String_map.find id s.entities).parent with
+        | None -> String_set.empty
+        | Some p -> String_set.add p (anc_of p)
+      in
+      ancs := String_map.add id set !ancs;
+      set
+  in
+  String_map.iter (fun id _ -> ignore (anc_of id)) s.entities;
+  { cl_children = children; cl_ancestors = !ancs;
+    cl_descendants = String_map.empty }
+
 let closure_of s =
-  match !(s.closure) with
+  match Atomic.get s.closure with
   | Some cl -> cl
   | None ->
-    let n = String_map.cardinal s.entities in
-    let children = Hashtbl.create n in
-    String_map.iter
-      (fun id e ->
-        match e.parent with
-        | None -> ()
-        | Some p ->
-          let prev = try Hashtbl.find children p with Not_found -> [] in
-          Hashtbl.replace children p (id :: prev))
-      s.entities;
-    (* the map iterates in ascending id order; un-reverse each list *)
-    Hashtbl.iter
-      (fun p subs -> Hashtbl.replace children p (List.rev subs))
-      (Hashtbl.copy children);
-    let ancs = Hashtbl.create n in
-    let rec anc_of id =
-      match Hashtbl.find_opt ancs id with
-      | Some set -> set
-      | None ->
-        let set =
-          match (String_map.find id s.entities).parent with
-          | None -> String_set.empty
-          | Some p -> String_set.add p (anc_of p)
-        in
-        Hashtbl.add ancs id set;
-        set
-    in
-    String_map.iter (fun id _ -> ignore (anc_of id)) s.entities;
-    let cl =
-      { cl_children = children; cl_ancestors = ancs;
-        cl_descendants = Hashtbl.create n }
-    in
-    s.closure := Some cl;
-    cl
+    let cl = build_closure s in
+    if Atomic.compare_and_set s.closure None (Some cl) then cl
+    else (
+      (* another domain published first; its tables are identical *)
+      match Atomic.get s.closure with Some cl -> cl | None -> cl)
 
 let subtypes s id =
-  match Hashtbl.find_opt (closure_of s).cl_children id with
+  match String_map.find_opt id (closure_of s).cl_children with
   | Some subs -> subs
   | None -> []
 
 let descendants s id =
-  let cl = closure_of s in
-  match Hashtbl.find_opt cl.cl_descendants id with
+  match String_map.find_opt id (closure_of s).cl_descendants with
   | Some l -> l
   | None ->
     (* BFS with an explicit visited set and a reversed accumulator:
@@ -183,13 +186,32 @@ let descendants s id =
         (subtypes s x)
     done;
     let l = List.rev !out in
-    Hashtbl.replace cl.cl_descendants id l;
+    (* memoize by swapping an extended closure in; a lost race means
+       someone else cached this (or another) root — retry the extend *)
+    let rec publish () =
+      (* the CAS expected value must be the physically-identical option
+         cell read from the atomic — a fresh [Some cl] never compares
+         equal and would spin forever *)
+      let cur = Atomic.get s.closure in
+      match cur with
+      | None -> ()    (* closure vanished is impossible; nothing to extend *)
+      | Some cl ->
+        if String_map.mem id cl.cl_descendants then ()
+        else
+          let cl' =
+            { cl with
+              cl_descendants = String_map.add id l cl.cl_descendants }
+          in
+          if Atomic.compare_and_set s.closure cur (Some cl') then ()
+          else publish ()
+    in
+    publish ();
     l
 
 let is_subtype s ~sub ~super =
   sub = super
   ||
-  match Hashtbl.find_opt (closure_of s).cl_ancestors sub with
+  match String_map.find_opt sub (closure_of s).cl_ancestors with
   | Some ancs -> String_set.mem super ancs
   | None -> schema_errorf "unknown entity %S in schema %S" sub s.name
 
@@ -394,7 +416,7 @@ let create name entity_list =
     else String_map.add e.id e acc
   in
   let entities = List.fold_left add String_map.empty entity_list in
-  let s = { name; entities; closure = ref None } in
+  let s = { name; entities; closure = Atomic.make None } in
   validate s;
   s
 
@@ -405,7 +427,7 @@ let add_entity s e =
   if mem s e.id then schema_errorf "entity %S already present" e.id;
   let s =
     { name = s.name; entities = String_map.add e.id e s.entities;
-      closure = ref None }
+      closure = Atomic.make None }
   in
   validate s;
   s
@@ -414,7 +436,7 @@ let remove_entity s id =
   let _ = find s id in
   let s =
     { name = s.name; entities = String_map.remove id s.entities;
-      closure = ref None }
+      closure = Atomic.make None }
   in
   validate s;
   s

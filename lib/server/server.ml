@@ -1,21 +1,34 @@
 (* The Hercules design-server daemon.
 
-   Concurrency model: one reader thread per connection, one writer
-   thread for the engine.  Store/history mutations (install, annotate,
-   run, refresh) are enqueued as jobs and applied by the writer in
-   arrival order — a single serialization point, so the design history
-   is trivially serializable and the journal records one total order.
-   Reads (catalogs, browsing, task-window editing, history queries)
-   execute on the connection threads under the shared side of a
-   readers/writer lock: they see a consistent store because the writer
-   excludes them only while a mutation commits.
+   Concurrency model (MVCC): one reader thread per connection, one
+   writer thread for the engine, an optional pool of reader DOMAINS.
+   Store/history mutations (install, annotate, run, refresh) are
+   enqueued as jobs and applied by the writer in arrival order — a
+   single serialization point, so the design history is trivially
+   serializable and the journal records one total order.  After each
+   group commit the writer atomically publishes a pinned
+   store+history snapshot ([published]); pure reads (catalogs,
+   browsing, task-window editing, history queries) evaluate against
+   that frozen view and never synchronize with the writer at all — no
+   read lock, no gate, nothing to contend on.  The only lock left on
+   the commit path is the (vestigial, single-threaded) writer commit
+   lock, instrumented with [server.lock_acquisitions] precisely so
+   tests can assert the counter stays flat under read-only load.
+
+   With [read_domains > 0] pure reads are dispatched to a pool of
+   worker domains that pin the latest published view per request (or
+   per pure-read batch), so reads scale across cores while the writer
+   keeps committing.  [read_domains = 0] (the default) evaluates them
+   inline on the connection thread — still lock-free.
 
    Each connection owns a private Session over the shared context, so
    concurrent designers build flows independently while sharing one
    store, history and clock — the paper's multi-designer Hercules
-   database.  Client identity arrives via Hello and is rebound onto
-   ctx.user by the writer before each mutation, so Store.meta.user
-   reflects the requesting designer. *)
+   database.  A connection serves one request at a time, so handing
+   its session to a pool domain is race-free.  Client identity
+   arrives via Hello and is rebound onto ctx.user by the writer
+   before each mutation, so Store.meta.user reflects the requesting
+   designer. *)
 
 open Ddf_store
 open Ddf_history
@@ -47,6 +60,13 @@ let m_slow = Metrics.counter "server.slow_requests"
 let h_request = Metrics.histogram "server.request_us"
 let h_queue_wait = Metrics.histogram "server.write_queue_wait_us"
 
+(* The zero-lock-read invariant, made checkable: every acquisition of
+   the writer commit lock bumps this counter, and nothing on the read
+   path ever takes it — so under read-only load the counter must stay
+   flat.  The CI smoke and test suite assert exactly that. *)
+let m_lock_acquisitions = Metrics.counter "server.lock_acquisitions"
+let m_pool_reads = Metrics.counter "server.pool_reads"
+
 (* replication gauges: the primary's shipped seqno, its worst follower
    lag (entries), follower count, and a follower's applied seqno *)
 let g_seq = Metrics.gauge "replica.seq"
@@ -54,127 +74,168 @@ let g_lag = Metrics.gauge "replica.lag_entries"
 let g_followers = Metrics.gauge "replica.followers"
 
 (* ------------------------------------------------------------------ *)
-(* A readers/writer lock                                               *)
+(* The writer commit lock                                              *)
 (* ------------------------------------------------------------------ *)
 
-module Rw = struct
-  type t = {
-    m : Mutex.t;
-    c : Condition.t;
-    mutable readers : int;
-    mutable writing : bool;
-  }
+(* Vestigial by construction — only the (single) writer thread takes
+   it, around each job's store/history/journal mutation — but kept and
+   instrumented: the acquisition counter is the proof that the read
+   path is lock-free.  A read that (re)grew a lock dependency would
+   move the counter under read-only load and fail the assertion. *)
+module Commit_lock = struct
+  type t = Mutex.t
 
-  let create () =
-    { m = Mutex.create (); c = Condition.create (); readers = 0;
-      writing = false }
+  let create () = Mutex.create ()
 
-  let with_read ?deadline t f =
-    Mutex.lock t.m;
-    let rec await () =
-      if t.writing then begin
-        (match deadline with
-        | Some d when Unix.gettimeofday () > d ->
-          (* bail BEFORE bumping the reader count: a timed-out reader
-             leaves no trace, so the writer never waits on a ghost *)
-          Mutex.unlock t.m;
-          E.errorf `Timeout "deadline expired waiting for the read lock"
-        | Some _ | None -> ());
-        Condition.wait t.c t.m;
-        await ()
-      end
-    in
-    await ();
-    t.readers <- t.readers + 1;
-    Mutex.unlock t.m;
-    Fun.protect f ~finally:(fun () ->
-        Mutex.lock t.m;
-        t.readers <- t.readers - 1;
-        if t.readers = 0 then Condition.broadcast t.c;
-        Mutex.unlock t.m)
-
-  let with_write t f =
-    Mutex.lock t.m;
-    while t.writing || t.readers > 0 do
-      Condition.wait t.c t.m
-    done;
-    t.writing <- true;
-    Mutex.unlock t.m;
-    Fun.protect f ~finally:(fun () ->
-        Mutex.lock t.m;
-        t.writing <- false;
-        Condition.broadcast t.c;
-        Mutex.unlock t.m)
+  let with_lock m f =
+    Metrics.incr m_lock_acquisitions;
+    Mutex.lock m;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock m)
 end
 
 (* ------------------------------------------------------------------ *)
-(* Read admission                                                      *)
+(* The published view                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* At most [capacity] reads evaluate concurrently and at most
-   [max_waiting] wait for a slot; anything beyond that is shed
-   immediately instead of stacking up unbounded latency.  A waiter
-   whose deadline expires leaves cleanly — the waiting count drops and
-   no slot leaks. *)
-module Gate = struct
-  type t = {
-    gm : Mutex.t;
-    gc : Condition.t;
-    capacity : int;
-    max_waiting : int;
-    mutable active : int;
-    mutable waiting : int;
+(* What pure reads see: the store and history pinned together, plus
+   the journal seqno and logical clock they correspond to.  The writer
+   swaps a fresh one in (a single [Atomic.set]) after each group
+   commit's fsync, so a reader can never observe state whose
+   durability is still in flight; between commits every read costs one
+   [Atomic.get] and zero synchronization. *)
+type published = {
+  pub_view : Engine.view;
+  pub_seq : int;        (* journal seqno covered by the view *)
+  pub_clock : int;      (* engine clock at publication *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The domain-pool read executor                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure-read requests are handed to worker domains over a bounded
+   queue; each worker pins the latest published view and evaluates
+   without ever touching a server lock.  At most [max_pending] jobs
+   wait; anything beyond is shed immediately instead of stacking up
+   unbounded latency, and a job whose deadline passed while queued is
+   answered [`Timeout] at dequeue, not executed.  With no domains the
+   pool is inert and reads run inline on the connection thread. *)
+module Read_pool = struct
+  type rjob = {
+    rj_run : unit -> Wire.response;
+    rj_deadline : float option;
+    rj_enqueued : float;
+    rj_m : Mutex.t;
+    rj_c : Condition.t;
+    mutable rj_result : Wire.response option;
   }
 
-  let create ~capacity ~max_waiting =
-    { gm = Mutex.create (); gc = Condition.create ();
-      capacity = max 1 capacity; max_waiting = max 0 max_waiting;
-      active = 0; waiting = 0 }
+  type t = {
+    pm : Mutex.t;
+    pc : Condition.t;
+    pqueue : rjob Queue.t;
+    max_pending : int;
+    pstop : bool Atomic.t;
+    mutable workers : unit Domain.t list;
+  }
 
-  let deadline_expired = function
-    | Some d -> Unix.gettimeofday () > d
-    | None -> false
+  let answer job resp =
+    Mutex.lock job.rj_m;
+    job.rj_result <- Some resp;
+    Condition.signal job.rj_c;
+    Mutex.unlock job.rj_m
 
-  let acquire ?deadline g =
-    Mutex.lock g.gm;
-    let verdict =
-      if g.active < g.capacity then begin
-        g.active <- g.active + 1;
-        `Admitted
-      end
-      else if g.waiting >= g.max_waiting then `Shed
-      else begin
-        g.waiting <- g.waiting + 1;
-        let rec await () =
-          if g.active < g.capacity then begin
-            g.active <- g.active + 1;
-            `Admitted
-          end
-          else if deadline_expired deadline then `Expired
-          else begin
-            Condition.wait g.gc g.gm;
-            await ()
-          end
+  (* Workers drain the queue even while stopping, so no accepted job
+     is ever dropped: stop only prevents new admissions. *)
+  let worker p =
+    let rec loop () =
+      Mutex.lock p.pm;
+      let rec await () =
+        if not (Queue.is_empty p.pqueue) then Some (Queue.pop p.pqueue)
+        else if Atomic.get p.pstop then None
+        else begin
+          Condition.wait p.pc p.pm;
+          await ()
+        end
+      in
+      let job = await () in
+      Mutex.unlock p.pm;
+      match job with
+      | None -> ()
+      | Some job ->
+        Metrics.incr m_pool_reads;
+        let now = Unix.gettimeofday () in
+        let resp =
+          match job.rj_deadline with
+          | Some d when now > d ->
+            Metrics.incr m_deadline_missed;
+            Wire.Error
+              (E.make `Timeout
+                 (Printf.sprintf
+                    "deadline expired after %.3fs in the read queue"
+                    (now -. job.rj_enqueued)))
+          | Some _ | None -> job.rj_run ()
         in
-        let v = await () in
-        g.waiting <- g.waiting - 1;
-        v
-      end
+        answer job resp;
+        loop ()
     in
-    Mutex.unlock g.gm;
-    verdict
+    loop ()
 
-  let release g =
-    Mutex.lock g.gm;
-    g.active <- g.active - 1;
-    Condition.broadcast g.gc;
-    Mutex.unlock g.gm
+  let create ~domains ~max_pending =
+    let p =
+      { pm = Mutex.create (); pc = Condition.create ();
+        pqueue = Queue.create (); max_pending = max 1 max_pending;
+        pstop = Atomic.make false; workers = [] }
+    in
+    if domains > 0 then
+      p.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker p));
+    p
 
-  let with_slot ?deadline g f =
-    match acquire ?deadline g with
-    | `Shed -> `Shed
-    | `Expired -> `Expired
-    | `Admitted -> `Done (Fun.protect f ~finally:(fun () -> release g))
+  let pooled p = p.workers <> []
+
+  (* [run] evaluates [f] on a worker domain (or inline when the pool
+     has none) and returns its verdict. *)
+  let run ?deadline p f =
+    if not (pooled p) then `Done (f ())
+    else begin
+      let job =
+        { rj_run = f; rj_deadline = deadline;
+          rj_enqueued = Unix.gettimeofday (); rj_m = Mutex.create ();
+          rj_c = Condition.create (); rj_result = None }
+      in
+      Mutex.lock p.pm;
+      let verdict =
+        if Atomic.get p.pstop then `Stopping
+        else if Queue.length p.pqueue >= p.max_pending then `Shed
+        else begin
+          Queue.push job p.pqueue;
+          Condition.signal p.pc;
+          `Queued
+        end
+      in
+      Mutex.unlock p.pm;
+      match verdict with
+      | `Stopping -> `Stopping
+      | `Shed -> `Shed
+      | `Queued ->
+        Mutex.lock job.rj_m;
+        while job.rj_result = None do
+          Condition.wait job.rj_c job.rj_m
+        done;
+        Mutex.unlock job.rj_m;
+        `Done (Option.get job.rj_result)
+    end
+
+  let stop p =
+    Atomic.set p.pstop true;
+    Mutex.lock p.pm;
+    Condition.broadcast p.pc;
+    Mutex.unlock p.pm
+
+  let join p =
+    stop p;
+    List.iter Domain.join p.workers;
+    p.workers <- []
 end
 
 (* ------------------------------------------------------------------ *)
@@ -195,7 +256,9 @@ type job = {
 type t = {
   journal : Journal.t;
   ctx : Engine.context;
-  rw : Rw.t;
+  commit_m : Commit_lock.t;           (* writer-only; see Commit_lock *)
+  published : published Atomic.t;     (* what pure reads evaluate against *)
+  pool : Read_pool.t;                 (* domain-pool read executor *)
   socket_path : string;
   listen_fd : Unix.file_descr;
   (* self-pipe: [stop] writes a byte to wake the accepter out of its
@@ -209,17 +272,18 @@ type t = {
   default_deadline : float option;    (* seconds, for deadline-less peers *)
   drain_grace : float;                (* seconds to let in-flight finish *)
   slow_log : float option;            (* seconds; log requests above it *)
-  gate : Gate.t;                      (* read admission *)
   started_at : float;
+  (* lock-free request-path state: the read side must not contend on
+     [m], so the stop flag and the in-flight count are atomics *)
+  stopping : bool Atomic.t;
+  in_flight : int Atomic.t;           (* requests being served right now *)
   (* shared state under [m] *)
   m : Mutex.t;
-  mutable stopping : bool;
   mutable conns : (int * Unix.file_descr) list;
   mutable next_conn : int;
   mutable threads : Thread.t list;
   queue : job Queue.t;
   queue_c : Condition.t;              (* signalled on enqueue and stop *)
-  mutable in_flight : int;            (* requests being served right now *)
   mutable avg_job_us : float;         (* EWMA of writer job service time *)
   mutable writer : Thread.t option;
   mutable accepter : Thread.t option;
@@ -273,7 +337,7 @@ let unregister_follower t outbox =
 (* The writer loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Session/Store/Engine/Consistency/Journal errors are all rebound to
+(* Store/History/Session/Engine/Consistency/Journal errors all raise
    Ddf_error and pass through with their code intact; the unmigrated
    stringly exceptions get classified here. *)
 let error_response e =
@@ -281,7 +345,6 @@ let error_response e =
     match e with
     | E.Ddf_error err -> err
     | Ddf_exec.Typing.Type_mismatch m -> E.make `Type_error m
-    | History.History_error m -> E.make `Conflict m
     | Ddf_schema.Schema.Schema_error m | Ddf_graph.Task_graph.Graph_error m
     | Ddf_persist.Codec.Codec_error m | Ddf_persist.Sexp.Sexp_error m
     | Wire.Wire_error m ->
@@ -300,6 +363,14 @@ let finish job result =
   job.job_result <- Some result;
   Condition.signal job.job_c;
   Mutex.unlock job.job_m
+
+(* Swap the published view: two atomic snapshot loads (history first,
+   so the store side covers every instance its records mention) and
+   one atomic store.  Runs on the writer thread only. *)
+let publish t =
+  Atomic.set t.published
+    { pub_view = Engine.pin t.ctx; pub_seq = Journal.seq t.journal;
+      pub_clock = t.ctx.Engine.clock }
 
 (* Group commit: the writer drains its whole queue as one batch, runs
    each job (mutating the store and appending journal frames), then
@@ -320,7 +391,7 @@ let writer_loop t =
         done;
         Some (List.rev !batch)
       end
-      else if t.stopping then None
+      else if Atomic.get t.stopping then None
       else begin
         Condition.wait t.queue_c t.m;
         await ()
@@ -366,7 +437,7 @@ let writer_loop t =
               Obs.with_span ~cat:"server" ?parent:job.job_span
                 ~attrs:[ ("user", Obs.Str job.job_user) ] "server.write_job"
               @@ fun () ->
-              Rw.with_write t.rw (fun () ->
+              Commit_lock.with_lock t.commit_m (fun () ->
                   t.ctx.Engine.user <- job.job_user;
                   match job.job_run () with
                   | resp ->
@@ -403,6 +474,14 @@ let writer_loop t =
           let err = error_response e in
           List.map (fun (job, _) -> (job, err)) results
       in
+      (* Publication ordering: AFTER the batch's fsync, BEFORE any job
+         is acknowledged.  A reader can never observe state whose
+         durability is still pending, and a client that got its Ok is
+         guaranteed to see its own write in the next view it pins.
+         (On an fsync failure the jobs error but the state mutations
+         already happened — there is no rollback — so the view is
+         published regardless; the journal is the wounded party.) *)
+      publish t;
       List.iter (fun (job, result) -> finish job result) results;
       next ()
   in
@@ -425,7 +504,7 @@ let submit ?deadline t ~user run =
   in
   Mutex.lock t.m;
   let verdict =
-    if t.stopping then `Stopping
+    if Atomic.get t.stopping then `Stopping
     else if Queue.length t.queue >= t.max_queue then begin
       Metrics.incr m_shed;
       `Full (retry_after_hint t (Queue.length t.queue))
@@ -456,22 +535,24 @@ let submit ?deadline t ~user run =
 (* Request evaluation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let rows_of store iids =
+let rows_of snap iids =
   List.map
     (fun iid ->
-      { Wire.row_iid = iid; row_entity = Store.entity_of store iid;
-        row_meta = Store.meta_of store iid })
+      { Wire.row_iid = iid; row_entity = Store.Snapshot.entity_of snap iid;
+        row_meta = Store.Snapshot.meta_of snap iid })
     iids
 
 let nodes_with_entities flow nids =
   List.map (fun nid -> (nid, Ddf_graph.Task_graph.entity_of flow nid)) nids
 
-(* Evaluate one request against a connection's session.  Shared-state
-   locking is the caller's business: mutations arrive here on the
-   writer thread, reads under the shared lock. *)
-let rec eval t session req =
+(* Evaluate one request against a connection's session.  [pin] yields
+   the view shared-state reads go through: on the read path it is a
+   constant — the published view the request (or the whole pure-read
+   batch) was dispatched with, so evaluation is repeatable and
+   lock-free; on the writer path it pins the live context afresh, so
+   a member of a mutation batch observes the members before it. *)
+let rec eval t session ~pin req =
   let ctx = t.ctx in
-  let store = ctx.Engine.store in
   match (req : Wire.request) with
   | Wire.Batch reqs ->
     (* Positional answers; an inner failure becomes an [Error] at its
@@ -489,18 +570,23 @@ let rec eval t session req =
            | Wire.Snapshot_export ->
              wire_error `Invalid "connection-level request %S inside a batch"
                (Wire.request_name r)
-           | r -> ( try eval t session r with e -> error_response e))
+           | r -> ( try eval t session ~pin r with e -> error_response e))
          reqs)
   | Wire.Hello _ | Wire.Ping | Wire.Shutdown -> Wire.Ok_unit
   | Wire.Stat ->
+    (* all numbers from one published record, so they are mutually
+       consistent — seq, clock and the counts describe the same
+       committed state *)
+    let p = Atomic.get t.published in
+    let v = p.pub_view in
     Wire.Ok_stat
       { Wire.st_role = role t;
-        st_seq = Journal.seq t.journal;
-        st_clock = ctx.Engine.clock;
-        st_instances = Store.instance_count store;
-        st_records = History.size ctx.Engine.history;
-        st_store_tick = Store.tick store;
-        st_history_tick = History.tick ctx.Engine.history;
+        st_seq = p.pub_seq;
+        st_clock = p.pub_clock;
+        st_instances = Store.Snapshot.instance_count v.Engine.v_store;
+        st_records = History.Snapshot.size v.Engine.v_history;
+        st_store_tick = Store.Snapshot.tick v.Engine.v_store;
+        st_history_tick = History.Snapshot.tick v.Engine.v_history;
         st_uptime_s = Unix.gettimeofday () -. t.started_at }
   | Wire.Lag ->
     let obs = live_followers t in
@@ -530,6 +616,7 @@ let rec eval t session req =
   | Wire.Sync_ack { origin; upto; frames } ->
     Wire.Ok_sync (Sync.apply_frames t.journal ~origin ~upto frames)
   | Wire.Conflicts ->
+    let v = pin () in
     Wire.Ok_conflicts
       (List.map
          (fun (c : History.conflict) ->
@@ -537,7 +624,7 @@ let rec eval t session req =
              cf_ours = c.History.c_ours; cf_theirs = c.History.c_theirs;
              cf_origin = c.History.c_origin; cf_at = c.History.c_at;
              cf_winner = c.History.c_winner })
-         (History.all_conflicts ctx.Engine.history))
+         (History.Snapshot.all_conflicts v.Engine.v_history))
   | Wire.Resolve { conflict; winner } ->
     ignore
       (History.resolve_conflict ctx.Engine.history conflict ~winner
@@ -549,12 +636,15 @@ let rec eval t session req =
   | Wire.Catalog Wire.Entities -> Wire.Ok_atoms (Session.entity_catalog session)
   | Wire.Catalog Wire.Tools -> Wire.Ok_atoms (Session.tool_catalog session)
   | Wire.Catalog Wire.Flows -> Wire.Ok_atoms (Session.flow_catalog session)
-  | Wire.Browse filter -> Wire.Ok_rows (rows_of store (Store.browse store filter))
+  | Wire.Browse filter ->
+    let v = pin () in
+    let snap = v.Engine.v_store in
+    Wire.Ok_rows (rows_of snap (Store.Snapshot.browse snap filter))
   | Wire.Install { entity; label; keywords; value } ->
     let value = Ddf_persist.Codec.value_of_sexp value in
     Wire.Ok_int (Engine.install ctx ~entity ~label ~keywords value)
   | Wire.Annotate { iid; label; comment; keywords } ->
-    Store.annotate store iid ?label ?comment ?keywords ();
+    Store.annotate ctx.Engine.store iid ?label ?comment ?keywords ();
     Wire.Ok_unit
   | Wire.Start_goal entity -> Wire.Ok_int (Session.start_goal_based session entity)
   | Wire.Start_data iid -> Wire.Ok_int (Session.start_data_based session iid)
@@ -568,7 +658,7 @@ let rec eval t session req =
     Session.select session nid iids;
     Wire.Ok_unit
   | Wire.Node_browse (nid, filter) ->
-    Wire.Ok_ints (Session.browse ~filter session nid)
+    Wire.Ok_ints (Session.browse ~filter ~view:(pin ()) session nid)
   | Wire.Leaves ->
     let flow = Session.current_flow session in
     Wire.Ok_nodes (nodes_with_entities flow (Ddf_graph.Task_graph.leaves flow))
@@ -576,12 +666,12 @@ let rec eval t session req =
   | Wire.Render -> Wire.Ok_text (Session.render_task_window session)
   | Wire.Recall iid -> Wire.Ok_int (Session.recall session iid)
   | Wire.Trace iid ->
-    let g, _, binding = Session.history_of session iid in
+    let g, _, binding = Session.history_of ~view:(pin ()) session iid in
     Wire.Ok_text
       (Printf.sprintf "%s(%d instances in the derivation)\n"
          (Ddf_graph.Task_graph.to_ascii g)
          (List.length binding))
-  | Wire.Uses iid -> Wire.Ok_ints (Session.uses_of session iid)
+  | Wire.Uses iid -> Wire.Ok_ints (Session.uses_of ~view:(pin ()) session iid)
   | Wire.Refresh iid ->
     let r = Ddf_exec.Consistency.refresh ctx iid in
     Wire.Ok_refresh
@@ -613,13 +703,8 @@ let follower_rejects t req =
 
 let serve_request t session ~conn_id ~user ?deadline ?trace req =
   Metrics.incr m_requests;
-  Mutex.lock t.m;
-  t.in_flight <- t.in_flight + 1;
-  Mutex.unlock t.m;
-  Fun.protect ~finally:(fun () ->
-      Mutex.lock t.m;
-      t.in_flight <- t.in_flight - 1;
-      Mutex.unlock t.m)
+  Atomic.incr t.in_flight;
+  Fun.protect ~finally:(fun () -> Atomic.decr t.in_flight)
   @@ fun () ->
   (* the dispatch span parents everything this request causes — queue
      wait, write job, journal sync, replication frames — and, when the
@@ -646,31 +731,33 @@ let serve_request t session ~conn_id ~user ?deadline ?trace req =
         (Option.value t.follow ~default:"?")
     else if Wire.is_mutation req then begin
       Metrics.incr m_mutations;
-      submit ?deadline t ~user:!user (fun () -> eval t session req)
+      submit ?deadline t ~user:!user
+        (fun () -> eval t session ~pin:(fun () -> Engine.pin t.ctx) req)
     end
     else begin
+      (* Pure read (including a pure-read batch): pin the latest
+         published view once and evaluate against it — on a pool
+         domain when the server has read domains, inline otherwise.
+         Either way the request takes no server lock; every member of
+         a batch reads the same frozen state. *)
       let g0 = Unix.gettimeofday () in
-      match
-        Gate.with_slot ?deadline t.gate (fun () ->
-            if Obs.enabled () then
-              Obs.complete ~cat:"server" ~tid:conn_id
-                ~dur_us:((Unix.gettimeofday () -. g0) *. 1e6)
-                "server.gate_wait";
-            match
-              Rw.with_read ?deadline t.rw (fun () -> eval t session req)
-            with
-            | resp -> resp
-            | exception e -> error_response e)
-      with
+      let evaluate () =
+        if Obs.enabled () then
+          Obs.complete ~cat:"server" ~tid:conn_id
+            ~dur_us:((Unix.gettimeofday () -. g0) *. 1e6)
+            "server.read_queue_wait";
+        let view = (Atomic.get t.published).pub_view in
+        try eval t session ~pin:(fun () -> view) req
+        with e -> error_response e
+      in
+      match Read_pool.run ?deadline t.pool evaluate with
       | `Done resp -> resp
+      | `Stopping -> wire_error `Unavailable "server is shutting down"
       | `Shed ->
         Metrics.incr m_shed;
         wire_error ~retry_after:0.05 `Overloaded
-          "read queue is full (%d active, %d waiting)"
-          t.gate.Gate.capacity t.gate.Gate.max_waiting
-      | `Expired ->
-        Metrics.incr m_deadline_missed;
-        wire_error `Timeout "deadline expired waiting for a read slot"
+          "read queue is full (%d jobs pending)"
+          t.pool.Read_pool.max_pending
     end
   in
   let dur_us = (Unix.gettimeofday () *. 1e6) -. t0 in
@@ -741,14 +828,15 @@ let snapshot_export_stream t fd ~user ~version =
   end
 
 let rec stop t =
+  let already = Atomic.exchange t.stopping true in
   Mutex.lock t.m;
-  let already = t.stopping in
-  t.stopping <- true;
   let driver = t.follower in
   t.follower <- None;
   Condition.broadcast t.queue_c;
   Mutex.unlock t.m;
   if not already then begin
+    (* stop admitting pool reads; queued ones still get answered *)
+    Read_pool.stop t.pool;
     (* a follower stops chasing the primary first, so no replication
        job races the drain *)
     Option.iter Replica.Follower.stop driver;
@@ -764,9 +852,7 @@ let rec stop t =
         (fun () ->
           let give_up = Unix.gettimeofday () +. t.drain_grace in
           let rec poll () =
-            Mutex.lock t.m;
-            let busy = t.in_flight > 0 in
-            Mutex.unlock t.m;
+            let busy = Atomic.get t.in_flight > 0 in
             if busy && Unix.gettimeofday () < give_up then begin
               Thread.delay 0.01;
               poll ()
@@ -853,12 +939,7 @@ and connection_loop t fd conn_id =
   (* negotiated protocol dialect; a peer that never says Hello is
      treated as pre-streaming (v1) and gets the monolithic paths *)
   let version = ref 1 in
-  let stopping () =
-    Mutex.lock t.m;
-    let s = t.stopping in
-    Mutex.unlock t.m;
-    s
-  in
+  let stopping () = Atomic.get t.stopping in
   (* which codec this connection answers in: a pure function of the
      negotiated version, so the reply to an accepted v8 hello — and
      everything after it — is already binary *)
@@ -940,12 +1021,7 @@ and connection_loop t fd conn_id =
 (* ------------------------------------------------------------------ *)
 
 let accept_loop t =
-  let stopping () =
-    Mutex.lock t.m;
-    let s = t.stopping in
-    Mutex.unlock t.m;
-    s
-  in
+  let stopping () = Atomic.get t.stopping in
   (* Wait until a connection is pending or [stop] tickles the wake
      pipe, so the loop never blocks inside [accept] itself. *)
   let rec ready () =
@@ -961,7 +1037,9 @@ let accept_loop t =
       | fd, _ ->
         Metrics.incr m_connections;
         Mutex.lock t.m;
-        let reject = t.stopping || List.length t.conns >= t.max_clients in
+        let reject =
+          Atomic.get t.stopping || List.length t.conns >= t.max_clients
+        in
         let conn_id = t.next_conn in
         t.next_conn <- conn_id + 1;
         if not reject then t.conns <- (conn_id, fd) :: t.conns;
@@ -1002,7 +1080,7 @@ let accept_loop t =
 
 let start ?registry ?seed ?follow ?feed_version ?(max_clients = 64)
     ?(request_timeout = 30.0) ?(max_queue = 256) ?default_deadline
-    ?(max_readers = 32) ?(drain_grace = 5.0) ?compact_every ?sync_mode
+    ?(read_domains = 0) ?(drain_grace = 5.0) ?compact_every ?sync_mode
     ?slow_log ~db ~socket schema =
   let journal = Journal.open_ ?registry ?compact_every ?sync_mode ~dir:db schema in
   let ctx = Journal.context journal in
@@ -1025,15 +1103,22 @@ let start ?registry ?seed ?follow ?feed_version ?(max_clients = 64)
    with Invalid_argument _ -> ());
   let wake_r, wake_w = Unix.pipe () in
   let t =
-    { journal; ctx; rw = Rw.create (); socket_path = socket; listen_fd;
-      wake_r; wake_w;
+    { journal; ctx; commit_m = Commit_lock.create ();
+      published =
+        Atomic.make
+          { pub_view = Engine.pin ctx; pub_seq = Journal.seq journal;
+            pub_clock = ctx.Engine.clock };
+      pool =
+        Read_pool.create ~domains:read_domains
+          ~max_pending:(4 * max_clients);
+      socket_path = socket; listen_fd; wake_r; wake_w;
       max_clients; request_timeout; max_queue; default_deadline;
       drain_grace; slow_log;
-      gate = Gate.create ~capacity:max_readers ~max_waiting:(2 * max_clients);
       started_at = Unix.gettimeofday ();
-      m = Mutex.create (); stopping = false; conns = []; next_conn = 1;
+      stopping = Atomic.make false; in_flight = Atomic.make 0;
+      m = Mutex.create (); conns = []; next_conn = 1;
       threads = []; queue = Queue.create (); queue_c = Condition.create ();
-      in_flight = 0; avg_job_us = 0.0;
+      avg_job_us = 0.0;
       writer = None; accepter = None;
       follow; follower = None; followers = [] }
   in
@@ -1134,17 +1219,18 @@ let wait t =
       drain ()
   in
   drain ();
+  Read_pool.join t.pool;
   Journal.close t.journal;
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ())
 
 let run ?registry ?seed ?follow ?feed_version ?max_clients ?request_timeout
-    ?max_queue ?default_deadline ?max_readers ?drain_grace ?compact_every
+    ?max_queue ?default_deadline ?read_domains ?drain_grace ?compact_every
     ?sync_mode ?slow_log ~db ~socket schema =
   let t =
     start ?registry ?seed ?follow ?feed_version ?max_clients ?request_timeout
-      ?max_queue ?default_deadline ?max_readers ?drain_grace ?compact_every
+      ?max_queue ?default_deadline ?read_domains ?drain_grace ?compact_every
       ?sync_mode ?slow_log ~db ~socket schema
   in
   let on_signal _ = stop t in

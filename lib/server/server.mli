@@ -5,28 +5,37 @@
     over a Unix-domain socket.  Each connection gets a reader thread
     and its own {!Ddf_session.Session} (task window, flow catalog,
     selections) over the one shared engine context; store/history
-    mutations funnel through a single-writer loop, while reads are
-    served concurrently from the connection threads under a shared
-    lock.  Every request is traced as a [server.dispatch] span (lane =
-    connection id) carrying [server.request] timing, joined to the
-    client's distributed trace when the frame header carried a trace
-    token, and counted in the metrics registry; queue wait, gate wait,
-    group-commit fsync and follower applies appear as child spans of
-    the same trace.  The [Metrics] wire verb exposes the registry
-    (with p50/p90/p99 histogram quantiles) to remote clients.
+    mutations funnel through a single-writer loop, which publishes an
+    immutable store+history snapshot ({!Ddf_exec.Engine.view}) after
+    each group commit.  Pure reads — single requests and pure-read
+    batches alike — evaluate against the latest published view and
+    take {e no} lock: with [read_domains > 0] they are dispatched to
+    a pool of OCaml 5 worker domains and scale across cores, with
+    [read_domains = 0] (the default) they run inline on the
+    connection thread, equally lock-free.  The only remaining lock on
+    the commit path is the writer's, instrumented as the
+    [server.lock_acquisitions] counter — flat under read-only load,
+    which the test suite asserts.  Every request is traced as a
+    [server.dispatch] span (lane = connection id) carrying
+    [server.request] timing, joined to the client's distributed trace
+    when the frame header carried a trace token, and counted in the
+    metrics registry; queue wait, write job, group-commit fsync and
+    follower applies appear as child spans of the same trace.  The
+    [Metrics] wire verb exposes the registry (with p50/p90/p99
+    histogram quantiles) to remote clients.
 
     Robustness: both admission queues are bounded — at most
     [max_queue] mutations wait for the writer and at most
-    [max_readers] reads evaluate concurrently; excess load is shed
-    with a typed [`Overloaded] error carrying a retry-after hint,
-    {e before} any work (or journaling) happens.  Requests carry a
-    deadline budget in the frame header (or inherit
+    [4 * max_clients] pool reads wait for a worker domain; excess
+    load is shed with a typed [`Overloaded] error carrying a
+    retry-after hint, {e before} any work (or journaling) happens.
+    Requests carry a deadline budget in the frame header (or inherit
     [default_deadline]); a request whose budget expires before or
     while it waits is shed with [`Timeout] — again never executed,
     so resending is safe.  Graceful shutdown stops admitting, lets
     in-flight requests finish (bounded by [drain_grace]), drains the
-    writer, closes the connections and fsyncs the journal; {!stop}
-    and {!wait} are idempotent. *)
+    writer and the read pool, closes the connections and fsyncs the
+    journal; {!stop} and {!wait} are idempotent. *)
 
 exception Server_error of string
 
@@ -41,7 +50,7 @@ val start :
   ?request_timeout:float ->
   ?max_queue:int ->
   ?default_deadline:float ->
-  ?max_readers:int ->
+  ?read_domains:int ->
   ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->
@@ -57,11 +66,16 @@ val start :
     [max_queue] (default 256) bounds the write queue: a mutation
     arriving when it is full is refused with [`Overloaded] and a
     retry-after hint derived from the writer's recent service rate.
-    [max_readers] (default 32) bounds concurrently evaluating reads
-    the same way.  [default_deadline] (seconds) gives every request
-    from a peer that sent no deadline header an implicit budget;
-    [drain_grace] (default 5s) is how long {!stop} lets in-flight
-    requests finish before severing their connections.
+    [read_domains] (default 0) sets the size of the domain-pool read
+    executor: with [N > 0], pure reads are evaluated on [N] OCaml 5
+    worker domains, each pinning the latest published store+history
+    view, so read throughput scales across cores; with [0] they run
+    inline on the connection threads — in both modes the read path
+    acquires no server lock.  [default_deadline] (seconds) gives
+    every request from a peer that sent no deadline header an
+    implicit budget; [drain_grace] (default 5s) is how long {!stop}
+    lets in-flight requests finish before severing their
+    connections.
 
     [slow_log] (seconds) turns on the slow-request log: any request
     whose service time exceeds the threshold is reported on stderr
@@ -115,7 +129,7 @@ val run :
   ?request_timeout:float ->
   ?max_queue:int ->
   ?default_deadline:float ->
-  ?max_readers:int ->
+  ?read_domains:int ->
   ?drain_grace:float ->
   ?compact_every:int ->
   ?sync_mode:Ddf_journal.Journal.sync_mode ->

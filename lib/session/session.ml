@@ -12,9 +12,6 @@ open Ddf_schema
 open Ddf_graph
 open Ddf_store
 
-exception Session_error = Ddf_core.Error.Ddf_error
-(* Deprecated alias: sessions raise the shared typed error now. *)
-
 let session_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
 module Obs = Ddf_obs.Obs
@@ -55,6 +52,16 @@ let of_context ctx =
 let context s = s.ctx
 let current_flow s = s.current
 
+(* Pin a read view (store + history snapshots) for this session's
+   context; every read entry point takes an optional pre-pinned view
+   so the server can serve a whole request — or a whole pure-read
+   batch — from one frozen state. *)
+let pin s = Ddf_exec.Engine.pin s.ctx
+
+let resolve_view s = function
+  | Some v -> v
+  | None -> pin s
+
 (* Results of the most recent [run], one per fan-out combination. *)
 let last_runs s = s.last_run
 
@@ -67,8 +74,9 @@ let entity_catalog s = Schema.entity_ids s.ctx.Ddf_exec.Engine.schema
 let tool_catalog s =
   List.filter (Schema.is_tool s.ctx.Ddf_exec.Engine.schema) (entity_catalog s)
 
-let data_catalog ?(filter = Store.any_filter) s =
-  Store.browse s.ctx.Ddf_exec.Engine.store filter
+let data_catalog ?(filter = Store.any_filter) ?view s =
+  let v = resolve_view s view in
+  Store.Snapshot.browse v.Ddf_exec.Engine.v_store filter
 
 let flow_catalog s =
   Hashtbl.fold (fun name _ acc -> name :: acc) s.flow_catalog []
@@ -160,7 +168,8 @@ let specialization_options s nid =
 
 (* Browse: instances selectable for a node (the node's entity and its
    subtypes), under an optional browser filter. *)
-let browse ?(filter = Store.any_filter) s nid =
+let browse ?(filter = Store.any_filter) ?view s nid =
+  let v = resolve_view s view in
   let entity = Task_graph.entity_of s.current nid in
   let accepted = entity :: Schema.descendants s.ctx.Ddf_exec.Engine.schema entity in
   let filter =
@@ -170,7 +179,7 @@ let browse ?(filter = Store.any_filter) s nid =
         | None -> Some accepted
         | Some es -> Some (List.filter (fun e -> List.mem e accepted) es)) }
   in
-  Store.browse s.ctx.Ddf_exec.Engine.store filter
+  Store.Snapshot.browse v.Ddf_exec.Engine.v_store filter
 
 let select s nid iids =
   Metrics.incr m_selects;
@@ -239,12 +248,15 @@ let recall s iid =
   root
 
 (* History pop-up: reveal the instances used to create one (Fig. 10). *)
-let history_of s iid =
-  Ddf_history.History.trace s.ctx.Ddf_exec.Engine.history s.ctx.Ddf_exec.Engine.store
-    s.ctx.Ddf_exec.Engine.schema iid
+let history_of ?view s iid =
+  let v = resolve_view s view in
+  Ddf_history.History.Snapshot.trace v.Ddf_exec.Engine.v_history
+    v.Ddf_exec.Engine.v_store s.ctx.Ddf_exec.Engine.schema iid
 
 (* "Use dependencies" browsing: what was derived from this instance. *)
-let uses_of s iid = Ddf_history.History.derived_instances s.ctx.Ddf_exec.Engine.history iid
+let uses_of ?view s iid =
+  let v = resolve_view s view in
+  Ddf_history.History.Snapshot.derived_instances v.Ddf_exec.Engine.v_history iid
 
 (* ------------------------------------------------------------------ *)
 (* Rendering (the task window and browser of Fig. 9)                   *)
@@ -265,13 +277,14 @@ let render_task_window s =
     (Task_graph.nodes s.current);
   Buffer.contents buf
 
-let render_browser ?(filter = Store.any_filter) s nid =
+let render_browser ?(filter = Store.any_filter) ?view s nid =
+  let v = resolve_view s view in
   let buf = Buffer.create 512 in
   let entity = Task_graph.entity_of s.current nid in
   Buffer.add_string buf (Printf.sprintf "--- browser: %s ---\n" entity);
   List.iter
     (fun iid ->
-      let m = Store.meta_of s.ctx.Ddf_exec.Engine.store iid in
+      let m = Store.Snapshot.meta_of v.Ddf_exec.Engine.v_store iid in
       Buffer.add_string buf
         (Printf.sprintf "  [%c] #%-4d %-24s %-10s @%d %s\n"
            (match selection s nid with
@@ -280,5 +293,5 @@ let render_browser ?(filter = Store.any_filter) s nid =
            iid
            (if m.Store.label = "" then "(unnamed)" else m.Store.label)
            m.Store.user m.Store.created_at m.Store.comment))
-    (browse ~filter s nid);
+    (browse ~filter ~view:v s nid);
   Buffer.contents buf

@@ -10,21 +10,25 @@
 open Ddf_graph
 open Ddf_store
 
-exception Session_error of Ddf_core.Error.t
-(** Deprecated alias of {!Ddf_core.Error.Ddf_error}. *)
-
 type t
 
 val create : ?user:string -> Ddf_schema.Schema.t -> t
 val of_context : Ddf_exec.Engine.context -> t
 val context : t -> Ddf_exec.Engine.context
+
+val pin : t -> Ddf_exec.Engine.view
+(** Pin a lock-free read view of the session's store and history; pass
+    it back via the [?view] parameters below to serve several reads
+    from one frozen state. *)
+
 val current_flow : t -> Task_graph.t
 
 (** {1 Catalogs} *)
 
 val entity_catalog : t -> string list
 val tool_catalog : t -> string list
-val data_catalog : ?filter:Store.filter -> t -> Store.iid list
+val data_catalog :
+  ?filter:Store.filter -> ?view:Ddf_exec.Engine.view -> t -> Store.iid list
 val flow_catalog : t -> string list
 
 val catalog_flow : t -> string -> Task_graph.t option
@@ -36,7 +40,7 @@ val restore_flow : t -> string -> Task_graph.t -> unit
 
 val save_flow : t -> string -> unit
 (** Store the current flow in the flow catalog (for the plan-based
-    approach). @raise Session_error on an empty flow. *)
+    approach). @raise Ddf_core.Error.Ddf_error on an empty flow. *)
 
 val clear : t -> unit
 
@@ -47,7 +51,7 @@ val start_goal_based : t -> string -> int
     goal node. *)
 
 val start_tool_based : t -> string -> int
-(** Start from a tool. @raise Session_error for non-tools. *)
+(** Start from a tool. @raise Ddf_core.Error.Ddf_error for non-tools. *)
 
 val goal_options : t -> int -> string list
 (** Goal entities the tool node can produce. *)
@@ -57,7 +61,7 @@ val start_data_based : t -> Store.iid -> int
 
 val start_plan_based : t -> string -> int list
 (** Load a catalog flow; returns its roots.
-    @raise Session_error for unknown names. *)
+    @raise Ddf_core.Error.Ddf_error for unknown names. *)
 
 (** {1 Pop-up menu operations (section 4.1)} *)
 
@@ -74,13 +78,16 @@ val unexpand : t -> int -> unit
 val specialize : t -> int -> string -> unit
 val specialization_options : t -> int -> string list
 
-val browse : ?filter:Store.filter -> t -> int -> Store.iid list
+val browse :
+  ?filter:Store.filter -> ?view:Ddf_exec.Engine.view -> t -> int ->
+  Store.iid list
 (** Instances selectable for a node: its entity and subtypes, under an
-    optional browser filter. *)
+    optional browser filter.  [view] pins the store/history state to
+    read from (defaults to a fresh {!pin} per call). *)
 
 val select : t -> int -> Store.iid list -> unit
 (** Select instances for a leaf; several instances mean fan-out
-    execution. @raise Session_error on empty or incompatible
+    execution. @raise Ddf_core.Error.Ddf_error on empty or incompatible
     selections. *)
 
 val selection : t -> int -> Store.iid list option
@@ -102,13 +109,15 @@ val recall : t -> Store.iid -> int
     ready to be modified and re-executed.  Returns the root node. *)
 
 val history_of :
-  t -> Store.iid -> Task_graph.t * int * (int * Store.iid) list
+  ?view:Ddf_exec.Engine.view -> t -> Store.iid ->
+  Task_graph.t * int * (int * Store.iid) list
 (** The History pop-up (Fig. 10): the instance's derivation trace. *)
 
-val uses_of : t -> Store.iid -> Store.iid list
+val uses_of : ?view:Ddf_exec.Engine.view -> t -> Store.iid -> Store.iid list
 (** "Use dependencies" browsing: instances derived from this one. *)
 
 (** {1 Rendering (the task window and browser of Fig. 9)} *)
 
 val render_task_window : t -> string
-val render_browser : ?filter:Store.filter -> t -> int -> string
+val render_browser :
+  ?filter:Store.filter -> ?view:Ddf_exec.Engine.view -> t -> int -> string

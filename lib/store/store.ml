@@ -6,7 +6,16 @@
    paper's footnote 5 notes, several instances (different versions of a
    design) may share one physical datum; sharing falls out of content
    addressing here.  The store is polymorphic in the payload so the
-   framework layers stay independent of the EDA substrate. *)
+   framework layers stay independent of the EDA substrate.
+
+   MVCC: the whole hot state lives in one immutable record behind an
+   [Atomic.t].  A snapshot is just [Atomic.get] — O(1), no locks — and
+   stays valid forever; mutations build a new record and CAS it in.
+   The only concurrent writers are the (single) mutator and readers
+   promoting cold payloads, so CAS retries are rare. *)
+
+module Int_map = Map.Make (Int)
+module String_map = Map.Make (String)
 
 type iid = int
 
@@ -29,19 +38,33 @@ type 'a event =
   | Put of 'a instance * 'a
   | Annotated of 'a instance
 
+(* The immutable hot state: everything a read needs, in persistent
+   maps.  [Int_map] iterates in ascending iid order, which is exactly
+   the store's installation order (iids are dense and ascending), so
+   the old [all_rev] list is redundant. *)
+type 'a state = {
+  st_next_iid : int;
+  st_instances : 'a instance Int_map.t;
+  st_payloads : 'a String_map.t;   (* content-addressed physical data *)
+  st_by_entity : iid list String_map.t;   (* newest first *)
+  st_phys : int;                   (* cardinal of st_payloads, O(1) *)
+}
+
 type 'a t = {
-  mutable next_iid : int;
-  instances : (iid, 'a instance) Hashtbl.t;
-  payloads : (string, 'a) Hashtbl.t;     (* content-addressed physical data *)
-  by_entity : (string, iid list ref) Hashtbl.t;
-  mutable all_rev : iid list;            (* every iid, newest first *)
+  id : int;                        (* identity for external index caches *)
+  state : 'a state Atomic.t;
   mutable observer : ('a event -> unit) option;
   mutable cold_loader : (iid -> 'a option) option;
   (* tiered storage: reloads an evicted payload from cold storage *)
 }
 
-exception Store_error = Ddf_core.Error.Ddf_error
-(* Deprecated alias: the store raises the shared typed error now. *)
+type 'a snapshot = {
+  snap_state : 'a state;
+  snap_source : 'a t;
+  (* the handle is carried for the cold loader and for promoting
+     reloaded payloads back into the *live* state; the snapshot's own
+     view never changes *)
+}
 
 let store_errorf ?(code = `Invalid) fmt = Ddf_core.Error.errorf code fmt
 
@@ -51,24 +74,47 @@ let m_browses = Ddf_obs.Metrics.counter "store.browses"
 let m_cold_loads = Ddf_obs.Metrics.counter "store.cold_loads"
 let m_evictions = Ddf_obs.Metrics.counter "store.evictions"
 
+let next_store_id = Atomic.make 1
+
+let empty_state =
+  {
+    st_next_iid = 1;
+    st_instances = Int_map.empty;
+    st_payloads = String_map.empty;
+    st_by_entity = String_map.empty;
+    st_phys = 0;
+  }
+
 let create () =
   {
-    next_iid = 1;
-    instances = Hashtbl.create 64;
-    payloads = Hashtbl.create 64;
-    by_entity = Hashtbl.create 16;
-    all_rev = [];
+    id = Atomic.fetch_and_add next_store_id 1;
+    state = Atomic.make empty_state;
     observer = None;
     cold_loader = None;
   }
 
-let tick store = store.next_iid
+let id store = store.id
+
+(* Apply a pure state transform with a CAS retry loop.  [f] must be
+   side-effect free (it may run more than once under contention);
+   the returned value from the *winning* application is handed back so
+   callers run their side effects (observer notify, metrics) once. *)
+let rec update store f =
+  let old_state = Atomic.get store.state in
+  let new_state, ret = f old_state in
+  if Atomic.compare_and_set store.state old_state new_state then ret
+  else update store f
+
+let snapshot store = { snap_state = Atomic.get store.state; snap_source = store }
+
+let tick store = (Atomic.get store.state).st_next_iid
 
 let restore_tick store n =
-  if n < store.next_iid then
-    store_errorf "cannot move the instance counter back (%d < %d)" n
-      store.next_iid;
-  store.next_iid <- n
+  update store (fun st ->
+      if n < st.st_next_iid then
+        store_errorf "cannot move the instance counter back (%d < %d)" n
+          st.st_next_iid;
+      ({ st with st_next_iid = n }, ()))
 
 let set_observer store f = store.observer <- Some f
 let clear_observer store = store.observer <- None
@@ -81,106 +127,91 @@ let meta ?(user = "designer") ?(label = "") ?(comment = "") ?(keywords = [])
   { user; created_at; label; comment; keywords }
 
 let put store ~entity ~hash ~meta payload =
-  let iid = store.next_iid in
-  store.next_iid <- iid + 1;
-  Ddf_obs.Metrics.incr m_puts;
-  if Hashtbl.mem store.payloads hash then
-    (* content-hash sharing: a second instance over the same datum *)
-    Ddf_obs.Metrics.incr m_dedup
-  else Hashtbl.add store.payloads hash payload;
-  let inst = { iid; entity; data_hash = hash; meta } in
-  Hashtbl.add store.instances iid inst;
-  let bucket =
-    match Hashtbl.find_opt store.by_entity entity with
-    | Some l -> l
-    | None ->
-      let l = ref [] in
-      Hashtbl.add store.by_entity entity l;
-      l
+  let inst, dedup =
+    update store (fun st ->
+        let iid = st.st_next_iid in
+        let inst = { iid; entity; data_hash = hash; meta } in
+        let dedup = String_map.mem hash st.st_payloads in
+        let st_payloads =
+          (* content-hash sharing: a second instance over the same
+             datum keeps the first payload *)
+          if dedup then st.st_payloads
+          else String_map.add hash payload st.st_payloads
+        in
+        let bucket =
+          match String_map.find_opt entity st.st_by_entity with
+          | Some l -> iid :: l
+          | None -> [ iid ]
+        in
+        ( {
+            st_next_iid = iid + 1;
+            st_instances = Int_map.add iid inst st.st_instances;
+            st_payloads;
+            st_by_entity = String_map.add entity bucket st.st_by_entity;
+            st_phys = (if dedup then st.st_phys else st.st_phys + 1);
+          },
+          (inst, dedup) ))
   in
-  bucket := iid :: !bucket;
-  store.all_rev <- iid :: store.all_rev;
+  Ddf_obs.Metrics.incr m_puts;
+  if dedup then Ddf_obs.Metrics.incr m_dedup;
   notify store (Put (inst, payload));
-  iid
+  inst.iid
 
-let find_opt store iid = Hashtbl.find_opt store.instances iid
-
-let find store iid =
-  match find_opt store iid with
-  | Some inst -> inst
-  | None -> store_errorf ~code:`Not_found "no instance %d" iid
-
-let mem store iid = Hashtbl.mem store.instances iid
+let annotate store iid ?label ?comment ?keywords () =
+  let inst =
+    update store (fun st ->
+        match Int_map.find_opt iid st.st_instances with
+        | None -> store_errorf ~code:`Not_found "no instance %d" iid
+        | Some inst ->
+          let m = inst.meta in
+          let m =
+            {
+              m with
+              label = Option.value label ~default:m.label;
+              comment = Option.value comment ~default:m.comment;
+              keywords = Option.value keywords ~default:m.keywords;
+            }
+          in
+          let inst = { inst with meta = m } in
+          ( { st with st_instances = Int_map.add iid inst st.st_instances },
+            inst ))
+  in
+  notify store (Annotated inst)
 
 let set_cold_loader store f = store.cold_loader <- Some f
 let clear_cold_loader store = store.cold_loader <- None
 
-let payload_resident store iid =
-  Hashtbl.mem store.payloads (find store iid).data_hash
-
-(* Hot path first: a resident payload is one hash lookup.  On a miss,
-   fall through to cold storage (if wired) and promote the reloaded
-   payload back into the resident table so later readers stay hot. *)
-let payload store iid =
-  let inst = find store iid in
-  match Hashtbl.find_opt store.payloads inst.data_hash with
-  | Some v -> v
-  | None -> (
-    match store.cold_loader with
-    | None -> Hashtbl.find store.payloads inst.data_hash
-    | Some load -> (
-      match load iid with
-      | Some v ->
-        Ddf_obs.Metrics.incr m_cold_loads;
-        Hashtbl.add store.payloads inst.data_hash v;
-        v
-      | None ->
-        store_errorf ~code:`Not_found
-          "payload of instance %d is neither resident nor cemented" iid))
-
 let evict store iid =
-  match find_opt store iid with
-  | None -> false
-  | Some inst ->
-    if Hashtbl.mem store.payloads inst.data_hash then (
-      Hashtbl.remove store.payloads inst.data_hash;
-      Ddf_obs.Metrics.incr m_evictions;
-      true)
-    else false
-
-let entity_of store iid = (find store iid).entity
-let meta_of store iid = (find store iid).meta
-let hash_of store iid = (find store iid).data_hash
-
-let annotate store iid ?label ?comment ?keywords () =
-  let inst = find store iid in
-  let m = inst.meta in
-  let m =
-    {
-      m with
-      label = Option.value label ~default:m.label;
-      comment = Option.value comment ~default:m.comment;
-      keywords = Option.value keywords ~default:m.keywords;
-    }
+  let dropped =
+    update store (fun st ->
+        match Int_map.find_opt iid st.st_instances with
+        | None -> (st, false)
+        | Some inst ->
+          if String_map.mem inst.data_hash st.st_payloads then
+            ( {
+                st with
+                st_payloads = String_map.remove inst.data_hash st.st_payloads;
+                st_phys = st.st_phys - 1;
+              },
+              true )
+          else (st, false))
   in
-  let inst = { inst with meta = m } in
-  Hashtbl.replace store.instances iid inst;
-  notify store (Annotated inst)
+  if dropped then Ddf_obs.Metrics.incr m_evictions;
+  dropped
 
-let instance_count store = Hashtbl.length store.instances
-
-let physical_count store = Hashtbl.length store.payloads
-(* instance_count - physical_count = storage saved by sharing *)
-
-let instances_of_entity store entity =
-  match Hashtbl.find_opt store.by_entity entity with
-  | Some l -> List.rev !l
-  | None -> []
-
-(* [put] assigns dense ascending iids and nothing is ever deleted, so
-   reversing the insertion list IS the sorted order — no per-call
-   Hashtbl fold + sort. *)
-let all_instances store = List.rev store.all_rev
+(* Promote a cold-loaded payload into the *live* resident table so
+   later readers stay hot.  Runs on the read path, possibly from a
+   reader domain: a plain CAS loop against the owning handle. *)
+let promote store hash payload =
+  update store (fun st ->
+      if String_map.mem hash st.st_payloads then (st, ())
+      else
+        ( {
+            st with
+            st_payloads = String_map.add hash payload st.st_payloads;
+            st_phys = st.st_phys + 1;
+          },
+          () ))
 
 (* ------------------------------------------------------------------ *)
 (* Browser filters (the Fig. 9 instance browser)                       *)
@@ -222,12 +253,108 @@ let compile filter =
        | None -> true
        | Some ln -> contains_lower m.label ln || contains_lower m.comment ln)
 
-let matches store filter iid = compile filter (find store iid)
+(* ------------------------------------------------------------------ *)
+(* The snapshot read API — every read below sees one frozen state.     *)
+(* ------------------------------------------------------------------ *)
 
-let browse store filter =
-  Ddf_obs.Metrics.incr m_browses;
-  let accept = compile filter in
-  List.filter (fun iid -> accept (find store iid)) (all_instances store)
+module Snapshot = struct
+  type 'a t = 'a snapshot
+
+  let source snap = snap.snap_source
+  let tick snap = snap.snap_state.st_next_iid
+
+  let find_opt snap iid = Int_map.find_opt iid snap.snap_state.st_instances
+
+  let find snap iid =
+    match find_opt snap iid with
+    | Some inst -> inst
+    | None -> store_errorf ~code:`Not_found "no instance %d" iid
+
+  let mem snap iid = Int_map.mem iid snap.snap_state.st_instances
+
+  let payload_resident snap iid =
+    String_map.mem (find snap iid).data_hash snap.snap_state.st_payloads
+
+  (* Hot path first: a resident payload is one map lookup.  On a miss,
+     fall through to cold storage (if wired) and promote the reloaded
+     payload back into the live resident table so later snapshots stay
+     hot.  The snapshot itself is never mutated — a re-read through the
+     same snapshot hits the loader again, which is correct and rare. *)
+  let payload snap iid =
+    let inst = find snap iid in
+    match String_map.find_opt inst.data_hash snap.snap_state.st_payloads with
+    | Some v -> v
+    | None -> (
+      match snap.snap_source.cold_loader with
+      | None ->
+        store_errorf ~code:`Not_found
+          "payload of instance %d is not resident" iid
+      | Some load -> (
+        match load iid with
+        | Some v ->
+          Ddf_obs.Metrics.incr m_cold_loads;
+          promote snap.snap_source inst.data_hash v;
+          v
+        | None ->
+          store_errorf ~code:`Not_found
+            "payload of instance %d is neither resident nor cemented" iid))
+
+  let entity_of snap iid = (find snap iid).entity
+  let meta_of snap iid = (find snap iid).meta
+  let hash_of snap iid = (find snap iid).data_hash
+
+  let instance_count snap = Int_map.cardinal snap.snap_state.st_instances
+
+  let physical_count snap = snap.snap_state.st_phys
+  (* instance_count - physical_count = storage saved by sharing *)
+
+  let instances_of_entity snap entity =
+    match String_map.find_opt entity snap.snap_state.st_by_entity with
+    | Some l -> List.rev l
+    | None -> []
+
+  (* Ascending-iid fold over the instance map IS installation order:
+     iids are dense and nothing is ever deleted. *)
+  let all_instances snap =
+    Seq.fold_left
+      (fun acc (iid, _) -> iid :: acc)
+      []
+      (Int_map.to_rev_seq snap.snap_state.st_instances)
+
+  let matches snap filter iid = compile filter (find snap iid)
+
+  let browse snap filter =
+    Ddf_obs.Metrics.incr m_browses;
+    let accept = compile filter in
+    Seq.fold_left
+      (fun acc (iid, inst) -> if accept inst then iid :: acc else acc)
+      []
+      (Int_map.to_rev_seq snap.snap_state.st_instances)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Live-store reads: thin wrappers over a fresh snapshot.  Each call   *)
+(* sees the latest committed state; multi-call consistency requires    *)
+(* taking an explicit [snapshot].                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_opt store iid = Snapshot.find_opt (snapshot store) iid
+let find store iid = Snapshot.find (snapshot store) iid
+let mem store iid = Snapshot.mem (snapshot store) iid
+let payload_resident store iid = Snapshot.payload_resident (snapshot store) iid
+let payload store iid = Snapshot.payload (snapshot store) iid
+let entity_of store iid = Snapshot.entity_of (snapshot store) iid
+let meta_of store iid = Snapshot.meta_of (snapshot store) iid
+let hash_of store iid = Snapshot.hash_of (snapshot store) iid
+let instance_count store = Snapshot.instance_count (snapshot store)
+let physical_count store = Snapshot.physical_count (snapshot store)
+
+let instances_of_entity store entity =
+  Snapshot.instances_of_entity (snapshot store) entity
+
+let all_instances store = Snapshot.all_instances (snapshot store)
+let matches store filter iid = Snapshot.matches (snapshot store) filter iid
+let browse store filter = Snapshot.browse (snapshot store) filter
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

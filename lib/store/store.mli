@@ -7,7 +7,16 @@
     (different versions of a design) may share one physical datum;
     here sharing falls out of content addressing.  The store is
     polymorphic in the payload so the framework layers stay independent
-    of the EDA substrate. *)
+    of the EDA substrate.
+
+    {b MVCC:} the store's hot state is one immutable record behind an
+    [Atomic.t].  {!snapshot} is an O(1), lock-free capture of it that
+    stays valid forever; all reads are served from a snapshot
+    ({!Snapshot}), and the live-store read functions below are thin
+    wrappers that capture a fresh snapshot per call.  Mutations build a
+    new state record and publish it with a compare-and-set, so a
+    snapshot pinned on one domain is never torn by a writer on
+    another. *)
 
 type iid = int
 (** Instance identifier, unique within one store. *)
@@ -28,14 +37,26 @@ type 'a instance = private {
 }
 
 type 'a t
+(** The live store handle: an atomic reference to the latest committed
+    state plus the observer / cold-loader attachment points.  Store
+    failures raise {!Ddf_core.Error.Ddf_error} with a typed
+    {!Ddf_core.Error.t} ([`Not_found] for missing instances,
+    [`Invalid] otherwise). *)
 
-exception Store_error of Ddf_core.Error.t
-(** Deprecated alias of {!Ddf_core.Error.Ddf_error}: store failures
-    carry a typed {!Ddf_core.Error.t} ([`Not_found] for missing
-    instances, [`Invalid] otherwise).  Existing handlers keep catching;
-    use {!Ddf_core.Error.message} for the text. *)
+type 'a snapshot
+(** An immutable view of the store at one commit point.  Capturing one
+    is O(1) and lock-free; every read through it is repeatable — later
+    writes to the live store are invisible. *)
 
 val create : unit -> 'a t
+
+val id : 'a t -> int
+(** A process-unique identity for this handle, stable across
+    mutations.  External caches (e.g. the history version index) key
+    on it instead of on physical equality of mutable innards. *)
+
+val snapshot : 'a t -> 'a snapshot
+(** Capture the latest committed state: one atomic load. *)
 
 val meta :
   ?user:string -> ?label:string -> ?comment:string -> ?keywords:string list ->
@@ -45,18 +66,18 @@ val put : 'a t -> entity:string -> hash:string -> meta:meta -> 'a -> iid
 (** Install an instance; the payload is stored once per distinct hash. *)
 
 val find : 'a t -> iid -> 'a instance
-(** @raise Store_error on a missing instance. *)
+(** @raise Ddf_core.Error.Ddf_error on a missing instance. *)
 
 val find_opt : 'a t -> iid -> 'a instance option
 val mem : 'a t -> iid -> bool
 
 val payload : 'a t -> iid -> 'a
 (** The physical datum behind an instance.  Resident payloads are one
-    hash lookup; an evicted payload falls through to the cold loader
+    map lookup; an evicted payload falls through to the cold loader
     (see {!set_cold_loader}), is re-installed in the resident table
     (promote-on-read) and counted in [store.cold_loads].
-    @raise Store_error ([`Not_found]) when the payload is neither
-    resident nor reloadable. *)
+    @raise Ddf_core.Error.Ddf_error ([`Not_found]) when the payload is
+    neither resident nor reloadable. *)
 
 val entity_of : 'a t -> iid -> string
 val meta_of : 'a t -> iid -> meta
@@ -74,8 +95,9 @@ val tick : 'a t -> int
     restore the clock instead of re-deriving it from the contents. *)
 
 val restore_tick : 'a t -> int -> unit
-(** Reset the counter after a replay.  @raise Store_error when moving
-    the counter backwards (iids must stay unique). *)
+(** Reset the counter after a replay.
+    @raise Ddf_core.Error.Ddf_error when moving the counter backwards
+    (iids must stay unique). *)
 
 (** {1 Tiered storage (the cement store's attachment point)}
 
@@ -93,7 +115,8 @@ val clear_cold_loader : 'a t -> unit
 
 val payload_resident : 'a t -> iid -> bool
 (** Whether {!payload} would be served from the resident table (no
-    cold load).  @raise Store_error on a missing instance. *)
+    cold load).  @raise Ddf_core.Error.Ddf_error on a missing
+    instance. *)
 
 val evict : 'a t -> iid -> bool
 (** Drop the resident payload behind [iid] (shared-hash siblings lose
@@ -138,6 +161,45 @@ type filter = {
 val any_filter : filter
 val matches : 'a t -> filter -> iid -> bool
 val browse : 'a t -> filter -> iid list
+
+(** {1 Snapshot reads}
+
+    The same read API as the live wrappers above, against one frozen
+    view.  This is what the server's domain-pool read executor and
+    {!Parallel}'s flow branches use: pin once, read many times, never
+    take a lock. *)
+
+module Snapshot : sig
+  type 'a store := 'a t
+  type 'a t = 'a snapshot
+
+  val source : 'a t -> 'a store
+  (** The live handle this snapshot was captured from. *)
+
+  val tick : 'a t -> int
+  (** The instance counter at capture time: iids [>= tick] are not in
+      this snapshot. *)
+
+  val find : 'a t -> iid -> 'a instance
+  val find_opt : 'a t -> iid -> 'a instance option
+  val mem : 'a t -> iid -> bool
+
+  val payload : 'a t -> iid -> 'a
+  (** Cold loads promote into the {e live} store, never into the
+      snapshot: re-reading the same evicted payload through one
+      snapshot hits the loader again. *)
+
+  val payload_resident : 'a t -> iid -> bool
+  val entity_of : 'a t -> iid -> string
+  val meta_of : 'a t -> iid -> meta
+  val hash_of : 'a t -> iid -> string
+  val instance_count : 'a t -> int
+  val physical_count : 'a t -> int
+  val instances_of_entity : 'a t -> string -> iid list
+  val all_instances : 'a t -> iid list
+  val matches : 'a t -> filter -> iid -> bool
+  val browse : 'a t -> filter -> iid list
+end
 
 val pp_instance : Format.formatter -> 'a instance -> unit
 val pp : Format.formatter -> 'a t -> unit

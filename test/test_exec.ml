@@ -9,7 +9,7 @@ let t name f = Alcotest.test_case name `Quick f
 
 let expect_exec_error name f =
   Util.expect_exn name
-    (function Engine.Execution_error _ -> true | _ -> false)
+    (function Ddf.Error.Ddf_error _ -> true | _ -> false)
     f
 
 (* Shared setup: a workspace plus the fig5 flow fully bound. *)

@@ -7,4 +7,5 @@ let () =
     @ Test_hier_process.suite @ Test_properties.suite @ Test_misc.suite
     @ Test_obs.suite @ Test_journal.suite @ Test_server.suite
     @ Test_replica.suite @ Test_cement.suite @ Test_fault.suite
-    @ Test_telemetry.suite @ Test_sync.suite @ Test_wire.suite)
+    @ Test_telemetry.suite @ Test_sync.suite @ Test_wire.suite
+    @ Test_mvcc.suite)

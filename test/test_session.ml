@@ -9,7 +9,7 @@ let t name f = Alcotest.test_case name `Quick f
 
 let expect_session_error name f =
   Util.expect_exn name
-    (function Session.Session_error _ -> true | _ -> false)
+    (function Ddf.Error.Ddf_error _ -> true | _ -> false)
     f
 
 let catalog_tests =

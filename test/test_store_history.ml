@@ -89,7 +89,7 @@ let store_tests =
         check Alcotest.string "label" "low pass filter" m.Store.label;
         check Alcotest.string "comment" "for the dac paper" m.Store.comment);
     Util.expect_exn "missing instance"
-      (function Store.Store_error _ -> true | _ -> false)
+      (function Ddf.Error.Ddf_error _ -> true | _ -> false)
       (fun () -> Store.find (Store.create ()) 42);
     t "browse by user, date window, keyword and text" (fun () ->
         let store = Store.create () in
@@ -246,7 +246,7 @@ let history_tests =
         in
         check Alcotest.int "none" 0 (List.length results));
     Util.expect_exn "double-producing an instance is rejected"
-      (function History.History_error _ -> true | _ -> false)
+      (function Ddf.Error.Ddf_error _ -> true | _ -> false)
       (fun () ->
         let h = History.create () in
         let _ = History.add h ~task_entity:"x" ~tool:None ~inputs:[]
